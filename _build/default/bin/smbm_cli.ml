@@ -1,0 +1,600 @@
+(* Command-line front end: reproduce any experiment of the paper at any
+   scale.
+
+   smbm_cli policies                list the available policies
+   smbm_cli compare   [options]     all policies in lockstep (ratios,
+                                    --detail fairness, --replications)
+   smbm_cli simulate  [options]     one policy, detailed metrics
+                                    (--heavy-tail, --timeseries FILE)
+   smbm_cli sweep     [options]     arbitrary k/B/C sweep (--xs, --csv)
+   smbm_cli figure N  [options]     regenerate a Fig. 5 panel (1-9)
+   smbm_cli lowerbound THM          run a theorem's adversarial construction
+   smbm_cli trace record|stats F    record / inspect arrival traces
+   smbm_cli certify   [options]     Theorem 7's mapping routine, live *)
+
+open Cmdliner
+open Smbm_core
+open Smbm_sim
+
+(* ----- shared options ----- *)
+
+type common = {
+  k : int;
+  buffer : int;
+  speedup : int;
+  load : float;
+  sources : int;
+  slots : int;
+  flush : int;
+  seed : int;
+}
+
+let common_term =
+  let open Term in
+  let k =
+    Arg.(value & opt int 16 & info [ "k" ] ~docv:"K" ~doc:"Maximum work/value (also the number of ports).")
+  in
+  let buffer =
+    Arg.(value & opt int 64 & info [ "b"; "buffer" ] ~docv:"B" ~doc:"Shared buffer size in packets.")
+  in
+  let speedup =
+    Arg.(value & opt int 1 & info [ "c"; "speedup" ] ~docv:"C" ~doc:"Processing cycles (resp. transmissions) per queue per slot.")
+  in
+  let load =
+    Arg.(value & opt float 2.0 & info [ "load" ] ~docv:"RHO" ~doc:"Normalized offered load (1.0 saturates the switch on average).")
+  in
+  let sources =
+    Arg.(value & opt int 500 & info [ "sources" ] ~docv:"N" ~doc:"Number of interleaved MMPP sources.")
+  in
+  let slots =
+    Arg.(value & opt int 200_000 & info [ "slots" ] ~docv:"T" ~doc:"Simulation length in time slots.")
+  in
+  let flush =
+    Arg.(value & opt int 10_000 & info [ "flush-every" ] ~docv:"F" ~doc:"Periodic flushout interval in slots (0 disables).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let make k buffer speedup load sources slots flush seed =
+    { k; buffer; speedup; load; sources; slots; flush; seed }
+  in
+  const make $ k $ buffer $ speedup $ load $ sources $ slots $ flush $ seed
+
+let model_term =
+  let models =
+    [ ("proc", Sweep.Proc); ("value-uniform", Sweep.Value_uniform); ("value-port", Sweep.Value_port) ]
+  in
+  Arg.(
+    value
+    & opt (enum models) Sweep.Proc
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Switch model: $(b,proc) (heterogeneous processing), $(b,value-uniform) or $(b,value-port).")
+
+let base_of c =
+  {
+    Sweep.k = c.k;
+    buffer = c.buffer;
+    speedup = c.speedup;
+    load = c.load;
+    mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = c.sources };
+    slots = c.slots;
+    flush_every = (if c.flush > 0 then Some c.flush else None);
+    seed = c.seed;
+  }
+
+(* ----- policies ----- *)
+
+let policies_cmd =
+  let run () =
+    let proc = Proc_config.contiguous ~k:4 ~buffer:16 () in
+    let value = Value_config.make ~ports:4 ~max_value:4 ~buffer:16 () in
+    print_endline "Processing model (Section III):";
+    List.iter
+      (fun (p : Proc_policy.t) ->
+        Printf.printf "  %-6s %s\n" p.name
+          (if p.push_out then "push-out" else "non-push-out"))
+      (Policies.proc proc);
+    print_endline "Value model (Section IV):";
+    List.iter
+      (fun (p : Value_policy.t) ->
+        Printf.printf "  %-6s %s\n" p.name
+          (if p.push_out then "push-out" else "non-push-out"))
+      (Policies.value_port ~port_value:[| 1; 2; 3; 4 |] value)
+  in
+  Cmd.v
+    (Cmd.info "policies" ~doc:"List the buffer-management policies of both models.")
+    Term.(const run $ const ())
+
+(* ----- compare ----- *)
+
+let run_compare common model replications detail =
+  let base = base_of common in
+  let objective =
+    match Sweep.objective model with `Packets -> "packets" | `Value -> "value"
+  in
+  if detail then begin
+    let details =
+      Sweep.run_point_detailed ~base ~model ~axis:Sweep.K ~x:common.k
+    in
+    let rows =
+      List.map
+        (fun (name, (d : Sweep.detail)) ->
+          [
+            name;
+            Smbm_report.Table.float_cell d.ratio;
+            Smbm_report.Table.float_cell d.jain;
+            string_of_int d.starved;
+            Smbm_report.Table.float_cell ~digits:1 d.mean_latency;
+            Smbm_report.Table.float_cell ~digits:1 d.p99_latency;
+            Smbm_report.Table.float_cell ~digits:4 d.drop_rate;
+          ])
+        details
+    in
+    print_string
+      (Smbm_report.Table.render
+         ~headers:
+           [
+             "policy"; "ratio (" ^ objective ^ ")"; "jain"; "starved";
+             "lat-mean"; "lat-p99"; "drop";
+           ]
+         ~rows ())
+  end
+  else if replications > 1 then begin
+    let seeds = List.init replications (fun i -> common.seed + i) in
+    let reps =
+      Sweep.run_point_replicated ~base ~model ~axis:Sweep.K ~x:common.k ~seeds
+    in
+    let rows =
+      List.map
+        (fun (name, (r : Sweep.replicated)) ->
+          [
+            name;
+            Smbm_report.Table.float_cell r.mean;
+            Smbm_report.Table.float_cell r.stddev;
+            string_of_int r.runs;
+          ])
+        reps
+    in
+    print_string
+      (Smbm_report.Table.render
+         ~headers:[ "policy"; "mean ratio (" ^ objective ^ ")"; "stddev"; "runs" ]
+         ~rows ())
+  end
+  else begin
+    let ratios = Sweep.run_point ~base ~model ~axis:Sweep.K ~x:common.k in
+    let rows =
+      List.map (fun (name, r) -> [ name; Smbm_report.Table.float_cell r ]) ratios
+    in
+    print_string
+      (Smbm_report.Table.render
+         ~headers:[ "policy"; "ratio (" ^ objective ^ ")" ]
+         ~rows ())
+  end
+
+let compare_cmd =
+  let replications =
+    Arg.(
+      value & opt int 1
+      & info [ "replications" ] ~docv:"N"
+          ~doc:"Repeat over N consecutive seeds and report mean and stddev.")
+  in
+  let detail =
+    Arg.(
+      value & flag
+      & info [ "detail" ]
+          ~doc:"Also report Jain fairness, starved ports, latency and drop rate.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every policy of a model plus the OPT reference in lockstep over one MMPP workload and print the empirical competitive ratios.")
+    Term.(const run_compare $ common_term $ model_term $ replications $ detail)
+
+(* ----- trace ----- *)
+
+let run_trace common model action path =
+  let mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = common.sources } in
+  match action with
+  | "record" ->
+    let workload =
+      match model with
+      | Sweep.Proc ->
+        let config =
+          Proc_config.contiguous ~k:common.k ~buffer:common.buffer
+            ~speedup:common.speedup ()
+        in
+        Smbm_traffic.Scenario.proc_workload ~mmpp ~config ~load:common.load
+          ~seed:common.seed ()
+      | Sweep.Value_uniform | Sweep.Value_port ->
+        let config =
+          Value_config.make ~ports:common.k ~max_value:common.k
+            ~buffer:common.buffer ~speedup:common.speedup ()
+        in
+        if model = Sweep.Value_port then
+          Smbm_traffic.Scenario.value_port_workload ~mmpp ~config
+            ~load:common.load ~seed:common.seed ()
+        else
+          Smbm_traffic.Scenario.value_uniform_workload ~mmpp ~config
+            ~load:common.load ~seed:common.seed ()
+    in
+    let trace = Smbm_traffic.Trace.record workload ~slots:common.slots in
+    let oc = open_out path in
+    Smbm_traffic.Trace.save trace oc;
+    close_out oc;
+    Printf.printf "recorded %d slots (%d arrivals) to %s\n"
+      (Smbm_traffic.Trace.slots trace)
+      (Smbm_traffic.Trace.arrivals trace)
+      path
+  | "stats" ->
+    let ic = open_in path in
+    let trace = Smbm_traffic.Trace.load ic in
+    close_in ic;
+    let stats = Smbm_traffic.Trace_stats.analyze trace in
+    Format.printf "%a@." Smbm_traffic.Trace_stats.pp stats;
+    let config =
+      Proc_config.contiguous ~k:common.k ~buffer:common.buffer
+        ~speedup:common.speedup ()
+    in
+    (match Smbm_traffic.Trace_stats.offered_load config trace with
+    | load -> Format.printf "offered load vs k=%d switch: %.3f@." common.k load
+    | exception Invalid_argument _ -> ());
+    Format.printf "per-port packets:@.";
+    List.iter
+      (fun (port, n) -> Format.printf "  port %d: %d@." port n)
+      stats.Smbm_traffic.Trace_stats.per_port
+  | other -> failwith (Printf.sprintf "unknown trace action %S" other)
+
+let trace_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("record", "record"); ("stats", "stats") ])) None
+      & info [] ~docv:"ACTION" ~doc:"$(b,record) a workload or show $(b,stats) of a trace file.")
+  in
+  let path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record MMPP workloads to trace files and inspect their statistics.")
+    Term.(const run_trace $ common_term $ model_term $ action $ path)
+
+(* ----- simulate ----- *)
+
+let run_simulate common model heavy_tail timeseries policy_name =
+  let base = base_of common in
+  let mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = common.sources } in
+  let params =
+    {
+      Experiment.slots = common.slots;
+      flush_every = (if common.flush > 0 then Some common.flush else None);
+      check_every = None;
+    }
+  in
+  let inst, workload =
+    match model with
+    | Sweep.Proc ->
+      let config =
+        Proc_config.contiguous ~k:common.k ~buffer:common.buffer
+          ~speedup:common.speedup ()
+      in
+      let policy =
+        match Policies.proc_find config policy_name with
+        | Some p -> p
+        | None -> failwith ("unknown processing policy: " ^ policy_name)
+      in
+      let workload =
+        if heavy_tail then
+          Smbm_traffic.Scenario.proc_heavy_tail_workload ~mmpp ~config
+            ~load:common.load ~seed:common.seed ()
+        else
+          Smbm_traffic.Scenario.proc_workload ~mmpp ~config ~load:common.load
+            ~seed:common.seed ()
+      in
+      (Proc_engine.instance config policy, workload)
+    | Sweep.Value_uniform | Sweep.Value_port ->
+      let config =
+        Value_config.make ~ports:common.k ~max_value:common.k
+          ~buffer:common.buffer ~speedup:common.speedup ()
+      in
+      let port_value = Smbm_traffic.Scenario.port_values config in
+      let policy =
+        match Policies.value_find ~port_value config policy_name with
+        | Some p -> p
+        | None -> failwith ("unknown value policy: " ^ policy_name)
+      in
+      let workload =
+        if model = Sweep.Value_port then
+          Smbm_traffic.Scenario.value_port_workload ~mmpp ~config
+            ~load:common.load ~seed:common.seed ()
+        else
+          Smbm_traffic.Scenario.value_uniform_workload ~mmpp ~config
+            ~load:common.load ~seed:common.seed ()
+      in
+      (Value_engine.instance config policy, workload)
+  in
+  let inst, series =
+    match timeseries with
+    | Some _ ->
+      let wrapped, ts = Timeseries.attach ~every:(max 1 (common.slots / 200)) inst in
+      (wrapped, Some ts)
+    | None -> (inst, None)
+  in
+  Experiment.run ~params ~workload [ inst ];
+  (match timeseries, series with
+  | Some path, Some ts ->
+    let oc = open_out path in
+    output_string oc (Timeseries.to_csv ts);
+    close_out oc;
+    Printf.printf "wrote time series to %s (%d samples)\n" path
+      (Timeseries.samples ts)
+  | _ -> ());
+  ignore (base : Sweep.base);
+  let m = inst.Instance.metrics in
+  Format.printf "%s over %d slots:@.  %a@." inst.Instance.name common.slots
+    Metrics.pp m;
+  Format.printf
+    "  mean occupancy %.1f / %d, latency mean %.2f / p50 %.1f / p99 %.1f \
+     slots@."
+    (Smbm_prelude.Running_stats.mean m.Metrics.occupancy)
+    common.buffer
+    (Smbm_prelude.Running_stats.mean m.Metrics.latency)
+    (Smbm_prelude.Histogram.quantile m.Metrics.latency_hist 0.5)
+    (Smbm_prelude.Histogram.quantile m.Metrics.latency_hist 0.99);
+  match inst.Instance.ports with
+  | Some ports ->
+    Format.printf "  fairness: jain %.3f, starved ports %d / %d@."
+      (Port_stats.jain_index ports
+         ~objective:(Sweep.objective model))
+      (Port_stats.starved_ports ports)
+      (Port_stats.n ports)
+  | None -> ()
+
+let simulate_cmd =
+  let policy =
+    Arg.(
+      value & opt string "LWD"
+      & info [ "policy" ] ~docv:"NAME" ~doc:"Policy to simulate (see $(b,policies)).")
+  in
+  let heavy_tail =
+    Arg.(
+      value & flag
+      & info [ "heavy-tail" ]
+          ~doc:"Pareto-batch bursts instead of Poisson emissions (processing model only).")
+  in
+  let timeseries =
+    Arg.(
+      value & opt (some string) None
+      & info [ "timeseries" ] ~docv:"FILE"
+          ~doc:"Record occupancy/throughput/drop-rate samples to a CSV file.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a single policy and print detailed metrics.")
+    Term.(
+      const run_simulate $ common_term $ model_term $ heavy_tail $ timeseries
+      $ policy)
+
+(* ----- figure ----- *)
+
+let run_figure common panel xs csv =
+  let base = base_of common in
+  let xs = match xs with [] -> None | l -> Some l in
+  let outcome = Sweep.run_panel ~base ?xs panel in
+  let points = outcome.Sweep.points in
+  let names =
+    match points with
+    | p :: _ -> List.map fst p.Sweep.ratios
+    | [] -> []
+  in
+  let axis_name =
+    match outcome.Sweep.panel.Sweep.axis with
+    | Sweep.K -> "k"
+    | Sweep.B -> "B"
+    | Sweep.C -> "C"
+  in
+  let headers = axis_name :: names in
+  let rows =
+    List.map
+      (fun (p : Sweep.point) ->
+        string_of_int p.x
+        :: List.map (fun (_, r) -> Smbm_report.Table.float_cell r) p.ratios)
+      points
+  in
+  Printf.printf "Fig. 5 panel %d\n" panel;
+  print_string (Smbm_report.Table.render ~headers ~rows ());
+  let series =
+    List.map
+      (fun name ->
+        Smbm_report.Series.of_ints ~name
+          ~points:
+            (List.map
+               (fun (p : Sweep.point) -> (p.x, List.assoc name p.ratios))
+               points))
+      names
+  in
+  print_string
+    (Smbm_report.Ascii_plot.render
+       ~title:(Printf.sprintf "competitive ratio vs %s" axis_name)
+       ~x_label:axis_name ~log_x:true series);
+  match csv with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Smbm_report.Csv.write oc (headers :: rows);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+let figure_cmd =
+  let panel =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"PANEL" ~doc:"Panel number, 1-9.")
+  in
+  let xs =
+    Arg.(value & opt (list int) [] & info [ "xs" ] ~docv:"X1,X2,.." ~doc:"Override the swept values.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "figure"
+       ~doc:"Regenerate one of the nine panels of the paper's Fig. 5 (empirical competitive ratio vs k, B or C).")
+    Term.(const run_figure $ common_term $ panel $ xs $ csv)
+
+(* ----- lowerbound ----- *)
+
+let run_lowerbound which =
+  let open Smbm_lowerbounds in
+  let entries =
+    if String.lowercase_ascii which = "all" then Constructions.all
+    else
+      match Constructions.find ~theorem:which with
+      | Some c -> [ c ]
+      | None ->
+        failwith
+          (Printf.sprintf
+             "unknown construction %S (try \"Thm 4\" or \"all\")" which)
+  in
+  let rows =
+    List.map
+      (fun (c : Constructions.t) ->
+        let m = c.measure () in
+        [
+          c.theorem;
+          c.policy;
+          (match c.model with `Proc -> "proc" | `Value -> "value");
+          c.bound_text;
+          Smbm_report.Table.float_cell c.finite_bound;
+          Smbm_report.Table.float_cell m.Runner.ratio;
+        ])
+      entries
+  in
+  print_string
+    (Smbm_report.Table.render
+       ~headers:[ "theorem"; "policy"; "model"; "bound"; "finite bound"; "measured" ]
+       ~rows ())
+
+let lowerbound_cmd =
+  let which =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"THM" ~doc:"Theorem label (\"Thm 1\" .. \"Thm 11\") or \"all\".")
+  in
+  Cmd.v
+    (Cmd.info "lowerbound"
+       ~doc:"Run a theorem's adversarial construction against its scripted OPT and compare the measured ratio with the closed-form bound.")
+    Term.(const run_lowerbound $ which)
+
+(* ----- sweep ----- *)
+
+let run_sweep common model axis_name xs csv =
+  let base = base_of common in
+  let axis =
+    match String.lowercase_ascii axis_name with
+    | "k" -> Sweep.K
+    | "b" -> Sweep.B
+    | "c" -> Sweep.C
+    | other -> failwith (Printf.sprintf "unknown axis %S (expected k|b|c)" other)
+  in
+  let xs =
+    match xs with
+    | [] -> failwith "provide swept values with --xs, e.g. --xs 2,4,8,16"
+    | xs -> xs
+  in
+  let points =
+    List.map (fun x -> (x, Sweep.run_point ~base ~model ~axis ~x)) xs
+  in
+  let names = match points with (_, r) :: _ -> List.map fst r | [] -> [] in
+  let headers = axis_name :: names in
+  let rows =
+    List.map
+      (fun (x, ratios) ->
+        string_of_int x
+        :: List.map (fun (_, r) -> Smbm_report.Table.float_cell r) ratios)
+      points
+  in
+  print_string (Smbm_report.Table.render ~headers ~rows ());
+  match csv with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Smbm_report.Csv.write oc (headers :: rows);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+let sweep_cmd =
+  let axis =
+    Arg.(
+      value & opt string "k"
+      & info [ "axis" ] ~docv:"AXIS" ~doc:"Swept parameter: $(b,k), $(b,b) or $(b,c).")
+  in
+  let xs =
+    Arg.(
+      value & opt (list int) []
+      & info [ "xs" ] ~docv:"X1,X2,.." ~doc:"Values to sweep over (required).")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the table as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep an arbitrary parameter (k, B or C) for any model, with the traffic intensity held at the base configuration - the general form of the $(b,figure) panels.")
+    Term.(const run_sweep $ common_term $ model_term $ axis $ xs $ csv)
+
+(* ----- certify ----- *)
+
+let run_certify common opponent_name =
+  let config =
+    Proc_config.contiguous ~k:common.k ~buffer:common.buffer ()
+  in
+  let opponent =
+    match String.lowercase_ascii opponent_name with
+    | "greedy" ->
+      Proc_policy.make ~name:"greedy" ~push_out:false (fun sw ~dest:_ ->
+          if Proc_switch.is_full sw then Decision.Drop else Decision.Accept)
+    | name -> (
+      match Policies.proc_find config name with
+      | Some (p : Proc_policy.t) when not p.push_out -> p
+      | Some _ -> failwith (name ^ " pushes out; Theorem 7 opponents may not")
+      | None -> failwith ("unknown opponent policy: " ^ name))
+  in
+  let mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = common.sources } in
+  let workload =
+    Smbm_traffic.Scenario.proc_workload ~mmpp ~config ~load:common.load
+      ~seed:common.seed ()
+  in
+  let report =
+    Smbm_analysis.Mapping_certifier.run ~config ~opponent
+      ~trace:(fun _ -> Smbm_traffic.Workload.next workload)
+      ~slots:common.slots ()
+  in
+  Format.printf
+    "Theorem 7 mapping certificate (LWD vs %s, %d slots):@.  %a@."
+    opponent_name common.slots Smbm_analysis.Mapping_certifier.pp_report
+    report;
+  if report.Smbm_analysis.Mapping_certifier.violation_count = 0 then
+    Format.printf
+      "  certified: every opponent transmission is charged to an LWD\n\
+      \  transmission, at most two per packet (%d <= 2 x %d).@."
+      report.Smbm_analysis.Mapping_certifier.opt_transmitted
+      report.Smbm_analysis.Mapping_certifier.lwd_transmitted
+
+let certify_cmd =
+  let opponent =
+    Arg.(
+      value & opt string "greedy"
+      & info [ "opponent" ] ~docv:"NAME"
+          ~doc:
+            "Non-push-out opponent policy ($(b,greedy), $(b,NHST), $(b,NEST), $(b,NHDT)).")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Run the paper's Theorem 7 mapping routine (Fig. 3) live: LWD against a non-push-out opponent with the charging invariants checked at every event.")
+    Term.(const run_certify $ common_term $ opponent)
+
+let () =
+  let doc = "shared-memory buffer management for heterogeneous packet processing" in
+  let info = Cmd.info "smbm_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            policies_cmd; compare_cmd; simulate_cmd; figure_cmd;
+            lowerbound_cmd; trace_cmd; certify_cmd; sweep_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adversarial.ml: Constructions List Runner Smbm_lowerbounds Smbm_report Table

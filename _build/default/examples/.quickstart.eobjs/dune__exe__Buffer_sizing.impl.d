@@ -1,0 +1,1 @@
+examples/buffer_sizing.ml: Ascii_plot List Series Smbm_report Smbm_sim Smbm_traffic Sweep Table

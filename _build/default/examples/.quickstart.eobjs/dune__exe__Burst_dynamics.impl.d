@@ -1,0 +1,1 @@
+examples/burst_dynamics.ml: Arrival Ascii_plot Experiment Instance List Metrics P_bpd P_lwd Printf Proc_config Proc_engine Smbm_core Smbm_prelude Smbm_report Smbm_sim Smbm_traffic Timeseries Workload

@@ -1,0 +1,1 @@
+examples/burst_dynamics.mli:

@@ -1,0 +1,1 @@
+examples/edge_services.mli:

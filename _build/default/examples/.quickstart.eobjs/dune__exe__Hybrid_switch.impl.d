@@ -1,0 +1,1 @@
+examples/hybrid_switch.ml: Array Arrival Hybrid_config Hybrid_engine Hybrid_policy List Printf Proc_config Smbm_core Smbm_hybrid Smbm_prelude Smbm_report Smbm_sim Smbm_traffic Table Workload

@@ -1,0 +1,1 @@
+examples/hybrid_switch.mli:

@@ -1,0 +1,1 @@
+examples/mrd_conjecture.ml: Array Arrival Exact_opt Experiment Float Instance List Metrics Printf Rng Smbm_core Smbm_prelude Smbm_sim Smbm_traffic Sys V_mrd Value_config Value_engine Workload

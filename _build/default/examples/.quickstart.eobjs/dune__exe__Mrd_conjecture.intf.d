@@ -1,0 +1,1 @@
+examples/mrd_conjecture.mli:

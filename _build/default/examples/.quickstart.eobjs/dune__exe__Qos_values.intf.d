@@ -1,0 +1,1 @@
+examples/qos_values.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Experiment Instance List Metrics Opt_ref P_lqd P_lwd Printf Proc_config Proc_engine Scenario Smbm_core Smbm_sim Smbm_traffic

@@ -1,0 +1,1 @@
+examples/theorem7_certificate.mli:

@@ -1,0 +1,43 @@
+(* Replaying the paper's lower-bound proofs as executable traffic.
+
+   Every theorem in Sections III-B and IV-B is a constructive statement: a
+   concrete adversarial arrival sequence plus a strategy OPT uses on it.
+   This example runs all nine constructions and prints the measured ratio
+   next to the closed-form bound - theory you can watch happen.
+
+   Run with: dune exec examples/adversarial.exe *)
+
+open Smbm_lowerbounds
+open Smbm_report
+
+let () =
+  print_endline
+    "Adversarial constructions (measured = scripted-OPT / policy on the\n\
+     proof's own traffic; finite = the proof's episode ratio at these\n\
+     parameters; asymptotic = the headline bound):\n";
+  let rows =
+    List.map
+      (fun (c : Constructions.t) ->
+        let m = c.measure () in
+        [
+          c.theorem;
+          c.policy;
+          (match c.model with `Proc -> "proc" | `Value -> "value");
+          c.bound_text;
+          Table.float_cell m.Runner.ratio;
+          Table.float_cell c.finite_bound;
+          Table.float_cell c.asymptotic_bound;
+        ])
+      Constructions.all
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "theorem"; "policy"; "model"; "bound"; "measured"; "finite"; "asymptotic" ]
+       ~rows ());
+  print_endline
+    "\nReadings: the classical policies (LQD, NHDT, BPD, MVD, the static\n\
+     thresholds) blow up with k, exactly as Theorems 1-5, 9 and 10 predict;\n\
+     the paper's LWD and MRD stay at their constant ~4/3 constructions\n\
+     (Theorems 6 and 11), consistent with LWD's 2-competitive guarantee\n\
+     (Theorem 7) and the conjecture that MRD is constant-competitive."

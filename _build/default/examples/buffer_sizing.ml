@@ -1,0 +1,64 @@
+(* Complete sharing vs complete partitioning (Section I).
+
+   "Complete sharing utilizes the entire buffer space but can hamper
+   fairness [...]. Complete partitioning ensures fairness but may lead to
+   significantly underutilized buffer space."
+
+   NEST *is* complete partitioning (every port gets B/n dedicated slots);
+   the push-out policies implement complete sharing with different eviction
+   rules.  Sweeping the buffer size shows the trade-off: partitioning wastes
+   most of a small buffer, while naive sharing lets heavy queues monopolize
+   it - and LWD gets the best of both worlds.
+
+   Run with: dune exec examples/buffer_sizing.exe *)
+
+open Smbm_sim
+open Smbm_report
+
+let buffers = [ 16; 32; 64; 128; 256; 512; 1024 ]
+
+let () =
+  let base =
+    {
+      Sweep.default_base with
+      Sweep.k = 16;
+      load = 1.5;
+      slots = 30_000;
+      flush_every = Some 3_000;
+      mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = 200 };
+    }
+  in
+  let points =
+    List.map
+      (fun b -> (b, Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.B ~x:b))
+      buffers
+  in
+  let interesting = [ "NEST"; "LQD"; "LWD"; "BPD" ] in
+  let headers = "B" :: interesting in
+  let rows =
+    List.map
+      (fun (b, ratios) ->
+        string_of_int b
+        :: List.map
+             (fun name -> Table.float_cell (List.assoc name ratios))
+             interesting)
+      points
+  in
+  print_endline
+    "Competitive ratio vs buffer size (k = 16 ports, load 1.5):\n";
+  print_string (Table.render ~headers ~rows ());
+  let series =
+    List.map
+      (fun name ->
+        Series.of_ints ~name
+          ~points:(List.map (fun (b, r) -> (b, List.assoc name r)) points))
+      interesting
+  in
+  print_string
+    (Ascii_plot.render ~title:"sharing vs partitioning" ~x_label:"B"
+       ~log_x:true series);
+  print_endline
+    "\nSmall buffers: NEST (complete partitioning) wastes its per-port\n\
+     reservations while the sharing policies soak up bursts.  Large buffers:\n\
+     congestion fades and everyone converges.  LWD dominates throughout -\n\
+     shared space, but no queue may hold more than its fair share of WORK."

@@ -1,0 +1,57 @@
+(* Transient dynamics: what actually happens inside the buffer when a
+   mega-burst hits, policy by policy.
+
+   One burst of 3x the buffer, followed by silence: the time-series recorder
+   samples occupancy and throughput every slot, making the drain profiles
+   visible - LWD spreads the buffer across ports and drains fast; BPD
+   hoards small packets and leaves expensive ports idle.
+
+   Run with: dune exec examples/burst_dynamics.exe *)
+
+open Smbm_core
+open Smbm_traffic
+open Smbm_sim
+open Smbm_report
+
+let () =
+  let k = 8 and buffer = 32 in
+  let config = Proc_config.contiguous ~k ~buffer () in
+  let rng = Smbm_prelude.Rng.create ~seed:99 in
+  let burst =
+    List.init (3 * buffer) (fun _ ->
+        Arrival.make ~dest:(Smbm_prelude.Rng.int rng k) ())
+  in
+  let slots = 120 in
+  let run policy =
+    let inst, ts =
+      Timeseries.attach ~every:4 (Proc_engine.instance config policy)
+    in
+    Experiment.run
+      ~params:{ Experiment.slots = slots; flush_every = None; check_every = None }
+      ~workload:(Workload.of_slots [| burst |])
+      [ inst ];
+    (inst, ts)
+  in
+  let lwd_inst, lwd_ts = run (P_lwd.make config) in
+  let bpd_inst, bpd_ts = run (P_bpd.make config) in
+
+  print_endline
+    "A 96-packet burst into a 32-slot buffer (8 ports, works 1..8), then\n\
+     silence.  Buffer occupancy as the backlog drains:\n";
+  print_string
+    (Ascii_plot.render ~height:12 ~title:"occupancy after the burst"
+       ~x_label:"slot"
+       [ Timeseries.occupancy lwd_ts; Timeseries.occupancy bpd_ts ]);
+  Printf.printf
+    "\nBoth policies keep exactly %d packets (a lone burst can only fill the\n\
+     buffer once) - the difference is how fast they clear it.  BPD admits\n\
+     only the smallest packets, so a single cheap port does all the work\n\
+     while seven cores idle; LWD balances WORK across ports and drains in a\n\
+     fraction of the time.  Under sustained traffic that drain-rate gap IS\n\
+     the throughput gap of Fig. 5.\n"
+    lwd_inst.Instance.metrics.Metrics.transmitted;
+  Printf.printf
+    "Mean latency of delivered packets: LWD %.1f slots, BPD %.1f slots.\n"
+    (Smbm_prelude.Running_stats.mean lwd_inst.Instance.metrics.Metrics.latency)
+    (Smbm_prelude.Running_stats.mean bpd_inst.Instance.metrics.Metrics.latency);
+  ignore bpd_inst

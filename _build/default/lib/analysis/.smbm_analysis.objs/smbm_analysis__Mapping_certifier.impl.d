@@ -1,0 +1,1 @@
+lib/analysis/mapping_certifier.ml: Array Arrival Decision Format Hashtbl List Option P_lwd Packet Printf Proc_config Proc_policy Proc_switch Smbm_core String Work_queue

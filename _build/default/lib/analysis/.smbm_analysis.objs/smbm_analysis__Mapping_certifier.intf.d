@@ -1,0 +1,1 @@
+lib/analysis/mapping_certifier.mli: Format Smbm_core

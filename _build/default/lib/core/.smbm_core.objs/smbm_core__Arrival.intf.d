@@ -1,0 +1,1 @@
+lib/core/arrival.mli: Format

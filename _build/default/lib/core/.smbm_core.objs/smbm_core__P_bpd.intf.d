@@ -1,0 +1,1 @@
+lib/core/p_bpd.mli: Proc_config Proc_policy Proc_switch

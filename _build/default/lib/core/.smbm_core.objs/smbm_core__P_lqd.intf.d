@@ -1,0 +1,1 @@
+lib/core/p_lqd.mli: Proc_config Proc_policy Proc_switch

@@ -1,0 +1,1 @@
+lib/core/p_lwd.ml: Decision Proc_policy Proc_switch

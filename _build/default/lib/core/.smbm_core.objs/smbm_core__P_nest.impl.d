@@ -1,0 +1,1 @@
+lib/core/p_nest.ml: Decision Proc_config Proc_policy Proc_switch

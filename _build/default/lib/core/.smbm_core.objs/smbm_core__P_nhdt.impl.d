@@ -1,0 +1,1 @@
+lib/core/p_nhdt.ml: Array Decision Harmonic Proc_config Proc_policy Proc_switch Smbm_prelude

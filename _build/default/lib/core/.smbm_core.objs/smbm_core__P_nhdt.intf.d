@@ -1,0 +1,1 @@
+lib/core/p_nhdt.mli: Proc_config Proc_policy

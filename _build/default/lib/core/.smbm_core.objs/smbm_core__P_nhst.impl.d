@@ -1,0 +1,1 @@
+lib/core/p_nhst.ml: Array Decision Proc_config Proc_policy Proc_switch

@@ -1,0 +1,1 @@
+lib/core/p_nhst.mli: Proc_config Proc_policy

@@ -1,0 +1,1 @@
+lib/core/p_rand.ml: Decision Proc_policy Proc_switch Rng Smbm_prelude Value_policy Value_switch

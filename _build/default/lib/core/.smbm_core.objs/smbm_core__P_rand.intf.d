@@ -1,0 +1,1 @@
+lib/core/p_rand.mli: Proc_config Proc_policy Value_config Value_policy

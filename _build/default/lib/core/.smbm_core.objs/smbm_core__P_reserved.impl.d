@@ -1,0 +1,1 @@
+lib/core/p_reserved.ml: Decision Printf Proc_config Proc_policy Proc_switch

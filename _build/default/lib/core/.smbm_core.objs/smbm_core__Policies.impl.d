@@ -1,0 +1,1 @@
+lib/core/policies.ml: List P_bpd P_lqd P_lwd P_nest P_nhdt P_nhst P_rand P_reserved Proc_config Proc_policy String V_greedy V_lqd V_mrd V_mvd V_nest V_nhst Value_policy

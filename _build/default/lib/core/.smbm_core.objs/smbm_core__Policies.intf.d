@@ -1,0 +1,1 @@
+lib/core/policies.mli: Proc_config Proc_policy Value_config Value_policy

@@ -1,0 +1,1 @@
+lib/core/proc_config.ml: Array Format String

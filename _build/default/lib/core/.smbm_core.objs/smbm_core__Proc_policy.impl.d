@@ -1,0 +1,1 @@
+lib/core/proc_policy.ml: Decision Proc_switch

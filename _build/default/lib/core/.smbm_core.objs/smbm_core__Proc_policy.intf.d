@@ -1,0 +1,1 @@
+lib/core/proc_policy.mli: Decision Proc_switch

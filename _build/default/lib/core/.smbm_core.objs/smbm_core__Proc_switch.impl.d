@@ -1,0 +1,1 @@
+lib/core/proc_switch.ml: Array List Packet Proc_config Work_queue

@@ -1,0 +1,1 @@
+lib/core/proc_switch.mli: Packet Proc_config Work_queue

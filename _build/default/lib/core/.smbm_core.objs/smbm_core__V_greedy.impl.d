@@ -1,0 +1,1 @@
+lib/core/v_greedy.ml: Decision Value_policy

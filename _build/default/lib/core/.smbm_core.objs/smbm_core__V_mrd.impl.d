@@ -1,0 +1,1 @@
+lib/core/v_mrd.ml: Decision Value_policy Value_queue Value_switch

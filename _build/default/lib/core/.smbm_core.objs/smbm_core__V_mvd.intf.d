@@ -1,0 +1,1 @@
+lib/core/v_mvd.mli: Value_config Value_policy Value_switch

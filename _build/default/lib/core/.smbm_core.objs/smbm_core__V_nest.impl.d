@@ -1,0 +1,1 @@
+lib/core/v_nest.ml: Decision Value_config Value_policy Value_switch

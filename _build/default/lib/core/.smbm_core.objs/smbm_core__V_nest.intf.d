@@ -1,0 +1,1 @@
+lib/core/v_nest.mli: Value_config Value_policy

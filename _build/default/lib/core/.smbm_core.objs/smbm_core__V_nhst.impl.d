@@ -1,0 +1,1 @@
+lib/core/v_nhst.ml: Array Decision Value_config Value_policy Value_switch

@@ -1,0 +1,1 @@
+lib/core/v_nhst.mli: Value_config Value_policy

@@ -1,0 +1,1 @@
+lib/core/value_policy.ml: Decision Value_switch

@@ -1,0 +1,1 @@
+lib/core/value_policy.mli: Decision Value_switch

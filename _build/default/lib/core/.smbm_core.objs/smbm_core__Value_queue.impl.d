@@ -1,0 +1,1 @@
+lib/core/value_queue.ml: Array Deque Packet Smbm_prelude

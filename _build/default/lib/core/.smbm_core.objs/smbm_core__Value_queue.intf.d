@@ -1,0 +1,1 @@
+lib/core/value_queue.mli: Packet

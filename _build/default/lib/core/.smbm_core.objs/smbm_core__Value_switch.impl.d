@@ -1,0 +1,1 @@
+lib/core/value_switch.ml: Array List Packet Value_config Value_queue

@@ -1,0 +1,1 @@
+lib/core/value_switch.mli: Packet Value_config Value_queue

@@ -1,0 +1,1 @@
+lib/core/work_queue.ml: Deque Packet Smbm_prelude

@@ -1,0 +1,1 @@
+lib/core/work_queue.mli: Packet

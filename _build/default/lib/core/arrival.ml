@@ -1,0 +1,9 @@
+type t = { dest : int; value : int }
+
+let make ?(value = 1) ~dest () =
+  if dest < 0 then invalid_arg "Arrival.make: negative dest";
+  if value < 1 then invalid_arg "Arrival.make: value must be >= 1";
+  { dest; value }
+
+let pp ppf a = Format.fprintf ppf "->%d v=%d" a.dest a.value
+let equal a b = a.dest = b.dest && a.value = b.value

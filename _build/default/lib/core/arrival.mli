@@ -1,0 +1,15 @@
+(** Policy-independent description of one arriving packet.
+
+    Traffic generators and traces speak in arrivals; each switch instance
+    turns an arrival into its own packet on admission.  In the processing
+    model the packet's work is determined by the destination port and
+    [value] is ignored; in the value model [value] is the packet's intrinsic
+    value. *)
+
+type t = { dest : int; value : int }
+
+val make : ?value:int -> dest:int -> unit -> t
+(** [value] defaults to 1. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,14 @@
+type t = Accept | Push_out of { victim : int } | Drop
+
+let is_drop = function Drop -> true | Accept | Push_out _ -> false
+
+let pp ppf = function
+  | Accept -> Format.pp_print_string ppf "accept"
+  | Push_out { victim } -> Format.fprintf ppf "push-out(Q%d)" victim
+  | Drop -> Format.pp_print_string ppf "drop"
+
+let equal a b =
+  match a, b with
+  | Accept, Accept | Drop, Drop -> true
+  | Push_out { victim = v1 }, Push_out { victim = v2 } -> v1 = v2
+  | (Accept | Push_out _ | Drop), _ -> false

@@ -1,0 +1,13 @@
+(** Admission decision returned by a buffer-management policy for one
+    arriving packet. *)
+
+type t =
+  | Accept  (** admit into the destination queue; requires free buffer space *)
+  | Push_out of { victim : int }
+      (** evict the tail packet of queue [victim], then admit; only
+          meaningful when the buffer is full *)
+  | Drop  (** reject the arriving packet *)
+
+val is_drop : t -> bool
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

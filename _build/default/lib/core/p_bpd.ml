@@ -1,0 +1,29 @@
+let select_victim ~protect_last sw =
+  let min_len = if protect_last then 2 else 1 in
+  let best = ref None and best_key = ref (min_int, min_int) in
+  for j = 0 to Proc_switch.n sw - 1 do
+    let len = Proc_switch.queue_length sw j in
+    if len >= min_len then begin
+      let key = (Proc_switch.port_work sw j, len) in
+      if key >= !best_key then begin
+        best := Some j;
+        best_key := key
+      end
+    end
+  done;
+  !best
+
+let make ?(protect_last = false) _config =
+  let name = if protect_last then "BPD1" else "BPD" in
+  Proc_policy.make ~name ~push_out:true (fun sw ~dest ->
+      match Proc_policy.greedy_accept sw with
+      | Some d -> d
+      | None -> (
+        match select_victim ~protect_last sw with
+        | None -> Decision.Drop
+        | Some victim ->
+          (* "i <= j" in the work-sorted port order. *)
+          let arriving = (Proc_switch.port_work sw dest, dest)
+          and target = (Proc_switch.port_work sw victim, victim) in
+          if arriving <= target then Decision.Push_out { victim }
+          else Decision.Drop))

@@ -1,0 +1,24 @@
+(* argmax over queues of (virtual length, work, index); the virtual length
+   counts the arriving packet as already added to [dest]. *)
+let select_victim sw ~dest =
+  let best = ref 0 and best_key = ref (min_int, min_int) in
+  for j = 0 to Proc_switch.n sw - 1 do
+    let len =
+      Proc_switch.queue_length sw j + if j = dest then 1 else 0
+    in
+    let key = (len, Proc_switch.port_work sw j) in
+    (* Strict >= on equal keys keeps the largest index among full ties. *)
+    if key >= !best_key then begin
+      best := j;
+      best_key := key
+    end
+  done;
+  !best
+
+let make _config =
+  Proc_policy.make ~name:"LQD" ~push_out:true (fun sw ~dest ->
+      match Proc_policy.greedy_accept sw with
+      | Some d -> d
+      | None ->
+        let victim = select_victim sw ~dest in
+        if victim <> dest then Decision.Push_out { victim } else Decision.Drop)

@@ -1,0 +1,52 @@
+type tie = Largest_work | Smallest_work | Longest_queue
+
+(* argmax over queues of (virtual total work, tie key, index); the virtual
+   total counts the arriving packet's full work as already added to
+   [dest]. *)
+let select_victim ?(protect_last = false) ?(tie = Largest_work) sw ~dest =
+  let best = ref None and best_key = ref (min_int, min_int) in
+  for j = 0 to Proc_switch.n sw - 1 do
+    let eligible =
+      (* A queue is an eligible victim if a push-out would be legal (it is
+         non-empty, with at least 2 packets under protection) or if it is
+         the destination itself (whose selection means "drop"). *)
+      j = dest
+      || Proc_switch.queue_length sw j >= if protect_last then 2 else 1
+    in
+    if eligible then begin
+      let work_total =
+        Proc_switch.queue_work sw j
+        + if j = dest then Proc_switch.port_work sw dest else 0
+      in
+      let tie_key =
+        match tie with
+        | Largest_work -> Proc_switch.port_work sw j
+        | Smallest_work -> -Proc_switch.port_work sw j
+        | Longest_queue ->
+          Proc_switch.queue_length sw j + if j = dest then 1 else 0
+      in
+      let key = (work_total, tie_key) in
+      if key >= !best_key then begin
+        best := Some j;
+        best_key := key
+      end
+    end
+  done;
+  !best
+
+let name ~protect_last ~tie =
+  let base = if protect_last then "LWD1" else "LWD" in
+  match tie with
+  | Largest_work -> base
+  | Smallest_work -> base ^ "/tie=small-work"
+  | Longest_queue -> base ^ "/tie=long-queue"
+
+let make ?(protect_last = false) ?(tie = Largest_work) _config =
+  Proc_policy.make ~name:(name ~protect_last ~tie) ~push_out:true
+    (fun sw ~dest ->
+      match Proc_policy.greedy_accept sw with
+      | Some d -> d
+      | None -> (
+        match select_victim ~protect_last ~tie sw ~dest with
+        | Some victim when victim <> dest -> Decision.Push_out { victim }
+        | Some _ | None -> Decision.Drop))

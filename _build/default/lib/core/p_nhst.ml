@@ -1,0 +1,14 @@
+let threshold config i =
+  let z = Proc_config.inverse_work_sum config in
+  float_of_int config.Proc_config.buffer
+  /. (float_of_int (Proc_config.work config i) *. z)
+
+let make config =
+  let thresholds =
+    Array.init (Proc_config.n config) (fun i -> threshold config i)
+  in
+  Proc_policy.make ~name:"NHST" ~push_out:false (fun sw ~dest ->
+      if Proc_switch.is_full sw then Decision.Drop
+      else if float_of_int (Proc_switch.queue_length sw dest) < thresholds.(dest)
+      then Decision.Accept
+      else Decision.Drop)

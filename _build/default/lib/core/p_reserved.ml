@@ -1,0 +1,51 @@
+let make ~reserve config =
+  if reserve < 0 then invalid_arg "P_reserved.make: negative reserve";
+  if Proc_config.n config * reserve > config.Proc_config.buffer then
+    invalid_arg "P_reserved.make: reservations exceed the buffer";
+  let name = Printf.sprintf "RSV(%d)" reserve in
+  (* Pool slots used by queue j: packets above its reservation. *)
+  let overflow sw j ~dest =
+    let len = Proc_switch.queue_length sw j + if j = dest then 1 else 0 in
+    max 0 (len - reserve)
+  in
+  Proc_policy.make ~name ~push_out:true (fun sw ~dest ->
+      match Proc_policy.greedy_accept sw with
+      | Some d -> d
+      | None ->
+        (* Buffer full.  The arrival may displace pool usage only while its
+           own queue is inside its reservation. *)
+        if Proc_switch.queue_length sw dest >= reserve then begin
+          (* The arrival itself would take a pool slot: evict from the queue
+             using the most pool slots (LQD over the pool, virtual add). *)
+          let best = ref 0 and best_key = ref (min_int, min_int) in
+          for j = 0 to Proc_switch.n sw - 1 do
+            let key = (overflow sw j ~dest, Proc_switch.port_work sw j) in
+            if key >= !best_key then begin
+              best := j;
+              best_key := key
+            end
+          done;
+          let victim = !best in
+          if victim <> dest && overflow sw victim ~dest > 0 then
+            Decision.Push_out { victim }
+          else Decision.Drop
+        end
+        else begin
+          (* Reserved slot owed to this arrival: reclaim it from the largest
+             pool user (some queue must be above its reservation, since the
+             buffer is full and this queue is below). *)
+          (* Only queues strictly above their reservation are eligible:
+             (0, max_int) is beaten only by keys with positive overflow. *)
+          let best = ref (-1) and best_key = ref (0, max_int) in
+          for j = 0 to Proc_switch.n sw - 1 do
+            if j <> dest then begin
+              let key = (overflow sw j ~dest, Proc_switch.port_work sw j) in
+              if key > !best_key then begin
+                best := j;
+                best_key := key
+              end
+            end
+          done;
+          if !best >= 0 then Decision.Push_out { victim = !best }
+          else Decision.Drop
+        end)

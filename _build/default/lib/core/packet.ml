@@ -1,0 +1,26 @@
+module Proc = struct
+  type t = {
+    id : int;
+    dest : int;
+    work : int;
+    mutable residual : int;
+    arrival : int;
+  }
+
+  let make ~id ~dest ~work ~arrival =
+    if work < 1 then invalid_arg "Packet.Proc.make: work must be >= 1";
+    { id; dest; work; residual = work; arrival }
+
+  let pp ppf p =
+    Format.fprintf ppf "#%d->%d w=%d r=%d" p.id p.dest p.work p.residual
+end
+
+module Value = struct
+  type t = { id : int; dest : int; value : int; arrival : int }
+
+  let make ~id ~dest ~value ~arrival =
+    if value < 1 then invalid_arg "Packet.Value.make: value must be >= 1";
+    { id; dest; value; arrival }
+
+  let pp ppf p = Format.fprintf ppf "#%d->%d v=%d" p.id p.dest p.value
+end

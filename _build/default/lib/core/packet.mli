@@ -1,0 +1,32 @@
+(** Packets of the two switch models.
+
+    Both models use unit-sized packets (one buffer slot each).  In the
+    processing model a packet carries required work in cycles; in the value
+    model it carries an intrinsic value and requires a single cycle. *)
+
+(** Processing-model packet (Section III of the paper). *)
+module Proc : sig
+  type t = {
+    id : int;  (** unique within a switch instance, in admission order *)
+    dest : int;  (** output port, [0 .. n-1] *)
+    work : int;  (** required work in cycles, [1 .. k] *)
+    mutable residual : int;  (** remaining work; transmitted at 0 *)
+    arrival : int;  (** slot of admission *)
+  }
+
+  val make : id:int -> dest:int -> work:int -> arrival:int -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Value-model packet (Section IV of the paper). *)
+module Value : sig
+  type t = {
+    id : int;
+    dest : int;
+    value : int;  (** intrinsic value, [1 .. k] *)
+    arrival : int;
+  }
+
+  val make : id:int -> dest:int -> value:int -> arrival:int -> t
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,53 @@
+(** Switch configuration for the heterogeneous-processing model.
+
+    An [l x n] shared-memory switch is described by its per-port processing
+    requirements (the "configuration" of Section III-B: the assignment of
+    required work to output ports), the shared buffer size [B], and the
+    per-queue speedup [C] (number of cores serving each queue, Section V-A).
+    The number of input ports [l] plays no role in buffer management and is
+    not modelled. *)
+
+type t = private {
+  works : int array;  (** [works.(i)] is the required work of port [i] *)
+  buffer : int;  (** shared buffer size [B], in packets *)
+  speedup : int;  (** processing cycles per queue per slot [C] *)
+}
+
+val make : works:int array -> buffer:int -> ?speedup:int -> unit -> t
+(** @raise Invalid_argument unless all works are >= 1, [buffer >= 1] and
+    [speedup >= 1].  The paper additionally assumes [B >= n]; this is not
+    enforced so that corner cases remain testable. *)
+
+val contiguous : k:int -> buffer:int -> ?speedup:int -> unit -> t
+(** The paper's contiguous configuration: [k] ports with works [1, 2, .., k].
+    All lower-bound constructions of Section III-B use this configuration. *)
+
+val uniform : n:int -> work:int -> buffer:int -> ?speedup:int -> unit -> t
+(** [n] ports that all require [work] cycles (the classical shared-memory
+    switch of Aiello et al. when [work = 1]). *)
+
+val bimodal :
+  n:int -> cheap:int -> expensive:int -> ?expensive_ports:int ->
+  buffer:int -> ?speedup:int -> unit -> t
+(** A two-class configuration: the last [expensive_ports] ports (default
+    [n / 4], at least 1) require [expensive] cycles, the rest [cheap] — the
+    firewall-vs-IPsec shape of the paper's Fig. 1 motivation.
+    @raise Invalid_argument unless [1 <= expensive_ports <= n]. *)
+
+val geometric : n:int -> ?base:int -> buffer:int -> ?speedup:int -> unit -> t
+(** Works [base^0, base^1, .., base^(n-1)] (default base 2): a heavy-tailed
+    spread of processing requirements. *)
+
+val n : t -> int
+(** Number of output ports. *)
+
+val k : t -> int
+(** Maximum required work over all ports. *)
+
+val work : t -> int -> int
+(** [work t i] is the required work of port [i]. *)
+
+val inverse_work_sum : t -> float
+(** [Z = sum_i 1 / w_i], the normalizer of the NHST thresholds. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+type t = {
+  config : Proc_config.t;
+  queues : Work_queue.t array;
+  mutable occupancy : int;
+  mutable next_id : int;
+  mutable now : int;
+}
+
+let create (config : Proc_config.t) =
+  let queues =
+    Array.init (Proc_config.n config) (fun i ->
+        Work_queue.create ~work:(Proc_config.work config i))
+  in
+  { config; queues; occupancy = 0; next_id = 0; now = 0 }
+
+let config t = t.config
+let n t = Array.length t.queues
+let buffer t = t.config.Proc_config.buffer
+let speedup t = t.config.Proc_config.speedup
+let now t = t.now
+let advance_slot t = t.now <- t.now + 1
+let occupancy t = t.occupancy
+let free_space t = buffer t - t.occupancy
+let is_full t = t.occupancy >= buffer t
+
+let queue t i =
+  if i < 0 || i >= n t then invalid_arg "Proc_switch.queue: bad port";
+  t.queues.(i)
+
+let queue_length t i = Work_queue.length (queue t i)
+let queue_work t i = Work_queue.total_work (queue t i)
+let port_work t i = Proc_config.work t.config i
+
+let total_occupied_work t =
+  Array.fold_left (fun acc q -> acc + Work_queue.total_work q) 0 t.queues
+
+let accept t ~dest =
+  if is_full t then invalid_arg "Proc_switch.accept: buffer full";
+  let q = queue t dest in
+  let p =
+    Packet.Proc.make ~id:t.next_id ~dest ~work:(Work_queue.work q)
+      ~arrival:t.now
+  in
+  t.next_id <- t.next_id + 1;
+  Work_queue.push q p;
+  t.occupancy <- t.occupancy + 1;
+  p
+
+let push_out t ~victim =
+  let q = queue t victim in
+  if Work_queue.is_empty q then
+    invalid_arg "Proc_switch.push_out: victim queue empty";
+  let p = Work_queue.pop_back q in
+  t.occupancy <- t.occupancy - 1;
+  p
+
+let serve_port t i ~on_transmit =
+  let q = queue t i in
+  if Work_queue.is_empty q then 0
+  else begin
+    let sent = Work_queue.process q ~cycles:(speedup t) ~on_transmit in
+    t.occupancy <- t.occupancy - sent;
+    sent
+  end
+
+let transmit_phase t ~on_transmit =
+  let transmitted = ref 0 in
+  for i = 0 to n t - 1 do
+    transmitted := !transmitted + serve_port t i ~on_transmit
+  done;
+  !transmitted
+
+let flush t =
+  let dropped = Array.fold_left (fun acc q -> acc + Work_queue.clear q) 0 t.queues in
+  t.occupancy <- t.occupancy - dropped;
+  assert (t.occupancy = 0);
+  dropped
+
+let iter_queues f t = Array.iteri f t.queues
+
+let check_invariants t =
+  let len_sum = Array.fold_left (fun acc q -> acc + Work_queue.length q) 0 t.queues in
+  if len_sum <> t.occupancy then
+    invalid_arg "Proc_switch: occupancy out of sync with queue lengths";
+  if t.occupancy > buffer t then invalid_arg "Proc_switch: occupancy exceeds B";
+  Array.iter
+    (fun q ->
+      let recomputed =
+        List.fold_left
+          (fun acc (p : Packet.Proc.t) -> acc + p.residual)
+          0 (Work_queue.to_list q)
+      in
+      if recomputed <> Work_queue.total_work q then
+        invalid_arg "Proc_switch: cached total work out of sync";
+      (* Only the head-of-line packet may be partially processed. *)
+      List.iteri
+        (fun i (p : Packet.Proc.t) ->
+          if i > 0 && p.residual <> p.work then
+            invalid_arg "Proc_switch: non-HOL packet partially processed")
+        (Work_queue.to_list q))
+    t.queues

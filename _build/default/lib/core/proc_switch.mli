@@ -1,0 +1,67 @@
+(** Shared-memory switch state for the heterogeneous-processing model.
+
+    Holds [n] FIFO work queues drawing on one buffer of [B] packet slots.
+    The switch performs mechanics only (admission, push-out, the transmission
+    phase); *which* packets are admitted is the policy's job.  All mutating
+    operations validate their preconditions and raise [Invalid_argument] on
+    misuse, so an engine bug cannot silently corrupt an experiment. *)
+
+type t
+
+val create : Proc_config.t -> t
+
+val config : t -> Proc_config.t
+val n : t -> int
+val buffer : t -> int
+val speedup : t -> int
+
+val now : t -> int
+(** Current slot number (starts at 0; advanced by [advance_slot]). *)
+
+val advance_slot : t -> unit
+
+val occupancy : t -> int
+val free_space : t -> int
+val is_full : t -> bool
+
+val queue : t -> int -> Work_queue.t
+(** Direct (read-mostly) access to queue [i]; policies use it to inspect
+    lengths and total work. *)
+
+val queue_length : t -> int -> int
+val queue_work : t -> int -> int
+(** Total residual work [W_i] of queue [i]. *)
+
+val port_work : t -> int -> int
+(** Required work per packet of port [i] (from the configuration). *)
+
+val total_occupied_work : t -> int
+(** Sum of [W_i] over all queues. *)
+
+val accept : t -> dest:int -> Packet.Proc.t
+(** Admit a fresh packet to [dest]'s queue; assigns the next packet id.
+    @raise Invalid_argument if the buffer is full. *)
+
+val push_out : t -> victim:int -> Packet.Proc.t
+(** Evict the tail packet of queue [victim] (freeing one slot).
+    @raise Invalid_argument if that queue is empty. *)
+
+val transmit_phase : t -> on_transmit:(Packet.Proc.t -> unit) -> int
+(** One transmission phase: every non-empty queue receives [speedup]
+    processing cycles (head-of-line, run-to-completion).  Returns the number
+    of packets transmitted. *)
+
+val serve_port : t -> int -> on_transmit:(Packet.Proc.t -> unit) -> int
+(** Give a single port its [speedup] cycles (a transmission phase restricted
+    to one queue).  Used by analyses that need the paper's port-by-port
+    event ordering.  Returns the number of packets transmitted. *)
+
+val flush : t -> int
+(** Discard all buffered packets (the simulator's periodic flushout);
+    returns how many were discarded. *)
+
+val iter_queues : (int -> Work_queue.t -> unit) -> t -> unit
+
+val check_invariants : t -> unit
+(** Assert internal consistency (occupancy = sum of queue lengths <= B;
+    cached work totals match queue contents).  Test hook. *)

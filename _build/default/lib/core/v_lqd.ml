@@ -1,0 +1,32 @@
+(* argmax over queues of virtual length; ties towards the smaller minimum
+   value, then the larger index.  Encoded as a lexicographic key
+   (length, -min_value, index). *)
+let select_victim sw ~dest =
+  let best = ref 0 and best_key = ref (min_int, min_int) in
+  for j = 0 to Value_switch.n sw - 1 do
+    let len = Value_switch.queue_length sw j + if j = dest then 1 else 0 in
+    let min_v =
+      match Value_queue.min_value (Value_switch.queue sw j) with
+      | Some v -> v
+      | None -> max_int
+    in
+    let key = (len, -min_v) in
+    if key >= !best_key then begin
+      best := j;
+      best_key := key
+    end
+  done;
+  !best
+
+let make _config =
+  Value_policy.make ~name:"LQD" ~push_out:true (fun sw ~dest ~value ->
+      match Value_policy.greedy_accept sw with
+      | Some d -> d
+      | None ->
+        let victim = select_victim sw ~dest in
+        if victim <> dest then Decision.Push_out { victim }
+        else begin
+          match Value_queue.min_value (Value_switch.queue sw dest) with
+          | Some m when m < value -> Decision.Push_out { victim = dest }
+          | Some _ | None -> Decision.Drop
+        end)

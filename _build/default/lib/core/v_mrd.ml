@@ -1,0 +1,48 @@
+(* Compare |Qa|/avg_a > |Qb|/avg_b as |Qa|^2 * sum_b > |Qb|^2 * sum_a, in
+   exact integer arithmetic (values and sizes are bounded by B * k, far from
+   overflow on 63-bit ints). *)
+let ratio_greater ~len_a ~sum_a ~len_b ~sum_b =
+  len_a * len_a * sum_b > len_b * len_b * sum_a
+
+let select_victim ?(protect_last = false) sw =
+  let min_len = if protect_last then 2 else 1 in
+  let best = ref None in
+  for j = 0 to Value_switch.n sw - 1 do
+    let q = Value_switch.queue sw j in
+    if Value_queue.length q >= min_len then begin
+      let len = Value_queue.length q and sum = Value_queue.total_value q in
+      match !best with
+      | None -> best := Some (j, len, sum)
+      | Some (bj, blen, bsum) ->
+        if ratio_greater ~len_a:len ~sum_a:sum ~len_b:blen ~sum_b:bsum then
+          best := Some (j, len, sum)
+        else if not (ratio_greater ~len_a:blen ~sum_a:bsum ~len_b:len ~sum_b:sum)
+        then begin
+          (* Equal ratios: prefer the queue with the smaller minimum value,
+             then the larger index. *)
+          let min_of i =
+            match Value_queue.min_value (Value_switch.queue sw i) with
+            | Some v -> v
+            | None -> max_int
+          in
+          if min_of j <= min_of bj then best := Some (j, len, sum)
+        end
+    end
+  done;
+  match !best with Some (j, _, _) -> Some j | None -> None
+
+let make ?(protect_last = false) _config =
+  let name = if protect_last then "MRD1" else "MRD" in
+  Value_policy.make ~name ~push_out:true (fun sw ~dest:_ ~value ->
+      match Value_policy.greedy_accept sw with
+      | Some d -> d
+      | None -> (
+        (* The paper drops only when the buffer minimum is strictly bigger
+           than the arriving value; on equality MRD pushes out, which is
+           what makes it emulate LQD under unit values. *)
+        match Value_switch.min_value sw with
+        | Some m when m <= value -> (
+          match select_victim ~protect_last sw with
+          | Some victim -> Decision.Push_out { victim }
+          | None -> Decision.Drop)
+        | Some _ | None -> Decision.Drop))

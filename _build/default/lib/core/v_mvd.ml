@@ -1,0 +1,29 @@
+let select_victim ~protect_last sw =
+  let min_len = if protect_last then 2 else 1 in
+  let best = ref None in
+  (* argmin over eligible queues of (min value, -length, -index). *)
+  let best_key = ref (max_int, max_int) in
+  for j = 0 to Value_switch.n sw - 1 do
+    let q = Value_switch.queue sw j in
+    if Value_queue.length q >= min_len then begin
+      match Value_queue.min_value q with
+      | None -> ()
+      | Some v ->
+        let key = (v, -Value_queue.length q) in
+        if key <= !best_key then begin
+          best := Some (j, v);
+          best_key := key
+        end
+    end
+  done;
+  !best
+
+let make ?(protect_last = false) _config =
+  let name = if protect_last then "MVD1" else "MVD" in
+  Value_policy.make ~name ~push_out:true (fun sw ~dest:_ ~value ->
+      match Value_policy.greedy_accept sw with
+      | Some d -> d
+      | None -> (
+        match select_victim ~protect_last sw with
+        | Some (victim, min_v) when min_v < value -> Decision.Push_out { victim }
+        | Some _ | None -> Decision.Drop))

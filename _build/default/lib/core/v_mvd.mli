@@ -1,0 +1,18 @@
+(** Minimal-Value-Drop (MVD).
+
+    Greedy push-out policy maximizing admitted value: when the buffer is
+    full and the arriving packet is strictly more valuable than the cheapest
+    admitted packet, that cheapest packet is evicted (ties between queues
+    holding the minimum value go to the longest queue, then the larger port
+    index).  Equivalent in spirit to BPD of the processing model.
+
+    Theorem 10: at least ((m - 1) / 2)-competitive for m = min(k, B).
+
+    [~protect_last:true] is the MVD_1 variant of Section V-C that never
+    pushes out the last packet of a queue. *)
+
+val make : ?protect_last:bool -> Value_config.t -> Value_policy.t
+
+val select_victim : protect_last:bool -> Value_switch.t -> (int * int) option
+(** [(port, min value there)] of the eviction candidate; exposed for
+    tests. *)

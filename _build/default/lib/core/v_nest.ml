@@ -1,0 +1,7 @@
+let make config =
+  let n = Value_config.n config in
+  let b = config.Value_config.buffer in
+  Value_policy.make ~name:"NEST" ~push_out:false (fun sw ~dest ~value:_ ->
+      if Value_switch.is_full sw then Decision.Drop
+      else if Value_switch.queue_length sw dest * n < b then Decision.Accept
+      else Decision.Drop)

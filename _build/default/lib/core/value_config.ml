@@ -1,0 +1,15 @@
+type t = { ports : int; max_value : int; buffer : int; speedup : int }
+
+let make ~ports ~max_value ~buffer ?(speedup = 1) () =
+  if ports < 1 then invalid_arg "Value_config.make: ports must be >= 1";
+  if max_value < 1 then invalid_arg "Value_config.make: max_value must be >= 1";
+  if buffer < 1 then invalid_arg "Value_config.make: buffer must be >= 1";
+  if speedup < 1 then invalid_arg "Value_config.make: speedup must be >= 1";
+  { ports; max_value; buffer; speedup }
+
+let n t = t.ports
+let k t = t.max_value
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d k=%d B=%d C=%d" t.ports t.max_value t.buffer
+    t.speedup

@@ -1,0 +1,21 @@
+(** Switch configuration for the heterogeneous-value model (Section IV).
+
+    Packets require a single processing cycle; each carries a value in
+    [1 .. k].  [speedup] is the number of packets each queue may transmit per
+    slot (Section V-A's per-queue core count [C]). *)
+
+type t = private {
+  ports : int;  (** number of output ports [n] *)
+  max_value : int;  (** maximum packet value [k] *)
+  buffer : int;  (** shared buffer size [B] *)
+  speedup : int;  (** packets transmittable per queue per slot [C] *)
+}
+
+val make : ports:int -> max_value:int -> buffer:int -> ?speedup:int -> unit -> t
+(** @raise Invalid_argument unless all of [ports], [max_value], [buffer],
+    [speedup] are >= 1. *)
+
+val n : t -> int
+val k : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+open Smbm_prelude
+
+type t = {
+  k : int;
+  buckets : Packet.Value.t Deque.t array; (* index by value; slot 0 unused *)
+  mutable size : int;
+  mutable sum : int;
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Value_queue.create: k must be >= 1";
+  { k; buckets = Array.init (k + 1) (fun _ -> Deque.create ()); size = 0; sum = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let total_value t = t.sum
+
+let average_value t =
+  if t.size = 0 then 0.0 else float_of_int t.sum /. float_of_int t.size
+
+let min_value t =
+  let rec scan v =
+    if v > t.k then None
+    else if not (Deque.is_empty t.buckets.(v)) then Some v
+    else scan (v + 1)
+  in
+  scan 1
+
+let max_value t =
+  let rec scan v =
+    if v < 1 then None
+    else if not (Deque.is_empty t.buckets.(v)) then Some v
+    else scan (v - 1)
+  in
+  scan t.k
+
+let push t (p : Packet.Value.t) =
+  if p.value < 1 || p.value > t.k then
+    invalid_arg "Value_queue.push: value out of range";
+  Deque.push_back t.buckets.(p.value) p;
+  t.size <- t.size + 1;
+  t.sum <- t.sum + p.value
+
+let pop_min t =
+  match min_value t with
+  | None -> invalid_arg "Value_queue.pop_min: empty"
+  | Some v ->
+    let p = Deque.pop_back t.buckets.(v) in
+    t.size <- t.size - 1;
+    t.sum <- t.sum - v;
+    p
+
+let pop_max t =
+  match max_value t with
+  | None -> invalid_arg "Value_queue.pop_max: empty"
+  | Some v ->
+    let p = Deque.pop_front t.buckets.(v) in
+    t.size <- t.size - 1;
+    t.sum <- t.sum - v;
+    p
+
+let iter f t =
+  for v = t.k downto 1 do
+    Deque.iter f t.buckets.(v)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for v = 1 to t.k do
+    Deque.iter (fun p -> acc := p :: !acc) t.buckets.(v)
+  done;
+  !acc
+
+let clear t =
+  let dropped = t.size in
+  Array.iter Deque.clear t.buckets;
+  t.size <- 0;
+  t.sum <- 0;
+  dropped

@@ -1,0 +1,47 @@
+(** Priority output queue of the value model.
+
+    Packets are kept in non-increasing value order (the paper's most
+    favourable per-queue processing order): transmission takes the most
+    valuable packet, push-out evicts the least valuable one.  Values live in
+    the bounded universe [1 .. k], so the queue is a bucket array — every
+    operation is O(k) worst case and O(1) amortized under stable value mixes.
+    Within a value bucket, transmission is FIFO and push-out evicts the most
+    recently admitted packet ("the last packet" of the queue). *)
+
+
+type t
+
+val create : k:int -> t
+(** Empty queue accepting values in [1 .. k]. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val total_value : t -> int
+(** Sum of queued packet values. *)
+
+val average_value : t -> float
+(** [a_j] in the paper's MRD definition; 0 when empty. *)
+
+val min_value : t -> int option
+val max_value : t -> int option
+
+val push : t -> Packet.Value.t -> unit
+(** @raise Invalid_argument if the value is outside [1 .. k]. *)
+
+val pop_min : t -> Packet.Value.t
+(** Evict the least valuable packet (most recent arrival among ties).
+    @raise Invalid_argument on an empty queue. *)
+
+val pop_max : t -> Packet.Value.t
+(** Transmit the most valuable packet (earliest arrival among ties).
+    @raise Invalid_argument on an empty queue. *)
+
+val iter : (Packet.Value.t -> unit) -> t -> unit
+(** In non-increasing value order. *)
+
+val to_list : t -> Packet.Value.t list
+(** In non-increasing value order. *)
+
+val clear : t -> int
+(** Drop all packets, returning how many were dropped. *)

@@ -1,0 +1,117 @@
+type t = {
+  config : Value_config.t;
+  queues : Value_queue.t array;
+  mutable occupancy : int;
+  mutable next_id : int;
+  mutable now : int;
+}
+
+let create (config : Value_config.t) =
+  let queues =
+    Array.init (Value_config.n config) (fun _ ->
+        Value_queue.create ~k:(Value_config.k config))
+  in
+  { config; queues; occupancy = 0; next_id = 0; now = 0 }
+
+let config t = t.config
+let n t = Array.length t.queues
+let k t = Value_config.k t.config
+let buffer t = t.config.Value_config.buffer
+let speedup t = t.config.Value_config.speedup
+let now t = t.now
+let advance_slot t = t.now <- t.now + 1
+let occupancy t = t.occupancy
+let free_space t = buffer t - t.occupancy
+let is_full t = t.occupancy >= buffer t
+
+let queue t i =
+  if i < 0 || i >= n t then invalid_arg "Value_switch.queue: bad port";
+  t.queues.(i)
+
+let queue_length t i = Value_queue.length (queue t i)
+
+let min_value t =
+  Array.fold_left
+    (fun acc q ->
+      match Value_queue.min_value q with
+      | None -> acc
+      | Some v -> ( match acc with None -> Some v | Some m -> Some (min m v)))
+    None t.queues
+
+let min_value_port t =
+  match min_value t with
+  | None -> None
+  | Some m ->
+    let best = ref (-1) in
+    Array.iteri
+      (fun i q ->
+        if Value_queue.min_value q = Some m then
+          if
+            !best < 0
+            || Value_queue.length q > Value_queue.length t.queues.(!best)
+          then best := i)
+      t.queues;
+    Some !best
+
+let accept t ~dest ~value =
+  if is_full t then invalid_arg "Value_switch.accept: buffer full";
+  let p = Packet.Value.make ~id:t.next_id ~dest ~value ~arrival:t.now in
+  t.next_id <- t.next_id + 1;
+  Value_queue.push (queue t dest) p;
+  t.occupancy <- t.occupancy + 1;
+  p
+
+let push_out t ~victim =
+  let q = queue t victim in
+  if Value_queue.is_empty q then
+    invalid_arg "Value_switch.push_out: victim queue empty";
+  let p = Value_queue.pop_min q in
+  t.occupancy <- t.occupancy - 1;
+  p
+
+let transmit_phase t ~on_transmit =
+  let budget = speedup t in
+  let transmitted = ref 0 in
+  Array.iter
+    (fun q ->
+      let sent = ref 0 in
+      while !sent < budget && not (Value_queue.is_empty q) do
+        on_transmit (Value_queue.pop_max q);
+        incr sent
+      done;
+      transmitted := !transmitted + !sent)
+    t.queues;
+  t.occupancy <- t.occupancy - !transmitted;
+  !transmitted
+
+let flush t =
+  let dropped = Array.fold_left (fun acc q -> acc + Value_queue.clear q) 0 t.queues in
+  t.occupancy <- t.occupancy - dropped;
+  assert (t.occupancy = 0);
+  dropped
+
+let iter_queues f t = Array.iteri f t.queues
+
+let check_invariants t =
+  let len_sum = Array.fold_left (fun acc q -> acc + Value_queue.length q) 0 t.queues in
+  if len_sum <> t.occupancy then
+    invalid_arg "Value_switch: occupancy out of sync with queue lengths";
+  if t.occupancy > buffer t then invalid_arg "Value_switch: occupancy exceeds B";
+  Array.iter
+    (fun q ->
+      let sum =
+        List.fold_left
+          (fun acc (p : Packet.Value.t) -> acc + p.value)
+          0 (Value_queue.to_list q)
+      in
+      if sum <> Value_queue.total_value q then
+        invalid_arg "Value_switch: cached total value out of sync";
+      (* to_list is in non-increasing value order by construction. *)
+      let rec sorted = function
+        | (a : Packet.Value.t) :: (b : Packet.Value.t) :: rest ->
+          a.value >= b.value && sorted (b :: rest)
+        | [ _ ] | [] -> true
+      in
+      if not (sorted (Value_queue.to_list q)) then
+        invalid_arg "Value_switch: queue not value-sorted")
+    t.queues

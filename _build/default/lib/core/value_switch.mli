@@ -1,0 +1,52 @@
+(** Shared-memory switch state for the heterogeneous-value model.
+
+    Holds [n] priority queues (largest value first) drawing on one buffer of
+    [B] packet slots.  Transmission sends up to [speedup] packets per
+    non-empty queue per slot.  Mechanics only; admission decisions come from
+    a {!Value_policy}. *)
+
+type t
+
+val create : Value_config.t -> t
+
+val config : t -> Value_config.t
+val n : t -> int
+val k : t -> int
+val buffer : t -> int
+val speedup : t -> int
+
+val now : t -> int
+val advance_slot : t -> unit
+
+val occupancy : t -> int
+val free_space : t -> int
+val is_full : t -> bool
+
+val queue : t -> int -> Value_queue.t
+val queue_length : t -> int -> int
+
+val min_value : t -> int option
+(** Smallest value currently admitted anywhere in the buffer. *)
+
+val min_value_port : t -> int option
+(** A port whose queue holds the buffer-wide minimum value; among several,
+    the longest such queue (the paper's MVD tie-break), then the smallest
+    port index. *)
+
+val accept : t -> dest:int -> value:int -> Packet.Value.t
+(** @raise Invalid_argument if the buffer is full or the value is outside
+    [1 .. k]. *)
+
+val push_out : t -> victim:int -> Packet.Value.t
+(** Evict the least valuable packet of queue [victim].
+    @raise Invalid_argument if that queue is empty. *)
+
+val transmit_phase : t -> on_transmit:(Packet.Value.t -> unit) -> int
+(** Every non-empty queue transmits up to [speedup] packets, most valuable
+    first.  Returns the number of packets transmitted. *)
+
+val flush : t -> int
+
+val iter_queues : (int -> Value_queue.t -> unit) -> t -> unit
+
+val check_invariants : t -> unit

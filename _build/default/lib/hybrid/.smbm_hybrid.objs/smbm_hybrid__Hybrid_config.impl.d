@@ -1,0 +1,1 @@
+lib/hybrid/hybrid_config.ml: Proc_config Smbm_core

@@ -1,0 +1,1 @@
+lib/hybrid/hybrid_config.mli: Smbm_core

@@ -1,0 +1,1 @@
+lib/hybrid/hybrid_engine.mli: Hybrid_config Hybrid_policy Hybrid_switch Smbm_core Smbm_sim

@@ -1,0 +1,1 @@
+lib/hybrid/hybrid_policy.ml: Decision Hybrid_config Hybrid_switch List Smbm_core String

@@ -1,0 +1,1 @@
+lib/hybrid/hybrid_policy.mli: Hybrid_config Hybrid_switch Smbm_core

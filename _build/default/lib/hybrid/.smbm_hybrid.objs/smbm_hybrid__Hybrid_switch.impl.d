@@ -1,0 +1,1 @@
+lib/hybrid/hybrid_switch.ml: Array Deque Hybrid_config Smbm_core Smbm_prelude

@@ -1,0 +1,1 @@
+lib/hybrid/hybrid_switch.mli: Hybrid_config

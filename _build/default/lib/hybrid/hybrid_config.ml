@@ -1,0 +1,14 @@
+open Smbm_core
+
+type t = { proc : Proc_config.t; max_value : int }
+
+let make ~proc ~max_value =
+  if max_value < 1 then invalid_arg "Hybrid_config.make: max_value must be >= 1";
+  { proc; max_value }
+
+let contiguous ~k ~max_value ~buffer ?speedup () =
+  make ~proc:(Proc_config.contiguous ~k ~buffer ?speedup ()) ~max_value
+
+let n t = Proc_config.n t.proc
+let buffer t = t.proc.Proc_config.buffer
+let work t i = Proc_config.work t.proc i

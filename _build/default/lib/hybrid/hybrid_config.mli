@@ -1,0 +1,21 @@
+(** Configuration of the combined model — the paper's future-work direction
+    of packets that carry BOTH heterogeneous processing requirements and
+    intrinsic values.
+
+    Structure: a processing-model switch (per-port works, shared buffer,
+    speedup) whose unit-sized packets additionally carry a value in
+    [1 .. max_value]; queues stay FIFO (the run-to-completion constraint of
+    Section I applies regardless of values), and the objective is the total
+    transmitted value. *)
+
+type t = private { proc : Smbm_core.Proc_config.t; max_value : int }
+
+val make : proc:Smbm_core.Proc_config.t -> max_value:int -> t
+(** @raise Invalid_argument if [max_value < 1]. *)
+
+val contiguous :
+  k:int -> max_value:int -> buffer:int -> ?speedup:int -> unit -> t
+
+val n : t -> int
+val buffer : t -> int
+val work : t -> int -> int

@@ -1,0 +1,177 @@
+open Smbm_core
+
+type t = {
+  name : string;
+  push_out : bool;
+  admit : Hybrid_switch.t -> dest:int -> value:int -> Decision.t;
+}
+
+let greedy_accept sw =
+  if Hybrid_switch.is_full sw then None else Some Decision.Accept
+
+let greedy =
+  {
+    name = "Greedy";
+    push_out = false;
+    admit =
+      (fun sw ~dest:_ ~value:_ ->
+        match greedy_accept sw with Some d -> d | None -> Decision.Drop);
+  }
+
+let nest config =
+  let n = Hybrid_config.n config in
+  let b = Hybrid_config.buffer config in
+  {
+    name = "NEST";
+    push_out = false;
+    admit =
+      (fun sw ~dest ~value:_ ->
+        if Hybrid_switch.is_full sw then Decision.Drop
+        else if Hybrid_switch.queue_length sw dest * n < b then Decision.Accept
+        else Decision.Drop);
+  }
+
+let lqd =
+  {
+    name = "LQD";
+    push_out = true;
+    admit =
+      (fun sw ~dest ~value:_ ->
+        match greedy_accept sw with
+        | Some d -> d
+        | None ->
+          let best = ref 0 and best_key = ref (min_int, min_int) in
+          for j = 0 to Hybrid_switch.n sw - 1 do
+            let len =
+              Hybrid_switch.queue_length sw j + if j = dest then 1 else 0
+            in
+            let key = (len, Hybrid_switch.port_work sw j) in
+            if key >= !best_key then begin
+              best := j;
+              best_key := key
+            end
+          done;
+          if !best <> dest then Decision.Push_out { victim = !best }
+          else Decision.Drop);
+  }
+
+let lwd =
+  {
+    name = "LWD";
+    push_out = true;
+    admit =
+      (fun sw ~dest ~value:_ ->
+        match greedy_accept sw with
+        | Some d -> d
+        | None ->
+          let best = ref 0 and best_key = ref (min_int, min_int) in
+          for j = 0 to Hybrid_switch.n sw - 1 do
+            let w =
+              Hybrid_switch.queue_work sw j
+              + if j = dest then Hybrid_switch.port_work sw dest else 0
+            in
+            let key = (w, Hybrid_switch.port_work sw j) in
+            if key >= !best_key then begin
+              best := j;
+              best_key := key
+            end
+          done;
+          if !best <> dest then Decision.Push_out { victim = !best }
+          else Decision.Drop);
+  }
+
+let mvd =
+  {
+    name = "MVD";
+    push_out = true;
+    admit =
+      (fun sw ~dest:_ ~value ->
+        match greedy_accept sw with
+        | Some d -> d
+        | None ->
+          (* Only FIFO tails are evictable; find the cheapest one. *)
+          let best = ref None in
+          for j = 0 to Hybrid_switch.n sw - 1 do
+            match Hybrid_switch.tail_value sw j with
+            | Some v -> (
+              match !best with
+              | Some (_, bv) when bv <= v -> ()
+              | Some _ | None -> best := Some (j, v))
+            | None -> ()
+          done;
+          (match !best with
+          | Some (victim, v) when v < value -> Decision.Push_out { victim }
+          | Some _ | None -> Decision.Drop));
+  }
+
+(* W_a / V_a > W_b / V_b as W_a * V_b > W_b * V_a; empty queues compare as
+   ratio 0 (never chosen over any non-empty queue). *)
+let ratio_greater ~work_a ~value_a ~work_b ~value_b =
+  work_a * value_b > work_b * value_a
+
+let wvd =
+  {
+    name = "WVD";
+    push_out = true;
+    admit =
+      (fun sw ~dest ~value ->
+        match greedy_accept sw with
+        | Some d -> d
+        | None ->
+          let stats j =
+            let virtual_w =
+              if j = dest then Hybrid_switch.port_work sw dest else 0
+            in
+            let virtual_v = if j = dest then value else 0 in
+            ( Hybrid_switch.queue_work sw j + virtual_w,
+              Hybrid_switch.queue_value sw j + virtual_v )
+          in
+          let best = ref None in
+          for j = 0 to Hybrid_switch.n sw - 1 do
+            let w, v = stats j in
+            if w > 0 then
+              match !best with
+              | None -> best := Some (j, w, v)
+              | Some (_, bw, bv) ->
+                if ratio_greater ~work_a:w ~value_a:v ~work_b:bw ~value_b:bv
+                then best := Some (j, w, v)
+          done;
+          (match !best with
+          | Some (victim, _, _) when victim <> dest ->
+            Decision.Push_out { victim }
+          | Some _ | None -> Decision.Drop));
+  }
+
+(* Density comparisons v_a / w_a <= v_b / w_b as v_a * w_b <= v_b * w_a. *)
+let dpk =
+  {
+    name = "DPK";
+    push_out = true;
+    admit =
+      (fun sw ~dest ~value ->
+        match greedy_accept sw with
+        | Some d -> d
+        | None ->
+          (* The evictable packet with the worst value-per-cycle. *)
+          let best = ref None in
+          for j = 0 to Hybrid_switch.n sw - 1 do
+            match Hybrid_switch.tail_value sw j with
+            | Some v -> (
+              let w = Hybrid_switch.port_work sw j in
+              match !best with
+              | Some (_, bv, bw) when bv * w <= v * bw -> ()
+              | Some _ | None -> best := Some (j, v, w))
+            | None -> ()
+          done;
+          (match !best with
+          | Some (victim, bv, bw)
+            when value * bw > bv * Hybrid_switch.port_work sw dest ->
+            Decision.Push_out { victim }
+          | Some _ | None -> Decision.Drop));
+  }
+
+let all config = [ greedy; nest config; lqd; lwd; mvd; wvd; dpk ]
+
+let find config name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun p -> String.lowercase_ascii p.name = name) (all config)

@@ -1,0 +1,51 @@
+(** Policies for the combined work + value model, and the candidates this
+    library proposes in the spirit of the paper's LWD and MRD.
+
+    The design question the paper's two halves pose jointly: an eviction
+    rule must price a queue's claim on the buffer by the *work* it ties up
+    (Section III's lesson) AND by the *value* it withholds (Section IV's
+    lesson).  The natural combination is the work-to-value ratio
+    [W_j / V_j] — evict where the most processing buys the least value. *)
+
+type t = {
+  name : string;
+  push_out : bool;
+  admit : Hybrid_switch.t -> dest:int -> value:int -> Smbm_core.Decision.t;
+}
+
+val greedy : t
+(** Accept while there is space; never push out. *)
+
+val nest : Hybrid_config.t -> t
+(** Equal static thresholds [B / n]. *)
+
+val lqd : t
+(** Longest queue drops its tail (value- and work-blind). *)
+
+val lwd : t
+(** The paper's LWD verbatim: most total residual work drops its tail
+    (value-blind). *)
+
+val mvd : t
+(** Value view only: evict the cheapest *tail* packet in the buffer if
+    strictly cheaper than the arrival (FIFO order means only tails are
+    evictable, unlike Section IV's sorted queues). *)
+
+val wvd : t
+(** Work-per-Value-Drop — the naive queue-aggregate combination: evict the
+    tail of the queue maximizing [W_j / V_j] (most work held per unit of
+    value), the arrival's own queue counted virtually.  Reduces to LWD
+    under uniform values.  Empirically it inherits BPD's pathology taken to
+    the limit: under extreme congestion it prunes the expensive ports until
+    the lightest queue monopolizes the buffer and throughput collapses
+    (see the bench's hybrid section) — a negative result worth keeping. *)
+
+val dpk : t
+(** Densest-Packet-Keep — the per-packet density combination: evict the
+    evictable (tail) packet with the smallest value-per-cycle [v / w], and
+    only for an arrival with strictly better density.  Behaves like MVD
+    skewed by work; competitive at extreme congestion, a little behind LWD
+    at moderate congestion. *)
+
+val all : Hybrid_config.t -> t list
+val find : Hybrid_config.t -> string -> t option

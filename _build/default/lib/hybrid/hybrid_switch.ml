@@ -1,0 +1,156 @@
+open Smbm_prelude
+
+type packet = {
+  id : int;
+  dest : int;
+  work : int;
+  mutable residual : int;
+  value : int;
+  arrival : int;
+}
+
+type queue = {
+  work : int;
+  packets : packet Deque.t;
+  mutable total_work : int;
+  mutable total_value : int;
+}
+
+type t = {
+  config : Hybrid_config.t;
+  queues : queue array;
+  mutable occupancy : int;
+  mutable next_id : int;
+  mutable now : int;
+}
+
+let create config =
+  {
+    config;
+    queues =
+      Array.init (Hybrid_config.n config) (fun i ->
+          {
+            work = Hybrid_config.work config i;
+            packets = Deque.create ();
+            total_work = 0;
+            total_value = 0;
+          });
+    occupancy = 0;
+    next_id = 0;
+    now = 0;
+  }
+
+let config t = t.config
+let n t = Array.length t.queues
+let buffer t = Hybrid_config.buffer t.config
+let now t = t.now
+let advance_slot t = t.now <- t.now + 1
+let occupancy t = t.occupancy
+let is_full t = t.occupancy >= buffer t
+
+let queue t i =
+  if i < 0 || i >= n t then invalid_arg "Hybrid_switch: bad port";
+  t.queues.(i)
+
+let queue_length t i = Deque.length (queue t i).packets
+let queue_work t i = (queue t i).total_work
+let queue_value t i = (queue t i).total_value
+
+let tail_value t i =
+  let q = queue t i in
+  if Deque.is_empty q.packets then None
+  else Some (Deque.peek_back q.packets).value
+
+let port_work t i = (queue t i).work
+let queue_packets t i = Deque.to_list (queue t i).packets
+
+let accept t ~dest ~value =
+  if is_full t then invalid_arg "Hybrid_switch.accept: buffer full";
+  if value < 1 || value > t.config.Hybrid_config.max_value then
+    invalid_arg "Hybrid_switch.accept: value out of range";
+  let q = queue t dest in
+  let p =
+    {
+      id = t.next_id;
+      dest;
+      work = q.work;
+      residual = q.work;
+      value;
+      arrival = t.now;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  Deque.push_back q.packets p;
+  q.total_work <- q.total_work + p.residual;
+  q.total_value <- q.total_value + p.value;
+  t.occupancy <- t.occupancy + 1;
+  p
+
+let push_out t ~victim =
+  let q = queue t victim in
+  if Deque.is_empty q.packets then
+    invalid_arg "Hybrid_switch.push_out: victim queue empty";
+  let p = Deque.pop_back q.packets in
+  q.total_work <- q.total_work - p.residual;
+  q.total_value <- q.total_value - p.value;
+  t.occupancy <- t.occupancy - 1;
+  p
+
+let transmit_phase t ~on_transmit =
+  let cycles = t.config.Hybrid_config.proc.Smbm_core.Proc_config.speedup in
+  let transmitted = ref 0 in
+  Array.iter
+    (fun q ->
+      let budget = ref cycles in
+      while !budget > 0 && not (Deque.is_empty q.packets) do
+        let hol = Deque.peek_front q.packets in
+        let served = min !budget hol.residual in
+        hol.residual <- hol.residual - served;
+        q.total_work <- q.total_work - served;
+        budget := !budget - served;
+        if hol.residual = 0 then begin
+          let p = Deque.pop_front q.packets in
+          q.total_value <- q.total_value - p.value;
+          incr transmitted;
+          on_transmit p
+        end
+      done)
+    t.queues;
+  t.occupancy <- t.occupancy - !transmitted;
+  !transmitted
+
+let flush t =
+  let dropped = t.occupancy in
+  Array.iter
+    (fun q ->
+      Deque.clear q.packets;
+      q.total_work <- 0;
+      q.total_value <- 0)
+    t.queues;
+  t.occupancy <- 0;
+  dropped
+
+let check_invariants t =
+  let len_sum =
+    Array.fold_left (fun acc q -> acc + Deque.length q.packets) 0 t.queues
+  in
+  if len_sum <> t.occupancy then
+    invalid_arg "Hybrid_switch: occupancy out of sync";
+  if t.occupancy > buffer t then invalid_arg "Hybrid_switch: overflow";
+  Array.iter
+    (fun q ->
+      let work = Deque.fold (fun acc p -> acc + p.residual) 0 q.packets in
+      let value = Deque.fold (fun acc p -> acc + p.value) 0 q.packets in
+      if work <> q.total_work then
+        invalid_arg "Hybrid_switch: cached work out of sync";
+      if value <> q.total_value then
+        invalid_arg "Hybrid_switch: cached value out of sync";
+      (* Only the head-of-line packet may be partially served. *)
+      let i = ref 0 in
+      Deque.iter
+        (fun p ->
+          if !i > 0 && p.residual <> p.work then
+            invalid_arg "Hybrid_switch: non-HOL packet partially served";
+          incr i)
+        q.packets)
+    t.queues

@@ -1,0 +1,56 @@
+(** Shared-memory switch state for the combined model: FIFO queues of
+    packets that carry residual work AND intrinsic value, one shared buffer.
+    Transmission is the processing model's (speedup cycles per queue,
+    head-of-line, run-to-completion); the objective tracked downstream is
+    transmitted value. *)
+
+type packet = {
+  id : int;
+  dest : int;
+  work : int;
+  mutable residual : int;
+  value : int;
+  arrival : int;
+}
+
+type t
+
+val create : Hybrid_config.t -> t
+
+val config : t -> Hybrid_config.t
+val n : t -> int
+val buffer : t -> int
+val now : t -> int
+val advance_slot : t -> unit
+
+val occupancy : t -> int
+val is_full : t -> bool
+
+val queue_length : t -> int -> int
+
+val queue_work : t -> int -> int
+(** Total residual work [W_i]. *)
+
+val queue_value : t -> int -> int
+(** Total intrinsic value [V_i]. *)
+
+val tail_value : t -> int -> int option
+(** Value of the packet a push-out would evict (the FIFO tail). *)
+
+val port_work : t -> int -> int
+
+val queue_packets : t -> int -> packet list
+(** Front to back (test hook). *)
+
+val accept : t -> dest:int -> value:int -> packet
+(** @raise Invalid_argument if full or the value is out of range. *)
+
+val push_out : t -> victim:int -> packet
+(** Evict the tail packet of [victim].
+    @raise Invalid_argument on an empty victim queue. *)
+
+val transmit_phase : t -> on_transmit:(packet -> unit) -> int
+
+val flush : t -> int
+
+val check_invariants : t -> unit

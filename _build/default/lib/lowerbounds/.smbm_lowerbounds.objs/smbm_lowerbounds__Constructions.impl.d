@@ -1,0 +1,1 @@
+lib/lowerbounds/constructions.ml: Lb_bpd Lb_greedy_value Lb_lqd Lb_lqd_value Lb_lwd Lb_mrd Lb_mvd Lb_nest Lb_nhdt Lb_nhst List Runner String

@@ -1,0 +1,1 @@
+lib/lowerbounds/constructions.mli: Runner

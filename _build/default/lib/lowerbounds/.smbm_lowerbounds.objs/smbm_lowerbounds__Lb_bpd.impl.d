@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_bpd.ml: Arrival Harmonic List P_bpd Proc_config Quota Runner Smbm_core Smbm_prelude

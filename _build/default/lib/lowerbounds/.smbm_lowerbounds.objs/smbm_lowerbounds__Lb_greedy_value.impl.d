@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_greedy_value.ml: Arrival Decision Quota Runner Smbm_core Value_config Value_policy Value_switch

@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_greedy_value.mli: Runner

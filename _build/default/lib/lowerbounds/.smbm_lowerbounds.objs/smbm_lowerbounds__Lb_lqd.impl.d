@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_lqd.ml: Arrival Float Harmonic List P_lqd Proc_config Quota Runner Smbm_core Smbm_prelude

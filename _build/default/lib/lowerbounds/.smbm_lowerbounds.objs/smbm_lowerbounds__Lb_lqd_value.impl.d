@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_lqd_value.ml: Arrival Float List Quota Runner Smbm_core V_lqd Value_config

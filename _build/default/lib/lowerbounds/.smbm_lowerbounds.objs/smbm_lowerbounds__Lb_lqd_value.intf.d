@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_lqd_value.mli: Runner

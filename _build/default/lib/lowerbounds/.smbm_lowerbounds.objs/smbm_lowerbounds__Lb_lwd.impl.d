@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_lwd.ml: Array Arrival List P_lwd Proc_config Quota Runner Smbm_core

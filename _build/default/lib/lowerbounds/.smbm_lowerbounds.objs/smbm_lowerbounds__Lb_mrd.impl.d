@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_mrd.ml: Arrival List Quota Runner Smbm_core V_mrd Value_config

@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_mvd.ml: Arrival List Quota Runner Smbm_core V_mvd Value_config

@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_nest.ml: Arrival P_nest Proc_config Quota Runner Smbm_core

@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_nhdt.ml: Arrival Float Harmonic List P_nhdt Proc_config Quota Runner Smbm_core Smbm_prelude

@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_nhdt.mli: Runner

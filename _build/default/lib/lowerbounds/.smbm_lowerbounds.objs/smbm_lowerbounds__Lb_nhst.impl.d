@@ -1,0 +1,1 @@
+lib/lowerbounds/lb_nhst.ml: Arrival Harmonic P_nhst Proc_config Quota Runner Smbm_core Smbm_prelude

@@ -1,0 +1,1 @@
+lib/lowerbounds/quota.ml: Decision Proc_policy Proc_switch Smbm_core Value_policy Value_switch

@@ -1,0 +1,1 @@
+lib/lowerbounds/quota.mli: Proc_policy Smbm_core Value_policy

@@ -1,0 +1,1 @@
+lib/lowerbounds/runner.mli: Arrival Proc_config Proc_policy Smbm_core Value_config Value_policy

@@ -1,0 +1,107 @@
+type t = {
+  theorem : string;
+  policy : string;
+  model : [ `Proc | `Value ];
+  bound_text : string;
+  finite_bound : float;
+  asymptotic_bound : float;
+  measure : unit -> Runner.measured;
+}
+
+let all =
+  [
+    {
+      theorem = "Thm 1";
+      policy = "NHST";
+      model = `Proc;
+      bound_text = "kZ";
+      finite_bound = Lb_nhst.finite_bound ~k:8;
+      asymptotic_bound = Lb_nhst.asymptotic_bound ~k:8;
+      measure = (fun () -> Lb_nhst.measure ());
+    };
+    {
+      theorem = "Thm 2";
+      policy = "NEST";
+      model = `Proc;
+      bound_text = "n";
+      finite_bound = Lb_nest.finite_bound ~k:16;
+      asymptotic_bound = Lb_nest.asymptotic_bound ~k:16;
+      measure = (fun () -> Lb_nest.measure ());
+    };
+    {
+      theorem = "Thm 3";
+      policy = "NHDT";
+      model = `Proc;
+      bound_text = "1/2 sqrt(k ln k)";
+      finite_bound = Lb_nhdt.finite_bound ~k:64 ~buffer:2048;
+      asymptotic_bound = Lb_nhdt.asymptotic_bound ~k:64;
+      measure = (fun () -> Lb_nhdt.measure ());
+    };
+    {
+      theorem = "Thm 4";
+      policy = "LQD";
+      model = `Proc;
+      bound_text = "sqrt k";
+      finite_bound = Lb_lqd.finite_bound ~k:64 ~buffer:1024;
+      asymptotic_bound = Lb_lqd.asymptotic_bound ~k:64;
+      measure = (fun () -> Lb_lqd.measure ());
+    };
+    {
+      theorem = "Thm 5";
+      policy = "BPD";
+      model = `Proc;
+      bound_text = "ln k + gamma";
+      finite_bound = Lb_bpd.finite_bound ~k:10;
+      asymptotic_bound = Lb_bpd.asymptotic_bound ~k:10;
+      measure = (fun () -> Lb_bpd.measure ());
+    };
+    {
+      theorem = "Thm 6";
+      policy = "LWD";
+      model = `Proc;
+      bound_text = "4/3 - 6/B";
+      finite_bound = Lb_lwd.finite_bound ~buffer:1200;
+      asymptotic_bound = Lb_lwd.asymptotic_bound ();
+      measure = (fun () -> Lb_lwd.measure ());
+    };
+    {
+      theorem = "SIV-B";
+      policy = "Greedy";
+      model = `Value;
+      bound_text = "k (non-push-out remark)";
+      finite_bound = Lb_greedy_value.finite_bound ~k:16;
+      asymptotic_bound = Lb_greedy_value.asymptotic_bound ~k:16;
+      measure = (fun () -> Lb_greedy_value.measure ());
+    };
+    {
+      theorem = "Thm 9";
+      policy = "LQD";
+      model = `Value;
+      bound_text = "k^(1/3)";
+      finite_bound = Lb_lqd_value.finite_bound ~k:27;
+      asymptotic_bound = Lb_lqd_value.asymptotic_bound ~k:27;
+      measure = (fun () -> Lb_lqd_value.measure ());
+    };
+    {
+      theorem = "Thm 10";
+      policy = "MVD";
+      model = `Value;
+      bound_text = "(m-1)/2, m = min(k, B)";
+      finite_bound = Lb_mvd.finite_bound ~k:12 ~buffer:12;
+      asymptotic_bound = Lb_mvd.asymptotic_bound ~k:12 ~buffer:12;
+      measure = (fun () -> Lb_mvd.measure ());
+    };
+    {
+      theorem = "Thm 11";
+      policy = "MRD";
+      model = `Value;
+      bound_text = "4/3";
+      finite_bound = Lb_mrd.finite_bound ~buffer:1200;
+      asymptotic_bound = Lb_mrd.asymptotic_bound ();
+      measure = (fun () -> Lb_mrd.measure ());
+    };
+  ]
+
+let find ~theorem =
+  let wanted = String.lowercase_ascii theorem in
+  List.find_opt (fun t -> String.lowercase_ascii t.theorem = wanted) all

@@ -1,0 +1,22 @@
+(** Registry of all adversarial lower-bound constructions (Theorems 1-6 of
+    the processing model, 9-11 of the value model, plus Section IV-B's
+    greedy non-push-out remark), each paired with its closed-form bound so
+    that benches and tests can compare measured against theory at one
+    place. *)
+
+type t = {
+  theorem : string;  (** e.g. "Thm 4" *)
+  policy : string;  (** the policy under attack *)
+  model : [ `Proc | `Value ];
+  bound_text : string;  (** human-readable asymptotic bound *)
+  finite_bound : float;
+      (** the proof's episode ratio at this entry's default parameters *)
+  asymptotic_bound : float;
+  measure : unit -> Runner.measured;
+      (** run the construction at the default parameters *)
+}
+
+val all : t list
+
+val find : theorem:string -> t option
+(** Lookup by theorem label, case-insensitive ("thm 4" or "Thm 4"). *)

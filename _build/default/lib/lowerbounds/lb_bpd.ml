@@ -1,0 +1,19 @@
+open Smbm_prelude
+open Smbm_core
+
+let finite_bound ~k = Harmonic.h k
+let asymptotic_bound ~k = log (float_of_int k) +. Harmonic.euler_gamma
+
+let measure ?(k = 10) ?(buffer = 60) ?(slots = 1000) () =
+  if buffer < k * (k + 1) / 2 then
+    invalid_arg "Lb_bpd.measure: requires B >= k(k+1)/2";
+  let config = Proc_config.contiguous ~k ~buffer () in
+  let full_set =
+    List.concat_map
+      (fun w -> Runner.burst buffer (Arrival.make ~dest:(w - 1) ()))
+      (List.init k (fun i -> i + 1))
+  in
+  let trace _slot = full_set in
+  Runner.run_proc ~config ~alg:(P_bpd.make config)
+    ~opt:(Quota.proc ~quota:(fun _ -> buffer / k) ())
+    ~trace ~slots ()

@@ -1,0 +1,18 @@
+(** Theorem 5: BPD is at least [(ln k + gamma)]-competitive (for
+    [B >= k(k+1)/2]).
+
+    Construction (contiguous configuration): every slot a full set of
+    [B] packets of every work [1 .. k] arrives.  BPD locks its buffer onto
+    the work-1 packets and transmits one packet per slot, while the scripted
+    OPT spreads the buffer over all queues and transmits [H_k] packets per
+    slot. *)
+
+val finite_bound : k:int -> float
+(** [H_k]. *)
+
+val asymptotic_bound : k:int -> float
+(** [ln k + gamma]. *)
+
+val measure : ?k:int -> ?buffer:int -> ?slots:int -> unit -> Runner.measured
+(** Defaults: k = 10, B = 60, 1000 slots.
+    @raise Invalid_argument if [buffer < k(k+1)/2]. *)

@@ -1,0 +1,19 @@
+(** Section IV-B's opening remark: any greedy non-push-out policy is at
+    least k-competitive in the value model — "fill the buffer with 1s, then
+    send in the ks".
+
+    Construction over two ports carrying values 1 and k: a burst of [B]
+    value-1 packets fills the greedy buffer an instant before [B] value-k
+    packets it can no longer accept; the scripted OPT reserves its whole
+    buffer for the ks.  Both drain in [B] slots (one active port each), so
+    the per-episode value ratio is exactly [k B / B = k]. *)
+
+val finite_bound : k:int -> float
+(** [k] exactly. *)
+
+val asymptotic_bound : k:int -> float
+(** [k]. *)
+
+val measure :
+  ?k:int -> ?buffer:int -> ?episodes:int -> unit -> Runner.measured
+(** Defaults: k = 16, B = 64, 5 episodes. *)

@@ -1,0 +1,40 @@
+open Smbm_prelude
+open Smbm_core
+
+let choose_m ~k =
+  max 1 (min k (int_of_float (Float.round (sqrt (float_of_int k)))))
+
+let finite_bound ~k ~buffer =
+  let m = choose_m ~k in
+  let mf = float_of_int m and b = float_of_int buffer in
+  let beta = Harmonic.h_range (k - m + 1) k in
+  1.0
+  +. (((mf -. 1.0) /. mf) -. (mf /. b))
+     /. ((1.0 /. mf) +. ((1.0 -. (mf /. b)) *. beta))
+
+let asymptotic_bound ~k = sqrt (float_of_int k)
+
+let measure ?(k = 64) ?(buffer = 1024) ?(episodes = 5) () =
+  let m = choose_m ~k in
+  let config = Proc_config.contiguous ~k ~buffer () in
+  let heavy_works = List.init m (fun i -> k - i) in
+  let burst =
+    Runner.burst buffer (Arrival.make ~dest:0 ())
+    @ List.concat_map
+        (fun w -> Runner.burst buffer (Arrival.make ~dest:(w - 1) ()))
+        heavy_works
+  in
+  let trickle t =
+    List.filter_map
+      (fun w ->
+        if t mod w = 0 then Some (Arrival.make ~dest:(w - 1) ()) else None)
+      heavy_works
+  in
+  let episode = buffer in
+  let trace = Runner.episodic ~episode ~burst ~trickle in
+  let quota dest =
+    if dest = 0 then buffer - m else if dest >= k - m then 1 else 0
+  in
+  Runner.run_proc ~config ~alg:(P_lqd.make config)
+    ~opt:(Quota.proc ~quota ()) ~trace ~slots:(episodes * episode)
+    ~flush_every:episode ()

@@ -1,0 +1,23 @@
+(** Theorem 4: LQD is at least [sqrt k]-competitive under heterogeneous
+    processing.
+
+    Construction (contiguous configuration): a burst of [B] work-1 packets
+    plus [B] packets of each heavy work [k, k-1, .., k-m+1] ([m = sqrt k]).
+    LQD balances queue lengths, keeping only [~B/(m+1)] of the valuable 1s;
+    the scripted OPT keeps one packet per heavy queue and [B - m] 1s.
+    Heavy trickles keep OPT's heavy ports busy; episodes of [B] slots with
+    flushouts. *)
+
+val choose_m : k:int -> int
+(** [round(sqrt k)], clamped to [1 .. k]. *)
+
+val finite_bound : k:int -> buffer:int -> float
+(** The proof's episode ratio
+    [1 + ((m-1)/m - m/B) / (1/m + (1 - m/B) beta_{k,m})] with
+    [beta_{k,m} = 1/k + .. + 1/(k-m+1)]. *)
+
+val asymptotic_bound : k:int -> float
+
+val measure :
+  ?k:int -> ?buffer:int -> ?episodes:int -> unit -> Runner.measured
+(** Defaults: k = 64, B = 1024, 5 episodes. *)

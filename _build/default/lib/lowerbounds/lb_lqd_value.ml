@@ -1,0 +1,35 @@
+open Smbm_core
+
+let choose_a ~k =
+  max 1
+    (min k (int_of_float (Float.round (Float.pow (float_of_int k) (1. /. 3.)))))
+
+let finite_bound ~k =
+  let a = choose_a ~k in
+  let af = float_of_int a and kf = float_of_int k in
+  let half = af *. (af -. 1.0) /. 2.0 in
+  (half +. kf) /. (half +. (kf /. af))
+
+let asymptotic_bound ~k = Float.pow (float_of_int k) (1. /. 3.)
+
+let measure ?(k = 27) ?(buffer = 270) ?(episodes = 5) () =
+  let a = choose_a ~k in
+  let config = Value_config.make ~ports:k ~max_value:k ~buffer () in
+  let small = List.init a (fun i -> i + 1) in
+  let burst =
+    List.concat_map
+      (fun v -> Runner.burst buffer (Arrival.make ~dest:(v - 1) ~value:v ()))
+      small
+    @ Runner.burst buffer (Arrival.make ~dest:(k - 1) ~value:k ())
+  in
+  let trickle _t =
+    List.map (fun v -> Arrival.make ~dest:(v - 1) ~value:v ()) small
+  in
+  let episode = buffer in
+  let trace = Runner.episodic ~episode ~burst ~trickle in
+  let quota dest =
+    if dest = k - 1 then buffer - a else if dest < a then 1 else 0
+  in
+  Runner.run_value ~config ~alg:(V_lqd.make config)
+    ~opt:(Quota.value ~quota ()) ~trace ~slots:(episodes * episode)
+    ~flush_every:episode ()

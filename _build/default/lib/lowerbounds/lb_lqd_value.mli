@@ -1,0 +1,20 @@
+(** Theorem 9: value-model LQD is at least (cube root of k)-competitive.
+
+    Construction with value = port label: a burst of [B] packets of every
+    value [1 .. a] plus [B] packets of value [k] ([a = cube root of k]).
+    LQD balances queue lengths, keeping only [B/(a+1)] of the value-k
+    packets; the scripted OPT dedicates its buffer to value [k] and serves
+    the trickling small values straight through.  Episodes of [B] slots
+    with flushouts. *)
+
+val choose_a : k:int -> int
+(** [round(k^(1/3))], clamped to [1 .. k]. *)
+
+val finite_bound : k:int -> float
+(** [(a(a-1)/2 + k) / (a(a-1)/2 + k/a)]. *)
+
+val asymptotic_bound : k:int -> float
+
+val measure :
+  ?k:int -> ?buffer:int -> ?episodes:int -> unit -> Runner.measured
+(** Defaults: k = 27, B = 270, 5 episodes. *)

@@ -1,0 +1,33 @@
+open Smbm_core
+
+let finite_bound ~buffer =
+  let b = float_of_int buffer in
+  ((2.0 *. b) -. 9.0) /. (1.5 *. b)
+
+let asymptotic_bound () = 4.0 /. 3.0
+
+let works = [| 1; 2; 3; 6 |]
+
+let measure ?(buffer = 1200) ?(episodes = 5) () =
+  if buffer mod 12 <> 0 then
+    invalid_arg "Lb_lwd.measure: buffer must be divisible by 12";
+  let config = Proc_config.make ~works ~buffer () in
+  (* B x [1], B/4 x [2], B/6 x [3], B/12 x [6]: every queue ends up with
+     total work B/2 under LWD. *)
+  let burst =
+    Runner.burst buffer (Arrival.make ~dest:0 ())
+    @ Runner.burst (buffer / 4) (Arrival.make ~dest:1 ())
+    @ Runner.burst (buffer / 6) (Arrival.make ~dest:2 ())
+    @ Runner.burst (buffer / 12) (Arrival.make ~dest:3 ())
+  in
+  let trickle t =
+    List.filteri (fun i _ -> i > 0 && t mod works.(i) = 0)
+      [ Arrival.make ~dest:0 (); Arrival.make ~dest:1 ();
+        Arrival.make ~dest:2 (); Arrival.make ~dest:3 () ]
+  in
+  let episode = buffer in
+  let trace = Runner.episodic ~episode ~burst ~trickle in
+  let quota dest = if dest = 0 then buffer - 3 else 1 in
+  Runner.run_proc ~config ~alg:(P_lwd.make config)
+    ~opt:(Quota.proc ~quota ()) ~trace ~slots:(episodes * episode)
+    ~flush_every:episode ()

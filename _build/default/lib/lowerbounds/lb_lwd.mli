@@ -1,0 +1,17 @@
+(** Theorem 6: LWD is at least [(4/3 - 6/B)]-competitive (contiguous case,
+    [k >= 6]).
+
+    Construction over ports with works {1, 2, 3, 6}: a burst of [B] 1s,
+    [B/4] 2s, [B/6] 3s and [B/12] 6s.  LWD equalizes total work per queue,
+    keeping only [B/2] of the 1s; the scripted OPT keeps one packet of each
+    larger work and [B - 3] 1s.  Works 2, 3 and 6 trickle in to keep OPT's
+    queues busy; episodes of [B] slots with flushouts. *)
+
+val finite_bound : buffer:int -> float
+(** [(2B - 9) / (3B/2) = 4/3 - 6/B]. *)
+
+val asymptotic_bound : unit -> float
+(** 4/3. *)
+
+val measure : ?buffer:int -> ?episodes:int -> unit -> Runner.measured
+(** Defaults: B = 1200 (must be divisible by 12), 5 episodes. *)

@@ -1,0 +1,35 @@
+open Smbm_core
+
+let finite_bound ~buffer =
+  let b = float_of_int buffer in
+  12.0 *. (b -. 3.0) /. ((9.0 *. b) -. 18.0)
+
+let asymptotic_bound () = 4.0 /. 3.0
+
+let values = [ 1; 2; 3; 6 ]
+
+let measure ?(buffer = 1200) ?(episodes = 5) () =
+  if buffer mod 12 <> 0 then
+    invalid_arg "Lb_mrd.measure: buffer must be divisible by 12";
+  let config = Value_config.make ~ports:6 ~max_value:6 ~buffer () in
+  let burst =
+    List.concat_map
+      (fun v -> Runner.burst buffer (Arrival.make ~dest:(v - 1) ~value:v ()))
+      values
+  in
+  let trickle _t =
+    List.filter_map
+      (fun v ->
+        if v < 6 then Some (Arrival.make ~dest:(v - 1) ~value:v ()) else None)
+      values
+  in
+  let episode = buffer in
+  let trace = Runner.episodic ~episode ~burst ~trickle in
+  let quota dest =
+    if dest = 5 then buffer - 3
+    else if List.mem (dest + 1) values then 1
+    else 0
+  in
+  Runner.run_value ~config ~alg:(V_mrd.make config)
+    ~opt:(Quota.value ~quota ()) ~trace ~slots:(episodes * episode)
+    ~flush_every:episode ()

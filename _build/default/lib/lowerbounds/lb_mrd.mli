@@ -1,0 +1,17 @@
+(** Theorem 11: MRD is at least 4/3-competitive when each packet's value
+    equals its output port label.
+
+    Construction over ports with values {1, 2, 3, 6}: a burst of [B] packets
+    of each value.  Balancing [|Q| / average], MRD keeps [B/12] 1s, [B/6]
+    2s, [B/4] 3s and [B/2] 6s; the scripted OPT keeps [B - 3] 6s and one of
+    each other value.  Values 1-3 keep trickling; episodes of [B] slots
+    with flushouts. *)
+
+val finite_bound : buffer:int -> float
+(** [12(B-3) / (9B - 18)]. *)
+
+val asymptotic_bound : unit -> float
+(** 4/3. *)
+
+val measure : ?buffer:int -> ?episodes:int -> unit -> Runner.measured
+(** Defaults: B = 1200 (must be divisible by 12), 5 episodes. *)

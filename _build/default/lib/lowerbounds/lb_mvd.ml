@@ -1,0 +1,18 @@
+open Smbm_core
+
+let m_of ~k ~buffer = min k buffer
+let finite_bound ~k ~buffer = float_of_int (m_of ~k ~buffer + 1) /. 2.0
+let asymptotic_bound ~k ~buffer = float_of_int (m_of ~k ~buffer - 1) /. 2.0
+
+let measure ?(k = 12) ?(buffer = 12) ?(slots = 600) () =
+  let m = m_of ~k ~buffer in
+  let config = Value_config.make ~ports:k ~max_value:k ~buffer () in
+  let full_set =
+    List.concat_map
+      (fun v -> Runner.burst buffer (Arrival.make ~dest:(v - 1) ~value:v ()))
+      (List.init m (fun i -> i + 1))
+  in
+  let trace _slot = full_set in
+  Runner.run_value ~config ~alg:(V_mvd.make config)
+    ~opt:(Quota.value ~quota:(fun dest -> if dest < m then 1 else 0) ())
+    ~trace ~slots ()

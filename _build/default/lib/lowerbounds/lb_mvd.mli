@@ -1,0 +1,15 @@
+(** Theorem 10: MVD is at least [(m-1)/2]-competitive for [m = min(k, B)].
+
+    Construction with value = port label: every slot, [B] packets of every
+    value [1 .. m] arrive.  MVD keeps only value-m packets and transmits one
+    per slot (value m), while the scripted OPT holds one packet of every
+    value and transmits total value [m(m+1)/2] per slot. *)
+
+val finite_bound : k:int -> buffer:int -> float
+(** The exact steady-state ratio [(m+1)/2]. *)
+
+val asymptotic_bound : k:int -> buffer:int -> float
+(** The paper's stated [(m-1)/2]. *)
+
+val measure : ?k:int -> ?buffer:int -> ?slots:int -> unit -> Runner.measured
+(** Defaults: k = 12, B = 12, 600 slots. *)

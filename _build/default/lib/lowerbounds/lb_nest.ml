@@ -1,0 +1,16 @@
+open Smbm_core
+
+let finite_bound ~k = float_of_int k
+let asymptotic_bound ~k = finite_bound ~k
+
+let measure ?(k = 16) ?(buffer = 160) ?(episodes = 5) () =
+  let config = Proc_config.contiguous ~k ~buffer () in
+  let episode = buffer in
+  let trace =
+    Runner.episodic ~episode
+      ~burst:(Runner.burst buffer (Arrival.make ~dest:0 ()))
+      ~trickle:(fun _ -> [])
+  in
+  Runner.run_proc ~config ~alg:(P_nest.make config)
+    ~opt:(Quota.proc ~quota:(fun _ -> buffer) ())
+    ~trace ~slots:(episodes * episode) ()

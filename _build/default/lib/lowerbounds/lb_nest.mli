@@ -1,0 +1,14 @@
+(** Theorem 2: NEST is at least n-competitive.
+
+    Construction: the whole burst of [B] work-1 packets targets a single
+    port; NEST's equal thresholds admit only [B / n] of them while a greedy
+    OPT admits all [B].  The burst repeats every [B] slots. *)
+
+val finite_bound : k:int -> float
+(** n (= k in the contiguous configuration). *)
+
+val asymptotic_bound : k:int -> float
+
+val measure :
+  ?k:int -> ?buffer:int -> ?episodes:int -> unit -> Runner.measured
+(** Defaults: k = 16, B = 160, 5 episodes. *)

@@ -1,0 +1,51 @@
+open Smbm_prelude
+open Smbm_core
+
+let choose_m ~k =
+  let kf = float_of_int k in
+  let m = kf -. sqrt (kf /. log kf) in
+  max 1 (min (k - 1) (int_of_float (Float.round m)))
+
+let finite_bound ~k ~buffer =
+  let m = choose_m ~k in
+  let b = float_of_int buffer in
+  let a = b /. Harmonic.h k in
+  let active = b -. float_of_int k +. float_of_int m in
+  let hk_hm = Harmonic.h k -. Harmonic.h m in
+  active *. (1.0 +. hk_hm)
+  /. ((active *. hk_hm) +. (a /. float_of_int (k - m + 1)))
+
+let asymptotic_bound ~k =
+  let kf = float_of_int k in
+  0.5 *. sqrt (kf *. log kf)
+
+let measure ?(k = 64) ?(buffer = 2048) ?(episodes = 3) () =
+  let m = choose_m ~k in
+  let config = Proc_config.contiguous ~k ~buffer () in
+  (* Heavy kinds: the k - m largest works k, k-1, .., m+1 (port w-1 requires
+     work w); the proof's split leaves only sqrt(k / ln k) of them, so both
+     algorithms process heavies at a trickle of H_k - H_m packets per slot
+     and the ratio is decided by who holds the 1s. *)
+  let heavy_works = List.init (k - m) (fun i -> k - i) in
+  let burst =
+    List.concat_map
+      (fun w -> Runner.burst buffer (Arrival.make ~dest:(w - 1) ()))
+      heavy_works
+    @ Runner.burst buffer (Arrival.make ~dest:0 ())
+  in
+  let trickle t =
+    List.filter_map
+      (fun w ->
+        if t mod w = 0 then Some (Arrival.make ~dest:(w - 1) ()) else None)
+      heavy_works
+  in
+  let episode = buffer in
+  let trace = Runner.episodic ~episode ~burst ~trickle in
+  let quota dest =
+    if dest = 0 then buffer - (k - m)
+    else if dest >= m then 1
+    else 0
+  in
+  Runner.run_proc ~config ~alg:(P_nhdt.make config)
+    ~opt:(Quota.proc ~quota ()) ~trace ~slots:(episodes * episode)
+    ~flush_every:episode ()

@@ -1,0 +1,25 @@
+(** Theorem 3: NHDT is at least [1/2 sqrt(k ln k)]-competitive.
+
+    Construction (contiguous configuration, B >> k): a descending burst of
+    [B] packets of each of the [k - m] heaviest works [k, k-1, .., m+1],
+    then [B] work-1 packets.  NHDT's harmonic thresholds admit [A/i] packets
+    of the i-th kind ([A = B / H_k]), starving the 1s; the scripted OPT
+    keeps one packet per heavy queue and fills the rest with 1s.  Heavy packets trickle in (one
+    per queue per service period) to keep OPT's heavy ports busy; the
+    episode repeats every [B] slots with a flushout. *)
+
+val choose_m : k:int -> int
+(** The proof's optimizing split [m = k - sqrt(k / ln k)], clamped to
+    [1 .. k-1]. *)
+
+val finite_bound : k:int -> buffer:int -> float
+(** The episode ratio from the proof at finite (k, B), with [H] in place of
+    [ln]:
+    [(B-k+m)(1 + H_k - H_m) / ((B-k+m)(H_k - H_m) + A / (k-m+1))]. *)
+
+val asymptotic_bound : k:int -> float
+(** [1/2 sqrt(k ln k)]. *)
+
+val measure :
+  ?k:int -> ?buffer:int -> ?episodes:int -> unit -> Runner.measured
+(** Defaults: k = 64, B = 2048, 3 episodes. *)

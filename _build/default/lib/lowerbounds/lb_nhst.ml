@@ -1,0 +1,17 @@
+open Smbm_prelude
+open Smbm_core
+
+let finite_bound ~k = float_of_int k *. Harmonic.h k
+let asymptotic_bound ~k = finite_bound ~k
+
+let measure ?(k = 8) ?(buffer = 400) ?(episodes = 2) () =
+  let config = Proc_config.contiguous ~k ~buffer () in
+  let episode = k * buffer in
+  let trace =
+    Runner.episodic ~episode
+      ~burst:(Runner.burst buffer (Arrival.make ~dest:(k - 1) ()))
+      ~trickle:(fun _ -> [])
+  in
+  Runner.run_proc ~config ~alg:(P_nhst.make config)
+    ~opt:(Quota.proc ~quota:(fun _ -> buffer) ())
+    ~trace ~slots:(episodes * episode) ()

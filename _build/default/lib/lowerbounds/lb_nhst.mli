@@ -1,0 +1,15 @@
+(** Theorem 1: NHST is at least kZ-competitive (Z = sum of inverse works).
+
+    Construction: in the contiguous configuration, a burst of [B] packets
+    with work [k] arrives; NHST's static threshold admits only
+    [B / (k * H_k)] of them while a greedy OPT admits all [B].  Once
+    everything is processed (k * B slots later) the burst repeats. *)
+
+val finite_bound : k:int -> float
+(** kZ = k * H_k in the contiguous configuration. *)
+
+val asymptotic_bound : k:int -> float
+
+val measure :
+  ?k:int -> ?buffer:int -> ?episodes:int -> unit -> Runner.measured
+(** Defaults: k = 8, B = 400, 2 episodes. *)

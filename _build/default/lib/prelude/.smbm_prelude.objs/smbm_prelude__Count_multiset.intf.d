@@ -1,0 +1,1 @@
+lib/prelude/count_multiset.mli:

@@ -1,0 +1,1 @@
+lib/prelude/histogram.ml: Array Float Format

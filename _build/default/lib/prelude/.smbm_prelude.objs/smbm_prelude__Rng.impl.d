@@ -1,0 +1,1 @@
+lib/prelude/rng.ml: Array Float Int64

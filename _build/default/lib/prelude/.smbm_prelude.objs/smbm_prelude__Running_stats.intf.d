@@ -1,0 +1,1 @@
+lib/prelude/running_stats.mli: Format

@@ -1,0 +1,93 @@
+type 'a t = {
+  mutable ring : 'a option array;
+  mutable head : int; (* index of the front element when len > 0 *)
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { ring = Array.make capacity None; head = 0; len = 0 }
+
+let length d = d.len
+let is_empty d = d.len = 0
+
+let clear d =
+  Array.fill d.ring 0 (Array.length d.ring) None;
+  d.head <- 0;
+  d.len <- 0
+
+let capacity d = Array.length d.ring
+
+(* Physical index of the [i]-th logical element. *)
+let index d i = (d.head + i) mod capacity d
+
+let grow d =
+  let old = d.ring in
+  let n = Array.length old in
+  let ring = Array.make (2 * n) None in
+  for i = 0 to d.len - 1 do
+    ring.(i) <- old.(index d i)
+  done;
+  d.ring <- ring;
+  d.head <- 0
+
+let push_back d x =
+  if d.len = capacity d then grow d;
+  d.ring.(index d d.len) <- Some x;
+  d.len <- d.len + 1
+
+let push_front d x =
+  if d.len = capacity d then grow d;
+  let head = (d.head - 1 + capacity d) mod capacity d in
+  d.ring.(head) <- Some x;
+  d.head <- head;
+  d.len <- d.len + 1
+
+let unsome = function
+  | Some x -> x
+  | None -> assert false
+
+let pop_front d =
+  if d.len = 0 then invalid_arg "Deque.pop_front: empty";
+  let x = unsome d.ring.(d.head) in
+  d.ring.(d.head) <- None;
+  d.head <- (d.head + 1) mod capacity d;
+  d.len <- d.len - 1;
+  x
+
+let pop_back d =
+  if d.len = 0 then invalid_arg "Deque.pop_back: empty";
+  let i = index d (d.len - 1) in
+  let x = unsome d.ring.(i) in
+  d.ring.(i) <- None;
+  d.len <- d.len - 1;
+  x
+
+let peek_front d =
+  if d.len = 0 then invalid_arg "Deque.peek_front: empty";
+  unsome d.ring.(d.head)
+
+let peek_back d =
+  if d.len = 0 then invalid_arg "Deque.peek_back: empty";
+  unsome d.ring.(index d (d.len - 1))
+
+let get d i =
+  if i < 0 || i >= d.len then invalid_arg "Deque.get: out of bounds";
+  unsome d.ring.(index d i)
+
+let iter f d =
+  for i = 0 to d.len - 1 do
+    f (unsome d.ring.(index d i))
+  done
+
+let fold f acc d =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) d;
+  !acc
+
+let to_list d = List.rev (fold (fun acc x -> x :: acc) [] d)
+
+let of_list xs =
+  let d = create ~capacity:(max 1 (List.length xs)) () in
+  List.iter (push_back d) xs;
+  d

@@ -1,0 +1,52 @@
+(** Mutable double-ended queue backed by a growable circular array.
+
+    All operations are amortized O(1) except [iter]/[fold]/[to_list]/[get],
+    which are linear or constant as expected.  The deque is the backing store
+    of every per-port queue in the switch models, so it is written for
+    predictable allocation behaviour: the ring only grows (by doubling) and is
+    never shrunk. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty deque.  [capacity] is the initial ring size
+    (default 16, rounded up to at least 1). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Remove all elements.  Keeps the allocated ring. *)
+
+val push_front : 'a t -> 'a -> unit
+
+val push_back : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a
+(** @raise Invalid_argument on an empty deque. *)
+
+val pop_back : 'a t -> 'a
+(** @raise Invalid_argument on an empty deque. *)
+
+val peek_front : 'a t -> 'a
+(** @raise Invalid_argument on an empty deque. *)
+
+val peek_back : 'a t -> 'a
+(** @raise Invalid_argument on an empty deque. *)
+
+val get : 'a t -> int -> 'a
+(** [get d i] is the [i]-th element counting from the front (0-based).
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back iteration. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Front-to-back fold. *)
+
+val to_list : 'a t -> 'a list
+(** Front-to-back element list. *)
+
+val of_list : 'a list -> 'a t
+(** Deque whose front is the head of the list. *)

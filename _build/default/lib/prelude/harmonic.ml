@@ -1,0 +1,34 @@
+let euler_gamma = 0.57721566490153286
+
+(* Memo table: table.(i) = H_i.  Grows by doubling. *)
+let table = ref [| 0.0 |]
+let filled = ref 1 (* number of valid entries in [table] *)
+
+let ensure n =
+  let cap = Array.length !table in
+  if n + 1 > cap then begin
+    let cap' = max (n + 1) (2 * cap) in
+    let t = Array.make cap' 0.0 in
+    Array.blit !table 0 t 0 !filled;
+    table := t
+  end;
+  if n + 1 > !filled then begin
+    let t = !table in
+    for i = !filled to n do
+      t.(i) <- t.(i - 1) +. (1.0 /. float_of_int i)
+    done;
+    filled := n + 1
+  end
+
+let h n =
+  if n < 0 then invalid_arg "Harmonic.h: negative";
+  ensure n;
+  !table.(n)
+
+let h_range lo hi =
+  if lo < 1 then invalid_arg "Harmonic.h_range: lo must be >= 1";
+  if lo > hi then 0.0 else h hi -. h (lo - 1)
+
+let approx n =
+  let nf = float_of_int n in
+  log nf +. euler_gamma +. (1.0 /. (2.0 *. nf))

@@ -1,0 +1,99 @@
+type t = {
+  max_value : float;
+  buckets_per_decade : int;
+  counts : int array; (* counts.(0) is the [0, 1) bucket *)
+  mutable total : int;
+  mutable sum : float;
+  mutable max_seen : float;
+}
+
+let bucket_count ~max_value ~buckets_per_decade =
+  (* One bucket for [0, 1), then buckets_per_decade per decade above 1. *)
+  1 + int_of_float (ceil (log10 max_value *. float_of_int buckets_per_decade))
+
+let create ?(max_value = 1e9) ?(buckets_per_decade = 10) () =
+  if max_value <= 1.0 then invalid_arg "Histogram.create: max_value <= 1";
+  if buckets_per_decade < 1 then
+    invalid_arg "Histogram.create: buckets_per_decade < 1";
+  {
+    max_value;
+    buckets_per_decade;
+    counts = Array.make (bucket_count ~max_value ~buckets_per_decade + 1) 0;
+    total = 0;
+    sum = 0.0;
+    max_seen = 0.0;
+  }
+
+let index t x =
+  if x < 1.0 then 0
+  else
+    let i = 1 + int_of_float (log10 x *. float_of_int t.buckets_per_decade) in
+    min i (Array.length t.counts - 1)
+
+(* Lower edge of bucket i (inverse of [index]). *)
+let lower_edge t i =
+  if i = 0 then 0.0
+  else Float.pow 10.0 (float_of_int (i - 1) /. float_of_int t.buckets_per_decade)
+
+let upper_edge t i =
+  if i = 0 then 1.0
+  else Float.pow 10.0 (float_of_int i /. float_of_int t.buckets_per_decade)
+
+let add t x =
+  if x < 0.0 then invalid_arg "Histogram.add: negative sample";
+  let i = index t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. x;
+  if x > t.max_seen then t.max_seen <- x
+
+let count t = t.total
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let max_seen t = t.max_seen
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0, 1]";
+  if t.total = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int t.total in
+    let rec scan i seen =
+      if i >= Array.length t.counts then t.max_seen
+      else
+        let seen' = seen + t.counts.(i) in
+        if float_of_int seen' >= rank && t.counts.(i) > 0 then begin
+          (* Interpolate within the bucket. *)
+          let inside = rank -. float_of_int seen in
+          let frac = inside /. float_of_int t.counts.(i) in
+          let lo = lower_edge t i and hi = Float.min (upper_edge t i) t.max_seen in
+          Float.min (lo +. (frac *. (hi -. lo))) t.max_seen
+        end
+        else scan (i + 1) seen'
+    in
+    scan 0 0
+  end
+
+let merge a b =
+  if
+    a.max_value <> b.max_value || a.buckets_per_decade <> b.buckets_per_decade
+  then invalid_arg "Histogram.merge: incompatible bucketing";
+  let counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts in
+  {
+    a with
+    counts;
+    total = a.total + b.total;
+    sum = a.sum +. b.sum;
+    max_seen = Float.max a.max_seen b.max_seen;
+  }
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.max_seen <- 0.0
+
+let pp ppf t =
+  if t.total = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g"
+      t.total (mean t) (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)
+      t.max_seen

@@ -1,0 +1,35 @@
+(** Log-bucketed histogram for non-negative samples (latencies, queue
+    depths).  Buckets grow geometrically, so the histogram spans
+    microsecond-to-hour-like ranges with bounded memory and small relative
+    error; quantiles are interpolated within buckets. *)
+
+type t
+
+val create : ?max_value:float -> ?buckets_per_decade:int -> unit -> t
+(** [create ()] covers [0, max_value] (default 1e9) with
+    [buckets_per_decade] buckets per power of ten (default 10; relative
+    error ~ 26%/buckets_per_decade). *)
+
+val add : t -> float -> unit
+(** Negative samples raise [Invalid_argument]; samples above the cap are
+    clamped into the last bucket. *)
+
+val count : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]; 0 when empty.
+    @raise Invalid_argument for [q] outside [0, 1]. *)
+
+val mean : t -> float
+
+val max_seen : t -> float
+(** Largest sample added; 0 when empty. *)
+
+val merge : t -> t -> t
+(** Histogram of the union; both operands must share the same bucketing.
+    @raise Invalid_argument otherwise. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count, mean, p50/p90/p99, max. *)

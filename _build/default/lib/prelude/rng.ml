@@ -1,0 +1,105 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let float t =
+  (* 53 high bits scaled to [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub Int64.max_int (Int64.sub bound64 1L) then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t < p
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1.0 -. float t in
+  -.log u /. rate
+
+(* Standard normal via Box-Muller; one value per call is plenty here. *)
+let normal t =
+  let u1 = 1.0 -. float t and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let poisson t ~lambda =
+  if lambda < 0.0 then invalid_arg "Rng.poisson: lambda must be non-negative";
+  if lambda = 0.0 then 0
+  else if lambda < 30.0 then begin
+    (* Knuth's product method. *)
+    let limit = exp (-.lambda) in
+    let rec loop k prod =
+      let prod = prod *. float t in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.0
+  end
+  else begin
+    (* Normal approximation with continuity correction; adequate for traffic
+       generation at large means. *)
+    let x = (normal t *. sqrt lambda) +. lambda +. 0.5 in
+    if x < 0.0 then 0 else int_of_float x
+  end
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0, 1]";
+  if p = 1.0 then 0
+  else
+    let u = 1.0 -. float t in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let pareto_int t ~alpha ~max:cap =
+  if alpha <= 0.0 then invalid_arg "Rng.pareto_int: alpha must be positive";
+  if cap < 1 then invalid_arg "Rng.pareto_int: max must be >= 1";
+  let u = 1.0 -. float t in
+  let x = Float.pow u (-1.0 /. alpha) in
+  if x >= float_of_int cap then cap else int_of_float x
+
+let pareto_int_mean ~alpha ~max:cap =
+  if alpha <= 0.0 then invalid_arg "Rng.pareto_int_mean: alpha must be positive";
+  if cap < 1 then invalid_arg "Rng.pareto_int_mean: max must be >= 1";
+  (* E[X] = sum_(x=1..max) P(X >= x) = sum x^(-alpha). *)
+  let mean = ref 0.0 in
+  for x = 1 to cap do
+    mean := !mean +. Float.pow (float_of_int x) (-.alpha)
+  done;
+  !mean
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))

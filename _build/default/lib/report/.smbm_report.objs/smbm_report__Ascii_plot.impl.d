@@ -1,0 +1,1 @@
+lib/report/ascii_plot.ml: Array Buffer Float List Printf Series String

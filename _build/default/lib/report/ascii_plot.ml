@@ -1,0 +1,75 @@
+let markers = "ox+*#@%&=~^"
+
+let render ?(width = 64) ?(height = 16) ?title ?x_label ?y_label
+    ?(log_x = false) series =
+  let width = max width 8 and height = max height 4 in
+  let tx x = if log_x then log x else x in
+  let x_lo, x_hi = Series.x_range series in
+  let x_lo, x_hi = (tx x_lo, tx x_hi) in
+  let y_lo, y_hi = Series.y_range series in
+  (* Pad degenerate ranges so a flat series still renders. *)
+  let pad lo hi = if hi -. lo < 1e-9 then (lo -. 1.0, hi +. 1.0) else (lo, hi) in
+  let x_lo, x_hi = pad x_lo x_hi and y_lo, y_hi = pad y_lo y_hi in
+  let grid = Array.make_matrix height width ' ' in
+  let col x =
+    let f = (tx x -. x_lo) /. (x_hi -. x_lo) in
+    min (width - 1) (max 0 (int_of_float (f *. float_of_int (width - 1) +. 0.5)))
+  in
+  let row y =
+    let f = (y -. y_lo) /. (y_hi -. y_lo) in
+    let r = int_of_float (f *. float_of_int (height - 1) +. 0.5) in
+    height - 1 - min (height - 1) (max 0 r)
+  in
+  List.iteri
+    (fun i (s : Series.t) ->
+      let marker = markers.[i mod String.length markers] in
+      List.iter
+        (fun (x, y) ->
+          if Float.is_finite y && Float.is_finite (tx x) then
+            grid.(row y).(col x) <- marker)
+        s.points)
+    series;
+  let buf = Buffer.create (width * height * 2) in
+  (match title with
+  | Some t ->
+    Buffer.add_string buf t;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  (match y_label with
+  | Some l ->
+    Buffer.add_string buf l;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  let y_tick r =
+    (* y value at grid row r *)
+    y_lo +. ((y_hi -. y_lo) *. float_of_int (height - 1 - r) /. float_of_int (height - 1))
+  in
+  Array.iteri
+    (fun r line ->
+      let label =
+        if r = 0 || r = height - 1 || r = height / 2 then
+          Printf.sprintf "%8.3f |" (y_tick r)
+        else Printf.sprintf "%8s |" ""
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%8s  %-*.4g%*.4g\n" "" (width / 2)
+       (if log_x then exp x_lo else x_lo)
+       (width - (width / 2))
+       (if log_x then exp x_hi else x_hi));
+  (match x_label with
+  | Some l ->
+    Buffer.add_string buf (Printf.sprintf "%8s  x: %s\n" "" l)
+  | None -> ());
+  let legend =
+    List.mapi
+      (fun i (s : Series.t) ->
+        Printf.sprintf "%c=%s" markers.[i mod String.length markers] s.name)
+      series
+  in
+  Buffer.add_string buf (Printf.sprintf "%8s  %s\n" "" (String.concat "  " legend));
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Terminal line plots: several series on one character grid, with a
+    per-series marker legend.  Good enough to eyeball the shape of a Fig. 5
+    panel without leaving the terminal. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?log_x:bool ->
+  Series.t list ->
+  string
+(** [width] and [height] are the plotting area in characters (defaults 64 and
+    16).  [log_x] spaces x logarithmically (natural for doubling sweeps).
+    Non-finite y values are skipped. *)

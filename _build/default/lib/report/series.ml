@@ -1,0 +1,24 @@
+type t = { name : string; points : (float * float) list }
+
+let make ~name ~points = { name; points }
+
+let of_ints ~name ~points =
+  { name; points = List.map (fun (x, y) -> (float_of_int x, y)) points }
+
+let finite_fold f init series select =
+  List.fold_left
+    (fun acc s ->
+      List.fold_left
+        (fun acc p ->
+          let v = select p in
+          if Float.is_finite v then f acc v else acc)
+        acc s.points)
+    init series
+
+let range series select =
+  let lo = finite_fold Float.min infinity series select in
+  let hi = finite_fold Float.max neg_infinity series select in
+  if lo > hi then (0.0, 1.0) else (lo, hi)
+
+let y_range series = range series snd
+let x_range series = range series fst

@@ -1,0 +1,12 @@
+(** A named sequence of (x, y) points — one plotted line of a figure. *)
+
+type t = { name : string; points : (float * float) list }
+
+val make : name:string -> points:(float * float) list -> t
+
+val of_ints : name:string -> points:(int * float) list -> t
+
+val y_range : t list -> float * float
+(** (min, max) over all finite y values; (0, 1) when there are none. *)
+
+val x_range : t list -> float * float

@@ -1,0 +1,47 @@
+type align = Left | Right
+
+let float_cell ?(digits = 3) v =
+  if Float.is_nan v then "nan"
+  else if v = infinity then "inf"
+  else if v = neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" digits v
+
+let pad align width s =
+  let missing = width - String.length s in
+  if missing <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+
+let render ?align ~headers ~rows () =
+  let columns = List.length headers in
+  List.iter
+    (fun row ->
+      if List.length row > columns then
+        invalid_arg "Table.render: row longer than header")
+    rows;
+  let aligns =
+    match align with
+    | Some a ->
+      if List.length a <> columns then
+        invalid_arg "Table.render: align length mismatch"
+      else a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  let fill row = row @ List.init (columns - List.length row) (fun _ -> "") in
+  let all = headers :: List.map fill rows in
+  let width i =
+    List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init columns width in
+  let render_row row =
+    List.map2 (fun (a, w) cell -> pad a w cell) (List.combine aligns widths) row
+    |> String.concat "  "
+  in
+  let sep =
+    List.map (fun w -> String.make w '-') widths |> String.concat "  "
+  in
+  String.concat "\n"
+    (render_row headers :: sep :: List.map render_row (List.map fill rows))
+  ^ "\n"

@@ -1,0 +1,18 @@
+(** Column-aligned plain-text tables. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  headers:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** Monospace table with a header separator.  [align] gives per-column
+    alignment (default: first column left, rest right).  Short rows are
+    padded with empty cells.
+    @raise Invalid_argument if a row is longer than the header. *)
+
+val float_cell : ?digits:int -> float -> string
+(** Fixed-point rendering with [digits] decimals (default 3); infinities
+    render as "inf". *)

@@ -1,0 +1,1 @@
+lib/sim/competitive_check.ml: Instance Metrics Proc_engine Smbm_core Smbm_traffic

@@ -1,0 +1,1 @@
+lib/sim/competitive_check.mli: Instance Smbm_core Smbm_traffic

@@ -1,0 +1,1 @@
+lib/sim/exact_opt.ml: Array Arrival Hashtbl List Proc_config Smbm_core Value_config

@@ -1,0 +1,1 @@
+lib/sim/exact_opt.mli: Arrival Proc_config Smbm_core Value_config

@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Instance List Metrics Smbm_traffic

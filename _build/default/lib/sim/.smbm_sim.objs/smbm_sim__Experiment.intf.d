@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Instance Smbm_traffic

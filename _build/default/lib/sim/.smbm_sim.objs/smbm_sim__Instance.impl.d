@@ -1,0 +1,1 @@
+lib/sim/instance.ml: Arrival List Metrics Port_stats Smbm_core

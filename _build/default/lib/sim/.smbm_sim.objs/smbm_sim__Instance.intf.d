@@ -1,0 +1,1 @@
+lib/sim/instance.mli: Arrival Metrics Port_stats Smbm_core

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Format Histogram Running_stats Smbm_prelude

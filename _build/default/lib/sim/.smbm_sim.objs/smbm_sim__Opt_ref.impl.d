@@ -1,0 +1,1 @@
+lib/sim/opt_ref.ml: Arrival Count_multiset Instance Metrics Proc_config Running_stats Smbm_core Smbm_prelude Value_config

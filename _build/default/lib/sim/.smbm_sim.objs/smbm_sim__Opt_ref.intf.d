@@ -1,0 +1,1 @@
+lib/sim/opt_ref.mli: Instance Proc_config Smbm_core Value_config

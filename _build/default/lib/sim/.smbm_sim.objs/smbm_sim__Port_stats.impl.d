@@ -1,0 +1,1 @@
+lib/sim/port_stats.ml: Array Format

@@ -1,0 +1,1 @@
+lib/sim/port_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/proc_engine.ml: Arrival Decision Histogram Instance Metrics Option Packet Port_stats Proc_config Proc_policy Proc_switch Running_stats Smbm_core Smbm_prelude

@@ -1,0 +1,1 @@
+lib/sim/proc_engine.mli: Instance Packet Proc_config Proc_policy Proc_switch Smbm_core

@@ -1,0 +1,1 @@
+lib/sim/sweep.ml: Experiment Float Instance List Metrics Opt_ref Option Policies Port_stats Proc_config Proc_engine Scenario Smbm_core Smbm_prelude Smbm_traffic Value_config Value_engine

@@ -1,0 +1,1 @@
+lib/sim/sweep.mli: Smbm_traffic

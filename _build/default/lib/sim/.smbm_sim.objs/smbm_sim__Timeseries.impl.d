@@ -1,0 +1,1 @@
+lib/sim/timeseries.ml: Instance List Metrics Printf Smbm_report

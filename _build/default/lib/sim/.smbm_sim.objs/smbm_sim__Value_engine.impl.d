@@ -1,0 +1,1 @@
+lib/sim/value_engine.ml: Arrival Decision Histogram Instance Metrics Option Packet Port_stats Running_stats Smbm_core Smbm_prelude Value_config Value_policy Value_switch

@@ -1,0 +1,1 @@
+lib/sim/value_engine.mli: Instance Packet Smbm_core Value_config Value_policy Value_switch

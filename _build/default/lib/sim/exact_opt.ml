@@ -1,0 +1,162 @@
+open Smbm_core
+
+(* ----- processing model -----
+
+   Packets within a queue are identical (same required work), so a queue is
+   fully described by (length, head-of-line residual); the whole buffer by
+   the array of those pairs. *)
+
+module Proc_state = struct
+  type t = { slot : int; idx : int; queues : (int * int) array }
+
+  let equal a b = a.slot = b.slot && a.idx = b.idx && a.queues = b.queues
+
+  let hash t = Hashtbl.hash (t.slot, t.idx, t.queues)
+end
+
+module Proc_tbl = Hashtbl.Make (Proc_state)
+
+let proc config trace ~drain =
+  if drain < 0 then invalid_arg "Exact_opt.proc: negative drain";
+  let n = Proc_config.n config in
+  let buffer = config.Proc_config.buffer in
+  let cycles = config.Proc_config.speedup in
+  let total_slots = Array.length trace + drain in
+  let arrivals_at slot =
+    if slot < Array.length trace then Array.of_list trace.(slot) else [||]
+  in
+  let memo = Proc_tbl.create 4096 in
+  let occupancy queues =
+    Array.fold_left (fun acc (len, _) -> acc + len) 0 queues
+  in
+  (* Deterministic transmission phase on a queue-state copy; returns the
+     packets transmitted. *)
+  let transmit queues =
+    let queues = Array.copy queues in
+    let sent = ref 0 in
+    Array.iteri
+      (fun i (len, hol) ->
+        if len > 0 then begin
+          let work = Proc_config.work config i in
+          let len = ref len and hol = ref hol and budget = ref cycles in
+          while !budget > 0 && !len > 0 do
+            let served = min !budget !hol in
+            hol := !hol - served;
+            budget := !budget - served;
+            if !hol = 0 then begin
+              incr sent;
+              decr len;
+              hol := work
+            end
+          done;
+          queues.(i) <- (!len, if !len = 0 then 0 else !hol)
+        end)
+      queues;
+    (queues, !sent)
+  in
+  let rec best (st : Proc_state.t) =
+    if st.slot >= total_slots then 0
+    else
+      match Proc_tbl.find_opt memo st with
+      | Some v -> v
+      | None ->
+        let arrivals = arrivals_at st.slot in
+        let v =
+          if st.idx < Array.length arrivals then begin
+            let a = arrivals.(st.idx) in
+            let skip = best { st with idx = st.idx + 1 } in
+            if occupancy st.queues < buffer then begin
+              let queues = Array.copy st.queues in
+              let len, hol = queues.(a.Arrival.dest) in
+              let work = Proc_config.work config a.Arrival.dest in
+              queues.(a.Arrival.dest) <-
+                (len + 1, if len = 0 then work else hol);
+              max skip (best { st with idx = st.idx + 1; queues })
+            end
+            else skip
+          end
+          else begin
+            let queues, sent = transmit st.queues in
+            sent + best { slot = st.slot + 1; idx = 0; queues }
+          end
+        in
+        Proc_tbl.add memo st v;
+        v
+  in
+  best { slot = 0; idx = 0; queues = Array.make n (0, 0) }
+
+(* ----- value model -----
+
+   A queue is a descending-sorted list of values; transmission pops the
+   head of every non-empty queue [speedup] times. *)
+
+module Value_state = struct
+  type t = { slot : int; idx : int; queues : int list array }
+
+  let equal a b = a.slot = b.slot && a.idx = b.idx && a.queues = b.queues
+  let hash t = Hashtbl.hash (t.slot, t.idx, t.queues)
+end
+
+module Value_tbl = Hashtbl.Make (Value_state)
+
+let value config trace ~drain =
+  if drain < 0 then invalid_arg "Exact_opt.value: negative drain";
+  let n = Value_config.n config in
+  let buffer = config.Value_config.buffer in
+  let per_slot = config.Value_config.speedup in
+  let total_slots = Array.length trace + drain in
+  let arrivals_at slot =
+    if slot < Array.length trace then Array.of_list trace.(slot) else [||]
+  in
+  let memo = Value_tbl.create 4096 in
+  let occupancy queues =
+    Array.fold_left (fun acc q -> acc + List.length q) 0 queues
+  in
+  let rec insert_desc v = function
+    | [] -> [ v ]
+    | x :: rest when x >= v -> x :: insert_desc v rest
+    | rest -> v :: rest
+  in
+  let transmit queues =
+    let queues = Array.copy queues in
+    let value = ref 0 in
+    Array.iteri
+      (fun i q ->
+        let rec take budget = function
+          | v :: rest when budget > 0 ->
+            value := !value + v;
+            take (budget - 1) rest
+          | rest -> rest
+        in
+        queues.(i) <- take per_slot q)
+      queues;
+    (queues, !value)
+  in
+  let rec best (st : Value_state.t) =
+    if st.slot >= total_slots then 0
+    else
+      match Value_tbl.find_opt memo st with
+      | Some v -> v
+      | None ->
+        let arrivals = arrivals_at st.slot in
+        let v =
+          if st.idx < Array.length arrivals then begin
+            let a = arrivals.(st.idx) in
+            let skip = best { st with idx = st.idx + 1 } in
+            if occupancy st.queues < buffer then begin
+              let queues = Array.copy st.queues in
+              queues.(a.Arrival.dest) <-
+                insert_desc a.Arrival.value queues.(a.Arrival.dest);
+              max skip (best { st with idx = st.idx + 1; queues })
+            end
+            else skip
+          end
+          else begin
+            let queues, sent = transmit st.queues in
+            sent + best { slot = st.slot + 1; idx = 0; queues }
+          end
+        in
+        Value_tbl.add memo st v;
+        v
+  in
+  best { slot = 0; idx = 0; queues = Array.make n [] }

@@ -1,0 +1,23 @@
+(** Exact offline optimum for tiny instances, by exhaustive search.
+
+    Since an offline optimum never needs to push out (any eviction can be
+    replaced by not accepting the evicted packet), the search branches only
+    on accept/drop per arriving packet; transmission is deterministic.
+    Memoization is on (time position, buffer state), which stays small for
+    toy parameters (B up to ~6, a handful of slots).
+
+    Purpose: ground truth.  Tests use it to certify per trace that
+    [policy <= exact <= single-PQ reference], and to check LWD's
+    2-competitive guarantee (Theorem 7) against the *true* optimum rather
+    than the relaxed reference. *)
+
+open Smbm_core
+
+val proc : Proc_config.t -> Arrival.t list array -> drain:int -> int
+(** Maximum number of packets any (offline, clairvoyant) algorithm can
+    transmit when the given arrivals are followed by [drain] empty slots.
+    Intended for tiny instances; cost is exponential in the number of
+    arrivals before memoization. *)
+
+val value : Value_config.t -> Arrival.t list array -> drain:int -> int
+(** Maximum total transmitted value, same conventions. *)

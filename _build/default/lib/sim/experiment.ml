@@ -1,0 +1,34 @@
+type t = {
+  slots : int;
+  flush_every : int option;
+  check_every : int option;
+}
+
+let default = { slots = 200_000; flush_every = Some 10_000; check_every = None }
+
+let run ?(params = default) ~workload instances =
+  if params.slots < 0 then invalid_arg "Experiment.run: negative slot count";
+  let due every slot =
+    match every with
+    | Some n when n > 0 -> (slot + 1) mod n = 0
+    | Some _ | None -> false
+  in
+  for slot = 0 to params.slots - 1 do
+    let arrivals = Smbm_traffic.Workload.next workload in
+    List.iter (fun (i : Instance.t) -> Instance.step_slot i ~arrivals) instances;
+    if due params.flush_every slot then
+      List.iter (fun (i : Instance.t) -> i.flush ()) instances;
+    if due params.check_every slot then
+      List.iter (fun (i : Instance.t) -> i.check ()) instances
+  done
+
+let ratio ~objective ~opt ~alg =
+  let top = Metrics.throughput_of objective (opt : Instance.t).metrics in
+  let bottom = Metrics.throughput_of objective (alg : Instance.t).metrics in
+  if bottom = 0 then if top = 0 then 1.0 else infinity
+  else float_of_int top /. float_of_int bottom
+
+let ratios ~objective ~opt ~algs =
+  List.map
+    (fun (alg : Instance.t) -> (alg.name, ratio ~objective ~opt ~alg))
+    algs

@@ -1,0 +1,18 @@
+open Smbm_core
+
+type t = {
+  name : string;
+  arrive : Arrival.t -> unit;
+  transmit : unit -> unit;
+  end_slot : unit -> unit;
+  flush : unit -> unit;
+  occupancy : unit -> int;
+  metrics : Metrics.t;
+  ports : Port_stats.t option;
+  check : unit -> unit;
+}
+
+let step_slot t ~arrivals =
+  List.iter t.arrive arrivals;
+  t.transmit ();
+  t.end_slot ()

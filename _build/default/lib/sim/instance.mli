@@ -1,0 +1,22 @@
+(** A uniform handle on one running switch (a policy over a switch model, or
+    the single-priority-queue OPT reference), so that an experiment can step
+    heterogeneous instances in lockstep over one arrival stream. *)
+
+open Smbm_core
+
+type t = {
+  name : string;
+  arrive : Arrival.t -> unit;  (** offer one arriving packet *)
+  transmit : unit -> unit;  (** run one transmission phase *)
+  end_slot : unit -> unit;  (** per-slot bookkeeping (occupancy sample, clock) *)
+  flush : unit -> unit;  (** discard all buffered packets *)
+  occupancy : unit -> int;
+  metrics : Metrics.t;
+  ports : Port_stats.t option;
+      (** per-port transmission counters; [None] for references without
+          per-port structure (the single-PQ OPT) *)
+  check : unit -> unit;  (** assert internal invariants (test hook) *)
+}
+
+val step_slot : t -> arrivals:Arrival.t list -> unit
+(** One full slot: arrival phase, transmission phase, bookkeeping. *)

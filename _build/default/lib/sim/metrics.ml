@@ -1,0 +1,60 @@
+open Smbm_prelude
+
+type t = {
+  mutable arrivals : int;
+  mutable accepted : int;
+  mutable dropped : int;
+  mutable pushed_out : int;
+  mutable transmitted : int;
+  mutable transmitted_value : int;
+  mutable flushed : int;
+  latency : Running_stats.t;
+  latency_hist : Histogram.t;
+  occupancy : Running_stats.t;
+}
+
+let create () =
+  {
+    arrivals = 0;
+    accepted = 0;
+    dropped = 0;
+    pushed_out = 0;
+    transmitted = 0;
+    transmitted_value = 0;
+    flushed = 0;
+    latency = Running_stats.create ();
+    latency_hist = Histogram.create ~max_value:1e7 ();
+    occupancy = Running_stats.create ();
+  }
+
+let clear t =
+  t.arrivals <- 0;
+  t.accepted <- 0;
+  t.dropped <- 0;
+  t.pushed_out <- 0;
+  t.transmitted <- 0;
+  t.transmitted_value <- 0;
+  t.flushed <- 0;
+  Running_stats.clear t.latency;
+  Histogram.clear t.latency_hist;
+  Running_stats.clear t.occupancy
+
+let in_buffer t = t.accepted - t.transmitted - t.pushed_out - t.flushed
+
+let check_conservation t =
+  if t.arrivals <> t.accepted + t.dropped then
+    invalid_arg "Metrics: arrivals <> accepted + dropped";
+  if in_buffer t < 0 then
+    invalid_arg "Metrics: negative in-buffer population"
+
+let throughput_of objective t =
+  match objective with
+  | `Packets -> t.transmitted
+  | `Value -> t.transmitted_value
+
+let pp ppf t =
+  Format.fprintf ppf
+    "arrivals=%d accepted=%d dropped=%d pushed_out=%d transmitted=%d \
+     value=%d flushed=%d buffered=%d"
+    t.arrivals t.accepted t.dropped t.pushed_out t.transmitted
+    t.transmitted_value t.flushed (in_buffer t)

@@ -1,0 +1,37 @@
+(** Counters accumulated by one switch instance over a run.
+
+    Conservation invariant (checked by {!check_conservation}):
+    [arrivals = accepted + dropped] and
+    [accepted = transmitted + pushed_out + flushed + in_buffer]. *)
+
+open Smbm_prelude
+
+type t = {
+  mutable arrivals : int;  (** packets offered to the instance *)
+  mutable accepted : int;  (** packets admitted to the buffer *)
+  mutable dropped : int;  (** packets rejected on arrival *)
+  mutable pushed_out : int;  (** admitted packets later evicted *)
+  mutable transmitted : int;  (** packets fully processed and sent *)
+  mutable transmitted_value : int;
+      (** total intrinsic value sent (equals [transmitted] when values are
+          uniform) *)
+  mutable flushed : int;  (** packets discarded by periodic flushouts *)
+  latency : Running_stats.t;
+      (** admission-to-transmission delay in slots, over transmitted
+          packets *)
+  latency_hist : Histogram.t;
+      (** same samples, log-bucketed for quantiles (p50/p90/p99) *)
+  occupancy : Running_stats.t;  (** buffer occupancy sampled once per slot *)
+}
+
+val create : unit -> t
+val clear : t -> unit
+
+val in_buffer : t -> int
+(** Packets still buffered, derived from the counters. *)
+
+val check_conservation : t -> unit
+(** @raise Invalid_argument when the counters are inconsistent. *)
+
+val throughput_of : [ `Packets | `Value ] -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+open Smbm_prelude
+open Smbm_core
+
+let proc_instance ?(name = "OPT") ?cores config =
+  let cores =
+    match cores with
+    | Some c -> c
+    | None -> Proc_config.n config * config.Proc_config.speedup
+  in
+  if cores < 1 then invalid_arg "Opt_ref.proc_instance: cores must be >= 1";
+  let buffer = config.Proc_config.buffer in
+  let bag = Count_multiset.create ~k:(Proc_config.k config) in
+  let metrics = Metrics.create () in
+  let arrive (a : Arrival.t) =
+    metrics.arrivals <- metrics.arrivals + 1;
+    let work = Proc_config.work config a.dest in
+    if Count_multiset.size bag < buffer then begin
+      Count_multiset.add bag work;
+      metrics.accepted <- metrics.accepted + 1
+    end
+    else begin
+      match Count_multiset.max_key bag with
+      | Some worst when worst > work ->
+        Count_multiset.remove bag worst;
+        Count_multiset.add bag work;
+        metrics.pushed_out <- metrics.pushed_out + 1;
+        metrics.accepted <- metrics.accepted + 1
+      | Some _ | None -> metrics.dropped <- metrics.dropped + 1
+    end
+  in
+  let transmit () =
+    (* SRPT with the full per-slot cycle budget: cycles may stack on one
+       packet within a slot, so the reference dominates real queues at any
+       speedup (a queue can burn C cycles into successive packets). *)
+    let sent = Count_multiset.serve_srpt bag ~budget:cores in
+    metrics.transmitted <- metrics.transmitted + sent;
+    metrics.transmitted_value <- metrics.transmitted_value + sent
+  in
+  let end_slot () =
+    Running_stats.add metrics.occupancy (float_of_int (Count_multiset.size bag))
+  in
+  let flush () =
+    metrics.flushed <- metrics.flushed + Count_multiset.size bag;
+    Count_multiset.clear bag
+  in
+  let check () =
+    Metrics.check_conservation metrics;
+    if Metrics.in_buffer metrics <> Count_multiset.size bag then
+      invalid_arg (name ^ ": metrics out of sync with buffer");
+    if Count_multiset.size bag > buffer then
+      invalid_arg (name ^ ": buffer overflow")
+  in
+  {
+    Instance.name;
+    arrive;
+    transmit;
+    end_slot;
+    flush;
+    occupancy = (fun () -> Count_multiset.size bag);
+    metrics;
+    ports = None;
+    check;
+  }
+
+let value_instance ?(name = "OPT") ?cores config =
+  let cores =
+    match cores with
+    | Some c -> c
+    | None -> Value_config.n config * config.Value_config.speedup
+  in
+  if cores < 1 then invalid_arg "Opt_ref.value_instance: cores must be >= 1";
+  let buffer = config.Value_config.buffer in
+  let bag = Count_multiset.create ~k:(Value_config.k config) in
+  let metrics = Metrics.create () in
+  let arrive (a : Arrival.t) =
+    metrics.arrivals <- metrics.arrivals + 1;
+    if Count_multiset.size bag < buffer then begin
+      Count_multiset.add bag a.value;
+      metrics.accepted <- metrics.accepted + 1
+    end
+    else begin
+      match Count_multiset.min_key bag with
+      | Some worst when worst < a.value ->
+        Count_multiset.remove bag worst;
+        Count_multiset.add bag a.value;
+        metrics.pushed_out <- metrics.pushed_out + 1;
+        metrics.accepted <- metrics.accepted + 1
+      | Some _ | None -> metrics.dropped <- metrics.dropped + 1
+    end
+  in
+  let transmit () =
+    let count = min cores (Count_multiset.size bag) in
+    let value = Count_multiset.remove_largest bag ~budget:cores in
+    metrics.transmitted <- metrics.transmitted + count;
+    metrics.transmitted_value <- metrics.transmitted_value + value
+  in
+  let end_slot () =
+    Running_stats.add metrics.occupancy (float_of_int (Count_multiset.size bag))
+  in
+  let flush () =
+    metrics.flushed <- metrics.flushed + Count_multiset.size bag;
+    Count_multiset.clear bag
+  in
+  let check () =
+    Metrics.check_conservation metrics;
+    if Metrics.in_buffer metrics <> Count_multiset.size bag then
+      invalid_arg (name ^ ": metrics out of sync with buffer");
+    if Count_multiset.size bag > buffer then
+      invalid_arg (name ^ ": buffer overflow")
+  in
+  {
+    Instance.name;
+    arrive;
+    transmit;
+    end_slot;
+    flush;
+    occupancy = (fun () -> Count_multiset.size bag);
+    metrics;
+    ports = None;
+    check;
+  }

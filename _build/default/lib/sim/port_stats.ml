@@ -1,0 +1,47 @@
+type t = { packets : int array; values : int array }
+
+let create ~n =
+  if n < 1 then invalid_arg "Port_stats.create: n must be >= 1";
+  { packets = Array.make n 0; values = Array.make n 0 }
+
+let n t = Array.length t.packets
+
+let record t ~port ~value =
+  t.packets.(port) <- t.packets.(port) + 1;
+  t.values.(port) <- t.values.(port) + value
+
+let transmitted t i = t.packets.(i)
+let transmitted_value t i = t.values.(i)
+let total t = Array.fold_left ( + ) 0 t.packets
+
+let jain_index t ~objective =
+  let xs = match objective with `Packets -> t.packets | `Value -> t.values in
+  let sum = Array.fold_left (fun acc x -> acc +. float_of_int x) 0.0 xs in
+  if sum = 0.0 then 1.0
+  else
+    let sum_sq =
+      Array.fold_left
+        (fun acc x -> acc +. (float_of_int x *. float_of_int x))
+        0.0 xs
+    in
+    sum *. sum /. (float_of_int (Array.length xs) *. sum_sq)
+
+let starved_ports t =
+  Array.fold_left (fun acc x -> if x = 0 then acc + 1 else acc) 0 t.packets
+
+let min_max_share t =
+  let total = total t in
+  if total = 0 then (0.0, 0.0)
+  else
+    let lo = Array.fold_left min max_int t.packets
+    and hi = Array.fold_left max 0 t.packets in
+    (float_of_int lo /. float_of_int total, float_of_int hi /. float_of_int total)
+
+let clear t =
+  Array.fill t.packets 0 (Array.length t.packets) 0;
+  Array.fill t.values 0 (Array.length t.values) 0
+
+let pp ppf t =
+  Format.fprintf ppf "jain=%.3f starved=%d/%d"
+    (jain_index t ~objective:`Packets)
+    (starved_ports t) (n t)

@@ -1,0 +1,38 @@
+(** Per-output-port transmission counters and fairness summaries.
+
+    The paper's introduction frames buffer sharing as a fairness problem
+    ("a single output port may monopolize the shared memory"); these
+    counters make that visible: per-port throughput, the share of idle
+    ports, and Jain's fairness index over per-port service. *)
+
+type t
+
+val create : n:int -> t
+
+val n : t -> int
+
+val record : t -> port:int -> value:int -> unit
+(** Account one transmitted packet of the given intrinsic value. *)
+
+val transmitted : t -> int -> int
+(** Packets transmitted by port [i]. *)
+
+val transmitted_value : t -> int -> int
+
+val total : t -> int
+
+val jain_index : t -> objective:[ `Packets | `Value ] -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)] over per-port
+    throughput: 1 when all ports receive equal service, 1/n when a single
+    port monopolizes the switch.  1 when nothing was transmitted. *)
+
+val starved_ports : t -> int
+(** Ports that transmitted nothing. *)
+
+val min_max_share : t -> float * float
+(** Smallest and largest per-port share of total transmitted packets;
+    (0, 0) when nothing was transmitted. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+open Smbm_prelude
+open Smbm_core
+
+let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) config
+    (policy : Proc_policy.t) =
+  let name = Option.value name ~default:policy.name in
+  let sw = Proc_switch.create config in
+  let metrics = Metrics.create () in
+  let ports = Port_stats.create ~n:(Proc_config.n config) in
+  let on_transmit (p : Packet.Proc.t) =
+    metrics.transmitted <- metrics.transmitted + 1;
+    metrics.transmitted_value <- metrics.transmitted_value + 1;
+    let latency = float_of_int (Proc_switch.now sw - p.arrival) in
+    Running_stats.add metrics.latency latency;
+    Histogram.add metrics.latency_hist latency;
+    Port_stats.record ports ~port:p.dest ~value:1;
+    observe p
+  in
+  let arrive (a : Arrival.t) =
+    metrics.arrivals <- metrics.arrivals + 1;
+    match Proc_policy.admit policy sw ~dest:a.dest with
+    | Decision.Accept ->
+      ignore (Proc_switch.accept sw ~dest:a.dest);
+      metrics.accepted <- metrics.accepted + 1
+    | Decision.Push_out { victim } ->
+      if not (Proc_switch.is_full sw) then
+        invalid_arg
+          (name ^ ": push-out decision while the buffer has free space");
+      ignore (Proc_switch.push_out sw ~victim);
+      metrics.pushed_out <- metrics.pushed_out + 1;
+      ignore (Proc_switch.accept sw ~dest:a.dest);
+      metrics.accepted <- metrics.accepted + 1
+    | Decision.Drop -> metrics.dropped <- metrics.dropped + 1
+  in
+  let transmit () = ignore (Proc_switch.transmit_phase sw ~on_transmit) in
+  let end_slot () =
+    Running_stats.add metrics.occupancy (float_of_int (Proc_switch.occupancy sw));
+    Proc_switch.advance_slot sw
+  in
+  let flush () = metrics.flushed <- metrics.flushed + Proc_switch.flush sw in
+  let check () =
+    Proc_switch.check_invariants sw;
+    Metrics.check_conservation metrics;
+    if Metrics.in_buffer metrics <> Proc_switch.occupancy sw then
+      invalid_arg (name ^ ": metrics in-buffer count out of sync with switch")
+  in
+  let inst : Instance.t =
+    {
+      name;
+      arrive;
+      transmit;
+      end_slot;
+      flush;
+      occupancy = (fun () -> Proc_switch.occupancy sw);
+      metrics;
+      ports = Some ports;
+      check;
+    }
+  in
+  (inst, sw)
+
+let instance ?name ?observe config policy =
+  fst (create ?name ?observe config policy)

@@ -1,0 +1,29 @@
+(** Drives a {!Smbm_core.Proc_policy} over a {!Smbm_core.Proc_switch} as a
+    steppable {!Instance}.
+
+    The engine enforces decision legality: [Accept] requires free space (the
+    switch checks), [Push_out] is only legal when the buffer is full (and the
+    switch checks the victim queue is non-empty).  An illegal decision raises
+    [Invalid_argument] — a policy bug fails fast instead of skewing an
+    experiment. *)
+
+open Smbm_core
+
+val create :
+  ?name:string ->
+  ?observe:(Packet.Proc.t -> unit) ->
+  Proc_config.t ->
+  Proc_policy.t ->
+  Instance.t * Proc_switch.t
+(** Fresh instance plus its underlying switch (exposed for inspection in
+    tests and examples).  [name] defaults to the policy's name; [observe] is
+    called on every transmitted packet (per-port tallies, latency
+    histograms, ...). *)
+
+val instance :
+  ?name:string ->
+  ?observe:(Packet.Proc.t -> unit) ->
+  Proc_config.t ->
+  Proc_policy.t ->
+  Instance.t
+(** [fst (create ...)]. *)

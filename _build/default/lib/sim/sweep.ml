@@ -1,0 +1,228 @@
+open Smbm_core
+open Smbm_traffic
+
+type model = Proc | Value_uniform | Value_port
+type axis = K | B | C
+
+type base = {
+  k : int;
+  buffer : int;
+  speedup : int;
+  load : float;
+  mmpp : Scenario.mmpp_params;
+  slots : int;
+  flush_every : int option;
+  seed : int;
+}
+
+let default_base =
+  {
+    k = 16;
+    buffer = 64;
+    speedup = 1;
+    load = 2.0;
+    mmpp = Scenario.default_mmpp;
+    slots = 50_000;
+    flush_every = Some 2_500;
+    seed = 42;
+  }
+
+type panel = { number : int; model : model; axis : axis; xs : int list }
+
+let default_xs = function
+  | K -> [ 2; 4; 8; 16; 32; 64 ]
+  | B -> [ 16; 32; 64; 128; 256; 512; 1024 ]
+  | C -> [ 1; 2; 3; 4; 6; 8; 12; 16 ]
+
+let panel number =
+  if number < 1 || number > 9 then invalid_arg "Sweep.panel: expected 1..9";
+  let model =
+    match (number - 1) / 3 with
+    | 0 -> Proc
+    | 1 -> Value_uniform
+    | _ -> Value_port
+  in
+  let axis = match (number - 1) mod 3 with 0 -> K | 1 -> B | _ -> C in
+  { number; model; axis; xs = default_xs axis }
+
+type point = { x : int; ratios : (string * float) list }
+type outcome = { panel : panel; points : point list }
+
+let objective = function
+  | Proc -> `Packets
+  | Value_uniform | Value_port -> `Value
+
+(* Effective parameters at sweep value [x]. *)
+let apply_axis base axis x =
+  match axis with
+  | K -> { base with k = x }
+  | B -> { base with buffer = x }
+  | C -> { base with speedup = x }
+
+let proc_setup ~reference base =
+  let config =
+    Proc_config.contiguous ~k:base.k ~buffer:base.buffer ~speedup:base.speedup
+      ()
+  in
+  let workload =
+    Scenario.proc_workload ~mmpp:base.mmpp
+      ~reference:
+        (Proc_config.contiguous ~k:reference.k ~buffer:reference.buffer
+           ~speedup:reference.speedup ())
+      ~config ~load:base.load ~seed:base.seed ()
+  in
+  let instances =
+    Opt_ref.proc_instance config
+    :: List.map (Proc_engine.instance config) (Policies.proc config)
+  in
+  (workload, instances)
+
+let value_setup ~reference ~port_tied base =
+  let config =
+    Value_config.make ~ports:base.k ~max_value:base.k ~buffer:base.buffer
+      ~speedup:base.speedup ()
+  in
+  let ref_config =
+    Value_config.make ~ports:reference.k ~max_value:reference.k
+      ~buffer:reference.buffer ~speedup:reference.speedup ()
+  in
+  let workload =
+    if port_tied then
+      Scenario.value_port_workload ~mmpp:base.mmpp ~reference:ref_config
+        ~config ~load:base.load ~seed:base.seed ()
+    else
+      Scenario.value_uniform_workload ~mmpp:base.mmpp ~reference:ref_config
+        ~config ~load:base.load ~seed:base.seed ()
+  in
+  let policies =
+    if port_tied then
+      Policies.value_port ~port_value:(Scenario.port_values config) config
+    else Policies.value_uniform config
+  in
+  let instances =
+    Opt_ref.value_instance config
+    :: List.map (Value_engine.instance config) policies
+  in
+  (workload, instances)
+
+(* [reference] carries the sweep's base parameters: the workload intensity is
+   derived from it, not from the swept configuration, so the absolute traffic
+   stays constant along the sweep (the paper's setup: growing k or C means
+   growing capacity under the same offered traffic). *)
+let setup ?reference model base =
+  let reference = Option.value reference ~default:base in
+  match model with
+  | Proc -> proc_setup ~reference base
+  | Value_uniform -> value_setup ~reference ~port_tied:false base
+  | Value_port -> value_setup ~reference ~port_tied:true base
+
+let policy_names model base =
+  let _, instances = setup model base in
+  match instances with
+  | _opt :: algs -> List.map (fun (i : Instance.t) -> i.Instance.name) algs
+  | [] -> []
+
+let run_point ~base ~model ~axis ~x =
+  let reference = base in
+  let base = apply_axis base axis x in
+  let workload, instances = setup ~reference model base in
+  let params =
+    {
+      Experiment.slots = base.slots;
+      flush_every = base.flush_every;
+      check_every = None;
+    }
+  in
+  Experiment.run ~params ~workload instances;
+  match instances with
+  | opt :: algs -> Experiment.ratios ~objective:(objective model) ~opt ~algs
+  | [] -> []
+
+type detail = {
+  ratio : float;
+  jain : float;
+  starved : int;
+  mean_latency : float;
+  p99_latency : float;
+  drop_rate : float;
+}
+
+let run_point_detailed ~base ~model ~axis ~x =
+  let reference = base in
+  let base = apply_axis base axis x in
+  let workload, instances = setup ~reference model base in
+  let params =
+    {
+      Experiment.slots = base.slots;
+      flush_every = base.flush_every;
+      check_every = None;
+    }
+  in
+  Experiment.run ~params ~workload instances;
+  match instances with
+  | opt :: algs ->
+    List.map
+      (fun (alg : Instance.t) ->
+        let m = alg.metrics in
+        let jain, starved =
+          match alg.ports with
+          | Some ports ->
+            ( Port_stats.jain_index ports ~objective:(objective model),
+              Port_stats.starved_ports ports )
+          | None -> (1.0, 0)
+        in
+        let drop_rate =
+          if m.Metrics.arrivals = 0 then 0.0
+          else float_of_int m.Metrics.dropped /. float_of_int m.Metrics.arrivals
+        in
+        ( alg.name,
+          {
+            ratio = Experiment.ratio ~objective:(objective model) ~opt ~alg;
+            jain;
+            starved;
+            mean_latency = Smbm_prelude.Running_stats.mean m.Metrics.latency;
+            p99_latency =
+              Smbm_prelude.Histogram.quantile m.Metrics.latency_hist 0.99;
+            drop_rate;
+          } ))
+      algs
+  | [] -> []
+
+type replicated = { mean : float; stddev : float; runs : int }
+
+let run_point_replicated ~base ~model ~axis ~x ~seeds =
+  if seeds = [] then invalid_arg "Sweep.run_point_replicated: no seeds";
+  let per_seed =
+    List.map (fun seed -> run_point ~base:{ base with seed } ~model ~axis ~x) seeds
+  in
+  match per_seed with
+  | [] -> []
+  | first :: _ ->
+    List.map
+      (fun (name, _) ->
+        let stats = Smbm_prelude.Running_stats.create () in
+        List.iter
+          (fun ratios ->
+            match List.assoc_opt name ratios with
+            | Some r when Float.is_finite r ->
+              Smbm_prelude.Running_stats.add stats r
+            | Some _ | None -> ())
+          per_seed;
+        ( name,
+          {
+            mean = Smbm_prelude.Running_stats.mean stats;
+            stddev = Smbm_prelude.Running_stats.stddev stats;
+            runs = Smbm_prelude.Running_stats.count stats;
+          } ))
+      first
+
+let run_panel ?(base = default_base) ?xs number =
+  let panel = panel number in
+  let panel = match xs with Some xs -> { panel with xs } | None -> panel in
+  let points =
+    List.map
+      (fun x ->
+        { x; ratios = run_point ~base ~model:panel.model ~axis:panel.axis ~x })
+      panel.xs
+  in
+  { panel; points }

@@ -1,0 +1,85 @@
+(** Parameter sweeps reproducing the nine panels of the paper's Fig. 5.
+
+    Each panel plots the empirical competitive ratio (OPT-reference
+    throughput divided by policy throughput) of every policy against one
+    swept parameter: the maximum work / value [k], the buffer size [B], or
+    the per-queue speedup [C].  Panels 1-3 are the processing model, 4-6 the
+    value model with independently uniform port and value, 7-9 the value
+    model with value = port label.
+
+    As in the paper, the number of output ports [n] equals [k]: the
+    processing model uses the contiguous configuration (port [i] requires
+    [i+1] cycles) and the value-per-port case assigns value [i+1] to port
+    [i]. *)
+
+type model = Proc | Value_uniform | Value_port
+type axis = K | B | C
+
+type base = {
+  k : int;
+  buffer : int;
+  speedup : int;
+  load : float;  (** normalized offered load; see {!Smbm_traffic.Scenario} *)
+  mmpp : Smbm_traffic.Scenario.mmpp_params;
+  slots : int;
+  flush_every : int option;
+  seed : int;
+}
+
+val default_base : base
+(** k = 16, B = 64, C = 1, load = 2.0, 500 MMPP sources, 50_000 slots,
+    flushouts every 2_500 slots, seed 42. *)
+
+type panel = { number : int; model : model; axis : axis; xs : int list }
+
+val panel : int -> panel
+(** Panel definition for numbers 1-9 with the default sweep values.
+    @raise Invalid_argument outside 1-9. *)
+
+type point = { x : int; ratios : (string * float) list }
+(** Policy name -> empirical competitive ratio at one sweep value. *)
+
+type outcome = { panel : panel; points : point list }
+
+val policy_names : model -> base -> string list
+(** The series (policy names) a panel of this model produces, in order. *)
+
+val run_point :
+  base:base -> model:model -> axis:axis -> x:int -> (string * float) list
+(** One sweep point: build configuration and workload, run all policies plus
+    the OPT reference in lockstep, return ratios.  The workload intensity is
+    derived from [base] (not the swept value), so traffic stays constant
+    along an axis, as in the paper. *)
+
+type detail = {
+  ratio : float;
+  jain : float;  (** Jain fairness index over per-port transmissions *)
+  starved : int;  (** ports that transmitted nothing *)
+  mean_latency : float;
+  p99_latency : float;
+  drop_rate : float;  (** dropped / arrivals *)
+}
+
+val run_point_detailed :
+  base:base -> model:model -> axis:axis -> x:int -> (string * detail) list
+(** Like {!run_point} but also reporting fairness, latency and loss — the
+    dimensions the paper's introduction motivates (complete sharing can
+    hamper fairness; starvation of expensive traffic). *)
+
+type replicated = { mean : float; stddev : float; runs : int }
+
+val run_point_replicated :
+  base:base ->
+  model:model ->
+  axis:axis ->
+  x:int ->
+  seeds:int list ->
+  (string * replicated) list
+(** {!run_point} repeated over independent seeds, with per-policy mean and
+    sample standard deviation of the ratio. *)
+
+val run_panel : ?base:base -> ?xs:int list -> int -> outcome
+(** Run panel [number] (1-9), overriding the sweep values with [xs] when
+    given. *)
+
+val objective : model -> [ `Packets | `Value ]

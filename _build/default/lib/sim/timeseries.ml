@@ -1,0 +1,84 @@
+type sample = {
+  slot : int;
+  occupancy : int;
+  throughput : float;
+  drop_rate : float;
+}
+
+type t = {
+  every : int;
+  name : string;
+  mutable slot : int;
+  mutable last_transmitted : int;
+  mutable last_dropped : int;
+  mutable last_arrivals : int;
+  mutable samples : sample list; (* newest first *)
+}
+
+let attach ~every (inst : Instance.t) =
+  if every <= 0 then invalid_arg "Timeseries.attach: every must be positive";
+  let t =
+    {
+      every;
+      name = inst.name;
+      slot = 0;
+      last_transmitted = 0;
+      last_dropped = 0;
+      last_arrivals = 0;
+      samples = [];
+    }
+  in
+  let end_slot () =
+    inst.end_slot ();
+    t.slot <- t.slot + 1;
+    if t.slot mod t.every = 0 then begin
+      let m = inst.metrics in
+      let sent = m.Metrics.transmitted - t.last_transmitted in
+      let dropped = m.Metrics.dropped - t.last_dropped in
+      let arrivals = m.Metrics.arrivals - t.last_arrivals in
+      t.last_transmitted <- m.Metrics.transmitted;
+      t.last_dropped <- m.Metrics.dropped;
+      t.last_arrivals <- m.Metrics.arrivals;
+      t.samples <-
+        {
+          slot = t.slot;
+          occupancy = inst.occupancy ();
+          throughput = float_of_int sent /. float_of_int t.every;
+          drop_rate =
+            (if arrivals = 0 then 0.0
+             else float_of_int dropped /. float_of_int arrivals);
+        }
+        :: t.samples
+    end
+  in
+  ({ inst with end_slot }, t)
+
+let samples t = List.length t.samples
+
+let series t ~suffix select =
+  Smbm_report.Series.make
+    ~name:(t.name ^ suffix)
+    ~points:
+      (List.rev_map
+         (fun (s : sample) -> (float_of_int s.slot, select s))
+         t.samples)
+
+let occupancy t = series t ~suffix:"/occupancy" (fun s -> float_of_int s.occupancy)
+let throughput t = series t ~suffix:"/throughput" (fun s -> s.throughput)
+let drop_rate t = series t ~suffix:"/drop-rate" (fun s -> s.drop_rate)
+
+let to_csv t =
+  let rows =
+    List.rev_map
+      (fun (s : sample) ->
+        [
+          string_of_int s.slot;
+          string_of_int s.occupancy;
+          Printf.sprintf "%.6f" s.throughput;
+          Printf.sprintf "%.6f" s.drop_rate;
+        ])
+      t.samples
+  in
+  Smbm_report.Csv.of_table
+    ~headers:[ "slot"; "occupancy"; "throughput"; "drop_rate" ]
+    ~rows

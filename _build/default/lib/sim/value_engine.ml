@@ -1,0 +1,64 @@
+open Smbm_prelude
+open Smbm_core
+
+let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) config
+    (policy : Value_policy.t) =
+  let name = Option.value name ~default:policy.name in
+  let sw = Value_switch.create config in
+  let metrics = Metrics.create () in
+  let ports = Port_stats.create ~n:(Value_config.n config) in
+  let on_transmit (p : Packet.Value.t) =
+    metrics.transmitted <- metrics.transmitted + 1;
+    metrics.transmitted_value <- metrics.transmitted_value + p.value;
+    let latency = float_of_int (Value_switch.now sw - p.arrival) in
+    Running_stats.add metrics.latency latency;
+    Histogram.add metrics.latency_hist latency;
+    Port_stats.record ports ~port:p.dest ~value:p.value;
+    observe p
+  in
+  let arrive (a : Arrival.t) =
+    metrics.arrivals <- metrics.arrivals + 1;
+    match Value_policy.admit policy sw ~dest:a.dest ~value:a.value with
+    | Decision.Accept ->
+      ignore (Value_switch.accept sw ~dest:a.dest ~value:a.value);
+      metrics.accepted <- metrics.accepted + 1
+    | Decision.Push_out { victim } ->
+      if not (Value_switch.is_full sw) then
+        invalid_arg
+          (name ^ ": push-out decision while the buffer has free space");
+      ignore (Value_switch.push_out sw ~victim);
+      metrics.pushed_out <- metrics.pushed_out + 1;
+      ignore (Value_switch.accept sw ~dest:a.dest ~value:a.value);
+      metrics.accepted <- metrics.accepted + 1
+    | Decision.Drop -> metrics.dropped <- metrics.dropped + 1
+  in
+  let transmit () = ignore (Value_switch.transmit_phase sw ~on_transmit) in
+  let end_slot () =
+    Running_stats.add metrics.occupancy
+      (float_of_int (Value_switch.occupancy sw));
+    Value_switch.advance_slot sw
+  in
+  let flush () = metrics.flushed <- metrics.flushed + Value_switch.flush sw in
+  let check () =
+    Value_switch.check_invariants sw;
+    Metrics.check_conservation metrics;
+    if Metrics.in_buffer metrics <> Value_switch.occupancy sw then
+      invalid_arg (name ^ ": metrics in-buffer count out of sync with switch")
+  in
+  let inst : Instance.t =
+    {
+      name;
+      arrive;
+      transmit;
+      end_slot;
+      flush;
+      occupancy = (fun () -> Value_switch.occupancy sw);
+      metrics;
+      ports = Some ports;
+      check;
+    }
+  in
+  (inst, sw)
+
+let instance ?name ?observe config policy =
+  fst (create ?name ?observe config policy)

@@ -1,0 +1,20 @@
+(** Drives a {!Smbm_core.Value_policy} over a {!Smbm_core.Value_switch} as a
+    steppable {!Instance}.  Decision legality is enforced as in
+    {!Proc_engine}. *)
+
+open Smbm_core
+
+val create :
+  ?name:string ->
+  ?observe:(Packet.Value.t -> unit) ->
+  Value_config.t ->
+  Value_policy.t ->
+  Instance.t * Value_switch.t
+(** [observe] is called on every transmitted packet. *)
+
+val instance :
+  ?name:string ->
+  ?observe:(Packet.Value.t -> unit) ->
+  Value_config.t ->
+  Value_policy.t ->
+  Instance.t

@@ -1,0 +1,1 @@
+lib/traffic/label.ml: Array Arrival Rng Smbm_core Smbm_prelude

@@ -1,0 +1,1 @@
+lib/traffic/label.mli: Arrival Rng Smbm_core Smbm_prelude

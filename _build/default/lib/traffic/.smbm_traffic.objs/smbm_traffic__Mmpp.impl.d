@@ -1,0 +1,1 @@
+lib/traffic/mmpp.ml: Printf Rng Smbm_prelude

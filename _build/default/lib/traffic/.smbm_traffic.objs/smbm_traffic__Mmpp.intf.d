@@ -1,0 +1,1 @@
+lib/traffic/mmpp.mli: Rng Smbm_prelude

@@ -1,0 +1,1 @@
+lib/traffic/scenario.ml: Array Float Label List Mmpp Option Proc_config Rng Smbm_core Smbm_prelude Source Value_config Workload

@@ -1,0 +1,1 @@
+lib/traffic/scenario.mli: Label Rng Smbm_core Smbm_prelude Source Workload

@@ -1,0 +1,1 @@
+lib/traffic/source.ml: Label Mmpp Rng Smbm_prelude

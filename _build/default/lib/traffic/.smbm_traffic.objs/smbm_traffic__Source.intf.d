@@ -1,0 +1,1 @@
+lib/traffic/source.mli: Arrival Label Mmpp Rng Smbm_core Smbm_prelude

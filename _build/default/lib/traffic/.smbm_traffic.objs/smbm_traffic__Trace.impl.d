@@ -1,0 +1,1 @@
+lib/traffic/trace.ml: Array Arrival List Printf Smbm_core String Workload

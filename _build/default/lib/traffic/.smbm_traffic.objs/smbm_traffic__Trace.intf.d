@@ -1,0 +1,1 @@
+lib/traffic/trace.mli: Arrival Smbm_core Workload

@@ -1,0 +1,1 @@
+lib/traffic/trace_stats.ml: Arrival Format Hashtbl List Option Proc_config Running_stats Smbm_core Smbm_prelude Trace

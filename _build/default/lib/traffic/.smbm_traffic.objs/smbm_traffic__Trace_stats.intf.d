@@ -1,0 +1,1 @@
+lib/traffic/trace_stats.mli: Format Proc_config Smbm_core Trace

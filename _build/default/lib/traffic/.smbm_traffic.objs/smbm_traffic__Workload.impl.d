@@ -1,0 +1,1 @@
+lib/traffic/workload.ml: Array Arrival List Smbm_core Source

@@ -1,0 +1,1 @@
+lib/traffic/workload.mli: Arrival Smbm_core Source

@@ -1,0 +1,33 @@
+open Smbm_prelude
+open Smbm_core
+
+type t = Rng.t -> Arrival.t
+
+let uniform_port ~n rng = Arrival.make ~dest:(Rng.int rng n) ()
+
+let uniform_port_and_value ~n ~k rng =
+  Arrival.make ~dest:(Rng.int rng n) ~value:(Rng.int_in rng 1 k) ()
+
+let value_equals_port ~n rng =
+  let dest = Rng.int rng n in
+  Arrival.make ~dest ~value:(dest + 1) ()
+
+let fixed_port ~dest ?(value = 1) () _rng = Arrival.make ~dest ~value ()
+
+let weighted_port ~weights ?(value_of_port = fun _ -> 1) () =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if Array.length weights = 0 then invalid_arg "Label.weighted_port: empty";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Label.weighted_port: negative weight")
+    weights;
+  if total <= 0.0 then invalid_arg "Label.weighted_port: all weights zero";
+  fun rng ->
+    let x = Rng.float rng *. total in
+    let rec pick i acc =
+      if i = Array.length weights - 1 then i
+      else
+        let acc = acc +. weights.(i) in
+        if x < acc then i else pick (i + 1) acc
+    in
+    let dest = pick 0 0.0 in
+    Arrival.make ~dest ~value:(value_of_port dest) ()

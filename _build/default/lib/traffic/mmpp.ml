@@ -1,0 +1,64 @@
+open Smbm_prelude
+
+type emission = Poisson of float | Batch of { sample : Rng.t -> int; mean : float }
+
+type t = {
+  rng : Rng.t;
+  p_on_to_off : float;
+  p_off_to_on : float;
+  emission : emission;
+  mutable on : bool;
+}
+
+let stationary_on ~p_on_to_off ~p_off_to_on =
+  if p_on_to_off +. p_off_to_on = 0.0 then 0.5
+  else p_off_to_on /. (p_on_to_off +. p_off_to_on)
+
+let check_probabilities ~p_on_to_off ~p_off_to_on =
+  let check p what =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Mmpp.create: %s must be in [0, 1]" what)
+  in
+  check p_on_to_off "p_on_to_off";
+  check p_off_to_on "p_off_to_on"
+
+let make ~rng ~p_on_to_off ~p_off_to_on ~emission ~start_on =
+  check_probabilities ~p_on_to_off ~p_off_to_on;
+  let on =
+    match start_on with
+    | Some b -> b
+    | None -> Rng.bernoulli rng ~p:(stationary_on ~p_on_to_off ~p_off_to_on)
+  in
+  { rng; p_on_to_off; p_off_to_on; emission; on }
+
+let create ~rng ~p_on_to_off ~p_off_to_on ~rate_on ?start_on () =
+  if rate_on < 0.0 then invalid_arg "Mmpp.create: rate_on must be >= 0";
+  make ~rng ~p_on_to_off ~p_off_to_on ~emission:(Poisson rate_on) ~start_on
+
+let create_batch ~rng ~p_on_to_off ~p_off_to_on ~sample ~mean ?start_on () =
+  if mean < 0.0 then invalid_arg "Mmpp.create_batch: mean must be >= 0";
+  make ~rng ~p_on_to_off ~p_off_to_on ~emission:(Batch { sample; mean })
+    ~start_on
+
+let step t =
+  let flip_p = if t.on then t.p_on_to_off else t.p_off_to_on in
+  if Rng.bernoulli t.rng ~p:flip_p then t.on <- not t.on;
+  if t.on then
+    match t.emission with
+    | Poisson lambda -> Rng.poisson t.rng ~lambda
+    | Batch { sample; _ } ->
+      let n = sample t.rng in
+      if n < 0 then invalid_arg "Mmpp.step: batch sampler returned negative"
+      else n
+  else 0
+
+let is_on t = t.on
+
+let duty_cycle t =
+  stationary_on ~p_on_to_off:t.p_on_to_off ~p_off_to_on:t.p_off_to_on
+
+let mean_rate t =
+  let on_mean =
+    match t.emission with Poisson lambda -> lambda | Batch { mean; _ } -> mean
+  in
+  duty_cycle t *. on_mean

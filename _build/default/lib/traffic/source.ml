@@ -1,0 +1,12 @@
+open Smbm_prelude
+type t = { mmpp : Mmpp.t; label : Label.t; rng : Rng.t }
+
+let create ~mmpp ~label ~rng = { mmpp; label; rng }
+
+let step t ~into =
+  let count = Mmpp.step t.mmpp in
+  for _ = 1 to count do
+    into := t.label t.rng :: !into
+  done
+
+let mean_rate t = Mmpp.mean_rate t.mmpp

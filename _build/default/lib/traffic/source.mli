@@ -1,0 +1,14 @@
+(** A traffic source: an MMPP emission process plus a labelling rule. *)
+
+open Smbm_prelude
+open Smbm_core
+
+type t
+
+val create : mmpp:Mmpp.t -> label:Label.t -> rng:Rng.t -> t
+(** [rng] drives the labelling (the MMPP holds its own stream). *)
+
+val step : t -> into:Arrival.t list ref -> unit
+(** Advance one slot, prepending this slot's emissions onto [into]. *)
+
+val mean_rate : t -> float

@@ -1,0 +1,58 @@
+open Smbm_core
+
+type t = Arrival.t list array
+
+let record workload ~slots =
+  Array.init slots (fun _ -> Workload.next workload)
+
+let of_slots slots = Array.map (fun l -> l) slots
+let slots t = Array.length t
+let arrivals t = Array.fold_left (fun acc l -> acc + List.length l) 0 t
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Trace.get: out of bounds";
+  t.(i)
+
+let to_workload t =
+  Workload.of_fun (fun i -> if i < Array.length t then t.(i) else [])
+
+let save t oc =
+  Array.iter
+    (fun arrivals ->
+      let cells =
+        List.map
+          (fun (a : Arrival.t) -> Printf.sprintf "%d:%d" a.dest a.value)
+          arrivals
+      in
+      output_string oc (String.concat " " cells);
+      output_char oc '\n')
+    t
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" then []
+  else
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun cell ->
+           match String.split_on_char ':' cell with
+           | [ d; v ] -> (
+             match int_of_string_opt d, int_of_string_opt v with
+             | Some dest, Some value -> Arrival.make ~dest ~value ()
+             | None, _ | _, None ->
+               failwith ("Trace.load: malformed cell " ^ cell))
+           | _ -> failwith ("Trace.load: malformed cell " ^ cell))
+
+let load ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  (* [!lines] is in reverse file order; rev_map restores it. *)
+  !lines |> List.rev_map parse_line |> Array.of_list
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun la lb -> List.equal Arrival.equal la lb) a b

@@ -1,0 +1,27 @@
+(** Recorded arrival traces: capture a workload, replay it later, or persist
+    it to disk in a one-line-per-slot text format ("dest:value dest:value
+    ...", blank line for an idle slot). *)
+
+open Smbm_core
+
+type t
+
+val record : Workload.t -> slots:int -> t
+(** Consume [slots] slots of the workload into a trace. *)
+
+val of_slots : Arrival.t list array -> t
+val slots : t -> int
+val arrivals : t -> int
+(** Total packet count. *)
+
+val get : t -> int -> Arrival.t list
+(** Arrivals of slot [i].  @raise Invalid_argument out of bounds. *)
+
+val to_workload : t -> Workload.t
+(** Replay; slots beyond the end are empty. *)
+
+val save : t -> out_channel -> unit
+val load : in_channel -> t
+(** @raise Failure on malformed input. *)
+
+val equal : t -> t -> bool

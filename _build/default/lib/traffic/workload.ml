@@ -1,0 +1,77 @@
+open Smbm_core
+
+type t = {
+  next_slot : int -> Arrival.t list;
+  mutable slot : int;
+  mean_rate : float option;
+}
+
+let of_sources sources =
+  let mean = List.fold_left (fun acc s -> acc +. Source.mean_rate s) 0.0 sources in
+  let next_slot _ =
+    let into = ref [] in
+    List.iter (fun s -> Source.step s ~into) sources;
+    !into
+  in
+  { next_slot; slot = 0; mean_rate = Some mean }
+
+let of_fun f = { next_slot = f; slot = 0; mean_rate = None }
+
+let of_slots slots =
+  let next_slot i = if i < Array.length slots then slots.(i) else [] in
+  { next_slot; slot = 0; mean_rate = None }
+
+let merge components =
+  let mean_rate =
+    List.fold_left
+      (fun acc c ->
+        match acc, c.mean_rate with
+        | Some total, Some r -> Some (total +. r)
+        | _, None | None, _ -> None)
+      (Some 0.0) components
+  in
+  {
+    next_slot =
+      (fun _ ->
+        List.concat_map
+          (fun c ->
+            let arrivals = c.next_slot c.slot in
+            c.slot <- c.slot + 1;
+            arrivals)
+          components);
+    slot = 0;
+    mean_rate;
+  }
+
+let map f t =
+  {
+    next_slot =
+      (fun _ ->
+        let arrivals = t.next_slot t.slot in
+        t.slot <- t.slot + 1;
+        List.map f arrivals);
+    slot = 0;
+    mean_rate = t.mean_rate;
+  }
+
+let take n t =
+  {
+    next_slot =
+      (fun i ->
+        if i >= n then []
+        else begin
+          let arrivals = t.next_slot t.slot in
+          t.slot <- t.slot + 1;
+          arrivals
+        end);
+    slot = 0;
+    mean_rate = t.mean_rate;
+  }
+
+let next t =
+  let arrivals = t.next_slot t.slot in
+  t.slot <- t.slot + 1;
+  arrivals
+
+let slot t = t.slot
+let mean_rate t = t.mean_rate

@@ -1,0 +1,39 @@
+(** A workload is the per-slot arrival stream fed to every switch instance
+    of an experiment.  Generating it once per slot and fanning it out keeps
+    compared instances on byte-identical traffic. *)
+
+open Smbm_core
+
+type t
+
+val of_sources : Source.t list -> t
+(** Interleaving of independent sources (the paper's 500-source setup). *)
+
+val of_fun : (int -> Arrival.t list) -> t
+(** Arbitrary slot -> arrivals function (slot numbers start at 0); used by
+    the adversarial lower-bound constructions. *)
+
+val of_slots : Arrival.t list array -> t
+(** Fixed finite schedule; empty after the last slot. *)
+
+val merge : t list -> t
+(** Superposition: each slot concatenates the component workloads' arrivals
+    (in list order).  Useful for mixing background MMPP traffic with an
+    adversarial trickle.  The merged rate is the sum of known rates (known
+    only if every component knows its own). *)
+
+val map : (Arrival.t -> Arrival.t) -> t -> t
+(** Relabel arrivals on the fly (e.g. remap ports, rescale values). *)
+
+val take : int -> t -> t
+(** The first [n] slots of the workload; empty afterwards. *)
+
+val next : t -> Arrival.t list
+(** Arrivals of the next slot, in input-port order. *)
+
+val slot : t -> int
+(** Number of slots already consumed. *)
+
+val mean_rate : t -> float option
+(** Long-run packets per slot, when the workload knows it (source-based
+    workloads only). *)

@@ -1,0 +1,1 @@
+test/qc.ml: QCheck_alcotest Random

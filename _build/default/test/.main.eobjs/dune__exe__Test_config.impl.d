@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Array Arrival List Packet Proc_config Smbm_core Smbm_prelude Value_config

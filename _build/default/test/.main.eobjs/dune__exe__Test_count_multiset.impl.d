@@ -1,0 +1,1 @@
+test/test_count_multiset.ml: Alcotest Count_multiset List QCheck2 Qc Smbm_prelude

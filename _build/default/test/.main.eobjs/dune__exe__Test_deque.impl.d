@@ -1,0 +1,1 @@
+test/test_deque.ml: Alcotest Deque List QCheck2 Qc Smbm_prelude

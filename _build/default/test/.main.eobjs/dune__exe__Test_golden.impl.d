@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest List Smbm_lowerbounds Smbm_sim Smbm_traffic Sweep

@@ -1,0 +1,1 @@
+test/test_harmonic.ml: Alcotest Harmonic QCheck2 Qc Smbm_prelude

@@ -1,0 +1,1 @@
+test/test_heavy_tail.ml: Alcotest Experiment Float Instance List Metrics Mmpp P_lwd Proc_config Proc_engine Rng Scenario Smbm_core Smbm_prelude Smbm_sim Smbm_traffic Trace Trace_stats

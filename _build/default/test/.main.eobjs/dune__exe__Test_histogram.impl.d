@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Histogram List QCheck2 Qc Rng Smbm_prelude

@@ -1,0 +1,1 @@
+test/test_mapping_certifier.ml: Alcotest Array Arrival Decision List Mapping_certifier P_lqd Proc_config Proc_policy Proc_switch QCheck2 Qc Scenario Smbm_analysis Smbm_core Smbm_traffic Workload

@@ -1,0 +1,1 @@
+test/test_port_stats.ml: Alcotest Arrival Experiment Instance Opt_ref P_lwd Port_stats Proc_config Proc_engine Smbm_core Smbm_sim Smbm_traffic

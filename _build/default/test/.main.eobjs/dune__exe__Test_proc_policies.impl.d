@@ -1,0 +1,1 @@
+test/test_proc_policies.ml: Alcotest Array Decision List Option P_bpd P_lqd P_lwd P_nest P_nhdt P_nhst Policies Proc_config Proc_policy Proc_switch QCheck2 Qc Smbm_core

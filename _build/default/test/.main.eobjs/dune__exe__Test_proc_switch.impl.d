@@ -1,0 +1,1 @@
+test/test_proc_switch.ml: Alcotest Array List Packet Proc_config Proc_switch QCheck2 Qc Smbm_core Work_queue

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ascii_plot Csv Float List Series Smbm_report String Table

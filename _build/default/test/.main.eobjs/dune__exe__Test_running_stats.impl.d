@@ -1,0 +1,1 @@
+test/test_running_stats.ml: Alcotest List QCheck2 Qc Running_stats Smbm_prelude

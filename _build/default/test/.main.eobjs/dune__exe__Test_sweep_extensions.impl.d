@@ -1,0 +1,1 @@
+test/test_sweep_extensions.ml: Alcotest List Smbm_sim Smbm_traffic Sweep

@@ -1,0 +1,1 @@
+test/test_switch_oracle.ml: Array List Packet Proc_config Proc_switch QCheck2 Qc Smbm_core Value_config Value_queue Value_switch

@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Arrival Experiment Instance List Metrics P_lwd Proc_config Proc_engine Smbm_core Smbm_report Smbm_sim Smbm_traffic String Timeseries Workload

@@ -1,0 +1,1 @@
+test/test_trace_stats.ml: Alcotest Array Arrival List Proc_config Scenario Smbm_core Smbm_traffic Trace Trace_stats

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Arrival Filename Fun Label List Mmpp Proc_config Rng Scenario Smbm_core Smbm_prelude Smbm_traffic Sys Trace Value_config Workload

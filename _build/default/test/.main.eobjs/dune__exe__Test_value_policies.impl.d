@@ -1,0 +1,1 @@
+test/test_value_policies.ml: Alcotest Array Decision List Option Policies QCheck2 Qc Smbm_core V_greedy V_lqd V_mrd V_mvd V_nest V_nhst Value_config Value_policy Value_queue Value_switch

@@ -1,0 +1,1 @@
+test/test_value_queue.ml: Alcotest List Packet QCheck2 Qc Smbm_core Value_queue

@@ -1,0 +1,1 @@
+test/test_value_switch.ml: Alcotest List Option Packet QCheck2 Qc Smbm_core Value_config Value_switch

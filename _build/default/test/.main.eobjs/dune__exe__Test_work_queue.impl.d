@@ -1,0 +1,1 @@
+test/test_work_queue.ml: Alcotest List Packet QCheck2 Qc Smbm_core Work_queue

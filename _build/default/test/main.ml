@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "smbm"
+    [
+      ("deque", Test_deque.suite);
+      ("rng", Test_rng.suite);
+      ("running-stats", Test_running_stats.suite);
+      ("harmonic", Test_harmonic.suite);
+      ("count-multiset", Test_count_multiset.suite);
+      ("histogram", Test_histogram.suite);
+      ("config", Test_config.suite);
+      ("work-queue", Test_work_queue.suite);
+      ("value-queue", Test_value_queue.suite);
+      ("proc-switch", Test_proc_switch.suite);
+      ("switch-oracle", Test_switch_oracle.suite);
+      ("value-switch", Test_value_switch.suite);
+      ("proc-policies", Test_proc_policies.suite);
+      ("value-policies", Test_value_policies.suite);
+      ("traffic", Test_traffic.suite);
+      ("sim", Test_sim.suite);
+      ("port-stats", Test_port_stats.suite);
+      ("trace-stats", Test_trace_stats.suite);
+      ("heavy-tail", Test_heavy_tail.suite);
+      ("ablations", Test_ablations.suite);
+      ("reserved", Test_reserved.suite);
+      ("sweep-extensions", Test_sweep_extensions.suite);
+      ("timeseries", Test_timeseries.suite);
+      ("exact-opt", Test_exact_opt.suite);
+      ("competitive-check", Test_competitive_check.suite);
+      ("mapping-certifier", Test_mapping_certifier.suite);
+      ("lower-bounds", Test_lowerbounds.suite);
+      ("report", Test_report.suite);
+      ("printers", Test_printers.suite);
+      ("hybrid", Test_hybrid.suite);
+      ("engine-fuzz", Test_engine_fuzz.suite);
+      ("golden", Test_golden.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,163 @@
+open Smbm_prelude
+
+let test_basic () =
+  let m = Count_multiset.create ~k:5 in
+  Alcotest.(check bool) "empty" true (Count_multiset.is_empty m);
+  Count_multiset.add m 3;
+  Count_multiset.add m 3;
+  Count_multiset.add m 1;
+  Alcotest.(check int) "size" 3 (Count_multiset.size m);
+  Alcotest.(check int) "count 3" 2 (Count_multiset.count m 3);
+  Alcotest.(check int) "sum" 7 (Count_multiset.sum m);
+  Alcotest.(check (option int)) "min" (Some 1) (Count_multiset.min_key m);
+  Alcotest.(check (option int)) "max" (Some 3) (Count_multiset.max_key m)
+
+let test_key_range () =
+  let m = Count_multiset.create ~k:4 in
+  Alcotest.check_raises "key 0" (Invalid_argument "Count_multiset: key out of range")
+    (fun () -> Count_multiset.add m 0);
+  Alcotest.check_raises "key k+1"
+    (Invalid_argument "Count_multiset: key out of range") (fun () ->
+      Count_multiset.add m 5);
+  Alcotest.check_raises "remove absent"
+    (Invalid_argument "Count_multiset.remove: absent key") (fun () ->
+      Count_multiset.remove m 2)
+
+let test_remove_min_max () =
+  let m = Count_multiset.create ~k:9 in
+  List.iter (Count_multiset.add m) [ 4; 7; 2; 7 ];
+  Alcotest.(check (option int)) "remove_min" (Some 2)
+    (Count_multiset.remove_min m);
+  Alcotest.(check (option int)) "remove_max" (Some 7)
+    (Count_multiset.remove_max m);
+  Alcotest.(check int) "size" 2 (Count_multiset.size m);
+  Alcotest.(check int) "sum" 11 (Count_multiset.sum m);
+  ignore (Count_multiset.remove_min m);
+  ignore (Count_multiset.remove_min m);
+  Alcotest.(check (option int)) "empty remove" None
+    (Count_multiset.remove_min m)
+
+let test_decrement_smallest () =
+  let m = Count_multiset.create ~k:5 in
+  (* {1, 1, 3, 5} with budget 3: the two 1s complete, one 3 becomes a 2. *)
+  List.iter (Count_multiset.add m) [ 1; 1; 3; 5 ];
+  let sent = Count_multiset.decrement_smallest m ~budget:3 in
+  Alcotest.(check int) "transmitted" 2 sent;
+  Alcotest.(check int) "size" 2 (Count_multiset.size m);
+  Alcotest.(check int) "count 2" 1 (Count_multiset.count m 2);
+  Alcotest.(check int) "count 5" 1 (Count_multiset.count m 5);
+  Alcotest.(check int) "sum" 7 (Count_multiset.sum m)
+
+let test_decrement_no_double_service () =
+  let m = Count_multiset.create ~k:3 in
+  (* One packet of work 2 and budget 2: it must NOT complete in one call
+     (one cycle per element per slot). *)
+  Count_multiset.add m 2;
+  let sent = Count_multiset.decrement_smallest m ~budget:2 in
+  Alcotest.(check int) "not transmitted yet" 0 sent;
+  Alcotest.(check int) "moved to key 1" 1 (Count_multiset.count m 1);
+  let sent = Count_multiset.decrement_smallest m ~budget:2 in
+  Alcotest.(check int) "transmitted on second slot" 1 sent;
+  Alcotest.(check bool) "empty" true (Count_multiset.is_empty m)
+
+let test_decrement_budget_exceeds_size () =
+  let m = Count_multiset.create ~k:4 in
+  List.iter (Count_multiset.add m) [ 1; 2 ];
+  let sent = Count_multiset.decrement_smallest m ~budget:100 in
+  Alcotest.(check int) "only size served" 1 sent;
+  Alcotest.(check int) "remaining" 1 (Count_multiset.size m)
+
+let test_remove_largest () =
+  let m = Count_multiset.create ~k:9 in
+  List.iter (Count_multiset.add m) [ 9; 1; 5; 9 ];
+  let value = Count_multiset.remove_largest m ~budget:3 in
+  Alcotest.(check int) "value of 3 largest" 23 value;
+  Alcotest.(check int) "left" 1 (Count_multiset.size m);
+  Alcotest.(check (option int)) "left key" (Some 1) (Count_multiset.min_key m)
+
+let test_fold_and_clear () =
+  let m = Count_multiset.create ~k:5 in
+  List.iter (Count_multiset.add m) [ 2; 2; 5 ];
+  let pairs =
+    Count_multiset.fold (fun acc ~key ~count -> (key, count) :: acc) [] m
+  in
+  Alcotest.(check (list (pair int int))) "fold ascending" [ (5, 1); (2, 2) ]
+    pairs;
+  Count_multiset.clear m;
+  Alcotest.(check int) "cleared" 0 (Count_multiset.size m);
+  Alcotest.(check int) "sum cleared" 0 (Count_multiset.sum m)
+
+(* Property: sum/size/min/max always agree with a reference list under random
+   operations. *)
+let prop_model =
+  QCheck2.Test.make ~name:"count multiset agrees with sorted-list model"
+    ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 10)
+        (list
+           (oneof
+              [
+                map (fun v -> `Add v) (int_range 1 10);
+                pure `Remove_min;
+                pure `Remove_max;
+                map (fun b -> `Serve b) (int_range 0 5);
+              ])))
+    (fun (k, ops) ->
+      let m = Count_multiset.create ~k in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Add v ->
+            if v <= k then begin
+              Count_multiset.add m v;
+              model := List.sort compare (v :: !model)
+            end
+          | `Remove_min -> (
+            match !model with
+            | [] -> if Count_multiset.remove_min m <> None then ok := false
+            | x :: rest ->
+              if Count_multiset.remove_min m <> Some x then ok := false;
+              model := rest)
+          | `Remove_max -> (
+            match List.rev !model with
+            | [] -> if Count_multiset.remove_max m <> None then ok := false
+            | x :: rest_rev ->
+              if Count_multiset.remove_max m <> Some x then ok := false;
+              model := List.rev rest_rev)
+          | `Serve budget ->
+            let served = min budget (List.length !model) in
+            let head = List.filteri (fun i _ -> i < served) !model in
+            let tail = List.filteri (fun i _ -> i >= served) !model in
+            let sent = List.filter (fun v -> v = 1) head in
+            let kept = List.filter_map
+                (fun v -> if v > 1 then Some (v - 1) else None)
+                head
+            in
+            let got = Count_multiset.decrement_smallest m ~budget in
+            if got <> List.length sent then ok := false;
+            model := List.sort compare (kept @ tail))
+        ops;
+      !ok
+      && Count_multiset.size m = List.length !model
+      && Count_multiset.sum m = List.fold_left ( + ) 0 !model
+      && Count_multiset.min_key m
+         = (match !model with [] -> None | x :: _ -> Some x)
+      && Count_multiset.max_key m
+         = (match List.rev !model with [] -> None | x :: _ -> Some x))
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basic;
+    Alcotest.test_case "key range validation" `Quick test_key_range;
+    Alcotest.test_case "remove min/max" `Quick test_remove_min_max;
+    Alcotest.test_case "decrement_smallest" `Quick test_decrement_smallest;
+    Alcotest.test_case "no double service per slot" `Quick
+      test_decrement_no_double_service;
+    Alcotest.test_case "budget exceeds size" `Quick
+      test_decrement_budget_exceeds_size;
+    Alcotest.test_case "remove_largest" `Quick test_remove_largest;
+    Alcotest.test_case "fold and clear" `Quick test_fold_and_clear;
+    Qc.to_alcotest prop_model;
+  ]

@@ -1,0 +1,137 @@
+open Smbm_prelude
+
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+let test_empty () =
+  let d = Deque.create () in
+  check_int "length" 0 (Deque.length d);
+  Alcotest.(check bool) "is_empty" true (Deque.is_empty d);
+  check_list "to_list" [] (Deque.to_list d);
+  Alcotest.check_raises "pop_front" (Invalid_argument "Deque.pop_front: empty")
+    (fun () -> ignore (Deque.pop_front d));
+  Alcotest.check_raises "pop_back" (Invalid_argument "Deque.pop_back: empty")
+    (fun () -> ignore (Deque.pop_back d));
+  Alcotest.check_raises "peek_front"
+    (Invalid_argument "Deque.peek_front: empty") (fun () ->
+      ignore (Deque.peek_front d));
+  Alcotest.check_raises "peek_back" (Invalid_argument "Deque.peek_back: empty")
+    (fun () -> ignore (Deque.peek_back d))
+
+let test_push_pop_back () =
+  let d = Deque.create () in
+  Deque.push_back d 1;
+  Deque.push_back d 2;
+  Deque.push_back d 3;
+  check_list "order" [ 1; 2; 3 ] (Deque.to_list d);
+  check_int "peek_front" 1 (Deque.peek_front d);
+  check_int "peek_back" 3 (Deque.peek_back d);
+  check_int "pop_back" 3 (Deque.pop_back d);
+  check_int "pop_front" 1 (Deque.pop_front d);
+  check_list "remaining" [ 2 ] (Deque.to_list d)
+
+let test_push_front () =
+  let d = Deque.create () in
+  Deque.push_front d 1;
+  Deque.push_front d 2;
+  Deque.push_front d 3;
+  check_list "order" [ 3; 2; 1 ] (Deque.to_list d)
+
+let test_mixed_ends () =
+  let d = Deque.create ~capacity:2 () in
+  Deque.push_back d 2;
+  Deque.push_front d 1;
+  Deque.push_back d 3;
+  Deque.push_front d 0;
+  check_list "order" [ 0; 1; 2; 3 ] (Deque.to_list d)
+
+let test_growth_preserves_order () =
+  let d = Deque.create ~capacity:2 () in
+  (* Force wraparound before growth. *)
+  Deque.push_back d 0;
+  ignore (Deque.pop_front d);
+  for i = 1 to 100 do
+    Deque.push_back d i
+  done;
+  check_list "order after growth" (List.init 100 (fun i -> i + 1))
+    (Deque.to_list d)
+
+let test_get () =
+  let d = Deque.of_list [ 10; 20; 30 ] in
+  check_int "get 0" 10 (Deque.get d 0);
+  check_int "get 2" 30 (Deque.get d 2);
+  Alcotest.check_raises "get oob" (Invalid_argument "Deque.get: out of bounds")
+    (fun () -> ignore (Deque.get d 3));
+  Alcotest.check_raises "get neg" (Invalid_argument "Deque.get: out of bounds")
+    (fun () -> ignore (Deque.get d (-1)))
+
+let test_clear () =
+  let d = Deque.of_list [ 1; 2; 3 ] in
+  Deque.clear d;
+  check_int "length" 0 (Deque.length d);
+  Deque.push_back d 9;
+  check_list "usable after clear" [ 9 ] (Deque.to_list d)
+
+let test_iter_fold () =
+  let d = Deque.of_list [ 1; 2; 3; 4 ] in
+  let sum = Deque.fold ( + ) 0 d in
+  check_int "fold sum" 10 sum;
+  let seen = ref [] in
+  Deque.iter (fun x -> seen := x :: !seen) d;
+  check_list "iter order" [ 4; 3; 2; 1 ] !seen
+
+(* Model-based property test: a deque driven by a random operation sequence
+   agrees with a plain list. *)
+let ops_gen =
+  QCheck2.Gen.(
+    list
+      (oneof
+         [
+           map (fun x -> `Push_back x) small_int;
+           map (fun x -> `Push_front x) small_int;
+           pure `Pop_back;
+           pure `Pop_front;
+         ]))
+
+let prop_matches_list_model =
+  QCheck2.Test.make ~name:"deque agrees with list model" ~count:500 ops_gen
+    (fun ops ->
+      let d = Deque.create ~capacity:1 () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push_back x ->
+            Deque.push_back d x;
+            model := !model @ [ x ]
+          | `Push_front x ->
+            Deque.push_front d x;
+            model := x :: !model
+          | `Pop_back -> (
+            match List.rev !model with
+            | [] -> ()
+            | last :: rest_rev ->
+              model := List.rev rest_rev;
+              if Deque.pop_back d <> last then failwith "pop_back mismatch")
+          | `Pop_front -> (
+            match !model with
+            | [] -> ()
+            | first :: rest ->
+              model := rest;
+              if Deque.pop_front d <> first then failwith "pop_front mismatch"))
+        ops;
+      Deque.to_list d = !model && Deque.length d = List.length !model)
+
+let suite =
+  [
+    Alcotest.test_case "empty deque" `Quick test_empty;
+    Alcotest.test_case "push/pop back and front" `Quick test_push_pop_back;
+    Alcotest.test_case "push_front order" `Quick test_push_front;
+    Alcotest.test_case "mixed ends" `Quick test_mixed_ends;
+    Alcotest.test_case "growth preserves order" `Quick
+      test_growth_preserves_order;
+    Alcotest.test_case "get by index" `Quick test_get;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "iter and fold" `Quick test_iter_fold;
+    Qc.to_alcotest prop_matches_list_model;
+  ]

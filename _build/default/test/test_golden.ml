@@ -1,0 +1,69 @@
+(* Golden regression tests: fixed-seed runs pinned to their exact outputs.
+
+   Everything in the simulator is deterministic given a seed, so these
+   values are bit-stable; a change here means the semantics of a policy,
+   the traffic generator, the engine or the OPT reference moved - which
+   must be a deliberate, documented decision, since it silently re-dates
+   every number in EXPERIMENTS.md. *)
+
+open Smbm_sim
+
+let base =
+  {
+    Sweep.default_base with
+    Sweep.slots = 3_000;
+    flush_every = Some 500;
+    mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = 40 };
+    seed = 2014;
+  }
+
+let check_ratios expected actual =
+  List.iter2
+    (fun (en, ev) (an, av) ->
+      Alcotest.(check string) "policy order" en an;
+      Alcotest.(check (float 1e-6)) en ev av)
+    expected actual
+
+let test_proc_point () =
+  check_ratios
+    [
+      ("NHST", 1.183004);
+      ("NEST", 1.188489);
+      ("NHDT", 1.218089);
+      ("LQD", 1.184512);
+      ("BPD", 1.509748);
+      ("BPD1", 1.251515);
+      ("LWD", 1.179626);
+    ]
+    (Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x:8)
+
+let test_value_port_point () =
+  check_ratios
+    [
+      ("Greedy", 1.733878);
+      ("NEST", 1.653273);
+      ("LQD", 1.653273);
+      ("MVD", 6.749858);
+      ("MVD1", 2.564822);
+      ("MRD", 1.668851);
+      ("NHST", 1.653365);
+    ]
+    (Sweep.run_point ~base ~model:Sweep.Value_port ~axis:Sweep.K ~x:8)
+
+let test_lwd_construction_counts () =
+  (* The Theorem 6 construction is fully deterministic: exact packet
+     counts, not just ratios. *)
+  let m = Smbm_lowerbounds.Lb_lwd.measure ~buffer:240 ~episodes:2 () in
+  Alcotest.(check int) "LWD transmissions" 720
+    m.Smbm_lowerbounds.Runner.alg_throughput;
+  Alcotest.(check int) "scripted OPT transmissions" 954
+    m.Smbm_lowerbounds.Runner.opt_throughput
+
+let suite =
+  [
+    Alcotest.test_case "proc model point (seed 2014)" `Quick test_proc_point;
+    Alcotest.test_case "value-port point (seed 2014)" `Quick
+      test_value_port_point;
+    Alcotest.test_case "Thm 6 construction exact counts" `Quick
+      test_lwd_construction_counts;
+  ]

@@ -1,0 +1,119 @@
+open Smbm_prelude
+
+let test_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "quantile" 0.0 (Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "max" 0.0 (Histogram.max_seen h)
+
+let test_validation () =
+  let h = Histogram.create () in
+  (match Histogram.add h (-1.0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative sample accepted");
+  (match Histogram.quantile h 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q > 1 accepted");
+  match Histogram.create ~max_value:0.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_value <= 1 accepted"
+
+let test_mean_exact () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1.0; 2.0; 3.0; 10.0 ];
+  Alcotest.(check (float 1e-9)) "mean is exact" 4.0 (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "max" 10.0 (Histogram.max_seen h);
+  Alcotest.(check int) "count" 4 (Histogram.count h)
+
+let test_quantiles_bounded_error () =
+  (* With 10 buckets per decade, any quantile must fall within ~30% of the
+     true value for a known uniform sample. *)
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  List.iter
+    (fun q ->
+      let est = Histogram.quantile h q in
+      let true_v = q *. 1000.0 in
+      if abs_float (est -. true_v) /. true_v > 0.3 then
+        Alcotest.failf "q=%.2f: estimate %.1f too far from %.1f" q est true_v)
+    [ 0.1; 0.25; 0.5; 0.9; 0.99 ]
+
+let test_quantile_monotone () =
+  let h = Histogram.create () in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 500 do
+    Histogram.add h (Rng.float rng *. 1000.0)
+  done;
+  let prev = ref 0.0 in
+  List.iter
+    (fun q ->
+      let v = Histogram.quantile h q in
+      if v < !prev -. 1e-9 then Alcotest.fail "quantiles not monotone";
+      prev := v)
+    [ 0.0; 0.1; 0.3; 0.5; 0.7; 0.9; 0.99; 1.0 ]
+
+let test_quantile_capped_by_max () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 5.0; 5.0; 5.0 ];
+  Alcotest.(check bool) "p99 <= max" true
+    (Histogram.quantile h 0.99 <= 5.0 +. 1e-9)
+
+let test_clamping () =
+  let h = Histogram.create ~max_value:100.0 () in
+  Histogram.add h 1e9;
+  Alcotest.(check int) "clamped sample counted" 1 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "max tracked exactly" 1e9 (Histogram.max_seen h)
+
+let test_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1.0; 2.0 ];
+  List.iter (Histogram.add b) [ 100.0; 200.0 ];
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "count" 4 (Histogram.count m);
+  Alcotest.(check (float 1e-9)) "mean" 75.75 (Histogram.mean m);
+  let incompatible = Histogram.create ~buckets_per_decade:5 () in
+  match Histogram.merge a incompatible with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "incompatible merge accepted"
+
+let test_clear () =
+  let h = Histogram.create () in
+  Histogram.add h 7.0;
+  Histogram.clear h;
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Histogram.add h 3.0;
+  Alcotest.(check (float 1e-9)) "reusable" 3.0 (Histogram.mean h)
+
+let prop_median_within_bucket_error =
+  QCheck2.Test.make ~name:"histogram median tracks exact median" ~count:100
+    QCheck2.Gen.(list_size (int_range 10 200) (float_range 0.0 10000.0))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let sorted = List.sort compare xs in
+      (* Nearest-rank (lower) median, matching the estimator's convention:
+         the upper median can sit across an arbitrarily large data gap. *)
+      let exact = List.nth sorted ((List.length xs - 1) / 2) in
+      let est = Histogram.quantile h 0.5 in
+      (* Log-bucketed: allow ~35% relative error plus an absolute grace for
+         tiny values. *)
+      abs_float (est -. exact) <= (0.35 *. exact) +. 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "exact mean" `Quick test_mean_exact;
+    Alcotest.test_case "bounded quantile error" `Quick
+      test_quantiles_bounded_error;
+    Alcotest.test_case "monotone quantiles" `Quick test_quantile_monotone;
+    Alcotest.test_case "quantile capped by max" `Quick
+      test_quantile_capped_by_max;
+    Alcotest.test_case "clamping" `Quick test_clamping;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Qc.to_alcotest prop_median_within_bucket_error;
+  ]

@@ -1,0 +1,224 @@
+(* The combined work + value model (the paper's future-work direction):
+   switch mechanics, the WVD candidate policy, and ground-truth ordering
+   against the brute-force optimum. *)
+
+open Smbm_core
+open Smbm_traffic
+open Smbm_hybrid
+
+let decision = Alcotest.testable Decision.pp Decision.equal
+
+let config ?(works = [| 1; 2; 3 |]) ?(max_value = 9) ?(buffer = 6) () =
+  Hybrid_config.make
+    ~proc:(Proc_config.make ~works ~buffer ())
+    ~max_value
+
+let fill sw packets =
+  List.iter
+    (fun (dest, value) -> ignore (Hybrid_switch.accept sw ~dest ~value))
+    packets
+
+(* --- switch mechanics --- *)
+
+let test_switch_accounting () =
+  let sw = Hybrid_switch.create (config ()) in
+  fill sw [ (2, 5); (2, 1); (0, 9) ];
+  Alcotest.(check int) "occupancy" 3 (Hybrid_switch.occupancy sw);
+  Alcotest.(check int) "W_2" 6 (Hybrid_switch.queue_work sw 2);
+  Alcotest.(check int) "V_2" 6 (Hybrid_switch.queue_value sw 2);
+  Alcotest.(check (option int)) "tail value" (Some 1)
+    (Hybrid_switch.tail_value sw 2);
+  Hybrid_switch.check_invariants sw;
+  let p = Hybrid_switch.push_out sw ~victim:2 in
+  Alcotest.(check int) "tail evicted" 1 p.Hybrid_switch.value;
+  Alcotest.(check int) "V_2 after" 5 (Hybrid_switch.queue_value sw 2);
+  Hybrid_switch.check_invariants sw
+
+let test_switch_transmission () =
+  (* Port 2 (work 3) with speedup 1: its packet takes three phases; value
+     counted once on completion. *)
+  let sw = Hybrid_switch.create (config ()) in
+  fill sw [ (2, 7) ];
+  let value = ref 0 in
+  for _ = 1 to 2 do
+    ignore
+      (Hybrid_switch.transmit_phase sw ~on_transmit:(fun p ->
+           value := !value + p.Hybrid_switch.value))
+  done;
+  Alcotest.(check int) "not done yet" 0 !value;
+  ignore
+    (Hybrid_switch.transmit_phase sw ~on_transmit:(fun p ->
+         value := !value + p.Hybrid_switch.value));
+  Alcotest.(check int) "value on completion" 7 !value;
+  Alcotest.(check int) "empty" 0 (Hybrid_switch.occupancy sw)
+
+let test_switch_validation () =
+  let sw = Hybrid_switch.create (config ~max_value:4 ()) in
+  (match Hybrid_switch.accept sw ~dest:0 ~value:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range value accepted");
+  match Hybrid_switch.push_out sw ~victim:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "push-out from empty queue"
+
+(* --- policies --- *)
+
+let full_switch packets =
+  let cfg = config ~buffer:4 () in
+  let sw = Hybrid_switch.create cfg in
+  fill sw packets;
+  (cfg, sw)
+
+let test_wvd_prefers_work_heavy_cheap_queue () =
+  (* Q1 (work 2): two value-9 packets, W=4 V=18, ratio 0.22;
+     Q2 (work 3): two value-1 packets, W=6 V=2, ratio 3.
+     WVD evicts from Q2 - lots of work, little value. *)
+  let _, sw = full_switch [ (1, 9); (1, 9); (2, 1); (2, 1) ] in
+  Alcotest.check decision "evict cheap heavy queue"
+    (Decision.Push_out { victim = 2 })
+    (Hybrid_policy.wvd.Hybrid_policy.admit sw ~dest:0 ~value:5);
+  (* LWD, value-blind, agrees here (Q2 also has the most work)... *)
+  Alcotest.check decision "LWD agrees on work alone"
+    (Decision.Push_out { victim = 2 })
+    (Hybrid_policy.lwd.Hybrid_policy.admit sw ~dest:0 ~value:5)
+
+let test_wvd_differs_from_lwd () =
+  (* Q1 (work 2): three value-1 packets, W=6 V=3, ratio 2;
+     Q2 (work 3): one value-9 packet, W=3 V=9, ratio 1/3.
+     LWD evicts from Q1 (most work) - and so does WVD; flip it:
+     Q1: three value-9 (W=6, V=27, ratio 0.22);
+     Q2: one value-1 (W=3, V=1, ratio 3).
+     LWD still evicts Q1 (6 > 3); WVD evicts Q2. *)
+  let _, sw = full_switch [ (1, 9); (1, 9); (1, 9); (2, 1) ] in
+  Alcotest.check decision "LWD follows work"
+    (Decision.Push_out { victim = 1 })
+    (Hybrid_policy.lwd.Hybrid_policy.admit sw ~dest:0 ~value:5);
+  Alcotest.check decision "WVD follows work-per-value"
+    (Decision.Push_out { victim = 2 })
+    (Hybrid_policy.wvd.Hybrid_policy.admit sw ~dest:0 ~value:5)
+
+let test_mvd_tail_only () =
+  (* Q1 holds values [9; 1] (tail 1), Q2 holds [5; 4] (tail 4): MVD may
+     only evict tails; cheapest tail is Q1's 1. *)
+  let _, sw = full_switch [ (1, 9); (1, 1); (2, 5); (2, 4) ] in
+  Alcotest.check decision "cheapest tail"
+    (Decision.Push_out { victim = 1 })
+    (Hybrid_policy.mvd.Hybrid_policy.admit sw ~dest:0 ~value:8);
+  Alcotest.check decision "no gain, drop" Decision.Drop
+    (Hybrid_policy.mvd.Hybrid_policy.admit sw ~dest:0 ~value:1)
+
+let test_registry () =
+  let cfg = config () in
+  Alcotest.(check int) "seven policies" 7
+    (List.length (Hybrid_policy.all cfg));
+  Alcotest.(check bool) "find WVD" true
+    (Option.is_some (Hybrid_policy.find cfg "wvd"))
+
+(* --- engine + exact optimum --- *)
+
+let run_policy cfg trace ~drain policy =
+  let inst = Hybrid_engine.instance cfg policy in
+  Smbm_sim.Experiment.run
+    ~params:
+      {
+        Smbm_sim.Experiment.slots = Array.length trace + drain;
+        flush_every = None;
+        check_every = Some 1;
+      }
+    ~workload:
+      (Workload.of_fun (fun i -> if i < Array.length trace then trace.(i) else []))
+    [ inst ];
+  inst.Smbm_sim.Instance.metrics.Smbm_sim.Metrics.transmitted_value
+
+let test_exact_opt_known_case () =
+  (* B = 1, two simultaneous arrivals: work-1/value-2 vs work-2/value-3,
+     3 slots total: taking the value-2 then another value-2 next slot (4)
+     beats holding the value-3 (3). *)
+  let cfg = config ~works:[| 1; 2 |] ~buffer:1 () in
+  let a = Arrival.make ~dest:0 ~value:2 () and b = Arrival.make ~dest:1 ~value:3 () in
+  let trace = [| [ b; a ]; [ a ] |] in
+  Alcotest.(check int) "exact value" 4 (Hybrid_engine.exact_opt cfg trace ~drain:1)
+
+let prop_policies_below_exact =
+  QCheck2.Test.make
+    ~name:"hybrid: every policy <= brute-force optimum per trace" ~count:60
+    QCheck2.Gen.(
+      let* n = int_range 1 3 in
+      let* works = array_size (pure n) (int_range 1 3) in
+      let* buffer = int_range 1 4 in
+      let* k = int_range 1 5 in
+      let* pairs =
+        list_size (int_range 1 4)
+          (list_size (int_range 0 3)
+             (pair (int_range 0 (n - 1)) (int_range 1 k)))
+      in
+      pure (works, buffer, k, pairs))
+    (fun (works, buffer, k, pairs) ->
+      let cfg =
+        Hybrid_config.make
+          ~proc:(Proc_config.make ~works ~buffer ())
+          ~max_value:k
+      in
+      let trace =
+        Array.of_list
+          (List.map
+             (List.map (fun (d, v) -> Arrival.make ~dest:d ~value:v ()))
+             pairs)
+      in
+      let drain = buffer * 3 in
+      let exact = Hybrid_engine.exact_opt cfg trace ~drain in
+      List.for_all
+        (fun policy -> run_policy cfg trace ~drain policy <= exact)
+        (Hybrid_policy.all cfg))
+
+let test_hybrid_regime_structure () =
+  (* The combined model's empirical finding (documented in EXPERIMENTS.md):
+     no naive single-number combination dominates.  With value
+     anti-correlated to work (heavy ports carry cheap traffic):
+     - at moderate congestion the value-blind LWD stays within a whisker of
+       the best;
+     - at extreme congestion MVD (keep the valuable tails) wins while the
+       queue-aggregate WVD collapses into single-port monopolization. *)
+  let cfg = config ~works:[| 1; 2; 4; 8 |] ~max_value:8 ~buffer:24 () in
+  let module R = Smbm_prelude.Rng in
+  let trace_at lambda =
+    let rng = R.create ~seed:5 in
+    Array.init 4_000 (fun _ ->
+        List.init (R.poisson rng ~lambda) (fun _ ->
+            let dest = R.int rng 4 in
+            let value = 1 + R.int rng (9 - [| 1; 2; 4; 8 |].(dest)) in
+            Arrival.make ~dest ~value ()))
+  in
+  let value_of trace policy = run_policy cfg trace ~drain:100 policy in
+  (* Moderate congestion. *)
+  let trace = trace_at 2.0 in
+  let lwd = value_of trace Hybrid_policy.lwd in
+  List.iter
+    (fun (p : Hybrid_policy.t) ->
+      if p.name <> "Greedy" && value_of trace p > lwd + (lwd / 20) then
+        Alcotest.failf "%s beats LWD by >5%% at moderate congestion" p.name)
+    (Hybrid_policy.all cfg);
+  (* Extreme congestion. *)
+  let trace = trace_at 8.0 in
+  let lwd = value_of trace Hybrid_policy.lwd in
+  let mvd = value_of trace Hybrid_policy.mvd in
+  let wvd = value_of trace Hybrid_policy.wvd in
+  Alcotest.(check bool) "MVD wins at extreme congestion" true (mvd > lwd);
+  Alcotest.(check bool) "WVD collapses at extreme congestion" true (wvd < lwd)
+
+let suite =
+  [
+    Alcotest.test_case "switch accounting" `Quick test_switch_accounting;
+    Alcotest.test_case "switch transmission" `Quick test_switch_transmission;
+    Alcotest.test_case "switch validation" `Quick test_switch_validation;
+    Alcotest.test_case "WVD evicts cheap heavy queues" `Quick
+      test_wvd_prefers_work_heavy_cheap_queue;
+    Alcotest.test_case "WVD differs from LWD" `Quick test_wvd_differs_from_lwd;
+    Alcotest.test_case "MVD restricted to tails" `Quick test_mvd_tail_only;
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "exact optimum known case" `Quick
+      test_exact_opt_known_case;
+    Alcotest.test_case "hybrid regime structure" `Slow
+      test_hybrid_regime_structure;
+    Qc.to_alcotest prop_policies_below_exact;
+  ]

@@ -1,0 +1,77 @@
+(* Smoke tests for every pretty-printer: they must produce non-empty,
+   exception-free output on representative values (format-string bugs only
+   surface at run time). *)
+
+open Smbm_core
+open Smbm_sim
+
+let render pp v = Format.asprintf "%a" pp v
+
+let nonempty name s =
+  if String.length (String.trim s) = 0 then
+    Alcotest.failf "%s printed nothing" name
+
+let test_core_printers () =
+  nonempty "Packet.Proc.pp"
+    (render Packet.Proc.pp (Packet.Proc.make ~id:1 ~dest:0 ~work:3 ~arrival:2));
+  nonempty "Packet.Value.pp"
+    (render Packet.Value.pp (Packet.Value.make ~id:1 ~dest:0 ~value:3 ~arrival:2));
+  nonempty "Arrival.pp" (render Arrival.pp (Arrival.make ~dest:1 ~value:2 ()));
+  nonempty "Proc_config.pp"
+    (render Proc_config.pp (Proc_config.contiguous ~k:3 ~buffer:6 ()));
+  nonempty "Value_config.pp"
+    (render Value_config.pp (Value_config.make ~ports:2 ~max_value:3 ~buffer:4 ()));
+  List.iter
+    (fun d -> nonempty "Decision.pp" (render Decision.pp d))
+    [ Decision.Accept; Decision.Push_out { victim = 2 }; Decision.Drop ]
+
+let test_prelude_printers () =
+  let open Smbm_prelude in
+  let stats = Running_stats.create () in
+  nonempty "Running_stats.pp empty" (render Running_stats.pp stats);
+  Running_stats.add stats 4.2;
+  nonempty "Running_stats.pp" (render Running_stats.pp stats);
+  let h = Histogram.create () in
+  nonempty "Histogram.pp empty" (render Histogram.pp h);
+  Histogram.add h 10.0;
+  nonempty "Histogram.pp" (render Histogram.pp h)
+
+let test_sim_printers () =
+  let m = Metrics.create () in
+  m.arrivals <- 3;
+  m.accepted <- 2;
+  m.dropped <- 1;
+  nonempty "Metrics.pp" (render Metrics.pp m);
+  let ports = Port_stats.create ~n:2 in
+  Port_stats.record ports ~port:0 ~value:1;
+  nonempty "Port_stats.pp" (render Port_stats.pp ports)
+
+let test_traffic_printers () =
+  let open Smbm_traffic in
+  let trace =
+    Trace.of_slots [| [ Arrival.make ~dest:0 () ]; [] |]
+  in
+  nonempty "Trace_stats.pp" (render Trace_stats.pp (Trace_stats.analyze trace))
+
+let test_analysis_printers () =
+  let open Smbm_analysis in
+  let config = Proc_config.contiguous ~k:2 ~buffer:2 () in
+  let greedy =
+    Proc_policy.make ~name:"greedy" ~push_out:false (fun sw ~dest:_ ->
+        if Proc_switch.is_full sw then Decision.Drop else Decision.Accept)
+  in
+  let r =
+    Mapping_certifier.run ~config ~opponent:greedy
+      ~trace:(fun slot -> if slot = 0 then [ Arrival.make ~dest:0 () ] else [])
+      ~slots:3 ()
+  in
+  nonempty "Mapping_certifier.pp_report" (render Mapping_certifier.pp_report r)
+
+let suite =
+  [
+    Alcotest.test_case "core printers" `Quick test_core_printers;
+    Alcotest.test_case "prelude printers" `Quick test_prelude_printers;
+    Alcotest.test_case "sim printers" `Quick test_sim_printers;
+    Alcotest.test_case "traffic printers" `Quick test_traffic_printers;
+    Alcotest.test_case "analysis printers" `Quick test_analysis_printers;
+  ]

@@ -1,0 +1,99 @@
+open Smbm_report
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_table_alignment () =
+  let rendered =
+    Table.render ~headers:[ "name"; "value" ]
+      ~rows:[ [ "a"; "1" ]; [ "longer"; "22" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | header :: sep :: _ ->
+    Alcotest.(check int) "separator matches header width"
+      (String.length header) (String.length sep)
+  | _ -> Alcotest.fail "too few lines");
+  Alcotest.(check bool) "right-aligned numbers" true
+    (List.exists (fun l -> String.length l > 0 && l.[String.length l - 1] = '1')
+       lines)
+
+let test_table_pads_short_rows () =
+  let rendered =
+    Table.render ~headers:[ "a"; "b"; "c" ] ~rows:[ [ "x" ] ] ()
+  in
+  Alcotest.(check bool) "renders" true (String.length rendered > 0)
+
+let test_table_rejects_long_rows () =
+  match Table.render ~headers:[ "a" ] ~rows:[ [ "1"; "2" ] ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "long row accepted"
+
+let test_float_cell () =
+  Alcotest.(check string) "fixed point" "1.500" (Table.float_cell 1.5);
+  Alcotest.(check string) "digits" "1.50" (Table.float_cell ~digits:2 1.5);
+  Alcotest.(check string) "infinity" "inf" (Table.float_cell infinity);
+  Alcotest.(check string) "nan" "nan" (Table.float_cell Float.nan)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb");
+  Alcotest.(check string) "row" "a,\"b,c\",d" (Csv.row [ "a"; "b,c"; "d" ])
+
+let test_csv_of_table () =
+  let doc = Csv.of_table ~headers:[ "x"; "y" ] ~rows:[ [ "1"; "2" ] ] in
+  Alcotest.(check string) "document" "x,y\n1,2\n" doc
+
+let test_series_ranges () =
+  let s1 = Series.make ~name:"a" ~points:[ (1.0, 2.0); (2.0, 8.0) ] in
+  let s2 = Series.make ~name:"b" ~points:[ (0.5, 4.0); (3.0, infinity) ] in
+  let lo, hi = Series.y_range [ s1; s2 ] in
+  Alcotest.(check (float 1e-9)) "y lo skips non-finite" 2.0 lo;
+  Alcotest.(check (float 1e-9)) "y hi" 8.0 hi;
+  let xlo, xhi = Series.x_range [ s1; s2 ] in
+  Alcotest.(check (float 1e-9)) "x lo" 0.5 xlo;
+  Alcotest.(check (float 1e-9)) "x hi" 3.0 xhi;
+  let lo, hi = Series.y_range [] in
+  Alcotest.(check (float 1e-9)) "empty default lo" 0.0 lo;
+  Alcotest.(check (float 1e-9)) "empty default hi" 1.0 hi
+
+let test_series_of_ints () =
+  let s = Series.of_ints ~name:"a" ~points:[ (1, 2.0); (4, 3.0) ] in
+  Alcotest.(check (float 1e-9)) "x converted" 1.0 (fst (List.hd s.Series.points))
+
+let test_ascii_plot_renders () =
+  let s =
+    Series.make ~name:"LWD" ~points:[ (2.0, 1.1); (4.0, 1.2); (8.0, 1.3) ]
+  in
+  let out = Ascii_plot.render ~title:"panel" ~x_label:"k" ~log_x:true [ s ] in
+  Alcotest.(check bool) "contains title" true
+    (String.length out > 0 && String.sub out 0 5 = "panel");
+  Alcotest.(check bool) "contains legend" true (contains out "o=LWD");
+  Alcotest.(check bool) "contains marker" true (String.contains out 'o')
+
+let test_ascii_plot_flat_series () =
+  (* A constant series must not divide by zero. *)
+  let s = Series.make ~name:"flat" ~points:[ (1.0, 2.0); (2.0, 2.0) ] in
+  let out = Ascii_plot.render [ s ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "table pads short rows" `Quick test_table_pads_short_rows;
+    Alcotest.test_case "table rejects long rows" `Quick
+      test_table_rejects_long_rows;
+    Alcotest.test_case "float cells" `Quick test_float_cell;
+    Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+    Alcotest.test_case "csv document" `Quick test_csv_of_table;
+    Alcotest.test_case "series ranges" `Quick test_series_ranges;
+    Alcotest.test_case "series of ints" `Quick test_series_of_ints;
+    Alcotest.test_case "ascii plot renders" `Quick test_ascii_plot_renders;
+    Alcotest.test_case "ascii plot flat series" `Quick
+      test_ascii_plot_flat_series;
+  ]

@@ -1,0 +1,157 @@
+open Smbm_prelude
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues stream" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* b is now one draw behind a; advancing b must not affect a. *)
+  let next_a = Rng.bits64 (Rng.copy a) in
+  ignore (Rng.bits64 b);
+  Alcotest.(check int64) "streams independent" next_a (Rng.bits64 a)
+
+let test_split_differs () =
+  let a = Rng.create ~seed:11 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "split stream is distinct" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_in_bounds () =
+  let rng = Rng.create ~seed:5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 2_000 do
+    let x = Rng.int_in rng 3 7 in
+    if x < 3 || x > 7 then Alcotest.fail "Rng.int_in out of bounds";
+    seen.(x - 3) <- true
+  done;
+  Alcotest.(check bool) "all values in range reachable" true
+    (Array.for_all Fun.id seen);
+  Alcotest.check_raises "inverted range" (Invalid_argument "Rng.int_in: lo > hi")
+    (fun () -> ignore (Rng.int_in rng 7 3))
+
+let test_float_unit_interval () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.fail "Rng.float out of [0, 1)"
+  done
+
+let mean_of n f =
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. f ()
+  done;
+  !total /. float_of_int n
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:17 in
+  let mean = mean_of 50_000 (fun () -> Rng.float rng) in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_bernoulli () =
+  let rng = Rng.create ~seed:19 in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng ~p:0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng ~p:1.0);
+  let mean =
+    mean_of 50_000 (fun () -> if Rng.bernoulli rng ~p:0.3 then 1.0 else 0.0)
+  in
+  Alcotest.(check bool) "p=0.3 frequency" true (abs_float (mean -. 0.3) < 0.01)
+
+let test_poisson_mean_small () =
+  let rng = Rng.create ~seed:23 in
+  let lambda = 2.5 in
+  let mean = mean_of 50_000 (fun () -> float_of_int (Rng.poisson rng ~lambda)) in
+  Alcotest.(check bool) "small-lambda mean" true
+    (abs_float (mean -. lambda) < 0.05);
+  Alcotest.(check int) "lambda=0" 0 (Rng.poisson rng ~lambda:0.0)
+
+let test_poisson_mean_large () =
+  let rng = Rng.create ~seed:29 in
+  let lambda = 80.0 in
+  let mean = mean_of 20_000 (fun () -> float_of_int (Rng.poisson rng ~lambda)) in
+  Alcotest.(check bool) "large-lambda mean" true
+    (abs_float (mean -. lambda) /. lambda < 0.01)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:31 in
+  let mean = mean_of 50_000 (fun () -> Rng.exponential rng ~rate:2.0) in
+  Alcotest.(check bool) "exponential mean 1/rate" true
+    (abs_float (mean -. 0.5) < 0.01)
+
+let test_geometric () =
+  let rng = Rng.create ~seed:37 in
+  Alcotest.(check int) "p=1 is 0" 0 (Rng.geometric rng ~p:1.0);
+  let mean =
+    mean_of 50_000 (fun () -> float_of_int (Rng.geometric rng ~p:0.25))
+  in
+  (* failures before success: mean (1-p)/p = 3 *)
+  Alcotest.(check bool) "geometric mean" true (abs_float (mean -. 3.0) < 0.1)
+
+let test_choose () =
+  let rng = Rng.create ~seed:41 in
+  let arr = [| 'a'; 'b'; 'c' |] in
+  for _ = 1 to 100 do
+    let c = Rng.choose rng arr in
+    if not (Array.mem c arr) then Alcotest.fail "choose outside array"
+  done;
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose rng [||]))
+
+let prop_int_uniformity =
+  QCheck2.Test.make ~name:"Rng.int covers its range" ~count:50
+    QCheck2.Gen.(int_range 2 40)
+    (fun bound ->
+      let rng = Rng.create ~seed:bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Rng.int rng bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let suite =
+  [
+    Alcotest.test_case "determinism by seed" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy preserves stream" `Quick test_copy_independent;
+    Alcotest.test_case "split gives distinct stream" `Quick test_split_differs;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "float in unit interval" `Quick test_float_unit_interval;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+    Alcotest.test_case "poisson small lambda" `Quick test_poisson_mean_small;
+    Alcotest.test_case "poisson large lambda" `Quick test_poisson_mean_large;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "geometric" `Quick test_geometric;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Qc.to_alcotest prop_int_uniformity;
+  ]

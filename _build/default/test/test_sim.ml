@@ -1,0 +1,363 @@
+open Smbm_core
+open Smbm_traffic
+open Smbm_sim
+
+(* --- Metrics --- *)
+
+let test_metrics_conservation () =
+  let m = Metrics.create () in
+  m.arrivals <- 10;
+  m.accepted <- 7;
+  m.dropped <- 3;
+  m.transmitted <- 4;
+  m.pushed_out <- 1;
+  m.flushed <- 1;
+  Metrics.check_conservation m;
+  Alcotest.(check int) "in buffer" 1 (Metrics.in_buffer m);
+  m.dropped <- 2;
+  match Metrics.check_conservation m with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "inconsistent metrics accepted"
+
+let test_metrics_throughput_objectives () =
+  let m = Metrics.create () in
+  m.transmitted <- 5;
+  m.transmitted_value <- 17;
+  Alcotest.(check int) "packets" 5 (Metrics.throughput_of `Packets m);
+  Alcotest.(check int) "value" 17 (Metrics.throughput_of `Value m)
+
+(* --- Proc engine --- *)
+
+let contiguous k buffer = Proc_config.contiguous ~k ~buffer ()
+
+let test_proc_engine_greedy_run () =
+  (* Two work-1 arrivals per slot at a 2-port switch with ample buffer:
+     everything is transmitted with no drops. *)
+  let config = Proc_config.uniform ~n:2 ~work:1 ~buffer:8 () in
+  let inst = Proc_engine.instance config (P_lwd.make config) in
+  let w =
+    Workload.of_fun (fun _ -> [ Arrival.make ~dest:0 (); Arrival.make ~dest:1 () ])
+  in
+  Experiment.run
+    ~params:{ Experiment.slots = 100; flush_every = None; check_every = Some 1 }
+    ~workload:w [ inst ];
+  Alcotest.(check int) "arrivals" 200 inst.metrics.arrivals;
+  Alcotest.(check int) "transmitted" 200 inst.metrics.transmitted;
+  Alcotest.(check int) "dropped" 0 inst.metrics.dropped
+
+let test_proc_engine_drop_counted () =
+  let config = contiguous 2 2 in
+  let inst = Proc_engine.instance config (P_nest.make config) in
+  (* NEST threshold B/n = 1; a 3-burst to port 0 gets 1 accepted, 2 dropped. *)
+  let w = Workload.of_slots [| List.init 3 (fun _ -> Arrival.make ~dest:0 ()) |] in
+  Experiment.run
+    ~params:{ Experiment.slots = 1; flush_every = None; check_every = Some 1 }
+    ~workload:w [ inst ];
+  Alcotest.(check int) "accepted" 1 inst.metrics.accepted;
+  Alcotest.(check int) "dropped" 2 inst.metrics.dropped
+
+let test_proc_engine_push_out_counted () =
+  let config = contiguous 2 2 in
+  let inst, sw = Proc_engine.create config (P_lwd.make config) in
+  (* Fill with two work-1 packets, then a work-2 arrival pushes one out?
+     LWD: W0 = 2 (virtual includes dest), W1 virtual = 2 - tie, larger work
+     wins: victim is Q1 = dest, so drop.  Use a work-1 arrival onto heavier
+     queue instead: fill Q1 (work 2) with 2 packets (W=4), arrival for port
+     0: W0 virtual = 1 < 4: push out from Q1. *)
+  let w =
+    Workload.of_slots
+      [|
+        [ Arrival.make ~dest:1 (); Arrival.make ~dest:1 (); Arrival.make ~dest:0 () ];
+      |]
+  in
+  Experiment.run
+    ~params:{ Experiment.slots = 1; flush_every = None; check_every = Some 1 }
+    ~workload:w [ inst ];
+  Alcotest.(check int) "accepted" 3 inst.metrics.accepted;
+  Alcotest.(check int) "pushed out" 1 inst.metrics.pushed_out;
+  (* Transmission already ran: port 0's work-1 packet went out; the evicted
+     queue kept a single packet. *)
+  Alcotest.(check int) "port 0 transmitted" 1 inst.metrics.transmitted;
+  Alcotest.(check int) "victim queue shrank" 1 (Proc_switch.queue_length sw 1)
+
+let test_proc_engine_rejects_illegal_push_out () =
+  let config = contiguous 2 4 in
+  let rogue =
+    Proc_policy.make ~name:"rogue" ~push_out:true (fun _sw ~dest:_ ->
+        Decision.Push_out { victim = 0 })
+  in
+  let inst = Proc_engine.instance config rogue in
+  match inst.arrive (Arrival.make ~dest:0 ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "push-out with free space must be rejected"
+
+let test_proc_engine_latency () =
+  let config = contiguous 1 4 in
+  let inst = Proc_engine.instance config (P_lwd.make config) in
+  (* One work-1 packet arriving at slot 0 transmits at slot 0: latency 0. *)
+  let w = Workload.of_slots [| [ Arrival.make ~dest:0 () ] |] in
+  Experiment.run
+    ~params:{ Experiment.slots = 3; flush_every = None; check_every = None }
+    ~workload:w [ inst ];
+  Alcotest.(check int) "latency samples" 1
+    (Smbm_prelude.Running_stats.count inst.metrics.latency);
+  Alcotest.(check (float 1e-9)) "same-slot latency" 0.0
+    (Smbm_prelude.Running_stats.mean inst.metrics.latency)
+
+let test_flushout () =
+  let config = contiguous 1 4 in
+  (* Work-1 port, one arrival per slot, flush every 2 slots: the arrival of a
+     slot is transmitted the same slot, so flushes discard nothing; with a
+     work-2... use k=2 port only (dest 0 work 1? contiguous 1 port work 1).
+     Fill 3 packets in slot 0: one transmits, two remain, flush discards at
+     slot boundary. *)
+  let inst = Proc_engine.instance config (P_lwd.make config) in
+  let w = Workload.of_slots [| List.init 3 (fun _ -> Arrival.make ~dest:0 ()) |] in
+  Experiment.run
+    ~params:{ Experiment.slots = 2; flush_every = Some 1; check_every = Some 1 }
+    ~workload:w [ inst ];
+  Alcotest.(check int) "transmitted" 1 inst.metrics.transmitted;
+  Alcotest.(check int) "flushed" 2 inst.metrics.flushed;
+  Alcotest.(check int) "in buffer" 0 (Metrics.in_buffer inst.metrics)
+
+(* --- Value engine --- *)
+
+let test_value_engine_value_accounting () =
+  let config = Value_config.make ~ports:2 ~max_value:9 ~buffer:4 () in
+  let inst = Value_engine.instance config (V_mrd.make config) in
+  let w =
+    Workload.of_slots
+      [| [ Arrival.make ~dest:0 ~value:9 (); Arrival.make ~dest:1 ~value:3 () ] |]
+  in
+  Experiment.run
+    ~params:{ Experiment.slots = 1; flush_every = None; check_every = Some 1 }
+    ~workload:w [ inst ];
+  Alcotest.(check int) "packets" 2 inst.metrics.transmitted;
+  Alcotest.(check int) "value" 12 inst.metrics.transmitted_value
+
+let test_value_engine_push_out () =
+  let config = Value_config.make ~ports:1 ~max_value:9 ~buffer:1 () in
+  let inst = Value_engine.instance config (V_mvd.make config) in
+  let w =
+    Workload.of_slots
+      [| [ Arrival.make ~dest:0 ~value:1 (); Arrival.make ~dest:0 ~value:5 () ] |]
+  in
+  Experiment.run
+    ~params:{ Experiment.slots = 1; flush_every = None; check_every = Some 1 }
+    ~workload:w [ inst ];
+  Alcotest.(check int) "pushed out" 1 inst.metrics.pushed_out;
+  Alcotest.(check int) "value kept" 5 inst.metrics.transmitted_value
+
+(* --- OPT reference --- *)
+
+let test_opt_proc_smallest_first () =
+  let config = contiguous 2 4 in
+  (* cores = n * C = 2; buffer holds works {1, 2}; slot 1: both get a cycle,
+     the 1 completes. *)
+  let opt = Opt_ref.proc_instance config in
+  opt.arrive (Arrival.make ~dest:1 ());
+  opt.arrive (Arrival.make ~dest:0 ());
+  opt.transmit ();
+  Alcotest.(check int) "work-1 done first" 1 opt.metrics.transmitted;
+  opt.transmit ();
+  Alcotest.(check int) "work-2 done next" 2 opt.metrics.transmitted;
+  opt.check ()
+
+let test_opt_proc_admission_evicts_largest () =
+  let config = contiguous 3 2 in
+  let opt = Opt_ref.proc_instance config in
+  opt.arrive (Arrival.make ~dest:2 ());
+  opt.arrive (Arrival.make ~dest:2 ());
+  (* Buffer full of work-3; a work-1 arrival evicts one. *)
+  opt.arrive (Arrival.make ~dest:0 ());
+  Alcotest.(check int) "pushed out" 1 opt.metrics.pushed_out;
+  Alcotest.(check int) "occupancy" 2 (opt.occupancy ());
+  (* A work-3 arrival cannot displace anything better. *)
+  opt.arrive (Arrival.make ~dest:2 ());
+  Alcotest.(check int) "dropped" 1 opt.metrics.dropped;
+  opt.check ()
+
+let test_opt_value_largest_first () =
+  let config = Value_config.make ~ports:2 ~max_value:9 ~buffer:4 ~speedup:1 () in
+  let opt = Opt_ref.value_instance ~cores:1 config in
+  opt.arrive (Arrival.make ~dest:0 ~value:2 ());
+  opt.arrive (Arrival.make ~dest:0 ~value:7 ());
+  opt.transmit ();
+  Alcotest.(check int) "value 7 first" 7 opt.metrics.transmitted_value;
+  opt.check ()
+
+let test_opt_value_admission_evicts_min () =
+  let config = Value_config.make ~ports:1 ~max_value:9 ~buffer:2 () in
+  let opt = Opt_ref.value_instance config in
+  opt.arrive (Arrival.make ~dest:0 ~value:1 ());
+  opt.arrive (Arrival.make ~dest:0 ~value:2 ());
+  opt.arrive (Arrival.make ~dest:0 ~value:9 ());
+  Alcotest.(check int) "pushed out the 1" 1 opt.metrics.pushed_out;
+  opt.arrive (Arrival.make ~dest:0 ~value:2 ());
+  Alcotest.(check int) "no gain, dropped" 1 opt.metrics.dropped;
+  opt.check ()
+
+(* OPT reference dominates every real policy on identical traffic: it relaxes
+   the switch (free core assignment) and keeps the cheapest work. *)
+let prop_opt_dominates_policies =
+  QCheck2.Test.make
+    ~name:"single-PQ reference dominates every policy per trace" ~count:60
+    QCheck2.Gen.(
+      let* k = int_range 1 4 in
+      let* buffer = int_range k 8 in
+      let* slots = int_range 1 30 in
+      let* arrivals =
+        list_size (pure slots) (list_size (int_range 0 4) (int_range 0 (k - 1)))
+      in
+      pure (k, buffer, arrivals))
+    (fun (k, buffer, arrivals) ->
+      let config = Proc_config.contiguous ~k ~buffer () in
+      let slots_arr =
+        Array.of_list
+          (List.map (List.map (fun dest -> Arrival.make ~dest ())) arrivals)
+      in
+      (* Give both sides time to drain. *)
+      let total_slots = Array.length slots_arr + (buffer * k) in
+      List.for_all
+        (fun policy ->
+          let alg = Proc_engine.instance config policy in
+          let opt = Opt_ref.proc_instance config in
+          Experiment.run
+            ~params:
+              { Experiment.slots = total_slots; flush_every = None; check_every = None }
+            ~workload:(Workload.of_slots slots_arr) [ alg; opt ];
+          opt.metrics.transmitted >= alg.metrics.transmitted)
+        (Policies.proc config))
+
+(* --- Experiment --- *)
+
+let test_experiment_lockstep_shares_traffic () =
+  let config = contiguous 2 4 in
+  let a = Proc_engine.instance ~name:"a" config (P_lwd.make config) in
+  let b = Proc_engine.instance ~name:"b" config (P_lwd.make config) in
+  let w =
+    Workload.of_fun (fun slot -> [ Arrival.make ~dest:(slot mod 2) () ])
+  in
+  Experiment.run
+    ~params:{ Experiment.slots = 50; flush_every = None; check_every = Some 5 }
+    ~workload:w [ a; b ];
+  Alcotest.(check int) "identical metrics" a.metrics.transmitted
+    b.metrics.transmitted;
+  Alcotest.(check int) "all arrivals seen once" 50 a.metrics.arrivals
+
+let test_experiment_ratio () =
+  let mk name transmitted =
+    let m = Metrics.create () in
+    m.transmitted <- transmitted;
+    m.transmitted_value <- 2 * transmitted;
+    {
+      Instance.name;
+      arrive = (fun _ -> ());
+      transmit = (fun () -> ());
+      end_slot = (fun () -> ());
+      flush = (fun () -> ());
+      occupancy = (fun () -> 0);
+      metrics = m;
+      ports = None;
+      check = (fun () -> ());
+    }
+  in
+  let opt = mk "opt" 10 and alg = mk "alg" 4 in
+  Alcotest.(check (float 1e-9)) "packets ratio" 2.5
+    (Experiment.ratio ~objective:`Packets ~opt ~alg);
+  Alcotest.(check (float 1e-9)) "value ratio" 2.5
+    (Experiment.ratio ~objective:`Value ~opt ~alg);
+  let zero = mk "zero" 0 in
+  Alcotest.(check (float 1e-9)) "zero vs zero" 1.0
+    (Experiment.ratio ~objective:`Packets ~opt:zero ~alg:zero);
+  Alcotest.(check bool) "infinite ratio" true
+    (Experiment.ratio ~objective:`Packets ~opt ~alg:zero = infinity)
+
+(* --- Sweep --- *)
+
+let test_sweep_panel_definitions () =
+  let p1 = Sweep.panel 1 and p5 = Sweep.panel 5 and p9 = Sweep.panel 9 in
+  Alcotest.(check bool) "panel 1 is proc/K" true
+    (p1.Sweep.model = Sweep.Proc && p1.Sweep.axis = Sweep.K);
+  Alcotest.(check bool) "panel 5 is value-uniform/B" true
+    (p5.Sweep.model = Sweep.Value_uniform && p5.Sweep.axis = Sweep.B);
+  Alcotest.(check bool) "panel 9 is value-port/C" true
+    (p9.Sweep.model = Sweep.Value_port && p9.Sweep.axis = Sweep.C);
+  (match Sweep.panel 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "panel 0 accepted");
+  match Sweep.panel 10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "panel 10 accepted"
+
+let tiny_base =
+  {
+    Sweep.default_base with
+    Sweep.k = 4;
+    buffer = 16;
+    slots = 2_000;
+    flush_every = Some 500;
+    mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = 50 };
+  }
+
+let test_sweep_run_point_sane () =
+  let ratios = Sweep.run_point ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.K ~x:4 in
+  Alcotest.(check int) "seven policies" 7 (List.length ratios);
+  List.iter
+    (fun (name, r) ->
+      if r < 0.999 then
+        Alcotest.failf "%s beat the OPT reference: %f" name r;
+      if Float.is_nan r then Alcotest.failf "%s ratio is NaN" name)
+    ratios
+
+let test_sweep_panel_runs () =
+  let outcome = Sweep.run_panel ~base:tiny_base ~xs:[ 2; 4 ] 4 in
+  Alcotest.(check int) "two points" 2 (List.length outcome.Sweep.points);
+  List.iter
+    (fun (p : Sweep.point) ->
+      Alcotest.(check int) "six value policies" 6 (List.length p.ratios))
+    outcome.Sweep.points
+
+let test_sweep_objective () =
+  Alcotest.(check bool) "proc counts packets" true
+    (Sweep.objective Sweep.Proc = `Packets);
+  Alcotest.(check bool) "value counts value" true
+    (Sweep.objective Sweep.Value_port = `Value)
+
+let suite =
+  [
+    Alcotest.test_case "metrics conservation" `Quick test_metrics_conservation;
+    Alcotest.test_case "metrics objectives" `Quick
+      test_metrics_throughput_objectives;
+    Alcotest.test_case "proc engine greedy run" `Quick
+      test_proc_engine_greedy_run;
+    Alcotest.test_case "proc engine counts drops" `Quick
+      test_proc_engine_drop_counted;
+    Alcotest.test_case "proc engine counts push-outs" `Quick
+      test_proc_engine_push_out_counted;
+    Alcotest.test_case "proc engine rejects illegal push-out" `Quick
+      test_proc_engine_rejects_illegal_push_out;
+    Alcotest.test_case "proc engine latency" `Quick test_proc_engine_latency;
+    Alcotest.test_case "flushout" `Quick test_flushout;
+    Alcotest.test_case "value engine accounting" `Quick
+      test_value_engine_value_accounting;
+    Alcotest.test_case "value engine push-out" `Quick
+      test_value_engine_push_out;
+    Alcotest.test_case "OPT proc smallest first" `Quick
+      test_opt_proc_smallest_first;
+    Alcotest.test_case "OPT proc admission" `Quick
+      test_opt_proc_admission_evicts_largest;
+    Alcotest.test_case "OPT value largest first" `Quick
+      test_opt_value_largest_first;
+    Alcotest.test_case "OPT value admission" `Quick
+      test_opt_value_admission_evicts_min;
+    Alcotest.test_case "experiment lockstep" `Quick
+      test_experiment_lockstep_shares_traffic;
+    Alcotest.test_case "experiment ratio" `Quick test_experiment_ratio;
+    Alcotest.test_case "sweep panel definitions" `Quick
+      test_sweep_panel_definitions;
+    Alcotest.test_case "sweep point sanity" `Quick test_sweep_run_point_sane;
+    Alcotest.test_case "sweep panel run" `Quick test_sweep_panel_runs;
+    Alcotest.test_case "sweep objective" `Quick test_sweep_objective;
+    Qc.to_alcotest prop_opt_dominates_policies;
+  ]

@@ -1,0 +1,121 @@
+open Smbm_core
+
+let packet ?(id = 0) ~value () = Packet.Value.make ~id ~dest:0 ~value ~arrival:0
+
+let test_empty () =
+  let q = Value_queue.create ~k:4 in
+  Alcotest.(check int) "length" 0 (Value_queue.length q);
+  Alcotest.(check (option int)) "min" None (Value_queue.min_value q);
+  Alcotest.(check (option int)) "max" None (Value_queue.max_value q);
+  Alcotest.(check (float 1e-9)) "avg" 0.0 (Value_queue.average_value q)
+
+let test_push_and_aggregates () =
+  let q = Value_queue.create ~k:10 in
+  List.iter (fun v -> Value_queue.push q (packet ~value:v ())) [ 4; 9; 1; 4 ];
+  Alcotest.(check int) "length" 4 (Value_queue.length q);
+  Alcotest.(check int) "total" 18 (Value_queue.total_value q);
+  Alcotest.(check (float 1e-9)) "avg" 4.5 (Value_queue.average_value q);
+  Alcotest.(check (option int)) "min" (Some 1) (Value_queue.min_value q);
+  Alcotest.(check (option int)) "max" (Some 9) (Value_queue.max_value q)
+
+let test_value_range () =
+  let q = Value_queue.create ~k:3 in
+  match Value_queue.push q (packet ~value:4 ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range value accepted"
+
+let test_pop_max_is_fifo_within_value () =
+  let q = Value_queue.create ~k:5 in
+  Value_queue.push q (packet ~id:1 ~value:5 ());
+  Value_queue.push q (packet ~id:2 ~value:5 ());
+  Value_queue.push q (packet ~id:3 ~value:2 ());
+  let p = Value_queue.pop_max q in
+  Alcotest.(check int) "value" 5 p.Packet.Value.value;
+  Alcotest.(check int) "earliest of the ties" 1 p.Packet.Value.id
+
+let test_pop_min_is_lifo_within_value () =
+  let q = Value_queue.create ~k:5 in
+  Value_queue.push q (packet ~id:1 ~value:2 ());
+  Value_queue.push q (packet ~id:2 ~value:2 ());
+  Value_queue.push q (packet ~id:3 ~value:5 ());
+  let p = Value_queue.pop_min q in
+  Alcotest.(check int) "value" 2 p.Packet.Value.value;
+  Alcotest.(check int) "most recent of the ties" 2 p.Packet.Value.id
+
+let test_pop_empty () =
+  let q = Value_queue.create ~k:2 in
+  (match Value_queue.pop_min q with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pop_min on empty");
+  match Value_queue.pop_max q with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pop_max on empty"
+
+let test_to_list_sorted_descending () =
+  let q = Value_queue.create ~k:9 in
+  List.iter (fun v -> Value_queue.push q (packet ~value:v ())) [ 3; 8; 1; 8; 5 ];
+  let values =
+    List.map (fun (p : Packet.Value.t) -> p.value) (Value_queue.to_list q)
+  in
+  Alcotest.(check (list int)) "non-increasing" [ 8; 8; 5; 3; 1 ] values
+
+let test_clear () =
+  let q = Value_queue.create ~k:4 in
+  Value_queue.push q (packet ~value:2 ());
+  Alcotest.(check int) "dropped" 1 (Value_queue.clear q);
+  Alcotest.(check int) "total" 0 (Value_queue.total_value q);
+  Alcotest.(check int) "length" 0 (Value_queue.length q)
+
+let prop_model =
+  QCheck2.Test.make ~name:"value queue agrees with sorted-list model"
+    ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 8)
+        (list (oneof [ map (fun v -> `Push v) (int_range 1 8); pure `Pop_min; pure `Pop_max ])))
+    (fun (k, ops) ->
+      let q = Value_queue.create ~k in
+      (* Model: descending-sorted list of values. *)
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push v ->
+            if v <= k then begin
+              Value_queue.push q (packet ~value:v ());
+              model := List.sort (fun a b -> compare b a) (v :: !model)
+            end
+          | `Pop_min -> (
+            match List.rev !model with
+            | [] -> ()
+            | v :: rest_rev ->
+              if (Value_queue.pop_min q).Packet.Value.value <> v then
+                ok := false;
+              model := List.rev rest_rev)
+          | `Pop_max -> (
+            match !model with
+            | [] -> ()
+            | v :: rest ->
+              if (Value_queue.pop_max q).Packet.Value.value <> v then
+                ok := false;
+              model := rest))
+        ops;
+      !ok
+      && Value_queue.length q = List.length !model
+      && Value_queue.total_value q = List.fold_left ( + ) 0 !model)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "aggregates" `Quick test_push_and_aggregates;
+    Alcotest.test_case "value range" `Quick test_value_range;
+    Alcotest.test_case "pop_max FIFO within value" `Quick
+      test_pop_max_is_fifo_within_value;
+    Alcotest.test_case "pop_min LIFO within value" `Quick
+      test_pop_min_is_lifo_within_value;
+    Alcotest.test_case "pop on empty" `Quick test_pop_empty;
+    Alcotest.test_case "to_list descending" `Quick
+      test_to_list_sorted_descending;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Qc.to_alcotest prop_model;
+  ]

@@ -1,0 +1,104 @@
+open Smbm_core
+
+let config ?(ports = 3) ?(max_value = 9) ?(buffer = 4) ?(speedup = 1) () =
+  Value_config.make ~ports ~max_value ~buffer ~speedup ()
+
+let test_accept_and_occupancy () =
+  let sw = Value_switch.create (config ~buffer:2 ()) in
+  ignore (Value_switch.accept sw ~dest:0 ~value:5);
+  ignore (Value_switch.accept sw ~dest:1 ~value:3);
+  Alcotest.(check bool) "full" true (Value_switch.is_full sw);
+  (match Value_switch.accept sw ~dest:2 ~value:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accept on full buffer");
+  match Value_switch.accept sw ~dest:0 ~value:99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "value above k accepted"
+
+let test_min_value_views () =
+  let sw = Value_switch.create (config ~buffer:6 ()) in
+  Alcotest.(check (option int)) "empty min" None (Value_switch.min_value sw);
+  ignore (Value_switch.accept sw ~dest:0 ~value:5);
+  ignore (Value_switch.accept sw ~dest:1 ~value:2);
+  ignore (Value_switch.accept sw ~dest:2 ~value:7);
+  Alcotest.(check (option int)) "min" (Some 2) (Value_switch.min_value sw);
+  Alcotest.(check (option int)) "min port" (Some 1)
+    (Value_switch.min_value_port sw)
+
+let test_min_value_port_tie_breaks_longest () =
+  let sw = Value_switch.create (config ~buffer:6 ()) in
+  (* Ports 0 and 2 both hold minimum value 1; port 2 is longer. *)
+  ignore (Value_switch.accept sw ~dest:0 ~value:1);
+  ignore (Value_switch.accept sw ~dest:2 ~value:1);
+  ignore (Value_switch.accept sw ~dest:2 ~value:4);
+  Alcotest.(check (option int)) "longest min queue" (Some 2)
+    (Value_switch.min_value_port sw)
+
+let test_push_out_takes_min () =
+  let sw = Value_switch.create (config ~buffer:4 ()) in
+  ignore (Value_switch.accept sw ~dest:0 ~value:5);
+  ignore (Value_switch.accept sw ~dest:0 ~value:2);
+  ignore (Value_switch.accept sw ~dest:0 ~value:8);
+  let p = Value_switch.push_out sw ~victim:0 in
+  Alcotest.(check int) "least valuable evicted" 2 p.Packet.Value.value;
+  Alcotest.(check int) "occupancy" 2 (Value_switch.occupancy sw)
+
+let test_transmit_phase_max_first () =
+  let sw = Value_switch.create (config ~buffer:6 ()) in
+  ignore (Value_switch.accept sw ~dest:0 ~value:3);
+  ignore (Value_switch.accept sw ~dest:0 ~value:9);
+  ignore (Value_switch.accept sw ~dest:1 ~value:4);
+  let sent = ref [] in
+  let n =
+    Value_switch.transmit_phase sw ~on_transmit:(fun p ->
+        sent := p.Packet.Value.value :: !sent)
+  in
+  Alcotest.(check int) "one per non-empty queue" 2 n;
+  Alcotest.(check (list int)) "each queue sends its max" [ 4; 9 ] !sent
+
+let test_transmit_speedup () =
+  let sw = Value_switch.create (config ~buffer:6 ~speedup:2 ()) in
+  List.iter (fun v -> ignore (Value_switch.accept sw ~dest:0 ~value:v)) [ 1; 5; 3 ];
+  let sent = ref [] in
+  ignore
+    (Value_switch.transmit_phase sw ~on_transmit:(fun p ->
+         sent := p.Packet.Value.value :: !sent));
+  Alcotest.(check (list int)) "two best, best first" [ 3; 5 ] !sent;
+  Alcotest.(check int) "one left" 1 (Value_switch.occupancy sw)
+
+let test_flush_and_invariants () =
+  let sw = Value_switch.create (config ~buffer:6 ()) in
+  ignore (Value_switch.accept sw ~dest:0 ~value:3);
+  ignore (Value_switch.accept sw ~dest:1 ~value:6);
+  Value_switch.check_invariants sw;
+  Alcotest.(check int) "flushed" 2 (Value_switch.flush sw);
+  Value_switch.check_invariants sw
+
+let prop_occupancy_bounded =
+  QCheck2.Test.make ~name:"occupancy never exceeds B under greedy driving"
+    ~count:200
+    QCheck2.Gen.(list (pair (int_range 0 2) (int_range 1 9)))
+    (fun arrivals ->
+      let sw = Value_switch.create (config ~buffer:3 ()) in
+      List.iter
+        (fun (dest, value) ->
+          if Value_switch.is_full sw then
+            ignore (Value_switch.push_out sw ~victim:(Option.get (Value_switch.min_value_port sw)));
+          ignore (Value_switch.accept sw ~dest ~value);
+          Value_switch.check_invariants sw)
+        arrivals;
+      Value_switch.occupancy sw <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "accept and occupancy" `Quick test_accept_and_occupancy;
+    Alcotest.test_case "min-value views" `Quick test_min_value_views;
+    Alcotest.test_case "min port tie-break" `Quick
+      test_min_value_port_tie_breaks_longest;
+    Alcotest.test_case "push_out takes min" `Quick test_push_out_takes_min;
+    Alcotest.test_case "transmit max first" `Quick
+      test_transmit_phase_max_first;
+    Alcotest.test_case "transmit with speedup" `Quick test_transmit_speedup;
+    Alcotest.test_case "flush and invariants" `Quick test_flush_and_invariants;
+    Qc.to_alcotest prop_occupancy_bounded;
+  ]

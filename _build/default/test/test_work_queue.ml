@@ -1,0 +1,132 @@
+open Smbm_core
+
+let packet ?(id = 0) ~work () = Packet.Proc.make ~id ~dest:0 ~work ~arrival:0
+
+let test_empty () =
+  let q = Work_queue.create ~work:3 in
+  Alcotest.(check int) "length" 0 (Work_queue.length q);
+  Alcotest.(check int) "total work" 0 (Work_queue.total_work q);
+  Alcotest.(check int) "hol residual" 0 (Work_queue.hol_residual q)
+
+let test_push_tracks_work () =
+  let q = Work_queue.create ~work:3 in
+  Work_queue.push q (packet ~id:1 ~work:3 ());
+  Work_queue.push q (packet ~id:2 ~work:3 ());
+  Alcotest.(check int) "length" 2 (Work_queue.length q);
+  Alcotest.(check int) "total work" 6 (Work_queue.total_work q);
+  Alcotest.(check int) "hol residual" 3 (Work_queue.hol_residual q)
+
+let test_rejects_mismatched_work () =
+  let q = Work_queue.create ~work:3 in
+  match Work_queue.push q (packet ~work:2 ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "mismatched work accepted"
+
+let test_pop_back_is_lifo_tail () =
+  let q = Work_queue.create ~work:2 in
+  Work_queue.push q (packet ~id:1 ~work:2 ());
+  Work_queue.push q (packet ~id:2 ~work:2 ());
+  let p = Work_queue.pop_back q in
+  Alcotest.(check int) "tail id" 2 p.Packet.Proc.id;
+  Alcotest.(check int) "total work after pop" 2 (Work_queue.total_work q)
+
+let test_process_single_cycle () =
+  let q = Work_queue.create ~work:2 in
+  Work_queue.push q (packet ~id:1 ~work:2 ());
+  let sent = ref [] in
+  let n =
+    Work_queue.process q ~cycles:1 ~on_transmit:(fun p ->
+        sent := p.Packet.Proc.id :: !sent)
+  in
+  Alcotest.(check int) "nothing transmitted" 0 n;
+  Alcotest.(check int) "hol residual decremented" 1 (Work_queue.hol_residual q);
+  Alcotest.(check int) "total work decremented" 1 (Work_queue.total_work q);
+  let n = Work_queue.process q ~cycles:1 ~on_transmit:(fun _ -> ()) in
+  Alcotest.(check int) "transmitted on completion" 1 n;
+  Alcotest.(check int) "queue empty" 0 (Work_queue.length q)
+
+let test_process_run_to_completion () =
+  (* Three work-2 packets and 5 cycles: two complete, one is half done. *)
+  let q = Work_queue.create ~work:2 in
+  List.iter (fun id -> Work_queue.push q (packet ~id ~work:2 ())) [ 1; 2; 3 ];
+  let sent = ref [] in
+  let n =
+    Work_queue.process q ~cycles:5 ~on_transmit:(fun p ->
+        sent := p.Packet.Proc.id :: !sent)
+  in
+  Alcotest.(check int) "two transmitted" 2 n;
+  Alcotest.(check (list int)) "FIFO completion order" [ 1; 2 ] (List.rev !sent);
+  Alcotest.(check int) "one left" 1 (Work_queue.length q);
+  Alcotest.(check int) "hol half processed" 1 (Work_queue.hol_residual q);
+  Alcotest.(check int) "total work" 1 (Work_queue.total_work q)
+
+let test_process_budget_left_over () =
+  let q = Work_queue.create ~work:1 in
+  Work_queue.push q (packet ~work:1 ());
+  let n = Work_queue.process q ~cycles:10 ~on_transmit:(fun _ -> ()) in
+  Alcotest.(check int) "one transmitted" 1 n;
+  Alcotest.(check int) "empty" 0 (Work_queue.length q)
+
+let test_partially_processed_tail_pop () =
+  (* Popping the tail of a single partially-processed packet must subtract
+     its residual, not its full work. *)
+  let q = Work_queue.create ~work:3 in
+  Work_queue.push q (packet ~work:3 ());
+  ignore (Work_queue.process q ~cycles:2 ~on_transmit:(fun _ -> ()));
+  Alcotest.(check int) "residual" 1 (Work_queue.total_work q);
+  let p = Work_queue.pop_back q in
+  Alcotest.(check int) "popped residual" 1 p.Packet.Proc.residual;
+  Alcotest.(check int) "total work zero" 0 (Work_queue.total_work q)
+
+let test_clear () =
+  let q = Work_queue.create ~work:2 in
+  Work_queue.push q (packet ~work:2 ());
+  Work_queue.push q (packet ~work:2 ());
+  Alcotest.(check int) "dropped" 2 (Work_queue.clear q);
+  Alcotest.(check int) "total work" 0 (Work_queue.total_work q)
+
+let prop_total_work_consistent =
+  QCheck2.Test.make
+    ~name:"cached total work equals sum of residuals under random ops"
+    ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 5)
+        (list (oneof [ pure `Push; pure `Pop; map (fun c -> `Process c) (int_range 1 4) ])))
+    (fun (work, ops) ->
+      let q = Work_queue.create ~work in
+      let id = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push ->
+            incr id;
+            Work_queue.push q (packet ~id:!id ~work ())
+          | `Pop -> if Work_queue.length q > 0 then ignore (Work_queue.pop_back q)
+          | `Process c ->
+            ignore (Work_queue.process q ~cycles:c ~on_transmit:(fun _ -> ())))
+        ops;
+      let sum =
+        List.fold_left
+          (fun acc (p : Packet.Proc.t) -> acc + p.residual)
+          0 (Work_queue.to_list q)
+      in
+      sum = Work_queue.total_work q)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "push tracks work" `Quick test_push_tracks_work;
+    Alcotest.test_case "rejects mismatched work" `Quick
+      test_rejects_mismatched_work;
+    Alcotest.test_case "pop_back takes tail" `Quick test_pop_back_is_lifo_tail;
+    Alcotest.test_case "single-cycle processing" `Quick
+      test_process_single_cycle;
+    Alcotest.test_case "run-to-completion speedup" `Quick
+      test_process_run_to_completion;
+    Alcotest.test_case "budget exceeding queue" `Quick
+      test_process_budget_left_over;
+    Alcotest.test_case "pop of partially processed tail" `Quick
+      test_partially_processed_tail_pop;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Qc.to_alcotest prop_total_work_consistent;
+  ]
