@@ -15,6 +15,11 @@
      SMBM_BENCH_SLOTS    slots per sweep point   (default 20_000)
      SMBM_BENCH_SOURCES  MMPP sources            (default 100)
      SMBM_BENCH_FULL=1   paper scale: 2_000_000 slots, 500 sources
+     SMBM_JOBS           worker domains (also: -j N; default: all cores)
+
+   Independent simulations (Fig. 5 sweep points, lower-bound constructions)
+   are sharded across an Smbm_par.Pool of OCaml domains.  Output is
+   bit-identical for every job count; only the [time] lines differ.
 
    The quick profile finishes in a few minutes and already reproduces the
    qualitative shape of every panel; the full profile matches the paper's
@@ -32,6 +37,39 @@ let env_int name default =
 let full = Sys.getenv_opt "SMBM_BENCH_FULL" = Some "1"
 let slots = if full then 2_000_000 else env_int "SMBM_BENCH_SLOTS" 20_000
 let sources = if full then 500 else env_int "SMBM_BENCH_SOURCES" 100
+
+(* [section] is the first non-flag argument; [-j N] overrides SMBM_JOBS. *)
+let section, jobs =
+  let rec parse section jobs = function
+    | [] -> (section, jobs)
+    | "-j" :: n :: rest -> parse section (int_of_string_opt n) rest
+    | arg :: rest ->
+      parse (if section = None then Some arg else section) jobs rest
+  in
+  let section, jobs = parse None None (List.tl (Array.to_list Sys.argv)) in
+  ( Option.value section ~default:"all",
+    match jobs with
+    | Some j when j >= 0 -> j
+    | Some _ | None -> Smbm_par.Pool.default_jobs () )
+
+(* Wall and CPU time for each phase.  Wall time is what parallelism
+   improves; CPU time (all domains summed) is what [Sys.time] alone used to
+   over-report as if it were elapsed time.  The [time] prefix lets
+   determinism checks strip these lines (they are the only
+   schedule-dependent output). *)
+let timed name f =
+  let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+  let r = f () in
+  Printf.printf "[time] %s: wall %.1fs, cpu %.1fs, jobs %d\n" name
+    (Unix.gettimeofday () -. w0)
+    (Sys.time () -. c0)
+    jobs;
+  r
+
+(* Progress ticks go to stderr so stdout stays diffable. *)
+let progress label total completed =
+  Printf.eprintf "\r%s: %d/%d%s%!" label completed total
+    (if completed = total then "\n" else "")
 
 let base =
   {
@@ -54,9 +92,8 @@ let panel_description = function
   | 8 -> "value model (value = port): ratio vs B"
   | _ -> "value model (value = port): ratio vs C"
 
-let run_panel n =
-  let t0 = Sys.time () in
-  let outcome = Sweep.run_panel ~base n in
+let print_panel (outcome : Sweep.outcome) =
+  let n = outcome.Sweep.panel.Sweep.number in
   let points = outcome.Sweep.points in
   let names =
     match points with p :: _ -> List.map fst p.Sweep.ratios | [] -> []
@@ -91,22 +128,43 @@ let run_panel n =
     (Ascii_plot.render ~height:12
        ~title:(Printf.sprintf "competitive ratio vs %s" axis)
        ~x_label:axis ~log_x:true series);
-  Printf.printf "(%.1fs)\n\n" (Sys.time () -. t0)
+  print_newline ()
 
 let fig5 () =
   Printf.printf
     "=== Fig. 5: empirical competitive ratios (%d slots, %d sources) ===\n\n"
     slots sources;
-  List.iter run_panel [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  let numbers = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  let total =
+    List.fold_left
+      (fun acc n -> acc + List.length (Sweep.panel n).Sweep.xs)
+      0 numbers
+  in
+  (* All nine panels' points sharded across one pool: the unit of work is a
+     single sweep-point simulation, so the pool stays busy even when panels
+     have few points. *)
+  let outcomes =
+    Smbm_par.Par_sweep.run_panels ~jobs ~on_tick:(progress "fig5" total) ~base
+      numbers
+  in
+  List.iter print_panel outcomes
 
 (* ----- Lower bounds ----- *)
 
 let lowerbounds () =
   print_endline "=== Lower-bound constructions (Theorems 1-6, 9-11) ===\n";
+  let all = Smbm_lowerbounds.Constructions.all in
+  let measures =
+    Smbm_lowerbounds.Runner.measure_many ~jobs
+      ~on_tick:(progress "lowerbounds" (List.length all))
+      (List.map
+         (fun (c : Smbm_lowerbounds.Constructions.t) -> c.measure)
+         all)
+  in
   let rows =
-    List.map
-      (fun (c : Smbm_lowerbounds.Constructions.t) ->
-        let m = c.measure () in
+    List.map2
+      (fun (c : Smbm_lowerbounds.Constructions.t)
+           (m : Smbm_lowerbounds.Runner.measured) ->
         [
           c.theorem;
           c.policy;
@@ -116,7 +174,7 @@ let lowerbounds () =
           Table.float_cell c.finite_bound;
           Table.float_cell c.asymptotic_bound;
         ])
-      Smbm_lowerbounds.Constructions.all
+      all measures
   in
   print_string
     (Table.render
@@ -526,25 +584,24 @@ let micro () =
   print_newline ()
 
 let () =
-  let section = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match section with
-  | "fig5" -> fig5 ()
-  | "lowerbounds" -> lowerbounds ()
-  | "fairness" -> fairness ()
-  | "ablations" -> ablations ()
-  | "hybrid" -> hybrid ()
-  | "flood" -> flood ()
-  | "certificate" -> certificate ()
-  | "micro" -> micro ()
+  | "fig5" -> timed "fig5" fig5
+  | "lowerbounds" -> timed "lowerbounds" lowerbounds
+  | "fairness" -> timed "fairness" fairness
+  | "ablations" -> timed "ablations" ablations
+  | "hybrid" -> timed "hybrid" hybrid
+  | "flood" -> timed "flood" flood
+  | "certificate" -> timed "certificate" certificate
+  | "micro" -> timed "micro" micro
   | "all" ->
-    lowerbounds ();
-    fig5 ();
-    fairness ();
-    ablations ();
-    flood ();
-    hybrid ();
-    certificate ();
-    micro ()
+    timed "lowerbounds" lowerbounds;
+    timed "fig5" fig5;
+    timed "fairness" fairness;
+    timed "ablations" ablations;
+    timed "flood" flood;
+    timed "hybrid" hybrid;
+    timed "certificate" certificate;
+    timed "micro" micro
   | other ->
     Printf.eprintf
       "unknown section %S (expected \

@@ -27,7 +27,22 @@ type common = {
   slots : int;
   flush : int;
   seed : int;
+  jobs : int;
 }
+
+let jobs_term =
+  Arg.(
+    value
+    & opt int (-1)
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "SMBM_JOBS")
+        ~doc:
+          "Worker domains for parallel commands ($(b,figure), $(b,sweep), \
+           $(b,compare --replications), $(b,lowerbound all)).  0 runs \
+           inline; default: $(b,SMBM_JOBS) or the number of cores.  Results \
+           are bit-identical for every value.")
+
+let jobs_of jobs = if jobs >= 0 then jobs else Smbm_par.Pool.default_jobs ()
 
 let common_term =
   let open Term in
@@ -53,10 +68,11 @@ let common_term =
     Arg.(value & opt int 10_000 & info [ "flush-every" ] ~docv:"F" ~doc:"Periodic flushout interval in slots (0 disables).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let make k buffer speedup load sources slots flush seed =
-    { k; buffer; speedup; load; sources; slots; flush; seed }
+  let make k buffer speedup load sources slots flush seed jobs =
+    { k; buffer; speedup; load; sources; slots; flush; seed; jobs }
   in
   const make $ k $ buffer $ speedup $ load $ sources $ slots $ flush $ seed
+  $ jobs_term
 
 let model_term =
   let models =
@@ -140,7 +156,8 @@ let run_compare common model replications detail =
   else if replications > 1 then begin
     let seeds = List.init replications (fun i -> common.seed + i) in
     let reps =
-      Sweep.run_point_replicated ~base ~model ~axis:Sweep.K ~x:common.k ~seeds
+      Smbm_par.Par_sweep.run_point_replicated ~jobs:(jobs_of common.jobs)
+        ~base ~model ~axis:Sweep.K ~x:common.k ~seeds ()
     in
     let rows =
       List.map
@@ -376,7 +393,9 @@ let simulate_cmd =
 let run_figure common panel xs csv =
   let base = base_of common in
   let xs = match xs with [] -> None | l -> Some l in
-  let outcome = Sweep.run_panel ~base ?xs panel in
+  let outcome =
+    Smbm_par.Par_sweep.run_panel ~jobs:(jobs_of common.jobs) ~base ?xs panel
+  in
   let points = outcome.Sweep.points in
   let names =
     match points with
@@ -438,7 +457,7 @@ let figure_cmd =
 
 (* ----- lowerbound ----- *)
 
-let run_lowerbound which =
+let run_lowerbound which jobs =
   let open Smbm_lowerbounds in
   let entries =
     if String.lowercase_ascii which = "all" then Constructions.all
@@ -450,10 +469,13 @@ let run_lowerbound which =
           (Printf.sprintf
              "unknown construction %S (try \"Thm 4\" or \"all\")" which)
   in
+  let measures =
+    Runner.measure_many ~jobs:(jobs_of jobs)
+      (List.map (fun (c : Constructions.t) -> c.measure) entries)
+  in
   let rows =
-    List.map
-      (fun (c : Constructions.t) ->
-        let m = c.measure () in
+    List.map2
+      (fun (c : Constructions.t) (m : Runner.measured) ->
         [
           c.theorem;
           c.policy;
@@ -462,7 +484,7 @@ let run_lowerbound which =
           Smbm_report.Table.float_cell c.finite_bound;
           Smbm_report.Table.float_cell m.Runner.ratio;
         ])
-      entries
+      entries measures
   in
   print_string
     (Smbm_report.Table.render
@@ -476,7 +498,7 @@ let lowerbound_cmd =
   Cmd.v
     (Cmd.info "lowerbound"
        ~doc:"Run a theorem's adversarial construction against its scripted OPT and compare the measured ratio with the closed-form bound.")
-    Term.(const run_lowerbound $ which)
+    Term.(const run_lowerbound $ which $ jobs_term)
 
 (* ----- sweep ----- *)
 
@@ -495,7 +517,8 @@ let run_sweep common model axis_name xs csv =
     | xs -> xs
   in
   let points =
-    List.map (fun x -> (x, Sweep.run_point ~base ~model ~axis ~x)) xs
+    Smbm_par.Par_sweep.run_points ~jobs:(jobs_of common.jobs) ~base ~model
+      ~axis ~xs ()
   in
   let names = match points with (_, r) :: _ -> List.map fst r | [] -> [] in
   let headers = axis_name :: names in

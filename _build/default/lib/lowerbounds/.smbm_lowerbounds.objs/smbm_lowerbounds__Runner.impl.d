@@ -1,1 +1,1 @@
-lib/lowerbounds/runner.ml: Experiment Instance List Metrics Proc_engine Smbm_sim Smbm_traffic Value_engine
+lib/lowerbounds/runner.ml: Experiment Instance List Metrics Proc_engine Smbm_par Smbm_sim Smbm_traffic Value_engine

@@ -38,3 +38,10 @@ let run_value ~config ~alg ~opt ~trace ~slots ?flush_every () =
   let workload = Smbm_traffic.Workload.of_fun trace in
   Experiment.run ~params:(params ~slots ~flush_every) ~workload [ alg; opt ];
   measure ~objective:`Value ~alg ~opt
+
+let measure_many ?jobs ?on_tick measures =
+  let jobs =
+    match jobs with Some j -> j | None -> Smbm_par.Pool.default_jobs ()
+  in
+  Smbm_par.Pool.with_pool ?on_tick ~jobs (fun pool ->
+      Smbm_par.Pool.map pool (fun f -> f ()) measures)

@@ -44,3 +44,14 @@ val run_value :
   unit ->
   measured
 (** Objective: transmitted value. *)
+
+val measure_many :
+  ?jobs:int ->
+  ?on_tick:(int -> unit) ->
+  (unit -> measured) list ->
+  measured list
+(** Run independent constructions (e.g. the [measure] thunks of
+    {!Constructions.all}) sharded across a {!Smbm_par.Pool}, results in
+    input order.  Each construction builds its own switches and scripted
+    OPT, so runs are bit-identical to the sequential [List.map].  [jobs]
+    defaults to {!Smbm_par.Pool.default_jobs}; [0] runs inline. *)

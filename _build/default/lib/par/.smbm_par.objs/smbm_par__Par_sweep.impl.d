@@ -1,0 +1,1 @@
+lib/par/par_sweep.ml: Int64 List Option Pool Smbm_prelude Smbm_sim Sweep

@@ -1,0 +1,1 @@
+lib/par/par_sweep.mli: Smbm_sim Sweep

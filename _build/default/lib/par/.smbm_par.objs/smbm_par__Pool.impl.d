@@ -1,0 +1,1 @@
+lib/par/pool.ml: Array Atomic Condition Domain Fun List Mutex Printexc Queue String Sys

@@ -1,0 +1,1 @@
+lib/par/pool.mli:

@@ -1,0 +1,73 @@
+open Smbm_sim
+
+let split_seeds ~seed n =
+  let module Rng = Smbm_prelude.Rng in
+  let parent = Rng.create ~seed in
+  List.init n (fun _ -> Int64.to_int (Rng.bits64 (Rng.split parent)))
+
+let with_pool ?jobs ?on_tick f =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  Pool.with_pool ?on_tick ~jobs f
+
+let run_points ?jobs ?on_tick ~base ~model ~axis ~xs () =
+  with_pool ?jobs ?on_tick (fun pool ->
+      Pool.map pool (fun x -> (x, Sweep.run_point ~base ~model ~axis ~x)) xs)
+
+let panel_of ?base ?xs number =
+  let base = Option.value base ~default:Sweep.default_base in
+  let panel = Sweep.panel number in
+  let panel = match xs with Some xs -> { panel with Sweep.xs } | None -> panel in
+  (base, panel)
+
+let run_panel ?jobs ?on_tick ?base ?xs number =
+  let base, panel = panel_of ?base ?xs number in
+  let points =
+    run_points ?jobs ?on_tick ~base ~model:panel.Sweep.model
+      ~axis:panel.Sweep.axis ~xs:panel.Sweep.xs ()
+    |> List.map (fun (x, ratios) -> { Sweep.x; ratios })
+  in
+  { Sweep.panel; points }
+
+let run_panels ?jobs ?on_tick ?base numbers =
+  let panels = List.map (fun n -> snd (panel_of ?base n)) numbers in
+  let base = Option.value base ~default:Sweep.default_base in
+  let tasks =
+    List.concat_map
+      (fun (p : Sweep.panel) -> List.map (fun x -> (p, x)) p.Sweep.xs)
+      panels
+  in
+  let points =
+    with_pool ?jobs ?on_tick (fun pool ->
+        Pool.map pool
+          (fun ((p : Sweep.panel), x) ->
+            {
+              Sweep.x;
+              ratios =
+                Sweep.run_point ~base ~model:p.Sweep.model ~axis:p.Sweep.axis
+                  ~x;
+            })
+          tasks)
+  in
+  (* Results come back in submission order: peel each panel's slice off the
+     front. *)
+  let rec reassemble panels points =
+    match panels with
+    | [] -> []
+    | (p : Sweep.panel) :: rest ->
+      let n = List.length p.Sweep.xs in
+      let mine = List.filteri (fun i _ -> i < n) points in
+      let others = List.filteri (fun i _ -> i >= n) points in
+      { Sweep.panel = p; points = mine } :: reassemble rest others
+  in
+  reassemble panels points
+
+let run_point_replicated ?jobs ?on_tick ~base ~model ~axis ~x ~seeds () =
+  if seeds = [] then invalid_arg "Par_sweep.run_point_replicated: no seeds";
+  let per_seed =
+    with_pool ?jobs ?on_tick (fun pool ->
+        Pool.map pool
+          (fun seed ->
+            Sweep.run_point ~base:{ base with Sweep.seed } ~model ~axis ~x)
+          seeds)
+  in
+  Sweep.aggregate_replicates per_seed

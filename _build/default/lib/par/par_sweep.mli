@@ -1,0 +1,67 @@
+(** Parallel mirrors of {!Smbm_sim.Sweep}, bit-identical to the sequential
+    path.
+
+    Every entry point shards work at the granularity of one independent
+    simulation (a sweep point, or one replicate seed of a point).  Each task
+    is a pure function of its parameters — the per-task RNG is constructed
+    inside the task from a seed fixed at submission time (the point's [base]
+    seed, or a replicate seed derived by deterministic {!Smbm_prelude.Rng}
+    splitting) — and {!Pool} returns results in submission order.  Outputs
+    are therefore identical to the sequential functions for every value of
+    [jobs] and any scheduling of the workers.
+
+    [jobs] defaults to {!Pool.default_jobs} ([SMBM_JOBS] or
+    [Domain.recommended_domain_count ()]); [jobs:0] runs inline on the
+    caller.  [on_tick] reports completed tasks (simulations), e.g. for a
+    progress line on stderr. *)
+
+open Smbm_sim
+
+val split_seeds : seed:int -> int -> int list
+(** [split_seeds ~seed n]: [n] independent replicate seeds derived from
+    [seed] by {!Smbm_prelude.Rng.split} — one split child per task, its
+    first 64-bit output truncated to [int].  Deterministic in [seed] and
+    [n]; a prefix is stable as [n] grows. *)
+
+val run_points :
+  ?jobs:int ->
+  ?on_tick:(int -> unit) ->
+  base:Sweep.base ->
+  model:Sweep.model ->
+  axis:Sweep.axis ->
+  xs:int list ->
+  unit ->
+  (int * (string * float) list) list
+(** [Sweep.run_point] at every [x] of [xs], points sharded across the pool;
+    equals the sequential list of [(x, Sweep.run_point ... ~x)]. *)
+
+val run_panel : ?jobs:int -> ?on_tick:(int -> unit) -> ?base:Sweep.base ->
+  ?xs:int list -> int -> Sweep.outcome
+(** Parallel {!Sweep.run_panel}: same outcome, points sharded across the
+    pool. *)
+
+val run_panels :
+  ?jobs:int ->
+  ?on_tick:(int -> unit) ->
+  ?base:Sweep.base ->
+  int list ->
+  Sweep.outcome list
+(** [run_panels numbers] runs several Fig. 5 panels with {e all} their
+    points sharded across one pool — e.g. [run_panels [1;2;...;9]] spreads
+    the full figure's 60-odd simulations over the domains instead of
+    parallelizing only within a panel.  Equals
+    [List.map (Sweep.run_panel ?base) numbers]. *)
+
+val run_point_replicated :
+  ?jobs:int ->
+  ?on_tick:(int -> unit) ->
+  base:Sweep.base ->
+  model:Sweep.model ->
+  axis:Sweep.axis ->
+  x:int ->
+  seeds:int list ->
+  unit ->
+  (string * Sweep.replicated) list
+(** Parallel {!Sweep.run_point_replicated}: one task per seed, aggregated
+    with {!Sweep.aggregate_replicates} (identical arithmetic and order).
+    @raise Invalid_argument on an empty [seeds]. *)

@@ -1,0 +1,138 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  progress : int Atomic.t;
+  on_tick : (int -> unit) option;
+}
+
+(* Workers drain the queue even while stopping, so shutdown is graceful:
+   every task submitted before [shutdown] runs to completion. *)
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work_available t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+    (* stopping and drained *)
+    Mutex.unlock t.mutex
+  | Some task ->
+    Mutex.unlock t.mutex;
+    task ();
+    worker t
+
+let create ?on_tick ~jobs () =
+  if jobs < 0 then invalid_arg "Pool.create: jobs must be non-negative";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+      progress = Atomic.make 0;
+      on_tick;
+    }
+  in
+  t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+let completed t = Atomic.get t.progress
+
+let tick t =
+  let n = Atomic.fetch_and_add t.progress 1 + 1 in
+  match t.on_tick with None -> () | Some f -> f n
+
+let mapi t f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    (* Per-batch completion latch; [results] and [errors] are published to
+       the caller through it (task writes happen-before the decrement, the
+       caller reads after observing zero under the same mutex). *)
+    let remaining = ref n in
+    let batch_mutex = Mutex.create () in
+    let batch_done = Condition.create () in
+    let task i () =
+      (match f i items.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      tick t;
+      Mutex.lock batch_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.signal batch_done;
+      Mutex.unlock batch_mutex
+    in
+    if t.jobs = 0 then begin
+      if t.stopping then invalid_arg "Pool: pool has been shut down";
+      for i = 0 to n - 1 do
+        task i ()
+      done
+    end
+    else begin
+      Mutex.lock t.mutex;
+      if t.stopping then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool: pool has been shut down"
+      end;
+      for i = 0 to n - 1 do
+        Queue.add (task i) t.queue
+      done;
+      Condition.broadcast t.work_available;
+      Mutex.unlock t.mutex;
+      Mutex.lock batch_mutex;
+      while !remaining > 0 do
+        Condition.wait batch_done batch_mutex
+      done;
+      Mutex.unlock batch_mutex
+    end;
+    (* Deterministic failure attribution: earliest submitted task wins. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.to_list
+      (Array.map
+         (function
+           | Some v -> v
+           | None -> assert false (* no error => every slot was filled *))
+         results)
+  end
+
+let map t f items = mapi t (fun _ x -> f x) items
+
+let map_reduce t ~map:f ~reduce ~init items =
+  List.fold_left reduce init (map t f items)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?on_tick ~jobs f =
+  let t = create ?on_tick ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_jobs () =
+  match Sys.getenv_opt "SMBM_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j > 0 -> j
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()

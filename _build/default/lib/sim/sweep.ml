@@ -190,11 +190,7 @@ let run_point_detailed ~base ~model ~axis ~x =
 
 type replicated = { mean : float; stddev : float; runs : int }
 
-let run_point_replicated ~base ~model ~axis ~x ~seeds =
-  if seeds = [] then invalid_arg "Sweep.run_point_replicated: no seeds";
-  let per_seed =
-    List.map (fun seed -> run_point ~base:{ base with seed } ~model ~axis ~x) seeds
-  in
+let aggregate_replicates per_seed =
   match per_seed with
   | [] -> []
   | first :: _ ->
@@ -215,6 +211,13 @@ let run_point_replicated ~base ~model ~axis ~x ~seeds =
             runs = Smbm_prelude.Running_stats.count stats;
           } ))
       first
+
+let run_point_replicated ~base ~model ~axis ~x ~seeds =
+  if seeds = [] then invalid_arg "Sweep.run_point_replicated: no seeds";
+  aggregate_replicates
+    (List.map
+       (fun seed -> run_point ~base:{ base with seed } ~model ~axis ~x)
+       seeds)
 
 let run_panel ?(base = default_base) ?xs number =
   let panel = panel number in

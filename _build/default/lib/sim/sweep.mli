@@ -68,6 +68,14 @@ val run_point_detailed :
 
 type replicated = { mean : float; stddev : float; runs : int }
 
+val aggregate_replicates :
+  (string * float) list list -> (string * replicated) list
+(** Per-policy mean and sample standard deviation over per-seed ratio lists
+    (non-finite ratios are skipped).  The series and their order come from
+    the first list.  Exposed so that parallel runners ({!Smbm_par.Par_sweep})
+    aggregate replicate results with the exact same arithmetic as
+    {!run_point_replicated}. *)
+
 val run_point_replicated :
   base:base ->
   model:model ->

@@ -1,0 +1,1 @@
+test/test_par_pool.ml: Alcotest Atomic Fun List Pool Smbm_par Smbm_prelude

@@ -1,0 +1,1 @@
+test/test_par_sweep.ml: Alcotest Fmt Int64 List Par_sweep Printf Smbm_par Smbm_sim Smbm_traffic Sweep

@@ -1,1 +1,1 @@
-test/test_rng.ml: Alcotest Array Fun QCheck2 Qc Rng Smbm_prelude
+test/test_rng.ml: Alcotest Array Fun Hashtbl QCheck2 Qc Rng Smbm_prelude

@@ -1,0 +1,128 @@
+open Smbm_par
+
+(* A little CPU noise so worker scheduling actually scrambles completion
+   order and order preservation is a real claim, not an accident. *)
+let busy_work x =
+  let rng = Smbm_prelude.Rng.create ~seed:x in
+  let n = 1 + Smbm_prelude.Rng.int rng 5_000 in
+  let acc = ref 0 in
+  for _ = 1 to n do
+    incr acc
+  done;
+  !acc |> ignore
+
+let test_map_order jobs () =
+  Pool.with_pool ~jobs (fun pool ->
+      let xs = List.init 100 Fun.id in
+      let ys =
+        Pool.map pool
+          (fun x ->
+            busy_work x;
+            x * x)
+          xs
+      in
+      Alcotest.(check (list int)) "squares in order" (List.map (fun x -> x * x) xs) ys)
+
+let test_mapi_indices () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = [ 'a'; 'b'; 'c'; 'd'; 'e' ] in
+      let ys = Pool.mapi pool (fun i c -> (i, c)) xs in
+      Alcotest.(check (list (pair int char)))
+        "index matches position"
+        [ (0, 'a'); (1, 'b'); (2, 'c'); (3, 'd'); (4, 'e') ]
+        ys)
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map pool succ [ 7 ]))
+
+let test_negative_jobs () =
+  Alcotest.check_raises "jobs < 0"
+    (Invalid_argument "Pool.create: jobs must be non-negative") (fun () ->
+      ignore (Pool.create ~jobs:(-1) ()))
+
+let test_map_reduce () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 20 (fun i -> i + 1) in
+      (* Non-commutative reduce: order of combination is observable. *)
+      let s =
+        Pool.map_reduce pool ~map:string_of_int
+          ~reduce:(fun acc x -> acc ^ "," ^ x)
+          ~init:"" xs
+      in
+      let expected =
+        List.fold_left
+          (fun acc x -> acc ^ "," ^ x)
+          ""
+          (List.map string_of_int xs)
+      in
+      Alcotest.(check string) "fold in submission order" expected s)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match
+         Pool.map pool
+           (fun x ->
+             busy_work x;
+             if x mod 10 = 3 then raise (Boom x) else x)
+           (List.init 50 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+        (* Earliest failing submission wins, deterministically. *)
+        Alcotest.(check int) "first failing task's exception" 3 x);
+      (* The pool survives a failed batch. *)
+      let ys = Pool.map pool succ [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "pool usable after failure" [ 2; 3; 4 ] ys)
+
+let test_progress_counter () =
+  let ticks = Atomic.make 0 in
+  Pool.with_pool ~on_tick:(fun _ -> Atomic.incr ticks) ~jobs:2 (fun pool ->
+      ignore (Pool.map pool succ (List.init 10 Fun.id));
+      Alcotest.(check int) "completed counts tasks" 10 (Pool.completed pool);
+      ignore (Pool.map pool succ (List.init 5 Fun.id));
+      Alcotest.(check int) "completed accumulates" 15 (Pool.completed pool);
+      Alcotest.(check int) "one tick per task" 15 (Atomic.get ticks))
+
+let test_inline_pool_ticks_in_order () =
+  (* jobs:0 runs on the caller: ticks arrive strictly in submission order. *)
+  let seen = ref [] in
+  Pool.with_pool ~on_tick:(fun n -> seen := n :: !seen) ~jobs:0 (fun pool ->
+      Alcotest.(check int) "no workers" 0 (Pool.jobs pool);
+      ignore (Pool.map pool succ [ 10; 20; 30 ]));
+  Alcotest.(check (list int)) "ordered ticks" [ 3; 2; 1 ] !seen
+
+let test_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  let ys = Pool.map pool succ [ 1; 2 ] in
+  Alcotest.(check (list int)) "works before shutdown" [ 2; 3 ] ys;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool: pool has been shut down") (fun () ->
+      ignore (Pool.map pool succ [ 1 ]))
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one job" true (Pool.default_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "map order, inline (0 jobs)" `Quick (test_map_order 0);
+    Alcotest.test_case "map order, 1 job" `Quick (test_map_order 1);
+    Alcotest.test_case "map order, 4 jobs" `Quick (test_map_order 4);
+    Alcotest.test_case "mapi indices" `Quick test_mapi_indices;
+    Alcotest.test_case "empty and singleton batches" `Quick
+      test_empty_and_singleton;
+    Alcotest.test_case "negative jobs rejected" `Quick test_negative_jobs;
+    Alcotest.test_case "map_reduce folds in order" `Quick test_map_reduce;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "progress counter" `Quick test_progress_counter;
+    Alcotest.test_case "inline pool ticks in order" `Quick
+      test_inline_pool_ticks_in_order;
+    Alcotest.test_case "graceful, idempotent shutdown" `Quick test_shutdown;
+    Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;
+  ]

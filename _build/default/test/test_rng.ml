@@ -137,6 +137,33 @@ let prop_int_uniformity =
       done;
       Array.for_all Fun.id seen)
 
+(* The parallel subsystem (Smbm_par) derives per-task seeds by splitting:
+   its determinism-and-independence contract rests on split children not
+   replaying each other's outputs.  SplitMix64 children are shifted copies
+   of one 2^64-periodic permutation, so overlap over a prefix would require
+   two child states to land within N gammas of each other — this property
+   pins that down empirically for many parents and fans. *)
+let prop_split_no_overlap =
+  QCheck2.Test.make ~name:"Rng.split children pairwise non-overlapping"
+    ~count:25
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 8))
+    (fun (seed, children) ->
+      let draws = 512 in
+      let parent = Rng.create ~seed in
+      let seen = Hashtbl.create (children * draws) in
+      let ok = ref true in
+      for child = 0 to children - 1 do
+        let rng = Rng.split parent in
+        for _ = 1 to draws do
+          let v = Rng.bits64 rng in
+          (match Hashtbl.find_opt seen v with
+          | Some other when other <> child -> ok := false
+          | Some _ | None -> ());
+          Hashtbl.replace seen v child
+        done
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "determinism by seed" `Quick test_determinism;
@@ -154,4 +181,5 @@ let suite =
     Alcotest.test_case "geometric" `Quick test_geometric;
     Alcotest.test_case "choose" `Quick test_choose;
     Qc.to_alcotest prop_int_uniformity;
+    Qc.to_alcotest prop_split_no_overlap;
   ]
