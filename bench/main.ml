@@ -52,24 +52,23 @@ let section, jobs =
     | Some j when j >= 0 -> j
     | Some _ | None -> Smbm_par.Pool.default_jobs () )
 
-(* Wall and CPU time for each phase.  Wall time is what parallelism
-   improves; CPU time (all domains summed) is what [Sys.time] alone used to
-   over-report as if it were elapsed time.  The [time] prefix lets
-   determinism checks strip these lines (they are the only
-   schedule-dependent output). *)
+(* Wall and CPU time for each phase, via the shared span timer.  Wall time
+   is what parallelism improves; CPU time (all domains summed) is what
+   [Sys.time] alone used to over-report as if it were elapsed time.  The
+   [time] prefix lets determinism checks strip these lines (they are the
+   only schedule-dependent output). *)
 let timed name f =
-  let w0 = Unix.gettimeofday () and c0 = Sys.time () in
-  let r = f () in
+  let r, span = Smbm_obs.Span.timed name f in
   Printf.printf "[time] %s: wall %.1fs, cpu %.1fs, jobs %d\n" name
-    (Unix.gettimeofday () -. w0)
-    (Sys.time () -. c0)
-    jobs;
+    span.Smbm_obs.Span.wall span.Smbm_obs.Span.cpu jobs;
   r
 
 (* Progress ticks go to stderr so stdout stays diffable. *)
-let progress label total completed =
-  Printf.eprintf "\r%s: %d/%d%s%!" label completed total
-    (if completed = total then "\n" else "")
+let progress label total = Smbm_obs.Progress.make ~label ~total ()
+
+(* Pool utilization behind the same strippable prefix. *)
+let pool_timing name tm =
+  Format.printf "[time] %s pool: %a@." name Smbm_par.Pool.pp_timing tm
 
 let base =
   {
@@ -144,8 +143,8 @@ let fig5 () =
      single sweep-point simulation, so the pool stays busy even when panels
      have few points. *)
   let outcomes =
-    Smbm_par.Par_sweep.run_panels ~jobs ~on_tick:(progress "fig5" total) ~base
-      numbers
+    Smbm_par.Par_sweep.run_panels ~jobs ~on_tick:(progress "fig5" total)
+      ~on_timing:(pool_timing "fig5") ~base numbers
   in
   List.iter print_panel outcomes
 
@@ -429,7 +428,7 @@ let hybrid () =
         (Smbm_traffic.Workload.of_fun (fun i ->
              if i < Array.length trace then trace.(i) else []))
       [ inst ];
-    inst.Instance.metrics.Metrics.transmitted_value
+    (Metrics.transmitted_value inst.Instance.metrics)
   in
   let policies = Smbm_hybrid.Hybrid_policy.all cfg in
   let names = List.map (fun (p : Smbm_hybrid.Hybrid_policy.t) -> p.name) policies in

@@ -96,6 +96,54 @@ let base_of c =
     seed = c.seed;
   }
 
+(* ----- observability options ----- *)
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "SMBM_TRACE")
+        ~doc:
+          "Write per-slot switch events (arrival, accept, push-out, drop, \
+           transmit, slot-end) as JSONL to $(docv).  Deterministic: \
+           byte-identical for every $(b,--jobs) value, and recording does \
+           not change any result.  Validate with $(b,trace-validate).")
+
+let trace_cap_term =
+  Arg.(
+    value
+    & opt int Smbm_par.Par_sweep.default_trace_cap
+    & info [ "trace-cap" ] ~docv:"N"
+        ~doc:
+          "Event ring-buffer capacity (per sweep point for $(b,figure)); \
+           the oldest events are evicted beyond it, keeping memory bounded \
+           on long runs.")
+
+let metrics_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the final aggregate counters and histograms as labeled \
+           JSONL metric lines to $(docv).")
+
+let progress_term =
+  Arg.(
+    value & flag
+    & info [ "progress" ] ~doc:"Print a progress line to stderr.")
+
+let model_name = function
+  | Sweep.Proc -> "proc"
+  | Sweep.Value_uniform -> "value-uniform"
+  | Sweep.Value_port -> "value-port"
+
+let write_events path events =
+  let sink = Smbm_obs.Sink.file path in
+  List.iter (Smbm_obs.Sink.event sink) events;
+  Smbm_obs.Sink.close sink
+
 (* ----- policies ----- *)
 
 let policies_cmd =
@@ -176,7 +224,7 @@ let run_compare common model replications detail =
          ~rows ())
   end
   else begin
-    let ratios = Sweep.run_point ~base ~model ~axis:Sweep.K ~x:common.k in
+    let ratios = Sweep.run_point ~base ~model ~axis:Sweep.K ~x:common.k () in
     let rows =
       List.map (fun (name, r) -> [ name; Smbm_report.Table.float_cell r ]) ratios
     in
@@ -275,7 +323,8 @@ let trace_cmd =
 
 (* ----- simulate ----- *)
 
-let run_simulate common model heavy_tail timeseries policy_name =
+let run_simulate common model heavy_tail timeseries trace trace_cap
+    metrics_out progress policy_name =
   let base = base_of common in
   let mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = common.sources } in
   let params =
@@ -284,6 +333,11 @@ let run_simulate common model heavy_tail timeseries policy_name =
       flush_every = (if common.flush > 0 then Some common.flush else None);
       check_every = None;
     }
+  in
+  let recorder =
+    match trace with
+    | None -> None
+    | Some _ -> Some (Smbm_obs.Recorder.create ~cap:trace_cap ())
   in
   let inst, workload =
     match model with
@@ -305,7 +359,7 @@ let run_simulate common model heavy_tail timeseries policy_name =
           Smbm_traffic.Scenario.proc_workload ~mmpp ~config ~load:common.load
             ~seed:common.seed ()
       in
-      (Proc_engine.instance config policy, workload)
+      (Proc_engine.instance ?recorder config policy, workload)
     | Sweep.Value_uniform | Sweep.Value_port ->
       let config =
         Value_config.make ~ports:common.k ~max_value:common.k
@@ -325,7 +379,7 @@ let run_simulate common model heavy_tail timeseries policy_name =
           Smbm_traffic.Scenario.value_uniform_workload ~mmpp ~config
             ~load:common.load ~seed:common.seed ()
       in
-      (Value_engine.instance config policy, workload)
+      (Value_engine.instance ?recorder config policy, workload)
   in
   let inst, series =
     match timeseries with
@@ -334,7 +388,43 @@ let run_simulate common model heavy_tail timeseries policy_name =
       (wrapped, Some ts)
     | None -> (inst, None)
   in
+  let inst =
+    if not progress then inst
+    else begin
+      let tick =
+        Smbm_obs.Progress.make ~label:"simulate" ~total:common.slots ()
+      in
+      let slot = ref 0 in
+      let every = max 1 (common.slots / 100) in
+      let end_slot () =
+        inst.Instance.end_slot ();
+        incr slot;
+        if !slot mod every = 0 || !slot = common.slots then tick !slot
+      in
+      { inst with Instance.end_slot }
+    end
+  in
   Experiment.run ~params ~workload [ inst ];
+  (match (trace, recorder) with
+  | Some path, Some r ->
+    write_events path (Smbm_obs.Recorder.events r);
+    if Smbm_obs.Recorder.dropped r > 0 then
+      Printf.eprintf "trace: %d events evicted (raise --trace-cap)\n"
+        (Smbm_obs.Recorder.dropped r);
+    Printf.printf "wrote trace to %s (%d events)\n" path
+      (Smbm_obs.Recorder.length r)
+  | _ -> ());
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    let labels =
+      [ ("policy", inst.Instance.name); ("model", model_name model) ]
+    in
+    let sink = Smbm_obs.Sink.file path in
+    List.iter (Smbm_obs.Sink.line sink)
+      (Metrics.to_jsonl ~labels inst.Instance.metrics);
+    Smbm_obs.Sink.close sink;
+    Printf.printf "wrote metrics to %s\n" path);
   (match timeseries, series with
   | Some path, Some ts ->
     let oc = open_out path in
@@ -350,11 +440,11 @@ let run_simulate common model heavy_tail timeseries policy_name =
   Format.printf
     "  mean occupancy %.1f / %d, latency mean %.2f / p50 %.1f / p99 %.1f \
      slots@."
-    (Smbm_prelude.Running_stats.mean m.Metrics.occupancy)
+    (Smbm_prelude.Running_stats.mean (Metrics.occupancy_stats m))
     common.buffer
-    (Smbm_prelude.Running_stats.mean m.Metrics.latency)
-    (Smbm_prelude.Histogram.quantile m.Metrics.latency_hist 0.5)
-    (Smbm_prelude.Histogram.quantile m.Metrics.latency_hist 0.99);
+    (Smbm_prelude.Running_stats.mean (Metrics.latency_stats m))
+    (Smbm_prelude.Histogram.quantile (Metrics.latency_hist m) 0.5)
+    (Smbm_prelude.Histogram.quantile (Metrics.latency_hist m) 0.99);
   match inst.Instance.ports with
   | Some ports ->
     Format.printf "  fairness: jain %.3f, starved ports %d / %d@."
@@ -386,16 +476,65 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a single policy and print detailed metrics.")
     Term.(
       const run_simulate $ common_term $ model_term $ heavy_tail $ timeseries
+      $ trace_term $ trace_cap_term $ metrics_out_term $ progress_term
       $ policy)
 
 (* ----- figure ----- *)
 
-let run_figure common panel xs csv =
+let run_figure common panel xs csv trace trace_cap metrics_out progress =
   let base = base_of common in
   let xs = match xs with [] -> None | l -> Some l in
-  let outcome =
-    Smbm_par.Par_sweep.run_panel ~jobs:(jobs_of common.jobs) ~base ?xs panel
+  let total =
+    match xs with
+    | Some l -> List.length l
+    | None -> List.length (Sweep.panel panel).Sweep.xs
   in
+  let on_tick =
+    if progress then
+      Some (Smbm_obs.Progress.make ~label:"figure" ~total ())
+    else None
+  in
+  let outcome =
+    match trace with
+    | None ->
+      Smbm_par.Par_sweep.run_panel ?on_tick ~jobs:(jobs_of common.jobs) ~base
+        ?xs panel
+    | Some path ->
+      let traced =
+        Smbm_par.Par_sweep.run_panel_traced ?on_tick ~trace_cap
+          ~jobs:(jobs_of common.jobs) ~base ?xs panel
+      in
+      write_events path traced.Smbm_par.Par_sweep.events;
+      if traced.Smbm_par.Par_sweep.dropped_events > 0 then
+        Printf.eprintf "trace: %d events evicted (raise --trace-cap)\n"
+          traced.Smbm_par.Par_sweep.dropped_events;
+      Printf.printf "wrote trace to %s (%d events)\n" path
+        (List.length traced.Smbm_par.Par_sweep.events);
+      traced.Smbm_par.Par_sweep.outcome
+  in
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    (* One gauge line per (point, policy): the panel's ratio surface. *)
+    let sink = Smbm_obs.Sink.file path in
+    List.iter
+      (fun (p : Sweep.point) ->
+        List.iter
+          (fun (name, r) ->
+            Smbm_obs.Sink.line sink
+              (Smbm_obs.Json.obj
+                 [
+                   ("metric", Smbm_obs.Json.Str "competitive_ratio");
+                   ("type", Smbm_obs.Json.Str "gauge");
+                   ("value", Smbm_obs.Json.Float r);
+                   ("panel", Smbm_obs.Json.Int panel);
+                   ("x", Smbm_obs.Json.Int p.Sweep.x);
+                   ("policy", Smbm_obs.Json.Str name);
+                 ]))
+          p.Sweep.ratios)
+      outcome.Sweep.points;
+    Smbm_obs.Sink.close sink;
+    Printf.printf "wrote metrics to %s\n" path);
   let points = outcome.Sweep.points in
   let names =
     match points with
@@ -453,7 +592,93 @@ let figure_cmd =
   Cmd.v
     (Cmd.info "figure"
        ~doc:"Regenerate one of the nine panels of the paper's Fig. 5 (empirical competitive ratio vs k, B or C).")
-    Term.(const run_figure $ common_term $ panel $ xs $ csv)
+    Term.(
+      const run_figure $ common_term $ panel $ xs $ csv $ trace_term
+      $ trace_cap_term $ metrics_out_term $ progress_term)
+
+(* ----- trace-validate ----- *)
+
+(* Structural audit of an event trace produced by --trace: every line must
+   parse strictly, slots must be non-decreasing within each source stream,
+   and (unless the ring buffer truncated the run) each source's arrivals
+   must equal its accepts plus drops. *)
+let run_trace_validate allow_truncation path =
+  let module E = Smbm_obs.Event in
+  let per_src : (string, int * (int * int * int)) Hashtbl.t =
+    (* src -> last slot, (arrivals, accepted, dropped) *)
+    Hashtbl.create 16
+  in
+  let kinds = Hashtbl.create 8 in
+  let lines = ref 0 in
+  let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
+  let ic = open_in path in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       if String.trim line <> "" then begin
+         let ev =
+           match E.of_json line with
+           | Ok ev -> ev
+           | Error msg -> fail "%s:%d: %s" path !lines msg
+         in
+         let name = E.kind_name ev.E.kind in
+         Hashtbl.replace kinds name
+           (1 + Option.value (Hashtbl.find_opt kinds name) ~default:0);
+         let last, (arr, acc, drop) =
+           Option.value
+             (Hashtbl.find_opt per_src ev.E.src)
+             ~default:(0, (0, 0, 0))
+         in
+         if ev.E.slot < last then
+           fail "%s:%d: slot %d of %S goes backwards (last %d)" path !lines
+             ev.E.slot ev.E.src last;
+         let counts =
+           match ev.E.kind with
+           | E.Arrival _ -> (arr + 1, acc, drop)
+           | E.Accept _ -> (arr, acc + 1, drop)
+           | E.Drop _ -> (arr, acc, drop + 1)
+           | E.Push_out _ | E.Transmit _ | E.Slot_end _ -> (arr, acc, drop)
+         in
+         Hashtbl.replace per_src ev.E.src (ev.E.slot, counts)
+       end
+     done
+   with End_of_file -> close_in ic);
+  if not allow_truncation then
+    Hashtbl.iter
+      (fun src (_, (arr, acc, drop)) ->
+        if arr <> acc + drop then
+          fail "%s: source %S violates arrivals = accepted + dropped (%d <> %d + %d); a truncated ring buffer? (--allow-truncation)"
+            path src arr acc drop)
+      per_src;
+  let total = Hashtbl.fold (fun _ n acc -> acc + n) kinds 0 in
+  Printf.printf "%s: %d events, %d sources, all lines valid\n" path total
+    (Hashtbl.length per_src);
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) kinds []
+  |> List.sort compare
+  |> List.iter (fun (k, n) -> Printf.printf "  %-9s %d\n" k n)
+
+let trace_validate_cmd =
+  let allow_truncation =
+    Arg.(
+      value & flag
+      & info [ "allow-truncation" ]
+          ~doc:
+            "Skip the per-source conservation check (needed when the \
+             recording ring buffer evicted events).")
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Event trace (JSONL) written by --trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:
+         "Check an event trace written by $(b,--trace): strict JSONL \
+          parsing, per-source slot monotonicity, and arrival conservation.")
+    Term.(const run_trace_validate $ allow_truncation $ path)
 
 (* ----- lowerbound ----- *)
 
@@ -619,5 +844,6 @@ let () =
        (Cmd.group info
           [
             policies_cmd; compare_cmd; simulate_cmd; figure_cmd;
-            lowerbound_cmd; trace_cmd; certify_cmd; sweep_cmd;
+            lowerbound_cmd; trace_cmd; trace_validate_cmd; certify_cmd;
+            sweep_cmd;
           ]))

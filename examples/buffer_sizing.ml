@@ -30,7 +30,7 @@ let () =
   in
   let points =
     List.map
-      (fun b -> (b, Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.B ~x:b))
+      (fun b -> (b, Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.B ~x:b ()))
       buffers
   in
   let interesting = [ "NEST"; "LQD"; "LWD"; "BPD" ] in

@@ -49,9 +49,9 @@ let () =
      while seven cores idle; LWD balances WORK across ports and drains in a\n\
      fraction of the time.  Under sustained traffic that drain-rate gap IS\n\
      the throughput gap of Fig. 5.\n"
-    lwd_inst.Instance.metrics.Metrics.transmitted;
+    (Metrics.transmitted lwd_inst.Instance.metrics);
   Printf.printf
     "Mean latency of delivered packets: LWD %.1f slots, BPD %.1f slots.\n"
-    (Smbm_prelude.Running_stats.mean lwd_inst.Instance.metrics.Metrics.latency)
-    (Smbm_prelude.Running_stats.mean bpd_inst.Instance.metrics.Metrics.latency);
+    (Smbm_prelude.Running_stats.mean (Metrics.latency_stats lwd_inst.Instance.metrics))
+    (Smbm_prelude.Running_stats.mean (Metrics.latency_stats bpd_inst.Instance.metrics));
   ignore bpd_inst

@@ -76,13 +76,13 @@ let () =
           let tally = List.assoc i.name tallies in
           [
             i.name;
-            string_of_int m.Metrics.transmitted;
+            string_of_int (Metrics.transmitted m);
             Table.float_cell (Experiment.ratio ~objective:`Packets ~opt ~alg:i);
             string_of_int tally.(0);
             string_of_int tally.(1);
             string_of_int tally.(2);
             Table.float_cell ~digits:1
-              (Smbm_prelude.Running_stats.mean m.Metrics.latency);
+              (Smbm_prelude.Running_stats.mean (Metrics.latency_stats m));
           ])
         algs
     in

@@ -44,7 +44,7 @@ let () =
              if i < Array.length trace then trace.(i) else []))
       [ inst ];
     let m = inst.Smbm_sim.Instance.metrics in
-    (m.Smbm_sim.Metrics.transmitted_value, m.Smbm_sim.Metrics.transmitted)
+    ((Smbm_sim.Metrics.transmitted_value m), (Smbm_sim.Metrics.transmitted m))
   in
   print_endline
     "Combined work + value model: works 1/2/4/8, value anti-correlated\n\

@@ -33,7 +33,7 @@ let ratio_on config trace =
     ~workload:
       (Workload.of_fun (fun i -> if i < slots_count then trace.(i) else []))
     [ mrd ];
-  let got = mrd.Instance.metrics.Metrics.transmitted_value in
+  let got = (Metrics.transmitted_value mrd.Instance.metrics) in
   if got = 0 then if exact = 0 then 1.0 else infinity
   else float_of_int exact /. float_of_int got
 

@@ -66,7 +66,7 @@ let run_regime ~title ~weights =
           let tally = List.assoc i.name tallies in
           [
             i.name;
-            string_of_int i.metrics.Metrics.transmitted_value;
+            string_of_int (Metrics.transmitted_value i.metrics);
             Table.float_cell (Experiment.ratio ~objective:`Value ~opt ~alg:i);
             string_of_int tally.(0);
             string_of_int tally.(1);

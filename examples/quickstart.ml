@@ -31,8 +31,8 @@ let () =
   List.iter
     (fun (i : Instance.t) ->
       Printf.printf "%-4s transmitted %d packets (dropped %d, pushed out %d)\n"
-        i.name i.metrics.Metrics.transmitted i.metrics.Metrics.dropped
-        i.metrics.Metrics.pushed_out)
+        i.name (Metrics.transmitted i.metrics) (Metrics.dropped i.metrics)
+        (Metrics.pushed_out i.metrics))
     [ lwd; lqd; opt ];
 
   Printf.printf "\nempirical competitive ratios (lower is better):\n";

@@ -1,34 +1,45 @@
-open Smbm_prelude
 open Smbm_core
 open Smbm_sim
 
-let create ?name config (policy : Hybrid_policy.t) =
+let create ?name ?recorder config (policy : Hybrid_policy.t) =
   let name = Option.value name ~default:policy.name in
   let sw = Hybrid_switch.create config in
   let metrics = Metrics.create () in
   let ports = Port_stats.create ~n:(Hybrid_config.n config) in
+  let record =
+    match recorder with
+    | None -> fun (_ : Smbm_obs.Event.kind) -> ()
+    | Some r ->
+      fun kind ->
+        Smbm_obs.Recorder.record r ~slot:(Hybrid_switch.now sw) ~who:name kind
+  in
   let on_transmit (p : Hybrid_switch.packet) =
-    metrics.transmitted <- metrics.transmitted + 1;
-    metrics.transmitted_value <- metrics.transmitted_value + p.value;
-    let latency = float_of_int (Hybrid_switch.now sw - p.arrival) in
-    Running_stats.add metrics.latency latency;
-    Histogram.add metrics.latency_hist latency;
-    Port_stats.record ports ~port:p.dest ~value:p.value
+    let latency = Hybrid_switch.now sw - p.arrival in
+    Metrics.record_transmit metrics ~value:p.value
+      ~latency:(float_of_int latency);
+    Port_stats.record ports ~port:p.dest ~value:p.value;
+    record (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency })
   in
   let arrive (a : Arrival.t) =
-    metrics.arrivals <- metrics.arrivals + 1;
+    Metrics.record_arrival metrics;
+    record (Smbm_obs.Event.Arrival { dest = a.dest });
     match policy.admit sw ~dest:a.dest ~value:a.value with
     | Decision.Accept ->
       ignore (Hybrid_switch.accept sw ~dest:a.dest ~value:a.value);
-      metrics.accepted <- metrics.accepted + 1
+      Metrics.record_accept metrics;
+      record (Smbm_obs.Event.Accept { dest = a.dest })
     | Decision.Push_out { victim } ->
       if not (Hybrid_switch.is_full sw) then
         invalid_arg (name ^ ": push-out with free space");
       ignore (Hybrid_switch.push_out sw ~victim);
-      metrics.pushed_out <- metrics.pushed_out + 1;
+      Metrics.record_push_out metrics;
+      record (Smbm_obs.Event.Push_out { victim; dest = a.dest });
       ignore (Hybrid_switch.accept sw ~dest:a.dest ~value:a.value);
-      metrics.accepted <- metrics.accepted + 1
-    | Decision.Drop -> metrics.dropped <- metrics.dropped + 1
+      Metrics.record_accept metrics;
+      record (Smbm_obs.Event.Accept { dest = a.dest })
+    | Decision.Drop ->
+      Metrics.record_drop metrics;
+      record (Smbm_obs.Event.Drop { dest = a.dest })
   in
   let inst : Instance.t =
     {
@@ -38,11 +49,14 @@ let create ?name config (policy : Hybrid_policy.t) =
         (fun () -> ignore (Hybrid_switch.transmit_phase sw ~on_transmit));
       end_slot =
         (fun () ->
-          Running_stats.add metrics.occupancy
-            (float_of_int (Hybrid_switch.occupancy sw));
+          let occupancy = Hybrid_switch.occupancy sw in
+          Metrics.record_occupancy metrics occupancy;
+          record (Smbm_obs.Event.Slot_end { occupancy });
           Hybrid_switch.advance_slot sw);
       flush =
-        (fun () -> metrics.flushed <- metrics.flushed + Hybrid_switch.flush sw);
+        (fun () ->
+          Metrics.record_flush metrics (Hybrid_switch.flush sw);
+          Metrics.check_conservation metrics);
       occupancy = (fun () -> Hybrid_switch.occupancy sw);
       metrics;
       ports = Some ports;
@@ -56,7 +70,8 @@ let create ?name config (policy : Hybrid_policy.t) =
   in
   (inst, sw)
 
-let instance ?name config policy = fst (create ?name config policy)
+let instance ?name ?recorder config policy =
+  fst (create ?name ?recorder config policy)
 
 (* Brute-force optimum: queues are FIFO lists of (residual, value); only
    accept/drop branches (offline OPT needs no push-out). *)

@@ -4,12 +4,19 @@
 
 val create :
   ?name:string ->
+  ?recorder:Smbm_obs.Recorder.t ->
   Hybrid_config.t ->
   Hybrid_policy.t ->
   Smbm_sim.Instance.t * Hybrid_switch.t
+(** [recorder] receives every per-slot event (see
+    {!Smbm_sim.Proc_engine.create}). *)
 
 val instance :
-  ?name:string -> Hybrid_config.t -> Hybrid_policy.t -> Smbm_sim.Instance.t
+  ?name:string ->
+  ?recorder:Smbm_obs.Recorder.t ->
+  Hybrid_config.t ->
+  Hybrid_policy.t ->
+  Smbm_sim.Instance.t
 
 val exact_opt : Hybrid_config.t -> Smbm_core.Arrival.t list array -> drain:int -> int
 (** Brute-force maximum transmitted value on tiny instances (offline OPT

@@ -1,0 +1,109 @@
+type kind =
+  | Arrival of { dest : int }
+  | Accept of { dest : int }
+  | Push_out of { victim : int; dest : int }
+  | Drop of { dest : int }
+  | Transmit of { dest : int; value : int; latency : int }
+  | Slot_end of { occupancy : int }
+
+type t = { src : string; slot : int; kind : kind }
+
+let make ~src ~slot kind = { src; slot; kind }
+
+let kind_name = function
+  | Arrival _ -> "arrival"
+  | Accept _ -> "accept"
+  | Push_out _ -> "push_out"
+  | Drop _ -> "drop"
+  | Transmit _ -> "transmit"
+  | Slot_end _ -> "slot_end"
+
+let payload = function
+  | Arrival { dest } | Accept { dest } | Drop { dest } ->
+    [ ("dest", Json.Int dest) ]
+  | Push_out { victim; dest } ->
+    [ ("victim", Json.Int victim); ("dest", Json.Int dest) ]
+  | Transmit { dest; value; latency } ->
+    [
+      ("dest", Json.Int dest);
+      ("value", Json.Int value);
+      ("latency", Json.Int latency);
+    ]
+  | Slot_end { occupancy } -> [ ("occupancy", Json.Int occupancy) ]
+
+let to_json t =
+  Json.obj
+    (("ev", Json.Str (kind_name t.kind))
+    :: ("slot", Json.Int t.slot)
+    :: ("src", Json.Str t.src)
+    :: payload t.kind)
+
+(* Field sets per kind, for strict validation. *)
+let fields_of_ev = function
+  | "arrival" | "accept" | "drop" -> Some [ "dest" ]
+  | "push_out" -> Some [ "victim"; "dest" ]
+  | "transmit" -> Some [ "dest"; "value"; "latency" ]
+  | "slot_end" -> Some [ "occupancy" ]
+  | _ -> None
+
+let of_json line =
+  let ( let* ) = Result.bind in
+  let* fields = Json.parse_flat line in
+  let int k =
+    match List.assoc_opt k fields with
+    | Some (Json.Int i) -> Ok i
+    | Some _ -> Error (Printf.sprintf "field %S: expected an integer" k)
+    | None -> Error (Printf.sprintf "missing field %S" k)
+  in
+  let str k =
+    match List.assoc_opt k fields with
+    | Some (Json.Str s) -> Ok s
+    | Some _ -> Error (Printf.sprintf "field %S: expected a string" k)
+    | None -> Error (Printf.sprintf "missing field %S" k)
+  in
+  let* ev = str "ev" in
+  let* expected_payload =
+    match fields_of_ev ev with
+    | Some fs -> Ok fs
+    | None -> Error (Printf.sprintf "unknown event kind %S" ev)
+  in
+  let allowed = "ev" :: "slot" :: "src" :: expected_payload in
+  let* () =
+    List.fold_left
+      (fun acc (k, _) ->
+        let* () = acc in
+        if List.mem k allowed then Ok ()
+        else Error (Printf.sprintf "unexpected field %S for event %S" k ev))
+      (Ok ()) fields
+  in
+  let* slot = int "slot" in
+  let* () = if slot < 0 then Error "negative slot" else Ok () in
+  let* src = str "src" in
+  let* kind =
+    match ev with
+    | "arrival" ->
+      let* dest = int "dest" in
+      Ok (Arrival { dest })
+    | "accept" ->
+      let* dest = int "dest" in
+      Ok (Accept { dest })
+    | "push_out" ->
+      let* victim = int "victim" in
+      let* dest = int "dest" in
+      Ok (Push_out { victim; dest })
+    | "drop" ->
+      let* dest = int "dest" in
+      Ok (Drop { dest })
+    | "transmit" ->
+      let* dest = int "dest" in
+      let* value = int "value" in
+      let* latency = int "latency" in
+      Ok (Transmit { dest; value; latency })
+    | "slot_end" ->
+      let* occupancy = int "occupancy" in
+      Ok (Slot_end { occupancy })
+    | _ -> assert false (* fields_of_ev already rejected it *)
+  in
+  Ok { src; slot; kind }
+
+let pp ppf t = Format.pp_print_string ppf (to_json t)

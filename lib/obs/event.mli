@@ -1,0 +1,36 @@
+(** Typed per-slot switch events and their JSONL codec.
+
+    One event is one line of a trace file: a flat JSON object with fixed
+    field order ([ev], [slot], [src], then the kind's payload), so traces
+    are diffable and bit-stable.  Everything in an event is derived from
+    simulation state (slot indices, ports, occupancies, latencies measured
+    in slots) — never from wall-clock time — so a trace is deterministic in
+    the run's seed and parameters, independent of scheduling. *)
+
+type kind =
+  | Arrival of { dest : int }  (** a packet was offered to the switch *)
+  | Accept of { dest : int }  (** the arrival was admitted *)
+  | Push_out of { victim : int; dest : int }
+      (** queue [victim] lost a packet to make room for an arrival to
+          [dest]; always followed by the corresponding [Accept] *)
+  | Drop of { dest : int }  (** the arrival was rejected *)
+  | Transmit of { dest : int; value : int; latency : int }
+      (** a packet completed; [latency] in slots since its arrival *)
+  | Slot_end of { occupancy : int }
+      (** end of the slot's transmission phase, buffer population *)
+
+type t = { src : string; slot : int; kind : kind }
+(** [src] identifies the emitting instance, optionally qualified by the
+    recorder's scope (e.g. ["x=8/LWD"]). *)
+
+val make : src:string -> slot:int -> kind -> t
+val kind_name : kind -> string
+
+val to_json : t -> string
+(** One line of JSONL, no trailing newline. *)
+
+val of_json : string -> (t, string) result
+(** Strict inverse of {!to_json}: unknown [ev] values, missing or
+    ill-typed fields, extra fields, and malformed JSON are all errors. *)
+
+val pp : Format.formatter -> t -> unit

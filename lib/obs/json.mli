@@ -1,0 +1,21 @@
+(** Minimal JSON support for the observability layer: enough to emit and
+    parse the flat (non-nested) objects used by the JSONL trace and metrics
+    schemas, with no external dependencies.
+
+    Emission is deterministic: field order is the caller's, integers print
+    as integers, floats with ["%.17g"] (round-trippable), strings with the
+    standard escapes. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+val escape : string -> string
+(** JSON string-escape the contents (without surrounding quotes). *)
+
+val value_to_string : value -> string
+
+val obj : (string * value) list -> string
+(** One flat JSON object on a single line, fields in the given order. *)
+
+val parse_flat : string -> ((string * value) list, string) result
+(** Parse a single flat JSON object.  Rejects nested objects and arrays,
+    duplicate keys, and trailing garbage; errors carry a byte position. *)

@@ -1,0 +1,3 @@
+let make ?(out = stderr) ~label ~total () completed =
+  Printf.fprintf out "\r%s: %d/%d%s%!" label completed total
+    (if completed >= total then "\n" else "")

@@ -1,0 +1,7 @@
+(** Stderr progress line, shaped for {!Smbm_par.Pool}'s [on_tick]: call the
+    returned function with the completed count and it redraws
+    ["label: n/total"] in place, ending the line at [total].  Thread-safe
+    in the sense that each call is a single atomic-enough write; ticks go
+    to stderr so stdout stays diffable. *)
+
+val make : ?out:out_channel -> label:string -> total:int -> unit -> int -> unit

@@ -1,0 +1,45 @@
+type t = {
+  scope : string;
+  cap : int;
+  buf : Event.t option array;
+  mutable next : int; (* write position *)
+  mutable len : int;
+  mutable total : int;
+}
+
+let create ?(scope = "") ~cap () =
+  if cap <= 0 then invalid_arg "Recorder.create: cap must be positive";
+  { scope; cap; buf = Array.make cap None; next = 0; len = 0; total = 0 }
+
+let record t ~slot ~who kind =
+  let src = if t.scope = "" then who else t.scope ^ "/" ^ who in
+  t.buf.(t.next) <- Some (Event.make ~src ~slot kind);
+  t.next <- (t.next + 1) mod t.cap;
+  if t.len < t.cap then t.len <- t.len + 1;
+  t.total <- t.total + 1
+
+let length t = t.len
+let total t = t.total
+let dropped t = t.total - t.len
+let capacity t = t.cap
+
+let oldest t = ((t.next - t.len) mod t.cap + t.cap) mod t.cap
+
+let iter f t =
+  let start = oldest t in
+  for i = 0 to t.len - 1 do
+    match t.buf.((start + i) mod t.cap) with
+    | Some e -> f e
+    | None -> assert false (* len counts filled slots *)
+  done
+
+let events t =
+  let acc = ref [] in
+  iter (fun e -> acc := e :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.next <- 0;
+  t.len <- 0;
+  t.total <- 0

@@ -1,0 +1,38 @@
+(** Bounded ring-buffer event recorder.
+
+    A recorder keeps the last [cap] events in O(cap) memory, so tracing a
+    million-slot run costs the same as tracing a thousand-slot one; the
+    total and evicted counts are retained so a truncated trace is
+    detectable.  Recording is purely in-memory and allocation per event is
+    one block — with no recorder attached, engines skip the call entirely,
+    so the observer effect on results is zero either way (events never feed
+    back into decisions). *)
+
+type t
+
+val create : ?scope:string -> cap:int -> unit -> t
+(** [scope], when non-empty, prefixes every event's [src] as
+    ["scope/who"] — used to qualify instance names with their sweep-point
+    context.  @raise Invalid_argument if [cap <= 0]. *)
+
+val record : t -> slot:int -> who:string -> Event.kind -> unit
+(** Append an event, evicting the oldest when full. *)
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val total : t -> int
+(** Events ever recorded. *)
+
+val dropped : t -> int
+(** [total - length]: events evicted by the capacity bound. *)
+
+val capacity : t -> int
+
+val events : t -> Event.t list
+(** Held events, oldest first. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+(** [iter f t] applies [f] oldest-first without building a list. *)
+
+val clear : t -> unit

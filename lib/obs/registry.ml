@@ -1,0 +1,128 @@
+module H = Smbm_prelude.Histogram
+module Rs = Smbm_prelude.Running_stats
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable level : float }
+type histogram = { h_name : string; hist : H.t; stats : Rs.t }
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { mutable instruments : (string * instrument) list (* newest first *) }
+
+let create () = { instruments = [] }
+
+let register t name make =
+  match List.assoc_opt name t.instruments with
+  | Some existing -> existing
+  | None ->
+    let i = make () in
+    t.instruments <- (name, i) :: t.instruments;
+    i
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Registry: %S is already registered with another kind" name)
+
+let counter t name =
+  match register t name (fun () -> Counter { c_name = name; count = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> kind_error name
+
+let gauge t name =
+  match register t name (fun () -> Gauge { g_name = name; level = 0.0 }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> kind_error name
+
+let histogram t ?max_value ?buckets_per_decade name =
+  match
+    register t name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            hist = H.create ?max_value ?buckets_per_decade ();
+            stats = Rs.create ();
+          })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> kind_error name
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg ("Registry: negative increment on " ^ c.c_name);
+  c.count <- c.count + n
+
+let counter_value c = c.count
+let set g x = g.level <- x
+let gauge_value g = g.level
+
+let observe h x =
+  H.add h.hist x;
+  Rs.add h.stats x
+
+let histogram_stats h = h.stats
+let histogram_values h = h.hist
+
+type sample =
+  | Count of int
+  | Level of float
+  | Summary of {
+      n : int;
+      mean : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+      max : float;
+    }
+
+let sample_of = function
+  | Counter c -> Count c.count
+  | Gauge g -> Level g.level
+  | Histogram h ->
+    Summary
+      {
+        n = H.count h.hist;
+        mean = Rs.mean h.stats;
+        p50 = H.quantile h.hist 0.5;
+        p95 = H.quantile h.hist 0.95;
+        p99 = H.quantile h.hist 0.99;
+        max = H.max_seen h.hist;
+      }
+
+let snapshot t =
+  t.instruments
+  |> List.map (fun (name, i) -> (name, sample_of i))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_jsonl ?(labels = []) t =
+  let label_fields = List.map (fun (k, v) -> (k, Json.Str v)) labels in
+  List.map
+    (fun (name, sample) ->
+      let fields =
+        match sample with
+        | Count v -> [ ("type", Json.Str "counter"); ("value", Json.Int v) ]
+        | Level v -> [ ("type", Json.Str "gauge"); ("value", Json.Float v) ]
+        | Summary { n; mean; p50; p95; p99; max } ->
+          [
+            ("type", Json.Str "histogram");
+            ("count", Json.Int n);
+            ("mean", Json.Float mean);
+            ("p50", Json.Float p50);
+            ("p95", Json.Float p95);
+            ("p99", Json.Float p99);
+            ("max", Json.Float max);
+          ]
+      in
+      Json.obj ((("metric", Json.Str name) :: fields) @ label_fields))
+    (snapshot t)
+
+let clear t =
+  List.iter
+    (fun (_, i) ->
+      match i with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.level <- 0.0
+      | Histogram h ->
+        H.clear h.hist;
+        Rs.clear h.stats)
+    t.instruments

@@ -1,0 +1,64 @@
+(** Named counters, gauges and histograms with labeled JSONL snapshots.
+
+    A registry is the single home for a run's aggregate statistics:
+    instruments are registered by name, updated through their handles (an
+    increment is one field write — cheap enough for per-packet hot paths),
+    and read out as a deterministic name-sorted snapshot.  {!Smbm_sim}'s
+    [Metrics] is a thin view over one registry per instance. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Register (or retrieve) the counter [name].
+    @raise Invalid_argument if [name] is registered with another kind. *)
+
+val gauge : t -> string -> gauge
+
+val histogram :
+  t -> ?max_value:float -> ?buckets_per_decade:int -> string -> histogram
+(** Log-bucketed histogram (see {!Smbm_prelude.Histogram}) paired with
+    running moments; the optional arguments apply only on first
+    registration. *)
+
+(* ----- updates and reads ----- *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** @raise Invalid_argument on negative increments. *)
+
+val counter_value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val observe : histogram -> float -> unit
+val histogram_stats : histogram -> Smbm_prelude.Running_stats.t
+val histogram_values : histogram -> Smbm_prelude.Histogram.t
+
+(* ----- snapshots ----- *)
+
+type sample =
+  | Count of int
+  | Level of float
+  | Summary of {
+      n : int;
+      mean : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+      max : float;
+    }
+
+val snapshot : t -> (string * sample) list
+(** All instruments, sorted by name. *)
+
+val to_jsonl : ?labels:(string * string) list -> t -> string list
+(** One flat JSON object per instrument
+    ([{"metric":...,"type":...,...}]), with [labels] appended to every
+    line; sorted by metric name. *)
+
+val clear : t -> unit
+(** Reset every instrument to its initial state (registrations survive). *)

@@ -1,0 +1,34 @@
+type target =
+  | Null
+  | Channel of { oc : out_channel; owned : bool }
+
+type t = { target : target; mutable closed : bool }
+
+let null = { target = Null; closed = false }
+let of_channel oc = { target = Channel { oc; owned = false }; closed = false }
+let file path = { target = Channel { oc = open_out path; owned = true }; closed = false }
+let is_null t = t.target = Null
+
+let line t s =
+  match t.target with
+  | Null -> ()
+  | Channel { oc; _ } ->
+    if t.closed then invalid_arg "Sink: write after close";
+    output_string oc s;
+    output_char oc '\n'
+
+let event t e = if not (is_null t) then line t (Event.to_json e)
+
+let close t =
+  match t.target with
+  | Null -> ()
+  | Channel { oc; owned } ->
+    if not t.closed then begin
+      t.closed <- true;
+      if owned then close_out oc else flush oc
+    end
+
+let trace_path_from_env () =
+  match Sys.getenv_opt "SMBM_TRACE" with
+  | Some "" | None -> None
+  | Some path -> Some path

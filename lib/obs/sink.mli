@@ -1,0 +1,32 @@
+(** Pluggable observability output: where JSONL lines go.
+
+    A sink is a line-oriented output — a file the sink owns, a borrowed
+    channel, or nothing.  The null sink makes instrumented code paths free
+    to leave in place. *)
+
+type t
+
+val null : t
+(** Discards everything. *)
+
+val of_channel : out_channel -> t
+(** Borrow a channel ({!close} flushes but does not close it). *)
+
+val file : string -> t
+(** Open (truncate) a file; {!close} closes it.
+    @raise Sys_error as [open_out] does. *)
+
+val is_null : t -> bool
+
+val line : t -> string -> unit
+(** Write one line (a trailing newline is appended). *)
+
+val event : t -> Event.t -> unit
+(** [line t (Event.to_json e)]. *)
+
+val close : t -> unit
+(** Flush, and close owned files.  Idempotent; writing after [close]
+    raises [Invalid_argument]. *)
+
+val trace_path_from_env : unit -> string option
+(** The [SMBM_TRACE] environment variable, when set and non-empty. *)

@@ -1,0 +1,60 @@
+type record = { name : string; depth : int; wall : float; cpu : float }
+
+type t = {
+  mutex : Mutex.t;
+  mutable depth : int;
+  mutable recorded : record list; (* newest first *)
+}
+
+let create () = { mutex = Mutex.create (); depth = 0; recorded = [] }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let add t ~name ?(depth = 0) ~wall ~cpu () =
+  locked t (fun () -> t.recorded <- { name; depth; wall; cpu } :: t.recorded)
+
+let with_span t name f =
+  let depth =
+    locked t (fun () ->
+        let d = t.depth in
+        t.depth <- d + 1;
+        d)
+  in
+  let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () ->
+      let wall = Unix.gettimeofday () -. w0 and cpu = Sys.time () -. c0 in
+      locked t (fun () ->
+          t.depth <- t.depth - 1;
+          t.recorded <- { name; depth; wall; cpu } :: t.recorded))
+    f
+
+let records t = locked t (fun () -> List.rev t.recorded)
+let clear t = locked t (fun () -> t.recorded <- [])
+
+let report ppf t =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let count, wall, wall_max, cpu =
+        Option.value (Hashtbl.find_opt by_name r.name) ~default:(0, 0.0, 0.0, 0.0)
+      in
+      Hashtbl.replace by_name r.name
+        (count + 1, wall +. r.wall, Float.max wall_max r.wall, cpu +. r.cpu))
+    (records t);
+  Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) by_name []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, (count, wall, wall_max, cpu)) ->
+         Format.fprintf ppf
+           "%s: count %d, wall %.3fs (mean %.3fs, max %.3fs), cpu %.3fs@." name
+           count wall
+           (wall /. float_of_int count)
+           wall_max cpu)
+
+let timed name f =
+  let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+  let r = f () in
+  let wall = Unix.gettimeofday () -. w0 and cpu = Sys.time () -. c0 in
+  (r, { name; depth = 0; wall; cpu })

@@ -1,0 +1,39 @@
+(** Nested wall + CPU timers.
+
+    A span collector accumulates completed spans; {!with_span} times a
+    scope and records it with its nesting depth (inner spans complete, and
+    therefore appear, before their parents).  Collectors are mutex-guarded,
+    so worker domains can record into a shared collector — the nesting
+    depth is then the collector-global one, which is what a pool's
+    flat task spans use (depth 0).
+
+    Wall time comes from [Unix.gettimeofday]; CPU time from [Sys.time],
+    which on OCaml 5 sums over every domain of the process — a parallel
+    phase's [cpu] can legitimately exceed its [wall].  Span timings are
+    wall-clock-dependent by nature and therefore never enter event traces;
+    they are reported on stderr or behind strippable [[time]] prefixes. *)
+
+type record = { name : string; depth : int; wall : float; cpu : float }
+
+type t
+
+val create : unit -> t
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, recording a span even when it raises. *)
+
+val add : t -> name:string -> ?depth:int -> wall:float -> cpu:float -> unit -> unit
+(** Record an externally measured span (e.g. a pool task's run time, which
+    has no meaningful per-domain CPU reading — pass [cpu:0.]). *)
+
+val records : t -> record list
+(** Completion order. *)
+
+val clear : t -> unit
+
+val report : Format.formatter -> t -> unit
+(** Aggregate by name (count, wall total/mean/max, cpu total), one line per
+    name, sorted by name. *)
+
+val timed : string -> (unit -> 'a) -> 'a * record
+(** Standalone measurement without a collector. *)

@@ -5,13 +5,20 @@ let split_seeds ~seed n =
   let parent = Rng.create ~seed in
   List.init n (fun _ -> Int64.to_int (Rng.bits64 (Rng.split parent)))
 
-let with_pool ?jobs ?on_tick f =
+let with_pool ?jobs ?on_tick ?on_timing f =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  Pool.with_pool ?on_tick ~jobs f
+  Pool.with_pool ?on_tick ~jobs (fun pool ->
+      let result = f pool in
+      (match on_timing with
+      | None -> ()
+      | Some g -> g (Pool.timing pool));
+      result)
 
-let run_points ?jobs ?on_tick ~base ~model ~axis ~xs () =
-  with_pool ?jobs ?on_tick (fun pool ->
-      Pool.map pool (fun x -> (x, Sweep.run_point ~base ~model ~axis ~x)) xs)
+let run_points ?jobs ?on_tick ?on_timing ?spans ~base ~model ~axis ~xs () =
+  with_pool ?jobs ?on_tick ?on_timing (fun pool ->
+      Pool.map pool
+        (fun x -> (x, Sweep.run_point ?spans ~base ~model ~axis ~x ()))
+        xs)
 
 let panel_of ?base ?xs number =
   let base = Option.value base ~default:Sweep.default_base in
@@ -19,16 +26,56 @@ let panel_of ?base ?xs number =
   let panel = match xs with Some xs -> { panel with Sweep.xs } | None -> panel in
   (base, panel)
 
-let run_panel ?jobs ?on_tick ?base ?xs number =
+let run_panel ?jobs ?on_tick ?on_timing ?spans ?base ?xs number =
   let base, panel = panel_of ?base ?xs number in
   let points =
-    run_points ?jobs ?on_tick ~base ~model:panel.Sweep.model
+    run_points ?jobs ?on_tick ?on_timing ?spans ~base ~model:panel.Sweep.model
       ~axis:panel.Sweep.axis ~xs:panel.Sweep.xs ()
     |> List.map (fun (x, ratios) -> { Sweep.x; ratios })
   in
   { Sweep.panel; points }
 
-let run_panels ?jobs ?on_tick ?base numbers =
+type traced = {
+  outcome : Sweep.outcome;
+  events : Smbm_obs.Event.t list;
+  dropped_events : int;
+}
+
+let default_trace_cap = 65_536
+
+(* Trace determinism: each task owns a private recorder created inside the
+   task, so recording never crosses domains; [Pool.map] returns task results
+   in submission order, so concatenating the per-point event lists yields the
+   same stream for every [jobs] value and any worker schedule. *)
+let run_panel_traced ?jobs ?on_tick ?on_timing ?spans
+    ?(trace_cap = default_trace_cap) ?base ?xs number =
+  let base, panel = panel_of ?base ?xs number in
+  let results =
+    with_pool ?jobs ?on_tick ?on_timing (fun pool ->
+        Pool.map pool
+          (fun x ->
+            let recorder =
+              Smbm_obs.Recorder.create
+                ~scope:(Printf.sprintf "x=%d" x)
+                ~cap:trace_cap ()
+            in
+            let ratios =
+              Sweep.run_point ~recorder ?spans ~base ~model:panel.Sweep.model
+                ~axis:panel.Sweep.axis ~x ()
+            in
+            ( { Sweep.x; ratios },
+              Smbm_obs.Recorder.events recorder,
+              Smbm_obs.Recorder.dropped recorder ))
+          panel.Sweep.xs)
+  in
+  {
+    outcome =
+      { Sweep.panel; points = List.map (fun (p, _, _) -> p) results };
+    events = List.concat_map (fun (_, es, _) -> es) results;
+    dropped_events = List.fold_left (fun acc (_, _, d) -> acc + d) 0 results;
+  }
+
+let run_panels ?jobs ?on_tick ?on_timing ?base numbers =
   let panels = List.map (fun n -> snd (panel_of ?base n)) numbers in
   let base = Option.value base ~default:Sweep.default_base in
   let tasks =
@@ -37,14 +84,14 @@ let run_panels ?jobs ?on_tick ?base numbers =
       panels
   in
   let points =
-    with_pool ?jobs ?on_tick (fun pool ->
+    with_pool ?jobs ?on_tick ?on_timing (fun pool ->
         Pool.map pool
           (fun ((p : Sweep.panel), x) ->
             {
               Sweep.x;
               ratios =
                 Sweep.run_point ~base ~model:p.Sweep.model ~axis:p.Sweep.axis
-                  ~x;
+                  ~x ();
             })
           tasks)
   in
@@ -61,13 +108,14 @@ let run_panels ?jobs ?on_tick ?base numbers =
   in
   reassemble panels points
 
-let run_point_replicated ?jobs ?on_tick ~base ~model ~axis ~x ~seeds () =
+let run_point_replicated ?jobs ?on_tick ?on_timing ~base ~model ~axis ~x ~seeds
+    () =
   if seeds = [] then invalid_arg "Par_sweep.run_point_replicated: no seeds";
   let per_seed =
-    with_pool ?jobs ?on_tick (fun pool ->
+    with_pool ?jobs ?on_tick ?on_timing (fun pool ->
         Pool.map pool
           (fun seed ->
-            Sweep.run_point ~base:{ base with Sweep.seed } ~model ~axis ~x)
+            Sweep.run_point ~base:{ base with Sweep.seed } ~model ~axis ~x ())
           seeds)
   in
   Sweep.aggregate_replicates per_seed

@@ -13,7 +13,12 @@
     [jobs] defaults to {!Pool.default_jobs} ([SMBM_JOBS] or
     [Domain.recommended_domain_count ()]); [jobs:0] runs inline on the
     caller.  [on_tick] reports completed tasks (simulations), e.g. for a
-    progress line on stderr. *)
+    progress line on stderr.  [on_timing] receives the pool's aggregate
+    {!Pool.timing} once the batch is done — wall-clock derived, so route it
+    to stderr or a strippable [[time]] line, never into deterministic
+    output.  [spans] collects per-point spans across worker domains (the
+    collector is mutex-guarded); span {e record order} is
+    schedule-dependent even though traces are not. *)
 
 open Smbm_sim
 
@@ -26,6 +31,8 @@ val split_seeds : seed:int -> int -> int list
 val run_points :
   ?jobs:int ->
   ?on_tick:(int -> unit) ->
+  ?on_timing:(Pool.timing -> unit) ->
+  ?spans:Smbm_obs.Span.t ->
   base:Sweep.base ->
   model:Sweep.model ->
   axis:Sweep.axis ->
@@ -35,14 +42,51 @@ val run_points :
 (** [Sweep.run_point] at every [x] of [xs], points sharded across the pool;
     equals the sequential list of [(x, Sweep.run_point ... ~x)]. *)
 
-val run_panel : ?jobs:int -> ?on_tick:(int -> unit) -> ?base:Sweep.base ->
-  ?xs:int list -> int -> Sweep.outcome
+val run_panel :
+  ?jobs:int ->
+  ?on_tick:(int -> unit) ->
+  ?on_timing:(Pool.timing -> unit) ->
+  ?spans:Smbm_obs.Span.t ->
+  ?base:Sweep.base ->
+  ?xs:int list ->
+  int ->
+  Sweep.outcome
 (** Parallel {!Sweep.run_panel}: same outcome, points sharded across the
     pool. *)
+
+type traced = {
+  outcome : Sweep.outcome;
+  events : Smbm_obs.Event.t list;
+      (** every policy instance's per-slot events, points in sweep order *)
+  dropped_events : int;
+      (** events evicted by per-point ring buffers at [trace_cap] *)
+}
+
+val default_trace_cap : int
+(** Per-point recorder capacity used when [trace_cap] is omitted
+    ([65_536] events). *)
+
+val run_panel_traced :
+  ?jobs:int ->
+  ?on_tick:(int -> unit) ->
+  ?on_timing:(Pool.timing -> unit) ->
+  ?spans:Smbm_obs.Span.t ->
+  ?trace_cap:int ->
+  ?base:Sweep.base ->
+  ?xs:int list ->
+  int ->
+  traced
+(** {!run_panel} with event tracing: every task creates a private
+    {!Smbm_obs.Recorder} (scope [x=<x>], capacity [trace_cap]) handed to
+    each policy instance, and the per-point event lists are concatenated in
+    submission order — so the event stream is byte-identical for every
+    [jobs] value.  The outcome equals the untraced {!run_panel} exactly
+    (recording touches no decision and no counter). *)
 
 val run_panels :
   ?jobs:int ->
   ?on_tick:(int -> unit) ->
+  ?on_timing:(Pool.timing -> unit) ->
   ?base:Sweep.base ->
   int list ->
   Sweep.outcome list
@@ -55,6 +99,7 @@ val run_panels :
 val run_point_replicated :
   ?jobs:int ->
   ?on_tick:(int -> unit) ->
+  ?on_timing:(Pool.timing -> unit) ->
   base:Sweep.base ->
   model:Sweep.model ->
   axis:Sweep.axis ->

@@ -19,6 +19,28 @@
 
 type t
 
+type timing = {
+  tasks : int;  (** tasks completed *)
+  busy_wall : float;  (** summed task run time, seconds *)
+  max_task_wall : float;
+  total_wait : float;
+      (** summed queue wait (submission to start); 0 for the inline pool *)
+  max_wait : float;
+  domain_busy : float array;
+      (** per-worker busy time, one slot per domain (slot 0 for the inline
+          pool) — an imbalance diagnostic *)
+}
+(** Aggregate task timing over the pool's lifetime.  Wall-clock derived and
+    schedule-dependent by nature: report it on stderr or behind strippable
+    [[time]] prefixes, never inside deterministic outputs. *)
+
+val timing : t -> timing
+(** Snapshot of the timing accumulators (thread-safe). *)
+
+val pp_timing : Format.formatter -> timing -> unit
+(** One line: task count, busy/wait totals with mean and max, per-domain
+    busy seconds. *)
+
 val create : ?on_tick:(int -> unit) -> jobs:int -> unit -> t
 (** A pool with [jobs] worker domains.
 

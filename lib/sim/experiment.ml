@@ -20,7 +20,12 @@ let run ?(params = default) ~workload instances =
       List.iter (fun (i : Instance.t) -> i.flush ()) instances;
     if due params.check_every slot then
       List.iter (fun (i : Instance.t) -> i.check ()) instances
-  done
+  done;
+  (* End-of-run conservation audit: every instance's counters must balance
+     even when no flush or check interval was configured. *)
+  List.iter
+    (fun (i : Instance.t) -> Metrics.check_conservation i.metrics)
+    instances
 
 let ratio ~objective ~opt ~alg =
   let top = Metrics.throughput_of objective (opt : Instance.t).metrics in

@@ -1,60 +1,89 @@
 open Smbm_prelude
+module Registry = Smbm_obs.Registry
 
 type t = {
-  mutable arrivals : int;
-  mutable accepted : int;
-  mutable dropped : int;
-  mutable pushed_out : int;
-  mutable transmitted : int;
-  mutable transmitted_value : int;
-  mutable flushed : int;
-  latency : Running_stats.t;
-  latency_hist : Histogram.t;
-  occupancy : Running_stats.t;
+  registry : Registry.t;
+  arrivals : Registry.counter;
+  accepted : Registry.counter;
+  dropped : Registry.counter;
+  pushed_out : Registry.counter;
+  transmitted : Registry.counter;
+  transmitted_value : Registry.counter;
+  flushed : Registry.counter;
+  latency : Registry.histogram;
+  occupancy : Registry.histogram;
 }
 
-let create () =
+let create ?(latency_cap = 1e7) () =
+  let registry = Registry.create () in
   {
-    arrivals = 0;
-    accepted = 0;
-    dropped = 0;
-    pushed_out = 0;
-    transmitted = 0;
-    transmitted_value = 0;
-    flushed = 0;
-    latency = Running_stats.create ();
-    latency_hist = Histogram.create ~max_value:1e7 ();
-    occupancy = Running_stats.create ();
+    registry;
+    arrivals = Registry.counter registry "arrivals";
+    accepted = Registry.counter registry "accepted";
+    dropped = Registry.counter registry "dropped";
+    pushed_out = Registry.counter registry "pushed_out";
+    transmitted = Registry.counter registry "transmitted";
+    transmitted_value = Registry.counter registry "transmitted_value";
+    flushed = Registry.counter registry "flushed";
+    latency = Registry.histogram registry ~max_value:latency_cap "latency";
+    occupancy = Registry.histogram registry "occupancy";
   }
 
-let clear t =
-  t.arrivals <- 0;
-  t.accepted <- 0;
-  t.dropped <- 0;
-  t.pushed_out <- 0;
-  t.transmitted <- 0;
-  t.transmitted_value <- 0;
-  t.flushed <- 0;
-  Running_stats.clear t.latency;
-  Histogram.clear t.latency_hist;
-  Running_stats.clear t.occupancy
+let registry t = t.registry
+let clear t = Registry.clear t.registry
 
-let in_buffer t = t.accepted - t.transmitted - t.pushed_out - t.flushed
+let record_arrival t = Registry.incr t.arrivals
+let record_accept t = Registry.incr t.accepted
+let record_drop t = Registry.incr t.dropped
+let record_push_out t = Registry.incr t.pushed_out
+
+let record_transmit t ~value ~latency =
+  Registry.incr t.transmitted;
+  Registry.add t.transmitted_value value;
+  Registry.observe t.latency latency
+
+let record_transmissions t ~count ~value =
+  Registry.add t.transmitted count;
+  Registry.add t.transmitted_value value
+
+let record_flush t n = Registry.add t.flushed n
+let record_occupancy t occ = Registry.observe t.occupancy (float_of_int occ)
+
+let arrivals t = Registry.counter_value t.arrivals
+let accepted t = Registry.counter_value t.accepted
+let dropped t = Registry.counter_value t.dropped
+let pushed_out t = Registry.counter_value t.pushed_out
+let transmitted t = Registry.counter_value t.transmitted
+let transmitted_value t = Registry.counter_value t.transmitted_value
+let flushed t = Registry.counter_value t.flushed
+let latency_stats t = Registry.histogram_stats t.latency
+let latency_hist t = Registry.histogram_values t.latency
+let occupancy_stats t = Registry.histogram_stats t.occupancy
+
+let in_buffer t = accepted t - transmitted t - pushed_out t - flushed t
 
 let check_conservation t =
-  if t.arrivals <> t.accepted + t.dropped then
+  if arrivals t <> accepted t + dropped t then
     invalid_arg "Metrics: arrivals <> accepted + dropped";
   if in_buffer t < 0 then
     invalid_arg "Metrics: negative in-buffer population"
 
 let throughput_of objective t =
   match objective with
-  | `Packets -> t.transmitted
-  | `Value -> t.transmitted_value
+  | `Packets -> transmitted t
+  | `Value -> transmitted_value t
+
+let to_jsonl ?labels t = Registry.to_jsonl ?labels t.registry
 
 let pp ppf t =
   Format.fprintf ppf
     "arrivals=%d accepted=%d dropped=%d pushed_out=%d transmitted=%d \
      value=%d flushed=%d buffered=%d"
-    t.arrivals t.accepted t.dropped t.pushed_out t.transmitted
-    t.transmitted_value t.flushed (in_buffer t)
+    (arrivals t) (accepted t) (dropped t) (pushed_out t) (transmitted t)
+    (transmitted_value t) (flushed t) (in_buffer t);
+  let hist = latency_hist t in
+  if Histogram.count hist > 0 then
+    Format.fprintf ppf " latency[p50=%.1f p95=%.1f p99=%.1f]"
+      (Histogram.quantile hist 0.5)
+      (Histogram.quantile hist 0.95)
+      (Histogram.quantile hist 0.99)

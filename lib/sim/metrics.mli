@@ -1,37 +1,90 @@
-(** Counters accumulated by one switch instance over a run.
+(** Counters accumulated by one switch instance over a run — a thin view
+    over an {!Smbm_obs.Registry}: every counter and histogram lives in the
+    instance's registry under a stable name ([arrivals], [accepted], ...,
+    [latency], [occupancy]), so a run's aggregates can be snapshotted as
+    labeled JSONL without any parallel bookkeeping.  Updates go through the
+    [record_*] functions — the engines own the semantics of each count, and
+    direct field-poking is no longer possible.
 
-    Conservation invariant (checked by {!check_conservation}):
-    [arrivals = accepted + dropped] and
+    Conservation invariant (checked by {!check_conservation}, and enforced
+    by the engines at every flush and at the end of every
+    {!Experiment.run}): [arrivals = accepted + dropped] and
     [accepted = transmitted + pushed_out + flushed + in_buffer]. *)
 
 open Smbm_prelude
 
-type t = {
-  mutable arrivals : int;  (** packets offered to the instance *)
-  mutable accepted : int;  (** packets admitted to the buffer *)
-  mutable dropped : int;  (** packets rejected on arrival *)
-  mutable pushed_out : int;  (** admitted packets later evicted *)
-  mutable transmitted : int;  (** packets fully processed and sent *)
-  mutable transmitted_value : int;
-      (** total intrinsic value sent (equals [transmitted] when values are
-          uniform) *)
-  mutable flushed : int;  (** packets discarded by periodic flushouts *)
-  latency : Running_stats.t;
-      (** admission-to-transmission delay in slots, over transmitted
-          packets *)
-  latency_hist : Histogram.t;
-      (** same samples, log-bucketed for quantiles (p50/p90/p99) *)
-  occupancy : Running_stats.t;  (** buffer occupancy sampled once per slot *)
-}
+type t
 
-val create : unit -> t
+val create : ?latency_cap:float -> unit -> t
+(** [latency_cap] bounds the latency histogram's bucketed range in slots
+    (default [1e7]); samples above it are clamped into the last bucket. *)
+
+val registry : t -> Smbm_obs.Registry.t
+(** The backing registry (for snapshots; the instruments themselves are
+    reachable through it by name). *)
+
 val clear : t -> unit
+
+(* ----- recording (engine-facing) ----- *)
+
+val record_arrival : t -> unit
+(** A packet was offered to the instance. *)
+
+val record_accept : t -> unit
+(** The arrival was admitted to the buffer. *)
+
+val record_drop : t -> unit
+(** The arrival was rejected. *)
+
+val record_push_out : t -> unit
+(** An admitted packet was evicted in favour of an arrival. *)
+
+val record_transmit : t -> value:int -> latency:float -> unit
+(** One packet fully processed and sent: counts it, adds [value] to the
+    value objective and [latency] (slots since arrival) to the latency
+    histogram. *)
+
+val record_transmissions : t -> count:int -> value:int -> unit
+(** Batch form without latency samples — for references (OPT) that
+    transmit from a bag with no per-packet identity. *)
+
+val record_flush : t -> int -> unit
+(** [n] packets discarded by a periodic flushout. *)
+
+val record_occupancy : t -> int -> unit
+(** Buffer occupancy sampled once per slot. *)
+
+(* ----- reads ----- *)
+
+val arrivals : t -> int
+val accepted : t -> int
+val dropped : t -> int
+val pushed_out : t -> int
+val transmitted : t -> int
+val transmitted_value : t -> int
+val flushed : t -> int
 
 val in_buffer : t -> int
 (** Packets still buffered, derived from the counters. *)
+
+val latency_stats : t -> Running_stats.t
+(** Admission-to-transmission delay in slots, over transmitted packets. *)
+
+val latency_hist : t -> Histogram.t
+(** Same samples, log-bucketed for quantiles. *)
+
+val occupancy_stats : t -> Running_stats.t
+(** Occupancy samples, one per slot. *)
 
 val check_conservation : t -> unit
 (** @raise Invalid_argument when the counters are inconsistent. *)
 
 val throughput_of : [ `Packets | `Value ] -> t -> int
+
+val to_jsonl : ?labels:(string * string) list -> t -> string list
+(** The registry snapshot as JSONL metric lines, [labels] (e.g.
+    [("policy", name)]) appended to every line. *)
+
 val pp : Format.formatter -> t -> unit
+(** One line: the seven counters, the derived buffered count, and — when
+    any packet was transmitted — latency p50/p95/p99. *)

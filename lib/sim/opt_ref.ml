@@ -12,20 +12,20 @@ let proc_instance ?(name = "OPT") ?cores config =
   let bag = Count_multiset.create ~k:(Proc_config.k config) in
   let metrics = Metrics.create () in
   let arrive (a : Arrival.t) =
-    metrics.arrivals <- metrics.arrivals + 1;
+    Metrics.record_arrival metrics;
     let work = Proc_config.work config a.dest in
     if Count_multiset.size bag < buffer then begin
       Count_multiset.add bag work;
-      metrics.accepted <- metrics.accepted + 1
+      Metrics.record_accept metrics
     end
     else begin
       match Count_multiset.max_key bag with
       | Some worst when worst > work ->
         Count_multiset.remove bag worst;
         Count_multiset.add bag work;
-        metrics.pushed_out <- metrics.pushed_out + 1;
-        metrics.accepted <- metrics.accepted + 1
-      | Some _ | None -> metrics.dropped <- metrics.dropped + 1
+        Metrics.record_push_out metrics;
+        Metrics.record_accept metrics
+      | Some _ | None -> Metrics.record_drop metrics
     end
   in
   let transmit () =
@@ -33,15 +33,13 @@ let proc_instance ?(name = "OPT") ?cores config =
        packet within a slot, so the reference dominates real queues at any
        speedup (a queue can burn C cycles into successive packets). *)
     let sent = Count_multiset.serve_srpt bag ~budget:cores in
-    metrics.transmitted <- metrics.transmitted + sent;
-    metrics.transmitted_value <- metrics.transmitted_value + sent
+    Metrics.record_transmissions metrics ~count:sent ~value:sent
   in
-  let end_slot () =
-    Running_stats.add metrics.occupancy (float_of_int (Count_multiset.size bag))
-  in
+  let end_slot () = Metrics.record_occupancy metrics (Count_multiset.size bag) in
   let flush () =
-    metrics.flushed <- metrics.flushed + Count_multiset.size bag;
-    Count_multiset.clear bag
+    Metrics.record_flush metrics (Count_multiset.size bag);
+    Count_multiset.clear bag;
+    Metrics.check_conservation metrics
   in
   let check () =
     Metrics.check_conservation metrics;
@@ -73,33 +71,31 @@ let value_instance ?(name = "OPT") ?cores config =
   let bag = Count_multiset.create ~k:(Value_config.k config) in
   let metrics = Metrics.create () in
   let arrive (a : Arrival.t) =
-    metrics.arrivals <- metrics.arrivals + 1;
+    Metrics.record_arrival metrics;
     if Count_multiset.size bag < buffer then begin
       Count_multiset.add bag a.value;
-      metrics.accepted <- metrics.accepted + 1
+      Metrics.record_accept metrics
     end
     else begin
       match Count_multiset.min_key bag with
       | Some worst when worst < a.value ->
         Count_multiset.remove bag worst;
         Count_multiset.add bag a.value;
-        metrics.pushed_out <- metrics.pushed_out + 1;
-        metrics.accepted <- metrics.accepted + 1
-      | Some _ | None -> metrics.dropped <- metrics.dropped + 1
+        Metrics.record_push_out metrics;
+        Metrics.record_accept metrics
+      | Some _ | None -> Metrics.record_drop metrics
     end
   in
   let transmit () =
     let count = min cores (Count_multiset.size bag) in
     let value = Count_multiset.remove_largest bag ~budget:cores in
-    metrics.transmitted <- metrics.transmitted + count;
-    metrics.transmitted_value <- metrics.transmitted_value + value
+    Metrics.record_transmissions metrics ~count ~value
   in
-  let end_slot () =
-    Running_stats.add metrics.occupancy (float_of_int (Count_multiset.size bag))
-  in
+  let end_slot () = Metrics.record_occupancy metrics (Count_multiset.size bag) in
   let flush () =
-    metrics.flushed <- metrics.flushed + Count_multiset.size bag;
-    Count_multiset.clear bag
+    Metrics.record_flush metrics (Count_multiset.size bag);
+    Count_multiset.clear bag;
+    Metrics.check_conservation metrics
   in
   let check () =
     Metrics.check_conservation metrics;

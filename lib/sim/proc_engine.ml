@@ -1,43 +1,58 @@
-open Smbm_prelude
 open Smbm_core
 
-let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) config
+let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) ?recorder config
     (policy : Proc_policy.t) =
   let name = Option.value name ~default:policy.name in
   let sw = Proc_switch.create config in
   let metrics = Metrics.create () in
   let ports = Port_stats.create ~n:(Proc_config.n config) in
+  let record =
+    match recorder with
+    | None -> fun (_ : Smbm_obs.Event.kind) -> ()
+    | Some r ->
+      fun kind ->
+        Smbm_obs.Recorder.record r ~slot:(Proc_switch.now sw) ~who:name kind
+  in
   let on_transmit (p : Packet.Proc.t) =
-    metrics.transmitted <- metrics.transmitted + 1;
-    metrics.transmitted_value <- metrics.transmitted_value + 1;
-    let latency = float_of_int (Proc_switch.now sw - p.arrival) in
-    Running_stats.add metrics.latency latency;
-    Histogram.add metrics.latency_hist latency;
+    let latency = Proc_switch.now sw - p.arrival in
+    Metrics.record_transmit metrics ~value:1 ~latency:(float_of_int latency);
     Port_stats.record ports ~port:p.dest ~value:1;
+    record (Smbm_obs.Event.Transmit { dest = p.dest; value = 1; latency });
     observe p
   in
   let arrive (a : Arrival.t) =
-    metrics.arrivals <- metrics.arrivals + 1;
+    Metrics.record_arrival metrics;
+    record (Smbm_obs.Event.Arrival { dest = a.dest });
     match Proc_policy.admit policy sw ~dest:a.dest with
     | Decision.Accept ->
       ignore (Proc_switch.accept sw ~dest:a.dest);
-      metrics.accepted <- metrics.accepted + 1
+      Metrics.record_accept metrics;
+      record (Smbm_obs.Event.Accept { dest = a.dest })
     | Decision.Push_out { victim } ->
       if not (Proc_switch.is_full sw) then
         invalid_arg
           (name ^ ": push-out decision while the buffer has free space");
       ignore (Proc_switch.push_out sw ~victim);
-      metrics.pushed_out <- metrics.pushed_out + 1;
+      Metrics.record_push_out metrics;
+      record (Smbm_obs.Event.Push_out { victim; dest = a.dest });
       ignore (Proc_switch.accept sw ~dest:a.dest);
-      metrics.accepted <- metrics.accepted + 1
-    | Decision.Drop -> metrics.dropped <- metrics.dropped + 1
+      Metrics.record_accept metrics;
+      record (Smbm_obs.Event.Accept { dest = a.dest })
+    | Decision.Drop ->
+      Metrics.record_drop metrics;
+      record (Smbm_obs.Event.Drop { dest = a.dest })
   in
   let transmit () = ignore (Proc_switch.transmit_phase sw ~on_transmit) in
   let end_slot () =
-    Running_stats.add metrics.occupancy (float_of_int (Proc_switch.occupancy sw));
+    let occupancy = Proc_switch.occupancy sw in
+    Metrics.record_occupancy metrics occupancy;
+    record (Smbm_obs.Event.Slot_end { occupancy });
     Proc_switch.advance_slot sw
   in
-  let flush () = metrics.flushed <- metrics.flushed + Proc_switch.flush sw in
+  let flush () =
+    Metrics.record_flush metrics (Proc_switch.flush sw);
+    Metrics.check_conservation metrics
+  in
   let check () =
     Proc_switch.check_invariants sw;
     Metrics.check_conservation metrics;
@@ -59,5 +74,5 @@ let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) config
   in
   (inst, sw)
 
-let instance ?name ?observe config policy =
-  fst (create ?name ?observe config policy)
+let instance ?name ?observe ?recorder config policy =
+  fst (create ?name ?observe ?recorder config policy)

@@ -5,24 +5,31 @@
     switch checks), [Push_out] is only legal when the buffer is full (and the
     switch checks the victim queue is non-empty).  An illegal decision raises
     [Invalid_argument] — a policy bug fails fast instead of skewing an
-    experiment. *)
+    experiment.
+
+    Metrics conservation is checked at every flushout, so a policy that
+    double-counts fails during the run, not at the final report. *)
 
 open Smbm_core
 
 val create :
   ?name:string ->
   ?observe:(Packet.Proc.t -> unit) ->
+  ?recorder:Smbm_obs.Recorder.t ->
   Proc_config.t ->
   Proc_policy.t ->
   Instance.t * Proc_switch.t
 (** Fresh instance plus its underlying switch (exposed for inspection in
     tests and examples).  [name] defaults to the policy's name; [observe] is
     called on every transmitted packet (per-port tallies, latency
-    histograms, ...). *)
+    histograms, ...).  [recorder] receives every per-slot event (arrival,
+    accept, push-out, drop, transmit, slot-end) with this instance's name
+    as [who]; recording changes no decision and no counter. *)
 
 val instance :
   ?name:string ->
   ?observe:(Packet.Proc.t -> unit) ->
+  ?recorder:Smbm_obs.Recorder.t ->
   Proc_config.t ->
   Proc_policy.t ->
   Instance.t

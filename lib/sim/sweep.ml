@@ -59,7 +59,7 @@ let apply_axis base axis x =
   | B -> { base with buffer = x }
   | C -> { base with speedup = x }
 
-let proc_setup ~reference base =
+let proc_setup ?recorder ~reference base =
   let config =
     Proc_config.contiguous ~k:base.k ~buffer:base.buffer ~speedup:base.speedup
       ()
@@ -73,11 +73,11 @@ let proc_setup ~reference base =
   in
   let instances =
     Opt_ref.proc_instance config
-    :: List.map (Proc_engine.instance config) (Policies.proc config)
+    :: List.map (Proc_engine.instance ?recorder config) (Policies.proc config)
   in
   (workload, instances)
 
-let value_setup ~reference ~port_tied base =
+let value_setup ?recorder ~reference ~port_tied base =
   let config =
     Value_config.make ~ports:base.k ~max_value:base.k ~buffer:base.buffer
       ~speedup:base.speedup ()
@@ -101,7 +101,7 @@ let value_setup ~reference ~port_tied base =
   in
   let instances =
     Opt_ref.value_instance config
-    :: List.map (Value_engine.instance config) policies
+    :: List.map (Value_engine.instance ?recorder config) policies
   in
   (workload, instances)
 
@@ -109,12 +109,12 @@ let value_setup ~reference ~port_tied base =
    derived from it, not from the swept configuration, so the absolute traffic
    stays constant along the sweep (the paper's setup: growing k or C means
    growing capacity under the same offered traffic). *)
-let setup ?reference model base =
+let setup ?reference ?recorder model base =
   let reference = Option.value reference ~default:base in
   match model with
-  | Proc -> proc_setup ~reference base
-  | Value_uniform -> value_setup ~reference ~port_tied:false base
-  | Value_port -> value_setup ~reference ~port_tied:true base
+  | Proc -> proc_setup ?recorder ~reference base
+  | Value_uniform -> value_setup ?recorder ~reference ~port_tied:false base
+  | Value_port -> value_setup ?recorder ~reference ~port_tied:true base
 
 let policy_names model base =
   let _, instances = setup model base in
@@ -122,10 +122,10 @@ let policy_names model base =
   | _opt :: algs -> List.map (fun (i : Instance.t) -> i.Instance.name) algs
   | [] -> []
 
-let run_point ~base ~model ~axis ~x =
+let run_point ?recorder ?spans ~base ~model ~axis ~x () =
   let reference = base in
   let base = apply_axis base axis x in
-  let workload, instances = setup ~reference model base in
+  let workload, instances = setup ?recorder ~reference model base in
   let params =
     {
       Experiment.slots = base.slots;
@@ -133,7 +133,11 @@ let run_point ~base ~model ~axis ~x =
       check_every = None;
     }
   in
-  Experiment.run ~params ~workload instances;
+  let run () = Experiment.run ~params ~workload instances in
+  (match spans with
+  | None -> run ()
+  | Some spans ->
+    Smbm_obs.Span.with_span spans (Printf.sprintf "point/x=%d" x) run);
   match instances with
   | opt :: algs -> Experiment.ratios ~objective:(objective model) ~opt ~algs
   | [] -> []
@@ -172,17 +176,18 @@ let run_point_detailed ~base ~model ~axis ~x =
           | None -> (1.0, 0)
         in
         let drop_rate =
-          if m.Metrics.arrivals = 0 then 0.0
-          else float_of_int m.Metrics.dropped /. float_of_int m.Metrics.arrivals
+          if Metrics.arrivals m = 0 then 0.0
+          else float_of_int (Metrics.dropped m) /. float_of_int (Metrics.arrivals m)
         in
         ( alg.name,
           {
             ratio = Experiment.ratio ~objective:(objective model) ~opt ~alg;
             jain;
             starved;
-            mean_latency = Smbm_prelude.Running_stats.mean m.Metrics.latency;
+            mean_latency =
+              Smbm_prelude.Running_stats.mean (Metrics.latency_stats m);
             p99_latency =
-              Smbm_prelude.Histogram.quantile m.Metrics.latency_hist 0.99;
+              Smbm_prelude.Histogram.quantile (Metrics.latency_hist m) 0.99;
             drop_rate;
           } ))
       algs
@@ -216,16 +221,29 @@ let run_point_replicated ~base ~model ~axis ~x ~seeds =
   if seeds = [] then invalid_arg "Sweep.run_point_replicated: no seeds";
   aggregate_replicates
     (List.map
-       (fun seed -> run_point ~base:{ base with seed } ~model ~axis ~x)
+       (fun seed -> run_point ~base:{ base with seed } ~model ~axis ~x ())
        seeds)
 
-let run_panel ?(base = default_base) ?xs number =
+let run_panel ?(base = default_base) ?recorder ?spans ?xs number =
   let panel = panel number in
   let panel = match xs with Some xs -> { panel with xs } | None -> panel in
-  let points =
+  let run_points () =
     List.map
       (fun x ->
-        { x; ratios = run_point ~base ~model:panel.model ~axis:panel.axis ~x })
+        {
+          x;
+          ratios =
+            run_point ?recorder ?spans ~base ~model:panel.model
+              ~axis:panel.axis ~x ();
+        })
       panel.xs
+  in
+  let points =
+    match spans with
+    | None -> run_points ()
+    | Some spans ->
+      Smbm_obs.Span.with_span spans
+        (Printf.sprintf "panel/%d" panel.number)
+        run_points
   in
   { panel; points }

@@ -45,11 +45,22 @@ val policy_names : model -> base -> string list
 (** The series (policy names) a panel of this model produces, in order. *)
 
 val run_point :
-  base:base -> model:model -> axis:axis -> x:int -> (string * float) list
+  ?recorder:Smbm_obs.Recorder.t ->
+  ?spans:Smbm_obs.Span.t ->
+  base:base ->
+  model:model ->
+  axis:axis ->
+  x:int ->
+  unit ->
+  (string * float) list
 (** One sweep point: build configuration and workload, run all policies plus
     the OPT reference in lockstep, return ratios.  The workload intensity is
     derived from [base] (not the swept value), so traffic stays constant
-    along an axis, as in the paper. *)
+    along an axis, as in the paper.
+
+    [recorder] is handed to every policy instance (OPT is a bag reference
+    with no per-packet identity and stays untraced); [spans] gets one
+    [point/x=<x>] span covering the run. *)
 
 type detail = {
   ratio : float;
@@ -86,8 +97,15 @@ val run_point_replicated :
 (** {!run_point} repeated over independent seeds, with per-policy mean and
     sample standard deviation of the ratio. *)
 
-val run_panel : ?base:base -> ?xs:int list -> int -> outcome
+val run_panel :
+  ?base:base ->
+  ?recorder:Smbm_obs.Recorder.t ->
+  ?spans:Smbm_obs.Span.t ->
+  ?xs:int list ->
+  int ->
+  outcome
 (** Run panel [number] (1-9), overriding the sweep values with [xs] when
-    given. *)
+    given.  [recorder]/[spans] as in {!run_point}, plus one [panel/<n>]
+    span over the whole panel. *)
 
 val objective : model -> [ `Packets | `Value ]

@@ -33,12 +33,12 @@ let attach ~every (inst : Instance.t) =
     t.slot <- t.slot + 1;
     if t.slot mod t.every = 0 then begin
       let m = inst.metrics in
-      let sent = m.Metrics.transmitted - t.last_transmitted in
-      let dropped = m.Metrics.dropped - t.last_dropped in
-      let arrivals = m.Metrics.arrivals - t.last_arrivals in
-      t.last_transmitted <- m.Metrics.transmitted;
-      t.last_dropped <- m.Metrics.dropped;
-      t.last_arrivals <- m.Metrics.arrivals;
+      let sent = Metrics.transmitted m - t.last_transmitted in
+      let dropped = Metrics.dropped m - t.last_dropped in
+      let arrivals = Metrics.arrivals m - t.last_arrivals in
+      t.last_transmitted <- Metrics.transmitted m;
+      t.last_dropped <- Metrics.dropped m;
+      t.last_arrivals <- Metrics.arrivals m;
       t.samples <-
         {
           slot = t.slot;

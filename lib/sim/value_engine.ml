@@ -1,44 +1,59 @@
-open Smbm_prelude
 open Smbm_core
 
-let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) config
+let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) ?recorder config
     (policy : Value_policy.t) =
   let name = Option.value name ~default:policy.name in
   let sw = Value_switch.create config in
   let metrics = Metrics.create () in
   let ports = Port_stats.create ~n:(Value_config.n config) in
+  let record =
+    match recorder with
+    | None -> fun (_ : Smbm_obs.Event.kind) -> ()
+    | Some r ->
+      fun kind ->
+        Smbm_obs.Recorder.record r ~slot:(Value_switch.now sw) ~who:name kind
+  in
   let on_transmit (p : Packet.Value.t) =
-    metrics.transmitted <- metrics.transmitted + 1;
-    metrics.transmitted_value <- metrics.transmitted_value + p.value;
-    let latency = float_of_int (Value_switch.now sw - p.arrival) in
-    Running_stats.add metrics.latency latency;
-    Histogram.add metrics.latency_hist latency;
+    let latency = Value_switch.now sw - p.arrival in
+    Metrics.record_transmit metrics ~value:p.value
+      ~latency:(float_of_int latency);
     Port_stats.record ports ~port:p.dest ~value:p.value;
+    record (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency });
     observe p
   in
   let arrive (a : Arrival.t) =
-    metrics.arrivals <- metrics.arrivals + 1;
+    Metrics.record_arrival metrics;
+    record (Smbm_obs.Event.Arrival { dest = a.dest });
     match Value_policy.admit policy sw ~dest:a.dest ~value:a.value with
     | Decision.Accept ->
       ignore (Value_switch.accept sw ~dest:a.dest ~value:a.value);
-      metrics.accepted <- metrics.accepted + 1
+      Metrics.record_accept metrics;
+      record (Smbm_obs.Event.Accept { dest = a.dest })
     | Decision.Push_out { victim } ->
       if not (Value_switch.is_full sw) then
         invalid_arg
           (name ^ ": push-out decision while the buffer has free space");
       ignore (Value_switch.push_out sw ~victim);
-      metrics.pushed_out <- metrics.pushed_out + 1;
+      Metrics.record_push_out metrics;
+      record (Smbm_obs.Event.Push_out { victim; dest = a.dest });
       ignore (Value_switch.accept sw ~dest:a.dest ~value:a.value);
-      metrics.accepted <- metrics.accepted + 1
-    | Decision.Drop -> metrics.dropped <- metrics.dropped + 1
+      Metrics.record_accept metrics;
+      record (Smbm_obs.Event.Accept { dest = a.dest })
+    | Decision.Drop ->
+      Metrics.record_drop metrics;
+      record (Smbm_obs.Event.Drop { dest = a.dest })
   in
   let transmit () = ignore (Value_switch.transmit_phase sw ~on_transmit) in
   let end_slot () =
-    Running_stats.add metrics.occupancy
-      (float_of_int (Value_switch.occupancy sw));
+    let occupancy = Value_switch.occupancy sw in
+    Metrics.record_occupancy metrics occupancy;
+    record (Smbm_obs.Event.Slot_end { occupancy });
     Value_switch.advance_slot sw
   in
-  let flush () = metrics.flushed <- metrics.flushed + Value_switch.flush sw in
+  let flush () =
+    Metrics.record_flush metrics (Value_switch.flush sw);
+    Metrics.check_conservation metrics
+  in
   let check () =
     Value_switch.check_invariants sw;
     Metrics.check_conservation metrics;
@@ -60,5 +75,5 @@ let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) config
   in
   (inst, sw)
 
-let instance ?name ?observe config policy =
-  fst (create ?name ?observe config policy)
+let instance ?name ?observe ?recorder config policy =
+  fst (create ?name ?observe ?recorder config policy)

@@ -7,14 +7,17 @@ open Smbm_core
 val create :
   ?name:string ->
   ?observe:(Packet.Value.t -> unit) ->
+  ?recorder:Smbm_obs.Recorder.t ->
   Value_config.t ->
   Value_policy.t ->
   Instance.t * Value_switch.t
-(** [observe] is called on every transmitted packet. *)
+(** [observe] is called on every transmitted packet; [recorder] receives
+    every per-slot event (see {!Proc_engine.create}). *)
 
 val instance :
   ?name:string ->
   ?observe:(Packet.Value.t -> unit) ->
+  ?recorder:Smbm_obs.Recorder.t ->
   Value_config.t ->
   Value_policy.t ->
   Instance.t

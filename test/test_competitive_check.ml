@@ -140,7 +140,7 @@ let prop_certificate_vs_exact_prefixes =
           ~workload:
             (Workload.of_fun (fun i -> if i < t then sub.(i) else []))
           [ inst ];
-        inst.Instance.metrics.Metrics.transmitted
+        (Metrics.transmitted inst.Instance.metrics)
       in
       let ok = ref true in
       for t = 1 to Array.length trace do

@@ -82,7 +82,7 @@ let prop_proc_engine_fuzz =
       Metrics.check_conservation inst.Instance.metrics;
       (match inst.Instance.ports with
       | Some ports ->
-        Port_stats.total ports = inst.Instance.metrics.Metrics.transmitted
+        Port_stats.total ports = (Metrics.transmitted inst.Instance.metrics)
       | None -> false))
 
 let prop_value_engine_fuzz =
@@ -118,7 +118,7 @@ let prop_value_engine_fuzz =
             0
             (List.init (Port_stats.n p) Fun.id)
         in
-        total = inst.Instance.metrics.Metrics.transmitted_value
+        total = (Metrics.transmitted_value inst.Instance.metrics)
       | None -> false)
 
 let suite =

@@ -81,7 +81,7 @@ let run_proc_policy config trace ~drain policy =
       }
     ~workload:(Workload.of_fun (fun i -> if i < Array.length trace then trace.(i) else []))
     [ inst ];
-  inst.metrics.Metrics.transmitted
+  (Metrics.transmitted inst.metrics)
 
 let prop_exact_between_policies_and_reference =
   QCheck2.Test.make
@@ -102,7 +102,7 @@ let prop_exact_between_policies_and_reference =
             }
           ~workload:(Workload.of_fun (fun i -> if i < Array.length trace then trace.(i) else []))
           [ opt ];
-        opt.Instance.metrics.Metrics.transmitted
+        (Metrics.transmitted opt.Instance.metrics)
       in
       exact <= reference
       && List.for_all
@@ -173,7 +173,7 @@ let prop_exact_value_ordering =
           ~workload:
             (Workload.of_fun (fun i -> if i < Array.length trace then trace.(i) else []))
           [ inst ];
-        inst.Instance.metrics.Metrics.transmitted_value
+        (Metrics.transmitted_value inst.Instance.metrics)
       in
       let reference = run_value (Opt_ref.value_instance config) in
       exact <= reference

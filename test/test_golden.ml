@@ -35,7 +35,7 @@ let test_proc_point () =
       ("BPD1", 1.251515);
       ("LWD", 1.179626);
     ]
-    (Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x:8)
+    (Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x:8 ())
 
 let test_value_port_point () =
   check_ratios
@@ -48,7 +48,7 @@ let test_value_port_point () =
       ("MRD", 1.668851);
       ("NHST", 1.653365);
     ]
-    (Sweep.run_point ~base ~model:Sweep.Value_port ~axis:Sweep.K ~x:8)
+    (Sweep.run_point ~base ~model:Sweep.Value_port ~axis:Sweep.K ~x:8 ())
 
 let test_lwd_construction_counts () =
   (* The Theorem 6 construction is fully deterministic: exact packet

@@ -97,7 +97,7 @@ let test_heavy_tail_stresses_policies_more () =
         { Experiment.slots = 20_000; flush_every = Some 2_000; check_every = None }
       ~workload [ lwd ];
     let m = lwd.Instance.metrics in
-    float_of_int m.Metrics.dropped /. float_of_int (max 1 m.Metrics.arrivals)
+    float_of_int (Metrics.dropped m) /. float_of_int (max 1 (Metrics.arrivals m))
   in
   let mmpp = { Scenario.default_mmpp with sources = 50 } in
   let heavy =

@@ -128,7 +128,7 @@ let run_policy cfg trace ~drain policy =
     ~workload:
       (Workload.of_fun (fun i -> if i < Array.length trace then trace.(i) else []))
     [ inst ];
-  inst.Smbm_sim.Instance.metrics.Smbm_sim.Metrics.transmitted_value
+  (Smbm_sim.Metrics.transmitted_value inst.Smbm_sim.Instance.metrics)
 
 let test_exact_opt_known_case () =
   (* B = 1, two simultaneous arrivals: work-1/value-2 vs work-2/value-3,

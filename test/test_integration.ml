@@ -20,7 +20,7 @@ let assoc name ratios =
 let test_proc_ordering_under_congestion () =
   (* Paper Fig. 5(1) at one congested point: LWD best, BPD clearly worst,
      BPD1 between BPD and the push-out policies. *)
-  let ratios = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x:32 in
+  let ratios = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x:32 () in
   let lwd = assoc "LWD" ratios
   and lqd = assoc "LQD" ratios
   and bpd = assoc "BPD" ratios
@@ -36,7 +36,7 @@ let test_proc_ordering_under_congestion () =
 
 let test_proc_nonpushout_degrade_with_k () =
   (* Non-push-out policies deteriorate faster as k grows. *)
-  let at x = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x in
+  let at x = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x () in
   let small = at 4 and large = at 32 in
   let growth name = assoc name large -. assoc name small in
   Alcotest.(check bool) "NHDT degrades more than LWD" true
@@ -48,8 +48,8 @@ let test_proc_large_buffer_relieves_congestion () =
   (* Fig. 5(2): with a very large buffer drops disappear and all policies
      converge onto a common floor (the floor stays above 1 because the OPT
      reference relaxes per-port FIFO service, as the paper notes). *)
-  let tight = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.B ~x:32 in
-  let loose = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.B ~x:4096 in
+  let tight = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.B ~x:32 () in
+  let loose = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.B ~x:4096 () in
   Alcotest.(check bool) "NEST improves with buffer" true
     (assoc "NEST" loose < assoc "NEST" tight);
   let values = List.map snd loose in
@@ -60,8 +60,8 @@ let test_proc_large_buffer_relieves_congestion () =
 
 let test_proc_speedup_relieves_congestion () =
   (* Fig. 5(3): speedup benefits every policy; LWD stays ahead. *)
-  let slow = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.C ~x:1 in
-  let fast = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.C ~x:8 in
+  let slow = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.C ~x:1 () in
+  let fast = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.C ~x:8 () in
   Alcotest.(check bool) "LWD improves with speedup" true
     (assoc "LWD" fast < assoc "LWD" slow);
   Alcotest.(check bool) "LWD still leads" true
@@ -71,7 +71,7 @@ let test_value_uniform_ordering () =
   (* Fig. 5(4-6): MRD and LQD close together in front; MVD/MVD1 trail far
      behind; the greedy non-push-out baseline is poor. *)
   let ratios =
-    Sweep.run_point ~base ~model:Sweep.Value_uniform ~axis:Sweep.K ~x:16
+    Sweep.run_point ~base ~model:Sweep.Value_uniform ~axis:Sweep.K ~x:16 ()
   in
   let mrd = assoc "MRD" ratios
   and lqd = assoc "LQD" ratios
@@ -90,7 +90,7 @@ let test_value_port_mrd_advantage () =
      uniform overload (keeping every port active is already optimal
      there)... *)
   let ratios =
-    Sweep.run_point ~base ~model:Sweep.Value_port ~axis:Sweep.K ~x:16
+    Sweep.run_point ~base ~model:Sweep.Value_port ~axis:Sweep.K ~x:16 ()
   in
   Alcotest.(check bool) "MRD tracks LQD" true
     (assoc "MRD" ratios <= assoc "LQD" ratios +. 0.04)
@@ -125,7 +125,7 @@ let test_value_large_speedup_mvd_wins () =
   let ratios =
     Sweep.run_point
       ~base:{ base with Sweep.load = 4.0 }
-      ~model:Sweep.Value_uniform ~axis:Sweep.C ~x:16
+      ~model:Sweep.Value_uniform ~axis:Sweep.C ~x:16 ()
   in
   let mvd = assoc "MVD" ratios
   and lqd = assoc "LQD" ratios in
@@ -135,7 +135,7 @@ let test_value_large_speedup_mvd_wins () =
 let test_all_ratios_at_least_one () =
   List.iter
     (fun (model, name) ->
-      let ratios = Sweep.run_point ~base ~model ~axis:Sweep.K ~x:8 in
+      let ratios = Sweep.run_point ~base ~model ~axis:Sweep.K ~x:8 () in
       List.iter
         (fun (policy, r) ->
           if r < 0.999 then
@@ -179,7 +179,7 @@ let test_mrd_never_explicitly_worse_than_lqd () =
         ~workload:
           (Workload.of_fun (fun i -> if i < slots then trace.(i) else []))
         [ inst ];
-      inst.Instance.metrics.Metrics.transmitted_value
+      (Metrics.transmitted_value inst.Instance.metrics)
     in
     total_mrd := !total_mrd + run (V_mrd.make config);
     total_lqd := !total_lqd + run (V_lqd.make config)
@@ -188,7 +188,7 @@ let test_mrd_never_explicitly_worse_than_lqd () =
     (float_of_int !total_mrd >= 0.98 *. float_of_int !total_lqd)
 
 let test_determinism_across_runs () =
-  let run () = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x:8 in
+  let run () = Sweep.run_point ~base ~model:Sweep.Proc ~axis:Sweep.K ~x:8 () in
   let a = run () and b = run () in
   List.iter2
     (fun (n1, r1) (n2, r2) ->

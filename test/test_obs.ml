@@ -1,0 +1,292 @@
+(* The observability layer: JSON codec, event round-trips, ring-buffer
+   recording, the metrics registry, span nesting, and — the load-bearing
+   property — trace determinism across job counts with zero observer
+   effect on results. *)
+
+open Smbm_obs
+open Smbm_sim
+
+(* --- Json --- *)
+
+let test_json_obj_and_parse () =
+  let line =
+    Json.obj
+      [
+        ("ev", Json.Str "arrival");
+        ("slot", Json.Int 7);
+        ("ok", Json.Bool true);
+        ("x", Json.Float 1.5);
+      ]
+  in
+  match Json.parse_flat line with
+  | Error msg -> Alcotest.fail msg
+  | Ok fields ->
+    Alcotest.(check int) "field count" 4 (List.length fields);
+    Alcotest.(check bool) "ev" true (List.assoc "ev" fields = Json.Str "arrival");
+    Alcotest.(check bool) "slot" true (List.assoc "slot" fields = Json.Int 7);
+    Alcotest.(check bool) "ok" true (List.assoc "ok" fields = Json.Bool true);
+    Alcotest.(check bool) "x" true (List.assoc "x" fields = Json.Float 1.5)
+
+let test_json_escapes_round_trip () =
+  let tricky = "a\"b\\c\nd\te\r" ^ String.make 1 '\x01' in
+  let line = Json.obj [ ("s", Json.Str tricky) ] in
+  match Json.parse_flat line with
+  | Error msg -> Alcotest.fail msg
+  | Ok [ ("s", Json.Str s) ] -> Alcotest.(check string) "escaped string" tricky s
+  | Ok _ -> Alcotest.fail "unexpected shape"
+
+let test_json_rejects_garbage () =
+  let bad =
+    [
+      "";
+      "{";
+      "{}x";
+      "{\"a\":1,\"a\":2}" (* duplicate key *);
+      "{\"a\":{}}" (* nested *);
+      "{\"a\":[1]}" (* array *);
+      "{\"a\":}";
+      "not json";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse_flat s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s))
+    bad
+
+(* --- Event --- *)
+
+let all_kinds =
+  [
+    Event.Arrival { dest = 3 };
+    Event.Accept { dest = 0 };
+    Event.Push_out { victim = 2; dest = 5 };
+    Event.Drop { dest = 1 };
+    Event.Transmit { dest = 4; value = 9; latency = 17 };
+    Event.Slot_end { occupancy = 42 };
+  ]
+
+let test_event_round_trip () =
+  List.iter
+    (fun kind ->
+      let ev = Event.make ~src:"x=4/LWD" ~slot:123 kind in
+      match Event.of_json (Event.to_json ev) with
+      | Ok ev' -> Alcotest.(check bool) (Event.kind_name kind) true (ev = ev')
+      | Error msg -> Alcotest.fail msg)
+    all_kinds
+
+let test_event_rejects_malformed () =
+  let bad =
+    [
+      {|{"ev":"warp","slot":0,"src":"a"}|} (* unknown kind *);
+      {|{"ev":"arrival","slot":0,"src":"a"}|} (* missing dest *);
+      {|{"ev":"arrival","slot":-1,"src":"a","dest":0}|} (* negative slot *);
+      {|{"ev":"arrival","slot":0,"src":"a","dest":0,"junk":1}|} (* extra *);
+      {|{"ev":"arrival","slot":"0","src":"a","dest":0}|} (* ill-typed *);
+      {|{"slot":0,"src":"a","dest":0}|} (* no ev *);
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Event.of_json s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %s" s))
+    bad
+
+(* --- Recorder --- *)
+
+let test_recorder_eviction_at_capacity () =
+  let r = Recorder.create ~cap:3 () in
+  for slot = 0 to 9 do
+    Recorder.record r ~slot ~who:"w" (Event.Arrival { dest = 0 })
+  done;
+  Alcotest.(check int) "length" 3 (Recorder.length r);
+  Alcotest.(check int) "total" 10 (Recorder.total r);
+  Alcotest.(check int) "dropped" 7 (Recorder.dropped r);
+  (* Oldest first, and the survivors are the newest three. *)
+  Alcotest.(check (list int)) "surviving slots" [ 7; 8; 9 ]
+    (List.map (fun (e : Event.t) -> e.Event.slot) (Recorder.events r));
+  Recorder.clear r;
+  Alcotest.(check int) "cleared" 0 (Recorder.length r)
+
+let test_recorder_scope_prefixes_src () =
+  let r = Recorder.create ~scope:"x=8" ~cap:4 () in
+  Recorder.record r ~slot:0 ~who:"LWD" (Event.Drop { dest = 1 });
+  match Recorder.events r with
+  | [ e ] -> Alcotest.(check string) "src" "x=8/LWD" e.Event.src
+  | _ -> Alcotest.fail "expected one event"
+
+(* --- Registry --- *)
+
+let test_registry_counters_and_snapshot () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "hits" in
+  Registry.incr c;
+  Registry.add c 4;
+  Alcotest.(check int) "counter" 5 (Registry.counter_value c);
+  (* Re-registration returns the same instrument. *)
+  Registry.incr (Registry.counter reg "hits");
+  Alcotest.(check int) "shared" 6 (Registry.counter_value c);
+  (match Registry.add c (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative counter add accepted");
+  (match Registry.gauge reg "hits" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted");
+  let h = Registry.histogram reg "lat" in
+  Registry.observe h 2.0;
+  Registry.observe h 4.0;
+  let names = List.map fst (Registry.snapshot reg) in
+  Alcotest.(check (list string)) "sorted names" [ "hits"; "lat" ] names;
+  let lines = Registry.to_jsonl ~labels:[ ("run", "t") ] reg in
+  Alcotest.(check int) "jsonl lines" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Smbm_obs.Json.parse_flat line with
+      | Ok fields ->
+        Alcotest.(check bool) "label present" true
+          (List.assoc "run" fields = Smbm_obs.Json.Str "t")
+      | Error msg -> Alcotest.fail msg)
+    lines
+
+(* --- Span --- *)
+
+let test_span_nesting_and_report () =
+  let spans = Span.create () in
+  let result =
+    Span.with_span spans "outer" (fun () ->
+        Span.with_span spans "inner" (fun () -> 7) + 1)
+  in
+  Alcotest.(check int) "result" 8 result;
+  (match Span.records spans with
+  | [ inner; outer ] ->
+    (* Inner completes first and carries the greater depth. *)
+    Alcotest.(check string) "inner name" "inner" inner.Span.name;
+    Alcotest.(check int) "inner depth" 1 inner.Span.depth;
+    Alcotest.(check string) "outer name" "outer" outer.Span.name;
+    Alcotest.(check int) "outer depth" 0 outer.Span.depth;
+    Alcotest.(check bool) "outer wall covers inner" true
+      (outer.Span.wall >= inner.Span.wall)
+  | rs -> Alcotest.fail (Printf.sprintf "expected 2 records, got %d" (List.length rs)));
+  (* A raising thunk still records its span. *)
+  (match Span.with_span spans "boom" (fun () -> failwith "x") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check int) "raise recorded" 3 (List.length (Span.records spans));
+  let report = Format.asprintf "%a" Span.report spans in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report mentions outer" true (contains report "outer")
+
+(* --- Engine-level: events match metrics, recording changes nothing --- *)
+
+let small_base =
+  {
+    Sweep.default_base with
+    Sweep.k = 4;
+    buffer = 8;
+    slots = 400;
+    flush_every = Some 100;
+    mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = 10 };
+  }
+
+let count kind_name events =
+  List.length
+    (List.filter
+       (fun (e : Event.t) -> Event.kind_name e.Event.kind = kind_name)
+       events)
+
+let test_engine_events_match_metrics () =
+  let config = Smbm_core.Proc_config.contiguous ~k:4 ~buffer:8 () in
+  let recorder = Recorder.create ~cap:1_000_000 () in
+  let inst =
+    Proc_engine.instance ~recorder config (Smbm_core.P_lwd.make config)
+  in
+  let workload =
+    Smbm_traffic.Scenario.proc_workload
+      ~mmpp:small_base.Sweep.mmpp ~config ~load:2.0 ~seed:11 ()
+  in
+  Experiment.run
+    ~params:{ Experiment.slots = 400; flush_every = Some 100; check_every = None }
+    ~workload [ inst ];
+  let m = inst.Instance.metrics in
+  let events = Recorder.events recorder in
+  Alcotest.(check int) "arrivals" (Metrics.arrivals m) (count "arrival" events);
+  Alcotest.(check int) "accepts" (Metrics.accepted m) (count "accept" events);
+  Alcotest.(check int) "drops" (Metrics.dropped m) (count "drop" events);
+  Alcotest.(check int) "push-outs" (Metrics.pushed_out m)
+    (count "push_out" events);
+  Alcotest.(check int) "transmits" (Metrics.transmitted m)
+    (count "transmit" events);
+  Alcotest.(check int) "slot ends" 400 (count "slot_end" events)
+
+let test_traced_panel_matches_untraced_and_jobs () =
+  let xs = [ 2; 4 ] in
+  let plain = Sweep.run_panel ~base:small_base ~xs 4 in
+  let t1 =
+    Smbm_par.Par_sweep.run_panel_traced ~jobs:1 ~base:small_base ~xs 4
+  in
+  let t4 =
+    Smbm_par.Par_sweep.run_panel_traced ~jobs:4 ~base:small_base ~xs 4
+  in
+  (* Zero observer effect: tracing changes no ratio. *)
+  Alcotest.(check bool) "outcome = untraced" true
+    (t1.Smbm_par.Par_sweep.outcome = plain);
+  (* Bit-identical trace for any job count. *)
+  let render tr =
+    String.concat "\n"
+      (List.map Event.to_json tr.Smbm_par.Par_sweep.events)
+  in
+  Alcotest.(check bool) "events j1 = j4" true (render t1 = render t4);
+  Alcotest.(check int) "same eviction" t1.Smbm_par.Par_sweep.dropped_events
+    t4.Smbm_par.Par_sweep.dropped_events;
+  Alcotest.(check bool) "trace non-empty" true
+    (t1.Smbm_par.Par_sweep.events <> [])
+
+(* --- Sink --- *)
+
+let test_sink_file_and_null () =
+  Alcotest.(check bool) "null is null" true (Sink.is_null Sink.null);
+  Sink.line Sink.null "dropped";
+  let path = Filename.temp_file "smbm_obs" ".jsonl" in
+  let sink = Sink.file path in
+  Sink.event sink (Event.make ~src:"s" ~slot:0 (Event.Arrival { dest = 0 }));
+  Sink.line sink "tail";
+  Sink.close sink;
+  Sink.close sink (* idempotent *);
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "event line parses" true
+    (match Event.of_json l1 with Ok _ -> true | Error _ -> false);
+  Alcotest.(check string) "raw line" "tail" l2;
+  match Sink.line sink "after close" with
+  | exception _ -> ()
+  | () -> Alcotest.fail "write after close accepted"
+
+let suite =
+  [
+    Alcotest.test_case "json object round-trip" `Quick test_json_obj_and_parse;
+    Alcotest.test_case "json escape round-trip" `Quick
+      test_json_escapes_round_trip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "event codec round-trip" `Quick test_event_round_trip;
+    Alcotest.test_case "event rejects malformed" `Quick
+      test_event_rejects_malformed;
+    Alcotest.test_case "ring buffer eviction" `Quick
+      test_recorder_eviction_at_capacity;
+    Alcotest.test_case "recorder scoping" `Quick test_recorder_scope_prefixes_src;
+    Alcotest.test_case "registry" `Quick test_registry_counters_and_snapshot;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting_and_report;
+    Alcotest.test_case "engine events match metrics" `Quick
+      test_engine_events_match_metrics;
+    Alcotest.test_case "traced panel: no observer effect, j1 = j4" `Slow
+      test_traced_panel_matches_untraced_and_jobs;
+    Alcotest.test_case "sink" `Quick test_sink_file_and_null;
+  ]

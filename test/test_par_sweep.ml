@@ -65,7 +65,7 @@ let test_run_points_matches_sequential () =
   let seq =
     List.map
       (fun x ->
-        (x, Sweep.run_point ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.B ~x))
+        (x, Sweep.run_point ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.B ~x ()))
       [ 8; 16; 32 ]
   in
   let par =

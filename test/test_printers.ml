@@ -38,9 +38,12 @@ let test_prelude_printers () =
 
 let test_sim_printers () =
   let m = Metrics.create () in
-  m.arrivals <- 3;
-  m.accepted <- 2;
-  m.dropped <- 1;
+  Metrics.record_arrival m;
+  Metrics.record_arrival m;
+  Metrics.record_arrival m;
+  Metrics.record_accept m;
+  Metrics.record_accept m;
+  Metrics.record_drop m;
   nonempty "Metrics.pp" (render Metrics.pp m);
   let ports = Port_stats.create ~n:2 in
   Port_stats.record ports ~port:0 ~value:1;

@@ -108,9 +108,9 @@ let prop_reservation_invariant_under_load =
       List.iter
         (fun dest ->
           let below = Proc_switch.queue_length sw dest < reserve in
-          let before = inst.Instance.metrics.Metrics.dropped in
+          let before = (Metrics.dropped inst.Instance.metrics) in
           inst.Instance.arrive (Smbm_core.Arrival.make ~dest ());
-          let dropped = inst.Instance.metrics.Metrics.dropped > before in
+          let dropped = (Metrics.dropped inst.Instance.metrics) > before in
           if below && dropped then ok := false;
           inst.Instance.transmit ();
           inst.Instance.end_slot ())
@@ -138,7 +138,7 @@ let test_bridges_nest_and_lqd_under_hotspot () =
       ~params:{ Experiment.slots = 3_000; flush_every = None; check_every = None }
       ~workload:(Smbm_traffic.Workload.of_fun trace)
       [ inst ];
-    inst.Instance.metrics.Metrics.transmitted
+    (Metrics.transmitted inst.Instance.metrics)
   in
   let rsv = run (P_reserved.make ~reserve:2 config) in
   let nest = run (P_nest.make config) in

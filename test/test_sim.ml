@@ -6,23 +6,28 @@ open Smbm_sim
 
 let test_metrics_conservation () =
   let m = Metrics.create () in
-  m.arrivals <- 10;
-  m.accepted <- 7;
-  m.dropped <- 3;
-  m.transmitted <- 4;
-  m.pushed_out <- 1;
-  m.flushed <- 1;
+  for _ = 1 to 7 do
+    Metrics.record_arrival m;
+    Metrics.record_accept m
+  done;
+  for _ = 1 to 3 do
+    Metrics.record_arrival m;
+    Metrics.record_drop m
+  done;
+  Metrics.record_transmissions m ~count:4 ~value:4;
+  Metrics.record_push_out m;
+  Metrics.record_flush m 1;
   Metrics.check_conservation m;
   Alcotest.(check int) "in buffer" 1 (Metrics.in_buffer m);
-  m.dropped <- 2;
+  (* An extra drop without its arrival breaks arrivals = accepted + dropped. *)
+  Metrics.record_drop m;
   match Metrics.check_conservation m with
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "inconsistent metrics accepted"
 
 let test_metrics_throughput_objectives () =
   let m = Metrics.create () in
-  m.transmitted <- 5;
-  m.transmitted_value <- 17;
+  Metrics.record_transmissions m ~count:5 ~value:17;
   Alcotest.(check int) "packets" 5 (Metrics.throughput_of `Packets m);
   Alcotest.(check int) "value" 17 (Metrics.throughput_of `Value m)
 
@@ -41,9 +46,9 @@ let test_proc_engine_greedy_run () =
   Experiment.run
     ~params:{ Experiment.slots = 100; flush_every = None; check_every = Some 1 }
     ~workload:w [ inst ];
-  Alcotest.(check int) "arrivals" 200 inst.metrics.arrivals;
-  Alcotest.(check int) "transmitted" 200 inst.metrics.transmitted;
-  Alcotest.(check int) "dropped" 0 inst.metrics.dropped
+  Alcotest.(check int) "arrivals" 200 (Metrics.arrivals inst.metrics);
+  Alcotest.(check int) "transmitted" 200 (Metrics.transmitted inst.metrics);
+  Alcotest.(check int) "dropped" 0 (Metrics.dropped inst.metrics)
 
 let test_proc_engine_drop_counted () =
   let config = contiguous 2 2 in
@@ -53,8 +58,8 @@ let test_proc_engine_drop_counted () =
   Experiment.run
     ~params:{ Experiment.slots = 1; flush_every = None; check_every = Some 1 }
     ~workload:w [ inst ];
-  Alcotest.(check int) "accepted" 1 inst.metrics.accepted;
-  Alcotest.(check int) "dropped" 2 inst.metrics.dropped
+  Alcotest.(check int) "accepted" 1 (Metrics.accepted inst.metrics);
+  Alcotest.(check int) "dropped" 2 (Metrics.dropped inst.metrics)
 
 let test_proc_engine_push_out_counted () =
   let config = contiguous 2 2 in
@@ -73,11 +78,11 @@ let test_proc_engine_push_out_counted () =
   Experiment.run
     ~params:{ Experiment.slots = 1; flush_every = None; check_every = Some 1 }
     ~workload:w [ inst ];
-  Alcotest.(check int) "accepted" 3 inst.metrics.accepted;
-  Alcotest.(check int) "pushed out" 1 inst.metrics.pushed_out;
+  Alcotest.(check int) "accepted" 3 (Metrics.accepted inst.metrics);
+  Alcotest.(check int) "pushed out" 1 (Metrics.pushed_out inst.metrics);
   (* Transmission already ran: port 0's work-1 packet went out; the evicted
      queue kept a single packet. *)
-  Alcotest.(check int) "port 0 transmitted" 1 inst.metrics.transmitted;
+  Alcotest.(check int) "port 0 transmitted" 1 (Metrics.transmitted inst.metrics);
   Alcotest.(check int) "victim queue shrank" 1 (Proc_switch.queue_length sw 1)
 
 let test_proc_engine_rejects_illegal_push_out () =
@@ -100,9 +105,9 @@ let test_proc_engine_latency () =
     ~params:{ Experiment.slots = 3; flush_every = None; check_every = None }
     ~workload:w [ inst ];
   Alcotest.(check int) "latency samples" 1
-    (Smbm_prelude.Running_stats.count inst.metrics.latency);
+    (Smbm_prelude.Running_stats.count (Metrics.latency_stats inst.metrics));
   Alcotest.(check (float 1e-9)) "same-slot latency" 0.0
-    (Smbm_prelude.Running_stats.mean inst.metrics.latency)
+    (Smbm_prelude.Running_stats.mean (Metrics.latency_stats inst.metrics))
 
 let test_flushout () =
   let config = contiguous 1 4 in
@@ -116,8 +121,8 @@ let test_flushout () =
   Experiment.run
     ~params:{ Experiment.slots = 2; flush_every = Some 1; check_every = Some 1 }
     ~workload:w [ inst ];
-  Alcotest.(check int) "transmitted" 1 inst.metrics.transmitted;
-  Alcotest.(check int) "flushed" 2 inst.metrics.flushed;
+  Alcotest.(check int) "transmitted" 1 (Metrics.transmitted inst.metrics);
+  Alcotest.(check int) "flushed" 2 (Metrics.flushed inst.metrics);
   Alcotest.(check int) "in buffer" 0 (Metrics.in_buffer inst.metrics)
 
 (* --- Value engine --- *)
@@ -132,8 +137,8 @@ let test_value_engine_value_accounting () =
   Experiment.run
     ~params:{ Experiment.slots = 1; flush_every = None; check_every = Some 1 }
     ~workload:w [ inst ];
-  Alcotest.(check int) "packets" 2 inst.metrics.transmitted;
-  Alcotest.(check int) "value" 12 inst.metrics.transmitted_value
+  Alcotest.(check int) "packets" 2 (Metrics.transmitted inst.metrics);
+  Alcotest.(check int) "value" 12 (Metrics.transmitted_value inst.metrics)
 
 let test_value_engine_push_out () =
   let config = Value_config.make ~ports:1 ~max_value:9 ~buffer:1 () in
@@ -145,8 +150,8 @@ let test_value_engine_push_out () =
   Experiment.run
     ~params:{ Experiment.slots = 1; flush_every = None; check_every = Some 1 }
     ~workload:w [ inst ];
-  Alcotest.(check int) "pushed out" 1 inst.metrics.pushed_out;
-  Alcotest.(check int) "value kept" 5 inst.metrics.transmitted_value
+  Alcotest.(check int) "pushed out" 1 (Metrics.pushed_out inst.metrics);
+  Alcotest.(check int) "value kept" 5 (Metrics.transmitted_value inst.metrics)
 
 (* --- OPT reference --- *)
 
@@ -158,9 +163,9 @@ let test_opt_proc_smallest_first () =
   opt.arrive (Arrival.make ~dest:1 ());
   opt.arrive (Arrival.make ~dest:0 ());
   opt.transmit ();
-  Alcotest.(check int) "work-1 done first" 1 opt.metrics.transmitted;
+  Alcotest.(check int) "work-1 done first" 1 (Metrics.transmitted opt.metrics);
   opt.transmit ();
-  Alcotest.(check int) "work-2 done next" 2 opt.metrics.transmitted;
+  Alcotest.(check int) "work-2 done next" 2 (Metrics.transmitted opt.metrics);
   opt.check ()
 
 let test_opt_proc_admission_evicts_largest () =
@@ -170,11 +175,11 @@ let test_opt_proc_admission_evicts_largest () =
   opt.arrive (Arrival.make ~dest:2 ());
   (* Buffer full of work-3; a work-1 arrival evicts one. *)
   opt.arrive (Arrival.make ~dest:0 ());
-  Alcotest.(check int) "pushed out" 1 opt.metrics.pushed_out;
+  Alcotest.(check int) "pushed out" 1 (Metrics.pushed_out opt.metrics);
   Alcotest.(check int) "occupancy" 2 (opt.occupancy ());
   (* A work-3 arrival cannot displace anything better. *)
   opt.arrive (Arrival.make ~dest:2 ());
-  Alcotest.(check int) "dropped" 1 opt.metrics.dropped;
+  Alcotest.(check int) "dropped" 1 (Metrics.dropped opt.metrics);
   opt.check ()
 
 let test_opt_value_largest_first () =
@@ -183,7 +188,7 @@ let test_opt_value_largest_first () =
   opt.arrive (Arrival.make ~dest:0 ~value:2 ());
   opt.arrive (Arrival.make ~dest:0 ~value:7 ());
   opt.transmit ();
-  Alcotest.(check int) "value 7 first" 7 opt.metrics.transmitted_value;
+  Alcotest.(check int) "value 7 first" 7 (Metrics.transmitted_value opt.metrics);
   opt.check ()
 
 let test_opt_value_admission_evicts_min () =
@@ -192,9 +197,9 @@ let test_opt_value_admission_evicts_min () =
   opt.arrive (Arrival.make ~dest:0 ~value:1 ());
   opt.arrive (Arrival.make ~dest:0 ~value:2 ());
   opt.arrive (Arrival.make ~dest:0 ~value:9 ());
-  Alcotest.(check int) "pushed out the 1" 1 opt.metrics.pushed_out;
+  Alcotest.(check int) "pushed out the 1" 1 (Metrics.pushed_out opt.metrics);
   opt.arrive (Arrival.make ~dest:0 ~value:2 ());
-  Alcotest.(check int) "no gain, dropped" 1 opt.metrics.dropped;
+  Alcotest.(check int) "no gain, dropped" 1 (Metrics.dropped opt.metrics);
   opt.check ()
 
 (* OPT reference dominates every real policy on identical traffic: it relaxes
@@ -226,7 +231,7 @@ let prop_opt_dominates_policies =
             ~params:
               { Experiment.slots = total_slots; flush_every = None; check_every = None }
             ~workload:(Workload.of_slots slots_arr) [ alg; opt ];
-          opt.metrics.transmitted >= alg.metrics.transmitted)
+          (Metrics.transmitted opt.metrics) >= (Metrics.transmitted alg.metrics))
         (Policies.proc config))
 
 (* --- Experiment --- *)
@@ -241,15 +246,14 @@ let test_experiment_lockstep_shares_traffic () =
   Experiment.run
     ~params:{ Experiment.slots = 50; flush_every = None; check_every = Some 5 }
     ~workload:w [ a; b ];
-  Alcotest.(check int) "identical metrics" a.metrics.transmitted
-    b.metrics.transmitted;
-  Alcotest.(check int) "all arrivals seen once" 50 a.metrics.arrivals
+  Alcotest.(check int) "identical metrics" (Metrics.transmitted a.metrics)
+    (Metrics.transmitted b.metrics);
+  Alcotest.(check int) "all arrivals seen once" 50 (Metrics.arrivals a.metrics)
 
 let test_experiment_ratio () =
   let mk name transmitted =
     let m = Metrics.create () in
-    m.transmitted <- transmitted;
-    m.transmitted_value <- 2 * transmitted;
+    Metrics.record_transmissions m ~count:transmitted ~value:(2 * transmitted);
     {
       Instance.name;
       arrive = (fun _ -> ());
@@ -301,7 +305,7 @@ let tiny_base =
   }
 
 let test_sweep_run_point_sane () =
-  let ratios = Sweep.run_point ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.K ~x:4 in
+  let ratios = Sweep.run_point ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.K ~x:4 () in
   Alcotest.(check int) "seven policies" 7 (List.length ratios);
   List.iter
     (fun (name, r) ->

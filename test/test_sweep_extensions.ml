@@ -32,7 +32,7 @@ let test_detailed_fields_sane () =
 
 let test_detailed_matches_plain_ratio () =
   let plain =
-    Sweep.run_point ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.K ~x:4
+    Sweep.run_point ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.K ~x:4 ()
   in
   let detailed =
     Sweep.run_point_detailed ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.K
@@ -65,7 +65,7 @@ let test_replicated_single_seed_matches_run_point () =
   let plain =
     Sweep.run_point
       ~base:{ tiny_base with Sweep.seed = 9 }
-      ~model:Sweep.Proc ~axis:Sweep.K ~x:4
+      ~model:Sweep.Proc ~axis:Sweep.K ~x:4 ()
   in
   let reps =
     Sweep.run_point_replicated ~base:tiny_base ~model:Sweep.Proc ~axis:Sweep.K

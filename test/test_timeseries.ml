@@ -86,8 +86,8 @@ let test_wrapped_instance_transparent () =
     ~params:{ Experiment.slots = 50; flush_every = Some 10; check_every = Some 1 }
     ~workload:w2 [ wrapped ];
   Alcotest.(check int) "identical transmissions"
-    plain.Instance.metrics.Metrics.transmitted
-    wrapped.Instance.metrics.Metrics.transmitted
+    (Metrics.transmitted plain.Instance.metrics)
+    (Metrics.transmitted wrapped.Instance.metrics)
 
 let suite =
   [
