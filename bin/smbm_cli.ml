@@ -836,6 +836,134 @@ let certify_cmd =
          "Run the paper's Theorem 7 mapping routine (Fig. 3) live: LWD against a non-push-out opponent with the charging invariants checked at every event.")
     Term.(const run_certify $ common_term $ opponent)
 
+(* ----- bench-diff ----- *)
+
+let load_bench_metrics path =
+  let ic = open_in path in
+  let metrics = ref [] in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then begin
+         match Smbm_obs.Json.parse_flat line with
+         | Error msg ->
+           close_in ic;
+           failwith (Printf.sprintf "%s:%d: %s" path !line_no msg)
+         | Ok fields -> (
+           match
+             (List.assoc_opt "metric" fields, List.assoc_opt "value" fields)
+           with
+           | Some (Smbm_obs.Json.Str name), Some (Smbm_obs.Json.Float v) ->
+             metrics := (name, v) :: !metrics
+           | Some (Smbm_obs.Json.Str name), Some (Smbm_obs.Json.Int v) ->
+             metrics := (name, float_of_int v) :: !metrics
+           | _ -> ())
+       end
+     done
+   with End_of_file -> close_in ic);
+  List.rev !metrics
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let run_bench_diff baseline current tolerance cap slack mrd_floor =
+  let base = load_bench_metrics baseline
+  and cur = load_bench_metrics current in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* Raw arrivals/sec are machine-dependent; the indexed/scan speedup
+     ratios transfer between machines, so the regression gate compares
+     those.  Ratios are saturated at [cap] before comparison: beyond it
+     the indexed run's wall time is so short that the exact magnitude is
+     timing noise, while any real regression (an accidental O(n) rescan)
+     collapses the ratio toward 1x and is caught regardless. *)
+  let speedups = List.filter (fun (n, _) -> has_suffix ~suffix:"/speedup" n) base in
+  if speedups = [] then fail "%s: no */speedup metrics" baseline;
+  Printf.printf "%-32s %9s %9s %8s\n" "metric" "baseline" "current" "delta";
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name cur with
+      | None -> fail "%s: missing from %s" name current
+      | Some c ->
+        Printf.printf "%-32s %8.2fx %8.2fx %+7.1f%%\n" name b c
+          ((c -. b) /. b *. 100.0);
+        let b = Float.min b cap and c = Float.min c cap in
+        (* [slack] absorbs run-to-run jitter that a pure percentage cannot:
+           a 2x ratio legitimately wobbles by a few tenths between runs. *)
+        if c < (b *. (1.0 -. tolerance)) -. slack then
+          fail "%s regressed: %.2fx -> %.2fx (tolerance %.0f%% + %.1f, cap %.1fx)"
+            name b c (tolerance *. 100.0) slack cap)
+    speedups;
+  (* Absolute acceptance floor: the full-buffer MRD hot path at n = 256
+     must stay at least [mrd_floor] times faster than the rescans. *)
+  let floor_metric = "hotpath/value/MRD/n256/speedup" in
+  (match List.assoc_opt floor_metric cur with
+  | Some c when c < mrd_floor ->
+    fail "%s = %.2fx below the %.1fx floor" floor_metric c mrd_floor
+  | Some _ -> ()
+  | None -> fail "%s missing from %s" floor_metric current);
+  match !failures with
+  | [] -> Printf.printf "bench-diff: %d speedup ratios within tolerance\n"
+            (List.length speedups)
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "bench-diff: %s\n" f) (List.rev fs);
+    exit 1
+
+let bench_diff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Committed benchmark JSONL (the reference).")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Freshly generated benchmark JSONL.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.2
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Allowed relative regression of each speedup ratio (default 0.2 = 20%).")
+  in
+  let cap =
+    Arg.(
+      value & opt float 4.0
+      & info [ "cap" ] ~docv:"X"
+          ~doc:
+            "Saturate speedup ratios at $(docv) before comparing: very large \
+             ratios are timing-noise-dominated, and a real regression drags \
+             them below the cap anyway (default 4.0).")
+  in
+  let slack =
+    Arg.(
+      value & opt float 0.3
+      & info [ "slack" ] ~docv:"X"
+          ~doc:
+            "Absolute jitter allowance subtracted from each gate threshold \
+             (default 0.3).")
+  in
+  let mrd_floor =
+    Arg.(
+      value & opt float 2.0
+      & info [ "mrd-floor" ] ~docv:"X"
+          ~doc:"Minimum indexed/scan speedup for value-model MRD at n=256.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two $(b,bench/hotpath.exe) outputs and fail on speedup-ratio \
+          regressions beyond the tolerance (CI gate against the committed \
+          BENCH_hotpath.json).")
+    Term.(
+      const run_bench_diff $ baseline $ current $ tolerance $ cap $ slack
+      $ mrd_floor)
+
 let () =
   let doc = "shared-memory buffer management for heterogeneous packet processing" in
   let info = Cmd.info "smbm_cli" ~version:"1.0.0" ~doc in
@@ -845,5 +973,5 @@ let () =
           [
             policies_cmd; compare_cmd; simulate_cmd; figure_cmd;
             lowerbound_cmd; trace_cmd; trace_validate_cmd; certify_cmd;
-            sweep_cmd;
+            sweep_cmd; bench_diff_cmd;
           ]))

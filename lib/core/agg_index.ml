@@ -1,0 +1,77 @@
+(* Tournament tree over queue indices 0 .. n-1.
+
+   Internal nodes store the *index* of the winning leaf, never a key: the
+   comparator reads the live switch state of the two candidates, so the only
+   maintenance obligation is to re-run the matches on an element's root path
+   after that element's state changes ([invalidate]).  Matches elsewhere in
+   the tree compare unchanged elements and therefore keep their outcome.
+
+   [better] must be a strict total order over 0 .. n-1 (callers end every
+   comparison chain with an index comparison), which makes the winner of a
+   match independent of argument order and the tree's root equal to the
+   unique maximum — the same element a left-to-right scan with the matching
+   tie convention selects. *)
+
+type t = {
+  n : int;
+  leaves : int;  (* power of two >= n (>= 1); leaf j lives at [leaves + j] *)
+  tree : int array;  (* 2 * leaves slots; root at 1; -1 = no element *)
+  better : int -> int -> bool;
+}
+
+let combine t a b =
+  if a < 0 then b else if b < 0 then a else if t.better a b then a else b
+
+let refresh t =
+  for i = t.leaves - 1 downto 1 do
+    t.tree.(i) <- combine t t.tree.(2 * i) t.tree.((2 * i) + 1)
+  done
+
+let create ~n ~better =
+  if n < 1 then invalid_arg "Agg_index.create: n must be >= 1";
+  let leaves = ref 1 in
+  while !leaves < n do
+    leaves := !leaves * 2
+  done;
+  let leaves = !leaves in
+  let tree =
+    Array.init (2 * leaves) (fun i ->
+        if i >= leaves && i - leaves < n then i - leaves else -1)
+  in
+  let t = { n; leaves; tree; better } in
+  refresh t;
+  t
+
+let n t = t.n
+
+let invalidate t j =
+  if j < 0 || j >= t.n then invalid_arg "Agg_index.invalidate: bad index";
+  let i = ref ((t.leaves + j) / 2) in
+  while !i >= 1 do
+    t.tree.(!i) <- combine t t.tree.(2 * !i) t.tree.((2 * !i) + 1);
+    i := !i / 2
+  done
+
+let top t = t.tree.(1)
+
+let top_excluding t j =
+  if j < 0 || j >= t.n then invalid_arg "Agg_index.top_excluding: bad index";
+  (* Winner over every leaf except [j]: climb j's root path, folding in the
+     sibling subtree's stored winner at each level. *)
+  let i = ref (t.leaves + j) in
+  let best = ref (-1) in
+  while !i > 1 do
+    best := combine t !best t.tree.(!i lxor 1);
+    i := !i / 2
+  done;
+  !best
+
+let check t =
+  for i = 1 to t.leaves - 1 do
+    let w = combine t t.tree.(2 * i) t.tree.((2 * i) + 1) in
+    if w <> t.tree.(i) then
+      invalid_arg
+        (Printf.sprintf
+           "Agg_index.check: stale match at node %d (holds %d, expects %d)" i
+           t.tree.(i) w)
+  done

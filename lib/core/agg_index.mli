@@ -1,0 +1,42 @@
+(** Incremental argmax over queue indices: a tournament tree whose matches
+    are decided by a caller-supplied comparator reading live switch state.
+
+    The switches maintain one of these per registered victim-selection key
+    (see {!Proc_switch.find_index} / {!Value_switch.find_index}): a queue
+    mutation re-runs the O(log n) matches on that queue's root path, and a
+    policy reads the argmax — or the argmax excluding the destination
+    queue — in O(log n) instead of rescanning all n queues.
+
+    Internal nodes store winner {e indices}, not keys, so the comparator may
+    read mutable per-queue aggregates (lengths, total work, cached minimum
+    values); the contract is only that after any queue's state changes,
+    {!invalidate} is called for it before the next query. *)
+
+type t
+
+val create : n:int -> better:(int -> int -> bool) -> t
+(** A tree over elements [0 .. n-1].  [better a b] must implement a strict
+    total order (resolve ties by index), so that the tree's winner is the
+    unique maximum.  The tree is built immediately from the current state.
+    @raise Invalid_argument if [n < 1]. *)
+
+val n : t -> int
+
+val invalidate : t -> int -> unit
+(** Re-run the matches on element [j]'s root path after its state changed.
+    O(log n). *)
+
+val refresh : t -> unit
+(** Re-run every match (after a bulk change such as a flushout).  O(n). *)
+
+val top : t -> int
+(** The current overall winner (the unique [better]-maximum). *)
+
+val top_excluding : t -> int -> int
+(** The winner among all elements except the given one; [-1] when [n = 1].
+    O(log n), read-only. *)
+
+val check : t -> unit
+(** Verify every stored match outcome against a fresh comparison — detects
+    missed invalidations.  Test hook.
+    @raise Invalid_argument on an inconsistency. *)

@@ -1,29 +1,82 @@
-let select_victim ~protect_last sw =
+(* argmax over eligible queues of (per-packet work, length, index); no
+   virtual add — BPD's victim does not depend on the arrival.  The scan's
+   replacement on [key >= best] keeps the largest index among full ties;
+   the indexed path reproduces the same choice from the switch's
+   incremental index.  All comparisons are explicit integer comparisons. *)
+
+let select_victim_scan ~protect_last sw =
   let min_len = if protect_last then 2 else 1 in
-  let best = ref None and best_key = ref (min_int, min_int) in
+  let best = ref (-1) and best_work = ref min_int and best_len = ref min_int in
   for j = 0 to Proc_switch.n sw - 1 do
     let len = Proc_switch.queue_length sw j in
     if len >= min_len then begin
-      let key = (Proc_switch.port_work sw j, len) in
-      if key >= !best_key then begin
-        best := Some j;
-        best_key := key
+      let work = Proc_switch.port_work sw j in
+      if work > !best_work || (work = !best_work && len >= !best_len) then begin
+        best := j;
+        best_work := work;
+        best_len := len
       end
     end
   done;
-  !best
+  if !best < 0 then None else Some !best
 
-let make ?(protect_last = false) _config =
+let index ~protect_last sw =
+  let min_len = if protect_last then 2 else 1 in
+  Proc_switch.find_index sw
+    ~key:(if protect_last then "bpd:protect" else "bpd")
+    ~better:(fun a b ->
+      let ea = Proc_switch.queue_length sw a >= min_len
+      and eb = Proc_switch.queue_length sw b >= min_len in
+      if ea <> eb then ea
+      else if not ea then a > b
+      else begin
+        let wa = Proc_switch.port_work sw a
+        and wb = Proc_switch.port_work sw b in
+        wa > wb
+        || wa = wb
+           &&
+           let la = Proc_switch.queue_length sw a
+           and lb = Proc_switch.queue_length sw b in
+           la > lb || (la = lb && a > b)
+      end)
+
+let select_victim_indexed ~protect_last idx sw =
+  let min_len = if protect_last then 2 else 1 in
+  let c = Agg_index.top idx in
+  if c < 0 || Proc_switch.queue_length sw c < min_len then None else Some c
+
+let select_victim ~protect_last sw =
+  select_victim_indexed ~protect_last (index ~protect_last sw) sw
+
+let make ?(protect_last = false) ?(impl = `Indexed) _config =
   let name = if protect_last then "BPD1" else "BPD" in
+  let select =
+    match impl with
+    | `Scan -> select_victim_scan ~protect_last
+    | `Indexed ->
+      let cache = ref None in
+      fun sw ->
+        let idx =
+          match !cache with
+          | Some (sw', idx) when sw' == sw -> idx
+          | Some _ | None ->
+            let idx = index ~protect_last sw in
+            cache := Some (sw, idx);
+            idx
+        in
+        select_victim_indexed ~protect_last idx sw
+  in
   Proc_policy.make ~name ~push_out:true (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d
       | None -> (
-        match select_victim ~protect_last sw with
+        match select sw with
         | None -> Decision.Drop
         | Some victim ->
-          (* "i <= j" in the work-sorted port order. *)
-          let arriving = (Proc_switch.port_work sw dest, dest)
-          and target = (Proc_switch.port_work sw victim, victim) in
-          if arriving <= target then Decision.Push_out { victim }
+          (* "i <= j" in the work-sorted port order, i.e. the arriving
+             packet's (work, port) does not come after the victim's. *)
+          let aw = Proc_switch.port_work sw dest
+          and vw = Proc_switch.port_work sw victim in
+          if aw < vw || (aw = vw && dest <= victim) then
+            Decision.Push_out { victim }
           else Decision.Drop))

@@ -5,7 +5,7 @@
     with the largest per-packet work loses its tail, provided the arriving
     packet's port does not come after the victim's in the work-sorted port
     order (the paper's "i <= j" with ports sorted by required work; here
-    realised as a lexicographic comparison on (work, port index)).
+    realised as an explicit comparison on (work, port index)).
 
     Theorem 5: at least [(ln k + gamma)]-competitive.
 
@@ -13,9 +13,18 @@
     pushes out the last packet of a queue (victims must hold at least two
     packets), avoiding the artificial deactivation of output ports. *)
 
-val make : ?protect_last:bool -> Proc_config.t -> Proc_policy.t
+val make :
+  ?protect_last:bool -> ?impl:[ `Indexed | `Scan ] -> Proc_config.t ->
+  Proc_policy.t
+(** [~impl] picks the victim selection: [`Indexed] (default) reads the
+    argmax off the switch's incremental index in O(log n); [`Scan] keeps
+    the original O(n) rescans.  Both make bit-identical decisions. *)
 
 val select_victim : protect_last:bool -> Proc_switch.t -> int option
 (** The queue BPD would evict from: the non-empty (length >= 2 when
     protecting last packets) queue with maximal work, ties towards the
     longer queue, then the larger index.  Exposed for tests. *)
+
+val select_victim_scan : protect_last:bool -> Proc_switch.t -> int option
+(** Reference O(n) scan implementation of {!select_victim}; the
+    differential oracle compares the two. *)

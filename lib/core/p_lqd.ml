@@ -1,24 +1,76 @@
 (* argmax over queues of (virtual length, work, index); the virtual length
-   counts the arriving packet as already added to [dest]. *)
-let select_victim sw ~dest =
-  let best = ref 0 and best_key = ref (min_int, min_int) in
+   counts the arriving packet as already added to [dest].
+
+   The left-to-right scan with replacement on [key >= best] — which keeps
+   the largest index among full ties — is the decision contract.  The
+   indexed path answers the same argmax in O(log n) from the switch's
+   incremental index; [select_victim_scan] keeps the original O(n) scan as
+   the reference oracle the differential tests compare against.  All key
+   comparisons are explicit integer comparisons (no tuple allocation on the
+   hot path). *)
+
+let select_victim_scan sw ~dest =
+  let best = ref 0 and best_len = ref min_int and best_work = ref min_int in
   for j = 0 to Proc_switch.n sw - 1 do
-    let len =
-      Proc_switch.queue_length sw j + if j = dest then 1 else 0
-    in
-    let key = (len, Proc_switch.port_work sw j) in
-    (* Strict >= on equal keys keeps the largest index among full ties. *)
-    if key >= !best_key then begin
+    let len = Proc_switch.queue_length sw j + if j = dest then 1 else 0 in
+    let work = Proc_switch.port_work sw j in
+    (* >= on equal keys keeps the largest index among full ties. *)
+    if len > !best_len || (len = !best_len && work >= !best_work) then begin
       best := j;
-      best_key := key
+      best_len := len;
+      best_work := work
     end
   done;
   !best
 
-let make _config =
+let index sw =
+  Proc_switch.find_index sw ~key:"lqd" ~better:(fun a b ->
+      let la = Proc_switch.queue_length sw a
+      and lb = Proc_switch.queue_length sw b in
+      la > lb
+      || la = lb
+         &&
+         let wa = Proc_switch.port_work sw a
+         and wb = Proc_switch.port_work sw b in
+         wa > wb || (wa = wb && a > b))
+
+let select_victim_indexed idx sw ~dest =
+  let c = Agg_index.top_excluding idx dest in
+  if c < 0 then dest
+  else begin
+    let dlen = Proc_switch.queue_length sw dest + 1 in
+    let clen = Proc_switch.queue_length sw c in
+    if clen > dlen then c
+    else if clen < dlen then dest
+    else begin
+      let cw = Proc_switch.port_work sw c
+      and dw = Proc_switch.port_work sw dest in
+      if cw > dw || (cw = dw && c > dest) then c else dest
+    end
+  end
+
+let select_victim sw ~dest = select_victim_indexed (index sw) sw ~dest
+
+let make ?(impl = `Indexed) _config =
+  let select =
+    match impl with
+    | `Scan -> fun sw ~dest -> select_victim_scan sw ~dest
+    | `Indexed ->
+      let cache = ref None in
+      fun sw ~dest ->
+        let idx =
+          match !cache with
+          | Some (sw', idx) when sw' == sw -> idx
+          | Some _ | None ->
+            let idx = index sw in
+            cache := Some (sw, idx);
+            idx
+        in
+        select_victim_indexed idx sw ~dest
+  in
   Proc_policy.make ~name:"LQD" ~push_out:true (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d
       | None ->
-        let victim = select_victim sw ~dest in
+        let victim = select sw ~dest in
         if victim <> dest then Decision.Push_out { victim } else Decision.Drop)

@@ -10,8 +10,16 @@
     2-competitive under homogeneous processing; Theorem 4 shows it is at
     least [sqrt k]-competitive under heterogeneous processing. *)
 
-val make : Proc_config.t -> Proc_policy.t
+val make : ?impl:[ `Indexed | `Scan ] -> Proc_config.t -> Proc_policy.t
+(** [`Indexed] (the default) answers each victim selection in O(log n) from
+    the switch's incremental index; [`Scan] keeps the reference O(n) scan.
+    Both are decision-identical — [`Scan] exists for differential tests and
+    the hot-path benchmark. *)
 
 val select_victim : Proc_switch.t -> dest:int -> int
 (** The queue index LQD would evict from (may equal [dest], meaning drop);
     exposed for tests. *)
+
+val select_victim_scan : Proc_switch.t -> dest:int -> int
+(** The original O(n) scan; the oracle the indexed selection is tested
+    against. *)

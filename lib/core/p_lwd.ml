@@ -2,37 +2,101 @@ type tie = Largest_work | Smallest_work | Longest_queue
 
 (* argmax over queues of (virtual total work, tie key, index); the virtual
    total counts the arriving packet's full work as already added to
-   [dest]. *)
-let select_victim ?(protect_last = false) ?(tie = Largest_work) sw ~dest =
-  let best = ref None and best_key = ref (min_int, min_int) in
+   [dest].
+
+   Tie rule: among queues of equal virtual total work, the larger tie key
+   wins, and among fully equal keys the larger port index wins — the scan
+   realises this with replacement on [key >= best] while iterating
+   j = 0 .. n-1, and every comparison below is an explicit integer
+   comparison (no polymorphic compare, no tuple allocation).  The indexed
+   path must reproduce this choice bit-for-bit; [select_victim_scan] keeps
+   the original O(n) scan as the reference oracle. *)
+
+let tie_key ~tie sw j =
+  match tie with
+  | Largest_work -> Proc_switch.port_work sw j
+  | Smallest_work -> -Proc_switch.port_work sw j
+  | Longest_queue -> Proc_switch.queue_length sw j
+
+let select_victim_scan ?(protect_last = false) ?(tie = Largest_work) sw ~dest =
+  let min_len = if protect_last then 2 else 1 in
+  let best = ref (-1) and best_work = ref min_int and best_tie = ref min_int in
   for j = 0 to Proc_switch.n sw - 1 do
     let eligible =
       (* A queue is an eligible victim if a push-out would be legal (it is
          non-empty, with at least 2 packets under protection) or if it is
          the destination itself (whose selection means "drop"). *)
-      j = dest
-      || Proc_switch.queue_length sw j >= if protect_last then 2 else 1
+      j = dest || Proc_switch.queue_length sw j >= min_len
     in
     if eligible then begin
       let work_total =
         Proc_switch.queue_work sw j
         + if j = dest then Proc_switch.port_work sw dest else 0
       in
-      let tie_key =
-        match tie with
-        | Largest_work -> Proc_switch.port_work sw j
-        | Smallest_work -> -Proc_switch.port_work sw j
-        | Longest_queue ->
-          Proc_switch.queue_length sw j + if j = dest then 1 else 0
-      in
-      let key = (work_total, tie_key) in
-      if key >= !best_key then begin
-        best := Some j;
-        best_key := key
+      let tk = tie_key ~tie sw j + if tie = Longest_queue && j = dest then 1 else 0 in
+      if
+        work_total > !best_work
+        || (work_total = !best_work && tk >= !best_tie)
+      then begin
+        best := j;
+        best_work := work_total;
+        best_tie := tk
       end
     end
   done;
-  !best
+  if !best < 0 then None else Some !best
+
+let key_name ~protect_last ~tie =
+  match (protect_last, tie) with
+  | false, Largest_work -> "lwd"
+  | true, Largest_work -> "lwd:protect"
+  | false, Smallest_work -> "lwd:small-work"
+  | true, Smallest_work -> "lwd:protect:small-work"
+  | false, Longest_queue -> "lwd:long-queue"
+  | true, Longest_queue -> "lwd:protect:long-queue"
+
+let index ~protect_last ~tie sw =
+  let min_len = if protect_last then 2 else 1 in
+  Proc_switch.find_index sw ~key:(key_name ~protect_last ~tie)
+    ~better:(fun a b ->
+      let ea = Proc_switch.queue_length sw a >= min_len
+      and eb = Proc_switch.queue_length sw b >= min_len in
+      if ea <> eb then ea
+      else if not ea then a > b
+      else begin
+        let wa = Proc_switch.queue_work sw a
+        and wb = Proc_switch.queue_work sw b in
+        wa > wb
+        || wa = wb
+           &&
+           let ta = tie_key ~tie sw a and tb = tie_key ~tie sw b in
+           ta > tb || (ta = tb && a > b)
+      end)
+
+let select_victim_indexed ~protect_last ~tie idx sw ~dest =
+  let min_len = if protect_last then 2 else 1 in
+  (* The destination is always eligible (selecting it means "drop"), with
+     the arriving packet's work virtually added; every other queue competes
+     with its actual aggregates via the index. *)
+  let dw = Proc_switch.queue_work sw dest + Proc_switch.port_work sw dest in
+  let dt =
+    tie_key ~tie sw dest + if tie = Longest_queue then 1 else 0
+  in
+  let c = Agg_index.top_excluding idx dest in
+  if c < 0 || Proc_switch.queue_length sw c < min_len then Some dest
+  else begin
+    let cw = Proc_switch.queue_work sw c in
+    if cw > dw then Some c
+    else if cw < dw then Some dest
+    else begin
+      let ct = tie_key ~tie sw c in
+      if ct > dt || (ct = dt && c > dest) then Some c else Some dest
+    end
+  end
+
+let select_victim ?(protect_last = false) ?(tie = Largest_work) sw ~dest =
+  select_victim_indexed ~protect_last ~tie (index ~protect_last ~tie sw) sw
+    ~dest
 
 let name ~protect_last ~tie =
   let base = if protect_last then "LWD1" else "LWD" in
@@ -41,12 +105,29 @@ let name ~protect_last ~tie =
   | Smallest_work -> base ^ "/tie=small-work"
   | Longest_queue -> base ^ "/tie=long-queue"
 
-let make ?(protect_last = false) ?(tie = Largest_work) _config =
+let make ?(protect_last = false) ?(tie = Largest_work) ?(impl = `Indexed)
+    _config =
+  let select =
+    match impl with
+    | `Scan -> fun sw ~dest -> select_victim_scan ~protect_last ~tie sw ~dest
+    | `Indexed ->
+      let cache = ref None in
+      fun sw ~dest ->
+        let idx =
+          match !cache with
+          | Some (sw', idx) when sw' == sw -> idx
+          | Some _ | None ->
+            let idx = index ~protect_last ~tie sw in
+            cache := Some (sw, idx);
+            idx
+        in
+        select_victim_indexed ~protect_last ~tie idx sw ~dest
+  in
   Proc_policy.make ~name:(name ~protect_last ~tie) ~push_out:true
     (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d
       | None -> (
-        match select_victim ~protect_last ~tie sw ~dest with
+        match select sw ~dest with
         | Some victim when victim <> dest -> Decision.Push_out { victim }
         | Some _ | None -> Decision.Drop))

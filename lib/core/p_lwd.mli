@@ -23,12 +23,25 @@ type tie =
   | Smallest_work
   | Longest_queue
 
-val make : ?protect_last:bool -> ?tie:tie -> Proc_config.t -> Proc_policy.t
+val make :
+  ?protect_last:bool ->
+  ?tie:tie ->
+  ?impl:[ `Indexed | `Scan ] ->
+  Proc_config.t ->
+  Proc_policy.t
 (** The policy is named ["LWD"], ["LWD1"] when protecting last packets, and
-    ["LWD/tie=..."] for non-default tie-breaking. *)
+    ["LWD/tie=..."] for non-default tie-breaking.  [~impl] picks the victim
+    selection: [`Indexed] (default) answers the argmax in O(log n) from the
+    switch's incremental index; [`Scan] keeps the original O(n) rescans.
+    Both make bit-identical decisions. *)
 
 val select_victim :
   ?protect_last:bool -> ?tie:tie -> Proc_switch.t -> dest:int -> int option
 (** The queue LWD would evict from; [Some dest] means drop, [None] (possible
     only when protecting last packets) means no eligible victim.  Exposed
     for tests. *)
+
+val select_victim_scan :
+  ?protect_last:bool -> ?tie:tie -> Proc_switch.t -> dest:int -> int option
+(** Reference O(n) scan implementation of {!select_victim}; the
+    differential oracle compares the two. *)

@@ -2,7 +2,16 @@ open Smbm_prelude
 
 let pick_nonempty rng ~n ~length ~dest =
   (* Reservoir-sample a uniform index among queues that are non-empty or the
-     (virtually occupied) destination. *)
+     (virtually occupied) destination.
+
+     Deliberately NOT routed through the switch's incremental victim
+     indexes: reservoir sampling draws one random number per candidate, so
+     the rng stream consumption — and with it every subsequent random
+     decision — depends on the number of non-empty queues at each arrival.
+     Any O(log n) replacement (e.g. sampling a rank and selecting against a
+     count index) would draw differently and change the policy's decision
+     trace.  RAND is a baseline, not a hot-path policy; bit-identical
+     replay matters more than its scan cost. *)
   let chosen = ref (-1) and seen = ref 0 in
   for j = 0 to n - 1 do
     if length j > 0 || j = dest then begin

@@ -1,12 +1,125 @@
-let make ~reserve config =
+(* Two victim selections, one per admission branch, both answered from
+   incremental indexes in O(log n) (with the original O(n) scans kept as
+   the reference oracle under [~impl:`Scan]):
+
+   - pool branch (arrival's queue at/above its reservation): argmax over
+     all queues of (pool overflow with the arrival virtually added to
+     [dest], port work, index) — replacement on [key >= best], so full
+     ties keep the largest index;
+
+   - reclaim branch (arrival still inside its reservation): argmax over
+     queues other than [dest] of (pool overflow, port work), eligible only
+     with positive overflow — replacement on strict [key > best] seeded at
+     [(0, max_int)], so full ties keep the *smallest* index.
+
+   All comparisons are explicit integer comparisons. *)
+
+(* Pool slots used by queue j: packets above its reservation. *)
+let overflow ~reserve sw j ~dest =
+  let len = Proc_switch.queue_length sw j + if j = dest then 1 else 0 in
+  max 0 (len - reserve)
+
+let select_pool_victim_scan ~reserve sw ~dest =
+  let best = ref 0 and best_ov = ref min_int and best_work = ref min_int in
+  for j = 0 to Proc_switch.n sw - 1 do
+    let ov = overflow ~reserve sw j ~dest
+    and work = Proc_switch.port_work sw j in
+    if ov > !best_ov || (ov = !best_ov && work >= !best_work) then begin
+      best := j;
+      best_ov := ov;
+      best_work := work
+    end
+  done;
+  !best
+
+let select_reclaim_victim_scan ~reserve sw ~dest =
+  let best = ref (-1) and best_ov = ref 0 and best_work = ref max_int in
+  for j = 0 to Proc_switch.n sw - 1 do
+    if j <> dest then begin
+      let ov = overflow ~reserve sw j ~dest
+      and work = Proc_switch.port_work sw j in
+      if ov > !best_ov || (ov = !best_ov && work > !best_work) then begin
+        best := j;
+        best_ov := ov;
+        best_work := work
+      end
+    end
+  done;
+  !best
+
+let pool_index ~reserve sw =
+  Proc_switch.find_index sw
+    ~key:(Printf.sprintf "rsv:%d" reserve)
+    ~better:(fun a b ->
+      let ova = max 0 (Proc_switch.queue_length sw a - reserve)
+      and ovb = max 0 (Proc_switch.queue_length sw b - reserve) in
+      ova > ovb
+      || ova = ovb
+         &&
+         let wa = Proc_switch.port_work sw a
+         and wb = Proc_switch.port_work sw b in
+         wa > wb || (wa = wb && a > b))
+
+let reclaim_index ~reserve sw =
+  Proc_switch.find_index sw
+    ~key:(Printf.sprintf "rsv-reclaim:%d" reserve)
+    ~better:(fun a b ->
+      let ova = max 0 (Proc_switch.queue_length sw a - reserve)
+      and ovb = max 0 (Proc_switch.queue_length sw b - reserve) in
+      ova > ovb
+      || ova = ovb
+         &&
+         let wa = Proc_switch.port_work sw a
+         and wb = Proc_switch.port_work sw b in
+         (* Strict-[>] scan: full ties keep the smallest index. *)
+         wa > wb || (wa = wb && a < b))
+
+let select_pool_victim_indexed ~reserve idx sw ~dest =
+  let c = Agg_index.top_excluding idx dest in
+  if c < 0 then dest
+  else begin
+    let dov = overflow ~reserve sw dest ~dest
+    and cov = max 0 (Proc_switch.queue_length sw c - reserve) in
+    if cov > dov then c
+    else if cov < dov then dest
+    else begin
+      let cw = Proc_switch.port_work sw c
+      and dw = Proc_switch.port_work sw dest in
+      if cw > dw || (cw = dw && c > dest) then c else dest
+    end
+  end
+
+let select_reclaim_victim_indexed ~reserve idx sw ~dest =
+  let c = Agg_index.top_excluding idx dest in
+  if c < 0 || max 0 (Proc_switch.queue_length sw c - reserve) = 0 then -1
+  else c
+
+let make ~reserve ?(impl = `Indexed) config =
   if reserve < 0 then invalid_arg "P_reserved.make: negative reserve";
   if Proc_config.n config * reserve > config.Proc_config.buffer then
     invalid_arg "P_reserved.make: reservations exceed the buffer";
   let name = Printf.sprintf "RSV(%d)" reserve in
-  (* Pool slots used by queue j: packets above its reservation. *)
-  let overflow sw j ~dest =
-    let len = Proc_switch.queue_length sw j + if j = dest then 1 else 0 in
-    max 0 (len - reserve)
+  let select_pool, select_reclaim =
+    match impl with
+    | `Scan ->
+      (select_pool_victim_scan ~reserve, select_reclaim_victim_scan ~reserve)
+    | `Indexed ->
+      let cache = ref None in
+      let indexes sw =
+        match !cache with
+        | Some (sw', pool, reclaim) when sw' == sw -> (pool, reclaim)
+        | Some _ | None ->
+          let pool = pool_index ~reserve sw
+          and reclaim = reclaim_index ~reserve sw in
+          cache := Some (sw, pool, reclaim);
+          (pool, reclaim)
+      in
+      ( (fun sw ~dest ->
+          let pool, _ = indexes sw in
+          select_pool_victim_indexed ~reserve pool sw ~dest),
+        fun sw ~dest ->
+          let _, reclaim = indexes sw in
+          select_reclaim_victim_indexed ~reserve reclaim sw ~dest )
   in
   Proc_policy.make ~name ~push_out:true (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
@@ -17,16 +130,8 @@ let make ~reserve config =
         if Proc_switch.queue_length sw dest >= reserve then begin
           (* The arrival itself would take a pool slot: evict from the queue
              using the most pool slots (LQD over the pool, virtual add). *)
-          let best = ref 0 and best_key = ref (min_int, min_int) in
-          for j = 0 to Proc_switch.n sw - 1 do
-            let key = (overflow sw j ~dest, Proc_switch.port_work sw j) in
-            if key >= !best_key then begin
-              best := j;
-              best_key := key
-            end
-          done;
-          let victim = !best in
-          if victim <> dest && overflow sw victim ~dest > 0 then
+          let victim = select_pool sw ~dest in
+          if victim <> dest && overflow ~reserve sw victim ~dest > 0 then
             Decision.Push_out { victim }
           else Decision.Drop
         end
@@ -34,18 +139,7 @@ let make ~reserve config =
           (* Reserved slot owed to this arrival: reclaim it from the largest
              pool user (some queue must be above its reservation, since the
              buffer is full and this queue is below). *)
-          (* Only queues strictly above their reservation are eligible:
-             (0, max_int) is beaten only by keys with positive overflow. *)
-          let best = ref (-1) and best_key = ref (0, max_int) in
-          for j = 0 to Proc_switch.n sw - 1 do
-            if j <> dest then begin
-              let key = (overflow sw j ~dest, Proc_switch.port_work sw j) in
-              if key > !best_key then begin
-                best := j;
-                best_key := key
-              end
-            end
-          done;
-          if !best >= 0 then Decision.Push_out { victim = !best }
+          let victim = select_reclaim sw ~dest in
+          if victim >= 0 then Decision.Push_out { victim }
           else Decision.Drop
         end)

@@ -15,5 +15,10 @@
     partition shares (plus reclamation of any transiently stolen
     reservation). *)
 
-val make : reserve:int -> Proc_config.t -> Proc_policy.t
-(** @raise Invalid_argument if [reserve < 0] or [n * reserve > B]. *)
+val make :
+  reserve:int -> ?impl:[ `Indexed | `Scan ] -> Proc_config.t -> Proc_policy.t
+(** [~impl] picks the victim selection: [`Indexed] (default) answers both
+    branches' argmaxes in O(log n) from the switch's incremental indexes;
+    [`Scan] keeps the original O(n) rescans.  Both make bit-identical
+    decisions.
+    @raise Invalid_argument if [reserve < 0] or [n * reserve > B]. *)

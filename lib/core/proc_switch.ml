@@ -2,8 +2,10 @@ type t = {
   config : Proc_config.t;
   queues : Work_queue.t array;
   mutable occupancy : int;
+  mutable occupied_work : int;
   mutable next_id : int;
   mutable now : int;
+  mutable indexes : (string * Agg_index.t) list;
 }
 
 let create (config : Proc_config.t) =
@@ -11,7 +13,15 @@ let create (config : Proc_config.t) =
     Array.init (Proc_config.n config) (fun i ->
         Work_queue.create ~work:(Proc_config.work config i))
   in
-  { config; queues; occupancy = 0; next_id = 0; now = 0 }
+  {
+    config;
+    queues;
+    occupancy = 0;
+    occupied_work = 0;
+    next_id = 0;
+    now = 0;
+    indexes = [];
+  }
 
 let config t = t.config
 let n t = Array.length t.queues
@@ -30,9 +40,27 @@ let queue t i =
 let queue_length t i = Work_queue.length (queue t i)
 let queue_work t i = Work_queue.total_work (queue t i)
 let port_work t i = Proc_config.work t.config i
+let total_occupied_work t = t.occupied_work
 
-let total_occupied_work t =
-  Array.fold_left (fun acc q -> acc + Work_queue.total_work q) 0 t.queues
+(* ----- victim-selection indexes ----- *)
+
+let touch t i =
+  match t.indexes with
+  | [] -> ()
+  | indexes -> List.iter (fun (_, idx) -> Agg_index.invalidate idx i) indexes
+
+let touch_all t =
+  List.iter (fun (_, idx) -> Agg_index.refresh idx) t.indexes
+
+let find_index t ~key ~better =
+  match List.assoc_opt key t.indexes with
+  | Some idx -> idx
+  | None ->
+    let idx = Agg_index.create ~n:(n t) ~better in
+    t.indexes <- (key, idx) :: t.indexes;
+    idx
+
+(* ----- mutations (every one keeps the aggregates in sync) ----- *)
 
 let accept t ~dest =
   if is_full t then invalid_arg "Proc_switch.accept: buffer full";
@@ -44,6 +72,8 @@ let accept t ~dest =
   t.next_id <- t.next_id + 1;
   Work_queue.push q p;
   t.occupancy <- t.occupancy + 1;
+  t.occupied_work <- t.occupied_work + p.Packet.Proc.residual;
+  touch t dest;
   p
 
 let push_out t ~victim =
@@ -52,15 +82,38 @@ let push_out t ~victim =
     invalid_arg "Proc_switch.push_out: victim queue empty";
   let p = Work_queue.pop_back q in
   t.occupancy <- t.occupancy - 1;
+  t.occupied_work <- t.occupied_work - p.Packet.Proc.residual;
+  touch t victim;
   p
 
 let serve_port t i ~on_transmit =
   let q = queue t i in
   if Work_queue.is_empty q then 0
   else begin
-    let sent = Work_queue.process q ~cycles:(speedup t) ~on_transmit in
-    t.occupancy <- t.occupancy - sent;
-    sent
+    (* Account each transmission (and re-validate the indexes) *before* the
+       user hook runs: a raising hook — a recorder sink error, say — then
+       propagates out of a switch whose occupancy, work aggregate and
+       indexes all agree with the queues.  The residual-work drain of a
+       partially processed head-of-line packet is settled in [finally],
+       which also runs on the exception path. *)
+    let before = Work_queue.total_work q in
+    let applied = ref 0 in
+    let settle () =
+      let drained = before - Work_queue.total_work q in
+      t.occupied_work <- t.occupied_work - (drained - !applied);
+      applied := drained
+    in
+    let on_transmit p =
+      t.occupancy <- t.occupancy - 1;
+      settle ();
+      touch t i;
+      on_transmit p
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        settle ();
+        touch t i)
+      (fun () -> Work_queue.process q ~cycles:(speedup t) ~on_transmit)
   end
 
 let transmit_phase t ~on_transmit =
@@ -73,7 +126,9 @@ let transmit_phase t ~on_transmit =
 let flush t =
   let dropped = Array.fold_left (fun acc q -> acc + Work_queue.clear q) 0 t.queues in
   t.occupancy <- t.occupancy - dropped;
+  t.occupied_work <- 0;
   assert (t.occupancy = 0);
+  touch_all t;
   dropped
 
 let iter_queues f t = Array.iteri f t.queues
@@ -83,6 +138,11 @@ let check_invariants t =
   if len_sum <> t.occupancy then
     invalid_arg "Proc_switch: occupancy out of sync with queue lengths";
   if t.occupancy > buffer t then invalid_arg "Proc_switch: occupancy exceeds B";
+  let work_sum =
+    Array.fold_left (fun acc q -> acc + Work_queue.total_work q) 0 t.queues
+  in
+  if work_sum <> t.occupied_work then
+    invalid_arg "Proc_switch: cached occupied work out of sync";
   Array.iter
     (fun q ->
       let recomputed =
@@ -98,4 +158,5 @@ let check_invariants t =
           if i > 0 && p.residual <> p.work then
             invalid_arg "Proc_switch: non-HOL packet partially processed")
         (Work_queue.to_list q))
-    t.queues
+    t.queues;
+  List.iter (fun (_, idx) -> Agg_index.check idx) t.indexes

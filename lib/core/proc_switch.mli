@@ -36,7 +36,16 @@ val port_work : t -> int -> int
 (** Required work per packet of port [i] (from the configuration). *)
 
 val total_occupied_work : t -> int
-(** Sum of [W_i] over all queues. *)
+(** Sum of [W_i] over all queues.  Maintained incrementally: O(1). *)
+
+val find_index : t -> key:string -> better:(int -> int -> bool) -> Agg_index.t
+(** The victim-selection index registered under [key], creating (and
+    building) it on first use.  [better] must be a strict total order over
+    port indices reading this switch's live state (see {!Agg_index}); it is
+    only consulted at creation time when [key] is already registered.  The
+    switch re-validates every registered index on each mutation, so
+    registrations should be few (one per policy variant driving this
+    switch). *)
 
 val accept : t -> dest:int -> Packet.Proc.t
 (** Admit a fresh packet to [dest]'s queue; assigns the next packet id.
@@ -54,7 +63,12 @@ val transmit_phase : t -> on_transmit:(Packet.Proc.t -> unit) -> int
 val serve_port : t -> int -> on_transmit:(Packet.Proc.t -> unit) -> int
 (** Give a single port its [speedup] cycles (a transmission phase restricted
     to one queue).  Used by analyses that need the paper's port-by-port
-    event ordering.  Returns the number of packets transmitted. *)
+    event ordering.  Returns the number of packets transmitted.
+
+    Exception-safe: each transmitted packet is fully accounted (occupancy,
+    work aggregate, indexes) {e before} [on_transmit] sees it, so a raising
+    hook propagates out of a switch that still satisfies
+    {!check_invariants}. *)
 
 val flush : t -> int
 (** Discard all buffered packets (the simulator's periodic flushout);

@@ -1,29 +1,78 @@
 (* argmax over queues of virtual length; ties towards the smaller minimum
-   value, then the larger index.  Encoded as a lexicographic key
-   (length, -min_value, index). *)
-let select_victim sw ~dest =
-  let best = ref 0 and best_key = ref (min_int, min_int) in
+   value, then the larger index — lexicographic (length, -min_value, index),
+   with the arriving packet counted as already added to [dest].  The scan's
+   replacement on [key >= best] keeps the largest index among full ties; the
+   indexed path answers the same argmax in O(log n) from the switch's
+   incremental index.  All comparisons are explicit integer comparisons
+   (minimum values come off the queues' O(1) cached bitsets). *)
+
+let min_of sw j =
+  match Value_queue.min_value (Value_switch.queue sw j) with
+  | Some v -> v
+  | None -> max_int
+
+let select_victim_scan sw ~dest =
+  let best = ref 0 and best_len = ref min_int and best_min = ref min_int in
+  (* [best_min] holds the *negated* minimum so that larger is better. *)
   for j = 0 to Value_switch.n sw - 1 do
     let len = Value_switch.queue_length sw j + if j = dest then 1 else 0 in
-    let min_v =
-      match Value_queue.min_value (Value_switch.queue sw j) with
-      | Some v -> v
-      | None -> max_int
-    in
-    let key = (len, -min_v) in
-    if key >= !best_key then begin
+    let neg_min = -min_of sw j in
+    if len > !best_len || (len = !best_len && neg_min >= !best_min) then begin
       best := j;
-      best_key := key
+      best_len := len;
+      best_min := neg_min
     end
   done;
   !best
 
-let make _config =
+let index sw =
+  Value_switch.find_index sw ~key:"lqd" ~better:(fun a b ->
+      let la = Value_switch.queue_length sw a
+      and lb = Value_switch.queue_length sw b in
+      la > lb
+      || la = lb
+         &&
+         let ma = min_of sw a and mb = min_of sw b in
+         ma < mb || (ma = mb && a > b))
+
+let select_victim_indexed idx sw ~dest =
+  let c = Agg_index.top_excluding idx dest in
+  if c < 0 then dest
+  else begin
+    let dlen = Value_switch.queue_length sw dest + 1
+    and clen = Value_switch.queue_length sw c in
+    if clen > dlen then c
+    else if clen < dlen then dest
+    else begin
+      let cm = min_of sw c and dm = min_of sw dest in
+      if cm < dm || (cm = dm && c > dest) then c else dest
+    end
+  end
+
+let select_victim sw ~dest = select_victim_indexed (index sw) sw ~dest
+
+let make ?(impl = `Indexed) _config =
+  let select =
+    match impl with
+    | `Scan -> fun sw ~dest -> select_victim_scan sw ~dest
+    | `Indexed ->
+      let cache = ref None in
+      fun sw ~dest ->
+        let idx =
+          match !cache with
+          | Some (sw', idx) when sw' == sw -> idx
+          | Some _ | None ->
+            let idx = index sw in
+            cache := Some (sw, idx);
+            idx
+        in
+        select_victim_indexed idx sw ~dest
+  in
   Value_policy.make ~name:"LQD" ~push_out:true (fun sw ~dest ~value ->
       match Value_policy.greedy_accept sw with
       | Some d -> d
       | None ->
-        let victim = select_victim sw ~dest in
+        let victim = select sw ~dest in
         if victim <> dest then Decision.Push_out { victim }
         else begin
           match Value_queue.min_value (Value_switch.queue sw dest) with

@@ -9,7 +9,14 @@
 
     Theorem 9: at least (cube root of k)-competitive. *)
 
-val make : Value_config.t -> Value_policy.t
+val make : ?impl:[ `Indexed | `Scan ] -> Value_config.t -> Value_policy.t
+(** [~impl] picks the victim selection: [`Indexed] (default) answers the
+    argmax in O(log n) from the switch's incremental index; [`Scan] keeps
+    the original O(n) rescans.  Both make bit-identical decisions. *)
 
 val select_victim : Value_switch.t -> dest:int -> int
 (** Exposed for tests. *)
+
+val select_victim_scan : Value_switch.t -> dest:int -> int
+(** Reference O(n) scan implementation of {!select_victim}; the
+    differential oracle compares the two. *)

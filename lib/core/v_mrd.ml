@@ -4,7 +4,18 @@
 let ratio_greater ~len_a ~sum_a ~len_b ~sum_b =
   len_a * len_a * sum_b > len_b * len_b * sum_a
 
-let select_victim ?(protect_last = false) sw =
+(* argmax over eligible queues of the ratio; equal ratios prefer the queue
+   with the smaller minimum value, then the larger index.  The exact
+   cross-multiplied comparison is a total order on eligible queues, so the
+   original left-to-right scan and the indexed read pick the same victim;
+   [select_victim_scan] keeps the scan as the reference oracle. *)
+
+let min_of sw i =
+  match Value_queue.min_value (Value_switch.queue sw i) with
+  | Some v -> v
+  | None -> max_int
+
+let select_victim_scan ?(protect_last = false) sw =
   let min_len = if protect_last then 2 else 1 in
   let best = ref None in
   for j = 0 to Value_switch.n sw - 1 do
@@ -20,29 +31,72 @@ let select_victim ?(protect_last = false) sw =
         then begin
           (* Equal ratios: prefer the queue with the smaller minimum value,
              then the larger index. *)
-          let min_of i =
-            match Value_queue.min_value (Value_switch.queue sw i) with
-            | Some v -> v
-            | None -> max_int
-          in
-          if min_of j <= min_of bj then best := Some (j, len, sum)
+          if min_of sw j <= min_of sw bj then best := Some (j, len, sum)
         end
     end
   done;
   match !best with Some (j, _, _) -> Some j | None -> None
 
-let make ?(protect_last = false) _config =
+let index ~protect_last sw =
+  let min_len = if protect_last then 2 else 1 in
+  Value_switch.find_index sw
+    ~key:(if protect_last then "mrd:protect" else "mrd")
+    ~better:(fun a b ->
+      let qa = Value_switch.queue sw a and qb = Value_switch.queue sw b in
+      let la = Value_queue.length qa and lb = Value_queue.length qb in
+      let ea = la >= min_len and eb = lb >= min_len in
+      if ea <> eb then ea
+      else if not ea then a > b
+      else begin
+        let sa = Value_queue.total_value qa
+        and sb = Value_queue.total_value qb in
+        if ratio_greater ~len_a:la ~sum_a:sa ~len_b:lb ~sum_b:sb then true
+        else if ratio_greater ~len_a:lb ~sum_a:sb ~len_b:la ~sum_b:sa then
+          false
+        else begin
+          let ma = min_of sw a and mb = min_of sw b in
+          ma < mb || (ma = mb && a > b)
+        end
+      end)
+
+let select_victim_indexed ~protect_last idx sw =
+  let min_len = if protect_last then 2 else 1 in
+  let c = Agg_index.top idx in
+  if c < 0 || Value_switch.queue_length sw c < min_len then None else Some c
+
+let select_victim ?(protect_last = false) sw =
+  select_victim_indexed ~protect_last (index ~protect_last sw) sw
+
+let make ?(protect_last = false) ?(impl = `Indexed) _config =
   let name = if protect_last then "MRD1" else "MRD" in
+  let select =
+    match impl with
+    | `Scan -> fun sw -> select_victim_scan ~protect_last sw
+    | `Indexed ->
+      let cache = ref None in
+      fun sw ->
+        let idx =
+          match !cache with
+          | Some (sw', idx) when sw' == sw -> idx
+          | Some _ | None ->
+            let idx = index ~protect_last sw in
+            cache := Some (sw, idx);
+            idx
+        in
+        select_victim_indexed ~protect_last idx sw
+  in
   Value_policy.make ~name ~push_out:true (fun sw ~dest:_ ~value ->
       match Value_policy.greedy_accept sw with
       | Some d -> d
       | None -> (
         (* The paper drops only when the buffer minimum is strictly bigger
            than the arriving value; on equality MRD pushes out, which is
-           what makes it emulate LQD under unit values. *)
+           what makes it emulate LQD under unit values.  [min_value] is the
+           switch's O(1) incremental tracker, so this drop gate no longer
+           rescans every queue. *)
         match Value_switch.min_value sw with
         | Some m when m <= value -> (
-          match select_victim ~protect_last sw with
+          match select sw with
           | Some victim -> Decision.Push_out { victim }
           | None -> Decision.Drop)
         | Some _ | None -> Decision.Drop))

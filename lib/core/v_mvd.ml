@@ -1,29 +1,84 @@
-let select_victim ~protect_last sw =
+(* argmin over eligible queues of (minimum value, -length, -index): the
+   cheapest admitted packet, ties towards the longer queue, then the larger
+   port index.  The scan's replacement on [key <= best] keeps the largest
+   index among full ties; the indexed path reads the same argmin in
+   O(log n) from the switch's incremental index.  All comparisons are
+   explicit integer comparisons. *)
+
+let select_victim_scan ~protect_last sw =
   let min_len = if protect_last then 2 else 1 in
   let best = ref None in
-  (* argmin over eligible queues of (min value, -length, -index). *)
-  let best_key = ref (max_int, max_int) in
+  let best_min = ref max_int and best_len = ref min_int in
   for j = 0 to Value_switch.n sw - 1 do
     let q = Value_switch.queue sw j in
-    if Value_queue.length q >= min_len then begin
+    let len = Value_queue.length q in
+    if len >= min_len then begin
       match Value_queue.min_value q with
       | None -> ()
       | Some v ->
-        let key = (v, -Value_queue.length q) in
-        if key <= !best_key then begin
+        if v < !best_min || (v = !best_min && len >= !best_len) then begin
           best := Some (j, v);
-          best_key := key
+          best_min := v;
+          best_len := len
         end
     end
   done;
   !best
 
-let make ?(protect_last = false) _config =
+let index ~protect_last sw =
+  let min_len = if protect_last then 2 else 1 in
+  Value_switch.find_index sw
+    ~key:(if protect_last then "mvd:protect" else "mvd")
+    ~better:(fun a b ->
+      let qa = Value_switch.queue sw a and qb = Value_switch.queue sw b in
+      let la = Value_queue.length qa and lb = Value_queue.length qb in
+      let ea = la >= min_len and eb = lb >= min_len in
+      if ea <> eb then ea
+      else if not ea then a > b
+      else begin
+        let ma = match Value_queue.min_value qa with Some v -> v | None -> max_int
+        and mb = match Value_queue.min_value qb with Some v -> v | None -> max_int in
+        ma < mb || (ma = mb && (la > lb || (la = lb && a > b)))
+      end)
+
+let select_victim_indexed ~protect_last idx sw =
+  let min_len = if protect_last then 2 else 1 in
+  let c = Agg_index.top idx in
+  if c < 0 then None
+  else begin
+    let q = Value_switch.queue sw c in
+    if Value_queue.length q < min_len then None
+    else
+      match Value_queue.min_value q with
+      | Some v -> Some (c, v)
+      | None -> None
+  end
+
+let select_victim ~protect_last sw =
+  select_victim_indexed ~protect_last (index ~protect_last sw) sw
+
+let make ?(protect_last = false) ?(impl = `Indexed) _config =
   let name = if protect_last then "MVD1" else "MVD" in
+  let select =
+    match impl with
+    | `Scan -> select_victim_scan ~protect_last
+    | `Indexed ->
+      let cache = ref None in
+      fun sw ->
+        let idx =
+          match !cache with
+          | Some (sw', idx) when sw' == sw -> idx
+          | Some _ | None ->
+            let idx = index ~protect_last sw in
+            cache := Some (sw, idx);
+            idx
+        in
+        select_victim_indexed ~protect_last idx sw
+  in
   Value_policy.make ~name ~push_out:true (fun sw ~dest:_ ~value ->
       match Value_policy.greedy_accept sw with
       | Some d -> d
       | None -> (
-        match select_victim ~protect_last sw with
+        match select sw with
         | Some (victim, min_v) when min_v < value -> Decision.Push_out { victim }
         | Some _ | None -> Decision.Drop))

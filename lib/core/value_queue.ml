@@ -1,15 +1,28 @@
 open Smbm_prelude
 
+(* Buckets are paired with a bitset of non-empty value levels (63 levels per
+   word), so [min_value]/[max_value] cost a couple of word tests plus a
+   6-step bit search instead of walking up to k deque headers — these two
+   reads sit on the admission hot path of every value policy (the MRD/MVD
+   drop gates and the switch-wide minimum tracker). *)
+
 type t = {
   k : int;
   buckets : Packet.Value.t Deque.t array; (* index by value; slot 0 unused *)
+  occupied : int array; (* bit [v mod 63] of word [v / 63]: bucket v non-empty *)
   mutable size : int;
   mutable sum : int;
 }
 
 let create ~k =
   if k < 1 then invalid_arg "Value_queue.create: k must be >= 1";
-  { k; buckets = Array.init (k + 1) (fun _ -> Deque.create ()); size = 0; sum = 0 }
+  {
+    k;
+    buckets = Array.init (k + 1) (fun _ -> Deque.create ());
+    occupied = Array.make ((k / 63) + 1) 0;
+    size = 0;
+    sum = 0;
+  }
 
 let length t = t.size
 let is_empty t = t.size = 0
@@ -18,26 +31,59 @@ let total_value t = t.sum
 let average_value t =
   if t.size = 0 then 0.0 else float_of_int t.sum /. float_of_int t.size
 
+(* Bit index of the single set bit of [b]. *)
+let bit_index b =
+  let i = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin i := 32; b := !b lsr 32 end;
+  if !b land 0xFFFF = 0 then begin i := !i + 16; b := !b lsr 16 end;
+  if !b land 0xFF = 0 then begin i := !i + 8; b := !b lsr 8 end;
+  if !b land 0xF = 0 then begin i := !i + 4; b := !b lsr 4 end;
+  if !b land 0x3 = 0 then begin i := !i + 2; b := !b lsr 2 end;
+  if !b land 0x1 = 0 then incr i;
+  !i
+
+(* Bit index of the highest set bit of [b > 0]. *)
+let high_bit_index b =
+  let i = ref 0 and b = ref b in
+  if !b lsr 32 <> 0 then begin i := 32; b := !b lsr 32 end;
+  if !b lsr 16 <> 0 then begin i := !i + 16; b := !b lsr 16 end;
+  if !b lsr 8 <> 0 then begin i := !i + 8; b := !b lsr 8 end;
+  if !b lsr 4 <> 0 then begin i := !i + 4; b := !b lsr 4 end;
+  if !b lsr 2 <> 0 then begin i := !i + 2; b := !b lsr 2 end;
+  if !b lsr 1 <> 0 then incr i;
+  !i
+
 let min_value t =
-  let rec scan v =
-    if v > t.k then None
-    else if not (Deque.is_empty t.buckets.(v)) then Some v
-    else scan (v + 1)
-  in
-  scan 1
+  if t.size = 0 then None
+  else begin
+    let rec scan w =
+      let bits = t.occupied.(w) in
+      if bits <> 0 then (w * 63) + bit_index (bits land -bits) else scan (w + 1)
+    in
+    Some (scan 0)
+  end
 
 let max_value t =
-  let rec scan v =
-    if v < 1 then None
-    else if not (Deque.is_empty t.buckets.(v)) then Some v
-    else scan (v - 1)
-  in
-  scan t.k
+  if t.size = 0 then None
+  else begin
+    let rec scan w =
+      let bits = t.occupied.(w) in
+      if bits <> 0 then (w * 63) + high_bit_index bits else scan (w - 1)
+    in
+    Some (scan (Array.length t.occupied - 1))
+  end
+
+let mark t v = t.occupied.(v / 63) <- t.occupied.(v / 63) lor (1 lsl (v mod 63))
+
+let unmark_if_empty t v =
+  if Deque.is_empty t.buckets.(v) then
+    t.occupied.(v / 63) <- t.occupied.(v / 63) land lnot (1 lsl (v mod 63))
 
 let push t (p : Packet.Value.t) =
   if p.value < 1 || p.value > t.k then
     invalid_arg "Value_queue.push: value out of range";
   Deque.push_back t.buckets.(p.value) p;
+  mark t p.value;
   t.size <- t.size + 1;
   t.sum <- t.sum + p.value
 
@@ -46,6 +92,7 @@ let pop_min t =
   | None -> invalid_arg "Value_queue.pop_min: empty"
   | Some v ->
     let p = Deque.pop_back t.buckets.(v) in
+    unmark_if_empty t v;
     t.size <- t.size - 1;
     t.sum <- t.sum - v;
     p
@@ -55,6 +102,7 @@ let pop_max t =
   | None -> invalid_arg "Value_queue.pop_max: empty"
   | Some v ->
     let p = Deque.pop_front t.buckets.(v) in
+    unmark_if_empty t v;
     t.size <- t.size - 1;
     t.sum <- t.sum - v;
     p
@@ -74,6 +122,7 @@ let to_list t =
 let clear t =
   let dropped = t.size in
   Array.iter Deque.clear t.buckets;
+  Array.fill t.occupied 0 (Array.length t.occupied) 0;
   t.size <- 0;
   t.sum <- 0;
   dropped

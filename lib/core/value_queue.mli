@@ -3,10 +3,17 @@
     Packets are kept in non-increasing value order (the paper's most
     favourable per-queue processing order): transmission takes the most
     valuable packet, push-out evicts the least valuable one.  Values live in
-    the bounded universe [1 .. k], so the queue is a bucket array — every
-    operation is O(k) worst case and O(1) amortized under stable value mixes.
-    Within a value bucket, transmission is FIFO and push-out evicts the most
-    recently admitted packet ("the last packet" of the queue). *)
+    the bounded universe [1 .. k], so the queue is a bucket array paired
+    with a bitset of non-empty value levels: pushes, pops and the
+    [min_value]/[max_value] reads all cost O(k / 63) word operations — in
+    effect constant time, which is what keeps the admission hot path of the
+    value policies cheap (see {!Value_switch.find_index}).
+    Within a value bucket, transmission is FIFO ([pop_max] takes the oldest
+    packet of the maximum bucket) and push-out evicts the most recently
+    admitted packet ([pop_min] takes the youngest packet of the minimum
+    bucket, "the last packet" of the queue).  This intra-bucket order is a
+    pinned part of the contract: the switch-wide cached-minimum tracker
+    relies on it to preserve FIFO tie order. *)
 
 
 type t

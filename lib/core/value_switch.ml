@@ -4,14 +4,42 @@ type t = {
   mutable occupancy : int;
   mutable next_id : int;
   mutable now : int;
+  mutable indexes : (string * Agg_index.t) list;
+  min_index : Agg_index.t; (* buffer-wide minimum tracker *)
 }
+
+(* The built-in tracker behind [min_value]/[min_value_port]: argmin over
+   queues of (cached minimum value, then the longer queue, then the smaller
+   port index) — the documented MVD tie-break, pinned here so the indexed
+   reads cannot drift from the one-pass scan they replaced.  Empty queues
+   rank last (an occupied queue's minimum is at most k < max_int). *)
+let min_better queues a b =
+  let qa = queues.(a) and qb = queues.(b) in
+  let ma = match Value_queue.min_value qa with Some v -> v | None -> max_int
+  and mb = match Value_queue.min_value qb with Some v -> v | None -> max_int in
+  ma < mb
+  || (ma = mb
+     &&
+     let la = Value_queue.length qa and lb = Value_queue.length qb in
+     la > lb || (la = lb && a < b))
 
 let create (config : Value_config.t) =
   let queues =
     Array.init (Value_config.n config) (fun _ ->
         Value_queue.create ~k:(Value_config.k config))
   in
-  { config; queues; occupancy = 0; next_id = 0; now = 0 }
+  let min_index =
+    Agg_index.create ~n:(Array.length queues) ~better:(min_better queues)
+  in
+  {
+    config;
+    queues;
+    occupancy = 0;
+    next_id = 0;
+    now = 0;
+    indexes = [];
+    min_index;
+  }
 
 let config t = t.config
 let n t = Array.length t.queues
@@ -30,28 +58,34 @@ let queue t i =
 
 let queue_length t i = Value_queue.length (queue t i)
 
+(* ----- victim-selection indexes ----- *)
+
+let touch t i =
+  Agg_index.invalidate t.min_index i;
+  match t.indexes with
+  | [] -> ()
+  | indexes -> List.iter (fun (_, idx) -> Agg_index.invalidate idx i) indexes
+
+let touch_all t =
+  Agg_index.refresh t.min_index;
+  List.iter (fun (_, idx) -> Agg_index.refresh idx) t.indexes
+
+let find_index t ~key ~better =
+  match List.assoc_opt key t.indexes with
+  | Some idx -> idx
+  | None ->
+    let idx = Agg_index.create ~n:(n t) ~better in
+    t.indexes <- (key, idx) :: t.indexes;
+    idx
+
 let min_value t =
-  Array.fold_left
-    (fun acc q ->
-      match Value_queue.min_value q with
-      | None -> acc
-      | Some v -> ( match acc with None -> Some v | Some m -> Some (min m v)))
-    None t.queues
+  if t.occupancy = 0 then None
+  else Value_queue.min_value t.queues.(Agg_index.top t.min_index)
 
 let min_value_port t =
-  match min_value t with
-  | None -> None
-  | Some m ->
-    let best = ref (-1) in
-    Array.iteri
-      (fun i q ->
-        if Value_queue.min_value q = Some m then
-          if
-            !best < 0
-            || Value_queue.length q > Value_queue.length t.queues.(!best)
-          then best := i)
-      t.queues;
-    Some !best
+  if t.occupancy = 0 then None else Some (Agg_index.top t.min_index)
+
+(* ----- mutations (every one keeps the aggregates in sync) ----- *)
 
 let accept t ~dest ~value =
   if is_full t then invalid_arg "Value_switch.accept: buffer full";
@@ -59,6 +93,7 @@ let accept t ~dest ~value =
   t.next_id <- t.next_id + 1;
   Value_queue.push (queue t dest) p;
   t.occupancy <- t.occupancy + 1;
+  touch t dest;
   p
 
 let push_out t ~victim =
@@ -67,27 +102,33 @@ let push_out t ~victim =
     invalid_arg "Value_switch.push_out: victim queue empty";
   let p = Value_queue.pop_min q in
   t.occupancy <- t.occupancy - 1;
+  touch t victim;
   p
 
 let transmit_phase t ~on_transmit =
   let budget = speedup t in
   let transmitted = ref 0 in
-  Array.iter
-    (fun q ->
-      let sent = ref 0 in
-      while !sent < budget && not (Value_queue.is_empty q) do
-        on_transmit (Value_queue.pop_max q);
-        incr sent
-      done;
-      transmitted := !transmitted + !sent)
-    t.queues;
-  t.occupancy <- t.occupancy - !transmitted;
+  for i = 0 to n t - 1 do
+    let q = t.queues.(i) in
+    let sent = ref 0 in
+    while !sent < budget && not (Value_queue.is_empty q) do
+      (* Account the transmission before the user hook runs, so a raising
+         hook propagates out of a consistent switch. *)
+      let p = Value_queue.pop_max q in
+      t.occupancy <- t.occupancy - 1;
+      touch t i;
+      incr sent;
+      incr transmitted;
+      on_transmit p
+    done
+  done;
   !transmitted
 
 let flush t =
   let dropped = Array.fold_left (fun acc q -> acc + Value_queue.clear q) 0 t.queues in
   t.occupancy <- t.occupancy - dropped;
   assert (t.occupancy = 0);
+  touch_all t;
   dropped
 
 let iter_queues f t = Array.iteri f t.queues
@@ -114,4 +155,6 @@ let check_invariants t =
       in
       if not (sorted (Value_queue.to_list q)) then
         invalid_arg "Value_switch: queue not value-sorted")
-    t.queues
+    t.queues;
+  Agg_index.check t.min_index;
+  List.iter (fun (_, idx) -> Agg_index.check idx) t.indexes

@@ -26,12 +26,21 @@ val queue : t -> int -> Value_queue.t
 val queue_length : t -> int -> int
 
 val min_value : t -> int option
-(** Smallest value currently admitted anywhere in the buffer. *)
+(** Smallest value currently admitted anywhere in the buffer.  O(1): read
+    off the switch's incremental minimum tracker rather than rescanned. *)
 
 val min_value_port : t -> int option
-(** A port whose queue holds the buffer-wide minimum value; among several,
+(** The port whose queue holds the buffer-wide minimum value; among several,
     the longest such queue (the paper's MVD tie-break), then the smallest
-    port index. *)
+    port index.  Port and value come from one tracker, so
+    [min_value_port t] always names a queue whose minimum is
+    [min_value t] — the tie choice is pinned and cannot drift from
+    {!min_value}.  O(1). *)
+
+val find_index : t -> key:string -> better:(int -> int -> bool) -> Agg_index.t
+(** The victim-selection index registered under [key], creating (and
+    building) it on first use; see {!Proc_switch.find_index} for the
+    contract. *)
 
 val accept : t -> dest:int -> value:int -> Packet.Value.t
 (** @raise Invalid_argument if the buffer is full or the value is outside
@@ -43,7 +52,9 @@ val push_out : t -> victim:int -> Packet.Value.t
 
 val transmit_phase : t -> on_transmit:(Packet.Value.t -> unit) -> int
 (** Every non-empty queue transmits up to [speedup] packets, most valuable
-    first.  Returns the number of packets transmitted. *)
+    first.  Returns the number of packets transmitted.  Exception-safe:
+    each packet is fully accounted before [on_transmit] sees it, so a
+    raising hook propagates out of a consistent switch. *)
 
 val flush : t -> int
 

@@ -1,0 +1,397 @@
+(* Differential oracle for the incremental victim-selection indexes: every
+   push-out policy built twice — [~impl:`Scan] (the original O(n) rescans)
+   and [~impl:`Indexed] (the O(log n) switch indexes) — driven in lockstep
+   on twin switches under fuzzed traffic, asserting bit-identical decisions
+   at every arrival.  Plus pinned tie-break regressions, raising-hook
+   invariant checks, and the intra-bucket order contract of Value_queue. *)
+
+open Smbm_core
+
+(* --- lockstep drivers --- *)
+
+let run_proc_lockstep ~works ~buffer ~speedup ~ops ~mk =
+  let config = Proc_config.make ~works ~buffer ~speedup () in
+  let fast_sw = Proc_switch.create config
+  and slow_sw = Proc_switch.create config in
+  let fast = mk `Indexed config and slow = mk `Scan config in
+  let ok = ref true in
+  let apply sw d ~dest =
+    match d with
+    | Decision.Accept -> ignore (Proc_switch.accept sw ~dest)
+    | Decision.Push_out { victim } ->
+      ignore (Proc_switch.push_out sw ~victim);
+      ignore (Proc_switch.accept sw ~dest)
+    | Decision.Drop -> ()
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | `Arrival dest ->
+        let df = Proc_policy.admit fast fast_sw ~dest
+        and ds = Proc_policy.admit slow slow_sw ~dest in
+        if not (Decision.equal df ds) then ok := false;
+        apply fast_sw df ~dest;
+        apply slow_sw ds ~dest
+      | `Transmit ->
+        ignore (Proc_switch.transmit_phase fast_sw ~on_transmit:ignore);
+        ignore (Proc_switch.transmit_phase slow_sw ~on_transmit:ignore)
+      | `Flush ->
+        ignore (Proc_switch.flush fast_sw);
+        ignore (Proc_switch.flush slow_sw));
+      Proc_switch.check_invariants fast_sw;
+      Proc_switch.check_invariants slow_sw;
+      if
+        Proc_switch.total_occupied_work fast_sw
+        <> Proc_switch.total_occupied_work slow_sw
+      then ok := false;
+      for j = 0 to Proc_switch.n fast_sw - 1 do
+        if Proc_switch.queue_length fast_sw j <> Proc_switch.queue_length slow_sw j
+        then ok := false
+      done)
+    ops;
+  !ok
+
+let run_value_lockstep ~ports ~max_value ~buffer ~speedup ~ops ~mk =
+  let config = Value_config.make ~ports ~max_value ~buffer ~speedup () in
+  let fast_sw = Value_switch.create config
+  and slow_sw = Value_switch.create config in
+  let fast = mk `Indexed config and slow = mk `Scan config in
+  let ok = ref true in
+  let apply sw d ~dest ~value =
+    match d with
+    | Decision.Accept -> ignore (Value_switch.accept sw ~dest ~value)
+    | Decision.Push_out { victim } ->
+      ignore (Value_switch.push_out sw ~victim);
+      ignore (Value_switch.accept sw ~dest ~value)
+    | Decision.Drop -> ()
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | `Arrival (dest, value) ->
+        let df = Value_policy.admit fast fast_sw ~dest ~value
+        and ds = Value_policy.admit slow slow_sw ~dest ~value in
+        if not (Decision.equal df ds) then ok := false;
+        apply fast_sw df ~dest ~value;
+        apply slow_sw ds ~dest ~value
+      | `Transmit ->
+        ignore (Value_switch.transmit_phase fast_sw ~on_transmit:ignore);
+        ignore (Value_switch.transmit_phase slow_sw ~on_transmit:ignore)
+      | `Flush ->
+        ignore (Value_switch.flush fast_sw);
+        ignore (Value_switch.flush slow_sw));
+      Value_switch.check_invariants fast_sw;
+      Value_switch.check_invariants slow_sw;
+      if Value_switch.min_value fast_sw <> Value_switch.min_value slow_sw then
+        ok := false;
+      if
+        Value_switch.min_value_port fast_sw
+        <> Value_switch.min_value_port slow_sw
+      then ok := false;
+      for j = 0 to Value_switch.n fast_sw - 1 do
+        if
+          Value_switch.queue_length fast_sw j
+          <> Value_switch.queue_length slow_sw j
+        then ok := false
+      done)
+    ops;
+  !ok
+
+(* --- every push-out policy, both implementations, fuzzed traffic --- *)
+
+let proc_policies ~buffer ~n =
+  [
+    ("LQD", fun impl c -> P_lqd.make ~impl c);
+    ("LWD", fun impl c -> P_lwd.make ~impl c);
+    ("LWD1", fun impl c -> P_lwd.make ~protect_last:true ~impl c);
+    ( "LWD/tie=small-work",
+      fun impl c -> P_lwd.make ~tie:P_lwd.Smallest_work ~impl c );
+    ( "LWD/tie=long-queue",
+      fun impl c -> P_lwd.make ~tie:P_lwd.Longest_queue ~impl c );
+    ("BPD", fun impl c -> P_bpd.make ~impl c);
+    ("BPD1", fun impl c -> P_bpd.make ~protect_last:true ~impl c);
+    ("RSV(0)", fun impl c -> P_reserved.make ~reserve:0 ~impl c);
+    ( Printf.sprintf "RSV(%d)" (buffer / n),
+      fun impl c -> P_reserved.make ~reserve:(buffer / n) ~impl c );
+  ]
+
+let value_policies =
+  [
+    ("LQD", fun impl c -> V_lqd.make ~impl c);
+    ("MVD", fun impl c -> V_mvd.make ~impl c);
+    ("MVD1", fun impl c -> V_mvd.make ~protect_last:true ~impl c);
+    ("MRD", fun impl c -> V_mrd.make ~impl c);
+    ("MRD1", fun impl c -> V_mrd.make ~protect_last:true ~impl c);
+  ]
+
+let proc_ops_gen n =
+  QCheck2.Gen.(
+    list_size (int_range 20 80)
+      (frequency
+         [
+           (6, map (fun d -> `Arrival d) (int_range 0 (n - 1)));
+           (2, pure `Transmit);
+           (1, pure `Flush);
+         ]))
+
+let prop_proc_policies_indexed_matches_scan =
+  QCheck2.Test.make
+    ~name:"proc push-out policies: indexed victim = scan victim" ~count:150
+    QCheck2.Gen.(
+      let* n = int_range 1 6 in
+      let* works = array_size (pure n) (int_range 1 4) in
+      let* buffer = int_range 1 8 in
+      let* speedup = int_range 1 2 in
+      let* ops = proc_ops_gen n in
+      pure (works, buffer, speedup, ops))
+    (fun (works, buffer, speedup, ops) ->
+      let n = Array.length works in
+      List.for_all
+        (fun (_name, mk) -> run_proc_lockstep ~works ~buffer ~speedup ~ops ~mk)
+        (proc_policies ~buffer ~n))
+
+let prop_value_policies_indexed_matches_scan =
+  QCheck2.Test.make
+    ~name:"value push-out policies: indexed victim = scan victim" ~count:150
+    QCheck2.Gen.(
+      let* ports = int_range 1 6 in
+      let* max_value = int_range 1 8 in
+      let* buffer = int_range 1 8 in
+      let* speedup = int_range 1 2 in
+      let* ops =
+        list_size (int_range 20 80)
+          (frequency
+             [
+               ( 6,
+                 map2
+                   (fun d v -> `Arrival (d, v))
+                   (int_range 0 (ports - 1))
+                   (int_range 1 max_value) );
+               (2, pure `Transmit);
+               (1, pure `Flush);
+             ])
+      in
+      pure (ports, max_value, buffer, speedup, ops))
+    (fun (ports, max_value, buffer, speedup, ops) ->
+      List.for_all
+        (fun (_name, mk) ->
+          run_value_lockstep ~ports ~max_value ~buffer ~speedup ~ops ~mk)
+        value_policies)
+
+(* Deterministic soak with k = 130: min/max values cross the 63-bit word
+   boundary of Value_queue's occupancy bitset, which the small fuzzed
+   configurations above never reach. *)
+let test_value_soak_wide_k () =
+  let ports = 4 and max_value = 130 and buffer = 32 in
+  let ops =
+    List.init 2000 (fun i ->
+        if i mod 16 = 15 then `Transmit
+        else `Arrival (i mod ports, (i * 37 mod max_value) + 1))
+  in
+  List.iter
+    (fun (name, mk) ->
+      Alcotest.(check bool)
+        (name ^ " lockstep, k = 130")
+        true
+        (run_value_lockstep ~ports ~max_value ~buffer ~speedup:1 ~ops ~mk))
+    value_policies
+
+(* --- pinned tie-break regressions --- *)
+
+let proc_switch ?speedup ~works ~buffer ~lengths () =
+  let config = Proc_config.make ~works ~buffer ?speedup () in
+  let sw = Proc_switch.create config in
+  Array.iteri
+    (fun j l ->
+      for _ = 1 to l do
+        ignore (Proc_switch.accept sw ~dest:j)
+      done)
+    lengths;
+  sw
+
+let test_lqd_tie_largest_index () =
+  (* Equal virtual lengths and equal port works: the >=-scan keeps the
+     largest index; the indexed path must agree. *)
+  let sw = proc_switch ~works:[| 1; 1 |] ~buffer:3 ~lengths:[| 2; 1 |] () in
+  Alcotest.(check int) "scan" 1 (P_lqd.select_victim_scan sw ~dest:1);
+  Alcotest.(check int) "indexed" 1 (P_lqd.select_victim sw ~dest:1);
+  (* Virtual add dominates: dest 0 at virtual length 3 wins outright. *)
+  Alcotest.(check int) "scan dest 0" 0 (P_lqd.select_victim_scan sw ~dest:0);
+  Alcotest.(check int) "indexed dest 0" 0 (P_lqd.select_victim sw ~dest:0)
+
+let test_lwd_tie_largest_index () =
+  (* works [|1;1|], lengths [|1;2|], arrival at 0: virtual totals tie at 2,
+     per-packet works tie at 1, so the largest index (queue 1) is evicted —
+     not the destination. *)
+  let sw = proc_switch ~works:[| 1; 1 |] ~buffer:3 ~lengths:[| 1; 2 |] () in
+  Alcotest.(check (option int))
+    "scan" (Some 1)
+    (P_lwd.select_victim_scan sw ~dest:0);
+  Alcotest.(check (option int))
+    "indexed" (Some 1)
+    (P_lwd.select_victim sw ~dest:0)
+
+let value_switch ~ports ~max_value ~buffer ~queues =
+  let config = Value_config.make ~ports ~max_value ~buffer () in
+  let sw = Value_switch.create config in
+  Array.iteri
+    (fun j values ->
+      List.iter (fun v -> ignore (Value_switch.accept sw ~dest:j ~value:v)) values)
+    queues;
+  sw
+
+let test_mrd_tie_smaller_min_then_largest_index () =
+  (* Equal ratios (both length 2, sum 4): the queue with the smaller minimum
+     value wins. *)
+  let sw =
+    value_switch ~ports:2 ~max_value:4 ~buffer:4
+      ~queues:[| [ 3; 1 ]; [ 2; 2 ] |]
+  in
+  Alcotest.(check (option int)) "scan" (Some 0) (V_mrd.select_victim_scan sw);
+  Alcotest.(check (option int)) "indexed" (Some 0) (V_mrd.select_victim sw);
+  (* Equal ratios and equal minima: the largest index wins. *)
+  let sw =
+    value_switch ~ports:2 ~max_value:4 ~buffer:4
+      ~queues:[| [ 2; 2 ]; [ 2; 2 ] |]
+  in
+  Alcotest.(check (option int)) "scan tie" (Some 1) (V_mrd.select_victim_scan sw);
+  Alcotest.(check (option int)) "indexed tie" (Some 1) (V_mrd.select_victim sw)
+
+let test_min_value_port_pinned_tie () =
+  (* Several queues hold the buffer minimum: the longest one wins, then the
+     smallest port index — and the reported port always holds the reported
+     minimum. *)
+  let sw =
+    value_switch ~ports:3 ~max_value:9 ~buffer:6
+      ~queues:[| [ 1 ]; [ 9; 1 ]; [ 1 ] |]
+  in
+  Alcotest.(check (option int)) "min value" (Some 1) (Value_switch.min_value sw);
+  Alcotest.(check (option int))
+    "longest min-holder wins" (Some 1)
+    (Value_switch.min_value_port sw);
+  Alcotest.(check (option int))
+    "port holds the minimum" (Some 1)
+    (Value_queue.min_value (Value_switch.queue sw 1));
+  (* Equal lengths: the smallest index wins. *)
+  let sw =
+    value_switch ~ports:3 ~max_value:9 ~buffer:6
+      ~queues:[| [ 1 ]; [ 1 ]; [ 1 ] |]
+  in
+  Alcotest.(check (option int))
+    "smallest index among equals" (Some 0)
+    (Value_switch.min_value_port sw);
+  (* Empty switch: no port. *)
+  let sw = value_switch ~ports:2 ~max_value:4 ~buffer:4 ~queues:[| []; [] |] in
+  Alcotest.(check (option int)) "empty" None (Value_switch.min_value_port sw)
+
+(* --- raising hooks leave invariants intact --- *)
+
+let test_work_queue_raising_hook () =
+  let q = Work_queue.create ~work:2 in
+  let mk id = Packet.Proc.make ~id ~dest:0 ~work:2 ~arrival:0 in
+  Work_queue.push q (mk 0);
+  Work_queue.push q (mk 1);
+  (try
+     ignore
+       (Work_queue.process q ~cycles:4 ~on_transmit:(fun _ -> raise Exit));
+     Alcotest.fail "hook exception swallowed"
+   with Exit -> ());
+  (* The transmitted packet is fully accounted: one packet left, its
+     residual backing the cached total. *)
+  Alcotest.(check int) "length" 1 (Work_queue.length q);
+  let recomputed =
+    List.fold_left
+      (fun acc (p : Packet.Proc.t) -> acc + p.residual)
+      0 (Work_queue.to_list q)
+  in
+  Alcotest.(check int) "total work" recomputed (Work_queue.total_work q);
+  (* Processing resumes normally afterwards. *)
+  let sent = Work_queue.process q ~cycles:4 ~on_transmit:ignore in
+  Alcotest.(check int) "resumed" 1 sent;
+  Alcotest.(check int) "drained" 0 (Work_queue.total_work q)
+
+let test_proc_switch_raising_hook () =
+  let sw =
+    proc_switch ~speedup:2 ~works:[| 2; 3 |] ~buffer:4 ~lengths:[| 2; 2 |] ()
+  in
+  (try
+     ignore
+       (Proc_switch.transmit_phase sw ~on_transmit:(fun _ -> raise Exit));
+     Alcotest.fail "hook exception swallowed"
+   with Exit -> ());
+  Proc_switch.check_invariants sw;
+  Alcotest.(check int) "occupancy" 3 (Proc_switch.occupancy sw);
+  (* Victim selection still answers correctly off the re-validated index. *)
+  Alcotest.(check int) "post-raise victim" 1 (P_lqd.select_victim sw ~dest:1);
+  (* And draining the rest keeps everything consistent. *)
+  let rec drain () =
+    if Proc_switch.occupancy sw > 0 then begin
+      ignore (Proc_switch.transmit_phase sw ~on_transmit:ignore);
+      Proc_switch.check_invariants sw;
+      drain ()
+    end
+  in
+  drain ();
+  Alcotest.(check int) "all work drained" 0 (Proc_switch.total_occupied_work sw)
+
+let test_value_switch_raising_hook () =
+  let sw =
+    value_switch ~ports:2 ~max_value:4 ~buffer:6
+      ~queues:[| [ 4; 2 ]; [ 3; 1 ] |]
+  in
+  (try
+     ignore
+       (Value_switch.transmit_phase sw ~on_transmit:(fun _ -> raise Exit));
+     Alcotest.fail "hook exception swallowed"
+   with Exit -> ());
+  Value_switch.check_invariants sw;
+  Alcotest.(check int) "occupancy" 3 (Value_switch.occupancy sw);
+  (* The minimum tracker survived the interrupted phase. *)
+  Alcotest.(check (option int)) "min value" (Some 1) (Value_switch.min_value sw);
+  Alcotest.(check (option int)) "min port" (Some 1) (Value_switch.min_value_port sw)
+
+(* --- Value_queue intra-bucket order contract --- *)
+
+let test_value_queue_intra_bucket_order () =
+  let q = Value_queue.create ~k:5 in
+  let mk id value = Packet.Value.make ~id ~dest:0 ~value ~arrival:0 in
+  (* Three packets of equal value, pushed in id order 0, 1, 2. *)
+  List.iter (Value_queue.push q) [ mk 0 3; mk 1 3; mk 2 3 ];
+  (* pop_min evicts the *youngest* of the minimum bucket (Deque.pop_back):
+     push-out prefers discarding the most recent arrival. *)
+  Alcotest.(check int) "pop_min youngest" 2 (Value_queue.pop_min q).Packet.Value.id;
+  (* pop_max transmits the *oldest* of the maximum bucket (Deque.pop_front):
+     FIFO order among equal values on the wire. *)
+  Alcotest.(check int) "pop_max oldest" 0 (Value_queue.pop_max q).Packet.Value.id;
+  Alcotest.(check int) "one left" 1 (Value_queue.length q);
+  Alcotest.(check int) "middle remains" 1 (Value_queue.pop_max q).Packet.Value.id;
+  (* Mixed values: min/max pick the right buckets and keep per-bucket FIFO. *)
+  List.iter (Value_queue.push q) [ mk 10 2; mk 11 5; mk 12 2; mk 13 5 ];
+  Alcotest.(check int) "min bucket youngest" 12
+    (Value_queue.pop_min q).Packet.Value.id;
+  Alcotest.(check int) "max bucket oldest" 11
+    (Value_queue.pop_max q).Packet.Value.id
+
+let suite =
+  [
+    Qc.to_alcotest prop_proc_policies_indexed_matches_scan;
+    Qc.to_alcotest prop_value_policies_indexed_matches_scan;
+    Alcotest.test_case "value soak, k crosses bitset word" `Slow
+      test_value_soak_wide_k;
+    Alcotest.test_case "LQD tie keeps largest index" `Quick
+      test_lqd_tie_largest_index;
+    Alcotest.test_case "LWD tie keeps largest index" `Quick
+      test_lwd_tie_largest_index;
+    Alcotest.test_case "MRD equal-ratio ties" `Quick
+      test_mrd_tie_smaller_min_then_largest_index;
+    Alcotest.test_case "min_value_port pinned tie" `Quick
+      test_min_value_port_pinned_tie;
+    Alcotest.test_case "Work_queue raising hook" `Quick
+      test_work_queue_raising_hook;
+    Alcotest.test_case "Proc_switch raising hook" `Quick
+      test_proc_switch_raising_hook;
+    Alcotest.test_case "Value_switch raising hook" `Quick
+      test_value_switch_raising_hook;
+    Alcotest.test_case "Value_queue intra-bucket order" `Quick
+      test_value_queue_intra_bucket_order;
+  ]
