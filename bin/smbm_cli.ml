@@ -10,6 +10,10 @@
    smbm_cli figure N  [options]     regenerate a Fig. 5 panel (1-9)
    smbm_cli lowerbound THM          run a theorem's adversarial construction
    smbm_cli trace record|stats F    record / inspect arrival traces
+   smbm_cli trace-validate F        structural audit of an event trace
+   smbm_cli trace-replay F          reconstruct state + metrics from events
+   smbm_cli trace-diff F [G]        first divergence between two sources
+   smbm_cli trace-explain F [G]     charge a throughput gap to loss events
    smbm_cli certify   [options]     Theorem 7's mapping routine, live *)
 
 open Cmdliner
@@ -143,6 +147,10 @@ let write_events path events =
   let sink = Smbm_obs.Sink.file path in
   List.iter (Smbm_obs.Sink.event sink) events;
   Smbm_obs.Sink.close sink
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
 
 (* ----- policies ----- *)
 
@@ -407,7 +415,7 @@ let run_simulate common model heavy_tail timeseries trace trace_cap
   Experiment.run ~params ~workload [ inst ];
   (match (trace, recorder) with
   | Some path, Some r ->
-    write_events path (Smbm_obs.Recorder.events r);
+    write_events path (Smbm_obs.Recorder.dump r);
     if Smbm_obs.Recorder.dropped r > 0 then
       Printf.eprintf "trace: %d events evicted (raise --trace-cap)\n"
         (Smbm_obs.Recorder.dropped r);
@@ -600,14 +608,19 @@ let figure_cmd =
 
 (* Structural audit of an event trace produced by --trace: every line must
    parse strictly, slots must be non-decreasing within each source stream,
-   and (unless the ring buffer truncated the run) each source's arrivals
-   must equal its accepts plus drops. *)
+   and each source's arrivals must balance its accepts plus drops.  When the
+   recording ring evicted a prefix, the dump's [truncated] markers declare
+   how much is missing per scope; the audit then allows each covered source
+   a resolution surplus (an evicted arrival whose accept/drop survived) up
+   to the declared budget, and reports which slots are unverifiable.
+   [--allow-truncation] remains for legacy traces without markers. *)
 let run_trace_validate allow_truncation path =
   let module E = Smbm_obs.Event in
   let per_src : (string, int * (int * int * int)) Hashtbl.t =
     (* src -> last slot, (arrivals, accepted, dropped) *)
     Hashtbl.create 16
   in
+  let truncations = ref [] (* scope, evicted, oldest surviving slot *) in
   let kinds = Hashtbl.create 8 in
   let lines = ref 0 in
   let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
@@ -625,38 +638,106 @@ let run_trace_validate allow_truncation path =
          let name = E.kind_name ev.E.kind in
          Hashtbl.replace kinds name
            (1 + Option.value (Hashtbl.find_opt kinds name) ~default:0);
-         let last, (arr, acc, drop) =
-           Option.value
-             (Hashtbl.find_opt per_src ev.E.src)
-             ~default:(0, (0, 0, 0))
-         in
-         if ev.E.slot < last then
-           fail "%s:%d: slot %d of %S goes backwards (last %d)" path !lines
-             ev.E.slot ev.E.src last;
-         let counts =
-           match ev.E.kind with
-           | E.Arrival _ -> (arr + 1, acc, drop)
-           | E.Accept _ -> (arr, acc + 1, drop)
-           | E.Drop _ -> (arr, acc, drop + 1)
-           | E.Push_out _ | E.Transmit _ | E.Slot_end _ -> (arr, acc, drop)
-         in
-         Hashtbl.replace per_src ev.E.src (ev.E.slot, counts)
+         match ev.E.kind with
+         | E.Truncated { evicted } ->
+           truncations := (ev.E.src, evicted, ev.E.slot) :: !truncations
+         | _ ->
+           let last, (arr, acc, drop) =
+             Option.value
+               (Hashtbl.find_opt per_src ev.E.src)
+               ~default:(0, (0, 0, 0))
+           in
+           if ev.E.slot < last then
+             fail "%s:%d: slot %d of %S goes backwards (last %d)" path !lines
+               ev.E.slot ev.E.src last;
+           let counts =
+             match ev.E.kind with
+             | E.Arrival _ -> (arr + 1, acc, drop)
+             | E.Accept _ -> (arr, acc + 1, drop)
+             | E.Drop _ -> (arr, acc, drop + 1)
+             | E.Push_out _ | E.Transmit _ | E.Transmit_bulk _ | E.Flush _
+             | E.Slot_end _ | E.Truncated _ ->
+               (arr, acc, drop)
+           in
+           Hashtbl.replace per_src ev.E.src (ev.E.slot, counts)
        end
      done
    with End_of_file -> close_in ic);
-  if not allow_truncation then
-    Hashtbl.iter
-      (fun src (_, (arr, acc, drop)) ->
-        if arr <> acc + drop then
-          fail "%s: source %S violates arrivals = accepted + dropped (%d <> %d + %d); a truncated ring buffer? (--allow-truncation)"
-            path src arr acc drop)
-      per_src;
+  let truncations = List.rev !truncations in
+  let sources =
+    Hashtbl.fold (fun src v acc -> (src, v) :: acc) per_src []
+    |> List.sort compare
+  in
+  (* Conservation per source.  In a stream whose oldest events were evicted,
+     resolutions can outnumber arrivals (the arrival fell off the ring, its
+     accept/drop survived) — never the reverse, since an arrival is always
+     recorded before its resolution. *)
+  let deficits =
+    List.filter_map
+      (fun (src, (_, (arr, acc, drop))) ->
+        let deficit = acc + drop - arr in
+        if deficit < 0 then
+          fail
+            "%s: source %S has %d arrivals but only %d resolutions — \
+             impossible even under truncation (corrupted trace)"
+            path src arr (acc + drop);
+        if deficit = 0 then None else Some (src, deficit))
+      sources
+  in
+  List.iter
+    (fun (src, deficit) ->
+      let budget =
+        List.fold_left
+          (fun b (scope, evicted, _) ->
+            if Smbm_forensics.Trace_file.scope_covers ~scope src then
+              b + evicted
+            else b)
+          0 truncations
+      in
+      if budget = 0 && not allow_truncation then
+        fail
+          "%s: source %S violates arrivals = accepted + dropped (missing %d \
+           arrivals) with no truncation marker covering it; a truncated \
+           legacy trace? (--allow-truncation)"
+          path src deficit)
+    deficits;
+  (* The declared budgets must cover the observed imbalances. *)
+  List.iter
+    (fun (scope, evicted, _) ->
+      let missing =
+        List.fold_left
+          (fun n (src, deficit) ->
+            if Smbm_forensics.Trace_file.scope_covers ~scope src then
+              n + deficit
+            else n)
+          0 deficits
+      in
+      if missing > evicted then
+        fail
+          "%s: scope %S declares %d evicted events but its sources are \
+           missing %d arrival resolutions (corrupted trace)"
+          path scope evicted missing)
+    truncations;
   let total = Hashtbl.fold (fun _ n acc -> acc + n) kinds 0 in
   Printf.printf "%s: %d events, %d sources, all lines valid\n" path total
     (Hashtbl.length per_src);
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) kinds []
   |> List.sort compare
-  |> List.iter (fun (k, n) -> Printf.printf "  %-9s %d\n" k n)
+  |> List.iter (fun (k, n) -> Printf.printf "  %-13s %d\n" k n);
+  List.iter
+    (fun (scope, evicted, oldest) ->
+      Printf.printf
+        "  truncated scope %s: %d events evicted; slots < %d unverifiable\n"
+        (if scope = "" then "(root)" else scope)
+        evicted oldest)
+    truncations;
+  List.iter
+    (fun (src, deficit) ->
+      Printf.printf
+        "  source %s: %d resolutions without surviving arrivals (evicted \
+         prefix)\n"
+        src deficit)
+    deficits
 
 let trace_validate_cmd =
   let allow_truncation =
@@ -679,6 +760,417 @@ let trace_validate_cmd =
          "Check an event trace written by $(b,--trace): strict JSONL \
           parsing, per-source slot monotonicity, and arrival conservation.")
     Term.(const run_trace_validate $ allow_truncation $ path)
+
+(* ----- trace-replay / trace-diff / trace-explain ----- *)
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let load_trace path =
+  match Smbm_forensics.Trace_file.load path with
+  | Ok t -> t
+  | Error msg -> die "%s" msg
+
+(* Two-trace commands: sources come from one file or two.  Omitted source
+   names default positionally — the first (and second) source of the
+   file(s) — which does the right thing for a two-policy trace. *)
+let resolve_pair file_a file_b src_a src_b =
+  let ta = load_trace file_a in
+  let tb = match file_b with None -> ta | Some p -> load_trace p in
+  let pick t n fallback =
+    match n with
+    | Some name -> (
+      match Smbm_forensics.Trace_file.find t name with
+      | Ok s -> s
+      | Error msg -> die "%s" msg)
+    | None -> (
+      match fallback t.Smbm_forensics.Trace_file.sources with
+      | Some s -> s
+      | None ->
+        die "%s: not enough sources (have: %s); name one with --a/--b"
+          t.Smbm_forensics.Trace_file.path
+          (String.concat ", " (Smbm_forensics.Trace_file.source_names t)))
+  in
+  let a = pick ta src_a (function s :: _ -> Some s | [] -> None) in
+  let b =
+    match file_b with
+    | Some _ -> pick tb src_b (function s :: _ -> Some s | [] -> None)
+    | None ->
+      pick tb src_b (fun sources ->
+          List.find_opt
+            (fun (s : Smbm_forensics.Trace_file.source) ->
+              s.Smbm_forensics.Trace_file.src
+              <> a.Smbm_forensics.Trace_file.src)
+            sources)
+  in
+  (a, b)
+
+let file_a_term =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE_A" ~doc:"Event trace (JSONL) written by $(b,--trace).")
+
+let file_b_term =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"FILE_B"
+        ~doc:"Second trace; omit when both sources are in $(i,FILE_A).")
+
+let src_a_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "a"; "src-a" ] ~docv:"SRC"
+        ~doc:"Reference source (e.g. $(b,OPT) or $(b,x=8/LWD)); default: the file's first source.")
+
+let src_b_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "src-b" ] ~docv:"SRC"
+        ~doc:"Source under scrutiny; default: the next distinct source.")
+
+let read_jsonl_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+(* Metric lines carry run labels (policy, model) the replayer cannot know;
+   strip them before the bit-identity comparison. *)
+let strip_metric_labels line =
+  match Smbm_obs.Json.parse_flat line with
+  | Error _ -> line
+  | Ok fields ->
+    Smbm_obs.Json.obj
+      (List.filter (fun (k, _) -> k <> "policy" && k <> "model") fields)
+
+let metric_policy_label lines =
+  List.find_map
+    (fun line ->
+      match Smbm_obs.Json.parse_flat line with
+      | Ok fields -> (
+        match List.assoc_opt "policy" fields with
+        | Some (Smbm_obs.Json.Str p) -> Some p
+        | _ -> None)
+      | Error _ -> None)
+    lines
+
+let run_trace_replay src expect_metrics path =
+  let module F = Smbm_forensics in
+  let file = load_trace path in
+  let sources =
+    match src with
+    | None -> file.F.Trace_file.sources
+    | Some name -> (
+      match F.Trace_file.find file name with
+      | Ok s -> [ s ]
+      | Error msg -> die "%s" msg)
+  in
+  if sources = [] then die "%s: no event sources" path;
+  let failed = ref false in
+  let replayed =
+    List.filter_map
+      (fun (s : F.Trace_file.source) ->
+        match F.Replay.replay s with
+        | r ->
+          Format.printf "%-20s %8d events  %a@." r.F.Replay.src
+            r.F.Replay.events F.Replay.pp_status r.F.Replay.status;
+          Format.printf "  %a@." Smbm_sim.Metrics.pp r.F.Replay.metrics;
+          Some r
+        | exception F.Replay.Divergent { src; lineno; slot; reason } ->
+          failed := true;
+          Printf.printf "%-20s DIVERGED at %s:%d (slot %d): %s\n" src path
+            lineno slot reason;
+          None)
+      sources
+  in
+  (match expect_metrics with
+  | None -> ()
+  | Some mpath ->
+    let expected = read_jsonl_lines mpath in
+    let r =
+      match metric_policy_label expected with
+      | None -> (
+        match replayed with
+        | [ r ] -> r
+        | _ ->
+          die "%s: no policy label; pass --src to pick the source to compare"
+            mpath)
+      | Some policy -> (
+        match
+          List.find_opt
+            (fun (r : Smbm_forensics.Replay.t) ->
+              r.Smbm_forensics.Replay.src = policy
+              || has_suffix ~suffix:("/" ^ policy)
+                   r.Smbm_forensics.Replay.src)
+            replayed
+        with
+        | Some r -> r
+        | None -> die "%s: no replayed source matches policy %S" mpath policy)
+    in
+    let expected = List.map strip_metric_labels expected in
+    let got = Smbm_sim.Metrics.to_jsonl r.Smbm_forensics.Replay.metrics in
+    if expected = got then
+      Printf.printf
+        "%s: reconstructed metrics of %s are bit-identical (%d lines)\n"
+        mpath r.Smbm_forensics.Replay.src (List.length got)
+    else begin
+      failed := true;
+      Printf.printf "%s: reconstructed metrics of %s DIFFER\n" mpath
+        r.Smbm_forensics.Replay.src;
+      let rec first_diff i xs ys =
+        match (xs, ys) with
+        | x :: xs', y :: ys' ->
+          if x = y then first_diff (i + 1) xs' ys'
+          else Printf.printf "  line %d:\n    expected %s\n    replayed %s\n" i x y
+        | x :: _, [] -> Printf.printf "  line %d only expected: %s\n" i x
+        | [], y :: _ -> Printf.printf "  line %d only replayed: %s\n" i y
+        | [], [] -> ()
+      in
+      first_diff 1 expected got
+    end);
+  if !failed then exit 1
+
+let trace_replay_cmd =
+  let src =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "src" ] ~docv:"SRC" ~doc:"Replay only this source.")
+  in
+  let expect_metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-metrics" ] ~docv:"FILE"
+          ~doc:
+            "Metrics JSONL written by $(b,--metrics-out) in the same run; \
+             fail unless the replayed counters and histograms reproduce it \
+             bit-identically (run labels excepted).")
+  in
+  Cmd.v
+    (Cmd.info "trace-replay"
+       ~doc:
+         "Fold an event trace back into shadow switch state: reconstruct \
+          per-port occupancy, buffer fill and every aggregate counter, \
+          certifying them against the recorded slot-end occupancies and \
+          conservation at every slot.  Exits non-zero on the first \
+          divergent event.")
+    Term.(const run_trace_replay $ src $ expect_metrics $ file_a_term)
+
+let run_trace_diff file_a file_b src_a src_b csv limit =
+  let module F = Smbm_forensics in
+  let a, b = resolve_pair file_a file_b src_a src_b in
+  match F.Diff.diff ~a ~b with
+  | Error msg -> die "%s" msg
+  | Ok d ->
+    Printf.printf "diff %s (A) vs %s (B): %d admissions over %d slots\n"
+      d.F.Diff.a d.F.Diff.b d.F.Diff.admissions
+      (min d.F.Diff.slots_a d.F.Diff.slots_b);
+    if d.F.Diff.slots_a <> d.F.Diff.slots_b then
+      Printf.printf "  (slot counts differ: A %d, B %d)\n" d.F.Diff.slots_a
+        d.F.Diff.slots_b;
+    (match d.F.Diff.first with
+    | None -> Printf.printf "decision sequences are identical\n"
+    | Some f ->
+      Printf.printf
+        "first divergence: slot %d, arrival #%d to port %d: A %s, B %s\n"
+        f.F.Diff.slot f.F.Diff.index f.F.Diff.dest
+        (F.Diff.decision_to_string f.F.Diff.a)
+        (F.Diff.decision_to_string f.F.Diff.b);
+      Printf.printf "differing admissions: %d / %d\n" d.F.Diff.diffs
+        d.F.Diff.admissions);
+    let divergent =
+      List.filter (fun (r : F.Diff.row) -> r.F.Diff.diffs > 0) d.F.Diff.rows
+    in
+    (match divergent with
+    | [] -> ()
+    | _ ->
+      let shown = List.filteri (fun i _ -> i < limit) divergent in
+      Printf.printf "divergent slots (%d total, first %d):\n"
+        (List.length divergent) (List.length shown);
+      let rows =
+        List.map
+          (fun (r : F.Diff.row) ->
+            [
+              string_of_int r.F.Diff.slot;
+              string_of_int r.F.Diff.arrivals;
+              string_of_int r.F.Diff.diffs;
+              string_of_int r.F.Diff.occ_a;
+              string_of_int r.F.Diff.occ_b;
+              string_of_int r.F.Diff.cum_tx_a;
+              string_of_int r.F.Diff.cum_tx_b;
+            ])
+          shown
+      in
+      print_string
+        (Smbm_report.Table.render
+           ~headers:
+             [ "slot"; "arrivals"; "diffs"; "occ A"; "occ B"; "cumTx A"; "cumTx B" ]
+           ~rows ()));
+    (match List.rev d.F.Diff.rows with
+    | last :: _ ->
+      Printf.printf "final objective: A %d vs B %d (gap %d)\n"
+        last.F.Diff.cum_tx_a last.F.Diff.cum_tx_b
+        (last.F.Diff.cum_tx_a - last.F.Diff.cum_tx_b)
+    | [] -> ());
+    (match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Smbm_report.Csv.write oc
+        ([ "slot"; "arrivals"; "diffs"; "occ_a"; "occ_b"; "cum_tx_a"; "cum_tx_b" ]
+        :: List.map
+             (fun (r : F.Diff.row) ->
+               [
+                 string_of_int r.F.Diff.slot;
+                 string_of_int r.F.Diff.arrivals;
+                 string_of_int r.F.Diff.diffs;
+                 string_of_int r.F.Diff.occ_a;
+                 string_of_int r.F.Diff.occ_b;
+                 string_of_int r.F.Diff.cum_tx_a;
+                 string_of_int r.F.Diff.cum_tx_b;
+               ])
+             d.F.Diff.rows);
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    if d.F.Diff.first <> None then exit 2
+
+let trace_diff_cmd =
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the full per-slot timeline as CSV.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Divergent slots to print (default 20).")
+  in
+  Cmd.v
+    (Cmd.info "trace-diff"
+       ~doc:
+         "Align two traces of the same arrival instance (two policies, or a \
+          policy against the OPT reference) and report the first admission \
+          decision where they part ways, plus a per-slot divergence \
+          timeline.  Exits 2 when the decision sequences differ.")
+    Term.(
+      const run_trace_diff $ file_a_term $ file_b_term $ src_a_term
+      $ src_b_term $ csv $ limit)
+
+let run_trace_explain file_a file_b src_a src_b top csv =
+  let module F = Smbm_forensics in
+  let a, b = resolve_pair file_a file_b src_a src_b in
+  match F.Attribution.attribute ~a ~b with
+  | Error msg -> die "%s" msg
+  | Ok t ->
+    Printf.printf
+      "attributing the gap of %s (B) vs %s (A) over %d slots%s\n"
+      t.F.Attribution.b t.F.Attribution.a t.F.Attribution.slots
+      (if t.F.Attribution.per_port_mode then "" else " (aggregate mode)");
+    Printf.printf "objective: A %d, B %d, gap %d\n" t.F.Attribution.tx_a
+      t.F.Attribution.tx_b t.F.Attribution.gap;
+    let balance =
+      t.F.Attribution.charged + t.F.Attribution.uncharged
+      - t.F.Attribution.credits
+    in
+    Printf.printf
+      "conservation: charged %d + uncharged %d - credits %d = %d %s\n"
+      t.F.Attribution.charged t.F.Attribution.uncharged
+      t.F.Attribution.credits balance
+      (if balance = t.F.Attribution.gap then "= gap [ok]" else "<> gap [BROKEN]");
+    if balance <> t.F.Attribution.gap then exit 1;
+    let ranked = List.filteri (fun i _ -> i < top) t.F.Attribution.ranked in
+    if ranked <> [] then begin
+      Printf.printf "most expensive decisions of %s (top %d of %d charged):\n"
+        t.F.Attribution.b (List.length ranked)
+        (List.length t.F.Attribution.ranked);
+      print_string
+        (Smbm_report.Table.render
+           ~headers:[ "line"; "slot"; "kind"; "queue"; "lost"; "charged" ]
+           ~rows:
+             (List.map
+                (fun (l : F.Attribution.loss) ->
+                  [
+                    string_of_int l.F.Attribution.lineno;
+                    string_of_int l.F.Attribution.slot;
+                    F.Attribution.kind_to_string l.F.Attribution.kind;
+                    (if l.F.Attribution.port < 0 then "-"
+                     else string_of_int l.F.Attribution.port);
+                    string_of_int l.F.Attribution.capacity;
+                    string_of_int l.F.Attribution.charged;
+                  ])
+                ranked)
+           ())
+    end;
+    (match t.F.Attribution.port_regret with
+    | [] -> ()
+    | per_port ->
+      Printf.printf "per-port regret (A's lead in objective units):\n";
+      List.iter
+        (fun (port, r) ->
+          if r <> 0 then Printf.printf "  port %2d: %+d\n" port r)
+        per_port);
+    if Array.length t.F.Attribution.regret_series > 1 then begin
+      let series =
+        Smbm_report.Series.of_ints ~name:"cumulative regret"
+          ~points:
+            (List.map
+               (fun (slot, r) -> (slot, float_of_int r))
+               (Array.to_list t.F.Attribution.regret_series))
+      in
+      print_string
+        (Smbm_report.Ascii_plot.render
+           ~title:
+             (Printf.sprintf "regret of %s vs %s" t.F.Attribution.b
+                t.F.Attribution.a)
+           ~x_label:"slot" [ series ])
+    end;
+    (match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Smbm_report.Csv.write oc
+        ([ "slot"; "cumulative_regret" ]
+        :: List.map
+             (fun (slot, r) -> [ string_of_int slot; string_of_int r ])
+             (Array.to_list t.F.Attribution.regret_series));
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+
+let trace_explain_cmd =
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Ranked loss events to print (default 15).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the cumulative regret series as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "trace-explain"
+       ~doc:
+         "Charge every unit of objective a reference run (A) delivered and \
+          a policy run (B) did not to B's concrete loss events — drops, \
+          push-outs, flushes — producing a ranked table of the most \
+          expensive decisions and a per-port regret series.  The charge is \
+          conservative: charged + uncharged - credits equals the measured \
+          gap exactly.")
+    Term.(
+      const run_trace_explain $ file_a_term $ file_b_term $ src_a_term
+      $ src_b_term $ top $ csv)
 
 (* ----- lowerbound ----- *)
 
@@ -865,10 +1357,6 @@ let load_bench_metrics path =
    with End_of_file -> close_in ic);
   List.rev !metrics
 
-let has_suffix ~suffix s =
-  let ls = String.length suffix and l = String.length s in
-  l >= ls && String.sub s (l - ls) ls = suffix
-
 let run_bench_diff baseline current tolerance cap slack mrd_floor =
   let base = load_bench_metrics baseline
   and cur = load_bench_metrics current in
@@ -972,6 +1460,7 @@ let () =
        (Cmd.group info
           [
             policies_cmd; compare_cmd; simulate_cmd; figure_cmd;
-            lowerbound_cmd; trace_cmd; trace_validate_cmd; certify_cmd;
-            sweep_cmd; bench_diff_cmd;
+            lowerbound_cmd; trace_cmd; trace_validate_cmd; trace_replay_cmd;
+            trace_diff_cmd; trace_explain_cmd; certify_cmd; sweep_cmd;
+            bench_diff_cmd;
           ]))

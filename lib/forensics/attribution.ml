@@ -1,0 +1,236 @@
+module Event = Smbm_obs.Event
+
+type loss_kind = Drop | Push_out | Flush
+
+type loss = {
+  lineno : int;
+  slot : int;
+  port : int;
+  kind : loss_kind;
+  capacity : int;
+  mutable charged : int;
+}
+
+type t = {
+  a : string;
+  b : string;
+  slots : int;
+  tx_a : int;
+  tx_b : int;
+  gap : int;
+  charged : int;
+  uncharged : int;
+  credits : int;
+  per_port_mode : bool;
+  losses : loss list;
+  ranked : loss list;
+  regret_series : (int * int) array;
+  port_regret : (int * int) list;
+}
+
+let kind_to_string = function
+  | Drop -> "drop"
+  | Push_out -> "push-out"
+  | Flush -> "flush"
+
+(* Per-slot, per-port transmitted objective of one stream, plus whether
+   every transmission names a real port. *)
+let tx_table (s : Trace_file.source) =
+  let tbl = Hashtbl.create 256 (* (slot, port) -> objective *) in
+  let ports_valid = ref true in
+  let slots = ref 0 in
+  let add slot port value =
+    if port < 0 then ports_valid := false;
+    Hashtbl.replace tbl (slot, port)
+      (value + Option.value (Hashtbl.find_opt tbl (slot, port)) ~default:0)
+  in
+  List.iter
+    (fun { Trace_file.event = ev; _ } ->
+      match ev.Event.kind with
+      | Event.Transmit { dest; value; _ } -> add ev.Event.slot dest value
+      | Event.Transmit_bulk { dest; count = _; value } ->
+        add ev.Event.slot dest value
+      | Event.Slot_end _ -> incr slots
+      | _ -> ())
+    s.Trace_file.lines;
+  (tbl, !ports_valid, !slots)
+
+let losses_of (s : Trace_file.source) =
+  List.rev
+    (List.fold_left
+       (fun acc { Trace_file.lineno; event = ev } ->
+         let slot = ev.Event.slot in
+         match ev.Event.kind with
+         | Event.Drop { dest; value } ->
+           { lineno; slot; port = dest; kind = Drop; capacity = value; charged = 0 }
+           :: acc
+         | Event.Push_out { victim; dest = _; lost } ->
+           {
+             lineno;
+             slot;
+             port = victim;
+             kind = Push_out;
+             capacity = lost;
+             charged = 0;
+           }
+           :: acc
+         | Event.Flush { count } when count > 0 ->
+           { lineno; slot; port = -1; kind = Flush; capacity = count; charged = 0 }
+           :: acc
+         | _ -> acc)
+       [] s.Trace_file.lines)
+
+let attribute ~(a : Trace_file.source) ~(b : Trace_file.source) =
+  match Diff.align ~a ~b with
+  | Error e -> Error e
+  | Ok () ->
+    let tx_a, ports_a, slots_a = tx_table a in
+    let tx_b, ports_b, slots_b = tx_table b in
+    if slots_a <> slots_b then
+      Error
+        (Printf.sprintf
+           "slot counts differ (%S: %d, %S: %d): the runs are not comparable"
+           a.Trace_file.src slots_a b.Trace_file.src slots_b)
+    else begin
+      let slots = slots_a in
+      let per_port_mode = ports_a && ports_b in
+      let losses = losses_of b in
+      (* Partition losses into FIFO lanes.  In aggregate mode every loss,
+         flushes included, sits in one lane; in per-port mode each port has
+         a lane and flushes form a shared overflow pool. *)
+      let lanes : (int, loss Queue.t) Hashtbl.t = Hashtbl.create 64 in
+      let lane port =
+        match Hashtbl.find_opt lanes port with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.add lanes port q;
+          q
+      in
+      List.iter
+        (fun l ->
+          let key =
+            if not per_port_mode then 0
+            else if l.kind = Flush then -1
+            else l.port
+          in
+          Queue.add l (lane key))
+        losses;
+      (* Charge [amount] FIFO into [q], only consuming losses that already
+         happened (slot <= now); returns what could not be absorbed.  Lanes
+         are slot-ordered, so exhausted heads can be discarded and the walk
+         stops at the first future loss — amortized O(1) per unit. *)
+      let charge_lane q ~now amount =
+        let rest = ref amount in
+        let blocked = ref false in
+        while (not !blocked) && !rest > 0 && not (Queue.is_empty q) do
+          let l = Queue.peek q in
+          if l.slot > now then blocked := true
+          else begin
+            let take = min !rest (l.capacity - l.charged) in
+            l.charged <- l.charged + take;
+            rest := !rest - take;
+            if l.charged = l.capacity then ignore (Queue.pop q)
+          end
+        done;
+        !rest
+      in
+      (* Ports present in either table (per-port mode). *)
+      let port_set = Hashtbl.create 32 in
+      if per_port_mode then begin
+        Hashtbl.iter (fun (_, p) _ -> Hashtbl.replace port_set p ()) tx_a;
+        Hashtbl.iter (fun (_, p) _ -> Hashtbl.replace port_set p ()) tx_b
+      end;
+      let ports =
+        if per_port_mode then
+          List.sort compare
+            (Hashtbl.fold (fun p () acc -> p :: acc) port_set [])
+        else [ 0 ]
+      in
+      (* Aggregate mode collapses each table to a per-slot vector up front;
+         per-port mode reads the (slot, port) cells directly. *)
+      let aggregate tbl =
+        let v = Array.make (max slots 1) 0 in
+        Hashtbl.iter
+          (fun (slot, _) value -> if slot < slots then v.(slot) <- v.(slot) + value)
+          tbl;
+        v
+      in
+      let agg_a = if per_port_mode then [||] else aggregate tx_a in
+      let agg_b = if per_port_mode then [||] else aggregate tx_b in
+      let tx_at tbl agg slot port =
+        if per_port_mode then
+          Option.value (Hashtbl.find_opt tbl (slot, port)) ~default:0
+        else agg.(slot)
+      in
+      let charged = ref 0
+      and uncharged = ref 0
+      and credits = ref 0
+      and total_a = ref 0
+      and total_b = ref 0 in
+      let port_regret = Hashtbl.create 32 in
+      let cum = ref 0 in
+      let sample_every = max 1 (slots / 256) in
+      let series = ref [] in
+      for slot = 0 to slots - 1 do
+        List.iter
+          (fun port ->
+            let va = tx_at tx_a agg_a slot port
+            and vb = tx_at tx_b agg_b slot port in
+            total_a := !total_a + va;
+            total_b := !total_b + vb;
+            let delta = va - vb in
+            cum := !cum + delta;
+            if per_port_mode then
+              Hashtbl.replace port_regret port
+                (delta
+                + Option.value (Hashtbl.find_opt port_regret port) ~default:0);
+            if delta < 0 then credits := !credits - delta
+            else if delta > 0 then begin
+              let rest = charge_lane (lane (if per_port_mode then port else 0)) ~now:slot delta in
+              let rest =
+                if per_port_mode && rest > 0 then
+                  charge_lane (lane (-1)) ~now:slot rest
+                else rest
+              in
+              charged := !charged + (delta - rest);
+              uncharged := !uncharged + rest
+            end)
+          ports;
+        if slot mod sample_every = 0 || slot = slots - 1 then
+          series := (slot, !cum) :: !series
+      done;
+      let gap = !total_a - !total_b in
+      (* Arithmetic identity, not an empirical check: every positive delta
+         went to charged or uncharged, every negative one to credits. *)
+      if !charged + !uncharged - !credits <> gap then
+        invalid_arg "Attribution.attribute: internal accounting broken";
+      let ranked =
+        List.sort
+          (fun (x : loss) (y : loss) ->
+            match compare y.charged x.charged with
+            | 0 -> compare x.slot y.slot
+            | c -> c)
+          (List.filter (fun (l : loss) -> l.charged > 0) losses)
+      in
+      Ok
+        {
+          a = a.Trace_file.src;
+          b = b.Trace_file.src;
+          slots;
+          tx_a = !total_a;
+          tx_b = !total_b;
+          gap;
+          charged = !charged;
+          uncharged = !uncharged;
+          credits = !credits;
+          per_port_mode;
+          losses;
+          ranked;
+          regret_series = Array.of_list (List.rev !series);
+          port_regret =
+            List.sort
+              (fun (_, x) (_, y) -> compare y x)
+              (Hashtbl.fold (fun p r acc -> (p, r) :: acc) port_regret []);
+        }
+    end

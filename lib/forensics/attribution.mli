@@ -1,0 +1,63 @@
+(** Regret attribution: charge a policy's throughput gap against a better
+    run to the concrete decisions that lost the packets.
+
+    Given two traces of the same arrival instance — [a] the reference (the
+    winner: OPT, [Exact_opt], or simply the better policy) and [b] the
+    policy under scrutiny — every unit of objective (transmission in the
+    processing model, value otherwise) that [a] delivered and [b] did not
+    is charged to one of [b]'s loss events:
+
+    - walking the slots in order, the per-slot per-port transmission
+      surplus [tx_a - tx_b] (positive part) is charged FIFO to [b]'s
+      still-uncharged losses on that port up to that slot — drops charge
+      the arrival's destination, push-outs the victim queue, flushes a
+      global pool;
+    - slots/ports where [b] out-transmitted [a] accumulate as [credits];
+    - surplus no loss can absorb is left [uncharged] (in the value model a
+      flush's objective capacity is under-declared — the event carries the
+      packet count, not the flushed value — so late surplus can overflow
+      there).
+
+    By construction [charged + uncharged - credits = gap] {e exactly}: the
+    attribution is conservative, every lost unit is accounted for.
+
+    When either trace lacks per-port transmissions (single-PQ reference
+    traces use [Transmit_bulk] with [dest = -1]), the charge runs in
+    aggregate mode: one global bucket instead of per-port lanes. *)
+
+type loss_kind = Drop | Push_out | Flush
+
+type loss = {
+  lineno : int;
+  slot : int;
+  port : int;  (** charged queue; [-1] for flushes *)
+  kind : loss_kind;
+  capacity : int;  (** objective units this event lost *)
+  mutable charged : int;  (** regret units attributed to it *)
+}
+
+type t = {
+  a : string;
+  b : string;
+  slots : int;
+  tx_a : int;  (** total objective [a] transmitted *)
+  tx_b : int;
+  gap : int;  (** [tx_a - tx_b] *)
+  charged : int;
+  uncharged : int;
+  credits : int;
+  per_port_mode : bool;
+  losses : loss list;  (** every loss of [b], stream order *)
+  ranked : loss list;  (** losses with [charged > 0], most expensive first *)
+  regret_series : (int * int) array;
+      (** (slot, cumulative regret), downsampled to <= 256 points *)
+  port_regret : (int * int) list;
+      (** final per-port regret (per-port mode only), descending *)
+}
+
+val attribute :
+  a:Trace_file.source -> b:Trace_file.source -> (t, string) result
+(** Errors when the traces are not the same arrival instance, a stream is
+    truncated or structurally broken, or the slot counts differ. *)
+
+val kind_to_string : loss_kind -> string

@@ -1,0 +1,258 @@
+module Event = Smbm_obs.Event
+
+type decision =
+  | Accepted
+  | Pushed of { victim : int; lost : int }
+  | Dropped of { value : int }
+
+type admission = { slot : int; index : int; dest : int; decision : decision }
+
+type divergence = {
+  slot : int;
+  index : int;
+  dest : int;
+  a : decision;
+  b : decision;
+}
+
+type row = {
+  slot : int;
+  arrivals : int;
+  diffs : int;
+  occ_a : int;
+  occ_b : int;
+  cum_tx_a : int;
+  cum_tx_b : int;
+}
+
+type t = {
+  a : string;
+  b : string;
+  admissions : int;
+  first : divergence option;
+  diffs : int;
+  rows : row list;
+  slots_a : int;
+  slots_b : int;
+}
+
+let decision_to_string = function
+  | Accepted -> "accept"
+  | Pushed { victim; lost } -> Printf.sprintf "push-out[%d,-%d]" victim lost
+  | Dropped { value } -> Printf.sprintf "drop[-%d]" value
+
+(* An engine's arrival phase emits, per arrival and in order:
+   [Arrival; (Push_out)?; (Accept | Drop)].  The parser walks that grammar;
+   anything else means the stream is structurally broken. *)
+let admissions (s : Trace_file.source) =
+  if s.Trace_file.evicted > 0 then
+    Error
+      (Printf.sprintf
+         "source %S is truncated (%d events evicted): its decision sequence \
+          is incomplete and cannot be diffed"
+         s.Trace_file.src s.Trace_file.evicted)
+  else begin
+    let out = ref [] in
+    let pending = ref None (* (slot, index, dest, push-out) *) in
+    let cur_slot = ref 0 in
+    let cur_index = ref 0 in
+    let error = ref None in
+    let fail lineno fmt =
+      Printf.ksprintf
+        (fun msg ->
+          if !error = None then
+            error :=
+              Some (Printf.sprintf "%s: line %d: %s" s.Trace_file.src lineno msg))
+        fmt
+    in
+    List.iter
+      (fun { Trace_file.lineno; event = ev } ->
+        if !error = None then begin
+          let slot = ev.Event.slot in
+          match ev.Event.kind with
+          | Event.Arrival { dest } ->
+            if !pending <> None then fail lineno "arrival left unresolved";
+            if slot <> !cur_slot then begin
+              cur_slot := slot;
+              cur_index := 0
+            end;
+            pending := Some (slot, !cur_index, dest, None);
+            incr cur_index
+          | Event.Push_out { victim; dest = _; lost } -> (
+            match !pending with
+            | Some (pslot, pidx, pdest, None) ->
+              pending := Some (pslot, pidx, pdest, Some (victim, lost))
+            | Some _ -> fail lineno "second push-out for one arrival"
+            | None -> fail lineno "push-out without a pending arrival")
+          | Event.Accept _ -> (
+            match !pending with
+            | Some (pslot, pidx, pdest, push) ->
+              let decision =
+                match push with
+                | Some (victim, lost) -> Pushed { victim; lost }
+                | None -> Accepted
+              in
+              out :=
+                { slot = pslot; index = pidx; dest = pdest; decision } :: !out;
+              pending := None
+            | None -> fail lineno "accept without a pending arrival")
+          | Event.Drop { dest = _; value } -> (
+            match !pending with
+            | Some (pslot, pidx, pdest, None) ->
+              out :=
+                {
+                  slot = pslot;
+                  index = pidx;
+                  dest = pdest;
+                  decision = Dropped { value };
+                }
+                :: !out;
+              pending := None
+            | Some _ -> fail lineno "drop after a push-out"
+            | None -> fail lineno "drop without a pending arrival")
+          | Event.Transmit _ | Event.Transmit_bulk _ | Event.Flush _
+          | Event.Slot_end _ | Event.Truncated _ ->
+            if !pending <> None then fail lineno "arrival left unresolved"
+        end)
+      s.Trace_file.lines;
+    if !error = None && !pending <> None then
+      error := Some (s.Trace_file.src ^ ": trailing unresolved arrival");
+    match !error with Some e -> Error e | None -> Ok (List.rev !out)
+  end
+
+(* Per-slot traversal aggregates: occupancy at slot_end and objective
+   transmitted within the slot, indexed by slot. *)
+let slot_stats (s : Trace_file.source) =
+  let occ = Hashtbl.create 256 in
+  let tx = Hashtbl.create 256 in
+  let slots = ref 0 in
+  List.iter
+    (fun { Trace_file.event = ev; _ } ->
+      let slot = ev.Event.slot in
+      match ev.Event.kind with
+      | Event.Slot_end { occupancy } ->
+        Hashtbl.replace occ slot occupancy;
+        incr slots
+      | Event.Transmit { value; _ } | Event.Transmit_bulk { value; _ } ->
+        Hashtbl.replace tx slot
+          (value + Option.value (Hashtbl.find_opt tx slot) ~default:0)
+      | _ -> ())
+    s.Trace_file.lines;
+  (occ, tx, !slots)
+
+let arrival_signature adms =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (a : admission) ->
+      Hashtbl.replace tbl a.slot
+        (a.dest :: Option.value (Hashtbl.find_opt tbl a.slot) ~default:[]))
+    adms;
+  tbl
+
+let check_alignment ~a_name ~b_name a_adms b_adms =
+  let sig_a = arrival_signature a_adms and sig_b = arrival_signature b_adms in
+  let mismatch = ref None in
+  Hashtbl.iter
+    (fun slot dests ->
+      match !mismatch with
+      | Some _ -> ()
+      | None ->
+        if Option.value (Hashtbl.find_opt sig_b slot) ~default:[] <> dests
+        then mismatch := Some slot)
+    sig_a;
+  Hashtbl.iter
+    (fun slot dests ->
+      match !mismatch with
+      | Some _ -> ()
+      | None ->
+        if Option.value (Hashtbl.find_opt sig_a slot) ~default:[] <> dests
+        then mismatch := Some slot)
+    sig_b;
+  match !mismatch with
+  | Some slot ->
+    Error
+      (Printf.sprintf
+         "%S and %S are not traces of the same arrival instance: arrival \
+          sequences differ at slot %d"
+         a_name b_name slot)
+  | None -> Ok ()
+
+let align ~(a : Trace_file.source) ~(b : Trace_file.source) =
+  match admissions a with
+  | Error e -> Error e
+  | Ok a_adms -> (
+    match admissions b with
+    | Error e -> Error e
+    | Ok b_adms ->
+      check_alignment ~a_name:a.Trace_file.src ~b_name:b.Trace_file.src a_adms
+        b_adms)
+
+let diff ~(a : Trace_file.source) ~(b : Trace_file.source) =
+  match admissions a with
+  | Error e -> Error e
+  | Ok a_adms -> (
+    match admissions b with
+    | Error e -> Error e
+    | Ok b_adms -> (
+      match
+        check_alignment ~a_name:a.Trace_file.src ~b_name:b.Trace_file.src
+          a_adms b_adms
+      with
+      | Error e -> Error e
+      | Ok () ->
+        (* Same instance: the two admission sequences pair up 1:1. *)
+        let first = ref None in
+        let diffs = ref 0 in
+        let slot_diffs = Hashtbl.create 256 in
+        let slot_arrivals = Hashtbl.create 256 in
+        List.iter2
+          (fun (x : admission) (y : admission) ->
+            Hashtbl.replace slot_arrivals x.slot
+              (1 + Option.value (Hashtbl.find_opt slot_arrivals x.slot) ~default:0);
+            if x.decision <> y.decision then begin
+              incr diffs;
+              Hashtbl.replace slot_diffs x.slot
+                (1 + Option.value (Hashtbl.find_opt slot_diffs x.slot) ~default:0);
+              if !first = None then
+                first :=
+                  Some
+                    {
+                      slot = x.slot;
+                      index = x.index;
+                      dest = x.dest;
+                      a = x.decision;
+                      b = y.decision;
+                    }
+            end)
+          a_adms b_adms;
+        let occ_a, tx_a, slots_a = slot_stats a in
+        let occ_b, tx_b, slots_b = slot_stats b in
+        let rows = ref [] in
+        let cum_a = ref 0 and cum_b = ref 0 in
+        for slot = 0 to min slots_a slots_b - 1 do
+          cum_a := !cum_a + Option.value (Hashtbl.find_opt tx_a slot) ~default:0;
+          cum_b := !cum_b + Option.value (Hashtbl.find_opt tx_b slot) ~default:0;
+          rows :=
+            {
+              slot;
+              arrivals =
+                Option.value (Hashtbl.find_opt slot_arrivals slot) ~default:0;
+              diffs = Option.value (Hashtbl.find_opt slot_diffs slot) ~default:0;
+              occ_a = Option.value (Hashtbl.find_opt occ_a slot) ~default:0;
+              occ_b = Option.value (Hashtbl.find_opt occ_b slot) ~default:0;
+              cum_tx_a = !cum_a;
+              cum_tx_b = !cum_b;
+            }
+            :: !rows
+        done;
+        Ok
+          {
+            a = a.Trace_file.src;
+            b = b.Trace_file.src;
+            admissions = List.length a_adms;
+            first = !first;
+            diffs = !diffs;
+            rows = List.rev !rows;
+            slots_a;
+            slots_b;
+          }))

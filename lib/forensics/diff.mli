@@ -1,0 +1,64 @@
+(** Decision-level diff of two traces of the same arrival instance.
+
+    Two instances run in lockstep over one workload (the [compare] /
+    [figure] setup, or a policy against the [Opt_ref] / [Exact_opt]
+    reference) see identical arrival sequences; everything that differs is
+    the policies' doing.  The diff parses each stream back into a sequence
+    of {e admission decisions} — one per arrival, [Accepted], pushed-out
+    ([Pushed]) or [Dropped] — verifies the two streams really are the same
+    instance (identical per-slot arrival destinations), and reports the
+    first arrival the two policies treated differently plus a per-slot
+    divergence timeline. *)
+
+type decision =
+  | Accepted
+  | Pushed of { victim : int; lost : int }
+      (** admitted by evicting from queue [victim] (bag key for single-PQ
+          reference traces) at objective cost [lost] *)
+  | Dropped of { value : int }  (** rejected, losing objective [value] *)
+
+type admission = { slot : int; index : int; dest : int; decision : decision }
+(** [index] numbers the arrivals within a slot, so (slot, index) names one
+    arrival across all traces of the instance. *)
+
+type divergence = {
+  slot : int;
+  index : int;
+  dest : int;
+  a : decision;
+  b : decision;
+}
+
+type row = {
+  slot : int;
+  arrivals : int;
+  diffs : int;  (** admissions decided differently in this slot *)
+  occ_a : int;
+  occ_b : int;
+  cum_tx_a : int;  (** cumulative transmitted objective after this slot *)
+  cum_tx_b : int;
+}
+
+type t = {
+  a : string;
+  b : string;
+  admissions : int;
+  first : divergence option;  (** [None]: the decision sequences agree *)
+  diffs : int;
+  rows : row list;  (** one per slot both traces completed *)
+  slots_a : int;
+  slots_b : int;
+}
+
+val admissions : Trace_file.source -> (admission list, string) result
+(** Parse a stream into its admission sequence.  Errors on structurally
+    broken streams (decision without an arrival, arrival left unresolved);
+    truncated streams are rejected — a diff needs the full prefix. *)
+
+val align :
+  a:Trace_file.source -> b:Trace_file.source -> (unit, string) result
+(** Check the two streams saw the same per-slot arrival destinations. *)
+
+val diff : a:Trace_file.source -> b:Trace_file.source -> (t, string) result
+
+val decision_to_string : decision -> string

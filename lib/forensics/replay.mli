@@ -1,0 +1,56 @@
+(** Shadow-state replay: fold one source's event stream back into switch
+    state and re-derive every aggregate counter.
+
+    The replayer drives a fresh {!Smbm_sim.Metrics.t} with exactly the
+    [record_*] calls, in exactly the order, that the live engine made while
+    emitting the events — so for a complete (untruncated) stream the
+    reconstructed metrics are {e bit-identical} to the run's, down to the
+    float accumulation order of the latency and occupancy statistics.
+    Alongside the metrics it maintains the buffer fill and per-port
+    occupancy, and certifies at every [slot_end] that
+
+    - the reconstructed fill equals the recorded occupancy,
+    - the counters satisfy conservation
+      ([arrivals = accepted + dropped], derived in-buffer = fill),
+
+    and at every [flush] that the flushed count equals the fill.  The first
+    event breaking any of these raises {!Divergent} with its line number —
+    either the trace is corrupted or an engine's accounting is wrong.
+
+    Streams whose recording ring evicted a prefix cannot be certified (the
+    fold starts mid-run); they are still folded, but no check is applied and
+    the result is marked {!Unverifiable}. *)
+
+exception
+  Divergent of { src : string; lineno : int; slot : int; reason : string }
+
+type status =
+  | Verified of { slots : int; checks : int }
+      (** complete stream: every [slot_end]/[flush] certificate held *)
+  | Unverifiable of { evicted : int; oldest_slot : int }
+      (** truncated stream: state unknown before [oldest_slot] *)
+
+type t = {
+  src : string;
+  metrics : Smbm_sim.Metrics.t;  (** reconstructed aggregates *)
+  events : int;
+  slots : int;  (** [slot_end] events seen *)
+  final_fill : int;
+  per_port : int array;
+      (** final per-port occupancy; meaningful only when [ports_valid] *)
+  ports_valid : bool;
+      (** false for port-less reference traces ([Transmit_bulk] with
+          [dest = -1], bag-key push-out victims) *)
+  status : status;
+}
+
+val replay : Trace_file.source -> t
+(** @raise Divergent on the first event inconsistent with the
+    reconstructed state (complete streams only). *)
+
+val replay_all :
+  Trace_file.t -> (string * (t, exn) result) list
+(** Replay every source, capturing {!Divergent} per source instead of
+    raising. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,112 @@
+module Event = Smbm_obs.Event
+
+type line = { lineno : int; event : Event.t }
+
+type source = {
+  src : string;
+  lines : line list;
+  evicted : int;
+  oldest_slot : int;
+}
+
+type t = {
+  path : string;
+  line_count : int;
+  sources : source list;
+  truncations : (string * int * int) list;
+}
+
+let scope_covers ~scope src =
+  scope = "" || src = scope
+  ||
+  let ls = String.length scope in
+  String.length src > ls
+  && String.sub src 0 ls = scope
+  && src.[ls] = '/'
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let buckets : (string, line list ref) Hashtbl.t = Hashtbl.create 16 in
+    let order = ref [] in
+    let truncations = ref [] in
+    let lineno = ref 0 in
+    let error = ref None in
+    (try
+       while !error = None do
+         let raw = input_line ic in
+         incr lineno;
+         if String.trim raw <> "" then begin
+           match Event.of_json raw with
+           | Error msg ->
+             error := Some (Printf.sprintf "%s:%d: %s" path !lineno msg)
+           | Ok ev -> (
+             match ev.Event.kind with
+             | Event.Truncated { evicted } ->
+               truncations :=
+                 (ev.Event.src, evicted, ev.Event.slot) :: !truncations
+             | _ ->
+               let bucket =
+                 match Hashtbl.find_opt buckets ev.Event.src with
+                 | Some b -> b
+                 | None ->
+                   let b = ref [] in
+                   Hashtbl.add buckets ev.Event.src b;
+                   order := ev.Event.src :: !order;
+                   b
+               in
+               bucket := { lineno = !lineno; event = ev } :: !bucket)
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match !error with
+    | Some msg -> Error msg
+    | None ->
+      let truncations = List.rev !truncations in
+      let sources =
+        List.rev_map
+          (fun src ->
+            let lines = List.rev !(Hashtbl.find buckets src) in
+            (* Several scopes can cover one source (e.g. "" and "x=8");
+               their budgets add up, and the tightest oldest-surviving slot
+               wins. *)
+            let evicted, oldest_slot =
+              List.fold_left
+                (fun (e, o) (scope, evicted, slot) ->
+                  if scope_covers ~scope src then (e + evicted, max o slot)
+                  else (e, o))
+                (0, 0) truncations
+            in
+            { src; lines; evicted; oldest_slot })
+          !order
+      in
+      Ok { path; line_count = !lineno; sources; truncations }
+
+let source_names t = List.map (fun s -> s.src) t.sources
+
+let find t name =
+  match List.find_opt (fun s -> s.src = name) t.sources with
+  | Some s -> Ok s
+  | None -> (
+    let suffix_matches =
+      List.filter
+        (fun s ->
+          let ls = String.length s.src and ln = String.length name in
+          ls > ln + 1
+          && String.sub s.src (ls - ln) ln = name
+          && s.src.[ls - ln - 1] = '/')
+        t.sources
+    in
+    match suffix_matches with
+    | [ s ] -> Ok s
+    | [] ->
+      Error
+        (Printf.sprintf "no source %S in %s (available: %s)" name t.path
+           (String.concat ", " (source_names t)))
+    | many ->
+      Error
+        (Printf.sprintf "source %S is ambiguous in %s (matches: %s)" name
+           t.path
+           (String.concat ", " (List.map (fun s -> s.src) many))))

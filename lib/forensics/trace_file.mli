@@ -1,0 +1,44 @@
+(** Loading an event trace from disk into per-source streams.
+
+    A trace file (written by [--trace]) interleaves the event streams of
+    several instances, each identified by its [src] field (optionally
+    scope-qualified, e.g. ["x=8/LWD"]).  Loading splits the file back into
+    one stream per source, keeps original line numbers for error reporting,
+    and resolves [Truncated] metadata markers: each marker's [src] is a
+    recorder scope, and it covers every source inside that scope, declaring
+    how many of their oldest events the recording ring evicted. *)
+
+type line = { lineno : int; event : Smbm_obs.Event.t }
+
+type source = {
+  src : string;
+  lines : line list;  (** oldest first; [Truncated] markers excluded *)
+  evicted : int;
+      (** events evicted from this source's scope before the stream starts
+          (0 = the stream is complete) *)
+  oldest_slot : int;
+      (** when [evicted > 0], the oldest slot surviving in the scope: slots
+          before it are unverifiable *)
+}
+
+type t = {
+  path : string;
+  line_count : int;
+  sources : source list;  (** in order of first appearance *)
+  truncations : (string * int * int) list;
+      (** (scope, evicted, oldest surviving slot) markers found *)
+}
+
+val scope_covers : scope:string -> string -> bool
+(** [scope_covers ~scope src]: the empty scope covers everything; otherwise
+    [src] is covered when it equals [scope] or starts with [scope ^ "/"]. *)
+
+val load : string -> (t, string) result
+(** Strictly parse every line ({!Smbm_obs.Event.of_json}); the error is
+    positioned as ["file:line: message"]. *)
+
+val find : t -> string -> (source, string) result
+(** Resolve a source by exact [src], or — when unambiguous — by suffix
+    (["LWD"] matches ["x=8/LWD"]).  The error lists the available sources. *)
+
+val source_names : t -> string list

@@ -31,15 +31,17 @@ let create ?name ?recorder config (policy : Hybrid_policy.t) =
     | Decision.Push_out { victim } ->
       if not (Hybrid_switch.is_full sw) then
         invalid_arg (name ^ ": push-out with free space");
-      ignore (Hybrid_switch.push_out sw ~victim);
+      let evicted = Hybrid_switch.push_out sw ~victim in
       Metrics.record_push_out metrics;
-      record (Smbm_obs.Event.Push_out { victim; dest = a.dest });
+      record
+        (Smbm_obs.Event.Push_out
+           { victim; dest = a.dest; lost = evicted.Hybrid_switch.value });
       ignore (Hybrid_switch.accept sw ~dest:a.dest ~value:a.value);
       Metrics.record_accept metrics;
       record (Smbm_obs.Event.Accept { dest = a.dest })
     | Decision.Drop ->
       Metrics.record_drop metrics;
-      record (Smbm_obs.Event.Drop { dest = a.dest })
+      record (Smbm_obs.Event.Drop { dest = a.dest; value = a.value })
   in
   let inst : Instance.t =
     {
@@ -55,7 +57,9 @@ let create ?name ?recorder config (policy : Hybrid_policy.t) =
           Hybrid_switch.advance_slot sw);
       flush =
         (fun () ->
-          Metrics.record_flush metrics (Hybrid_switch.flush sw);
+          let count = Hybrid_switch.flush sw in
+          Metrics.record_flush metrics count;
+          record (Smbm_obs.Event.Flush { count });
           Metrics.check_conservation metrics);
       occupancy = (fun () -> Hybrid_switch.occupancy sw);
       metrics;

@@ -1,10 +1,13 @@
 type kind =
   | Arrival of { dest : int }
   | Accept of { dest : int }
-  | Push_out of { victim : int; dest : int }
-  | Drop of { dest : int }
+  | Push_out of { victim : int; dest : int; lost : int }
+  | Drop of { dest : int; value : int }
   | Transmit of { dest : int; value : int; latency : int }
+  | Transmit_bulk of { dest : int; count : int; value : int }
+  | Flush of { count : int }
   | Slot_end of { occupancy : int }
+  | Truncated of { evicted : int }
 
 type t = { src : string; slot : int; kind : kind }
 
@@ -16,20 +19,36 @@ let kind_name = function
   | Push_out _ -> "push_out"
   | Drop _ -> "drop"
   | Transmit _ -> "transmit"
+  | Transmit_bulk _ -> "transmit_bulk"
+  | Flush _ -> "flush"
   | Slot_end _ -> "slot_end"
+  | Truncated _ -> "truncated"
 
 let payload = function
-  | Arrival { dest } | Accept { dest } | Drop { dest } ->
-    [ ("dest", Json.Int dest) ]
-  | Push_out { victim; dest } ->
-    [ ("victim", Json.Int victim); ("dest", Json.Int dest) ]
+  | Arrival { dest } | Accept { dest } -> [ ("dest", Json.Int dest) ]
+  | Push_out { victim; dest; lost } ->
+    [
+      ("victim", Json.Int victim);
+      ("dest", Json.Int dest);
+      ("lost", Json.Int lost);
+    ]
+  | Drop { dest; value } ->
+    [ ("dest", Json.Int dest); ("value", Json.Int value) ]
   | Transmit { dest; value; latency } ->
     [
       ("dest", Json.Int dest);
       ("value", Json.Int value);
       ("latency", Json.Int latency);
     ]
+  | Transmit_bulk { dest; count; value } ->
+    [
+      ("dest", Json.Int dest);
+      ("count", Json.Int count);
+      ("value", Json.Int value);
+    ]
+  | Flush { count } -> [ ("count", Json.Int count) ]
   | Slot_end { occupancy } -> [ ("occupancy", Json.Int occupancy) ]
+  | Truncated { evicted } -> [ ("evicted", Json.Int evicted) ]
 
 let to_json t =
   Json.obj
@@ -40,10 +59,14 @@ let to_json t =
 
 (* Field sets per kind, for strict validation. *)
 let fields_of_ev = function
-  | "arrival" | "accept" | "drop" -> Some [ "dest" ]
-  | "push_out" -> Some [ "victim"; "dest" ]
+  | "arrival" | "accept" -> Some [ "dest" ]
+  | "push_out" -> Some [ "victim"; "dest"; "lost" ]
+  | "drop" -> Some [ "dest"; "value" ]
   | "transmit" -> Some [ "dest"; "value"; "latency" ]
+  | "transmit_bulk" -> Some [ "dest"; "count"; "value" ]
+  | "flush" -> Some [ "count" ]
   | "slot_end" -> Some [ "occupancy" ]
+  | "truncated" -> Some [ "evicted" ]
   | _ -> None
 
 let of_json line =
@@ -90,18 +113,31 @@ let of_json line =
     | "push_out" ->
       let* victim = int "victim" in
       let* dest = int "dest" in
-      Ok (Push_out { victim; dest })
+      let* lost = int "lost" in
+      Ok (Push_out { victim; dest; lost })
     | "drop" ->
       let* dest = int "dest" in
-      Ok (Drop { dest })
+      let* value = int "value" in
+      Ok (Drop { dest; value })
     | "transmit" ->
       let* dest = int "dest" in
       let* value = int "value" in
       let* latency = int "latency" in
       Ok (Transmit { dest; value; latency })
+    | "transmit_bulk" ->
+      let* dest = int "dest" in
+      let* count = int "count" in
+      let* value = int "value" in
+      Ok (Transmit_bulk { dest; count; value })
+    | "flush" ->
+      let* count = int "count" in
+      Ok (Flush { count })
     | "slot_end" ->
       let* occupancy = int "occupancy" in
       Ok (Slot_end { occupancy })
+    | "truncated" ->
+      let* evicted = int "evicted" in
+      Ok (Truncated { evicted })
     | _ -> assert false (* fields_of_ev already rejected it *)
   in
   Ok { src; slot; kind }

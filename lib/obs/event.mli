@@ -5,19 +5,45 @@
     are diffable and bit-stable.  Everything in an event is derived from
     simulation state (slot indices, ports, occupancies, latencies measured
     in slots) — never from wall-clock time — so a trace is deterministic in
-    the run's seed and parameters, independent of scheduling. *)
+    the run's seed and parameters, independent of scheduling.
+
+    The schema carries enough state to make traces {e replayable}: from a
+    complete stream, {!Smbm_forensics.Replay} reconstructs per-port
+    occupancy, buffer fill and every aggregate counter, and certifies them
+    against the recorded [slot_end] occupancies. *)
 
 type kind =
   | Arrival of { dest : int }  (** a packet was offered to the switch *)
   | Accept of { dest : int }  (** the arrival was admitted *)
-  | Push_out of { victim : int; dest : int }
+  | Push_out of { victim : int; dest : int; lost : int }
       (** queue [victim] lost a packet to make room for an arrival to
-          [dest]; always followed by the corresponding [Accept] *)
-  | Drop of { dest : int }  (** the arrival was rejected *)
+          [dest]; always followed by the corresponding [Accept].  [lost] is
+          the objective lost with the evicted packet: 1 in the processing
+          model (one transmission), the packet's value in the value model.
+          In single-priority-queue reference traces ({!Smbm_sim.Opt_ref})
+          [victim] is the evicted {e bag key} (residual work, resp. value),
+          not a port index. *)
+  | Drop of { dest : int; value : int }
+      (** the arrival was rejected; [value] is the objective lost with it
+          (1 in the processing model, the arrival's value otherwise) *)
   | Transmit of { dest : int; value : int; latency : int }
       (** a packet completed; [latency] in slots since its arrival *)
+  | Transmit_bulk of { dest : int; count : int; value : int }
+      (** [count] packets of total objective [value] completed in one
+          transmission phase without per-packet latency attribution —
+          emitted by reference solvers ({!Smbm_sim.Opt_ref},
+          {!Smbm_sim.Exact_opt}).  [dest] is the serving port, or [-1] when
+          the reference holds one aggregate queue. *)
+  | Flush of { count : int }
+      (** the simulator's periodic flushout discarded all [count] buffered
+          packets *)
   | Slot_end of { occupancy : int }
       (** end of the slot's transmission phase, buffer population *)
+  | Truncated of { evicted : int }
+      (** trace metadata, not a switch event: the recording ring evicted
+          [evicted] older events before this line.  Emitted as the first
+          line of a scope's dump; [slot] is the oldest surviving slot, so
+          slots before it are unverifiable; [src] is the recorder's scope. *)
 
 type t = { src : string; slot : int; kind : kind }
 (** [src] identifies the emitting instance, optionally qualified by the

@@ -38,6 +38,16 @@ let events t =
   iter (fun e -> acc := e :: !acc) t;
   List.rev !acc
 
+let dump t =
+  let held = events t in
+  let evicted = dropped t in
+  if evicted = 0 then held
+  else
+    let slot =
+      match held with e :: _ -> e.Event.slot | [] -> 0
+    in
+    Event.make ~src:t.scope ~slot (Event.Truncated { evicted }) :: held
+
 let clear t =
   Array.fill t.buf 0 t.cap None;
   t.next <- 0;

@@ -32,6 +32,13 @@ val capacity : t -> int
 val events : t -> Event.t list
 (** Held events, oldest first. *)
 
+val dump : t -> Event.t list
+(** {!events}, preceded — iff the capacity bound evicted anything — by a
+    [Truncated] metadata event declaring the eviction count, stamped with
+    the recorder's scope and the oldest surviving slot.  Downstream
+    consumers ({!Smbm_forensics}, [trace-validate]) use the marker to tell
+    a deliberately bounded trace from a corrupted one. *)
+
 val iter : (Event.t -> unit) -> t -> unit
 (** [iter f t] applies [f] oldest-first without building a list. *)
 

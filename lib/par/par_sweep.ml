@@ -64,7 +64,7 @@ let run_panel_traced ?jobs ?on_tick ?on_timing ?spans
                 ~axis:panel.Sweep.axis ~x ()
             in
             ( { Sweep.x; ratios },
-              Smbm_obs.Recorder.events recorder,
+              Smbm_obs.Recorder.dump recorder,
               Smbm_obs.Recorder.dropped recorder ))
           panel.Sweep.xs)
   in

@@ -57,7 +57,9 @@ val run_panel :
 type traced = {
   outcome : Sweep.outcome;
   events : Smbm_obs.Event.t list;
-      (** every policy instance's per-slot events, points in sweep order *)
+      (** every policy instance's per-slot events, points in sweep order;
+          each point whose ring buffer evicted anything is preceded by its
+          [Truncated] marker ({!Smbm_obs.Recorder.dump}) *)
   dropped_events : int;
       (** events evicted by per-point ring buffers at [trace_cap] *)
 }

@@ -54,6 +54,10 @@ let max_seen t = t.max_seen
 let quantile t q =
   if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0, 1]";
   if t.total = 0 then 0.0
+  else if t.total = 1 then
+    (* The one sample is [max_seen] itself; interpolating inside its bucket
+       would report a value strictly below it for any q < 1. *)
+    t.max_seen
   else begin
     let rank = q *. float_of_int t.total in
     let rec scan i seen =

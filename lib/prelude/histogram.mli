@@ -17,7 +17,9 @@ val add : t -> float -> unit
 val count : t -> int
 
 val quantile : t -> float -> float
-(** [quantile t q] for [q] in [0, 1]; 0 when empty.
+(** [quantile t q] for [q] in [0, 1]; 0 when empty, and exactly the sample
+    when only one has been added (every quantile of a single observation is
+    that observation — no in-bucket interpolation below it).
     @raise Invalid_argument for [q] outside [0, 1]. *)
 
 val mean : t -> float

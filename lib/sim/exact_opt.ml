@@ -16,7 +16,7 @@ end
 
 module Proc_tbl = Hashtbl.Make (Proc_state)
 
-let proc config trace ~drain =
+let proc ?recorder ?(name = "EXACT") config trace ~drain =
   if drain < 0 then invalid_arg "Exact_opt.proc: negative drain";
   let n = Proc_config.n config in
   let buffer = config.Proc_config.buffer in
@@ -31,26 +31,30 @@ let proc config trace ~drain =
   in
   (* Deterministic transmission phase on a queue-state copy; returns the
      packets transmitted. *)
+  let serve_queue i (len, hol) =
+    let work = Proc_config.work config i in
+    let len = ref len and hol = ref hol and budget = ref cycles in
+    let sent = ref 0 in
+    while !budget > 0 && !len > 0 do
+      let served = min !budget !hol in
+      hol := !hol - served;
+      budget := !budget - served;
+      if !hol = 0 then begin
+        incr sent;
+        decr len;
+        hol := work
+      end
+    done;
+    ((!len, if !len = 0 then 0 else !hol), !sent)
+  in
   let transmit queues =
     let queues = Array.copy queues in
     let sent = ref 0 in
     Array.iteri
-      (fun i (len, hol) ->
-        if len > 0 then begin
-          let work = Proc_config.work config i in
-          let len = ref len and hol = ref hol and budget = ref cycles in
-          while !budget > 0 && !len > 0 do
-            let served = min !budget !hol in
-            hol := !hol - served;
-            budget := !budget - served;
-            if !hol = 0 then begin
-              incr sent;
-              decr len;
-              hol := work
-            end
-          done;
-          queues.(i) <- (!len, if !len = 0 then 0 else !hol)
-        end)
+      (fun i q ->
+        let q', sent_i = serve_queue i q in
+        queues.(i) <- q';
+        sent := !sent + sent_i)
       queues;
     (queues, !sent)
   in
@@ -83,7 +87,62 @@ let proc config trace ~drain =
         Proc_tbl.add memo st v;
         v
   in
-  best { slot = 0; idx = 0; queues = Array.make n (0, 0) }
+  let initial = { Proc_state.slot = 0; idx = 0; queues = Array.make n (0, 0) } in
+  let result = best initial in
+  (* Replay the argmax path through the memo table as an event trace: the
+     same accept/drop choices [best] scored, with deterministic per-port
+     transmissions.  Ties between skipping and accepting resolve to skip,
+     exactly as [max skip accept] does above. *)
+  (match recorder with
+  | None -> ()
+  | Some r ->
+    let record slot kind = Smbm_obs.Recorder.record r ~slot ~who:name kind in
+    let st = ref initial in
+    while !st.Proc_state.slot < total_slots do
+      let s = !st in
+      let arrivals = arrivals_at s.Proc_state.slot in
+      if s.Proc_state.idx < Array.length arrivals then begin
+        let a = arrivals.(s.Proc_state.idx) in
+        record s.Proc_state.slot
+          (Smbm_obs.Event.Arrival { dest = a.Arrival.dest });
+        let skip_state = { s with Proc_state.idx = s.Proc_state.idx + 1 } in
+        let accept_state =
+          if occupancy s.Proc_state.queues < buffer then begin
+            let queues = Array.copy s.Proc_state.queues in
+            let len, hol = queues.(a.Arrival.dest) in
+            let work = Proc_config.work config a.Arrival.dest in
+            queues.(a.Arrival.dest) <- (len + 1, if len = 0 then work else hol);
+            Some { skip_state with Proc_state.queues }
+          end
+          else None
+        in
+        match accept_state with
+        | Some acc_st when best acc_st > best skip_state ->
+          record s.Proc_state.slot
+            (Smbm_obs.Event.Accept { dest = a.Arrival.dest });
+          st := acc_st
+        | Some _ | None ->
+          record s.Proc_state.slot
+            (Smbm_obs.Event.Drop { dest = a.Arrival.dest; value = 1 });
+          st := skip_state
+      end
+      else begin
+        let queues = Array.copy s.Proc_state.queues in
+        Array.iteri
+          (fun i q ->
+            let q', sent_i = serve_queue i q in
+            queues.(i) <- q';
+            if sent_i > 0 then
+              record s.Proc_state.slot
+                (Smbm_obs.Event.Transmit_bulk
+                   { dest = i; count = sent_i; value = sent_i }))
+          queues;
+        record s.Proc_state.slot
+          (Smbm_obs.Event.Slot_end { occupancy = occupancy queues });
+        st := { Proc_state.slot = s.Proc_state.slot + 1; idx = 0; queues }
+      end
+    done);
+  result
 
 (* ----- value model -----
 
@@ -99,7 +158,7 @@ end
 
 module Value_tbl = Hashtbl.Make (Value_state)
 
-let value config trace ~drain =
+let value ?recorder ?(name = "EXACT") config trace ~drain =
   if drain < 0 then invalid_arg "Exact_opt.value: negative drain";
   let n = Value_config.n config in
   let buffer = config.Value_config.buffer in
@@ -117,18 +176,22 @@ let value config trace ~drain =
     | x :: rest when x >= v -> x :: insert_desc v rest
     | rest -> v :: rest
   in
+  (* Pop up to [per_slot] head values; returns (rest, count, value sum). *)
+  let serve_queue q =
+    let rec take budget count value = function
+      | v :: rest when budget > 0 -> take (budget - 1) (count + 1) (value + v) rest
+      | rest -> (rest, count, value)
+    in
+    take per_slot 0 0 q
+  in
   let transmit queues =
     let queues = Array.copy queues in
     let value = ref 0 in
     Array.iteri
       (fun i q ->
-        let rec take budget = function
-          | v :: rest when budget > 0 ->
-            value := !value + v;
-            take (budget - 1) rest
-          | rest -> rest
-        in
-        queues.(i) <- take per_slot q)
+        let rest, _, v = serve_queue q in
+        value := !value + v;
+        queues.(i) <- rest)
       queues;
     (queues, !value)
   in
@@ -159,4 +222,54 @@ let value config trace ~drain =
         Value_tbl.add memo st v;
         v
   in
-  best { slot = 0; idx = 0; queues = Array.make n [] }
+  let initial = { Value_state.slot = 0; idx = 0; queues = Array.make n [] } in
+  let result = best initial in
+  (match recorder with
+  | None -> ()
+  | Some r ->
+    let record slot kind = Smbm_obs.Recorder.record r ~slot ~who:name kind in
+    let st = ref initial in
+    while !st.Value_state.slot < total_slots do
+      let s = !st in
+      let arrivals = arrivals_at s.Value_state.slot in
+      if s.Value_state.idx < Array.length arrivals then begin
+        let a = arrivals.(s.Value_state.idx) in
+        record s.Value_state.slot
+          (Smbm_obs.Event.Arrival { dest = a.Arrival.dest });
+        let skip_state = { s with Value_state.idx = s.Value_state.idx + 1 } in
+        let accept_state =
+          if occupancy s.Value_state.queues < buffer then begin
+            let queues = Array.copy s.Value_state.queues in
+            queues.(a.Arrival.dest) <-
+              insert_desc a.Arrival.value queues.(a.Arrival.dest);
+            Some { skip_state with Value_state.queues }
+          end
+          else None
+        in
+        match accept_state with
+        | Some acc_st when best acc_st > best skip_state ->
+          record s.Value_state.slot
+            (Smbm_obs.Event.Accept { dest = a.Arrival.dest });
+          st := acc_st
+        | Some _ | None ->
+          record s.Value_state.slot
+            (Smbm_obs.Event.Drop
+               { dest = a.Arrival.dest; value = a.Arrival.value });
+          st := skip_state
+      end
+      else begin
+        let queues = Array.copy s.Value_state.queues in
+        Array.iteri
+          (fun i q ->
+            let rest, count, value = serve_queue q in
+            queues.(i) <- rest;
+            if count > 0 then
+              record s.Value_state.slot
+                (Smbm_obs.Event.Transmit_bulk { dest = i; count; value }))
+          queues;
+        record s.Value_state.slot
+          (Smbm_obs.Event.Slot_end { occupancy = occupancy queues });
+        st := { Value_state.slot = s.Value_state.slot + 1; idx = 0; queues }
+      end
+    done);
+  result

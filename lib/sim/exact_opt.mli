@@ -13,11 +13,32 @@
 
 open Smbm_core
 
-val proc : Proc_config.t -> Arrival.t list array -> drain:int -> int
+val proc :
+  ?recorder:Smbm_obs.Recorder.t ->
+  ?name:string ->
+  Proc_config.t ->
+  Arrival.t list array ->
+  drain:int ->
+  int
 (** Maximum number of packets any (offline, clairvoyant) algorithm can
     transmit when the given arrivals are followed by [drain] empty slots.
     Intended for tiny instances; cost is exponential in the number of
-    arrivals before memoization. *)
+    arrivals before memoization.
 
-val value : Value_config.t -> Arrival.t list array -> drain:int -> int
-(** Maximum total transmitted value, same conventions. *)
+    When [recorder] is given, the argmax path is replayed through the memo
+    table and emitted as an event trace under source [name] (default
+    ["EXACT"]): [Arrival]/[Accept]/[Drop] per arrival, per-port
+    [Transmit_bulk] and [Slot_end] per slot.  The optimum never pushes out,
+    so the trace contains no [Push_out] events.  Ties between accepting and
+    skipping resolve to skip, matching the scored recursion.  Zero cost when
+    absent. *)
+
+val value :
+  ?recorder:Smbm_obs.Recorder.t ->
+  ?name:string ->
+  Value_config.t ->
+  Arrival.t list array ->
+  drain:int ->
+  int
+(** Maximum total transmitted value, same conventions (including the
+    [recorder] trace semantics of {!proc}). *)

@@ -1,7 +1,21 @@
 open Smbm_prelude
 open Smbm_core
 
-let proc_instance ?(name = "OPT") ?cores config =
+(* The reference has no per-port structure, so its recorder hook speaks the
+   bag's language: push-out victims are bag keys (residual work / value) and
+   transmissions are per-slot [Transmit_bulk] events with dest = -1.  That is
+   enough for Smbm_forensics to reconstruct and certify every aggregate
+   counter, and for trace diffs against a policy trace of the same arrival
+   instance. *)
+let make_recorder ~name recorder =
+  match recorder with
+  | None -> ((fun (_ : Smbm_obs.Event.kind) -> ()), fun () -> ())
+  | Some r ->
+    let slot = ref 0 in
+    ( (fun kind -> Smbm_obs.Recorder.record r ~slot:!slot ~who:name kind),
+      fun () -> incr slot )
+
+let proc_instance ?(name = "OPT") ?cores ?recorder config =
   let cores =
     match cores with
     | Some c -> c
@@ -11,12 +25,15 @@ let proc_instance ?(name = "OPT") ?cores config =
   let buffer = config.Proc_config.buffer in
   let bag = Count_multiset.create ~k:(Proc_config.k config) in
   let metrics = Metrics.create () in
+  let record, advance_slot = make_recorder ~name recorder in
   let arrive (a : Arrival.t) =
     Metrics.record_arrival metrics;
+    record (Smbm_obs.Event.Arrival { dest = a.dest });
     let work = Proc_config.work config a.dest in
     if Count_multiset.size bag < buffer then begin
       Count_multiset.add bag work;
-      Metrics.record_accept metrics
+      Metrics.record_accept metrics;
+      record (Smbm_obs.Event.Accept { dest = a.dest })
     end
     else begin
       match Count_multiset.max_key bag with
@@ -24,8 +41,13 @@ let proc_instance ?(name = "OPT") ?cores config =
         Count_multiset.remove bag worst;
         Count_multiset.add bag work;
         Metrics.record_push_out metrics;
-        Metrics.record_accept metrics
-      | Some _ | None -> Metrics.record_drop metrics
+        record
+          (Smbm_obs.Event.Push_out { victim = worst; dest = a.dest; lost = 1 });
+        Metrics.record_accept metrics;
+        record (Smbm_obs.Event.Accept { dest = a.dest })
+      | Some _ | None ->
+        Metrics.record_drop metrics;
+        record (Smbm_obs.Event.Drop { dest = a.dest; value = 1 })
     end
   in
   let transmit () =
@@ -33,11 +55,21 @@ let proc_instance ?(name = "OPT") ?cores config =
        packet within a slot, so the reference dominates real queues at any
        speedup (a queue can burn C cycles into successive packets). *)
     let sent = Count_multiset.serve_srpt bag ~budget:cores in
-    Metrics.record_transmissions metrics ~count:sent ~value:sent
+    Metrics.record_transmissions metrics ~count:sent ~value:sent;
+    if sent > 0 then
+      record
+        (Smbm_obs.Event.Transmit_bulk { dest = -1; count = sent; value = sent })
   in
-  let end_slot () = Metrics.record_occupancy metrics (Count_multiset.size bag) in
+  let end_slot () =
+    let occupancy = Count_multiset.size bag in
+    Metrics.record_occupancy metrics occupancy;
+    record (Smbm_obs.Event.Slot_end { occupancy });
+    advance_slot ()
+  in
   let flush () =
-    Metrics.record_flush metrics (Count_multiset.size bag);
+    let count = Count_multiset.size bag in
+    Metrics.record_flush metrics count;
+    record (Smbm_obs.Event.Flush { count });
     Count_multiset.clear bag;
     Metrics.check_conservation metrics
   in
@@ -60,7 +92,7 @@ let proc_instance ?(name = "OPT") ?cores config =
     check;
   }
 
-let value_instance ?(name = "OPT") ?cores config =
+let value_instance ?(name = "OPT") ?cores ?recorder config =
   let cores =
     match cores with
     | Some c -> c
@@ -70,11 +102,14 @@ let value_instance ?(name = "OPT") ?cores config =
   let buffer = config.Value_config.buffer in
   let bag = Count_multiset.create ~k:(Value_config.k config) in
   let metrics = Metrics.create () in
+  let record, advance_slot = make_recorder ~name recorder in
   let arrive (a : Arrival.t) =
     Metrics.record_arrival metrics;
+    record (Smbm_obs.Event.Arrival { dest = a.dest });
     if Count_multiset.size bag < buffer then begin
       Count_multiset.add bag a.value;
-      Metrics.record_accept metrics
+      Metrics.record_accept metrics;
+      record (Smbm_obs.Event.Accept { dest = a.dest })
     end
     else begin
       match Count_multiset.min_key bag with
@@ -82,18 +117,33 @@ let value_instance ?(name = "OPT") ?cores config =
         Count_multiset.remove bag worst;
         Count_multiset.add bag a.value;
         Metrics.record_push_out metrics;
-        Metrics.record_accept metrics
-      | Some _ | None -> Metrics.record_drop metrics
+        record
+          (Smbm_obs.Event.Push_out
+             { victim = worst; dest = a.dest; lost = worst });
+        Metrics.record_accept metrics;
+        record (Smbm_obs.Event.Accept { dest = a.dest })
+      | Some _ | None ->
+        Metrics.record_drop metrics;
+        record (Smbm_obs.Event.Drop { dest = a.dest; value = a.value })
     end
   in
   let transmit () =
     let count = min cores (Count_multiset.size bag) in
     let value = Count_multiset.remove_largest bag ~budget:cores in
-    Metrics.record_transmissions metrics ~count ~value
+    Metrics.record_transmissions metrics ~count ~value;
+    if count > 0 then
+      record (Smbm_obs.Event.Transmit_bulk { dest = -1; count; value })
   in
-  let end_slot () = Metrics.record_occupancy metrics (Count_multiset.size bag) in
+  let end_slot () =
+    let occupancy = Count_multiset.size bag in
+    Metrics.record_occupancy metrics occupancy;
+    record (Smbm_obs.Event.Slot_end { occupancy });
+    advance_slot ()
+  in
   let flush () =
-    Metrics.record_flush metrics (Count_multiset.size bag);
+    let count = Count_multiset.size bag in
+    Metrics.record_flush metrics count;
+    record (Smbm_obs.Event.Flush { count });
     Count_multiset.clear bag;
     Metrics.check_conservation metrics
   in

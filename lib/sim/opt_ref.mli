@@ -19,11 +19,26 @@
 open Smbm_core
 
 val proc_instance :
-  ?name:string -> ?cores:int -> Proc_config.t -> Instance.t
+  ?name:string ->
+  ?cores:int ->
+  ?recorder:Smbm_obs.Recorder.t ->
+  Proc_config.t ->
+  Instance.t
 (** Processing model: smallest-residual-first.  [cores] defaults to
-    [n * speedup] ("kC cores" in the paper's contiguous configuration). *)
+    [n * speedup] ("kC cores" in the paper's contiguous configuration).
+
+    [recorder], when given, traces the reference's admission decisions and
+    per-slot aggregates so {!Smbm_forensics.Diff} can align a policy trace
+    against the reference on the same arrival instance.  The reference has
+    no ports, so push-out victims are recorded as bag keys and transmissions
+    as per-slot [Transmit_bulk] events (dest = -1); recording costs nothing
+    when absent and never changes a decision. *)
 
 val value_instance :
-  ?name:string -> ?cores:int -> Value_config.t -> Instance.t
+  ?name:string ->
+  ?cores:int ->
+  ?recorder:Smbm_obs.Recorder.t ->
+  Value_config.t ->
+  Instance.t
 (** Value model: largest-value-first, unit work.  [cores] defaults to
-    [n * speedup]. *)
+    [n * speedup].  [recorder] as in {!proc_instance}. *)

@@ -34,13 +34,13 @@ let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) ?recorder config
           (name ^ ": push-out decision while the buffer has free space");
       ignore (Proc_switch.push_out sw ~victim);
       Metrics.record_push_out metrics;
-      record (Smbm_obs.Event.Push_out { victim; dest = a.dest });
+      record (Smbm_obs.Event.Push_out { victim; dest = a.dest; lost = 1 });
       ignore (Proc_switch.accept sw ~dest:a.dest);
       Metrics.record_accept metrics;
       record (Smbm_obs.Event.Accept { dest = a.dest })
     | Decision.Drop ->
       Metrics.record_drop metrics;
-      record (Smbm_obs.Event.Drop { dest = a.dest })
+      record (Smbm_obs.Event.Drop { dest = a.dest; value = 1 })
   in
   let transmit () = ignore (Proc_switch.transmit_phase sw ~on_transmit) in
   let end_slot () =
@@ -50,7 +50,9 @@ let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) ?recorder config
     Proc_switch.advance_slot sw
   in
   let flush () =
-    Metrics.record_flush metrics (Proc_switch.flush sw);
+    let count = Proc_switch.flush sw in
+    Metrics.record_flush metrics count;
+    record (Smbm_obs.Event.Flush { count });
     Metrics.check_conservation metrics
   in
   let check () =

@@ -72,7 +72,7 @@ let proc_setup ?recorder ~reference base =
       ~config ~load:base.load ~seed:base.seed ()
   in
   let instances =
-    Opt_ref.proc_instance config
+    Opt_ref.proc_instance ?recorder config
     :: List.map (Proc_engine.instance ?recorder config) (Policies.proc config)
   in
   (workload, instances)
@@ -100,7 +100,7 @@ let value_setup ?recorder ~reference ~port_tied base =
     else Policies.value_uniform config
   in
   let instances =
-    Opt_ref.value_instance config
+    Opt_ref.value_instance ?recorder config
     :: List.map (Value_engine.instance ?recorder config) policies
   in
   (workload, instances)

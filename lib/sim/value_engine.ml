@@ -33,15 +33,17 @@ let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) ?recorder config
       if not (Value_switch.is_full sw) then
         invalid_arg
           (name ^ ": push-out decision while the buffer has free space");
-      ignore (Value_switch.push_out sw ~victim);
+      let evicted = Value_switch.push_out sw ~victim in
       Metrics.record_push_out metrics;
-      record (Smbm_obs.Event.Push_out { victim; dest = a.dest });
+      record
+        (Smbm_obs.Event.Push_out
+           { victim; dest = a.dest; lost = evicted.Packet.Value.value });
       ignore (Value_switch.accept sw ~dest:a.dest ~value:a.value);
       Metrics.record_accept metrics;
       record (Smbm_obs.Event.Accept { dest = a.dest })
     | Decision.Drop ->
       Metrics.record_drop metrics;
-      record (Smbm_obs.Event.Drop { dest = a.dest })
+      record (Smbm_obs.Event.Drop { dest = a.dest; value = a.value })
   in
   let transmit () = ignore (Value_switch.transmit_phase sw ~on_transmit) in
   let end_slot () =
@@ -51,7 +53,9 @@ let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) ?recorder config
     Value_switch.advance_slot sw
   in
   let flush () =
-    Metrics.record_flush metrics (Value_switch.flush sw);
+    let count = Value_switch.flush sw in
+    Metrics.record_flush metrics count;
+    record (Smbm_obs.Event.Flush { count });
     Metrics.check_conservation metrics
   in
   let check () =

@@ -1,0 +1,276 @@
+(* Trace forensics: replay reconstructs metrics bit-identically from a
+   trace alone (proc, value, hybrid), diff pins the first divergent
+   admission on a seeded pair, and attribution's regret accounting
+   conserves the measured throughput gap. *)
+
+open Smbm_obs
+open Smbm_sim
+open Smbm_forensics
+
+let mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = 10 }
+
+(* Run [insts] (each wired to its own recorder) over [workload], write the
+   dumps into one interleaved trace file, and load it back. *)
+let trace_of_run ~slots ~flush_every ~workload insts_recs =
+  Experiment.run
+    ~params:{ Experiment.slots; flush_every; check_every = Some 50 }
+    ~workload
+    (List.map fst insts_recs);
+  let path = Filename.temp_file "smbm_forensics" ".jsonl" in
+  let sink = Sink.file path in
+  List.iter
+    (fun (_, r) -> List.iter (Sink.event sink) (Recorder.dump r))
+    insts_recs;
+  Sink.close sink;
+  let trace = Trace_file.load path in
+  Sys.remove path;
+  match trace with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "trace load failed: %s" e
+
+let source trace name =
+  match Trace_file.find trace name with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "source %s: %s" name e
+
+(* The round-trip certificate: replay the instance's stream and demand the
+   reconstructed metrics serialize to the very same bytes as the live
+   run's. *)
+let check_round_trip label (inst : Instance.t) trace =
+  let r = Replay.replay (source trace inst.Instance.name) in
+  (match r.Replay.status with
+  | Replay.Verified { slots; checks } ->
+    Alcotest.(check bool)
+      (label ^ ": verification ran")
+      true
+      (slots > 0 && checks >= slots)
+  | Replay.Unverifiable _ ->
+    Alcotest.failf "%s: complete trace reported unverifiable" label);
+  Alcotest.(check (list string))
+    (label ^ ": metrics bit-identical")
+    (Metrics.to_jsonl inst.Instance.metrics)
+    (Metrics.to_jsonl r.Replay.metrics)
+
+(* --- round trips, one per switch model --- *)
+
+let test_round_trip_proc () =
+  let cfg = Smbm_core.Proc_config.contiguous ~k:4 ~buffer:8 () in
+  let recorder = Recorder.create ~cap:1_000_000 () in
+  let inst = Proc_engine.instance ~recorder cfg (Smbm_core.P_lwd.make cfg) in
+  let workload =
+    Smbm_traffic.Scenario.proc_workload ~mmpp ~config:cfg ~load:2.0 ~seed:11 ()
+  in
+  let trace =
+    trace_of_run ~slots:400 ~flush_every:(Some 100) ~workload
+      [ (inst, recorder) ]
+  in
+  check_round_trip "proc/LWD" inst trace
+
+let test_round_trip_value () =
+  let cfg = Smbm_core.Value_config.make ~ports:4 ~max_value:8 ~buffer:8 () in
+  let recorder = Recorder.create ~cap:1_000_000 () in
+  let inst = Value_engine.instance ~recorder cfg (Smbm_core.V_mrd.make cfg) in
+  let workload =
+    Smbm_traffic.Scenario.value_port_workload ~mmpp ~config:cfg ~load:2.5
+      ~seed:7 ()
+  in
+  let trace =
+    trace_of_run ~slots:400 ~flush_every:(Some 100) ~workload
+      [ (inst, recorder) ]
+  in
+  check_round_trip "value/MRD" inst trace
+
+let test_round_trip_hybrid () =
+  let cfg =
+    Smbm_hybrid.Hybrid_config.contiguous ~k:4 ~max_value:8 ~buffer:16 ()
+  in
+  let recorder = Recorder.create ~cap:1_000_000 () in
+  let inst =
+    Smbm_hybrid.Hybrid_engine.instance ~recorder cfg
+      Smbm_hybrid.Hybrid_policy.lwd
+  in
+  let rng = Smbm_prelude.Rng.create ~seed:5 in
+  let slots = 300 in
+  let arrivals =
+    Array.init slots (fun _ ->
+        List.init
+          (Smbm_prelude.Rng.poisson rng ~lambda:3.0)
+          (fun _ ->
+            let dest = Smbm_prelude.Rng.int rng 4 in
+            let value = 1 + Smbm_prelude.Rng.int rng 8 in
+            Smbm_core.Arrival.make ~dest ~value ()))
+  in
+  let workload = Smbm_traffic.Workload.of_slots arrivals in
+  let trace =
+    trace_of_run ~slots ~flush_every:(Some 100) ~workload [ (inst, recorder) ]
+  in
+  check_round_trip "hybrid/LWD" inst trace
+
+let prop_round_trip_proc_random =
+  QCheck2.Test.make
+    ~name:"replay reconstructs proc metrics across random runs" ~count:10
+    QCheck2.Gen.(
+      triple (int_range 1 10_000) (int_range 5 40) (int_range 5 20))
+    (fun (seed, load10, buffer) ->
+      let cfg = Smbm_core.Proc_config.contiguous ~k:4 ~buffer () in
+      let recorder = Recorder.create ~cap:1_000_000 () in
+      let inst =
+        Proc_engine.instance ~recorder cfg (Smbm_core.P_lqd.make cfg)
+      in
+      let workload =
+        Smbm_traffic.Scenario.proc_workload ~mmpp ~config:cfg
+          ~load:(float_of_int load10 /. 10.0)
+          ~seed ()
+      in
+      let trace =
+        trace_of_run ~slots:200 ~flush_every:(Some 50) ~workload
+          [ (inst, recorder) ]
+      in
+      let r = Replay.replay (source trace inst.Instance.name) in
+      Metrics.to_jsonl inst.Instance.metrics = Metrics.to_jsonl r.Replay.metrics)
+
+(* --- diff: seeded golden --- *)
+
+(* LWD vs LQD on one seeded workload.  The pinned numbers are this
+   workload's ground truth: the first slot where weighted and unweighted
+   victim selection part ways. *)
+let diff_pair () =
+  let cfg = Smbm_core.Proc_config.contiguous ~k:4 ~buffer:8 () in
+  let ra = Recorder.create ~cap:1_000_000 () in
+  let rb = Recorder.create ~cap:1_000_000 () in
+  let a = Proc_engine.instance ~recorder:ra cfg (Smbm_core.P_lwd.make cfg) in
+  let b = Proc_engine.instance ~recorder:rb cfg (Smbm_core.P_lqd.make cfg) in
+  let workload =
+    Smbm_traffic.Scenario.proc_workload ~mmpp ~config:cfg ~load:2.0 ~seed:42 ()
+  in
+  let trace =
+    trace_of_run ~slots:400 ~flush_every:(Some 100) ~workload
+      [ (a, ra); (b, rb) ]
+  in
+  (a, b, source trace "LWD", source trace "LQD")
+
+let test_diff_golden () =
+  let _, _, sa, sb = diff_pair () in
+  match Diff.diff ~a:sa ~b:sb with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok d ->
+    Alcotest.(check bool) "policies do diverge" true (d.Diff.diffs > 0);
+    (match d.Diff.first with
+    | None -> Alcotest.fail "no first divergence reported"
+    | Some f ->
+      Alcotest.(check int) "first divergence slot" 29 f.Diff.slot;
+      Alcotest.(check int) "first divergence arrival index" 2 f.Diff.index;
+      Alcotest.(check int) "first divergence dest" 2 f.Diff.dest;
+      Alcotest.(check string) "LWD decision" "push-out[3,-1]"
+        (Diff.decision_to_string f.Diff.a);
+      Alcotest.(check string) "LQD decision" "drop[-1]"
+        (Diff.decision_to_string f.Diff.b));
+    (* The timeline covers every slot and its last row carries the final
+       cumulative objectives. *)
+    Alcotest.(check int) "rows" 400 (List.length d.Diff.rows);
+    let last = List.nth d.Diff.rows (List.length d.Diff.rows - 1) in
+    Alcotest.(check bool) "cumulative objective ordered" true
+      (last.Diff.cum_tx_a >= last.Diff.cum_tx_b)
+
+let test_diff_rejects_misaligned () =
+  let cfg = Smbm_core.Proc_config.contiguous ~k:4 ~buffer:8 () in
+  let run seed =
+    let r = Recorder.create ~cap:1_000_000 () in
+    let inst = Proc_engine.instance ~recorder:r cfg (Smbm_core.P_lwd.make cfg) in
+    let workload =
+      Smbm_traffic.Scenario.proc_workload ~mmpp ~config:cfg ~load:2.0 ~seed ()
+    in
+    trace_of_run ~slots:100 ~flush_every:(Some 50) ~workload [ (inst, r) ]
+  in
+  let sa = source (run 1) "LWD" and sb = source (run 2) "LWD" in
+  match Diff.diff ~a:sa ~b:sb with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "diffed traces of different arrival instances"
+
+(* --- attribution: conservation against live metrics --- *)
+
+let check_conserved label (att : Attribution.t) ~measured_gap =
+  Alcotest.(check int)
+    (label ^ ": gap equals live metrics gap")
+    measured_gap att.Attribution.gap;
+  Alcotest.(check int)
+    (label ^ ": charged + uncharged - credits = gap")
+    att.Attribution.gap
+    (att.Attribution.charged + att.Attribution.uncharged
+   - att.Attribution.credits);
+  List.iter
+    (fun (l : Attribution.loss) ->
+      if l.Attribution.charged > l.Attribution.capacity then
+        Alcotest.failf "%s: loss at line %d overcharged" label
+          l.Attribution.lineno)
+    att.Attribution.losses
+
+let test_attribution_conservation_proc () =
+  let a, b, sa, sb = diff_pair () in
+  match Attribution.attribute ~a:sa ~b:sb with
+  | Error e -> Alcotest.failf "attribution failed: %s" e
+  | Ok att ->
+    check_conserved "proc LWD vs LQD" att
+      ~measured_gap:
+        (Metrics.transmitted_value a.Instance.metrics
+        - Metrics.transmitted_value b.Instance.metrics);
+    Alcotest.(check bool) "per-port attribution" true
+      att.Attribution.per_port_mode;
+    (* Every charged loss made it into the ranking, most expensive first. *)
+    let rec desc = function
+      | (x : Attribution.loss) :: (y :: _ as rest) ->
+        x.Attribution.charged >= y.Attribution.charged && desc rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "ranking sorted by charge" true
+      (desc att.Attribution.ranked)
+
+let prop_attribution_conserves_gap =
+  QCheck2.Test.make
+    ~name:"attribution conserves the throughput gap across random runs"
+    ~count:10
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 10 40))
+    (fun (seed, load10) ->
+      let cfg = Smbm_core.Proc_config.contiguous ~k:4 ~buffer:8 () in
+      let ra = Recorder.create ~cap:1_000_000 () in
+      let rb = Recorder.create ~cap:1_000_000 () in
+      let a =
+        Proc_engine.instance ~recorder:ra cfg (Smbm_core.P_lwd.make cfg)
+      in
+      let b =
+        Proc_engine.instance ~recorder:rb cfg (Smbm_core.P_lqd.make cfg)
+      in
+      let workload =
+        Smbm_traffic.Scenario.proc_workload ~mmpp ~config:cfg
+          ~load:(float_of_int load10 /. 10.0)
+          ~seed ()
+      in
+      let trace =
+        trace_of_run ~slots:200 ~flush_every:(Some 50) ~workload
+          [ (a, ra); (b, rb) ]
+      in
+      match
+        Attribution.attribute ~a:(source trace "LWD") ~b:(source trace "LQD")
+      with
+      | Error e -> QCheck2.Test.fail_report e
+      | Ok att ->
+        att.Attribution.gap
+        = Metrics.transmitted_value a.Instance.metrics
+          - Metrics.transmitted_value b.Instance.metrics
+        && att.Attribution.charged + att.Attribution.uncharged
+           - att.Attribution.credits
+           = att.Attribution.gap)
+
+let suite =
+  [
+    Alcotest.test_case "round trip: proc" `Quick test_round_trip_proc;
+    Alcotest.test_case "round trip: value" `Quick test_round_trip_value;
+    Alcotest.test_case "round trip: hybrid" `Quick test_round_trip_hybrid;
+    Qc.to_alcotest prop_round_trip_proc_random;
+    Alcotest.test_case "diff: seeded golden divergence" `Quick test_diff_golden;
+    Alcotest.test_case "diff: rejects misaligned traces" `Quick
+      test_diff_rejects_misaligned;
+    Alcotest.test_case "attribution: conservation (proc)" `Quick
+      test_attribution_conservation_proc;
+    Qc.to_alcotest prop_attribution_conserves_gap;
+  ]

@@ -55,6 +55,23 @@ let test_quantile_monotone () =
       prev := v)
     [ 0.0; 0.1; 0.3; 0.5; 0.7; 0.9; 0.99; 1.0 ]
 
+let test_single_sample () =
+  (* Every quantile of a one-sample distribution IS that sample; the
+     log-bucket interpolation must not report a value below it. *)
+  let h = Histogram.create () in
+  Histogram.add h 17.0;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q=%.2f of single sample" q)
+        17.0 (Histogram.quantile h q))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ];
+  (* And a clamped single sample still reports the exact maximum. *)
+  let c = Histogram.create ~max_value:10.0 () in
+  Histogram.add c 1e6;
+  Alcotest.(check (float 1e-9)) "clamped single sample" 1e6
+    (Histogram.quantile c 0.99)
+
 let test_quantile_capped_by_max () =
   let h = Histogram.create () in
   List.iter (Histogram.add h) [ 5.0; 5.0; 5.0 ];
@@ -110,6 +127,7 @@ let suite =
     Alcotest.test_case "bounded quantile error" `Quick
       test_quantiles_bounded_error;
     Alcotest.test_case "monotone quantiles" `Quick test_quantile_monotone;
+    Alcotest.test_case "single-sample quantiles" `Quick test_single_sample;
     Alcotest.test_case "quantile capped by max" `Quick
       test_quantile_capped_by_max;
     Alcotest.test_case "clamping" `Quick test_clamping;

@@ -61,10 +61,13 @@ let all_kinds =
   [
     Event.Arrival { dest = 3 };
     Event.Accept { dest = 0 };
-    Event.Push_out { victim = 2; dest = 5 };
-    Event.Drop { dest = 1 };
+    Event.Push_out { victim = 2; dest = 5; lost = 3 };
+    Event.Drop { dest = 1; value = 6 };
     Event.Transmit { dest = 4; value = 9; latency = 17 };
+    Event.Transmit_bulk { dest = -1; count = 3; value = 12 };
+    Event.Flush { count = 7 };
     Event.Slot_end { occupancy = 42 };
+    Event.Truncated { evicted = 19 };
   ]
 
 let test_event_round_trip () =
@@ -107,12 +110,21 @@ let test_recorder_eviction_at_capacity () =
   (* Oldest first, and the survivors are the newest three. *)
   Alcotest.(check (list int)) "surviving slots" [ 7; 8; 9 ]
     (List.map (fun (e : Event.t) -> e.Event.slot) (Recorder.events r));
+  (* dump prepends a truncation marker carrying the eviction count and the
+     oldest surviving slot. *)
+  (match Recorder.dump r with
+  | meta :: rest ->
+    Alcotest.(check bool) "truncated meta" true
+      (meta.Event.kind = Event.Truncated { evicted = 7 });
+    Alcotest.(check int) "meta slot = oldest survivor" 7 meta.Event.slot;
+    Alcotest.(check bool) "dump tail = events" true (rest = Recorder.events r)
+  | [] -> Alcotest.fail "empty dump");
   Recorder.clear r;
   Alcotest.(check int) "cleared" 0 (Recorder.length r)
 
 let test_recorder_scope_prefixes_src () =
   let r = Recorder.create ~scope:"x=8" ~cap:4 () in
-  Recorder.record r ~slot:0 ~who:"LWD" (Event.Drop { dest = 1 });
+  Recorder.record r ~slot:0 ~who:"LWD" (Event.Drop { dest = 1; value = 1 });
   match Recorder.events r with
   | [ e ] -> Alcotest.(check string) "src" "x=8/LWD" e.Event.src
   | _ -> Alcotest.fail "expected one event"
@@ -149,6 +161,30 @@ let test_registry_counters_and_snapshot () =
           (List.assoc "run" fields = Smbm_obs.Json.Str "t")
       | Error msg -> Alcotest.fail msg)
     lines
+
+let test_registry_summary_edge_cases () =
+  (* Histogram summaries at the degenerate sizes: an empty histogram
+     reports all-zero quantiles, a single observation reports itself as
+     every quantile (not an interpolation below it). *)
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "lat" in
+  (match Registry.snapshot reg with
+  | [ ("lat", Registry.Summary { n; p50; p95; p99; max; _ }) ] ->
+    Alcotest.(check int) "empty n" 0 n;
+    List.iter
+      (fun (label, v) -> Alcotest.(check (float 1e-9)) label 0.0 v)
+      [ ("empty p50", p50); ("empty p95", p95); ("empty p99", p99);
+        ("empty max", max) ]
+  | _ -> Alcotest.fail "unexpected empty snapshot shape");
+  Registry.observe h 42.0;
+  match Registry.snapshot reg with
+  | [ ("lat", Registry.Summary { n; mean; p50; p95; p99; max }) ] ->
+    Alcotest.(check int) "single n" 1 n;
+    List.iter
+      (fun (label, v) -> Alcotest.(check (float 1e-9)) label 42.0 v)
+      [ ("single mean", mean); ("single p50", p50); ("single p95", p95);
+        ("single p99", p99); ("single max", max) ]
+  | _ -> Alcotest.fail "unexpected single snapshot shape"
 
 (* --- Span --- *)
 
@@ -283,6 +319,8 @@ let suite =
       test_recorder_eviction_at_capacity;
     Alcotest.test_case "recorder scoping" `Quick test_recorder_scope_prefixes_src;
     Alcotest.test_case "registry" `Quick test_registry_counters_and_snapshot;
+    Alcotest.test_case "registry summary edge cases" `Quick
+      test_registry_summary_edge_cases;
     Alcotest.test_case "span nesting" `Quick test_span_nesting_and_report;
     Alcotest.test_case "engine events match metrics" `Quick
       test_engine_events_match_metrics;
