@@ -1,0 +1,208 @@
+(* End-to-end throughput of the sweep machinery: slots/sec and GC minor
+   words per slot, batched slot loop + compact trace cache versus the
+   historical per-slot list loop with per-point live generation.
+
+     dune exec bench/e2e.exe -- [--slots N] [--sources S] [--repeats R]
+                                [--out FILE]
+
+   Two cell families, emitted as JSONL gauges (Smbm_obs.Registry):
+
+   - e2e/point/<model>/{list,batched}/{slots_per_sec,minor_words_per_slot}
+     e2e/point/<model>/speedup
+     One full sweep point (OPT reference plus every policy of the model,
+     i.e. exactly what one Fig. 5 simulation runs) under `Batched versus
+     `List.  Both arms run the same engines over the same live workload, so
+     this isolates the slot-loop representation cost on top of the full
+     simulation — an honest end-to-end number, dominated by engine work.
+
+   - e2e/pipeline/<model>/{list,batched}/{slots_per_sec,minor_words_per_slot}
+     e2e/pipeline/<model>/speedup
+     e2e/pipeline/<model>/alloc_improvement
+     A full 7-point B-axis panel's worth of arrival traffic delivered to
+     sink instances (arrival counting only, no switch).  The list arm does
+     what run_panel did before the trace cache: regenerate the traffic live
+     at every point and deliver it as per-slot lists.  The batched arm does
+     what run_panel does now: materialize one compact trace and replay it
+     through the reusable struct-of-arrays batch at every point.  This is
+     the arrival pipeline itself — generation, representation, delivery —
+     the part this bench gates (speedup >= 2x, allocation >= 5x lower).
+
+   The committed repo-root BENCH_e2e.json is this file at the default
+   scale; CI regenerates it at the same scale and gates with
+   `smbm_cli bench-diff` on the speedup ratios, the alloc_improvement
+   floor, and minor_words_per_slot regressions (allocation counts are
+   deterministic and machine-transferable, unlike raw rates).
+
+   Both pipelines consume the workload's RNG streams identically and make
+   bit-identical decisions (the equivalence suite proves that), so every
+   ratio here is a cost comparison of equal work. *)
+
+open Smbm_sim
+
+let slots = ref 4_000
+let sources = ref 50
+let repeats = ref 3
+let out = ref "BENCH_e2e.json"
+
+let () =
+  Arg.parse
+    [
+      ("--slots", Arg.Set_int slots, "N  slots per timed run");
+      ("--sources", Arg.Set_int sources, "S  MMPP sources feeding the point");
+      ( "--repeats",
+        Arg.Set_int repeats,
+        "R  timed runs per cell (the best rate is kept)" );
+      ("--out", Arg.Set_string out, "FILE  JSONL output path");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "e2e [--slots N] [--sources S] [--repeats R] [--out FILE]"
+
+let base () =
+  {
+    Sweep.default_base with
+    slots = !slots;
+    flush_every = Some (max 1 (!slots / 20));
+    mmpp =
+      { Smbm_traffic.Scenario.default_mmpp with sources = !sources };
+  }
+
+let models =
+  [
+    ("proc", Sweep.Proc);
+    ("value_uniform", Sweep.Value_uniform);
+    ("value_port", Sweep.Value_port);
+  ]
+
+(* Best-of-[repeats] rate (filters GC pauses and scheduler noise) and the
+   last minor-word count (allocation is deterministic, the last stands).
+   [run] returns how many slots it stepped. *)
+let measure run =
+  ignore (run ());
+  let best_rate = ref 0.0 and words_per_slot = ref 0.0 in
+  for _ = 1 to !repeats do
+    Gc.full_major ();
+    let words0 = Gc.minor_words () in
+    let n, span = Smbm_obs.Span.timed "run" (fun () -> run ()) in
+    let words = Gc.minor_words () -. words0 in
+    let n = float_of_int n in
+    let rate = n /. span.Smbm_obs.Span.wall in
+    if rate > !best_rate then best_rate := rate;
+    words_per_slot := words /. n
+  done;
+  (!best_rate, !words_per_slot)
+
+(* ----- point cells: one full sweep point, real engines ----- *)
+
+let point_cell ~model ~pipeline =
+  let base = base () in
+  let params =
+    {
+      Experiment.slots = base.Sweep.slots;
+      flush_every = base.Sweep.flush_every;
+      check_every = None;
+    }
+  in
+  measure (fun () ->
+      (* Fresh workload + instances every run: the RNG streams are consumed
+         by the run. *)
+      let workload, instances = Sweep.setup model base in
+      Experiment.run ~params ~pipeline ~workload instances;
+      base.Sweep.slots)
+
+(* ----- pipeline cells: a full B panel of traffic into sinks ----- *)
+
+(* A sink accepts arrivals (counting them, so delivery is not dead code)
+   and does nothing else: what remains is exactly the arrival pipeline. *)
+let sink name =
+  let count = ref 0 in
+  {
+    Instance.name;
+    arrive = (fun (_ : Smbm_core.Arrival.t) -> incr count);
+    arrive_dv = (fun ~dest:_ ~value:_ -> incr count);
+    transmit = ignore;
+    end_slot = ignore;
+    flush = ignore;
+    occupancy = (fun () -> 0);
+    metrics = Metrics.create ();
+    ports = None;
+    check = ignore;
+  }
+
+let b_axis_xs = [ 16; 32; 64; 128; 256; 512; 1024 ]
+
+let pipeline_cell ~model ~pipeline =
+  let base = base () in
+  let params =
+    {
+      Experiment.slots = base.Sweep.slots;
+      flush_every = base.Sweep.flush_every;
+      check_every = None;
+    }
+  in
+  let n_instances = List.length (Sweep.policy_names model base) + 1 in
+  let sinks () = List.init n_instances (fun i -> sink (string_of_int i)) in
+  let total_slots = List.length b_axis_xs * base.Sweep.slots in
+  match pipeline with
+  | `List ->
+    (* Pre-cache behaviour: every point of the panel regenerates the same
+       traffic and delivers it as freshly consed per-slot lists. *)
+    measure (fun () ->
+        List.iter
+          (fun _x ->
+            let workload, _ = Sweep.setup model base in
+            Experiment.run ~params ~pipeline:`List ~workload (sinks ()))
+          b_axis_xs;
+        total_slots)
+  | `Batched ->
+    (* Cached behaviour: generate once into a compact trace, replay it
+       through the reusable batch at every point. *)
+    measure (fun () ->
+        let trace =
+          Sweep.materialize_trace ~base ~model ~axis:Sweep.B
+            ~x:(List.hd b_axis_xs)
+        in
+        List.iter
+          (fun _x ->
+            let workload = Smbm_traffic.Trace.Compact.replay trace in
+            Experiment.run ~params ~pipeline:`Batched ~workload (sinks ()))
+          b_axis_xs;
+        total_slots)
+
+let () =
+  let reg = Smbm_obs.Registry.create () in
+  let gauge name v = Smbm_obs.Registry.set (Smbm_obs.Registry.gauge reg name) v in
+  let family label cell =
+    List.iter
+      (fun (name, model) ->
+        let list_rate, list_words = cell ~model ~pipeline:`List in
+        let batched_rate, batched_words = cell ~model ~pipeline:`Batched in
+        let prefix = "e2e/" ^ label ^ "/" ^ name in
+        gauge (prefix ^ "/list/slots_per_sec") list_rate;
+        gauge (prefix ^ "/batched/slots_per_sec") batched_rate;
+        gauge (prefix ^ "/list/minor_words_per_slot") list_words;
+        gauge (prefix ^ "/batched/minor_words_per_slot") batched_words;
+        gauge (prefix ^ "/speedup") (batched_rate /. list_rate);
+        let alloc = list_words /. Float.max batched_words 1e-9 in
+        if label = "pipeline" then gauge (prefix ^ "/alloc_improvement") alloc;
+        Printf.printf
+          "%-28s list %8.0f slots/s %8.1f w/slot   batched %8.0f slots/s \
+           %8.1f w/slot   speedup %.2fx  alloc %.1fx lower\n\
+           %!"
+          (label ^ "/" ^ name) list_rate list_words batched_rate batched_words
+          (batched_rate /. list_rate)
+          alloc)
+      models
+  in
+  family "point" point_cell;
+  family "pipeline" pipeline_cell;
+  let oc = open_out !out in
+  List.iter
+    (fun line -> output_string oc (line ^ "\n"))
+    (Smbm_obs.Registry.to_jsonl
+       ~labels:
+         [
+           ("slots", string_of_int !slots); ("sources", string_of_int !sources);
+         ]
+       reg);
+  close_out oc;
+  Printf.printf "wrote %s\n" !out

@@ -223,12 +223,17 @@ let run_compare common model replications detail =
             Smbm_report.Table.float_cell r.mean;
             Smbm_report.Table.float_cell r.stddev;
             string_of_int r.runs;
+            string_of_int r.dropped_non_finite;
           ])
         reps
     in
     print_string
       (Smbm_report.Table.render
-         ~headers:[ "policy"; "mean ratio (" ^ objective ^ ")"; "stddev"; "runs" ]
+         ~headers:
+           [
+             "policy"; "mean ratio (" ^ objective ^ ")"; "stddev"; "runs";
+             "dropped";
+           ]
          ~rows ())
   end
   else begin
@@ -1357,7 +1362,19 @@ let load_bench_metrics path =
    with End_of_file -> close_in ic);
   List.rev !metrics
 
-let run_bench_diff baseline current tolerance cap slack mrd_floor =
+let parse_floor spec =
+  match String.rindex_opt spec '=' with
+  | None -> failwith (Printf.sprintf "--floor %s: expected METRIC=X" spec)
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match float_of_string_opt v with
+    | Some x when name <> "" -> (name, x)
+    | _ -> failwith (Printf.sprintf "--floor %s: expected METRIC=X" spec))
+
+let run_bench_diff baseline current tolerance cap slack mrd_floor alloc_tolerance
+    floors =
+  let floors = List.map parse_floor floors in
   let base = load_bench_metrics baseline
   and cur = load_bench_metrics current in
   let failures = ref [] in
@@ -1385,17 +1402,49 @@ let run_bench_diff baseline current tolerance cap slack mrd_floor =
           fail "%s regressed: %.2fx -> %.2fx (tolerance %.0f%% + %.1f, cap %.1fx)"
             name b c (tolerance *. 100.0) slack cap)
     speedups;
-  (* Absolute acceptance floor: the full-buffer MRD hot path at n = 256
-     must stay at least [mrd_floor] times faster than the rescans. *)
+  (* Allocation budget: minor words per slot are deterministic (no timing
+     noise), so they transfer between machines and get a plain percentage
+     gate — an accidentally reintroduced per-arrival allocation shows up
+     here even when wall-clock ratios absorb it. *)
+  let allocs =
+    List.filter
+      (fun (n, _) -> has_suffix ~suffix:"/minor_words_per_slot" n)
+      base
+  in
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name cur with
+      | None -> fail "%s: missing from %s" name current
+      | Some c ->
+        Printf.printf "%-44s %8.1fw %8.1fw %+7.1f%%\n" name b c
+          ((c -. b) /. b *. 100.0);
+        if c > b *. (1.0 +. alloc_tolerance) +. 1.0 then
+          fail "%s allocation regressed: %.1f -> %.1f words/slot (>%.0f%%)"
+            name b c (alloc_tolerance *. 100.0))
+    allocs;
+  (* Absolute acceptance floors.  The historical MRD floor (the full-buffer
+     MRD hot path at n = 256 must stay at least [mrd_floor] times faster
+     than the rescans) applies whenever the baseline carries that metric —
+     benchmark files without it (e.g. BENCH_e2e.json) skip it.  [floors]
+     adds explicit METRIC=X floors checked against the current run. *)
   let floor_metric = "hotpath/value/MRD/n256/speedup" in
-  (match List.assoc_opt floor_metric cur with
-  | Some c when c < mrd_floor ->
-    fail "%s = %.2fx below the %.1fx floor" floor_metric c mrd_floor
-  | Some _ -> ()
-  | None -> fail "%s missing from %s" floor_metric current);
+  let floors =
+    if List.mem_assoc floor_metric base then (floor_metric, mrd_floor) :: floors
+    else floors
+  in
+  List.iter
+    (fun (name, floor) ->
+      match List.assoc_opt name cur with
+      | Some c when c < floor ->
+        fail "%s = %.2fx below the %.1fx floor" name c floor
+      | Some _ -> ()
+      | None -> fail "%s missing from %s" name current)
+    floors;
   match !failures with
-  | [] -> Printf.printf "bench-diff: %d speedup ratios within tolerance\n"
-            (List.length speedups)
+  | [] ->
+    Printf.printf
+      "bench-diff: %d speedup ratios, %d allocation budgets, %d floors ok\n"
+      (List.length speedups) (List.length allocs) (List.length floors)
   | fs ->
     List.iter (fun f -> Printf.eprintf "bench-diff: %s\n" f) (List.rev fs);
     exit 1
@@ -1440,17 +1489,37 @@ let bench_diff_cmd =
     Arg.(
       value & opt float 2.0
       & info [ "mrd-floor" ] ~docv:"X"
-          ~doc:"Minimum indexed/scan speedup for value-model MRD at n=256.")
+          ~doc:
+            "Minimum indexed/scan speedup for value-model MRD at n=256 \
+             (checked only when the baseline carries that metric).")
+  in
+  let alloc_tolerance =
+    Arg.(
+      value & opt float 0.2
+      & info [ "alloc-tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Allowed relative growth of each */minor_words_per_slot metric \
+             (default 0.2 = 20%; allocation counts are deterministic, so no \
+             slack term applies).")
+  in
+  let floors =
+    Arg.(
+      value & opt_all string []
+      & info [ "floor" ] ~docv:"METRIC=X"
+          ~doc:
+            "Absolute floor on a current-run metric (repeatable), e.g. \
+             $(b,--floor e2e/pipeline/proc/speedup=2).")
   in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
-         "Compare two $(b,bench/hotpath.exe) outputs and fail on speedup-ratio \
-          regressions beyond the tolerance (CI gate against the committed \
-          BENCH_hotpath.json).")
+         "Compare two benchmark JSONL outputs ($(b,bench/hotpath.exe), \
+          $(b,bench/e2e.exe)) and fail on speedup-ratio regressions beyond \
+          the tolerance, allocation-budget regressions, or floor violations \
+          (CI gate against the committed BENCH_*.json).")
     Term.(
       const run_bench_diff $ baseline $ current $ tolerance $ cap $ slack
-      $ mrd_floor)
+      $ mrd_floor $ alloc_tolerance $ floors)
 
 let () =
   let doc = "shared-memory buffer management for heterogeneous packet processing" in

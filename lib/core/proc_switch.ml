@@ -94,26 +94,32 @@ let serve_port t i ~on_transmit =
        user hook runs: a raising hook — a recorder sink error, say — then
        propagates out of a switch whose occupancy, work aggregate and
        indexes all agree with the queues.  The residual-work drain of a
-       partially processed head-of-line packet is settled in [finally],
-       which also runs on the exception path. *)
+       partially processed head-of-line packet is settled both after normal
+       completion and on the exception path.  One closure per served port is
+       the price of the callback API; the former [Fun.protect]/[settle]
+       closures are folded in (this loop runs for every occupied port of
+       every instance every slot). *)
     let before = Work_queue.total_work q in
     let applied = ref 0 in
-    let settle () =
+    let wrapped p =
+      t.occupancy <- t.occupancy - 1;
       let drained = before - Work_queue.total_work q in
       t.occupied_work <- t.occupied_work - (drained - !applied);
-      applied := drained
-    in
-    let on_transmit p =
-      t.occupancy <- t.occupancy - 1;
-      settle ();
+      applied := drained;
       touch t i;
       on_transmit p
     in
-    Fun.protect
-      ~finally:(fun () ->
-        settle ();
-        touch t i)
-      (fun () -> Work_queue.process q ~cycles:(speedup t) ~on_transmit)
+    match Work_queue.process q ~cycles:(speedup t) ~on_transmit:wrapped with
+    | sent ->
+      let drained = before - Work_queue.total_work q in
+      t.occupied_work <- t.occupied_work - (drained - !applied);
+      touch t i;
+      sent
+    | exception e ->
+      let drained = before - Work_queue.total_work q in
+      t.occupied_work <- t.occupied_work - (drained - !applied);
+      touch t i;
+      raise e
   end
 
 let transmit_phase t ~on_transmit =

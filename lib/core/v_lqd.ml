@@ -7,9 +7,7 @@
    (minimum values come off the queues' O(1) cached bitsets). *)
 
 let min_of sw j =
-  match Value_queue.min_value (Value_switch.queue sw j) with
-  | Some v -> v
-  | None -> max_int
+  Value_queue.min_value_or (Value_switch.queue sw j) ~default:max_int
 
 let select_victim_scan sw ~dest =
   let best = ref 0 and best_len = ref min_int and best_min = ref min_int in

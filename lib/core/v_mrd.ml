@@ -11,9 +11,7 @@ let ratio_greater ~len_a ~sum_a ~len_b ~sum_b =
    [select_victim_scan] keeps the scan as the reference oracle. *)
 
 let min_of sw i =
-  match Value_queue.min_value (Value_switch.queue sw i) with
-  | Some v -> v
-  | None -> max_int
+  Value_queue.min_value_or (Value_switch.queue sw i) ~default:max_int
 
 let select_victim_scan ?(protect_last = false) sw =
   let min_len = if protect_last then 2 else 1 in

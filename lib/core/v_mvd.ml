@@ -36,8 +36,8 @@ let index ~protect_last sw =
       if ea <> eb then ea
       else if not ea then a > b
       else begin
-        let ma = match Value_queue.min_value qa with Some v -> v | None -> max_int
-        and mb = match Value_queue.min_value qb with Some v -> v | None -> max_int in
+        let ma = Value_queue.min_value_or qa ~default:max_int
+        and mb = Value_queue.min_value_or qb ~default:max_int in
         ma < mb || (ma = mb && (la > lb || (la = lb && a > b)))
       end)
 

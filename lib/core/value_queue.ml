@@ -53,25 +53,33 @@ let high_bit_index b =
   if !b lsr 1 <> 0 then incr i;
   !i
 
-let min_value t =
-  if t.size = 0 then None
+(* Allocation-free variants: the admission hot path (policy gates, the
+   switch-wide minimum tracker's comparator) calls these on every buffer
+   mutation, where a [Some] box per read is measurable churn. *)
+let min_value_or t ~default =
+  if t.size = 0 then default
   else begin
-    let rec scan w =
-      let bits = t.occupied.(w) in
-      if bits <> 0 then (w * 63) + bit_index (bits land -bits) else scan (w + 1)
-    in
-    Some (scan 0)
+    (* plain loop, not a local [rec]: a closure per read is hot-path churn *)
+    let w = ref 0 in
+    while t.occupied.(!w) = 0 do
+      incr w
+    done;
+    let bits = t.occupied.(!w) in
+    (!w * 63) + bit_index (bits land -bits)
   end
 
-let max_value t =
-  if t.size = 0 then None
+let max_value_or t ~default =
+  if t.size = 0 then default
   else begin
-    let rec scan w =
-      let bits = t.occupied.(w) in
-      if bits <> 0 then (w * 63) + high_bit_index bits else scan (w - 1)
-    in
-    Some (scan (Array.length t.occupied - 1))
+    let w = ref (Array.length t.occupied - 1) in
+    while t.occupied.(!w) = 0 do
+      decr w
+    done;
+    (!w * 63) + high_bit_index t.occupied.(!w)
   end
+
+let min_value t = if t.size = 0 then None else Some (min_value_or t ~default:0)
+let max_value t = if t.size = 0 then None else Some (max_value_or t ~default:0)
 
 let mark t v = t.occupied.(v / 63) <- t.occupied.(v / 63) lor (1 lsl (v mod 63))
 
@@ -88,24 +96,22 @@ let push t (p : Packet.Value.t) =
   t.sum <- t.sum + p.value
 
 let pop_min t =
-  match min_value t with
-  | None -> invalid_arg "Value_queue.pop_min: empty"
-  | Some v ->
-    let p = Deque.pop_back t.buckets.(v) in
-    unmark_if_empty t v;
-    t.size <- t.size - 1;
-    t.sum <- t.sum - v;
-    p
+  if t.size = 0 then invalid_arg "Value_queue.pop_min: empty";
+  let v = min_value_or t ~default:0 in
+  let p = Deque.pop_back t.buckets.(v) in
+  unmark_if_empty t v;
+  t.size <- t.size - 1;
+  t.sum <- t.sum - v;
+  p
 
 let pop_max t =
-  match max_value t with
-  | None -> invalid_arg "Value_queue.pop_max: empty"
-  | Some v ->
-    let p = Deque.pop_front t.buckets.(v) in
-    unmark_if_empty t v;
-    t.size <- t.size - 1;
-    t.sum <- t.sum - v;
-    p
+  if t.size = 0 then invalid_arg "Value_queue.pop_max: empty";
+  let v = max_value_or t ~default:0 in
+  let p = Deque.pop_front t.buckets.(v) in
+  unmark_if_empty t v;
+  t.size <- t.size - 1;
+  t.sum <- t.sum - v;
+  p
 
 let iter f t =
   for v = t.k downto 1 do

@@ -33,6 +33,13 @@ val average_value : t -> float
 val min_value : t -> int option
 val max_value : t -> int option
 
+val min_value_or : t -> default:int -> int
+val max_value_or : t -> default:int -> int
+(** Allocation-free {!min_value}/{!max_value}: [default] when empty.  These
+    sit on the admission hot path (policy drop gates, the switch-wide
+    minimum tracker's comparator runs on every mutation), where a [Some]
+    box per read is measurable GC churn. *)
+
 val push : t -> Packet.Value.t -> unit
 (** @raise Invalid_argument if the value is outside [1 .. k]. *)
 

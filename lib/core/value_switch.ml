@@ -15,8 +15,8 @@ type t = {
    rank last (an occupied queue's minimum is at most k < max_int). *)
 let min_better queues a b =
   let qa = queues.(a) and qb = queues.(b) in
-  let ma = match Value_queue.min_value qa with Some v -> v | None -> max_int
-  and mb = match Value_queue.min_value qb with Some v -> v | None -> max_int in
+  let ma = Value_queue.min_value_or qa ~default:max_int
+  and mb = Value_queue.min_value_or qb ~default:max_int in
   ma < mb
   || (ma = mb
      &&

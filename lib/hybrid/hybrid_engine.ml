@@ -13,53 +13,59 @@ let create ?name ?recorder config (policy : Hybrid_policy.t) =
       fun kind ->
         Smbm_obs.Recorder.record r ~slot:(Hybrid_switch.now sw) ~who:name kind
   in
+  (* Events are records: guard construction, not just delivery — an
+     untraced run must not allocate an event per arrival. *)
+  let recording = Option.is_some recorder in
   let on_transmit (p : Hybrid_switch.packet) =
     let latency = Hybrid_switch.now sw - p.arrival in
     Metrics.record_transmit metrics ~value:p.value
       ~latency:(float_of_int latency);
     Port_stats.record ports ~port:p.dest ~value:p.value;
-    record (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency })
+    if recording then record (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency })
   in
-  let arrive (a : Arrival.t) =
+  let arrive_dv ~dest ~value =
     Metrics.record_arrival metrics;
-    record (Smbm_obs.Event.Arrival { dest = a.dest });
-    match policy.admit sw ~dest:a.dest ~value:a.value with
+    if recording then record (Smbm_obs.Event.Arrival { dest });
+    match policy.admit sw ~dest ~value with
     | Decision.Accept ->
-      ignore (Hybrid_switch.accept sw ~dest:a.dest ~value:a.value);
+      ignore (Hybrid_switch.accept sw ~dest ~value);
       Metrics.record_accept metrics;
-      record (Smbm_obs.Event.Accept { dest = a.dest })
+      if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Push_out { victim } ->
       if not (Hybrid_switch.is_full sw) then
         invalid_arg (name ^ ": push-out with free space");
       let evicted = Hybrid_switch.push_out sw ~victim in
       Metrics.record_push_out metrics;
-      record
-        (Smbm_obs.Event.Push_out
-           { victim; dest = a.dest; lost = evicted.Hybrid_switch.value });
-      ignore (Hybrid_switch.accept sw ~dest:a.dest ~value:a.value);
+      if recording then
+        record
+          (Smbm_obs.Event.Push_out
+           { victim; dest; lost = evicted.Hybrid_switch.value });
+      ignore (Hybrid_switch.accept sw ~dest ~value);
       Metrics.record_accept metrics;
-      record (Smbm_obs.Event.Accept { dest = a.dest })
+      if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Drop ->
       Metrics.record_drop metrics;
-      record (Smbm_obs.Event.Drop { dest = a.dest; value = a.value })
+      if recording then record (Smbm_obs.Event.Drop { dest; value })
   in
+  let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
   let inst : Instance.t =
     {
       name;
       arrive;
+      arrive_dv;
       transmit =
         (fun () -> ignore (Hybrid_switch.transmit_phase sw ~on_transmit));
       end_slot =
         (fun () ->
           let occupancy = Hybrid_switch.occupancy sw in
           Metrics.record_occupancy metrics occupancy;
-          record (Smbm_obs.Event.Slot_end { occupancy });
+          if recording then record (Smbm_obs.Event.Slot_end { occupancy });
           Hybrid_switch.advance_slot sw);
       flush =
         (fun () ->
           let count = Hybrid_switch.flush sw in
           Metrics.record_flush metrics count;
-          record (Smbm_obs.Event.Flush { count });
+          if recording then record (Smbm_obs.Event.Flush { count });
           Metrics.check_conservation metrics);
       occupancy = (fun () -> Hybrid_switch.occupancy sw);
       metrics;

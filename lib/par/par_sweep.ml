@@ -14,10 +14,53 @@ let with_pool ?jobs ?on_tick ?on_timing f =
       | Some g -> g (Pool.timing pool));
       result)
 
-let run_points ?jobs ?on_tick ?on_timing ?spans ~base ~model ~axis ~xs () =
+(* Trace prematerialization: before sharding the points, every trace key
+   used by >= 2 tasks (and within the size budget) is materialized once on
+   the caller, and the resulting immutable compact traces are shared
+   read-only by all point tasks across domains.  Keys are deterministic
+   functions of the task parameters, so the set of materialized traces (and
+   every replayed stream) is independent of [jobs] and of worker
+   scheduling.  Materializing outside the pool keeps [on_tick] counting
+   simulations only. *)
+let prematerialize ?(max_cached_arrivals = Sweep.default_max_cached_arrivals)
+    ~base tasks =
+  let counts = Hashtbl.create 16 in
+  let reps = ref [] in
+  List.iter
+    (fun ((model : Sweep.model), (axis : Sweep.axis), x) ->
+      let key = Sweep.trace_key ~base ~model ~axis ~x in
+      match Hashtbl.find_opt counts key with
+      | None ->
+        Hashtbl.replace counts key 1;
+        reps := (key, (model, axis, x)) :: !reps
+      | Some n -> Hashtbl.replace counts key (n + 1))
+    tasks;
+  List.filter_map
+    (fun (key, (model, axis, x)) ->
+      if
+        Hashtbl.find counts key >= 2
+        && Sweep.trace_worth_caching ~max_arrivals:max_cached_arrivals ~base
+             ~model ~axis ~x ()
+      then Some (key, Sweep.materialize_trace ~base ~model ~axis ~x)
+      else None)
+    (List.rev !reps)
+
+let find_trace traces ~base ~model ~axis ~x =
+  List.assoc_opt (Sweep.trace_key ~base ~model ~axis ~x) traces
+
+let run_points ?jobs ?on_tick ?on_timing ?spans ?max_cached_arrivals ~base
+    ~model ~axis ~xs () =
+  let traces =
+    prematerialize ?max_cached_arrivals ~base
+      (List.map (fun x -> (model, axis, x)) xs)
+  in
   with_pool ?jobs ?on_tick ?on_timing (fun pool ->
       Pool.map pool
-        (fun x -> (x, Sweep.run_point ?spans ~base ~model ~axis ~x ()))
+        (fun x ->
+          ( x,
+            Sweep.run_point ?spans
+              ?trace:(find_trace traces ~base ~model ~axis ~x)
+              ~base ~model ~axis ~x () ))
         xs)
 
 let panel_of ?base ?xs number =
@@ -26,11 +69,12 @@ let panel_of ?base ?xs number =
   let panel = match xs with Some xs -> { panel with Sweep.xs } | None -> panel in
   (base, panel)
 
-let run_panel ?jobs ?on_tick ?on_timing ?spans ?base ?xs number =
+let run_panel ?jobs ?on_tick ?on_timing ?spans ?max_cached_arrivals ?base ?xs
+    number =
   let base, panel = panel_of ?base ?xs number in
   let points =
-    run_points ?jobs ?on_tick ?on_timing ?spans ~base ~model:panel.Sweep.model
-      ~axis:panel.Sweep.axis ~xs:panel.Sweep.xs ()
+    run_points ?jobs ?on_tick ?on_timing ?spans ?max_cached_arrivals ~base
+      ~model:panel.Sweep.model ~axis:panel.Sweep.axis ~xs:panel.Sweep.xs ()
     |> List.map (fun (x, ratios) -> { Sweep.x; ratios })
   in
   { Sweep.panel; points }
@@ -48,8 +92,13 @@ let default_trace_cap = 65_536
    in submission order, so concatenating the per-point event lists yields the
    same stream for every [jobs] value and any worker schedule. *)
 let run_panel_traced ?jobs ?on_tick ?on_timing ?spans
-    ?(trace_cap = default_trace_cap) ?base ?xs number =
+    ?(trace_cap = default_trace_cap) ?max_cached_arrivals ?base ?xs number =
   let base, panel = panel_of ?base ?xs number in
+  let model = panel.Sweep.model and axis = panel.Sweep.axis in
+  let traces =
+    prematerialize ?max_cached_arrivals ~base
+      (List.map (fun x -> (model, axis, x)) panel.Sweep.xs)
+  in
   let results =
     with_pool ?jobs ?on_tick ?on_timing (fun pool ->
         Pool.map pool
@@ -60,8 +109,9 @@ let run_panel_traced ?jobs ?on_tick ?on_timing ?spans
                 ~cap:trace_cap ()
             in
             let ratios =
-              Sweep.run_point ~recorder ?spans ~base ~model:panel.Sweep.model
-                ~axis:panel.Sweep.axis ~x ()
+              Sweep.run_point ~recorder ?spans
+                ?trace:(find_trace traces ~base ~model ~axis ~x)
+                ~base ~model ~axis ~x ()
             in
             ( { Sweep.x; ratios },
               Smbm_obs.Recorder.dump recorder,
@@ -75,13 +125,22 @@ let run_panel_traced ?jobs ?on_tick ?on_timing ?spans
     dropped_events = List.fold_left (fun acc (_, _, d) -> acc + d) 0 results;
   }
 
-let run_panels ?jobs ?on_tick ?on_timing ?base numbers =
+let run_panels ?jobs ?on_tick ?on_timing ?max_cached_arrivals ?base numbers =
   let panels = List.map (fun n -> snd (panel_of ?base n)) numbers in
   let base = Option.value base ~default:Sweep.default_base in
   let tasks =
     List.concat_map
       (fun (p : Sweep.panel) -> List.map (fun x -> (p, x)) p.Sweep.xs)
       panels
+  in
+  (* Sharing is cross-panel: a model's B and C panels (and its K panel at
+     the base point) all carry the same key, so a full Fig. 5 materializes
+     one trace per model instead of generating 60-odd times. *)
+  let traces =
+    prematerialize ?max_cached_arrivals ~base
+      (List.map
+         (fun ((p : Sweep.panel), x) -> (p.Sweep.model, p.Sweep.axis, x))
+         tasks)
   in
   let points =
     with_pool ?jobs ?on_tick ?on_timing (fun pool ->
@@ -90,8 +149,11 @@ let run_panels ?jobs ?on_tick ?on_timing ?base numbers =
             {
               Sweep.x;
               ratios =
-                Sweep.run_point ~base ~model:p.Sweep.model ~axis:p.Sweep.axis
-                  ~x ();
+                Sweep.run_point
+                  ?trace:
+                    (find_trace traces ~base ~model:p.Sweep.model
+                       ~axis:p.Sweep.axis ~x)
+                  ~base ~model:p.Sweep.model ~axis:p.Sweep.axis ~x ();
             })
           tasks)
   in

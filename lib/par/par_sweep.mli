@@ -33,6 +33,7 @@ val run_points :
   ?on_tick:(int -> unit) ->
   ?on_timing:(Pool.timing -> unit) ->
   ?spans:Smbm_obs.Span.t ->
+  ?max_cached_arrivals:int ->
   base:Sweep.base ->
   model:Sweep.model ->
   axis:Sweep.axis ->
@@ -40,19 +41,26 @@ val run_points :
   unit ->
   (int * (string * float) list) list
 (** [Sweep.run_point] at every [x] of [xs], points sharded across the pool;
-    equals the sequential list of [(x, Sweep.run_point ... ~x)]. *)
+    equals the sequential list of [(x, Sweep.run_point ... ~x)].
+
+    Points sharing a {!Sweep.trace_key} replay one compact trace,
+    materialized on the caller before the pool starts and shared read-only
+    across domains (immutable once built).  [max_cached_arrivals] bounds
+    materialization as in {!Sweep.run_panel}; replays are bit-identical to
+    live generation, so outcomes are unchanged. *)
 
 val run_panel :
   ?jobs:int ->
   ?on_tick:(int -> unit) ->
   ?on_timing:(Pool.timing -> unit) ->
   ?spans:Smbm_obs.Span.t ->
+  ?max_cached_arrivals:int ->
   ?base:Sweep.base ->
   ?xs:int list ->
   int ->
   Sweep.outcome
 (** Parallel {!Sweep.run_panel}: same outcome, points sharded across the
-    pool. *)
+    pool (trace sharing as in {!run_points}). *)
 
 type traced = {
   outcome : Sweep.outcome;
@@ -74,6 +82,7 @@ val run_panel_traced :
   ?on_timing:(Pool.timing -> unit) ->
   ?spans:Smbm_obs.Span.t ->
   ?trace_cap:int ->
+  ?max_cached_arrivals:int ->
   ?base:Sweep.base ->
   ?xs:int list ->
   int ->
@@ -89,6 +98,7 @@ val run_panels :
   ?jobs:int ->
   ?on_tick:(int -> unit) ->
   ?on_timing:(Pool.timing -> unit) ->
+  ?max_cached_arrivals:int ->
   ?base:Sweep.base ->
   int list ->
   Sweep.outcome list
@@ -96,7 +106,12 @@ val run_panels :
     points sharded across one pool — e.g. [run_panels [1;2;...;9]] spreads
     the full figure's 60-odd simulations over the domains instead of
     parallelizing only within a panel.  Equals
-    [List.map (Sweep.run_panel ?base) numbers]. *)
+    [List.map (Sweep.run_panel ?base) numbers].
+
+    Trace sharing is cross-panel: within one model, the B panel, the C
+    panel and the K panel's base point all carry the same
+    {!Sweep.trace_key}, so the full figure materializes one trace per model
+    and replays it sixteen times. *)
 
 val run_point_replicated :
   ?jobs:int ->

@@ -18,10 +18,11 @@ let run ~factor ?(objective = `Packets) ~workload ~slots ?flush_every ~policy
     | Some n when n > 0 -> (slot + 1) mod n = 0
     | Some _ | None -> false
   in
+  let batch = Smbm_core.Arrival_batch.create () in
   for slot = 0 to slots - 1 do
-    let arrivals = Smbm_traffic.Workload.next workload in
-    Instance.step_slot policy ~arrivals;
-    Instance.step_slot opponent ~arrivals;
+    Smbm_traffic.Workload.next_into workload batch;
+    Instance.step_batch policy ~batch;
+    Instance.step_batch opponent ~batch;
     let p = Metrics.throughput_of objective (policy : Instance.t).metrics in
     let o = Metrics.throughput_of objective (opponent : Instance.t).metrics in
     let ratio =

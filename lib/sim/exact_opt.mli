@@ -42,3 +42,23 @@ val value :
   int
 (** Maximum total transmitted value, same conventions (including the
     [recorder] trace semantics of {!proc}). *)
+
+val proc_compact :
+  ?recorder:Smbm_obs.Recorder.t ->
+  ?name:string ->
+  Proc_config.t ->
+  Smbm_traffic.Trace.Compact.t ->
+  drain:int ->
+  int
+(** {!proc} on a {!Smbm_traffic.Trace.Compact} trace (e.g. one shared by
+    the sweep trace cache), expanded once to per-slot lists before the
+    search. *)
+
+val value_compact :
+  ?recorder:Smbm_obs.Recorder.t ->
+  ?name:string ->
+  Value_config.t ->
+  Smbm_traffic.Trace.Compact.t ->
+  drain:int ->
+  int
+(** {!value} on a compact trace, same conventions. *)

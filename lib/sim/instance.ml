@@ -3,6 +3,7 @@ open Smbm_core
 type t = {
   name : string;
   arrive : Arrival.t -> unit;
+  arrive_dv : dest:int -> value:int -> unit;
   transmit : unit -> unit;
   end_slot : unit -> unit;
   flush : unit -> unit;
@@ -14,5 +15,10 @@ type t = {
 
 let step_slot t ~arrivals =
   List.iter t.arrive arrivals;
+  t.transmit ();
+  t.end_slot ()
+
+let step_batch t ~batch =
+  Arrival_batch.iter batch ~f:t.arrive_dv;
   t.transmit ();
   t.end_slot ()

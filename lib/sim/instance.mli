@@ -7,6 +7,11 @@ open Smbm_core
 type t = {
   name : string;
   arrive : Arrival.t -> unit;  (** offer one arriving packet *)
+  arrive_dv : dest:int -> value:int -> unit;
+      (** same as [arrive], unpacked: the batched slot loop's entry point
+          (no [Arrival.t] record needs to exist).  Engines implement this as
+          the primitive and derive [arrive] from it; the two are
+          behaviourally identical. *)
   transmit : unit -> unit;  (** run one transmission phase *)
   end_slot : unit -> unit;  (** per-slot bookkeeping (occupancy sample, clock) *)
   flush : unit -> unit;  (** discard all buffered packets *)
@@ -20,3 +25,7 @@ type t = {
 
 val step_slot : t -> arrivals:Arrival.t list -> unit
 (** One full slot: arrival phase, transmission phase, bookkeeping. *)
+
+val step_batch : t -> batch:Arrival_batch.t -> unit
+(** {!step_slot} over a struct-of-arrays batch; offers arrivals in batch
+    order through [arrive_dv].  Allocation-free. *)

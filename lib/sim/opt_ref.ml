@@ -26,14 +26,16 @@ let proc_instance ?(name = "OPT") ?cores ?recorder config =
   let bag = Count_multiset.create ~k:(Proc_config.k config) in
   let metrics = Metrics.create () in
   let record, advance_slot = make_recorder ~name recorder in
-  let arrive (a : Arrival.t) =
+  (* guard event construction: untraced runs must not allocate per arrival *)
+  let recording = Option.is_some recorder in
+  let arrive_dv ~dest ~value:_ =
     Metrics.record_arrival metrics;
-    record (Smbm_obs.Event.Arrival { dest = a.dest });
-    let work = Proc_config.work config a.dest in
+    if recording then record (Smbm_obs.Event.Arrival { dest });
+    let work = Proc_config.work config dest in
     if Count_multiset.size bag < buffer then begin
       Count_multiset.add bag work;
       Metrics.record_accept metrics;
-      record (Smbm_obs.Event.Accept { dest = a.dest })
+      if recording then record (Smbm_obs.Event.Accept { dest })
     end
     else begin
       match Count_multiset.max_key bag with
@@ -42,14 +44,15 @@ let proc_instance ?(name = "OPT") ?cores ?recorder config =
         Count_multiset.add bag work;
         Metrics.record_push_out metrics;
         record
-          (Smbm_obs.Event.Push_out { victim = worst; dest = a.dest; lost = 1 });
+          (Smbm_obs.Event.Push_out { victim = worst; dest; lost = 1 });
         Metrics.record_accept metrics;
-        record (Smbm_obs.Event.Accept { dest = a.dest })
+        if recording then record (Smbm_obs.Event.Accept { dest })
       | Some _ | None ->
         Metrics.record_drop metrics;
-        record (Smbm_obs.Event.Drop { dest = a.dest; value = 1 })
+        if recording then record (Smbm_obs.Event.Drop { dest; value = 1 })
     end
   in
+  let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
   let transmit () =
     (* SRPT with the full per-slot cycle budget: cycles may stack on one
        packet within a slot, so the reference dominates real queues at any
@@ -57,19 +60,20 @@ let proc_instance ?(name = "OPT") ?cores ?recorder config =
     let sent = Count_multiset.serve_srpt bag ~budget:cores in
     Metrics.record_transmissions metrics ~count:sent ~value:sent;
     if sent > 0 then
-      record
-        (Smbm_obs.Event.Transmit_bulk { dest = -1; count = sent; value = sent })
+      if recording then
+        record
+          (Smbm_obs.Event.Transmit_bulk { dest = -1; count = sent; value = sent })
   in
   let end_slot () =
     let occupancy = Count_multiset.size bag in
     Metrics.record_occupancy metrics occupancy;
-    record (Smbm_obs.Event.Slot_end { occupancy });
+    if recording then record (Smbm_obs.Event.Slot_end { occupancy });
     advance_slot ()
   in
   let flush () =
     let count = Count_multiset.size bag in
     Metrics.record_flush metrics count;
-    record (Smbm_obs.Event.Flush { count });
+    if recording then record (Smbm_obs.Event.Flush { count });
     Count_multiset.clear bag;
     Metrics.check_conservation metrics
   in
@@ -83,6 +87,7 @@ let proc_instance ?(name = "OPT") ?cores ?recorder config =
   {
     Instance.name;
     arrive;
+    arrive_dv;
     transmit;
     end_slot;
     flush;
@@ -103,47 +108,49 @@ let value_instance ?(name = "OPT") ?cores ?recorder config =
   let bag = Count_multiset.create ~k:(Value_config.k config) in
   let metrics = Metrics.create () in
   let record, advance_slot = make_recorder ~name recorder in
-  let arrive (a : Arrival.t) =
+  (* guard event construction: untraced runs must not allocate per arrival *)
+  let recording = Option.is_some recorder in
+  let arrive_dv ~dest ~value =
     Metrics.record_arrival metrics;
-    record (Smbm_obs.Event.Arrival { dest = a.dest });
+    if recording then record (Smbm_obs.Event.Arrival { dest });
     if Count_multiset.size bag < buffer then begin
-      Count_multiset.add bag a.value;
+      Count_multiset.add bag value;
       Metrics.record_accept metrics;
-      record (Smbm_obs.Event.Accept { dest = a.dest })
+      if recording then record (Smbm_obs.Event.Accept { dest })
     end
     else begin
       match Count_multiset.min_key bag with
-      | Some worst when worst < a.value ->
+      | Some worst when worst < value ->
         Count_multiset.remove bag worst;
-        Count_multiset.add bag a.value;
+        Count_multiset.add bag value;
         Metrics.record_push_out metrics;
         record
-          (Smbm_obs.Event.Push_out
-             { victim = worst; dest = a.dest; lost = worst });
+          (Smbm_obs.Event.Push_out { victim = worst; dest; lost = worst });
         Metrics.record_accept metrics;
-        record (Smbm_obs.Event.Accept { dest = a.dest })
+        if recording then record (Smbm_obs.Event.Accept { dest })
       | Some _ | None ->
         Metrics.record_drop metrics;
-        record (Smbm_obs.Event.Drop { dest = a.dest; value = a.value })
+        if recording then record (Smbm_obs.Event.Drop { dest; value })
     end
   in
+  let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
   let transmit () =
     let count = min cores (Count_multiset.size bag) in
     let value = Count_multiset.remove_largest bag ~budget:cores in
     Metrics.record_transmissions metrics ~count ~value;
     if count > 0 then
-      record (Smbm_obs.Event.Transmit_bulk { dest = -1; count; value })
+      if recording then record (Smbm_obs.Event.Transmit_bulk { dest = -1; count; value })
   in
   let end_slot () =
     let occupancy = Count_multiset.size bag in
     Metrics.record_occupancy metrics occupancy;
-    record (Smbm_obs.Event.Slot_end { occupancy });
+    if recording then record (Smbm_obs.Event.Slot_end { occupancy });
     advance_slot ()
   in
   let flush () =
     let count = Count_multiset.size bag in
     Metrics.record_flush metrics count;
-    record (Smbm_obs.Event.Flush { count });
+    if recording then record (Smbm_obs.Event.Flush { count });
     Count_multiset.clear bag;
     Metrics.check_conservation metrics
   in
@@ -157,6 +164,7 @@ let value_instance ?(name = "OPT") ?cores ?recorder config =
   {
     Instance.name;
     arrive;
+    arrive_dv;
     transmit;
     end_slot;
     flush;

@@ -13,46 +13,50 @@ let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) ?recorder config
       fun kind ->
         Smbm_obs.Recorder.record r ~slot:(Proc_switch.now sw) ~who:name kind
   in
+  (* Events are records: guard construction, not just delivery — an
+     untraced run must not allocate an event per arrival. *)
+  let recording = Option.is_some recorder in
   let on_transmit (p : Packet.Proc.t) =
     let latency = Proc_switch.now sw - p.arrival in
     Metrics.record_transmit metrics ~value:1 ~latency:(float_of_int latency);
     Port_stats.record ports ~port:p.dest ~value:1;
-    record (Smbm_obs.Event.Transmit { dest = p.dest; value = 1; latency });
+    if recording then record (Smbm_obs.Event.Transmit { dest = p.dest; value = 1; latency });
     observe p
   in
-  let arrive (a : Arrival.t) =
+  let arrive_dv ~dest ~value:_ =
     Metrics.record_arrival metrics;
-    record (Smbm_obs.Event.Arrival { dest = a.dest });
-    match Proc_policy.admit policy sw ~dest:a.dest with
+    if recording then record (Smbm_obs.Event.Arrival { dest });
+    match Proc_policy.admit policy sw ~dest with
     | Decision.Accept ->
-      ignore (Proc_switch.accept sw ~dest:a.dest);
+      ignore (Proc_switch.accept sw ~dest);
       Metrics.record_accept metrics;
-      record (Smbm_obs.Event.Accept { dest = a.dest })
+      if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Push_out { victim } ->
       if not (Proc_switch.is_full sw) then
         invalid_arg
           (name ^ ": push-out decision while the buffer has free space");
       ignore (Proc_switch.push_out sw ~victim);
       Metrics.record_push_out metrics;
-      record (Smbm_obs.Event.Push_out { victim; dest = a.dest; lost = 1 });
-      ignore (Proc_switch.accept sw ~dest:a.dest);
+      if recording then record (Smbm_obs.Event.Push_out { victim; dest; lost = 1 });
+      ignore (Proc_switch.accept sw ~dest);
       Metrics.record_accept metrics;
-      record (Smbm_obs.Event.Accept { dest = a.dest })
+      if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Drop ->
       Metrics.record_drop metrics;
-      record (Smbm_obs.Event.Drop { dest = a.dest; value = 1 })
+      if recording then record (Smbm_obs.Event.Drop { dest; value = 1 })
   in
+  let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
   let transmit () = ignore (Proc_switch.transmit_phase sw ~on_transmit) in
   let end_slot () =
     let occupancy = Proc_switch.occupancy sw in
     Metrics.record_occupancy metrics occupancy;
-    record (Smbm_obs.Event.Slot_end { occupancy });
+    if recording then record (Smbm_obs.Event.Slot_end { occupancy });
     Proc_switch.advance_slot sw
   in
   let flush () =
     let count = Proc_switch.flush sw in
     Metrics.record_flush metrics count;
-    record (Smbm_obs.Event.Flush { count });
+    if recording then record (Smbm_obs.Event.Flush { count });
     Metrics.check_conservation metrics
   in
   let check () =
@@ -65,6 +69,7 @@ let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) ?recorder config
     {
       name;
       arrive;
+      arrive_dv;
       transmit;
       end_slot;
       flush;

@@ -116,16 +116,76 @@ let setup ?reference ?recorder model base =
   | Value_uniform -> value_setup ?recorder ~reference ~port_tied:false base
   | Value_port -> value_setup ?recorder ~reference ~port_tied:true base
 
+(* ----- trace cache -----
+
+   The generated traffic of a sweep point depends on strictly fewer
+   parameters than the point itself: the RNG streams are seeded by [seed]
+   and consumed by the MMPP processes ([mmpp], per-source rate — a function
+   of [load] and the *reference* capacity) and the labelling rule (a
+   function of the swept config's port/value count, i.e. the effective [k]).
+   The swept [buffer] and [speedup] never reach the generator, so every
+   point of a B or C axis replays byte-identical traffic.  [trace_key]
+   spells out exactly those inputs — a point's traffic is a pure function of
+   its key, so sharing one materialized trace per key is correct by
+   construction (and pinned by tests against live generation). *)
+
+let effective base axis x = apply_axis base axis x
+
+let trace_key ~base ~model ~axis ~x =
+  let reference = base in
+  let e = effective base axis x in
+  let tag =
+    match model with
+    | Proc -> "proc"
+    | Value_uniform -> "value_uniform"
+    | Value_port -> "value_port"
+  in
+  Printf.sprintf "%s|slots=%d|seed=%d|load=%h|mmpp=%d,%h,%h|ref=%d,%d|k=%d" tag
+    e.slots e.seed e.load e.mmpp.Scenario.sources e.mmpp.Scenario.p_on_to_off
+    e.mmpp.Scenario.p_off_to_on reference.k reference.speedup e.k
+
+let point_workload ~base ~model ~axis ~x =
+  let reference = base in
+  let e = effective base axis x in
+  fst (setup ~reference model e)
+
+let materialize_trace ~base ~model ~axis ~x =
+  let workload = point_workload ~base ~model ~axis ~x in
+  Trace.Compact.of_workload workload ~slots:(effective base axis x).slots
+
+(* Budget guard: a materialized trace costs ~3 words per arrival plus one
+   per slot; past a few million arrivals (paper-scale runs) the cache would
+   dominate memory for a marginal win, so callers fall back to live
+   generation. *)
+let default_max_cached_arrivals = 4_000_000
+
+let trace_worth_caching ?(max_arrivals = default_max_cached_arrivals) ~base
+    ~model ~axis ~x () =
+  max_arrivals > 0
+  &&
+  let e = effective base axis x in
+  match Workload.mean_rate (point_workload ~base ~model ~axis ~x) with
+  | Some rate -> rate *. float_of_int e.slots <= float_of_int max_arrivals
+  | None -> false
+
 let policy_names model base =
   let _, instances = setup model base in
   match instances with
   | _opt :: algs -> List.map (fun (i : Instance.t) -> i.Instance.name) algs
   | [] -> []
 
-let run_point ?recorder ?spans ~base ~model ~axis ~x () =
+let run_point ?recorder ?spans ?trace ~base ~model ~axis ~x () =
   let reference = base in
   let base = apply_axis base axis x in
-  let workload, instances = setup ?recorder ~reference model base in
+  let live_workload, instances = setup ?recorder ~reference model base in
+  let workload =
+    match trace with
+    | None -> live_workload
+    | Some trace ->
+      if Trace.Compact.slots trace < base.slots then
+        invalid_arg "Sweep.run_point: trace shorter than the run";
+      Trace.Compact.replay trace
+  in
   let params =
     {
       Experiment.slots = base.slots;
@@ -193,7 +253,12 @@ let run_point_detailed ~base ~model ~axis ~x =
       algs
   | [] -> []
 
-type replicated = { mean : float; stddev : float; runs : int }
+type replicated = {
+  mean : float;
+  stddev : float;
+  runs : int;
+  dropped_non_finite : int;
+}
 
 let aggregate_replicates per_seed =
   match per_seed with
@@ -202,18 +267,21 @@ let aggregate_replicates per_seed =
     List.map
       (fun (name, _) ->
         let stats = Smbm_prelude.Running_stats.create () in
+        let dropped = ref 0 in
         List.iter
           (fun ratios ->
             match List.assoc_opt name ratios with
             | Some r when Float.is_finite r ->
               Smbm_prelude.Running_stats.add stats r
-            | Some _ | None -> ())
+            | Some _ -> incr dropped
+            | None -> ())
           per_seed;
         ( name,
           {
             mean = Smbm_prelude.Running_stats.mean stats;
             stddev = Smbm_prelude.Running_stats.stddev stats;
             runs = Smbm_prelude.Running_stats.count stats;
+            dropped_non_finite = !dropped;
           } ))
       first
 
@@ -224,17 +292,47 @@ let run_point_replicated ~base ~model ~axis ~x ~seeds =
        (fun seed -> run_point ~base:{ base with seed } ~model ~axis ~x ())
        seeds)
 
-let run_panel ?(base = default_base) ?recorder ?spans ?xs number =
+(* Panel-level trace cache: a key is materialized once and replayed by
+   every later point with the same key (all of a B or C axis).  Keys used
+   once — every K-axis point — are never materialized: generating into a
+   trace first would only add a copy. *)
+let run_panel ?(base = default_base) ?recorder ?spans ?xs
+    ?(max_cached_arrivals = default_max_cached_arrivals) number =
   let panel = panel number in
   let panel = match xs with Some xs -> { panel with xs } | None -> panel in
+  let model = panel.model and axis = panel.axis in
+  let key x = trace_key ~base ~model ~axis ~x in
+  let uses = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      Hashtbl.replace uses k (1 + Option.value ~default:0 (Hashtbl.find_opt uses k)))
+    panel.xs;
+  let cache = Hashtbl.create 8 in
+  let trace_for x =
+    let k = key x in
+    match Hashtbl.find_opt cache k with
+    | Some trace -> Some trace
+    | None ->
+      if
+        Option.value ~default:0 (Hashtbl.find_opt uses k) >= 2
+        && trace_worth_caching ~max_arrivals:max_cached_arrivals ~base ~model
+             ~axis ~x ()
+      then begin
+        let trace = materialize_trace ~base ~model ~axis ~x in
+        Hashtbl.replace cache k trace;
+        Some trace
+      end
+      else None
+  in
   let run_points () =
     List.map
       (fun x ->
         {
           x;
           ratios =
-            run_point ?recorder ?spans ~base ~model:panel.model
-              ~axis:panel.axis ~x ();
+            run_point ?recorder ?spans ?trace:(trace_for x) ~base ~model ~axis
+              ~x ();
         })
       panel.xs
   in

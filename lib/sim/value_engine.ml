@@ -13,49 +13,54 @@ let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) ?recorder config
       fun kind ->
         Smbm_obs.Recorder.record r ~slot:(Value_switch.now sw) ~who:name kind
   in
+  (* Events are records: guard construction, not just delivery — an
+     untraced run must not allocate an event per arrival. *)
+  let recording = Option.is_some recorder in
   let on_transmit (p : Packet.Value.t) =
     let latency = Value_switch.now sw - p.arrival in
     Metrics.record_transmit metrics ~value:p.value
       ~latency:(float_of_int latency);
     Port_stats.record ports ~port:p.dest ~value:p.value;
-    record (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency });
+    if recording then record (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency });
     observe p
   in
-  let arrive (a : Arrival.t) =
+  let arrive_dv ~dest ~value =
     Metrics.record_arrival metrics;
-    record (Smbm_obs.Event.Arrival { dest = a.dest });
-    match Value_policy.admit policy sw ~dest:a.dest ~value:a.value with
+    if recording then record (Smbm_obs.Event.Arrival { dest });
+    match Value_policy.admit policy sw ~dest ~value with
     | Decision.Accept ->
-      ignore (Value_switch.accept sw ~dest:a.dest ~value:a.value);
+      ignore (Value_switch.accept sw ~dest ~value);
       Metrics.record_accept metrics;
-      record (Smbm_obs.Event.Accept { dest = a.dest })
+      if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Push_out { victim } ->
       if not (Value_switch.is_full sw) then
         invalid_arg
           (name ^ ": push-out decision while the buffer has free space");
       let evicted = Value_switch.push_out sw ~victim in
       Metrics.record_push_out metrics;
-      record
-        (Smbm_obs.Event.Push_out
-           { victim; dest = a.dest; lost = evicted.Packet.Value.value });
-      ignore (Value_switch.accept sw ~dest:a.dest ~value:a.value);
+      if recording then
+        record
+          (Smbm_obs.Event.Push_out
+           { victim; dest; lost = evicted.Packet.Value.value });
+      ignore (Value_switch.accept sw ~dest ~value);
       Metrics.record_accept metrics;
-      record (Smbm_obs.Event.Accept { dest = a.dest })
+      if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Drop ->
       Metrics.record_drop metrics;
-      record (Smbm_obs.Event.Drop { dest = a.dest; value = a.value })
+      if recording then record (Smbm_obs.Event.Drop { dest; value })
   in
+  let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
   let transmit () = ignore (Value_switch.transmit_phase sw ~on_transmit) in
   let end_slot () =
     let occupancy = Value_switch.occupancy sw in
     Metrics.record_occupancy metrics occupancy;
-    record (Smbm_obs.Event.Slot_end { occupancy });
+    if recording then record (Smbm_obs.Event.Slot_end { occupancy });
     Value_switch.advance_slot sw
   in
   let flush () =
     let count = Value_switch.flush sw in
     Metrics.record_flush metrics count;
-    record (Smbm_obs.Event.Flush { count });
+    if recording then record (Smbm_obs.Event.Flush { count });
     Metrics.check_conservation metrics
   in
   let check () =
@@ -68,6 +73,7 @@ let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) ?recorder config
     {
       name;
       arrive;
+      arrive_dv;
       transmit;
       end_slot;
       flush;

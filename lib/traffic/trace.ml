@@ -56,3 +56,103 @@ let load ic =
 let equal a b =
   Array.length a = Array.length b
   && Array.for_all2 (fun la lb -> List.equal Arrival.equal la lb) a b
+
+module Compact = struct
+  type trace = t
+
+  type t = {
+    offsets : int array;  (* length slots + 1; slot i spans [offsets.(i), offsets.(i+1)) *)
+    dest : int array;
+    value : int array;
+  }
+
+  let slots t = Array.length t.offsets - 1
+  let arrivals t = t.offsets.(Array.length t.offsets - 1)
+
+  let of_workload workload ~slots =
+    if slots < 0 then invalid_arg "Trace.Compact.of_workload: negative slots";
+    let offsets = Array.make (slots + 1) 0 in
+    let dest = ref (Array.make (max 64 slots) 0) in
+    let value = ref (Array.make (max 64 slots) 0) in
+    let len = ref 0 in
+    let batch = Arrival_batch.create () in
+    for i = 0 to slots - 1 do
+      Workload.next_into workload batch;
+      let n = Arrival_batch.length batch in
+      if !len + n > Array.length !dest then begin
+        let capacity = max (2 * Array.length !dest) (!len + n) in
+        let extend a = Array.append a (Array.make (capacity - Array.length a) 0) in
+        dest := extend !dest;
+        value := extend !value
+      end;
+      Arrival_batch.iteri batch ~f:(fun j ~dest:d ~value:v ->
+          !dest.(!len + j) <- d;
+          !value.(!len + j) <- v);
+      len := !len + n;
+      offsets.(i + 1) <- !len
+    done;
+    {
+      offsets;
+      dest = Array.sub !dest 0 !len;
+      value = Array.sub !value 0 !len;
+    }
+
+  let iter_slot t i ~f =
+    if i < 0 || i >= slots t then
+      invalid_arg "Trace.Compact.iter_slot: out of bounds";
+    for j = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+      f ~dest:t.dest.(j) ~value:t.value.(j)
+    done
+
+  (* Replay straight out of the flat arrays: the filled batch segment is one
+     array-to-array copy, no per-packet allocation.  Slots beyond the end
+     are empty, matching [to_workload]. *)
+  let replay t =
+    let n = slots t in
+    Workload.of_fun_into (fun b i ->
+        if i < n then
+          for j = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+            Arrival_batch.push b ~dest:t.dest.(j) ~value:t.value.(j)
+          done)
+
+  let of_trace (trace : trace) =
+    let slots = Array.length trace in
+    let offsets = Array.make (slots + 1) 0 in
+    Array.iteri
+      (fun i l -> offsets.(i + 1) <- offsets.(i) + List.length l)
+      trace;
+    let n = offsets.(slots) in
+    let dest = Array.make (max n 1) 0 and value = Array.make (max n 1) 0 in
+    Array.iteri
+      (fun i l ->
+        List.iteri
+          (fun j (a : Arrival.t) ->
+            dest.(offsets.(i) + j) <- a.dest;
+            value.(offsets.(i) + j) <- a.value)
+          l)
+      trace;
+    { offsets; dest = Array.sub dest 0 n; value = Array.sub value 0 n }
+
+  let to_trace t =
+    Array.init (slots t) (fun i ->
+        List.init (t.offsets.(i + 1) - t.offsets.(i)) (fun j ->
+            let j = t.offsets.(i) + j in
+            { Arrival.dest = t.dest.(j); value = t.value.(j) }))
+
+  let equal a b = a.offsets = b.offsets && a.dest = b.dest && a.value = b.value
+
+  (* Deterministic content digest: a fixed-width little-endian serialization
+     of (slots, offsets, dest, value) hashed with MD5.  Two compact traces
+     have equal signatures iff they are [equal] (modulo MD5 collisions), on
+     any platform or OCaml version. *)
+  let signature t =
+    let buf = Buffer.create (8 * (Array.length t.offsets + 2 * Array.length t.dest)) in
+    let add a =
+      Buffer.add_int64_le buf (Int64.of_int (Array.length a));
+      Array.iter (fun x -> Buffer.add_int64_le buf (Int64.of_int x)) a
+    in
+    add t.offsets;
+    add t.dest;
+    add t.value;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+end

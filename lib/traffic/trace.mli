@@ -25,3 +25,41 @@ val load : in_channel -> t
 (** @raise Failure on malformed input. *)
 
 val equal : t -> t -> bool
+
+(** A whole run's arrivals materialized as flat struct-of-arrays storage:
+    [dest]/[value] columns plus a per-slot offset index.  Built once,
+    replayed many times — the sweep trace cache shares one compact trace
+    across every instance of a point and across axis values whose traffic
+    parameters coincide.  Replay is allocation-free (array reads straight
+    into the caller's {!Smbm_core.Arrival_batch.t}). *)
+module Compact : sig
+  type trace := t
+  type t
+
+  val of_workload : Workload.t -> slots:int -> t
+  (** Consume [slots] slots.  The arrival sequence recorded is exactly what
+      {!Workload.next}/{!Workload.next_into} would have yielded. *)
+
+  val slots : t -> int
+  val arrivals : t -> int
+
+  val iter_slot : t -> int -> f:(dest:int -> value:int -> unit) -> unit
+  (** Arrivals of slot [i] in arrival order.
+      @raise Invalid_argument out of bounds. *)
+
+  val replay : t -> Workload.t
+  (** A workload that replays the trace; slots beyond the end are empty.
+      Replaying consumes no RNG and allocates nothing per slot, and the
+      replayed stream is bit-identical to the recorded one. *)
+
+  val of_trace : trace -> t
+  val to_trace : t -> trace
+
+  val equal : t -> t -> bool
+
+  val signature : t -> string
+  (** Deterministic hex digest of the full arrival content; equal
+      signatures <=> equal traces (modulo hash collisions).  Stable across
+      platforms and runs, so it can key caches and cross-process
+      comparisons. *)
+end

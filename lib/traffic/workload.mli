@@ -1,6 +1,29 @@
 (** A workload is the per-slot arrival stream fed to every switch instance
     of an experiment.  Generating it once per slot and fanning it out keeps
-    compared instances on byte-identical traffic. *)
+    compared instances on byte-identical traffic.
+
+    {2 Slot-argument convention}
+
+    Generator functions ({!of_fun}, {!of_fun_into}) receive a slot index.
+    The convention — uniform across every constructor and combinator — is:
+    the index always equals the number of slots already consumed {e from
+    that workload}, and slots are consumed strictly sequentially (the
+    function sees 0, 1, 2, ... in order, exactly once each).  Combinators
+    ({!merge}, {!map}, {!take}) advance their children one slot per parent
+    slot, so a child's function also sees its own consecutive count.
+    Stateful generators may therefore ignore the argument and pure ones may
+    index with it; the two styles agree by construction.  (Historically
+    [merge]/[map] threaded a private counter while [of_slots]/[take] used
+    the argument — observably identical through {!next}, but two
+    conventions; there is now one.)
+
+    {2 Batched pipeline}
+
+    {!next_into} fills a caller-supplied {!Smbm_core.Arrival_batch.t} in
+    place and is the allocation-free hot path; {!next} is a thin
+    compatibility shim over it that converts the slot to a list (backed by
+    a private reusable batch, so existing call sites keep working at the
+    old cost). *)
 
 open Smbm_core
 
@@ -12,6 +35,11 @@ val of_sources : Source.t list -> t
 val of_fun : (int -> Arrival.t list) -> t
 (** Arbitrary slot -> arrivals function (slot numbers start at 0); used by
     the adversarial lower-bound constructions. *)
+
+val of_fun_into : (Arrival_batch.t -> int -> unit) -> t
+(** Allocation-free generator: [f batch i] appends slot [i]'s arrivals onto
+    [batch] (which may already hold arrivals of merged siblings — append,
+    never clear).  Used by {!Trace.Compact.replay}. *)
 
 val of_slots : Arrival.t list array -> t
 (** Fixed finite schedule; empty after the last slot. *)
@@ -29,7 +57,14 @@ val take : int -> t -> t
 (** The first [n] slots of the workload; empty afterwards. *)
 
 val next : t -> Arrival.t list
-(** Arrivals of the next slot, in input-port order. *)
+(** Arrivals of the next slot, in input-port order (compatibility shim;
+    allocates the returned list). *)
+
+val next_into : t -> Arrival_batch.t -> unit
+(** Clear [batch], then fill it with the next slot's arrivals in input-port
+    order.  Consumes the same RNG streams as {!next}: interleaving the two
+    on one workload yields the same arrival sequence.  Steady-state cost is
+    allocation-free. *)
 
 val slot : t -> int
 (** Number of slots already consumed. *)

@@ -1,0 +1,386 @@
+(* The zero-allocation arrival pipeline: batched slot loop and compact
+   trace cache.
+
+   Three contracts pin the refactor:
+
+   - [Workload.next_into] is the primitive and [next] the shim — both must
+     yield the same arrival sequence from the same RNG streams, for any
+     workload (source stacks, combinators, fixed schedules), even when the
+     two are interleaved on one workload.
+   - [Experiment.run ~pipeline:`Batched] and [`List] drive instances to
+     bit-identical final states.
+   - The sweep trace cache ([Sweep.trace_key] / [materialize_trace] /
+     [run_point ?trace]) replays bit-identically, shares exactly the axes
+     whose traffic parameters coincide (B and C, not K), and the golden
+     panel numbers survive at every job count. *)
+
+open Smbm_core
+open Smbm_traffic
+open Smbm_sim
+
+let arrival = Alcotest.testable Arrival.pp Arrival.equal
+
+(* --- next_into / next equivalence --- *)
+
+(* Two structurally identical workloads (same seeds), one consumed through
+   the list shim and one through the batch primitive, must agree slot by
+   slot.  [spec] describes a random workload so we can build it twice. *)
+type spec =
+  | Proc of { sources : int; load : float; seed : int; k : int }
+  | Value_uniform of { sources : int; load : float; seed : int; k : int }
+  | Value_port of { sources : int; load : float; seed : int; k : int }
+  | Fixed of (int * int) list array  (* (dest, value) per slot *)
+  | Merge of spec list
+  | Take of int * spec
+  | Map_shift of spec  (* dest -> dest (identity on dest, bumps value) *)
+
+let rec build = function
+  | Proc { sources; load; seed; k } ->
+    let config = Proc_config.contiguous ~k ~buffer:(4 * k) () in
+    Scenario.proc_workload
+      ~mmpp:{ Scenario.default_mmpp with sources }
+      ~config ~load ~seed ()
+  | Value_uniform { sources; load; seed; k } ->
+    let config = Value_config.make ~ports:k ~max_value:k ~buffer:(4 * k) () in
+    Scenario.value_uniform_workload
+      ~mmpp:{ Scenario.default_mmpp with sources }
+      ~config ~load ~seed ()
+  | Value_port { sources; load; seed; k } ->
+    let config = Value_config.make ~ports:k ~max_value:k ~buffer:(4 * k) () in
+    Scenario.value_port_workload
+      ~mmpp:{ Scenario.default_mmpp with sources }
+      ~config ~load ~seed ()
+  | Fixed slots ->
+    Workload.of_slots
+      (Array.map
+         (fun l ->
+           List.map (fun (dest, value) -> Arrival.make ~dest ~value ()) l)
+         slots)
+  | Merge specs -> Workload.merge (List.map build specs)
+  | Take (n, s) -> Workload.take n (build s)
+  | Map_shift s ->
+    Workload.map
+      (fun (a : Arrival.t) -> Arrival.make ~dest:a.dest ~value:(a.value + 1) ())
+      (build s)
+
+let spec_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        (let* sources = 1 -- 8
+         and* load = float_range 0.2 3.0
+         and* seed = 0 -- 1000
+         and* k = 2 -- 9 in
+         return (Proc { sources; load; seed; k }));
+        (let* sources = 1 -- 8
+         and* load = float_range 0.2 3.0
+         and* seed = 0 -- 1000
+         and* k = 2 -- 9 in
+         return (Value_uniform { sources; load; seed; k }));
+        (let* sources = 1 -- 8
+         and* load = float_range 0.2 3.0
+         and* seed = 0 -- 1000
+         and* k = 2 -- 9 in
+         return (Value_port { sources; load; seed; k }));
+        (let* slots =
+           array_size (1 -- 12)
+             (list_size (0 -- 4)
+                (let* dest = 0 -- 7 and* value = 1 -- 9 in
+                 return (dest, value)))
+         in
+         return (Fixed slots));
+      ]
+  in
+  let node self = function
+    | 0 -> leaf
+    | n ->
+      oneof
+        [
+          leaf;
+          (let* l = list_size (1 -- 3) (self (n - 1)) in
+           return (Merge l));
+          (let* k = 1 -- 40 and* s = self (n - 1) in
+           return (Take (k, s)));
+          map (fun s -> Map_shift s) (self (n - 1));
+        ]
+  in
+  sized (fix node)
+
+let read_batch b =
+  List.init (Arrival_batch.length b) (fun i ->
+      Arrival.make ~dest:(Arrival_batch.dest b i) ~value:(Arrival_batch.value b i)
+        ())
+
+let qc_next_into_equals_next =
+  QCheck.Test.make ~count:100 ~name:"next_into = next (any workload)"
+    (QCheck.make spec_gen)
+    (fun spec ->
+      let via_list = build spec and via_batch = build spec in
+      let batch = Arrival_batch.create () in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let expect = Workload.next via_list in
+        Workload.next_into via_batch batch;
+        if not (List.equal Arrival.equal expect (read_batch batch)) then
+          ok := false
+      done;
+      !ok && Workload.slot via_list = Workload.slot via_batch)
+
+let qc_interleaving_is_transparent =
+  (* next and next_into on the SAME workload consume the same streams: a
+     consumer may mix the two freely without perturbing the sequence. *)
+  QCheck.Test.make ~count:60 ~name:"next / next_into interleave freely"
+    QCheck.(pair (make spec_gen) (QCheck.small_int))
+    (fun (spec, salt) ->
+      let reference = build spec and mixed = build spec in
+      let batch = Arrival_batch.create () in
+      let ok = ref true in
+      for i = 1 to 40 do
+        let expect = Workload.next reference in
+        let got =
+          if (i + salt) mod 2 = 0 then Workload.next mixed
+          else begin
+            Workload.next_into mixed batch;
+            read_batch batch
+          end
+        in
+        if not (List.equal Arrival.equal expect got) then ok := false
+      done;
+      !ok)
+
+(* --- Experiment `List / `Batched bit-identity --- *)
+
+let small_base =
+  {
+    Sweep.default_base with
+    slots = 1_500;
+    flush_every = Some 300;
+    mmpp = { Scenario.default_mmpp with sources = 20 };
+    seed = 11;
+  }
+
+let fingerprint (i : Instance.t) =
+  let m = i.Instance.metrics in
+  ( i.Instance.name,
+    ( Metrics.arrivals m,
+      Metrics.accepted m,
+      Metrics.dropped m,
+      Metrics.pushed_out m ),
+    (Metrics.transmitted m, Metrics.transmitted_value m, Metrics.flushed m),
+    Smbm_prelude.Running_stats.mean (Metrics.latency_stats m) )
+
+let test_pipelines_bit_identical () =
+  List.iter
+    (fun model ->
+      let params =
+        {
+          Experiment.slots = small_base.Sweep.slots;
+          flush_every = small_base.Sweep.flush_every;
+          check_every = Some 500;
+        }
+      in
+      let run pipeline =
+        let workload, instances = Sweep.setup model small_base in
+        Experiment.run ~params ~pipeline ~workload instances;
+        List.map fingerprint instances
+      in
+      let via_list = run `List and via_batched = run `Batched in
+      List.iter2
+        (fun (n1, a1, t1, l1) (n2, a2, t2, l2) ->
+          Alcotest.(check string) "instance order" n1 n2;
+          if a1 <> a2 || t1 <> t2 then
+            Alcotest.failf "%s: counters diverge between pipelines" n1;
+          Alcotest.(check (float 0.0)) (n1 ^ " mean latency") l1 l2)
+        via_list via_batched)
+    [ Sweep.Proc; Sweep.Value_uniform; Sweep.Value_port ]
+
+(* --- trace cache --- *)
+
+let test_trace_key_sharing () =
+  let base = small_base in
+  let key axis x = Sweep.trace_key ~base ~model:Sweep.Proc ~axis ~x in
+  (* Swept buffer and speedup never reach the generator: one key per axis. *)
+  Alcotest.(check string) "B axis shares" (key Sweep.B 16) (key Sweep.B 1024);
+  Alcotest.(check string) "C axis shares" (key Sweep.C 1) (key Sweep.C 4);
+  (* k relabels the traffic: every K point differs. *)
+  Alcotest.(check bool) "K axis differs" false (key Sweep.K 2 = key Sweep.K 8);
+  (* The reference (k, speedup) feeds the intensity derivation. *)
+  let other = { base with Sweep.seed = base.Sweep.seed + 1 } in
+  Alcotest.(check bool) "seed differs" false
+    (key Sweep.B 16 = Sweep.trace_key ~base:other ~model:Sweep.Proc ~axis:Sweep.B ~x:16)
+
+let test_trace_signatures_follow_keys () =
+  let base = { small_base with Sweep.slots = 300 } in
+  let mat axis x =
+    Sweep.materialize_trace ~base ~model:Sweep.Value_uniform ~axis ~x
+  in
+  let sig_of t = Trace.Compact.signature t in
+  (* Same key -> byte-identical traffic. *)
+  Alcotest.(check string) "B-axis traces coincide"
+    (sig_of (mat Sweep.B 16))
+    (sig_of (mat Sweep.B 512));
+  Alcotest.(check bool) "K-axis traces differ" false
+    (sig_of (mat Sweep.K 2) = sig_of (mat Sweep.K 8))
+
+let test_cached_replay_matches_live () =
+  List.iter
+    (fun (model, axis, x) ->
+      let base = { small_base with Sweep.slots = 800 } in
+      let live = Sweep.run_point ~base ~model ~axis ~x () in
+      let trace = Sweep.materialize_trace ~base ~model ~axis ~x in
+      let cached = Sweep.run_point ~trace ~base ~model ~axis ~x () in
+      List.iter2
+        (fun (n1, r1) (n2, r2) ->
+          Alcotest.(check string) "series" n1 n2;
+          Alcotest.(check (float 0.0)) ("ratio " ^ n1) r1 r2)
+        live cached)
+    [
+      (Sweep.Proc, Sweep.B, 32);
+      (Sweep.Value_uniform, Sweep.C, 2);
+      (Sweep.Value_port, Sweep.K, 4);
+    ]
+
+let test_short_trace_rejected () =
+  let base = { small_base with Sweep.slots = 200 } in
+  let trace =
+    Sweep.materialize_trace ~base ~model:Sweep.Proc ~axis:Sweep.B ~x:16
+  in
+  let grown = { base with Sweep.slots = 400 } in
+  match
+    Sweep.run_point ~trace ~base:grown ~model:Sweep.Proc ~axis:Sweep.B ~x:16 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "trace shorter than the run accepted"
+
+let test_worth_caching_budget () =
+  let base = small_base in
+  let worth ?max_arrivals () =
+    Sweep.trace_worth_caching ?max_arrivals ~base ~model:Sweep.Proc
+      ~axis:Sweep.B ~x:16 ()
+  in
+  Alcotest.(check bool) "default budget admits a small point" true (worth ());
+  Alcotest.(check bool) "zero budget disables" false
+    (worth ~max_arrivals:0 ());
+  Alcotest.(check bool) "tiny budget rejects" false (worth ~max_arrivals:10 ())
+
+let test_compact_roundtrip () =
+  let w = build (Proc { sources = 5; load = 1.5; seed = 3; k = 4 }) in
+  let compact = Trace.Compact.of_workload w ~slots:120 in
+  (* Replay equals a second live generation, slot by slot. *)
+  let live = build (Proc { sources = 5; load = 1.5; seed = 3; k = 4 }) in
+  let replayed = Trace.Compact.replay compact in
+  for _ = 1 to 120 do
+    Alcotest.(check (list arrival)) "replay slot" (Workload.next live)
+      (Workload.next replayed)
+  done;
+  Alcotest.(check (list arrival)) "empty beyond the end" []
+    (Workload.next replayed);
+  (* Compact <-> legacy trace conversion preserves content. *)
+  Alcotest.(check bool) "of_trace/to_trace roundtrip" true
+    (Trace.Compact.equal compact
+       (Trace.Compact.of_trace (Trace.Compact.to_trace compact)))
+
+(* --- golden panel, every job count --- *)
+
+(* Pinned from the pre-refactor per-slot list pipeline (slots = 2000,
+   flushouts every 400, 25 MMPP sources, seed 7, panels 1 and 4 at
+   xs = 2,4,8): the batched loop, the trace cache and the parallel runner
+   must all reproduce these digits exactly.  Panel 1 sweeps k (distinct
+   trace keys), panel 4's B sweep shares one trace across its points. *)
+let golden_base =
+  {
+    Sweep.default_base with
+    slots = 2_000;
+    flush_every = Some 400;
+    mmpp = { Scenario.default_mmpp with sources = 25 };
+    seed = 7;
+  }
+
+let golden =
+  [
+    ( 1,
+      [
+        ( 2,
+          [
+            ("NHST", 1.265818547); ("NEST", 1.265818547); ("NHDT", 1.265818547);
+            ("LQD", 1.265818547); ("BPD", 1.611679454); ("BPD1", 1.327598315);
+            ("LWD", 1.265818547);
+          ] );
+        ( 4,
+          [
+            ("NHST", 1.151406650); ("NEST", 1.156731757); ("NHDT", 1.178534031);
+            ("LQD", 1.156434626); ("BPD", 1.362178517); ("BPD1", 1.187236287);
+            ("LWD", 1.150817996);
+          ] );
+        ( 8,
+          [
+            ("NHST", 1.189066603); ("NEST", 1.193053892); ("NHDT", 1.237823062);
+            ("LQD", 1.189918777); ("BPD", 1.471057295); ("BPD1", 1.247120681);
+            ("LWD", 1.183979082);
+          ] );
+      ] );
+    ( 4,
+      [
+        ( 2,
+          [
+            ("Greedy", 1.319914206); ("NEST", 1.311690441); ("LQD", 1.000000000);
+            ("MVD", 1.000000000); ("MVD1", 1.000000000); ("MRD", 1.000000000);
+          ] );
+        ( 4,
+          [
+            ("Greedy", 1.579802469); ("NEST", 1.567110806); ("LQD", 1.000469102);
+            ("MVD", 1.013913540); ("MVD1", 1.009339012); ("MRD", 1.000469102);
+          ] );
+        ( 8,
+          [
+            ("Greedy", 1.687828415); ("NEST", 1.629185842); ("LQD", 1.007521175);
+            ("MVD", 1.012940701); ("MVD1", 1.009964016); ("MRD", 1.006772568);
+          ] );
+      ] );
+  ]
+
+let check_golden outcome expected =
+  List.iter2
+    (fun (p : Sweep.point) (x, series) ->
+      Alcotest.(check int) "x" x p.Sweep.x;
+      List.iter2
+        (fun (name, ratio) (gname, gratio) ->
+          Alcotest.(check string) "series" gname name;
+          Alcotest.(check (float 5e-10)) (Printf.sprintf "x=%d %s" x name)
+            gratio ratio)
+        p.Sweep.ratios series)
+    outcome.Sweep.points expected
+
+let test_golden_panels_all_job_counts () =
+  List.iter
+    (fun (number, expected) ->
+      List.iter
+        (fun jobs ->
+          let outcome =
+            Smbm_par.Par_sweep.run_panel ~jobs ~base:golden_base ~xs:[ 2; 4; 8 ]
+              number
+          in
+          check_golden outcome expected)
+        [ 1; 4 ])
+    golden
+
+let suite =
+  [
+    Qc.to_alcotest qc_next_into_equals_next;
+    Qc.to_alcotest qc_interleaving_is_transparent;
+    Alcotest.test_case "pipelines bit-identical" `Quick
+      test_pipelines_bit_identical;
+    Alcotest.test_case "trace keys share B/C, split K" `Quick
+      test_trace_key_sharing;
+    Alcotest.test_case "trace signatures follow keys" `Quick
+      test_trace_signatures_follow_keys;
+    Alcotest.test_case "cached replay = live run" `Quick
+      test_cached_replay_matches_live;
+    Alcotest.test_case "short trace rejected" `Quick test_short_trace_rejected;
+    Alcotest.test_case "materialization budget" `Quick
+      test_worth_caching_budget;
+    Alcotest.test_case "compact trace roundtrip" `Quick test_compact_roundtrip;
+    Alcotest.test_case "golden panels at jobs 1 and 4" `Slow
+      test_golden_panels_all_job_counts;
+  ]

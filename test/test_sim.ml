@@ -257,6 +257,7 @@ let test_experiment_ratio () =
     {
       Instance.name;
       arrive = (fun _ -> ());
+      arrive_dv = (fun ~dest:_ ~value:_ -> ());
       transmit = (fun () -> ());
       end_slot = (fun () -> ());
       flush = (fun () -> ());
