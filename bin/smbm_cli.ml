@@ -14,7 +14,12 @@
    smbm_cli trace-replay F          reconstruct state + metrics from events
    smbm_cli trace-diff F [G]        first divergence between two sources
    smbm_cli trace-explain F [G]     charge a throughput gap to loss events
-   smbm_cli certify   [options]     Theorem 7's mapping routine, live *)
+   smbm_cli certify   [options]     Theorem 7's mapping routine, live
+   smbm_cli serve     [options]     online switch daemon (ring ingest,
+                                    live reconfiguration, soak gates)
+   smbm_cli loadgen   [options]     MMPP load generator (sustained
+                                    slots/sec, tail latency)
+   smbm_cli bench-diff BASE CUR     gate benchmark JSONL vs a baseline *)
 
 open Cmdliner
 open Smbm_core
@@ -661,7 +666,7 @@ let run_trace_validate allow_truncation path =
              | E.Accept _ -> (arr, acc + 1, drop)
              | E.Drop _ -> (arr, acc, drop + 1)
              | E.Push_out _ | E.Transmit _ | E.Transmit_bulk _ | E.Flush _
-             | E.Slot_end _ | E.Truncated _ ->
+             | E.Slot_end _ | E.Reconfig _ | E.Truncated _ ->
                (arr, acc, drop)
            in
            Hashtbl.replace per_src ev.E.src (ev.E.slot, counts)
@@ -1521,9 +1526,330 @@ let bench_diff_cmd =
       const run_bench_diff $ baseline $ current $ tolerance $ cap $ slack
       $ mrd_floor $ alloc_tolerance $ floors)
 
+(* ----- serve / loadgen ----- *)
+
+let serve_model common model =
+  match model with
+  | Sweep.Proc ->
+    Smbm_serve.Model.Proc
+      (Proc_config.contiguous ~k:common.k ~buffer:common.buffer
+         ~speedup:common.speedup ())
+  | Sweep.Value_uniform ->
+    Smbm_serve.Model.Value_uniform
+      (Value_config.make ~ports:common.k ~max_value:common.k
+         ~buffer:common.buffer ~speedup:common.speedup ())
+  | Sweep.Value_port ->
+    Smbm_serve.Model.Value_port
+      (Value_config.make ~ports:common.k ~max_value:common.k
+         ~buffer:common.buffer ~speedup:common.speedup ())
+
+let parse_at spec =
+  let bad () =
+    die
+      "--at %s: expected SLOT:policy=NAME, SLOT:buffer=N or SLOT:stop" spec
+  in
+  match String.index_opt spec ':' with
+  | None -> bad ()
+  | Some i -> (
+    let slot = String.sub spec 0 i in
+    let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt slot with
+    | None -> bad ()
+    | Some slot when slot < 0 -> bad ()
+    | Some slot -> (
+      if rest = "stop" then (slot, Smbm_serve.Daemon.Stop)
+      else
+        match String.index_opt rest '=' with
+        | None -> bad ()
+        | Some j -> (
+          let key = String.sub rest 0 j in
+          let v = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match key with
+          | "policy" when v <> "" -> (slot, Smbm_serve.Daemon.Set_policy v)
+          | "buffer" -> (
+            match int_of_string_opt v with
+            | Some b -> (slot, Smbm_serve.Daemon.Resize_buffer b)
+            | None -> bad ())
+          | _ -> bad ())))
+
+let open_sink path =
+  match Smbm_obs.Sink.open_file path with
+  | Ok sink -> sink
+  | Error e -> die "%s" (Smbm_obs.Sink.error_to_string e)
+
+let close_sink sink =
+  match Smbm_obs.Sink.close_result sink with
+  | Ok () -> ()
+  | Error e -> die "%s" (Smbm_obs.Sink.error_to_string e)
+
+let load_arrival_trace path =
+  let ic = try open_in path with Sys_error m -> die "%s" m in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try Smbm_traffic.Trace.load ic
+      with Failure m -> die "%s: %s" path m)
+
+let run_serve common model policy_name ingest_trace ring backpressure duration
+    rate shards ats metrics_out metrics_every trace trace_cap max_p99 =
+  let mmpp =
+    { Smbm_traffic.Scenario.default_mmpp with sources = common.sources }
+  in
+  let controls = List.map parse_at ats in
+  let jobs = jobs_of common.jobs in
+  let pool =
+    if shards > 1 && jobs > 0 then
+      Some (Smbm_par.Pool.create ~jobs:(min jobs shards) ())
+    else None
+  in
+  let ingest =
+    match ingest_trace with
+    | Some path ->
+      Smbm_serve.Daemon.Trace
+        (Smbm_traffic.Trace.Compact.of_trace (load_arrival_trace path))
+    | None ->
+      Smbm_serve.Daemon.Bank
+        (Smbm_serve.Mmpp_bank.create ~mmpp ?pool ~shards
+           (serve_model common model) ~load:common.load ~seed:common.seed ())
+  in
+  let recorder, event_sink =
+    match trace with
+    | None -> (None, None)
+    | Some path ->
+      (Some (Smbm_obs.Recorder.create ~cap:trace_cap ()), Some (open_sink path))
+  in
+  let metrics_sink = Option.map open_sink metrics_out in
+  let report =
+    Smbm_serve.Daemon.run ~ring_capacity:ring ~backpressure
+      ?flush_every:(if common.flush > 0 then Some common.flush else None)
+      ~metrics_every ?metrics_sink ?recorder ?event_sink ~controls
+      ?slots:(if common.slots > 0 then Some common.slots else None)
+      ?duration:(if duration > 0. then Some duration else None)
+      ?rate:(if rate > 0. then Some rate else None)
+      ~model:(serve_model common model) ~policy:policy_name ~ingest ()
+  in
+  Option.iter Smbm_par.Pool.shutdown pool;
+  Format.printf "%a@." Smbm_serve.Daemon.pp_report report;
+  Option.iter
+    (fun sink ->
+      close_sink sink;
+      Printf.printf "wrote metrics to %s\n" (Option.get metrics_out))
+    metrics_sink;
+  Option.iter
+    (fun sink ->
+      close_sink sink;
+      Printf.printf "wrote trace to %s\n" (Option.get trace))
+    event_sink;
+  if not report.Smbm_serve.Daemon.conservation_ok then
+    die "conservation audit failed: %s"
+      (Option.value ~default:"?" report.Smbm_serve.Daemon.conservation_error);
+  if max_p99 > 0. && report.Smbm_serve.Daemon.p99_us > max_p99 then begin
+    Printf.eprintf "p99 slot time %.1f us exceeds the --max-p99-us gate %.1f\n"
+      report.Smbm_serve.Daemon.p99_us max_p99;
+    exit 2
+  end
+
+let backpressure_term =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("block", Smbm_serve.Daemon.Block); ("shed", Smbm_serve.Daemon.Shed) ])
+        Smbm_serve.Daemon.Block
+    & info [ "backpressure" ] ~docv:"MODE"
+        ~doc:
+          "Full-ring behaviour: $(b,block) paces the ingest on the engine, \
+           $(b,shed) discards whole slots with explicit accounting.")
+
+let ring_term =
+  Arg.(
+    value & opt int 64
+    & info [ "ring" ] ~docv:"N"
+        ~doc:"Ingest ring capacity in slots (bounds memory and ingest lead).")
+
+let shards_term =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Split the MMPP source bank into $(docv) independent shards, \
+           stepped in parallel on $(b,--jobs) worker domains.  The arrival \
+           stream depends only on (seed, shards), never on --jobs.")
+
+let duration_term ~default =
+  Arg.(
+    value & opt float default
+    & info [ "duration" ] ~docv:"SECS"
+        ~doc:"Stop the ingest after $(docv) wall-clock seconds (0 = no limit).")
+
+let serve_cmd =
+  let policy =
+    Arg.(
+      value & opt string "LWD"
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:"Initial victim policy (see $(b,policies)).")
+  in
+  let ingest_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ingest-trace" ] ~docv:"FILE"
+          ~doc:
+            "Replay an arrival trace recorded with $(b,trace record) instead \
+             of generating live MMPP traffic; the run ends with the trace.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~docv:"SLOTS_PER_SEC"
+          ~doc:"Pace the ingest at $(docv) slots per second (0 = unpaced).")
+  in
+  let ats =
+    Arg.(
+      value & opt_all string []
+      & info [ "at" ] ~docv:"SLOT:KNOB"
+          ~doc:
+            "Scripted live reconfiguration, applied at the given slot \
+             boundary without dropping buffered packets (repeatable): \
+             $(b,SLOT:policy=NAME), $(b,SLOT:buffer=N) or $(b,SLOT:stop).")
+  in
+  let metrics_every =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-every" ] ~docv:"SLOTS"
+          ~doc:
+            "Emit a labeled metrics snapshot to $(b,--metrics-out) (and \
+             drain the event recorder to $(b,--trace)) every $(docv) slots \
+             (0 = final snapshot only).")
+  in
+  let max_p99 =
+    Arg.(
+      value & opt float 0.
+      & info [ "max-p99-us" ] ~docv:"US"
+          ~doc:
+            "Fail (exit 2) when the p99 engine slot time exceeds $(docv) \
+             microseconds — the CI soak gate (0 disables).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run one switch instance as a long-lived daemon: bounded-ring \
+          ingest (MMPP bank or trace replay) with block/shed backpressure, \
+          live policy/buffer reconfiguration at slot boundaries, periodic \
+          metrics and event flushing, and a final conservation audit.")
+    Term.(
+      const run_serve $ common_term $ model_term $ policy $ ingest_trace
+      $ ring_term $ backpressure_term
+      $ duration_term ~default:0.
+      $ rate $ shards_term $ ats $ metrics_out_term $ metrics_every
+      $ trace_term $ trace_cap_term $ max_p99)
+
+let run_loadgen common model policy_name ring duration shards =
+  let mmpp =
+    { Smbm_traffic.Scenario.default_mmpp with sources = common.sources }
+  in
+  let jobs = jobs_of common.jobs in
+  let pool =
+    if shards > 1 && jobs > 0 then
+      Some (Smbm_par.Pool.create ~jobs:(min jobs shards) ())
+    else None
+  in
+  let bank =
+    Smbm_serve.Mmpp_bank.create ~mmpp ?pool ~shards (serve_model common model)
+      ~load:common.load ~seed:common.seed ()
+  in
+  let rate_txt =
+    match Smbm_serve.Mmpp_bank.mean_rate bank with
+    | Some r -> Printf.sprintf "%.1f" r
+    | None -> "?"
+  in
+  Printf.printf
+    "loadgen: %d MMPP sources in %d shard(s), mean %s packets/slot, ring %d, \
+     %.1fs\n\
+     %!"
+    common.sources shards rate_txt ring duration;
+  let report =
+    Smbm_serve.Daemon.run ~ring_capacity:ring ~backpressure:Block
+      ?flush_every:(if common.flush > 0 then Some common.flush else None)
+      ~duration
+      ~model:(serve_model common model) ~policy:policy_name
+      ~ingest:(Smbm_serve.Daemon.Bank bank) ()
+  in
+  Option.iter Smbm_par.Pool.shutdown pool;
+  let r = report in
+  Printf.printf
+    "sustained %.0f slots/s (%.0f packets/s offered) over %d slots\n"
+    r.Smbm_serve.Daemon.slots_per_sec
+    (if r.Smbm_serve.Daemon.wall > 0. then
+       float_of_int r.Smbm_serve.Daemon.arrivals /. r.Smbm_serve.Daemon.wall
+     else 0.)
+    r.Smbm_serve.Daemon.slots;
+  Printf.printf "engine slot time p50 %.1f / p95 %.1f / p99 %.1f us\n"
+    r.Smbm_serve.Daemon.p50_us r.Smbm_serve.Daemon.p95_us
+    r.Smbm_serve.Daemon.p99_us;
+  Printf.printf "ring max %d/%d\n" r.Smbm_serve.Daemon.ring_max
+    r.Smbm_serve.Daemon.ring_capacity;
+  if not r.Smbm_serve.Daemon.conservation_ok then
+    die "conservation audit failed: %s"
+      (Option.value ~default:"?" r.Smbm_serve.Daemon.conservation_error)
+
+let loadgen_cmd =
+  let policy =
+    Arg.(
+      value & opt string "LWD"
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:"Victim policy of the served instance (see $(b,policies)).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a served switch instance with unpaced MMPP traffic for a \
+          fixed duration and report the sustained slot rate and engine slot \
+          time tail latency.")
+    Term.(
+      const run_loadgen $ common_term $ model_term $ policy $ ring_term
+      $ duration_term ~default:2.
+      $ shards_term)
+
 let () =
   let doc = "shared-memory buffer management for heterogeneous packet processing" in
-  let info = Cmd.info "smbm_cli" ~version:"1.0.0" ~doc in
+  let man =
+    [
+      `S Manpage.s_synopsis;
+      `P "$(b,smbm_cli policies) — list the available policies";
+      `P
+        "$(b,smbm_cli compare) [$(i,OPTIONS)] — all policies in lockstep on \
+         one arrival stream";
+      `P "$(b,smbm_cli simulate) [$(i,OPTIONS)] — one policy, detailed metrics";
+      `P "$(b,smbm_cli sweep) [$(i,OPTIONS)] — arbitrary k/B/C sweep";
+      `P "$(b,smbm_cli figure) $(i,PANEL) [$(i,OPTIONS)] — regenerate a Fig. 5 panel (1-9)";
+      `P
+        "$(b,smbm_cli lowerbound) $(i,THM) — run a theorem's adversarial \
+         construction";
+      `P "$(b,smbm_cli trace) record|stats $(i,FILE) — record / inspect arrival traces";
+      `P "$(b,smbm_cli trace-validate) $(i,FILE) — structural audit of an event trace";
+      `P
+        "$(b,smbm_cli trace-replay) $(i,FILE) — reconstruct state and metrics \
+         from events";
+      `P
+        "$(b,smbm_cli trace-diff) $(i,FILE_A) [$(i,FILE_B)] — first divergence \
+         between two event sources";
+      `P
+        "$(b,smbm_cli trace-explain) $(i,FILE_A) [$(i,FILE_B)] — charge a \
+         throughput gap to loss events";
+      `P "$(b,smbm_cli certify) [$(i,OPTIONS)] — Theorem 7's mapping routine, live";
+      `P
+        "$(b,smbm_cli serve) [$(i,OPTIONS)] — online switch daemon with \
+         bounded-ring ingest and live reconfiguration";
+      `P
+        "$(b,smbm_cli loadgen) [$(i,OPTIONS)] — MMPP load generator reporting \
+         sustained slot rate and tail latency";
+      `P
+        "$(b,smbm_cli bench-diff) $(i,BASELINE) $(i,CURRENT) — gate benchmark \
+         JSONL against a committed baseline";
+    ]
+  in
+  let info = Cmd.info "smbm_cli" ~version:"1.0.0" ~doc ~man in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -1531,5 +1857,5 @@ let () =
             policies_cmd; compare_cmd; simulate_cmd; figure_cmd;
             lowerbound_cmd; trace_cmd; trace_validate_cmd; trace_replay_cmd;
             trace_diff_cmd; trace_explain_cmd; certify_cmd; sweep_cmd;
-            bench_diff_cmd;
+            bench_diff_cmd; serve_cmd; loadgen_cmd;
           ]))

@@ -1,6 +1,7 @@
 type t = {
   config : Proc_config.t;
   queues : Work_queue.t array;
+  mutable buffer : int;
   mutable occupancy : int;
   mutable occupied_work : int;
   mutable next_id : int;
@@ -16,6 +17,7 @@ let create (config : Proc_config.t) =
   {
     config;
     queues;
+    buffer = config.Proc_config.buffer;
     occupancy = 0;
     occupied_work = 0;
     next_id = 0;
@@ -25,7 +27,14 @@ let create (config : Proc_config.t) =
 
 let config t = t.config
 let n t = Array.length t.queues
-let buffer t = t.config.Proc_config.buffer
+let buffer t = t.buffer
+
+let set_buffer t b =
+  if b < 1 then invalid_arg "Proc_switch.set_buffer: buffer must be >= 1";
+  if b < t.occupancy then
+    invalid_arg
+      "Proc_switch.set_buffer: new buffer smaller than current occupancy";
+  t.buffer <- b
 let speedup t = t.config.Proc_config.speedup
 let now t = t.now
 let advance_slot t = t.now <- t.now + 1

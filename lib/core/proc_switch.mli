@@ -11,9 +11,22 @@ type t
 val create : Proc_config.t -> t
 
 val config : t -> Proc_config.t
+(** The creation-time configuration.  Its [buffer] field is the {e initial}
+    B; after {!set_buffer} the live bound is {!buffer}, not
+    [(config t).buffer]. *)
+
 val n : t -> int
 val buffer : t -> int
 val speedup : t -> int
+
+val set_buffer : t -> int -> unit
+(** Live-resize the shared buffer bound B.  Admission ([is_full],
+    [free_space], [accept]) immediately honours the new bound; buffered
+    packets are never dropped, which is why shrinking below the current
+    occupancy is refused — the buffer drains down to the new bound through
+    normal transmissions.
+    @raise Invalid_argument if the new bound is [< 1] or smaller than the
+    current occupancy. *)
 
 val now : t -> int
 (** Current slot number (starts at 0; advanced by [advance_slot]). *)

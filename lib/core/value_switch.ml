@@ -1,6 +1,7 @@
 type t = {
   config : Value_config.t;
   queues : Value_queue.t array;
+  mutable buffer : int;
   mutable occupancy : int;
   mutable next_id : int;
   mutable now : int;
@@ -34,6 +35,7 @@ let create (config : Value_config.t) =
   {
     config;
     queues;
+    buffer = config.Value_config.buffer;
     occupancy = 0;
     next_id = 0;
     now = 0;
@@ -44,7 +46,14 @@ let create (config : Value_config.t) =
 let config t = t.config
 let n t = Array.length t.queues
 let k t = Value_config.k t.config
-let buffer t = t.config.Value_config.buffer
+let buffer t = t.buffer
+
+let set_buffer t b =
+  if b < 1 then invalid_arg "Value_switch.set_buffer: buffer must be >= 1";
+  if b < t.occupancy then
+    invalid_arg
+      "Value_switch.set_buffer: new buffer smaller than current occupancy";
+  t.buffer <- b
 let speedup t = t.config.Value_config.speedup
 let now t = t.now
 let advance_slot t = t.now <- t.now + 1

@@ -10,10 +10,19 @@ type t
 val create : Value_config.t -> t
 
 val config : t -> Value_config.t
+(** The creation-time configuration.  Its [buffer] field is the {e initial}
+    B; after {!set_buffer} the live bound is {!buffer}. *)
+
 val n : t -> int
 val k : t -> int
 val buffer : t -> int
 val speedup : t -> int
+
+val set_buffer : t -> int -> unit
+(** Live-resize the shared buffer bound B; see {!Proc_switch.set_buffer}
+    for the contract (no buffered packet is ever dropped).
+    @raise Invalid_argument if the new bound is [< 1] or smaller than the
+    current occupancy. *)
 
 val now : t -> int
 val advance_slot : t -> unit

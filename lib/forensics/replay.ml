@@ -100,6 +100,10 @@ let replay (s : Trace_file.source) =
               !fill;
           incr checks
         end
+      | Event.Reconfig _ ->
+        (* A slot-boundary policy swap or buffer resize: by contract it
+           drops no buffered packet, so it touches no counter and no fill. *)
+        ()
       | Event.Truncated _ -> ())
     s.lines;
   {

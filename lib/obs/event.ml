@@ -7,6 +7,7 @@ type kind =
   | Transmit_bulk of { dest : int; count : int; value : int }
   | Flush of { count : int }
   | Slot_end of { occupancy : int }
+  | Reconfig of { what : string; target : string }
   | Truncated of { evicted : int }
 
 type t = { src : string; slot : int; kind : kind }
@@ -22,6 +23,7 @@ let kind_name = function
   | Transmit_bulk _ -> "transmit_bulk"
   | Flush _ -> "flush"
   | Slot_end _ -> "slot_end"
+  | Reconfig _ -> "reconfig"
   | Truncated _ -> "truncated"
 
 let payload = function
@@ -48,6 +50,8 @@ let payload = function
     ]
   | Flush { count } -> [ ("count", Json.Int count) ]
   | Slot_end { occupancy } -> [ ("occupancy", Json.Int occupancy) ]
+  | Reconfig { what; target } ->
+    [ ("what", Json.Str what); ("to", Json.Str target) ]
   | Truncated { evicted } -> [ ("evicted", Json.Int evicted) ]
 
 let to_json t =
@@ -66,6 +70,7 @@ let fields_of_ev = function
   | "transmit_bulk" -> Some [ "dest"; "count"; "value" ]
   | "flush" -> Some [ "count" ]
   | "slot_end" -> Some [ "occupancy" ]
+  | "reconfig" -> Some [ "what"; "to" ]
   | "truncated" -> Some [ "evicted" ]
   | _ -> None
 
@@ -135,6 +140,10 @@ let of_json line =
     | "slot_end" ->
       let* occupancy = int "occupancy" in
       Ok (Slot_end { occupancy })
+    | "reconfig" ->
+      let* what = str "what" in
+      let* target = str "to" in
+      Ok (Reconfig { what; target })
     | "truncated" ->
       let* evicted = int "evicted" in
       Ok (Truncated { evicted })

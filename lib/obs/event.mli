@@ -39,6 +39,13 @@ type kind =
           packets *)
   | Slot_end of { occupancy : int }
       (** end of the slot's transmission phase, buffer population *)
+  | Reconfig of { what : string; target : string }
+      (** a live reconfiguration was applied at a slot boundary by the
+          {!Smbm_serve} daemon: [what] names the knob (["policy"],
+          ["buffer"]) and [target] the new setting (a policy name, the new B
+          as a decimal string).  Carries no switch state: buffered packets
+          survive a reconfiguration by contract, so counters are unaffected
+          and replay treats it as an annotation. *)
   | Truncated of { evicted : int }
       (** trace metadata, not a switch event: the recording ring evicted
           [evicted] older events before this line.  Emitted as the first

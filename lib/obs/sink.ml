@@ -1,21 +1,63 @@
+type error = {
+  path : string;
+  op : [ `Open | `Write | `Close ];
+  message : string;
+}
+
+let error_to_string e =
+  Printf.sprintf "%s: %s failed: %s" e.path
+    (match e.op with `Open -> "open" | `Write -> "write" | `Close -> "close")
+    e.message
+
 type target =
   | Null
   | Channel of { oc : out_channel; owned : bool }
 
-type t = { target : target; mutable closed : bool }
+type t = {
+  target : target;
+  path : string;
+  mutable closed : bool;
+  mutable failed : error option;
+}
 
-let null = { target = Null; closed = false }
-let of_channel oc = { target = Channel { oc; owned = false }; closed = false }
-let file path = { target = Channel { oc = open_out path; owned = true }; closed = false }
+let null = { target = Null; path = "<null>"; closed = false; failed = None }
+
+let of_channel oc =
+  {
+    target = Channel { oc; owned = false };
+    path = "<channel>";
+    closed = false;
+    failed = None;
+  }
+
+let open_file path =
+  match open_out path with
+  | oc ->
+    Ok { target = Channel { oc; owned = true }; path; closed = false; failed = None }
+  | exception Sys_error message -> Error { path; op = `Open; message }
+
+let file path =
+  match open_file path with
+  | Ok t -> t
+  | Error e -> raise (Sys_error e.message)
+
 let is_null t = t.target = Null
+let failure t = t.failed
+
+(* Latch the first failure; later ones add no information. *)
+let latch t op message =
+  if t.failed = None then t.failed <- Some { path = t.path; op; message }
 
 let line t s =
   match t.target with
   | Null -> ()
   | Channel { oc; _ } ->
     if t.closed then invalid_arg "Sink: write after close";
-    output_string oc s;
-    output_char oc '\n'
+    if t.failed = None then (
+      try
+        output_string oc s;
+        output_char oc '\n'
+      with Sys_error message -> latch t `Write message)
 
 let event t e = if not (is_null t) then line t (Event.to_json e)
 
@@ -25,8 +67,13 @@ let close t =
   | Channel { oc; owned } ->
     if not t.closed then begin
       t.closed <- true;
-      if owned then close_out oc else flush oc
+      try if owned then close_out oc else flush oc
+      with Sys_error message -> latch t `Close message
     end
+
+let close_result t =
+  close t;
+  match t.failed with None -> Ok () | Some e -> Error e
 
 let trace_path_from_env () =
   match Sys.getenv_opt "SMBM_TRACE" with

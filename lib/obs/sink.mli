@@ -2,9 +2,28 @@
 
     A sink is a line-oriented output — a file the sink owns, a borrowed
     channel, or nothing.  The null sink makes instrumented code paths free
-    to leave in place. *)
+    to leave in place.
+
+    {2 Failure handling}
+
+    I/O failures are surfaced as typed values, never as exceptions thrown
+    from the middle of a run: {!open_file} returns a [result], and a write
+    or close failure (disk full, closed descriptor, ...) latches the first
+    {!error} on the sink — subsequent writes become silent no-ops and the
+    caller inspects {!failure} (or {!close_result}) when convenient.  A
+    long-running daemon therefore cannot be killed mid-slot by its metrics
+    file.  [Invalid_argument] is still raised for programmer errors
+    (writing after {!close}). *)
 
 type t
+
+type error = {
+  path : string;  (** the sink's file path, or ["<channel>"] *)
+  op : [ `Open | `Write | `Close ];
+  message : string;  (** the underlying [Sys_error] message *)
+}
+
+val error_to_string : error -> string
 
 val null : t
 (** Discards everything. *)
@@ -12,21 +31,34 @@ val null : t
 val of_channel : out_channel -> t
 (** Borrow a channel ({!close} flushes but does not close it). *)
 
+val open_file : string -> (t, error) result
+(** Open (truncate) a file the sink will own; never raises. *)
+
 val file : string -> t
-(** Open (truncate) a file; {!close} closes it.
+(** Legacy raising form of {!open_file}.
     @raise Sys_error as [open_out] does. *)
 
 val is_null : t -> bool
 
 val line : t -> string -> unit
-(** Write one line (a trailing newline is appended). *)
+(** Write one line (a trailing newline is appended).  A [Sys_error] from
+    the underlying channel is latched as the sink's {!failure} instead of
+    raised; once failed, further writes are dropped.
+    @raise Invalid_argument when the sink was {!close}d. *)
 
 val event : t -> Event.t -> unit
 (** [line t (Event.to_json e)]. *)
 
+val failure : t -> error option
+(** The first write/close error latched so far, if any. *)
+
 val close : t -> unit
 (** Flush, and close owned files.  Idempotent; writing after [close]
-    raises [Invalid_argument]. *)
+    raises [Invalid_argument].  I/O errors are latched, not raised. *)
+
+val close_result : t -> (unit, error) result
+(** {!close}, then report the sink's overall fate: [Error] if any write or
+    the close itself failed. *)
 
 val trace_path_from_env : unit -> string option
 (** The [SMBM_TRACE] environment variable, when set and non-empty. *)

@@ -1,0 +1,341 @@
+open Smbm_core
+open Smbm_sim
+open Smbm_traffic
+module Registry = Smbm_obs.Registry
+module Recorder = Smbm_obs.Recorder
+module Sink = Smbm_obs.Sink
+module Event = Smbm_obs.Event
+
+type backpressure = Block | Shed
+type control = Set_policy of string | Resize_buffer of int | Stop
+
+type controller = { mu : Mutex.t; mutable queue : control list (* newest first *) }
+
+let controller () = { mu = Mutex.create (); queue = [] }
+
+let push t c =
+  Mutex.lock t.mu;
+  t.queue <- c :: t.queue;
+  Mutex.unlock t.mu
+
+let drain t =
+  Mutex.lock t.mu;
+  let q = List.rev t.queue in
+  t.queue <- [];
+  Mutex.unlock t.mu;
+  q
+
+type ingest =
+  | Trace of Trace.Compact.t
+  | Bank of Mmpp_bank.t
+  | Workload of Workload.t
+
+type report = {
+  slots : int;
+  wall : float;
+  slots_per_sec : float;
+  arrivals : int;
+  accepted : int;
+  transmitted : int;
+  dropped : int;
+  flushed : int;
+  shed_slots : int;
+  shed_packets : int;
+  ring_capacity : int;
+  ring_max : int;
+  reconfigs : int;
+  reconfigs_rejected : int;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  conservation_ok : bool;
+  conservation_error : string option;
+  stopped : bool;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>slots %d in %.3f s (%.0f slots/s), engine slot time p50 %.1f / p95 \
+     %.1f / p99 %.1f us@,\
+     arrivals %d = accepted %d + dropped %d; transmitted %d, flushed %d@,\
+     ring max %d/%d; shed %d slots (%d packets)@,\
+     reconfigs %d applied, %d rejected%s@,\
+     conservation %s@]"
+    r.slots r.wall r.slots_per_sec r.p50_us r.p95_us r.p99_us r.arrivals
+    r.accepted r.dropped r.transmitted r.flushed r.ring_max r.ring_capacity
+    r.shed_slots r.shed_packets r.reconfigs r.reconfigs_rejected
+    (if r.stopped then "; stopped by control" else "")
+    (match r.conservation_error with
+    | None -> "ok"
+    | Some m -> "VIOLATED: " ^ m)
+
+(* One live engine behind a model-agnostic face: the consumer loop and the
+   control plane never branch on the model. *)
+type engine = {
+  inst : Instance.t;
+  set_policy : string -> bool;  (* false: unknown name, nothing changed *)
+  set_buffer : int -> int;  (* clamped to occupancy; returns applied B *)
+}
+
+let make_engine ?recorder model policy_name =
+  match model with
+  | Model.Proc config ->
+    let find cfg name = Policies.proc_find cfg name in
+    let policy =
+      match find config policy_name with
+      | Some p -> p
+      | None ->
+        invalid_arg
+          ("Daemon.run: unknown processing policy \"" ^ policy_name ^ "\"")
+    in
+    let policy_ref = ref policy in
+    let inst, sw =
+      Proc_engine.create_controlled ~name:"serve" ?recorder config policy_ref
+    in
+    let current = ref policy_name in
+    (* Threshold policies capture B at construction: always rebuild against
+       the switch's live buffer, never the boot-time config. *)
+    let live_config () =
+      Proc_config.make
+        ~works:(Array.copy config.Proc_config.works)
+        ~buffer:(Proc_switch.buffer sw) ~speedup:config.Proc_config.speedup ()
+    in
+    let set_policy name =
+      match find (live_config ()) name with
+      | Some p ->
+        policy_ref := p;
+        current := name;
+        true
+      | None -> false
+    in
+    let set_buffer b =
+      let applied = max b (Proc_switch.occupancy sw) in
+      Proc_switch.set_buffer sw applied;
+      (match find (live_config ()) !current with
+      | Some p -> policy_ref := p
+      | None -> ());
+      applied
+    in
+    { inst; set_policy; set_buffer }
+  | Model.Value_uniform config | Model.Value_port config ->
+    let port_value =
+      match model with
+      | Model.Value_port _ -> Some (Scenario.port_values config)
+      | _ -> None
+    in
+    let find cfg name = Policies.value_find ?port_value cfg name in
+    let policy =
+      match find config policy_name with
+      | Some p -> p
+      | None ->
+        invalid_arg
+          ("Daemon.run: unknown value policy \"" ^ policy_name ^ "\"")
+    in
+    let policy_ref = ref policy in
+    let inst, sw =
+      Value_engine.create_controlled ~name:"serve" ?recorder config policy_ref
+    in
+    let current = ref policy_name in
+    let live_config () =
+      Value_config.make ~ports:config.Value_config.ports
+        ~max_value:config.Value_config.max_value
+        ~buffer:(Value_switch.buffer sw) ~speedup:config.Value_config.speedup
+        ()
+    in
+    let set_policy name =
+      match find (live_config ()) name with
+      | Some p ->
+        policy_ref := p;
+        current := name;
+        true
+      | None -> false
+    in
+    let set_buffer b =
+      let applied = max b (Value_switch.occupancy sw) in
+      Value_switch.set_buffer sw applied;
+      (match find (live_config ()) !current with
+      | Some p -> policy_ref := p
+      | None -> ());
+      applied
+    in
+    { inst; set_policy; set_buffer }
+
+let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
+    ?(metrics_every = 0) ?metrics_sink ?recorder ?event_sink ?(controls = [])
+    ?controller ?slots:max_slots ?duration ?rate ~model ~policy ~ingest () =
+  let ring = Spsc_ring.create ~capacity:ring_capacity () in
+  let bp = match backpressure with Block -> `Block | Shed -> `Shed in
+  let max_slots =
+    let trace_slots =
+      match ingest with Trace c -> Some (Trace.Compact.slots c) | _ -> None
+    in
+    match (max_slots, trace_slots) with
+    | Some a, Some b -> Some (min a b)
+    | Some a, None -> Some a
+    | None, t -> t
+  in
+  let fill =
+    match ingest with
+    | Trace c ->
+      let w = Trace.Compact.replay c in
+      fun b -> Workload.next_into w b
+    | Bank bank -> fun b -> Mmpp_bank.fill bank b
+    | Workload w -> fun b -> Workload.next_into w b
+  in
+  (* ----- ingest domain ----- *)
+  let producer () =
+    let t0 = Unix.gettimeofday () in
+    let deadline = Option.map (fun d -> t0 +. d) duration in
+    let continue i =
+      (match max_slots with Some m -> i < m | None -> true)
+      && match deadline with Some d -> Unix.gettimeofday () < d | None -> true
+    in
+    let pace i =
+      match rate with
+      | None -> ()
+      | Some r ->
+        let due = t0 +. (float_of_int (i + 1) /. r) in
+        let now = Unix.gettimeofday () in
+        if due > now then Unix.sleepf (due -. now)
+    in
+    let rec loop i =
+      if continue i then
+        match Spsc_ring.produce ring ~policy:bp ~fill with
+        | Spsc_ring.Aborted -> ()
+        | Spsc_ring.Pushed | Spsc_ring.Shed ->
+          pace i;
+          loop (i + 1)
+    in
+    loop 0;
+    Spsc_ring.close ring
+  in
+  let ingest_domain = Domain.spawn producer in
+  (* ----- engine domain (the caller) ----- *)
+  let engine = make_engine ?recorder model policy in
+  let inst = engine.inst in
+  let server = Registry.create () in
+  let slot_hist = Registry.histogram server ~max_value:1e7 "slot_time_us" in
+  let ring_gauge = Registry.gauge server "ring_occupancy" in
+  let slots_ctr = Registry.counter server "slots" in
+  let reconfig_ctr = Registry.counter server "reconfigs" in
+  let rejected_ctr = Registry.counter server "reconfigs_rejected" in
+  let slot = ref 0 in
+  let stopped = ref false in
+  let reconfigs = ref 0 in
+  let rejected = ref 0 in
+  let record_reconfig what target =
+    incr reconfigs;
+    Registry.incr reconfig_ctr;
+    match recorder with
+    | Some r ->
+      Recorder.record r ~slot:!slot ~who:inst.Instance.name
+        (Event.Reconfig { what; target })
+    | None -> ()
+  in
+  let reject () =
+    incr rejected;
+    Registry.incr rejected_ctr
+  in
+  let apply = function
+    | Set_policy name ->
+      if engine.set_policy name then record_reconfig "policy" name
+      else reject ()
+    | Resize_buffer b ->
+      if b < 1 then reject ()
+      else record_reconfig "buffer" (string_of_int (engine.set_buffer b))
+    | Stop ->
+      stopped := true;
+      Spsc_ring.abort ring
+  in
+  let pending =
+    ref (List.stable_sort (fun (a, _) (b, _) -> compare a b) controls)
+  in
+  let drain_controls () =
+    let rec scripted () =
+      match !pending with
+      | (s, c) :: rest when s <= !slot ->
+        pending := rest;
+        apply c;
+        scripted ()
+      | _ -> ()
+    in
+    scripted ();
+    match controller with
+    | None -> ()
+    | Some ctl -> List.iter apply (drain ctl)
+  in
+  let flush_metrics () =
+    (match metrics_sink with
+    | None -> ()
+    | Some sink ->
+      let labels =
+        [ ("src", inst.Instance.name); ("slot", string_of_int !slot) ]
+      in
+      List.iter (Sink.line sink)
+        (Metrics.to_jsonl ~labels inst.Instance.metrics);
+      List.iter (Sink.line sink) (Registry.to_jsonl ~labels server));
+    match (recorder, event_sink) with
+    | Some r, Some sink ->
+      Recorder.iter (Sink.event sink) r;
+      Recorder.clear r
+    | _ -> ()
+  in
+  let step batch =
+    let t0 = Unix.gettimeofday () in
+    Instance.step_batch inst ~batch;
+    incr slot;
+    Registry.incr slots_ctr;
+    (match flush_every with
+    | Some f when f > 0 && !slot mod f = 0 -> inst.Instance.flush ()
+    | _ -> ());
+    (* Slot boundary: bookkeeping done, next slot's arrivals not yet
+       offered — the only point where reconfiguration is legal. *)
+    drain_controls ();
+    Registry.observe slot_hist ((Unix.gettimeofday () -. t0) *. 1e6);
+    Registry.set ring_gauge (float_of_int (Spsc_ring.length ring));
+    if metrics_every > 0 && !slot mod metrics_every = 0 then flush_metrics ()
+  in
+  let t_start = Unix.gettimeofday () in
+  let rec consume () =
+    if not !stopped then
+      match Spsc_ring.consume ring ~stop:(fun () -> !stopped) ~f:step with
+      | Spsc_ring.Consumed -> consume ()
+      | Spsc_ring.Drained | Spsc_ring.Stopped -> ()
+  in
+  consume ();
+  Domain.join ingest_domain;
+  let wall = Unix.gettimeofday () -. t_start in
+  flush_metrics ();
+  let conservation_ok, conservation_error =
+    try
+      inst.Instance.check ();
+      (true, None)
+    with Invalid_argument m -> (false, Some m)
+  in
+  let q =
+    let h = Registry.histogram_values slot_hist in
+    fun p -> Smbm_prelude.Histogram.quantile h p
+  in
+  let m = inst.Instance.metrics in
+  {
+    slots = !slot;
+    wall;
+    slots_per_sec = (if wall > 0. then float_of_int !slot /. wall else 0.);
+    arrivals = Metrics.arrivals m;
+    accepted = Metrics.accepted m;
+    transmitted = Metrics.transmitted m;
+    dropped = Metrics.dropped m;
+    flushed = Metrics.flushed m;
+    shed_slots = Spsc_ring.shed_slots ring;
+    shed_packets = Spsc_ring.shed_packets ring;
+    ring_capacity;
+    ring_max = Spsc_ring.max_occupancy ring;
+    reconfigs = !reconfigs;
+    reconfigs_rejected = !rejected;
+    p50_us = q 0.5;
+    p95_us = q 0.95;
+    p99_us = q 0.99;
+    conservation_ok;
+    conservation_error;
+    stopped = !stopped;
+  }

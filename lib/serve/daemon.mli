@@ -1,0 +1,113 @@
+(** The online switch daemon: one engine instance run as a long-lived
+    service behind a bounded SPSC ring.
+
+    An ingest domain fills {!Spsc_ring} slots (one per simulated time slot)
+    from a synthetic {!Mmpp_bank}, a recorded trace, or any workload; the
+    calling domain consumes them, stepping a {!Smbm_sim.Proc_engine} /
+    {!Smbm_sim.Value_engine} instance slot by slot.  The ring's capacity
+    bounds both memory and the ingest lead: when the engine falls behind,
+    the chosen {!backpressure} either paces the producer ([Block]) or sheds
+    whole slots with explicit accounting ([Shed]).
+
+    {2 Live reconfiguration}
+
+    Controls — scripted [(slot, control)] pairs or pushed through a
+    {!controller} from another domain — are applied at slot boundaries
+    only, between one slot's bookkeeping and the next slot's arrivals:
+
+    - [Set_policy name] rebuilds the victim policy by registry lookup
+      against a config carrying the switch's {e live} buffer size (so
+      threshold policies derive thresholds from the current B, not the
+      boot-time one) and swaps it into the engine's policy ref.
+    - [Resize_buffer b] grows or shrinks B in place.  Shrinking is clamped
+      to the current occupancy — a reconfiguration never drops a buffered
+      packet (the conservation audit would catch it if it did).  The
+      current policy is then rebuilt against the new B.
+    - [Stop] aborts the ingest and ends the run after the current slot.
+
+    Every applied reconfiguration is recorded as an
+    {!Smbm_obs.Event.kind.Reconfig} event and counted in the report; a
+    control that cannot be applied (unknown policy name, b < 1) is counted
+    as rejected and otherwise ignored — a bad control must not kill a
+    daemon. *)
+
+type backpressure = Block | Shed
+
+type control = Set_policy of string | Resize_buffer of int | Stop
+
+type controller
+(** A thread-safe typed control channel into a running daemon. *)
+
+val controller : unit -> controller
+
+val push : controller -> control -> unit
+(** Enqueue a control; it is applied at the next slot boundary. *)
+
+type ingest =
+  | Trace of Smbm_traffic.Trace.Compact.t
+      (** replay a recorded trace; ingest ends when the trace does *)
+  | Bank of Mmpp_bank.t  (** synthetic MMPP traffic, unbounded *)
+  | Workload of Smbm_traffic.Workload.t
+      (** any workload; the producer domain owns it exclusively *)
+
+type report = {
+  slots : int;  (** slots fully processed by the engine *)
+  wall : float;  (** consumer wall-clock seconds *)
+  slots_per_sec : float;
+  arrivals : int;
+  accepted : int;
+  transmitted : int;
+  dropped : int;  (** dropped by admission control (measured traffic) *)
+  flushed : int;
+  shed_slots : int;  (** whole slots shed by ring backpressure *)
+  shed_packets : int;  (** packets inside those slots (never offered) *)
+  ring_capacity : int;
+  ring_max : int;  (** ring occupancy high-water mark *)
+  reconfigs : int;  (** controls applied *)
+  reconfigs_rejected : int;
+  p50_us : float;  (** per-slot engine service time quantiles *)
+  p95_us : float;
+  p99_us : float;
+  conservation_ok : bool;
+      (** final audit: metrics conservation + switch invariants +
+          in-buffer sync, after the whole run including reconfigurations *)
+  conservation_error : string option;
+  stopped : bool;  (** ended by [Stop] rather than ingest exhaustion *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?ring_capacity:int ->
+  ?backpressure:backpressure ->
+  ?flush_every:int ->
+  ?metrics_every:int ->
+  ?metrics_sink:Smbm_obs.Sink.t ->
+  ?recorder:Smbm_obs.Recorder.t ->
+  ?event_sink:Smbm_obs.Sink.t ->
+  ?controls:(int * control) list ->
+  ?controller:controller ->
+  ?slots:int ->
+  ?duration:float ->
+  ?rate:float ->
+  model:Model.t ->
+  policy:string ->
+  ingest:ingest ->
+  unit ->
+  report
+(** Run the daemon to completion on the calling domain (the ingest runs on
+    a spawned domain) and return the final report.
+
+    [ring_capacity] (default 64) sizes the ring; [backpressure] (default
+    [Block]) picks the full-ring behaviour.  [flush_every] is the
+    simulator's periodic flushout period (no flushouts when absent);
+    [metrics_every] (default 0 = final only) emits a labeled JSONL metrics
+    snapshot to [metrics_sink] every that many slots and drains [recorder]
+    to [event_sink].  [controls] are scripted reconfigurations, applied
+    once their slot boundary is reached (sorted internally).  [slots],
+    [duration] (wall seconds) and [rate] (slots per second pacing) bound
+    the ingest; with none of them, a [Trace] ingest ends with the trace and
+    a [Bank]/[Workload] ingest runs until a [Stop] control.
+
+    @raise Invalid_argument if the initial [policy] is unknown for
+    [model], or [ring_capacity < 1]. *)

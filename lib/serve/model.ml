@@ -1,0 +1,11 @@
+(** Which switch model the daemon runs, with its configuration. *)
+
+type t =
+  | Proc of Smbm_core.Proc_config.t
+  | Value_uniform of Smbm_core.Value_config.t
+  | Value_port of Smbm_core.Value_config.t
+
+let to_string = function
+  | Proc _ -> "proc"
+  | Value_uniform _ -> "value-uniform"
+  | Value_port _ -> "value-port"

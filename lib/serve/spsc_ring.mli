@@ -1,0 +1,84 @@
+(** Single-producer / single-consumer ring of reusable
+    {!Smbm_core.Arrival_batch.t} slots.
+
+    The ring is the bounded hand-off between the ingest domain (which
+    generates or reads one slot's arrivals per batch) and the engine domain
+    (which steps the switch).  Capacity is fixed at creation: ring occupancy
+    can never grow without bound, which makes the daemon's memory footprint
+    a constant.  Every slot of the ring owns one [Arrival_batch] that is
+    reused forever — steady-state production and consumption allocate
+    nothing.
+
+    Exactly one domain may call the producer operations ({!produce},
+    {!close}) and exactly one the consumer operations ({!consume},
+    {!abort}); publication is through two monotone atomic counters, so the
+    batches themselves need no locks (the producer's writes to a slot
+    happen-before the consumer's reads via the tail publication, and
+    vice-versa for reuse via the head publication).
+
+    {2 Backpressure}
+
+    When the ring is full, {!produce} applies the chosen policy:
+    - [`Block]: spin (with [Domain.cpu_relax], degrading to short sleeps)
+      until the consumer frees a slot — ingest is paced by the engine;
+    - [`Shed]: generate the slot into a private scratch batch and discard
+      it, accounting the shed slot and its packets — the engine never sees
+      the traffic, but the loss is measured, not silent.  The workload's
+      RNG advances identically either way, so a shed stream is a strict
+      subsequence of the blocked one. *)
+
+open Smbm_core
+
+type t
+
+val create : capacity:int -> unit -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Snapshot of the current occupancy (racy but monotonic per endpoint). *)
+
+(* ----- producer side ----- *)
+
+type push_result =
+  | Pushed  (** the batch is in the ring *)
+  | Shed  (** ring full under [`Shed]: generated, accounted, discarded *)
+  | Aborted  (** the consumer called {!abort}; stop producing *)
+
+val produce :
+  t ->
+  policy:[ `Block | `Shed ] ->
+  fill:(Arrival_batch.t -> unit) ->
+  push_result
+(** Claim the next slot, [fill] its (cleared) batch, publish it.  [fill]
+    runs on the producer domain; it must not touch the ring. *)
+
+val close : t -> unit
+(** Producer is done: after the ring drains, {!consume} returns [Drained].
+    Idempotent. *)
+
+(* ----- consumer side ----- *)
+
+type pop_result =
+  | Consumed  (** [f] ran on one batch *)
+  | Drained  (** producer closed and every published batch was consumed *)
+  | Stopped  (** the [stop] predicate fired while waiting *)
+
+val consume :
+  t -> stop:(unit -> bool) -> f:(Arrival_batch.t -> unit) -> pop_result
+(** Wait for a published batch, run [f] on it, release the slot for reuse.
+    [stop] is polled while waiting (not between [f] and the release), so a
+    control plane can interrupt an idle consumer. *)
+
+val abort : t -> unit
+(** Consumer gives up: a blocked producer unblocks and {!produce} returns
+    [Aborted] from then on.  Idempotent. *)
+
+(* ----- accounting ----- *)
+
+val shed_slots : t -> int
+val shed_packets : t -> int
+
+val max_occupancy : t -> int
+(** High-water mark of ring occupancy observed at publication time. *)

@@ -1,8 +1,8 @@
 open Smbm_core
 
-let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) ?recorder config
-    (policy : Proc_policy.t) =
-  let name = Option.value name ~default:policy.name in
+let create_controlled ?name ?(observe = fun (_ : Packet.Proc.t) -> ())
+    ?recorder config (policy_ref : Proc_policy.t ref) =
+  let name = Option.value name ~default:!policy_ref.name in
   let sw = Proc_switch.create config in
   let metrics = Metrics.create () in
   let ports = Port_stats.create ~n:(Proc_config.n config) in
@@ -26,7 +26,7 @@ let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) ?recorder config
   let arrive_dv ~dest ~value:_ =
     Metrics.record_arrival metrics;
     if recording then record (Smbm_obs.Event.Arrival { dest });
-    match Proc_policy.admit policy sw ~dest with
+    match Proc_policy.admit !policy_ref sw ~dest with
     | Decision.Accept ->
       ignore (Proc_switch.accept sw ~dest);
       Metrics.record_accept metrics;
@@ -80,6 +80,9 @@ let create ?name ?(observe = fun (_ : Packet.Proc.t) -> ()) ?recorder config
     }
   in
   (inst, sw)
+
+let create ?name ?observe ?recorder config (policy : Proc_policy.t) =
+  create_controlled ?name ?observe ?recorder config (ref policy)
 
 let instance ?name ?observe ?recorder config policy =
   fst (create ?name ?observe ?recorder config policy)

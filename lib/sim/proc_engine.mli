@@ -34,3 +34,16 @@ val instance :
   Proc_policy.t ->
   Instance.t
 (** [fst (create ...)]. *)
+
+val create_controlled :
+  ?name:string ->
+  ?observe:(Packet.Proc.t -> unit) ->
+  ?recorder:Smbm_obs.Recorder.t ->
+  Proc_config.t ->
+  Proc_policy.t ref ->
+  Instance.t * Proc_switch.t
+(** Like {!create}, but the victim policy is read through the given ref on
+    {e every} admission, so the caller may swap it mid-run (the
+    {!Smbm_serve} daemon does this at slot boundaries).  [name] defaults to
+    the initial policy's name and does not change on swap — event [src]
+    fields stay stable across reconfigurations. *)

@@ -1,8 +1,8 @@
 open Smbm_core
 
-let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) ?recorder config
-    (policy : Value_policy.t) =
-  let name = Option.value name ~default:policy.name in
+let create_controlled ?name ?(observe = fun (_ : Packet.Value.t) -> ())
+    ?recorder config (policy_ref : Value_policy.t ref) =
+  let name = Option.value name ~default:!policy_ref.name in
   let sw = Value_switch.create config in
   let metrics = Metrics.create () in
   let ports = Port_stats.create ~n:(Value_config.n config) in
@@ -27,7 +27,7 @@ let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) ?recorder config
   let arrive_dv ~dest ~value =
     Metrics.record_arrival metrics;
     if recording then record (Smbm_obs.Event.Arrival { dest });
-    match Value_policy.admit policy sw ~dest ~value with
+    match Value_policy.admit !policy_ref sw ~dest ~value with
     | Decision.Accept ->
       ignore (Value_switch.accept sw ~dest ~value);
       Metrics.record_accept metrics;
@@ -84,6 +84,9 @@ let create ?name ?(observe = fun (_ : Packet.Value.t) -> ()) ?recorder config
     }
   in
   (inst, sw)
+
+let create ?name ?observe ?recorder config (policy : Value_policy.t) =
+  create_controlled ?name ?observe ?recorder config (ref policy)
 
 let instance ?name ?observe ?recorder config policy =
   fst (create ?name ?observe ?recorder config policy)

@@ -21,3 +21,13 @@ val instance :
   Value_config.t ->
   Value_policy.t ->
   Instance.t
+
+val create_controlled :
+  ?name:string ->
+  ?observe:(Packet.Value.t -> unit) ->
+  ?recorder:Smbm_obs.Recorder.t ->
+  Value_config.t ->
+  Value_policy.t ref ->
+  Instance.t * Value_switch.t
+(** The policy is read through the ref on every admission, so it can be
+    swapped mid-run; see {!Proc_engine.create_controlled}. *)

@@ -67,6 +67,8 @@ let all_kinds =
     Event.Transmit_bulk { dest = -1; count = 3; value = 12 };
     Event.Flush { count = 7 };
     Event.Slot_end { occupancy = 42 };
+    Event.Reconfig { what = "policy"; target = "LQD" };
+    Event.Reconfig { what = "buffer"; target = "128" };
     Event.Truncated { evicted = 19 };
   ]
 
@@ -306,6 +308,60 @@ let test_sink_file_and_null () =
   | exception _ -> ()
   | () -> Alcotest.fail "write after close accepted"
 
+let test_sink_open_error_is_typed () =
+  (* A bad path is a value, not an exception. *)
+  match Sink.open_file "/nonexistent-dir-smbm/metrics.jsonl" with
+  | Ok _ -> Alcotest.fail "opened a file under a nonexistent directory"
+  | Error e ->
+    Alcotest.(check bool) "op is open" true (e.Sink.op = `Open);
+    Alcotest.(check string)
+      "path reported" "/nonexistent-dir-smbm/metrics.jsonl" e.Sink.path;
+    Alcotest.(check bool) "message non-empty" true (e.Sink.message <> "");
+    Alcotest.(check bool) "printable" true (Sink.error_to_string e <> "")
+
+let test_sink_write_failure_latches () =
+  (* Write through a channel whose descriptor was closed under the sink:
+     the first failure latches, later writes are silent no-ops, and
+     close_result reports the failure. *)
+  let path = Filename.temp_file "smbm_obs" ".jsonl" in
+  let oc = open_out path in
+  let sink = Sink.of_channel oc in
+  Sink.line sink (String.make 100_000 'x');
+  close_out oc;
+  Sink.line sink (String.make 100_000 'y');
+  Sink.line sink "after failure";
+  (* no raise *)
+  (match Sink.failure sink with
+  | None -> Alcotest.fail "expected a latched write failure"
+  | Some e ->
+    Alcotest.(check bool) "op is write" true (e.Sink.op = `Write);
+    Alcotest.(check string) "borrowed channel path" "<channel>" e.Sink.path);
+  (match Sink.close_result sink with
+  | Ok () -> Alcotest.fail "close_result must surface the latched failure"
+  | Error _ -> ());
+  Sys.remove path;
+  (* The null sink never fails. *)
+  Sink.line Sink.null "whatever";
+  Alcotest.(check bool) "null never fails" true (Sink.failure Sink.null = None);
+  Alcotest.(check bool) "null closes clean" true
+    (Sink.close_result Sink.null = Ok ())
+
+let test_sink_open_file_ok_round_trip () =
+  let path = Filename.temp_file "smbm_obs" ".jsonl" in
+  (match Sink.open_file path with
+  | Error e -> Alcotest.fail (Sink.error_to_string e)
+  | Ok sink ->
+    Sink.line sink "one";
+    Alcotest.(check bool) "healthy" true (Sink.failure sink = None);
+    (match Sink.close_result sink with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Sink.error_to_string e));
+    let ic = open_in path in
+    let l = input_line ic in
+    close_in ic;
+    Alcotest.(check string) "content" "one" l);
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "json object round-trip" `Quick test_json_obj_and_parse;
@@ -327,4 +383,10 @@ let suite =
     Alcotest.test_case "traced panel: no observer effect, j1 = j4" `Slow
       test_traced_panel_matches_untraced_and_jobs;
     Alcotest.test_case "sink" `Quick test_sink_file_and_null;
+    Alcotest.test_case "sink open error is typed" `Quick
+      test_sink_open_error_is_typed;
+    Alcotest.test_case "sink write failure latches" `Quick
+      test_sink_write_failure_latches;
+    Alcotest.test_case "sink open_file round-trip" `Quick
+      test_sink_open_file_ok_round_trip;
   ]

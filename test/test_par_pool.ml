@@ -109,6 +109,50 @@ let test_shutdown () =
 let test_default_jobs_positive () =
   Alcotest.(check bool) "at least one job" true (Pool.default_jobs () >= 1)
 
+let test_shutdown_under_inflight_failure () =
+  (* Shutdown straight after a batch that threw mid-flight: the failed
+     batch must have fully drained (every task ran and was counted, the
+     failing ones included), the workers must still be joinable, and the
+     pool must refuse further work — no worker may die or wedge holding
+     the queue. *)
+  let pool = Pool.create ~jobs:4 () in
+  (match
+     Pool.map pool
+       (fun x ->
+         busy_work x;
+         if x mod 8 = 7 then raise (Boom x) else x)
+       (List.init 32 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom x -> Alcotest.(check int) "earliest culprit" 7 x);
+  Alcotest.(check int) "failed batch fully drained" 32 (Pool.completed pool);
+  Pool.shutdown pool;
+  (* joins all 4 domains *)
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool: pool has been shut down") (fun () ->
+      ignore (Pool.map pool succ [ 1 ]))
+
+let test_with_pool_shuts_down_on_exception () =
+  (* with_pool's cleanup runs on the exception path: the task's exception
+     (not a shutdown artifact) reaches the caller, and the pool it leaked
+     is already shut down behind it. *)
+  let leaked = ref None in
+  (match
+     Pool.with_pool ~jobs:2 (fun pool ->
+         leaked := Some pool;
+         ignore
+           (Pool.map pool (fun x -> if x = 1 then raise (Boom x) else x)
+              [ 0; 1; 2 ]))
+   with
+  | () -> Alcotest.fail "expected Boom through with_pool"
+  | exception Boom x -> Alcotest.(check int) "task exception propagated" 1 x);
+  match !leaked with
+  | None -> Alcotest.fail "with_pool never ran its body"
+  | Some pool ->
+    Alcotest.check_raises "pool shut down by with_pool"
+      (Invalid_argument "Pool: pool has been shut down") (fun () ->
+        ignore (Pool.map pool succ [ 1 ]))
+
 let suite =
   [
     Alcotest.test_case "map order, inline (0 jobs)" `Quick (test_map_order 0);
@@ -125,4 +169,8 @@ let suite =
       test_inline_pool_ticks_in_order;
     Alcotest.test_case "graceful, idempotent shutdown" `Quick test_shutdown;
     Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;
+    Alcotest.test_case "shutdown under in-flight failure" `Quick
+      test_shutdown_under_inflight_failure;
+    Alcotest.test_case "with_pool shuts down on exception" `Quick
+      test_with_pool_shuts_down_on_exception;
   ]
