@@ -666,7 +666,7 @@ let run_trace_validate allow_truncation path =
              | E.Accept _ -> (arr, acc + 1, drop)
              | E.Drop _ -> (arr, acc, drop + 1)
              | E.Push_out _ | E.Transmit _ | E.Transmit_bulk _ | E.Flush _
-             | E.Slot_end _ | E.Reconfig _ | E.Truncated _ ->
+             | E.Slot_end _ | E.Reconfig _ | E.Health _ | E.Truncated _ ->
                (arr, acc, drop)
            in
            Hashtbl.replace per_src ev.E.src (ev.E.slot, counts)
@@ -1591,7 +1591,8 @@ let load_arrival_trace path =
       with Failure m -> die "%s: %s" path m)
 
 let run_serve common model policy_name ingest_trace ring backpressure duration
-    rate shards ats metrics_out metrics_every trace trace_cap max_p99 =
+    rate shards ats metrics_out metrics_every trace trace_cap max_p99
+    stats_sock stats_every stats_window =
   let mmpp =
     { Smbm_traffic.Scenario.default_mmpp with sources = common.sources }
   in
@@ -1626,6 +1627,7 @@ let run_serve common model policy_name ingest_trace ring backpressure duration
       ?slots:(if common.slots > 0 then Some common.slots else None)
       ?duration:(if duration > 0. then Some duration else None)
       ?rate:(if rate > 0. then Some rate else None)
+      ?stats_sock ~stats_every ~stats_window ~p99_budget_us:max_p99
       ~model:(serve_model common model) ~policy:policy_name ~ingest ()
   in
   Option.iter Smbm_par.Pool.shutdown pool;
@@ -1647,6 +1649,14 @@ let run_serve common model policy_name ingest_trace ring backpressure duration
     Printf.eprintf "p99 slot time %.1f us exceeds the --max-p99-us gate %.1f\n"
       report.Smbm_serve.Daemon.p99_us max_p99;
     exit 2
+  end;
+  if report.Smbm_serve.Daemon.degraded then begin
+    Printf.eprintf "health degraded at end of run:%s\n"
+      (String.concat ""
+         (List.filter_map
+            (fun (name, tripped) -> if tripped then Some (" " ^ name) else None)
+            report.Smbm_serve.Daemon.health));
+    exit 3
   end
 
 let backpressure_term =
@@ -1730,19 +1740,46 @@ let serve_cmd =
             "Fail (exit 2) when the p99 engine slot time exceeds $(docv) \
              microseconds — the CI soak gate (0 disables).")
   in
+  let stats_sock =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-sock" ] ~docv:"PATH"
+          ~doc:
+            "Serve live telemetry (stats | stats json | health | spans) on a \
+             Unix socket at $(docv) from a dedicated domain; query it with \
+             $(b,smbm_cli stats) / $(b,smbm_cli watch).  Also enables the \
+             health watchdogs (exit 3 when degraded at end of run).")
+  in
+  let stats_every =
+    Arg.(
+      value & opt int 500
+      & info [ "stats-every" ] ~docv:"SLOTS"
+          ~doc:"Publish a fresh telemetry snapshot every $(docv) slots.")
+  in
+  let stats_window =
+    Arg.(
+      value & opt float 10.
+      & info [ "stats-window" ] ~docv:"SECS"
+          ~doc:
+            "Rolling window for telemetry rates and windowed quantiles, in \
+             seconds.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run one switch instance as a long-lived daemon: bounded-ring \
           ingest (MMPP bank or trace replay) with block/shed backpressure, \
           live policy/buffer reconfiguration at slot boundaries, periodic \
-          metrics and event flushing, and a final conservation audit.")
+          metrics and event flushing, an optional live stats socket with \
+          health watchdogs, and a final conservation audit.")
     Term.(
       const run_serve $ common_term $ model_term $ policy $ ingest_trace
       $ ring_term $ backpressure_term
       $ duration_term ~default:0.
       $ rate $ shards_term $ ats $ metrics_out_term $ metrics_every
-      $ trace_term $ trace_cap_term $ max_p99)
+      $ trace_term $ trace_cap_term $ max_p99 $ stats_sock $ stats_every
+      $ stats_window)
 
 let run_loadgen common model policy_name ring duration shards =
   let mmpp =
@@ -1811,6 +1848,175 @@ let loadgen_cmd =
       $ duration_term ~default:2.
       $ shards_term)
 
+(* ----- stats / watch: clients of the serve daemon's stats socket ----- *)
+
+let sock_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOCK"
+        ~doc:"Path of a running daemon's $(b,--stats-sock) Unix socket.")
+
+let run_stats sock json health spans =
+  let cmd =
+    if json then "stats json"
+    else if health then "health"
+    else if spans then "spans"
+    else "stats"
+  in
+  match Smbm_serve.Telemetry.query ~path:sock cmd with
+  | Ok lines -> List.iter print_endline lines
+  | Error msg -> die "stats %s: %s" sock msg
+
+let stats_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Ask for $(b,stats json) (one flat JSON line).")
+  in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Ask for $(b,health): first line $(b,ok)/$(b,degraded), then one \
+             line per watchdog rule.")
+  in
+  let spans =
+    Arg.(
+      value & flag
+      & info [ "spans" ]
+          ~doc:
+            "Ask for $(b,spans): the slot-stage wall-time profile \
+             (ingest/ring_wait/engine/flush).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "One-shot query against a running daemon's stats socket.  Exit \
+          status is nonzero when the socket is unreachable or the daemon \
+          answers with an error.")
+    Term.(const run_stats $ sock_pos $ json $ health $ spans)
+
+let run_watch sock interval =
+  let module J = Smbm_obs.Json in
+  let module T = Smbm_serve.Telemetry in
+  let module Delta = Smbm_obs.Rolling.Delta in
+  let module P = Smbm_obs.Progress in
+  if interval <= 0. then die "watch: --interval must be positive";
+  let f_float fields k =
+    match List.assoc_opt k fields with
+    | Some (J.Float f) -> f
+    | Some (J.Int i) -> float_of_int i
+    | _ -> 0.0
+  in
+  let f_int fields k =
+    match List.assoc_opt k fields with Some (J.Int i) -> i | _ -> 0
+  in
+  let f_str fields k =
+    match List.assoc_opt k fields with Some (J.Str s) -> s | _ -> "?"
+  in
+  (* Client-side rates: diff the cumulative samples of two consecutive
+     polls — watch needs nothing from the daemon beyond `stats json`. *)
+  let prev = ref None in
+  let render fields health_lines =
+    let at = f_float fields "at" in
+    let samples =
+      T.samples_of_json ~prefix:"engine" fields
+      @ T.samples_of_json ~prefix:"server" fields
+    in
+    let buf = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    line "smbm serve @ %s — slot %d, uptime %.1fs, policy %s, buffer %d" sock
+      (f_int fields "slot") (f_float fields "uptime") (f_str fields "policy")
+      (f_int fields "buffer");
+    let occ = f_int fields "ring_occupancy" in
+    let cap = max 1 (f_int fields "ring_capacity") in
+    line "ring %s %d/%d (max %d)   shed %d slots (%d packets)"
+      (P.bar (float_of_int occ /. float_of_int cap))
+      occ cap (f_int fields "ring_max") (f_int fields "shed_slots")
+      (f_int fields "shed_packets");
+    line
+      "window %.1fs: %.0f slots/s, %.0f arrivals/s, %.0f accepted/s, %.1f \
+       drops/s, %.1f shed/s"
+      (f_float fields "window.span")
+      (f_float fields "window.slots_per_sec")
+      (f_float fields "window.arrivals_per_sec")
+      (f_float fields "window.accepted_per_sec")
+      (f_float fields "window.drops_per_sec")
+      (f_float fields "window.shed_slots_per_sec");
+    line "slot time p50 %.1f / p95 %.1f / p99 %.1f us"
+      (f_float fields "window.p50_us")
+      (f_float fields "window.p95_us")
+      (f_float fields "window.p99_us");
+    (match !prev with
+    | Some (at0, earlier) when at > at0 ->
+      let d = Delta.diff ~dt:(at -. at0) ~earlier ~later:samples in
+      let r name = Option.value ~default:0.0 (Delta.rate d name) in
+      line
+        "last %.1fs: %.0f slots/s, %.0f arrivals/s, %.1f drops/s, interval \
+         p99 %.1f us"
+        (at -. at0) (r "slots") (r "arrivals") (r "dropped")
+        (Option.value ~default:0.0 (Delta.quantile d "slot_time_us" 0.99))
+    | _ -> line "last interval: warming up");
+    prev := Some (at, samples);
+    (match health_lines with
+    | [] -> ()
+    | summary :: rules ->
+      line "health: %s" summary;
+      List.iter (fun l -> line "  %s" l) rules);
+    buf
+  in
+  let had_success = ref false in
+  let rec loop first =
+    match T.query ~path:sock "stats json" with
+    | Error msg ->
+      if !had_success then begin
+        (* The daemon unlinking its socket at shutdown lands here: a clean
+           end of watch, not an error. *)
+        print_newline ();
+        Printf.printf "watch: daemon ended (%s)\n" msg
+      end
+      else die "watch %s: %s" sock msg
+    | Ok [] -> die "watch %s: empty answer" sock
+    | Ok (json_line :: _) -> (
+      match J.parse_flat json_line with
+      | Error m -> die "watch %s: bad stats json: %s" sock m
+      | Ok fields ->
+        had_success := true;
+        let health_lines =
+          match T.query ~path:sock "health" with
+          | Ok lines -> lines
+          | Error _ -> []
+        in
+        let buf = render fields health_lines in
+        print_string
+          (if first then Smbm_obs.Progress.clear_screen
+           else Smbm_obs.Progress.home);
+        print_string (Buffer.contents buf);
+        print_string Smbm_obs.Progress.erase_below;
+        flush stdout;
+        Unix.sleepf interval;
+        loop false)
+  in
+  loop true
+
+let watch_cmd =
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Seconds between polls (default 1).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Refreshing TTY dashboard over a running daemon's stats socket: \
+          server-side window rates plus client-side rates diffed from \
+          consecutive $(b,stats json) polls.  Ends cleanly when the daemon \
+          shuts down.")
+    Term.(const run_watch $ sock_pos $ interval)
+
 let () =
   let doc = "shared-memory buffer management for heterogeneous packet processing" in
   let man =
@@ -1845,6 +2051,12 @@ let () =
         "$(b,smbm_cli loadgen) [$(i,OPTIONS)] — MMPP load generator reporting \
          sustained slot rate and tail latency";
       `P
+        "$(b,smbm_cli stats) $(i,SOCK) [--json|--health|--spans] — one-shot \
+         query of a daemon's stats socket";
+      `P
+        "$(b,smbm_cli watch) $(i,SOCK) [--interval $(i,SECS)] — refreshing \
+         TTY dashboard over a stats socket";
+      `P
         "$(b,smbm_cli bench-diff) $(i,BASELINE) $(i,CURRENT) — gate benchmark \
          JSONL against a committed baseline";
     ]
@@ -1857,5 +2069,5 @@ let () =
             policies_cmd; compare_cmd; simulate_cmd; figure_cmd;
             lowerbound_cmd; trace_cmd; trace_validate_cmd; trace_replay_cmd;
             trace_diff_cmd; trace_explain_cmd; certify_cmd; sweep_cmd;
-            bench_diff_cmd; serve_cmd; loadgen_cmd;
+            bench_diff_cmd; serve_cmd; loadgen_cmd; stats_cmd; watch_cmd;
           ]))

@@ -111,7 +111,8 @@ let admissions (s : Trace_file.source) =
             | Some _ -> fail lineno "drop after a push-out"
             | None -> fail lineno "drop without a pending arrival")
           | Event.Transmit _ | Event.Transmit_bulk _ | Event.Flush _
-          | Event.Slot_end _ | Event.Reconfig _ | Event.Truncated _ ->
+          | Event.Slot_end _ | Event.Reconfig _ | Event.Health _
+          | Event.Truncated _ ->
             if !pending <> None then fail lineno "arrival left unresolved"
         end)
       s.Trace_file.lines;

@@ -100,9 +100,10 @@ let replay (s : Trace_file.source) =
               !fill;
           incr checks
         end
-      | Event.Reconfig _ ->
-        (* A slot-boundary policy swap or buffer resize: by contract it
-           drops no buffered packet, so it touches no counter and no fill. *)
+      | Event.Reconfig _ | Event.Health _ ->
+        (* Annotations: a slot-boundary reconfiguration drops no buffered
+           packet by contract, and a health transition reports observer
+           state — neither touches a counter or the fill. *)
         ()
       | Event.Truncated _ -> ())
     s.lines;

@@ -8,6 +8,7 @@ type kind =
   | Flush of { count : int }
   | Slot_end of { occupancy : int }
   | Reconfig of { what : string; target : string }
+  | Health of { rule : string; tripped : bool; reason : string }
   | Truncated of { evicted : int }
 
 type t = { src : string; slot : int; kind : kind }
@@ -24,6 +25,7 @@ let kind_name = function
   | Flush _ -> "flush"
   | Slot_end _ -> "slot_end"
   | Reconfig _ -> "reconfig"
+  | Health _ -> "health"
   | Truncated _ -> "truncated"
 
 let payload = function
@@ -52,6 +54,12 @@ let payload = function
   | Slot_end { occupancy } -> [ ("occupancy", Json.Int occupancy) ]
   | Reconfig { what; target } ->
     [ ("what", Json.Str what); ("to", Json.Str target) ]
+  | Health { rule; tripped; reason } ->
+    [
+      ("rule", Json.Str rule);
+      ("state", Json.Str (if tripped then "tripped" else "ok"));
+      ("reason", Json.Str reason);
+    ]
   | Truncated { evicted } -> [ ("evicted", Json.Int evicted) ]
 
 let to_json t =
@@ -71,6 +79,7 @@ let fields_of_ev = function
   | "flush" -> Some [ "count" ]
   | "slot_end" -> Some [ "occupancy" ]
   | "reconfig" -> Some [ "what"; "to" ]
+  | "health" -> Some [ "rule"; "state"; "reason" ]
   | "truncated" -> Some [ "evicted" ]
   | _ -> None
 
@@ -144,6 +153,17 @@ let of_json line =
       let* what = str "what" in
       let* target = str "to" in
       Ok (Reconfig { what; target })
+    | "health" ->
+      let* rule = str "rule" in
+      let* state = str "state" in
+      let* reason = str "reason" in
+      let* tripped =
+        match state with
+        | "tripped" -> Ok true
+        | "ok" -> Ok false
+        | s -> Error (Printf.sprintf "field \"state\": unknown value %S" s)
+      in
+      Ok (Health { rule; tripped; reason })
     | "truncated" ->
       let* evicted = int "evicted" in
       Ok (Truncated { evicted })

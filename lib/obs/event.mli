@@ -46,6 +46,12 @@ type kind =
           as a decimal string).  Carries no switch state: buffered packets
           survive a reconfiguration by contract, so counters are unaffected
           and replay treats it as an annotation. *)
+  | Health of { rule : string; tripped : bool; reason : string }
+      (** a {!Smbm_obs.Health} watchdog transition observed by the
+          {!Smbm_serve} daemon: [rule] names the watchdog, [tripped] its new
+          state, [reason] the failing condition (or ["recovered"]).  Like
+          [Reconfig], an annotation: carries no switch state and is
+          counter-neutral in replay. *)
   | Truncated of { evicted : int }
       (** trace metadata, not a switch event: the recording ring evicted
           [evicted] older events before this line.  Emitted as the first

@@ -1,0 +1,92 @@
+type verdict = Pass | Fail of string
+
+type rule = {
+  name : string;
+  trip_after : int;
+  clear_after : int;
+  check : unit -> verdict;
+}
+
+type state = {
+  srule : rule;
+  mutable tripped : bool;
+  mutable bad : int; (* consecutive failing evaluations *)
+  mutable good : int; (* consecutive passing evaluations *)
+  mutable trips : int; (* lifetime trip transitions *)
+  mutable last_reason : string option;
+}
+
+type event = { rule : string; tripped : bool; reason : string }
+
+type t = { on_transition : event -> unit; states : state list }
+
+let rule ~name ?(trip_after = 2) ?(clear_after = 2) check =
+  if trip_after < 1 then invalid_arg "Health.rule: trip_after < 1";
+  if clear_after < 1 then invalid_arg "Health.rule: clear_after < 1";
+  { name; trip_after; clear_after; check }
+
+let create ?(on_transition = fun _ -> ()) rules =
+  {
+    on_transition;
+    states =
+      List.map
+        (fun r ->
+          {
+            srule = r;
+            tripped = false;
+            bad = 0;
+            good = 0;
+            trips = 0;
+            last_reason = None;
+          })
+        rules;
+  }
+
+(* One evaluation per window: a rule trips only after [trip_after]
+   consecutive failing windows and clears only after [clear_after]
+   consecutive passing ones, so a single bad (or good) window never flaps
+   the state.  Transitions — and only transitions — reach
+   [on_transition]. *)
+let evaluate t =
+  List.iter
+    (fun s ->
+      match s.srule.check () with
+      | Fail reason ->
+        s.bad <- s.bad + 1;
+        s.good <- 0;
+        s.last_reason <- Some reason;
+        if (not s.tripped) && s.bad >= s.srule.trip_after then begin
+          s.tripped <- true;
+          s.trips <- s.trips + 1;
+          t.on_transition { rule = s.srule.name; tripped = true; reason }
+        end
+      | Pass ->
+        s.good <- s.good + 1;
+        s.bad <- 0;
+        if s.tripped && s.good >= s.srule.clear_after then begin
+          s.tripped <- false;
+          t.on_transition
+            { rule = s.srule.name; tripped = false; reason = "recovered" }
+        end)
+    t.states
+
+let degraded t = List.exists (fun (s : state) -> s.tripped) t.states
+
+type view_state = {
+  v_tripped : bool;
+  v_consecutive_bad : int;
+  v_trips : int;
+  v_last_reason : string option;
+}
+
+let states t =
+  List.map
+    (fun (s : state) ->
+      ( s.srule.name,
+        {
+          v_tripped = s.tripped;
+          v_consecutive_bad = s.bad;
+          v_trips = s.trips;
+          v_last_reason = s.last_reason;
+        } ))
+    t.states

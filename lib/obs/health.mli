@@ -1,0 +1,44 @@
+(** Declarative watchdog rules with hysteresis.
+
+    A health monitor holds a list of named rules, each a thunk returning
+    {!Pass} or [Fail reason].  {!evaluate} is called once per observation
+    window; a rule {e trips} only after [trip_after] consecutive failing
+    windows and {e clears} only after [clear_after] consecutive passing
+    ones, so one bad window never flaps the state.  Trip/clear transitions
+    (and only transitions) are reported through [on_transition], which the
+    serve daemon forwards as typed {!Event.Health} trace events; {!degraded}
+    is the exit-status-visible summary bit. *)
+
+type verdict = Pass | Fail of string
+
+type rule
+
+val rule :
+  name:string -> ?trip_after:int -> ?clear_after:int -> (unit -> verdict) -> rule
+(** Defaults: [trip_after = 2], [clear_after = 2].  Use [trip_after:1]
+    for conditions that are exact rather than noisy (e.g. conservation).
+    @raise Invalid_argument if either threshold is < 1. *)
+
+type event = { rule : string; tripped : bool; reason : string }
+(** [tripped = true] carries the failing reason; [tripped = false] means
+    the rule recovered. *)
+
+type t
+
+val create : ?on_transition:(event -> unit) -> rule list -> t
+
+val evaluate : t -> unit
+(** Run every rule once against the current window. *)
+
+val degraded : t -> bool
+(** True while any rule is tripped. *)
+
+type view_state = {
+  v_tripped : bool;
+  v_consecutive_bad : int;
+  v_trips : int;  (** lifetime trip transitions *)
+  v_last_reason : string option;
+}
+
+val states : t -> (string * view_state) list
+(** Per-rule state in rule-list order, for dashboards. *)

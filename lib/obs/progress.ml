@@ -1,3 +1,20 @@
 let make ?(out = stderr) ~label ~total () completed =
   Printf.fprintf out "\r%s: %d/%d%s%!" label completed total
     (if completed >= total then "\n" else "")
+
+(* ----- TTY dashboard primitives (smbm_cli watch) ----- *)
+
+let bar ?(width = 24) frac =
+  let frac = Float.max 0.0 (Float.min 1.0 frac) in
+  let filled = int_of_float (Float.round (frac *. float_of_int width)) in
+  let b = Buffer.create (width + 2) in
+  Buffer.add_char b '[';
+  for i = 0 to width - 1 do
+    Buffer.add_char b (if i < filled then '#' else '.')
+  done;
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+let clear_screen = "\027[2J\027[H"
+let erase_below = "\027[J"
+let home = "\027[H"

@@ -1,7 +1,27 @@
-(** Stderr progress line, shaped for {!Smbm_par.Pool}'s [on_tick]: call the
-    returned function with the completed count and it redraws
-    ["label: n/total"] in place, ending the line at [total].  Thread-safe
-    in the sense that each call is a single atomic-enough write; ticks go
-    to stderr so stdout stays diffable. *)
+(** Terminal progress and dashboard primitives.
+
+    {!make} is the stderr progress line shaped for {!Smbm_par.Pool}'s
+    [on_tick]: call the returned function with the completed count and it
+    redraws ["label: n/total"] in place, ending the line at [total].
+    Thread-safe in the sense that each call is a single atomic-enough
+    write; ticks go to stderr so stdout stays diffable.
+
+    The rest are the building blocks of `smbm_cli watch`'s refreshing
+    dashboard: a textual gauge bar and the ANSI control strings it uses to
+    redraw in place. *)
 
 val make : ?out:out_channel -> label:string -> total:int -> unit -> int -> unit
+
+val bar : ?width:int -> float -> string
+(** [bar frac] renders a [\[###...\]] gauge, [frac] clamped to [0, 1]
+    (default [width] 24 cells). *)
+
+val clear_screen : string
+(** ANSI: clear the whole screen and move the cursor home. *)
+
+val home : string
+(** ANSI: move the cursor home without clearing (redraw-in-place). *)
+
+val erase_below : string
+(** ANSI: erase from the cursor to the end of the screen (clears stale
+    tail lines after a shorter redraw). *)

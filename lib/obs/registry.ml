@@ -73,6 +73,8 @@ type sample =
       p95 : float;
       p99 : float;
       max : float;
+      buckets_per_decade : int;
+      buckets : (int * int) list;
     }
 
 let sample_of = function
@@ -87,6 +89,8 @@ let sample_of = function
         p95 = H.quantile h.hist 0.95;
         p99 = H.quantile h.hist 0.99;
         max = H.max_seen h.hist;
+        buckets_per_decade = H.buckets_per_decade h.hist;
+        buckets = H.buckets h.hist;
       }
 
 let snapshot t =
@@ -102,7 +106,16 @@ let to_jsonl ?(labels = []) t =
         match sample with
         | Count v -> [ ("type", Json.Str "counter"); ("value", Json.Int v) ]
         | Level v -> [ ("type", Json.Str "gauge"); ("value", Json.Float v) ]
-        | Summary { n; mean; p50; p95; p99; max } ->
+        | Summary { n; mean; p50; p95; p99; max; buckets_per_decade; buckets }
+          ->
+          (* The JSONL codec is flat (no arrays), so the bucket counts ride
+             along as a compact "index:count ..." string — enough to
+             reconstruct windowed distributions by diffing two snapshots. *)
+          let bucket_str =
+            buckets
+            |> List.map (fun (i, c) -> Printf.sprintf "%d:%d" i c)
+            |> String.concat " "
+          in
           [
             ("type", Json.Str "histogram");
             ("count", Json.Int n);
@@ -111,6 +124,8 @@ let to_jsonl ?(labels = []) t =
             ("p95", Json.Float p95);
             ("p99", Json.Float p99);
             ("max", Json.Float max);
+            ("buckets_per_decade", Json.Int buckets_per_decade);
+            ("buckets", Json.Str bucket_str);
           ]
       in
       Json.obj ((("metric", Json.Str name) :: fields) @ label_fields))

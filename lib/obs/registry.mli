@@ -50,6 +50,11 @@ type sample =
       p95 : float;
       p99 : float;
       max : float;
+      buckets_per_decade : int;
+      buckets : (int * int) list;
+          (** Non-empty log buckets as [(index, count)], sorted by index —
+              the full shape, so two cumulative snapshots can be diffed
+              into a windowed distribution (see {!Rolling.Delta}). *)
     }
 
 val snapshot : t -> (string * sample) list
@@ -58,7 +63,9 @@ val snapshot : t -> (string * sample) list
 val to_jsonl : ?labels:(string * string) list -> t -> string list
 (** One flat JSON object per instrument
     ([{"metric":...,"type":...,...}]), with [labels] appended to every
-    line; sorted by metric name. *)
+    line; sorted by metric name.  Histogram lines carry the quantile
+    summary plus ["buckets_per_decade"] and a compact ["buckets"] string
+    ("index:count ..."). *)
 
 val clear : t -> unit
 (** Reset every instrument to its initial state (registrations survive). *)

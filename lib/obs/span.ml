@@ -34,7 +34,15 @@ let with_span t name f =
 let records t = locked t (fun () -> List.rev t.recorded)
 let clear t = locked t (fun () -> t.recorded <- [])
 
-let report ppf t =
+type agg = {
+  count : int;
+  wall : float;
+  wall_mean : float;
+  wall_max : float;
+  cpu : float;
+}
+
+let aggregate t =
   let by_name = Hashtbl.create 16 in
   List.iter
     (fun r ->
@@ -44,14 +52,27 @@ let report ppf t =
       Hashtbl.replace by_name r.name
         (count + 1, wall +. r.wall, Float.max wall_max r.wall, cpu +. r.cpu))
     (records t);
-  Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) by_name []
+  Hashtbl.fold
+    (fun name (count, wall, wall_max, cpu) acc ->
+      ( name,
+        {
+          count;
+          wall;
+          wall_mean = wall /. float_of_int count;
+          wall_max;
+          cpu;
+        } )
+      :: acc)
+    by_name []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (name, (count, wall, wall_max, cpu)) ->
-         Format.fprintf ppf
-           "%s: count %d, wall %.3fs (mean %.3fs, max %.3fs), cpu %.3fs@." name
-           count wall
-           (wall /. float_of_int count)
-           wall_max cpu)
+
+let report ppf t =
+  List.iter
+    (fun (name, a) ->
+      Format.fprintf ppf
+        "%s: count %d, wall %.3fs (mean %.3fs, max %.3fs), cpu %.3fs@." name
+        a.count a.wall a.wall_mean a.wall_max a.cpu)
+    (aggregate t)
 
 let timed name f =
   let w0 = Unix.gettimeofday () and c0 = Sys.time () in

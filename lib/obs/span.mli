@@ -31,6 +31,18 @@ val records : t -> record list
 
 val clear : t -> unit
 
+type agg = {
+  count : int;
+  wall : float;  (** total *)
+  wall_mean : float;
+  wall_max : float;
+  cpu : float;  (** total *)
+}
+
+val aggregate : t -> (string * agg) list
+(** Per-name aggregates, sorted by name — the data behind {!report}, in a
+    machine-readable form (the serve daemon's [spans] stats answer). *)
+
 val report : Format.formatter -> t -> unit
 (** Aggregate by name (count, wall total/mean/max, cpu total), one line per
     name, sorted by name. *)

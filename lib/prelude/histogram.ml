@@ -50,6 +50,58 @@ let add t x =
 let count t = t.total
 let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
 let max_seen t = t.max_seen
+let buckets_per_decade t = t.buckets_per_decade
+
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let bucket_bounds ~buckets_per_decade i =
+  if buckets_per_decade < 1 then
+    invalid_arg "Histogram.bucket_bounds: buckets_per_decade < 1";
+  if i < 0 then invalid_arg "Histogram.bucket_bounds: negative index";
+  if i = 0 then (0.0, 1.0)
+  else
+    let edge j = Float.pow 10.0 (float_of_int j /. float_of_int buckets_per_decade) in
+    (edge (i - 1), edge i)
+
+(* Quantile over externally held (index, count) buckets — the same
+   interpolation as [quantile], but usable on the {e difference} of two
+   cumulative snapshots, where no [max_seen] exists to clamp against.
+   Buckets must be sorted by index; non-positive counts are skipped (a
+   racy snapshot pair can transiently produce them). *)
+let quantile_of_buckets ~buckets_per_decade buckets q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Histogram.quantile_of_buckets: q outside [0, 1]";
+  let total =
+    List.fold_left (fun acc (_, c) -> if c > 0 then acc + c else acc) 0 buckets
+  in
+  if total = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int total in
+    let rec scan seen = function
+      | [] -> (
+        (* rank = total exactly: the last bucket's upper edge. *)
+        match List.rev buckets with
+        | (i, _) :: _ -> snd (bucket_bounds ~buckets_per_decade i)
+        | [] -> 0.0)
+      | (i, c) :: rest ->
+        if c <= 0 then scan seen rest
+        else
+          let seen' = seen + c in
+          if float_of_int seen' >= rank then begin
+            let inside = rank -. float_of_int seen in
+            let frac = inside /. float_of_int c in
+            let lo, hi = bucket_bounds ~buckets_per_decade i in
+            lo +. (frac *. (hi -. lo))
+          end
+          else scan seen' rest
+    in
+    scan 0 buckets
+  end
 
 let quantile t q =
   if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0, 1]";

@@ -27,6 +27,27 @@ val mean : t -> float
 val max_seen : t -> float
 (** Largest sample added; 0 when empty. *)
 
+val buckets_per_decade : t -> int
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(index, count)], sorted by index.  Together with
+    {!buckets_per_decade} this is the histogram's full shape — two
+    cumulative snapshots of the same instrument can be subtracted bucket by
+    bucket to recover the distribution of a time window. *)
+
+val bucket_bounds : buckets_per_decade:int -> int -> float * float
+(** [(lower, upper)] edges of bucket [index] under the given bucketing
+    (bucket 0 is [0, 1)).
+    @raise Invalid_argument on a negative index or bucketing < 1. *)
+
+val quantile_of_buckets :
+  buckets_per_decade:int -> (int * int) list -> float -> float
+(** {!quantile}'s interpolation over externally held [(index, count)]
+    buckets (sorted by index; non-positive counts ignored) — for windowed
+    quantiles reconstructed from snapshot differences, where no [max_seen]
+    is available to clamp against.
+    @raise Invalid_argument for [q] outside [0, 1]. *)
+
 val merge : t -> t -> t
 (** Histogram of the union; both operands must share the same bucketing.
     @raise Invalid_argument otherwise. *)

@@ -5,6 +5,8 @@ module Registry = Smbm_obs.Registry
 module Recorder = Smbm_obs.Recorder
 module Sink = Smbm_obs.Sink
 module Event = Smbm_obs.Event
+module Rolling = Smbm_obs.Rolling
+module Health = Smbm_obs.Health
 
 type backpressure = Block | Shed
 type control = Set_policy of string | Resize_buffer of int | Stop
@@ -51,16 +53,29 @@ type report = {
   conservation_ok : bool;
   conservation_error : string option;
   stopped : bool;
+  degraded : bool;
+  health : (string * bool) list;
 }
 
 let pp_report ppf r =
+  let pp_health ppf = function
+    | [] -> ()
+    | rules ->
+      Format.fprintf ppf "@,health %s:"
+        (if r.degraded then "DEGRADED" else "ok");
+      List.iter
+        (fun (name, tripped) ->
+          Format.fprintf ppf " %s=%s" name
+            (if tripped then "TRIPPED" else "ok"))
+        rules
+  in
   Format.fprintf ppf
     "@[<v>slots %d in %.3f s (%.0f slots/s), engine slot time p50 %.1f / p95 \
      %.1f / p99 %.1f us@,\
      arrivals %d = accepted %d + dropped %d; transmitted %d, flushed %d@,\
      ring max %d/%d; shed %d slots (%d packets)@,\
      reconfigs %d applied, %d rejected%s@,\
-     conservation %s@]"
+     conservation %s%a@]"
     r.slots r.wall r.slots_per_sec r.p50_us r.p95_us r.p99_us r.arrivals
     r.accepted r.dropped r.transmitted r.flushed r.ring_max r.ring_capacity
     r.shed_slots r.shed_packets r.reconfigs r.reconfigs_rejected
@@ -68,6 +83,7 @@ let pp_report ppf r =
     (match r.conservation_error with
     | None -> "ok"
     | Some m -> "VIOLATED: " ^ m)
+    pp_health r.health
 
 (* One live engine behind a model-agnostic face: the consumer loop and the
    control plane never branch on the model. *)
@@ -75,6 +91,8 @@ type engine = {
   inst : Instance.t;
   set_policy : string -> bool;  (* false: unknown name, nothing changed *)
   set_buffer : int -> int;  (* clamped to occupancy; returns applied B *)
+  policy_name : unit -> string;  (* current (post-reconfiguration) name *)
+  buffer_size : unit -> int;  (* current live B *)
 }
 
 let make_engine ?recorder model policy_name =
@@ -116,7 +134,13 @@ let make_engine ?recorder model policy_name =
       | None -> ());
       applied
     in
-    { inst; set_policy; set_buffer }
+    {
+      inst;
+      set_policy;
+      set_buffer;
+      policy_name = (fun () -> !current);
+      buffer_size = (fun () -> Proc_switch.buffer sw);
+    }
   | Model.Value_uniform config | Model.Value_port config ->
     let port_value =
       match model with
@@ -158,13 +182,38 @@ let make_engine ?recorder model policy_name =
       | None -> ());
       applied
     in
-    { inst; set_policy; set_buffer }
+    {
+      inst;
+      set_policy;
+      set_buffer;
+      policy_name = (fun () -> !current);
+      buffer_size = (fun () -> Value_switch.buffer sw);
+    }
+
+(* Instruments that exist only when telemetry is on: their absence keeps a
+   plain run's server registry (and its JSONL) identical to before. *)
+type stage_instruments = {
+  engine_hist : Registry.histogram;
+  flush_hist : Registry.histogram;
+  (* The next two are written by the producer domain while the engine
+     domain snapshots them — unsynchronized single-writer reads whose
+     transient inconsistency only blurs a telemetry answer, never engine
+     state; the end-of-run report reads them after [Domain.join]. *)
+  ingest_hist : Registry.histogram;
+  ring_wait_hist : Registry.histogram;
+  shed_slots_ctr : Registry.counter;
+  shed_packets_ctr : Registry.counter;
+}
 
 let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
     ?(metrics_every = 0) ?metrics_sink ?recorder ?event_sink ?(controls = [])
-    ?controller ?slots:max_slots ?duration ?rate ~model ~policy ~ingest () =
+    ?controller ?slots:max_slots ?duration ?rate ?stats_sock
+    ?(stats_every = 500) ?(stats_window = 10.0) ?(telemetry = false)
+    ?(p99_budget_us = 0.0) ~model ~policy ~ingest () =
   let ring = Spsc_ring.create ~capacity:ring_capacity () in
   let bp = match backpressure with Block -> `Block | Shed -> `Shed in
+  let telemetry_on = telemetry || stats_sock <> None in
+  let stats_every = max 1 stats_every in
   let max_slots =
     let trace_slots =
       match ingest with Trace c -> Some (Trace.Compact.slots c) | _ -> None
@@ -182,6 +231,23 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
     | Bank bank -> fun b -> Mmpp_bank.fill bank b
     | Workload w -> fun b -> Workload.next_into w b
   in
+  let server = Registry.create () in
+  let stages =
+    if not telemetry_on then None
+    else
+      Some
+        {
+          engine_hist =
+            Registry.histogram server ~max_value:1e7 "stage/engine_us";
+          flush_hist = Registry.histogram server ~max_value:1e7 "stage/flush_us";
+          ingest_hist =
+            Registry.histogram server ~max_value:1e7 "stage/ingest_us";
+          ring_wait_hist =
+            Registry.histogram server ~max_value:1e7 "stage/ring_wait_us";
+          shed_slots_ctr = Registry.counter server "shed_slots";
+          shed_packets_ctr = Registry.counter server "shed_packets";
+        }
+  in
   (* ----- ingest domain ----- *)
   let producer () =
     let t0 = Unix.gettimeofday () in
@@ -198,9 +264,28 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
         let now = Unix.gettimeofday () in
         if due > now then Unix.sleepf (due -. now)
     in
+    let produce_once =
+      match stages with
+      | None -> fun () -> Spsc_ring.produce ring ~policy:bp ~fill ()
+      | Some st ->
+        (* Split the producer's slot into its two stages: ring-wait is the
+           blocked stall alone (always zero under Shed, which never
+           blocks), ingest is the work of generating the slot. *)
+        let blocked = ref 0.0 in
+        let on_block s = blocked := s in
+        fun () ->
+          blocked := 0.0;
+          let p0 = Unix.gettimeofday () in
+          let r = Spsc_ring.produce ring ~on_block ~policy:bp ~fill () in
+          let dt = Unix.gettimeofday () -. p0 in
+          Registry.observe st.ring_wait_hist (!blocked *. 1e6);
+          Registry.observe st.ingest_hist
+            (Float.max 0.0 (dt -. !blocked) *. 1e6);
+          r
+    in
     let rec loop i =
       if continue i then
-        match Spsc_ring.produce ring ~policy:bp ~fill with
+        match produce_once () with
         | Spsc_ring.Aborted -> ()
         | Spsc_ring.Pushed | Spsc_ring.Shed ->
           pace i;
@@ -213,7 +298,6 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
   (* ----- engine domain (the caller) ----- *)
   let engine = make_engine ?recorder model policy in
   let inst = engine.inst in
-  let server = Registry.create () in
   let slot_hist = Registry.histogram server ~max_value:1e7 "slot_time_us" in
   let ring_gauge = Registry.gauge server "ring_occupancy" in
   let slots_ctr = Registry.counter server "slots" in
@@ -280,22 +364,172 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
       Recorder.clear r
     | _ -> ()
   in
+  let t_start = Unix.gettimeofday () in
+  (* ----- telemetry plane (created always, fed only when on) ----- *)
+  let m = inst.Instance.metrics in
+  let rolling = Rolling.create ~window:stats_window () in
+  let r_slots = Rolling.counter rolling "slots" in
+  let r_arr = Rolling.counter rolling "arrivals" in
+  let r_acc = Rolling.counter rolling "accepted" in
+  let r_drop = Rolling.counter rolling "dropped" in
+  let r_shed = Rolling.counter rolling "shed_slots" in
+  let r_slot_us = Rolling.histogram rolling "slot_time_us" in
+  let prev_arr = ref 0 and prev_acc = ref 0 and prev_drop = ref 0 in
+  let prev_shed = ref 0 and prev_shed_p = ref 0 in
+  (* Rules are evaluated at publication instants; [eval_now] carries that
+     instant into the window reads so rules never touch the wall clock. *)
+  let eval_now = ref 0.0 in
+  let health =
+    let on_transition (e : Health.event) =
+      match recorder with
+      | Some r ->
+        Recorder.record r ~slot:!slot ~who:inst.Instance.name
+          (Event.Health
+             {
+               rule = e.Health.rule;
+               tripped = e.Health.tripped;
+               reason = e.Health.reason;
+             })
+      | None -> ()
+    in
+    let conservation =
+      Health.rule ~name:"conservation" ~trip_after:1 ~clear_after:1 (fun () ->
+          match Metrics.check_conservation m with
+          | () -> Health.Pass
+          | exception Invalid_argument msg -> Health.Fail msg)
+    in
+    let p99_rule =
+      if p99_budget_us <= 0.0 then []
+      else
+        [
+          Health.rule ~name:"p99_slot_time" (fun () ->
+              let p99 = Rolling.quantile r_slot_us ~now:!eval_now 0.99 in
+              if p99 > p99_budget_us then
+                Health.Fail
+                  (Printf.sprintf "windowed p99 %.1f us over budget %.1f us"
+                     p99 p99_budget_us)
+              else Health.Pass);
+        ]
+    in
+    let ring_high_water =
+      Health.rule ~name:"ring_high_water" (fun () ->
+          let occ = Spsc_ring.length ring in
+          if float_of_int occ >= 0.9 *. float_of_int ring_capacity then
+            Health.Fail (Printf.sprintf "ring occupancy %d/%d" occ ring_capacity)
+          else Health.Pass)
+    in
+    let shed_rate =
+      Health.rule ~name:"shed_rate" (fun () ->
+          match Rolling.total r_shed ~now:!eval_now with
+          | 0 -> Health.Pass
+          | s -> Health.Fail (Printf.sprintf "%d slots shed in window" s))
+    in
+    Health.create ~on_transition
+      ((conservation :: p99_rule) @ [ ring_high_water; shed_rate ])
+  in
+  let feed_rolling st now slot_us =
+    Rolling.incr r_slots ~now;
+    let a = Metrics.arrivals m in
+    Rolling.add r_arr ~now (a - !prev_arr);
+    prev_arr := a;
+    let ac = Metrics.accepted m in
+    Rolling.add r_acc ~now (ac - !prev_acc);
+    prev_acc := ac;
+    let d = Metrics.dropped m in
+    Rolling.add r_drop ~now (d - !prev_drop);
+    prev_drop := d;
+    (* Shed accounting lives in the ring's producer-side atomics; mirror
+       the deltas into window and cumulative server counters here so every
+       published rate flows from one snapshot mechanism. *)
+    let s = Spsc_ring.shed_slots ring in
+    let ds = max 0 (s - !prev_shed) in
+    Rolling.add r_shed ~now ds;
+    Registry.add st.shed_slots_ctr ds;
+    prev_shed := s;
+    let p = Spsc_ring.shed_packets ring in
+    Registry.add st.shed_packets_ctr (max 0 (p - !prev_shed_p));
+    prev_shed_p := p;
+    Rolling.observe r_slot_us ~now slot_us
+  in
+  let published : Telemetry.view option Atomic.t = Atomic.make None in
+  let publish now =
+    eval_now := now;
+    Health.evaluate health;
+    let server_snap = Registry.snapshot server in
+    let window =
+      {
+        Telemetry.w_span = Rolling.span rolling ~now;
+        slots_per_sec = Rolling.rate r_slots ~now;
+        arrivals_per_sec = Rolling.rate r_arr ~now;
+        accepted_per_sec = Rolling.rate r_acc ~now;
+        drops_per_sec = Rolling.rate r_drop ~now;
+        shed_slots_per_sec = Rolling.rate r_shed ~now;
+        p50_us = Rolling.quantile r_slot_us ~now 0.5;
+        p95_us = Rolling.quantile r_slot_us ~now 0.95;
+        p99_us = Rolling.quantile r_slot_us ~now 0.99;
+      }
+    in
+    (* One atomic store publishes an immutable view; the stats server only
+       ever [Atomic.get]s it — no lock is shared with this loop. *)
+    Atomic.set published
+      (Some
+         {
+           Telemetry.at = now;
+           slot = !slot;
+           uptime = now -. t_start;
+           policy = engine.policy_name ();
+           buffer = engine.buffer_size ();
+           ring_occupancy = Spsc_ring.length ring;
+           ring_capacity;
+           ring_max = Spsc_ring.max_occupancy ring;
+           shed_slots = Spsc_ring.shed_slots ring;
+           shed_packets = Spsc_ring.shed_packets ring;
+           window;
+           engine = Registry.snapshot (Metrics.registry m);
+           server = server_snap;
+           spans = Telemetry.stage_aggregates server_snap;
+           health = Health.states health;
+           degraded = Health.degraded health;
+         })
+  in
+  let stats_server =
+    match stats_sock with
+    | None -> None
+    | Some path -> (
+      match
+        Telemetry.start ~path ~latest:(fun () -> Atomic.get published)
+      with
+      | Ok s -> Some s
+      | Error msg -> invalid_arg ("Daemon.run: " ^ msg))
+  in
   let step batch =
     let t0 = Unix.gettimeofday () in
     Instance.step_batch inst ~batch;
+    let t1 = match stages with None -> t0 | Some _ -> Unix.gettimeofday () in
     incr slot;
     Registry.incr slots_ctr;
     (match flush_every with
-    | Some f when f > 0 && !slot mod f = 0 -> inst.Instance.flush ()
+    | Some f when f > 0 && !slot mod f = 0 ->
+      inst.Instance.flush ();
+      (match stages with
+      | Some st ->
+        Registry.observe st.flush_hist ((Unix.gettimeofday () -. t1) *. 1e6)
+      | None -> ())
     | _ -> ());
     (* Slot boundary: bookkeeping done, next slot's arrivals not yet
        offered — the only point where reconfiguration is legal. *)
     drain_controls ();
-    Registry.observe slot_hist ((Unix.gettimeofday () -. t0) *. 1e6);
+    let t_end = Unix.gettimeofday () in
+    Registry.observe slot_hist ((t_end -. t0) *. 1e6);
     Registry.set ring_gauge (float_of_int (Spsc_ring.length ring));
+    (match stages with
+    | Some st ->
+      Registry.observe st.engine_hist ((t1 -. t0) *. 1e6);
+      feed_rolling st t_end ((t_end -. t0) *. 1e6);
+      if !slot mod stats_every = 0 then publish t_end
+    | None -> ());
     if metrics_every > 0 && !slot mod metrics_every = 0 then flush_metrics ()
   in
-  let t_start = Unix.gettimeofday () in
   let rec consume () =
     if not !stopped then
       match Spsc_ring.consume ring ~stop:(fun () -> !stopped) ~f:step with
@@ -306,6 +540,10 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
   Domain.join ingest_domain;
   let wall = Unix.gettimeofday () -. t_start in
   flush_metrics ();
+  (* Final publication (one last health evaluation included), then take the
+     socket down before reporting. *)
+  if telemetry_on then publish (Unix.gettimeofday ());
+  (match stats_server with Some s -> Telemetry.stop s | None -> ());
   let conservation_ok, conservation_error =
     try
       inst.Instance.check ();
@@ -316,7 +554,14 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
     let h = Registry.histogram_values slot_hist in
     fun p -> Smbm_prelude.Histogram.quantile h p
   in
-  let m = inst.Instance.metrics in
+  let degraded, health_states =
+    if telemetry_on then
+      ( Health.degraded health,
+        List.map
+          (fun (n, s) -> (n, s.Health.v_tripped))
+          (Health.states health) )
+    else (false, [])
+  in
   {
     slots = !slot;
     wall;
@@ -338,4 +583,6 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
     conservation_ok;
     conservation_error;
     stopped = !stopped;
+    degraded;
+    health = health_states;
   }

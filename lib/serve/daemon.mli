@@ -73,6 +73,11 @@ type report = {
           in-buffer sync, after the whole run including reconfigurations *)
   conservation_error : string option;
   stopped : bool;  (** ended by [Stop] rather than ingest exhaustion *)
+  degraded : bool;
+      (** any health watchdog tripped at the end of the run (always false
+          with telemetry off); callers surface it in the exit status *)
+  health : (string * bool) list;
+      (** final per-rule tripped state; empty with telemetry off *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -90,6 +95,11 @@ val run :
   ?slots:int ->
   ?duration:float ->
   ?rate:float ->
+  ?stats_sock:string ->
+  ?stats_every:int ->
+  ?stats_window:float ->
+  ?telemetry:bool ->
+  ?p99_budget_us:float ->
   model:Model.t ->
   policy:string ->
   ingest:ingest ->
@@ -109,5 +119,22 @@ val run :
     the ingest; with none of them, a [Trace] ingest ends with the trace and
     a [Bank]/[Workload] ingest runs until a [Stop] control.
 
+    {2 Telemetry}
+
+    [stats_sock] serves the {!Telemetry} protocol on a Unix socket at that
+    path (from its own domain); [telemetry:true] turns the telemetry plane
+    on without a socket (test hook).  With telemetry on, the slot loop
+    additionally feeds an {!Smbm_obs.Rolling} window of [stats_window]
+    seconds (default 10), times its stages into [stage/*] histograms,
+    evaluates {!Smbm_obs.Health} watchdogs (conservation; ring high-water;
+    shed rate; and, when [p99_budget_us > 0], windowed p99 slot time over
+    budget) and publishes a fresh view every [stats_every] slots (default
+    500).  Health transitions are recorded as {!Smbm_obs.Event.kind.Health}
+    events when a [recorder] is present.  With telemetry off, none of this
+    runs — no extra clock reads, no extra instruments — so output is
+    byte-identical to earlier versions.  Telemetry never alters engine
+    behaviour either way: deterministic engine metrics are bit-identical
+    with and without a stats socket.
+
     @raise Invalid_argument if the initial [policy] is unknown for
-    [model], or [ring_capacity < 1]. *)
+    [model], [ring_capacity < 1], or the stats socket cannot be bound. *)

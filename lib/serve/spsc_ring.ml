@@ -42,7 +42,7 @@ type push_result = Pushed | Shed | Aborted
 let backoff spins =
   if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002
 
-let produce t ~policy ~fill =
+let produce t ?on_block ~policy ~fill () =
   if Atomic.get t.closed then
     invalid_arg "Spsc_ring.produce: ring already closed";
   let publish tail =
@@ -55,16 +55,30 @@ let produce t ~policy ~fill =
     if occ > t.max_occupancy then t.max_occupancy <- occ;
     Pushed
   in
-  let rec wait_for_space spins =
-    if Atomic.get t.aborted then Aborted
+  (* [blocked_since]: wall instant the producer first found the ring full
+     under [`Block], so the total stall is reported once on unblocking. *)
+  let rec wait_for_space spins blocked_since =
+    let settle result =
+      (match (blocked_since, on_block) with
+      | Some t0, Some f -> f (Unix.gettimeofday () -. t0)
+      | _ -> ());
+      result
+    in
+    if Atomic.get t.aborted then settle Aborted
     else
       let tail = Atomic.get t.tail in
-      if tail - Atomic.get t.head < t.capacity then publish tail
+      if tail - Atomic.get t.head < t.capacity then settle (publish tail)
       else
         match policy with
         | `Block ->
+          let blocked_since =
+            match blocked_since with
+            | Some _ as s -> s
+            | None ->
+              if on_block = None then None else Some (Unix.gettimeofday ())
+          in
           backoff spins;
-          wait_for_space (spins + 1)
+          wait_for_space (spins + 1) blocked_since
         | `Shed ->
           (* The workload still advances: fill a private batch, count it,
              drop it.  Loss is accounted, never silent. *)
@@ -75,7 +89,7 @@ let produce t ~policy ~fill =
             (Atomic.get t.shed_packets + Arrival_batch.length t.scratch);
           Shed
   in
-  wait_for_space 0
+  wait_for_space 0 None
 
 let close t = Atomic.set t.closed true
 let abort t = Atomic.set t.aborted true

@@ -48,11 +48,19 @@ type push_result =
 
 val produce :
   t ->
+  ?on_block:(float -> unit) ->
   policy:[ `Block | `Shed ] ->
   fill:(Arrival_batch.t -> unit) ->
+  unit ->
   push_result
 (** Claim the next slot, [fill] its (cleared) batch, publish it.  [fill]
-    runs on the producer domain; it must not touch the ring. *)
+    runs on the producer domain; it must not touch the ring.
+
+    [on_block] is called (on the producer domain) with the seconds the
+    call spent waiting for space, only when it actually waited — i.e. only
+    under [`Block] with a full ring; shed mode never blocks and reports
+    nothing.  The stall clock is read only when [on_block] is supplied, so
+    the default path stays free of [gettimeofday] calls. *)
 
 val close : t -> unit
 (** Producer is done: after the ring drains, {!consume} returns [Drained].

@@ -104,6 +104,56 @@ let test_clear () =
   Histogram.add h 3.0;
   Alcotest.(check (float 1e-9)) "reusable" 3.0 (Histogram.mean h)
 
+let test_bucket_export () =
+  (* The exported (index, count) shape is complete (counts sum to the
+     histogram's count), sorted, and consistent with bucket_bounds: every
+     sample falls inside its bucket's edges. *)
+  let h = Histogram.create () in
+  let samples = [ 0.5; 1.5; 1.7; 42.0; 42.0; 9000.0 ] in
+  List.iter (Histogram.add h) samples;
+  let bpd = Histogram.buckets_per_decade h in
+  let buckets = Histogram.buckets h in
+  Alcotest.(check int)
+    "counts sum to count"
+    (Histogram.count h)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 buckets);
+  Alcotest.(check bool)
+    "sorted by index, all counts positive" true
+    (fst (List.fold_left
+            (fun (ok, prev) (i, c) -> (ok && i > prev && c > 0, i))
+            (true, -1) buckets));
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%g falls in an exported bucket" x)
+        true
+        (List.exists
+           (fun (i, _) ->
+             let lo, hi = Histogram.bucket_bounds ~buckets_per_decade:bpd i in
+             lo <= x && x < hi)
+           buckets))
+    samples;
+  (* Reconstruction: quantiles over the exported buckets agree with the
+     histogram's own (both interpolate the same shape; the external path
+     lacks the max_seen clamp, hence the loose bound). *)
+  List.iter
+    (fun q ->
+      let direct = Histogram.quantile h q in
+      let rebuilt =
+        Histogram.quantile_of_buckets ~buckets_per_decade:bpd buckets q
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f reconstructed within a bucket" q)
+        true
+        (abs_float (rebuilt -. direct) <= (0.35 *. direct) +. 1.0))
+    [ 0.25; 0.5; 0.9; 0.99 ];
+  Alcotest.(check (float 1e-9))
+    "empty bucket list" 0.0
+    (Histogram.quantile_of_buckets ~buckets_per_decade:10 [] 0.5);
+  match Histogram.bucket_bounds ~buckets_per_decade:10 (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative index accepted"
+
 let prop_median_within_bucket_error =
   QCheck2.Test.make ~name:"histogram median tracks exact median" ~count:100
     QCheck2.Gen.(list_size (int_range 10 200) (float_range 0.0 10000.0))
@@ -133,5 +183,6 @@ let suite =
     Alcotest.test_case "clamping" `Quick test_clamping;
     Alcotest.test_case "merge" `Quick test_merge;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "bucket export round-trip" `Quick test_bucket_export;
     Qc.to_alcotest prop_median_within_bucket_error;
   ]

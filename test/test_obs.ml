@@ -69,6 +69,8 @@ let all_kinds =
     Event.Slot_end { occupancy = 42 };
     Event.Reconfig { what = "policy"; target = "LQD" };
     Event.Reconfig { what = "buffer"; target = "128" };
+    Event.Health { rule = "p99_slot_time"; tripped = true; reason = "over" };
+    Event.Health { rule = "shed_rate"; tripped = false; reason = "recovered" };
     Event.Truncated { evicted = 19 };
   ]
 
@@ -90,6 +92,8 @@ let test_event_rejects_malformed () =
       {|{"ev":"arrival","slot":0,"src":"a","dest":0,"junk":1}|} (* extra *);
       {|{"ev":"arrival","slot":"0","src":"a","dest":0}|} (* ill-typed *);
       {|{"slot":0,"src":"a","dest":0}|} (* no ev *);
+      {|{"ev":"health","slot":0,"src":"a","rule":"r","state":"meh","reason":"x"}|}
+      (* bad health state *);
     ]
   in
   List.iter
@@ -180,13 +184,158 @@ let test_registry_summary_edge_cases () =
   | _ -> Alcotest.fail "unexpected empty snapshot shape");
   Registry.observe h 42.0;
   match Registry.snapshot reg with
-  | [ ("lat", Registry.Summary { n; mean; p50; p95; p99; max }) ] ->
+  | [ ("lat", Registry.Summary { n; mean; p50; p95; p99; max; _ }) ] ->
     Alcotest.(check int) "single n" 1 n;
     List.iter
       (fun (label, v) -> Alcotest.(check (float 1e-9)) label 42.0 v)
       [ ("single mean", mean); ("single p50", p50); ("single p95", p95);
         ("single p99", p99); ("single max", max) ]
   | _ -> Alcotest.fail "unexpected single snapshot shape"
+
+let test_registry_snapshot_buckets () =
+  (* Summaries carry the histogram's full bucket shape, and the JSONL line
+     adds the bucket fields without disturbing the old quantile keys. *)
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "lat" in
+  List.iter (Registry.observe h) [ 2.0; 4.0; 4.0; 900.0 ];
+  (match Registry.snapshot reg with
+  | [ ("lat", Registry.Summary { n; buckets_per_decade; buckets; _ }) ] ->
+    let hist = Registry.histogram_values h in
+    Alcotest.(check int) "n" 4 n;
+    Alcotest.(check int) "bpd matches the histogram"
+      (Smbm_prelude.Histogram.buckets_per_decade hist)
+      buckets_per_decade;
+    Alcotest.(check (list (pair int int)))
+      "buckets match the histogram"
+      (Smbm_prelude.Histogram.buckets hist)
+      buckets;
+    Alcotest.(check int) "bucket counts sum to n" n
+      (List.fold_left (fun acc (_, c) -> acc + c) 0 buckets)
+  | _ -> Alcotest.fail "unexpected snapshot shape");
+  match Registry.to_jsonl reg with
+  | [ line ] -> (
+    match Json.parse_flat line with
+    | Ok fields ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k fields))
+        [ "count"; "mean"; "p50"; "p95"; "p99"; "max"; "buckets_per_decade";
+          "buckets" ];
+      (match List.assoc "buckets" fields with
+      | Json.Str s ->
+        Alcotest.(check bool) "index:count pairs" true (String.contains s ':')
+      | _ -> Alcotest.fail "buckets not string-encoded")
+    | Error msg -> Alcotest.fail msg)
+  | lines ->
+    Alcotest.fail (Printf.sprintf "expected 1 line, got %d" (List.length lines))
+
+(* --- Rolling --- *)
+
+let test_rolling_window_expiry () =
+  (* All clocks injected: a 10s window over 10 one-second cells.  Writes
+     land in the cell of their instant and expire exactly when the window
+     slides past that cell — no wall-clock reads anywhere. *)
+  let r = Rolling.create ~window:10.0 ~buckets:10 () in
+  let c = Rolling.counter r "slots" in
+  Rolling.incr c ~now:100.0;
+  Rolling.add c ~now:104.9 3;
+  Rolling.incr c ~now:109.9;
+  Alcotest.(check int) "all live inside the window" 5
+    (Rolling.total c ~now:109.9);
+  Alcotest.(check int) "oldest cell expires at the boundary" 4
+    (Rolling.total c ~now:110.0);
+  Alcotest.(check int) "mid cell expires in turn" 1
+    (Rolling.total c ~now:115.0);
+  (* A jump far past the window wipes everything in O(buckets). *)
+  Alcotest.(check int) "all expired after a jump" 0
+    (Rolling.total c ~now:1_000_000.0);
+  (* A clock running backwards is benign: the write lands in the freshest
+     cell instead of resurrecting an old one. *)
+  Rolling.incr c ~now:999_999.0;
+  Alcotest.(check int) "backwards write still counted" 1
+    (Rolling.total c ~now:1_000_000.0);
+  match Rolling.create ~window:0.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "window <= 0 accepted"
+
+let test_rolling_rate_and_span () =
+  let r = Rolling.create ~window:10.0 ~buckets:10 () in
+  let c = Rolling.counter r "x" in
+  Rolling.add c ~now:100.0 8;
+  (* The denominator clamps to one cell width at startup (finite early
+     rates), grows with coverage, and caps at the window. *)
+  Alcotest.(check (float 1e-9)) "startup span" 1.0 (Rolling.span r ~now:100.0);
+  Alcotest.(check (float 1e-9)) "startup rate" 8.0 (Rolling.rate c ~now:100.0);
+  Alcotest.(check (float 1e-9)) "growing span" 5.0 (Rolling.span r ~now:105.0);
+  Alcotest.(check (float 1e-9)) "rate over covered seconds" 1.6
+    (Rolling.rate c ~now:105.0);
+  Alcotest.(check (float 1e-9)) "span caps at the window" 10.0
+    (Rolling.span r ~now:200.0);
+  Alcotest.(check (float 1e-9)) "stale data expired from the rate" 0.0
+    (Rolling.rate c ~now:200.0)
+
+let test_rolling_histogram_window () =
+  let r = Rolling.create ~window:10.0 ~buckets:10 () in
+  let h = Rolling.histogram r "slot_us" in
+  List.iter (Rolling.observe h ~now:100.0) [ 10.0; 10.0; 10.0; 1000.0 ];
+  Alcotest.(check int) "count" 4 (Rolling.hist_count h ~now:100.0);
+  let p50 = Rolling.quantile h ~now:100.0 0.5 in
+  Alcotest.(check bool) "p50 sits in the 10us bucket" true
+    (p50 >= 8.0 && p50 <= 14.0);
+  Rolling.observe h ~now:108.0 1000.0;
+  (* Sliding past the t=100 cell leaves only the late observation, and the
+     windowed quantile follows the surviving mass. *)
+  Alcotest.(check int) "expired down to the late cell" 1
+    (Rolling.hist_count h ~now:111.0);
+  Alcotest.(check bool) "p50 follows the window" true
+    (Rolling.quantile h ~now:111.0 0.5 > 500.0);
+  Alcotest.(check int) "empty after the window passes" 0
+    (Rolling.hist_count h ~now:200.0);
+  Alcotest.(check (float 1e-9)) "empty quantile" 0.0
+    (Rolling.quantile h ~now:200.0 0.5)
+
+let test_rolling_delta_rates () =
+  (* Two cumulative registry snapshots dt apart diff into counter rates and
+     a windowed distribution — the stats-socket client's whole trick. *)
+  let reg = Registry.create () in
+  let c = Registry.counter reg "arrivals" in
+  let g = Registry.gauge reg "occupancy" in
+  let h = Registry.histogram reg "lat" in
+  Registry.add c 100;
+  Registry.set g 5.0;
+  List.iter (Registry.observe h) [ 10.0; 10.0 ];
+  let earlier = Registry.snapshot reg in
+  Registry.add c 50;
+  Registry.set g 9.0;
+  List.iter (Registry.observe h) [ 1000.0; 1000.0; 1000.0 ];
+  let later = Registry.snapshot reg in
+  let d = Rolling.Delta.diff ~dt:5.0 ~earlier ~later in
+  Alcotest.(check (option int)) "counter delta" (Some 50)
+    (Rolling.Delta.delta d "arrivals");
+  Alcotest.(check (option (float 1e-9))) "counter rate" (Some 10.0)
+    (Rolling.Delta.rate d "arrivals");
+  Alcotest.(check (option int)) "gauges are skipped" None
+    (Rolling.Delta.delta d "occupancy");
+  Alcotest.(check (option int)) "interval observation count" (Some 3)
+    (Rolling.Delta.hist_count d "lat");
+  (match Rolling.Delta.quantile d "lat" 0.5 with
+  | Some q ->
+    (* The cumulative p50 is ~10us; the interval's is all new mass. *)
+    Alcotest.(check bool) "interval median is the new mass" true (q > 500.0)
+  | None -> Alcotest.fail "no interval quantile");
+  (* An instrument missing from [earlier] diffs against zero. *)
+  let d0 = Rolling.Delta.diff ~dt:2.0 ~earlier:[] ~later in
+  Alcotest.(check (option int)) "missing earlier diffs vs zero" (Some 150)
+    (Rolling.Delta.delta d0 "arrivals");
+  (* A racy regression clamps to zero rather than going negative. *)
+  let dneg = Rolling.Delta.diff ~dt:2.0 ~earlier:later ~later:earlier in
+  Alcotest.(check (option int)) "regression clamps" (Some 0)
+    (Rolling.Delta.delta dneg "arrivals");
+  Alcotest.(check (option int)) "bucket regression clamps" (Some 0)
+    (Rolling.Delta.hist_count dneg "lat");
+  match Rolling.Delta.diff ~dt:0.0 ~earlier ~later with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dt <= 0 accepted"
 
 (* --- Span --- *)
 
@@ -218,7 +367,29 @@ let test_span_nesting_and_report () =
     let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
     go 0
   in
-  Alcotest.(check bool) "report mentions outer" true (contains report "outer")
+  Alcotest.(check bool) "report mentions outer" true (contains report "outer");
+  (* The aggregate view groups records by name with exact counts. *)
+  (match Span.aggregate spans with
+  | [ ("boom", boom); ("inner", inner); ("outer", outer) ] ->
+    List.iter
+      (fun (label, (a : Span.agg)) -> Alcotest.(check int) label 1 a.Span.count)
+      [ ("boom count", boom); ("inner count", inner); ("outer count", outer) ];
+    Alcotest.(check bool) "outer wall covers inner" true
+      (outer.Span.wall >= inner.Span.wall);
+    Alcotest.(check (float 1e-9)) "mean of one is the wall" outer.Span.wall
+      outer.Span.wall_mean
+  | aggs ->
+    Alcotest.fail
+      (Printf.sprintf "expected 3 aggregates, got %d" (List.length aggs)))
+
+let test_progress_bar () =
+  Alcotest.(check string) "empty" "[..........]" (Progress.bar ~width:10 0.0);
+  Alcotest.(check string) "full" "[##########]" (Progress.bar ~width:10 1.0);
+  Alcotest.(check string) "half" "[#####.....]" (Progress.bar ~width:10 0.5);
+  Alcotest.(check string) "clamped below" "[..........]"
+    (Progress.bar ~width:10 (-3.0));
+  Alcotest.(check string) "clamped above" "[##########]"
+    (Progress.bar ~width:10 7.0)
 
 (* --- Engine-level: events match metrics, recording changes nothing --- *)
 
@@ -377,7 +548,15 @@ let suite =
     Alcotest.test_case "registry" `Quick test_registry_counters_and_snapshot;
     Alcotest.test_case "registry summary edge cases" `Quick
       test_registry_summary_edge_cases;
+    Alcotest.test_case "registry snapshots carry buckets" `Quick
+      test_registry_snapshot_buckets;
+    Alcotest.test_case "rolling window expiry" `Quick test_rolling_window_expiry;
+    Alcotest.test_case "rolling rate and span" `Quick test_rolling_rate_and_span;
+    Alcotest.test_case "rolling histogram quantiles" `Quick
+      test_rolling_histogram_window;
+    Alcotest.test_case "rolling delta rates" `Quick test_rolling_delta_rates;
     Alcotest.test_case "span nesting" `Quick test_span_nesting_and_report;
+    Alcotest.test_case "progress bar" `Quick test_progress_bar;
     Alcotest.test_case "engine events match metrics" `Quick
       test_engine_events_match_metrics;
     Alcotest.test_case "traced panel: no observer effect, j1 = j4" `Slow

@@ -31,7 +31,7 @@ let test_ring_shed_accounting () =
     done
   in
   let results =
-    List.init 5 (fun _ -> Spsc_ring.produce ring ~policy:`Shed ~fill)
+    List.init 5 (fun _ -> Spsc_ring.produce ring ~policy:`Shed ~fill ())
   in
   Alcotest.(check (list bool))
     "first two pushed, rest shed"
@@ -65,11 +65,11 @@ let test_ring_abort_unblocks_producer () =
   let fill b = Arrival_batch.push b ~dest:0 ~value:1 in
   Alcotest.(check bool)
     "first push lands" true
-    (Spsc_ring.produce ring ~policy:`Block ~fill = Spsc_ring.Pushed);
+    (Spsc_ring.produce ring ~policy:`Block ~fill () = Spsc_ring.Pushed);
   (* Ring is now full; a blocking producer on another domain can only
      return once the consumer aborts. *)
   let producer =
-    Domain.spawn (fun () -> Spsc_ring.produce ring ~policy:`Block ~fill)
+    Domain.spawn (fun () -> Spsc_ring.produce ring ~policy:`Block ~fill ())
   in
   Unix.sleepf 0.02;
   Spsc_ring.abort ring;
@@ -102,7 +102,7 @@ let prop_ring_transit_bit_identity =
             for _ = 1 to slots do
               match
                 Spsc_ring.produce ring ~policy:`Block
-                  ~fill:(Workload.next_into w_ring)
+                  ~fill:(Workload.next_into w_ring) ()
               with
               | Spsc_ring.Pushed -> ()
               | Spsc_ring.Shed | Spsc_ring.Aborted ->
