@@ -27,6 +27,24 @@
      the arrival pipeline itself — generation, representation, delivery —
      the part this bench gates (speedup >= 2x, allocation >= 5x lower).
 
+   - e2e/flat/<model>/<size>/{linked,flat}/{slots_per_sec,minor_words_per_slot}
+     e2e/flat/<model>/<size>/speedup     sizes n4, n64, n256, n1024
+     e2e/flat/proc/target_slots_per_sec  (the 10M hot-cell target)
+     The raw switch slot loop — occupancy-conserving fuzzed arrivals,
+     fields-based transmission, slot advance — on the linked versus the
+     flat struct-of-arrays backend, across a size panel from the paper's
+     contiguous 4-port switch (the hot cell, where the flat backend must
+     clear the recorded 10M slots/s target) up to 1024 unit-work ports.
+     Nothing sits between the loop and the switch — no workload
+     generation, no metrics, no policy admission (whose shared threshold
+     arithmetic is identical on both arms and is priced by the point
+     cells and bench/hotpath.ml) — so this is the representation cost
+     itself: where the linked backend pays a packet record plus a queue
+     node per arrival and pointer-chases cold heap nodes at scale, the
+     flat backend re-links integer slots in place.  CI gates the
+     flat/linked ratio (floor 3x on proc at n256), every speedup against
+     the committed baseline, and the near-zero flat minor words/slot.
+
    The committed repo-root BENCH_e2e.json is this file at the default
    scale; CI regenerates it at the same scale and gates with
    `smbm_cli bench-diff` on the speedup ratios, the alloc_improvement
@@ -42,6 +60,7 @@ open Smbm_sim
 let slots = ref 4_000
 let sources = ref 50
 let repeats = ref 3
+let flat_scale = ref 1.0
 let out = ref "BENCH_e2e.json"
 
 let () =
@@ -52,10 +71,13 @@ let () =
       ( "--repeats",
         Arg.Set_int repeats,
         "R  timed runs per cell (the best rate is kept)" );
+      ( "--flat-scale",
+        Arg.Set_float flat_scale,
+        "X  multiplier on the flat-backend cells' slot counts" );
       ("--out", Arg.Set_string out, "FILE  JSONL output path");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "e2e [--slots N] [--sources S] [--repeats R] [--out FILE]"
+    "e2e [--slots N] [--sources S] [--repeats R] [--flat-scale X] [--out FILE]"
 
 let base () =
   {
@@ -168,6 +190,89 @@ let pipeline_cell ~model ~pipeline =
           b_axis_xs;
         total_slots)
 
+(* ----- flat cells: the raw switch slot loop across a size panel ----- *)
+
+(* Deterministic private arrival stream; both backends replay the same
+   sequence (the three-way lockstep suite proves the states stay
+   bit-identical, so equal work is being timed). *)
+let lcg seed =
+  let s = ref seed in
+  fun bound ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod bound
+
+(* (row label, ports, buffer, timed slots).  The n4 row is the hot cell;
+   the scale rows grow the working set past cache so the linked backend's
+   pointer-chasing shows its real cost. *)
+let flat_sizes =
+  [
+    ("n4", 4, 64, 600_000);
+    ("n64", 64, 16_384, 20_000);
+    ("n256", 256, 65_536, 6_000);
+    ("n1024", 1024, 262_144, 1_000);
+  ]
+
+let flat_row_slots slots =
+  max 1 (int_of_float (float_of_int slots *. !flat_scale))
+
+(* One switch per cell, filled once; the timed loop re-accepts exactly
+   what each slot transmitted, so occupancy is conserved and every repeat
+   times the same steady-state churn (fill and flush stay outside). *)
+let flat_proc_cell ~n ~buffer ~slots ~backend =
+  (* The hot cell runs the paper's contiguous configuration (works 1..4);
+     the scale rows run unit works — the classical shared-memory switch —
+     so every port completes a packet every slot, maximizing churn. *)
+  let config =
+    if n <= 4 then Smbm_core.Proc_config.contiguous ~k:n ~buffer ()
+    else Smbm_core.Proc_config.uniform ~n ~work:1 ~buffer ()
+  in
+  let sw = Smbm_core.Proc_switch.create ~backend config in
+  let next = lcg 0x5eed in
+  let d = ref 0 in
+  while not (Smbm_core.Proc_switch.is_full sw) do
+    Smbm_core.Proc_switch.accept_unit sw ~dest:(!d mod n);
+    incr d
+  done;
+  measure (fun () ->
+      for _ = 1 to slots do
+        let freed =
+          Smbm_core.Proc_switch.transmit_phase_fields sw
+            ~on_transmit:(fun ~dest:_ ~arrival:_ -> ())
+        in
+        Smbm_core.Proc_switch.advance_slot sw;
+        for _ = 1 to freed do
+          Smbm_core.Proc_switch.accept_unit sw ~dest:(next n)
+        done
+      done;
+      slots)
+
+let flat_value_cell ~n ~buffer ~slots ~backend =
+  let k = 16 in
+  let config =
+    Smbm_core.Value_config.make ~ports:n ~max_value:k ~buffer ()
+  in
+  let sw = Smbm_core.Value_switch.create ~backend config in
+  let next = lcg 0x5eed in
+  let d = ref 0 in
+  while not (Smbm_core.Value_switch.is_full sw) do
+    Smbm_core.Value_switch.accept_unit sw ~dest:(!d mod n)
+      ~value:(next k + 1);
+    incr d
+  done;
+  measure (fun () ->
+      for _ = 1 to slots do
+        let freed =
+          Smbm_core.Value_switch.transmit_phase_fields sw
+            ~on_transmit:(fun ~dest:_ ~value:_ ~arrival:_ -> ())
+        in
+        Smbm_core.Value_switch.advance_slot sw;
+        for _ = 1 to freed do
+          Smbm_core.Value_switch.accept_unit sw ~dest:(next n)
+            ~value:(next k + 1)
+        done
+      done;
+      slots)
+
 let () =
   let reg = Smbm_obs.Registry.create () in
   let gauge name v = Smbm_obs.Registry.set (Smbm_obs.Registry.gauge reg name) v in
@@ -195,6 +300,29 @@ let () =
   in
   family "point" point_cell;
   family "pipeline" pipeline_cell;
+  List.iter
+    (fun (name, cell) ->
+      List.iter
+        (fun (size, n, buffer, slots) ->
+          let slots = flat_row_slots slots in
+          let linked_rate, linked_words = cell ~n ~buffer ~slots ~backend:`Linked in
+          let flat_rate, flat_words = cell ~n ~buffer ~slots ~backend:`Flat in
+          let prefix = "e2e/flat/" ^ name ^ "/" ^ size in
+          gauge (prefix ^ "/linked/slots_per_sec") linked_rate;
+          gauge (prefix ^ "/flat/slots_per_sec") flat_rate;
+          gauge (prefix ^ "/linked/minor_words_per_slot") linked_words;
+          gauge (prefix ^ "/flat/minor_words_per_slot") flat_words;
+          gauge (prefix ^ "/speedup") (flat_rate /. linked_rate);
+          Printf.printf
+            "%-28s linked %8.0f slots/s %8.1f w/slot   flat %8.0f slots/s \
+             %8.2f w/slot   speedup %.2fx\n\
+             %!"
+            ("flat/" ^ name ^ "/" ^ size)
+            linked_rate linked_words flat_rate flat_words
+            (flat_rate /. linked_rate))
+        flat_sizes)
+    [ ("proc", flat_proc_cell); ("value", flat_value_cell) ];
+  gauge "e2e/flat/proc/target_slots_per_sec" 10_000_000.0;
   let oc = open_out !out in
   List.iter
     (fun line -> output_string oc (line ^ "\n"))

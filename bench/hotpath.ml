@@ -1,20 +1,26 @@
 (* Admission hot-path throughput: arrivals/sec per push-out policy with the
    buffer held at capacity — every arrival exercises victim selection — for
-   both victim-selection implementations ([`Scan]: the original O(n)
-   rescans; [`Indexed]: the switches' incremental O(log n) indexes).
+   all three implementations ([`Scan]: the original O(n) rescans;
+   [`Indexed]: incremental O(log n) indexes over the linked queues;
+   [`Flat]: the same indexed selection over the struct-of-arrays backend).
 
      dune exec bench/hotpath.exe -- [--arrivals N] [--repeats R] [--out FILE]
 
-   Emits one gauge per (model, policy, n, impl) plus the indexed/scan
-   speedup ratio, as JSONL (Smbm_obs.Registry) to FILE — the committed
-   repo-root BENCH_hotpath.json is this file at the default scale; CI
-   regenerates it at reduced scale and diffs the speedup ratios with
+   Emits one gauge per (model, policy, n, impl) plus two ratios —
+   indexed/scan under .../speedup and flat/indexed under .../flat/speedup
+   (both auto-gated by bench-diff) — as JSONL (Smbm_obs.Registry) to FILE.
+   The committed repo-root BENCH_hotpath.json is this file at the default
+   scale; CI regenerates it at reduced scale and diffs the ratios with
    `smbm_cli bench-diff` (ratios, unlike raw arrivals/sec, transfer
    between machines).
 
-   Both implementations see the identical arrival stream (a private LCG,
-   fixed seed) and make bit-identical decisions — the oracle suite proves
-   that — so the ratio isolates selection cost. *)
+   All implementations see the identical arrival stream (a private LCG,
+   fixed seed) and make bit-identical decisions — the oracle and lockstep
+   suites prove that — so the ratios isolate selection and representation
+   cost.  The admission loop runs through the policy layer, whose decision
+   arithmetic is shared by all arms, so the flat ratios here are diluted
+   end-to-end numbers; bench/e2e.ml's flat family isolates the bare
+   backend cost. *)
 
 open Smbm_core
 
@@ -64,11 +70,11 @@ let best_of ~batch =
 let run_proc ~n ~impl mk =
   let config = Proc_config.contiguous ~k:n ~buffer:(4 * n) () in
   let policy = mk impl config in
-  let sw = Proc_switch.create config in
+  let sw = Proc_switch.create ~backend:policy.Proc_policy.backend config in
   let next = lcg 0x5eed in
   let fill () =
     while not (Proc_switch.is_full sw) do
-      ignore (Proc_switch.accept sw ~dest:(next n))
+      Proc_switch.accept_unit sw ~dest:(next n)
     done
   in
   fill ();
@@ -76,13 +82,15 @@ let run_proc ~n ~impl mk =
       for i = 1 to count do
         let dest = next n in
         (match Proc_policy.admit policy sw ~dest with
-        | Decision.Accept -> ignore (Proc_switch.accept sw ~dest)
+        | Decision.Accept -> Proc_switch.accept_unit sw ~dest
         | Decision.Push_out { victim } ->
-          ignore (Proc_switch.push_out sw ~victim);
-          ignore (Proc_switch.accept sw ~dest)
+          Proc_switch.push_out_unit sw ~victim;
+          Proc_switch.accept_unit sw ~dest
         | Decision.Drop -> ());
         if i land 1023 = 0 then begin
-          ignore (Proc_switch.transmit_phase sw ~on_transmit:ignore);
+          ignore
+            (Proc_switch.transmit_phase_fields sw
+               ~on_transmit:(fun ~dest:_ ~arrival:_ -> ()));
           fill ()
         end
       done)
@@ -92,11 +100,11 @@ let run_proc ~n ~impl mk =
 let run_value ~n ~impl mk =
   let config = Value_config.make ~ports:n ~max_value:16 ~buffer:(4 * n) () in
   let policy = mk impl config in
-  let sw = Value_switch.create config in
+  let sw = Value_switch.create ~backend:policy.Value_policy.backend config in
   let next = lcg 0x5eed in
   let fill () =
     while not (Value_switch.is_full sw) do
-      ignore (Value_switch.accept sw ~dest:(next n) ~value:(next 16 + 1))
+      Value_switch.accept_unit sw ~dest:(next n) ~value:(next 16 + 1)
     done
   in
   fill ();
@@ -104,13 +112,15 @@ let run_value ~n ~impl mk =
       for i = 1 to count do
         let dest = next n and value = next 16 + 1 in
         (match Value_policy.admit policy sw ~dest ~value with
-        | Decision.Accept -> ignore (Value_switch.accept sw ~dest ~value)
+        | Decision.Accept -> Value_switch.accept_unit sw ~dest ~value
         | Decision.Push_out { victim } ->
-          ignore (Value_switch.push_out sw ~victim);
-          ignore (Value_switch.accept sw ~dest ~value)
+          ignore (Value_switch.push_out_lost sw ~victim : int);
+          Value_switch.accept_unit sw ~dest ~value
         | Decision.Drop -> ());
         if i land 1023 = 0 then begin
-          ignore (Value_switch.transmit_phase sw ~on_transmit:ignore);
+          ignore
+            (Value_switch.transmit_phase_fields sw
+               ~on_transmit:(fun ~dest:_ ~value:_ ~arrival:_ -> ()));
           fill ()
         end
       done)
@@ -132,18 +142,27 @@ let value_policies =
 
 let () =
   let reg = Smbm_obs.Registry.create () in
-  let record ~model ~name ~n ~rate_scan ~rate_indexed =
+  let record ~model ~name ~n ~rate_scan ~rate_indexed ~rate_flat =
     let base = Printf.sprintf "hotpath/%s/%s/n%d" model name n in
     Smbm_obs.Registry.set (Smbm_obs.Registry.gauge reg (base ^ "/scan")) rate_scan;
     Smbm_obs.Registry.set
       (Smbm_obs.Registry.gauge reg (base ^ "/indexed"))
       rate_indexed;
+    Smbm_obs.Registry.set (Smbm_obs.Registry.gauge reg (base ^ "/flat")) rate_flat;
     Smbm_obs.Registry.set
       (Smbm_obs.Registry.gauge reg (base ^ "/speedup"))
       (rate_indexed /. rate_scan);
-    Printf.printf "%-28s scan %10.0f/s   indexed %10.0f/s   speedup %.2fx\n%!"
+    Smbm_obs.Registry.set
+      (Smbm_obs.Registry.gauge reg (base ^ "/flat/speedup"))
+      (rate_flat /. rate_indexed);
+    Printf.printf
+      "%-28s scan %10.0f/s   indexed %10.0f/s (%.2fx)   flat %10.0f/s \
+       (%.2fx)\n\
+       %!"
       base rate_scan rate_indexed
       (rate_indexed /. rate_scan)
+      rate_flat
+      (rate_flat /. rate_indexed)
   in
   List.iter
     (fun n ->
@@ -151,13 +170,15 @@ let () =
         (fun (name, mk) ->
           let rate_scan = run_proc ~n ~impl:`Scan mk in
           let rate_indexed = run_proc ~n ~impl:`Indexed mk in
-          record ~model:"proc" ~name ~n ~rate_scan ~rate_indexed)
+          let rate_flat = run_proc ~n ~impl:`Flat mk in
+          record ~model:"proc" ~name ~n ~rate_scan ~rate_indexed ~rate_flat)
         proc_policies;
       List.iter
         (fun (name, mk) ->
           let rate_scan = run_value ~n ~impl:`Scan mk in
           let rate_indexed = run_value ~n ~impl:`Indexed mk in
-          record ~model:"value" ~name ~n ~rate_scan ~rate_indexed)
+          let rate_flat = run_value ~n ~impl:`Flat mk in
+          record ~model:"value" ~name ~n ~rate_scan ~rate_indexed ~rate_flat)
         value_policies)
     sizes;
   let oc = open_out !out in

@@ -47,9 +47,21 @@ let n t = t.n
 let invalidate t j =
   if j < 0 || j >= t.n then invalid_arg "Agg_index.invalidate: bad index";
   let i = ref ((t.leaves + j) / 2) in
-  while !i >= 1 do
-    t.tree.(!i) <- combine t t.tree.(2 * !i) t.tree.((2 * !i) + 1);
-    i := !i / 2
+  let continue_ = ref true in
+  while !continue_ && !i >= 1 do
+    let w = combine t t.tree.(2 * !i) t.tree.((2 * !i) + 1) in
+    (* Early exit: if the match outcome is unchanged and the winner is not
+       the invalidated element, every node above compares the same
+       candidates in the same states — their outcomes stand.  (If a node
+       above stored [j], then [j] won every match below it, including this
+       one, so [w = tree.(i) <> j] rules that out.)  Most mutations leave
+       the local winner alone, so this turns the O(log n) climb into O(1)
+       amortized — it is the admission hot path's index-maintenance cost. *)
+    if w = t.tree.(!i) && w <> j then continue_ := false
+    else begin
+      t.tree.(!i) <- w;
+      i := !i / 2
+    end
   done
 
 let top t = t.tree.(1)

@@ -50,10 +50,13 @@ let select_victim ~protect_last sw =
 
 let make ?(protect_last = false) ?(impl = `Indexed) _config =
   let name = if protect_last then "BPD1" else "BPD" in
+  let backend =
+    match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
+  in
   let select =
     match impl with
     | `Scan -> select_victim_scan ~protect_last
-    | `Indexed ->
+    | `Indexed | `Flat ->
       let cache = ref None in
       fun sw ->
         let idx =
@@ -66,7 +69,7 @@ let make ?(protect_last = false) ?(impl = `Indexed) _config =
         in
         select_victim_indexed ~protect_last idx sw
   in
-  Proc_policy.make ~name ~push_out:true (fun sw ~dest ->
+  Proc_policy.make ~backend ~name ~push_out:true (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d
       | None -> (

@@ -14,11 +14,11 @@
     packets), avoiding the artificial deactivation of output ports. *)
 
 val make :
-  ?protect_last:bool -> ?impl:[ `Indexed | `Scan ] -> Proc_config.t ->
+  ?protect_last:bool -> ?impl:[ `Indexed | `Scan | `Flat ] -> Proc_config.t ->
   Proc_policy.t
 (** [~impl] picks the victim selection: [`Indexed] (default) reads the
     argmax off the switch's incremental index in O(log n); [`Scan] keeps
-    the original O(n) rescans.  Both make bit-identical decisions. *)
+    the original O(n) rescans.  Both make bit-identical decisions; [`Flat] is [`Indexed] selection plus a request for the switch's flat struct-of-arrays backend (see {!Proc_switch}). *)
 
 val select_victim : protect_last:bool -> Proc_switch.t -> int option
 (** The queue BPD would evict from: the non-empty (length >= 2 when

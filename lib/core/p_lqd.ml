@@ -52,10 +52,13 @@ let select_victim_indexed idx sw ~dest =
 let select_victim sw ~dest = select_victim_indexed (index sw) sw ~dest
 
 let make ?(impl = `Indexed) _config =
+  let backend =
+    match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
+  in
   let select =
     match impl with
     | `Scan -> fun sw ~dest -> select_victim_scan sw ~dest
-    | `Indexed ->
+    | `Indexed | `Flat ->
       let cache = ref None in
       fun sw ~dest ->
         let idx =
@@ -68,7 +71,7 @@ let make ?(impl = `Indexed) _config =
         in
         select_victim_indexed idx sw ~dest
   in
-  Proc_policy.make ~name:"LQD" ~push_out:true (fun sw ~dest ->
+  Proc_policy.make ~backend ~name:"LQD" ~push_out:true (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d
       | None ->

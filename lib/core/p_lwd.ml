@@ -107,10 +107,13 @@ let name ~protect_last ~tie =
 
 let make ?(protect_last = false) ?(tie = Largest_work) ?(impl = `Indexed)
     _config =
+  let backend =
+    match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
+  in
   let select =
     match impl with
     | `Scan -> fun sw ~dest -> select_victim_scan ~protect_last ~tie sw ~dest
-    | `Indexed ->
+    | `Indexed | `Flat ->
       let cache = ref None in
       fun sw ~dest ->
         let idx =
@@ -123,7 +126,7 @@ let make ?(protect_last = false) ?(tie = Largest_work) ?(impl = `Indexed)
         in
         select_victim_indexed ~protect_last ~tie idx sw ~dest
   in
-  Proc_policy.make ~name:(name ~protect_last ~tie) ~push_out:true
+  Proc_policy.make ~backend ~name:(name ~protect_last ~tie) ~push_out:true
     (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d

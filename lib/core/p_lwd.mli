@@ -26,14 +26,14 @@ type tie =
 val make :
   ?protect_last:bool ->
   ?tie:tie ->
-  ?impl:[ `Indexed | `Scan ] ->
+  ?impl:[ `Indexed | `Scan | `Flat ] ->
   Proc_config.t ->
   Proc_policy.t
 (** The policy is named ["LWD"], ["LWD1"] when protecting last packets, and
     ["LWD/tie=..."] for non-default tie-breaking.  [~impl] picks the victim
     selection: [`Indexed] (default) answers the argmax in O(log n) from the
     switch's incremental index; [`Scan] keeps the original O(n) rescans.
-    Both make bit-identical decisions. *)
+    Both make bit-identical decisions; [`Flat] is [`Indexed] selection plus a request for the switch's flat struct-of-arrays backend (see {!Proc_switch}). *)
 
 val select_victim :
   ?protect_last:bool -> ?tie:tie -> Proc_switch.t -> dest:int -> int option

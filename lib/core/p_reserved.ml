@@ -99,11 +99,14 @@ let make ~reserve ?(impl = `Indexed) config =
   if Proc_config.n config * reserve > config.Proc_config.buffer then
     invalid_arg "P_reserved.make: reservations exceed the buffer";
   let name = Printf.sprintf "RSV(%d)" reserve in
+  let backend =
+    match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
+  in
   let select_pool, select_reclaim =
     match impl with
     | `Scan ->
       (select_pool_victim_scan ~reserve, select_reclaim_victim_scan ~reserve)
-    | `Indexed ->
+    | `Indexed | `Flat ->
       let cache = ref None in
       let indexes sw =
         match !cache with
@@ -121,7 +124,7 @@ let make ~reserve ?(impl = `Indexed) config =
           let _, reclaim = indexes sw in
           select_reclaim_victim_indexed ~reserve reclaim sw ~dest )
   in
-  Proc_policy.make ~name ~push_out:true (fun sw ~dest ->
+  Proc_policy.make ~backend ~name ~push_out:true (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d
       | None ->

@@ -16,9 +16,10 @@
     reservation). *)
 
 val make :
-  reserve:int -> ?impl:[ `Indexed | `Scan ] -> Proc_config.t -> Proc_policy.t
+  reserve:int -> ?impl:[ `Indexed | `Scan | `Flat ] -> Proc_config.t -> Proc_policy.t
 (** [~impl] picks the victim selection: [`Indexed] (default) answers both
     branches' argmaxes in O(log n) from the switch's incremental indexes;
     [`Scan] keeps the original O(n) rescans.  Both make bit-identical
-    decisions.
+    decisions; [`Flat] is [`Indexed] selection plus a request for the
+    switch's flat struct-of-arrays backend (see {!Proc_switch}).
     @raise Invalid_argument if [reserve < 0] or [n * reserve > B]. *)

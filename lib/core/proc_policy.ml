@@ -1,10 +1,14 @@
 type t = {
   name : string;
   push_out : bool;
+  backend : Proc_switch.backend;
   admit : Proc_switch.t -> dest:int -> Decision.t;
 }
 
-let make ~name ~push_out admit = { name; push_out; admit }
+let make ?(backend = `Linked) ~name ~push_out admit =
+  { name; push_out; backend; admit }
+
+let with_backend backend t = { t with backend }
 let admit t sw ~dest = t.admit sw ~dest
 
 let greedy_accept sw =

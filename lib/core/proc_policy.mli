@@ -10,11 +10,24 @@ type t = {
   name : string;
   push_out : bool;
       (** whether the policy ever evicts admitted packets; informational *)
+  backend : Proc_switch.backend;
+      (** which switch representation engines should create for this policy
+          (policies built with [~impl:`Flat] request the flat backend;
+          default [`Linked]).  Purely a creation-time hint — policies read
+          the switch through representation-independent accessors and work
+          on either backend. *)
   admit : Proc_switch.t -> dest:int -> Decision.t;
 }
 
 val make :
-  name:string -> push_out:bool -> (Proc_switch.t -> dest:int -> Decision.t) -> t
+  ?backend:Proc_switch.backend ->
+  name:string ->
+  push_out:bool ->
+  (Proc_switch.t -> dest:int -> Decision.t) ->
+  t
+
+val with_backend : Proc_switch.backend -> t -> t
+(** Same policy, different creation-time backend hint. *)
 
 val admit : t -> Proc_switch.t -> dest:int -> Decision.t
 

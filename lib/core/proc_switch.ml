@@ -1,6 +1,34 @@
+open Smbm_prelude
+
+type backend = [ `Linked | `Flat ]
+
+(* Flat backend: one struct-of-arrays slab of [cap] packet slots (columns:
+   residual work, arrival slot, packet id) with a free-list stack, and one
+   contiguous ring of slot ids per port replacing the boxed
+   Packet.Proc.t-in-Deque representation.  A warmed switch performs accept,
+   push-out and transmission without allocating: the engine-facing
+   [accept_unit]/[push_out_unit]/[transmit_phase_fields] entry points never
+   materialize packet records.  The packet-returning API remains available
+   on this backend for tests and analyses; it returns fresh snapshot
+   records read off the columns. *)
+type flat = {
+  works : int array; (* per-port required work (configuration copy) *)
+  mutable cap : int; (* slab capacity; grows with set_buffer, never shrinks *)
+  mutable residual : int array; (* columns, indexed by slot id *)
+  mutable arrival : int array;
+  mutable pid : int array;
+  mutable free : int array; (* stack of free slot ids *)
+  mutable free_top : int;
+  rings : Int_ring.t array; (* per-port FIFO of occupied slot ids *)
+  qwork : int array; (* per-port total residual work (W_i) *)
+}
+
+type repr = Linked of Work_queue.t array | Flat of flat
+
 type t = {
   config : Proc_config.t;
-  queues : Work_queue.t array;
+  n : int;
+  repr : repr;
   mutable buffer : int;
   mutable occupancy : int;
   mutable occupied_work : int;
@@ -9,14 +37,33 @@ type t = {
   mutable indexes : (string * Agg_index.t) list;
 }
 
-let create (config : Proc_config.t) =
-  let queues =
-    Array.init (Proc_config.n config) (fun i ->
-        Work_queue.create ~work:(Proc_config.work config i))
+let create ?(backend = `Linked) (config : Proc_config.t) =
+  let n = Proc_config.n config in
+  let repr =
+    match backend with
+    | `Linked ->
+      Linked
+        (Array.init n (fun i ->
+             Work_queue.create ~work:(Proc_config.work config i)))
+    | `Flat ->
+      let cap = config.Proc_config.buffer in
+      Flat
+        {
+          works = Array.init n (Proc_config.work config);
+          cap;
+          residual = Array.make cap 0;
+          arrival = Array.make cap 0;
+          pid = Array.make cap 0;
+          free = Array.init cap (fun s -> s);
+          free_top = cap;
+          rings = Array.init n (fun _ -> Int_ring.create ());
+          qwork = Array.make n 0;
+        }
   in
   {
     config;
-    queues;
+    n;
+    repr;
     buffer = config.Proc_config.buffer;
     occupancy = 0;
     occupied_work = 0;
@@ -26,15 +73,38 @@ let create (config : Proc_config.t) =
   }
 
 let config t = t.config
-let n t = Array.length t.queues
+let n t = t.n
+let backend t = match t.repr with Linked _ -> `Linked | Flat _ -> `Flat
 let buffer t = t.buffer
+
+let grow_flat f cap' =
+  let grow a =
+    let a' = Array.make cap' 0 in
+    Array.blit a 0 a' 0 f.cap;
+    a'
+  in
+  f.residual <- grow f.residual;
+  f.arrival <- grow f.arrival;
+  f.pid <- grow f.pid;
+  let free' = Array.make cap' 0 in
+  Array.blit f.free 0 free' 0 f.free_top;
+  f.free <- free';
+  for s = f.cap to cap' - 1 do
+    f.free.(f.free_top) <- s;
+    f.free_top <- f.free_top + 1
+  done;
+  f.cap <- cap'
 
 let set_buffer t b =
   if b < 1 then invalid_arg "Proc_switch.set_buffer: buffer must be >= 1";
   if b < t.occupancy then
     invalid_arg
       "Proc_switch.set_buffer: new buffer smaller than current occupancy";
+  (match t.repr with
+  | Linked _ -> ()
+  | Flat f -> if b > f.cap then grow_flat f b);
   t.buffer <- b
+
 let speedup t = t.config.Proc_config.speedup
 let now t = t.now
 let advance_slot t = t.now <- t.now + 1
@@ -42,21 +112,44 @@ let occupancy t = t.occupancy
 let free_space t = buffer t - t.occupancy
 let is_full t = t.occupancy >= buffer t
 
-let queue t i =
-  if i < 0 || i >= n t then invalid_arg "Proc_switch.queue: bad port";
-  t.queues.(i)
+let check_port t i name =
+  if i < 0 || i >= t.n then invalid_arg ("Proc_switch." ^ name ^ ": bad port")
 
-let queue_length t i = Work_queue.length (queue t i)
-let queue_work t i = Work_queue.total_work (queue t i)
+let queue t i =
+  check_port t i "queue";
+  match t.repr with
+  | Linked qs -> qs.(i)
+  | Flat _ -> invalid_arg "Proc_switch.queue: not available on the flat backend"
+
+let queue_length t i =
+  check_port t i "queue_length";
+  match t.repr with
+  | Linked qs -> Work_queue.length qs.(i)
+  | Flat f -> Int_ring.length f.rings.(i)
+
+let queue_work t i =
+  check_port t i "queue_work";
+  match t.repr with
+  | Linked qs -> Work_queue.total_work qs.(i)
+  | Flat f -> f.qwork.(i)
+
 let port_work t i = Proc_config.work t.config i
 let total_occupied_work t = t.occupied_work
 
 (* ----- victim-selection indexes ----- *)
 
-let touch t i =
-  match t.indexes with
+(* Hand-rolled traversal: [List.iter] with a lambda capturing [i] would
+   allocate a closure on every mutation — [touch] runs for each accept,
+   push-out and transmission, so that was the hot path's whole minor-heap
+   footprint. *)
+let rec touch_list indexes i =
+  match indexes with
   | [] -> ()
-  | indexes -> List.iter (fun (_, idx) -> Agg_index.invalidate idx i) indexes
+  | (_, idx) :: rest ->
+    Agg_index.invalidate idx i;
+    touch_list rest i
+
+let touch t i = touch_list t.indexes i
 
 let touch_all t =
   List.iter (fun (_, idx) -> Agg_index.refresh idx) t.indexes
@@ -65,15 +158,35 @@ let find_index t ~key ~better =
   match List.assoc_opt key t.indexes with
   | Some idx -> idx
   | None ->
-    let idx = Agg_index.create ~n:(n t) ~better in
+    let idx = Agg_index.create ~n:t.n ~better in
     t.indexes <- (key, idx) :: t.indexes;
     idx
 
 (* ----- mutations (every one keeps the aggregates in sync) ----- *)
 
-let accept t ~dest =
-  if is_full t then invalid_arg "Proc_switch.accept: buffer full";
-  let q = queue t dest in
+(* Insert into the flat state and return the slot id.  The caller has
+   already validated capacity and the destination port. *)
+(* Slot ids and the free stack stay inside [0, cap) / [0, cap] by the slab
+   invariants ([check_invariants_flat] proves them), and [dest]/[victim]
+   are validated by the public entry points — so the column accesses here
+   skip the bounds check.  This is the per-packet hot path. *)
+let flat_insert t f ~dest =
+  let s = Array.unsafe_get f.free (f.free_top - 1) in
+  f.free_top <- f.free_top - 1;
+  let work = Array.unsafe_get f.works dest in
+  Array.unsafe_set f.residual s work;
+  Array.unsafe_set f.arrival s t.now;
+  Array.unsafe_set f.pid s t.next_id;
+  t.next_id <- t.next_id + 1;
+  Int_ring.push_back (Array.unsafe_get f.rings dest) s;
+  Array.unsafe_set f.qwork dest (Array.unsafe_get f.qwork dest + work);
+  t.occupancy <- t.occupancy + 1;
+  t.occupied_work <- t.occupied_work + work;
+  touch t dest;
+  s
+
+let accept_linked t qs ~dest =
+  let q = qs.(dest) in
   let p =
     Packet.Proc.make ~id:t.next_id ~dest ~work:(Work_queue.work q)
       ~arrival:t.now
@@ -85,18 +198,74 @@ let accept t ~dest =
   touch t dest;
   p
 
-let push_out t ~victim =
-  let q = queue t victim in
-  if Work_queue.is_empty q then
-    invalid_arg "Proc_switch.push_out: victim queue empty";
-  let p = Work_queue.pop_back q in
-  t.occupancy <- t.occupancy - 1;
-  t.occupied_work <- t.occupied_work - p.Packet.Proc.residual;
-  touch t victim;
-  p
+let accept t ~dest =
+  if is_full t then invalid_arg "Proc_switch.accept: buffer full";
+  check_port t dest "accept";
+  match t.repr with
+  | Linked qs -> accept_linked t qs ~dest
+  | Flat f ->
+    let s = flat_insert t f ~dest in
+    {
+      Packet.Proc.id = f.pid.(s);
+      dest;
+      work = f.works.(dest);
+      residual = f.residual.(s);
+      arrival = f.arrival.(s);
+    }
 
-let serve_port t i ~on_transmit =
-  let q = queue t i in
+let accept_unit t ~dest =
+  if is_full t then invalid_arg "Proc_switch.accept_unit: buffer full";
+  check_port t dest "accept_unit";
+  match t.repr with
+  | Linked qs -> ignore (accept_linked t qs ~dest : Packet.Proc.t)
+  | Flat f -> ignore (flat_insert t f ~dest : int)
+
+(* Evict the tail slot of [victim]'s ring and return its id; columns stay
+   readable until the slot is next handed out by an accept. *)
+let flat_evict t f ~victim =
+  let ring = Array.unsafe_get f.rings victim in
+  if Int_ring.is_empty ring then
+    invalid_arg "Proc_switch.push_out: victim queue empty";
+  let s = Int_ring.pop_back ring in
+  let r = Array.unsafe_get f.residual s in
+  Array.unsafe_set f.qwork victim (Array.unsafe_get f.qwork victim - r);
+  t.occupancy <- t.occupancy - 1;
+  t.occupied_work <- t.occupied_work - r;
+  Array.unsafe_set f.free f.free_top s;
+  f.free_top <- f.free_top + 1;
+  touch t victim;
+  s
+
+let push_out t ~victim =
+  check_port t victim "push_out";
+  match t.repr with
+  | Linked qs ->
+    let q = qs.(victim) in
+    if Work_queue.is_empty q then
+      invalid_arg "Proc_switch.push_out: victim queue empty";
+    let p = Work_queue.pop_back q in
+    t.occupancy <- t.occupancy - 1;
+    t.occupied_work <- t.occupied_work - p.Packet.Proc.residual;
+    touch t victim;
+    p
+  | Flat f ->
+    let s = flat_evict t f ~victim in
+    {
+      Packet.Proc.id = f.pid.(s);
+      dest = victim;
+      work = f.works.(victim);
+      residual = f.residual.(s);
+      arrival = f.arrival.(s);
+    }
+
+let push_out_unit t ~victim =
+  check_port t victim "push_out_unit";
+  match t.repr with
+  | Linked _ -> ignore (push_out t ~victim : Packet.Proc.t)
+  | Flat f -> ignore (flat_evict t f ~victim : int)
+
+let serve_port_linked t qs i ~on_transmit =
+  let q = qs.(i) in
   if Work_queue.is_empty q then 0
   else begin
     (* Account each transmission (and re-validate the indexes) *before* the
@@ -131,30 +300,151 @@ let serve_port t i ~on_transmit =
       raise e
   end
 
+(* Flat transmission: head-of-line, run-to-completion, all aggregates and
+   indexes settled before each hook runs (same exception contract as the
+   linked path — a raising hook can only fire immediately after a [touch]).
+   Two loops, one per hook shape, so the engines' fields-based hot path
+   never builds a packet record or a wrapper closure. *)
+
+let serve_port_flat_fields t f i ~on_transmit =
+  let ring = Array.unsafe_get f.rings i in
+  if Int_ring.is_empty ring then 0
+  else begin
+    let budget = ref (speedup t) and sent = ref 0 in
+    while !budget > 0 && not (Int_ring.is_empty ring) do
+      let s = Int_ring.peek_front ring in
+      let r = Array.unsafe_get f.residual s in
+      let served = if !budget < r then !budget else r in
+      Array.unsafe_set f.residual s (r - served);
+      Array.unsafe_set f.qwork i (Array.unsafe_get f.qwork i - served);
+      t.occupied_work <- t.occupied_work - served;
+      budget := !budget - served;
+      if served = r then begin
+        ignore (Int_ring.pop_front ring : int);
+        Array.unsafe_set f.free f.free_top s;
+        f.free_top <- f.free_top + 1;
+        t.occupancy <- t.occupancy - 1;
+        incr sent;
+        touch t i;
+        on_transmit ~dest:i ~arrival:(Array.unsafe_get f.arrival s)
+      end
+    done;
+    touch t i;
+    !sent
+  end
+
+let serve_port_flat t f i ~on_transmit =
+  let ring = f.rings.(i) in
+  if Int_ring.is_empty ring then 0
+  else begin
+    let budget = ref (speedup t) and sent = ref 0 in
+    while !budget > 0 && not (Int_ring.is_empty ring) do
+      let s = Int_ring.peek_front ring in
+      let r = f.residual.(s) in
+      let served = if !budget < r then !budget else r in
+      f.residual.(s) <- r - served;
+      f.qwork.(i) <- f.qwork.(i) - served;
+      t.occupied_work <- t.occupied_work - served;
+      budget := !budget - served;
+      if served = r then begin
+        ignore (Int_ring.pop_front ring : int);
+        f.free.(f.free_top) <- s;
+        f.free_top <- f.free_top + 1;
+        t.occupancy <- t.occupancy - 1;
+        incr sent;
+        touch t i;
+        on_transmit
+          {
+            Packet.Proc.id = f.pid.(s);
+            dest = i;
+            work = f.works.(i);
+            residual = 0;
+            arrival = f.arrival.(s);
+          }
+      end
+    done;
+    touch t i;
+    !sent
+  end
+
+let serve_port t i ~on_transmit =
+  check_port t i "serve_port";
+  match t.repr with
+  | Linked qs -> serve_port_linked t qs i ~on_transmit
+  | Flat f -> serve_port_flat t f i ~on_transmit
+
 let transmit_phase t ~on_transmit =
   let transmitted = ref 0 in
-  for i = 0 to n t - 1 do
-    transmitted := !transmitted + serve_port t i ~on_transmit
-  done;
+  (match t.repr with
+  | Linked qs ->
+    for i = 0 to t.n - 1 do
+      transmitted := !transmitted + serve_port_linked t qs i ~on_transmit
+    done
+  | Flat f ->
+    for i = 0 to t.n - 1 do
+      transmitted := !transmitted + serve_port_flat t f i ~on_transmit
+    done);
+  !transmitted
+
+let transmit_phase_fields t ~on_transmit =
+  let transmitted = ref 0 in
+  (match t.repr with
+  | Linked qs ->
+    (* Compatibility wrapper: the fields hook fed from the boxed packets.
+       Engines running a linked backend use [transmit_phase] directly. *)
+    let wrapped (p : Packet.Proc.t) =
+      on_transmit ~dest:p.dest ~arrival:p.arrival
+    in
+    for i = 0 to t.n - 1 do
+      transmitted := !transmitted + serve_port_linked t qs i ~on_transmit:wrapped
+    done
+  | Flat f ->
+    for i = 0 to t.n - 1 do
+      transmitted := !transmitted + serve_port_flat_fields t f i ~on_transmit
+    done);
   !transmitted
 
 let flush t =
-  let dropped = Array.fold_left (fun acc q -> acc + Work_queue.clear q) 0 t.queues in
+  let dropped =
+    match t.repr with
+    | Linked qs -> Array.fold_left (fun acc q -> acc + Work_queue.clear q) 0 qs
+    | Flat f ->
+      let dropped = ref 0 in
+      for i = 0 to t.n - 1 do
+        let ring = f.rings.(i) in
+        dropped := !dropped + Int_ring.length ring;
+        Int_ring.iter
+          (fun s ->
+            f.free.(f.free_top) <- s;
+            f.free_top <- f.free_top + 1)
+          ring;
+        Int_ring.clear ring;
+        f.qwork.(i) <- 0
+      done;
+      !dropped
+  in
   t.occupancy <- t.occupancy - dropped;
   t.occupied_work <- 0;
-  assert (t.occupancy = 0);
+  (* A real check, not [assert]: release builds compiled with [-noassert]
+     must refuse to continue from a corrupted occupancy count too. *)
+  if t.occupancy <> 0 then
+    invalid_arg "Proc_switch.flush: occupancy out of sync with queue contents";
   touch_all t;
   dropped
 
-let iter_queues f t = Array.iteri f t.queues
+let iter_queues f t =
+  match t.repr with
+  | Linked qs -> Array.iteri f qs
+  | Flat _ ->
+    invalid_arg "Proc_switch.iter_queues: not available on the flat backend"
 
-let check_invariants t =
-  let len_sum = Array.fold_left (fun acc q -> acc + Work_queue.length q) 0 t.queues in
+let check_invariants_linked t qs =
+  let len_sum = Array.fold_left (fun acc q -> acc + Work_queue.length q) 0 qs in
   if len_sum <> t.occupancy then
     invalid_arg "Proc_switch: occupancy out of sync with queue lengths";
   if t.occupancy > buffer t then invalid_arg "Proc_switch: occupancy exceeds B";
   let work_sum =
-    Array.fold_left (fun acc q -> acc + Work_queue.total_work q) 0 t.queues
+    Array.fold_left (fun acc q -> acc + Work_queue.total_work q) 0 qs
   in
   if work_sum <> t.occupied_work then
     invalid_arg "Proc_switch: cached occupied work out of sync";
@@ -173,5 +463,52 @@ let check_invariants t =
           if i > 0 && p.residual <> p.work then
             invalid_arg "Proc_switch: non-HOL packet partially processed")
         (Work_queue.to_list q))
-    t.queues;
+    qs
+
+let check_invariants_flat t f =
+  let seen = Array.make f.cap false in
+  let len_sum = ref 0 and work_sum = ref 0 in
+  for i = 0 to t.n - 1 do
+    let ring = f.rings.(i) in
+    len_sum := !len_sum + Int_ring.length ring;
+    let qwork = ref 0 in
+    for j = 0 to Int_ring.length ring - 1 do
+      let s = Int_ring.get ring j in
+      if s < 0 || s >= f.cap then
+        invalid_arg "Proc_switch(flat): slot id out of range";
+      if seen.(s) then invalid_arg "Proc_switch(flat): slot id used twice";
+      seen.(s) <- true;
+      let r = f.residual.(s) in
+      if r < 1 || r > f.works.(i) then
+        invalid_arg "Proc_switch(flat): residual out of range";
+      (* Only the head-of-line packet may be partially processed. *)
+      if j > 0 && r <> f.works.(i) then
+        invalid_arg "Proc_switch(flat): non-HOL packet partially processed";
+      qwork := !qwork + r
+    done;
+    if !qwork <> f.qwork.(i) then
+      invalid_arg "Proc_switch(flat): cached per-port work out of sync";
+    work_sum := !work_sum + !qwork
+  done;
+  if !len_sum <> t.occupancy then
+    invalid_arg "Proc_switch(flat): occupancy out of sync with ring lengths";
+  if t.occupancy > buffer t then
+    invalid_arg "Proc_switch(flat): occupancy exceeds B";
+  if !work_sum <> t.occupied_work then
+    invalid_arg "Proc_switch(flat): cached occupied work out of sync";
+  if f.free_top + t.occupancy <> f.cap then
+    invalid_arg "Proc_switch(flat): free list out of sync with occupancy";
+  for j = 0 to f.free_top - 1 do
+    let s = f.free.(j) in
+    if s < 0 || s >= f.cap then
+      invalid_arg "Proc_switch(flat): free slot id out of range";
+    if seen.(s) then
+      invalid_arg "Proc_switch(flat): free slot also queued";
+    seen.(s) <- true
+  done
+
+let check_invariants t =
+  (match t.repr with
+  | Linked qs -> check_invariants_linked t qs
+  | Flat f -> check_invariants_flat t f);
   List.iter (fun (_, idx) -> Agg_index.check idx) t.indexes

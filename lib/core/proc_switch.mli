@@ -4,11 +4,29 @@
     The switch performs mechanics only (admission, push-out, the transmission
     phase); *which* packets are admitted is the policy's job.  All mutating
     operations validate their preconditions and raise [Invalid_argument] on
-    misuse, so an engine bug cannot silently corrupt an experiment. *)
+    misuse, so an engine bug cannot silently corrupt an experiment.
+
+    Two interchangeable state representations sit behind one [t]:
+    - [`Linked] (default): one {!Work_queue} of boxed {!Packet.Proc}
+      records per port — the reference implementation, with [queue]/
+      [iter_queues] access for tests and analyses.
+    - [`Flat]: struct-of-arrays slab of unboxed int columns (residual work,
+      arrival, id) with a free-list and one int ring of slot ids per port.
+      Together with the [_unit]/[_fields] entry points below, a warmed flat
+      switch runs the whole accept/push-out/transmit cycle without
+      allocating.  Decision-relevant state (queue lengths, work aggregates,
+      ids, FIFO order, tie conventions) is maintained bit-identically to
+      the linked representation — test/test_victim_oracle.ml fuzzes the two
+      in lockstep. *)
 
 type t
 
-val create : Proc_config.t -> t
+type backend = [ `Linked | `Flat ]
+
+val create : ?backend:backend -> Proc_config.t -> t
+(** [backend] defaults to [`Linked]. *)
+
+val backend : t -> backend
 
 val config : t -> Proc_config.t
 (** The creation-time configuration.  Its [buffer] field is the {e initial}
@@ -24,7 +42,8 @@ val set_buffer : t -> int -> unit
     [free_space], [accept]) immediately honours the new bound; buffered
     packets are never dropped, which is why shrinking below the current
     occupancy is refused — the buffer drains down to the new bound through
-    normal transmissions.
+    normal transmissions.  On the flat backend a grow extends the slot slab
+    (existing slot ids stay valid); the slab never shrinks.
     @raise Invalid_argument if the new bound is [< 1] or smaller than the
     current occupancy. *)
 
@@ -38,8 +57,11 @@ val free_space : t -> int
 val is_full : t -> bool
 
 val queue : t -> int -> Work_queue.t
-(** Direct (read-mostly) access to queue [i]; policies use it to inspect
-    lengths and total work. *)
+(** Direct (read-mostly) access to queue [i]; tests and analyses use it to
+    inspect queue contents.
+    @raise Invalid_argument on the flat backend, which has no per-queue
+    structure to expose — use {!queue_length}/{!queue_work}, which dispatch
+    on the representation. *)
 
 val queue_length : t -> int -> int
 val queue_work : t -> int -> int
@@ -62,16 +84,31 @@ val find_index : t -> key:string -> better:(int -> int -> bool) -> Agg_index.t
 
 val accept : t -> dest:int -> Packet.Proc.t
 (** Admit a fresh packet to [dest]'s queue; assigns the next packet id.
+    On the flat backend the returned record is a snapshot of the admitted
+    slot (allocated per call — engines use {!accept_unit}).
     @raise Invalid_argument if the buffer is full. *)
+
+val accept_unit : t -> dest:int -> unit
+(** {!accept} without materializing the packet — allocation-free on the
+    flat backend. *)
 
 val push_out : t -> victim:int -> Packet.Proc.t
 (** Evict the tail packet of queue [victim] (freeing one slot).
     @raise Invalid_argument if that queue is empty. *)
 
+val push_out_unit : t -> victim:int -> unit
+(** {!push_out} without materializing the evicted packet. *)
+
 val transmit_phase : t -> on_transmit:(Packet.Proc.t -> unit) -> int
 (** One transmission phase: every non-empty queue receives [speedup]
     processing cycles (head-of-line, run-to-completion).  Returns the number
     of packets transmitted. *)
+
+val transmit_phase_fields :
+  t -> on_transmit:(dest:int -> arrival:int -> unit) -> int
+(** {!transmit_phase} delivering each transmission as plain fields instead
+    of a packet record — allocation-free on the flat backend.  Same
+    ordering, accounting and exception contract as {!transmit_phase}. *)
 
 val serve_port : t -> int -> on_transmit:(Packet.Proc.t -> unit) -> int
 (** Give a single port its [speedup] cycles (a transmission phase restricted
@@ -85,10 +122,16 @@ val serve_port : t -> int -> on_transmit:(Packet.Proc.t -> unit) -> int
 
 val flush : t -> int
 (** Discard all buffered packets (the simulator's periodic flushout);
-    returns how many were discarded. *)
+    returns how many were discarded.
+    @raise Invalid_argument if the occupancy count disagrees with the queue
+    contents — state corruption that must not be ignored (a real check, not
+    an [assert] stripped under [-noassert]). *)
 
 val iter_queues : (int -> Work_queue.t -> unit) -> t -> unit
+(** @raise Invalid_argument on the flat backend (see {!queue}). *)
 
 val check_invariants : t -> unit
 (** Assert internal consistency (occupancy = sum of queue lengths <= B;
-    cached work totals match queue contents).  Test hook. *)
+    cached work totals match queue contents; on the flat backend, also
+    slab/free-list disjointness and per-slot residual bounds).  Test
+    hook. *)

@@ -4,10 +4,10 @@
    replacement on [key >= best] keeps the largest index among full ties; the
    indexed path answers the same argmax in O(log n) from the switch's
    incremental index.  All comparisons are explicit integer comparisons
-   (minimum values come off the queues' O(1) cached bitsets). *)
+   (minimum values come off the switch's O(1) cached bitsets, through the
+   representation-independent accessors so either backend serves). *)
 
-let min_of sw j =
-  Value_queue.min_value_or (Value_switch.queue sw j) ~default:max_int
+let min_of sw j = Value_switch.queue_min_value_or sw j ~default:max_int
 
 let select_victim_scan sw ~dest =
   let best = ref 0 and best_len = ref min_int and best_min = ref min_int in
@@ -50,10 +50,13 @@ let select_victim_indexed idx sw ~dest =
 let select_victim sw ~dest = select_victim_indexed (index sw) sw ~dest
 
 let make ?(impl = `Indexed) _config =
+  let backend =
+    match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
+  in
   let select =
     match impl with
     | `Scan -> fun sw ~dest -> select_victim_scan sw ~dest
-    | `Indexed ->
+    | `Indexed | `Flat ->
       let cache = ref None in
       fun sw ~dest ->
         let idx =
@@ -66,14 +69,14 @@ let make ?(impl = `Indexed) _config =
         in
         select_victim_indexed idx sw ~dest
   in
-  Value_policy.make ~name:"LQD" ~push_out:true (fun sw ~dest ~value ->
+  Value_policy.make ~backend ~name:"LQD" ~push_out:true (fun sw ~dest ~value ->
       match Value_policy.greedy_accept sw with
       | Some d -> d
       | None ->
         let victim = select sw ~dest in
         if victim <> dest then Decision.Push_out { victim }
         else begin
-          match Value_queue.min_value (Value_switch.queue sw dest) with
+          match Value_switch.queue_min_value sw dest with
           | Some m when m < value -> Decision.Push_out { victim = dest }
           | Some _ | None -> Decision.Drop
         end)

@@ -8,18 +8,19 @@ let ratio_greater ~len_a ~sum_a ~len_b ~sum_b =
    with the smaller minimum value, then the larger index.  The exact
    cross-multiplied comparison is a total order on eligible queues, so the
    original left-to-right scan and the indexed read pick the same victim;
-   [select_victim_scan] keeps the scan as the reference oracle. *)
+   [select_victim_scan] keeps the scan as the reference oracle.  All state
+   reads go through the switch's representation-independent accessors so
+   either backend serves. *)
 
-let min_of sw i =
-  Value_queue.min_value_or (Value_switch.queue sw i) ~default:max_int
+let min_of sw i = Value_switch.queue_min_value_or sw i ~default:max_int
 
 let select_victim_scan ?(protect_last = false) sw =
   let min_len = if protect_last then 2 else 1 in
   let best = ref None in
   for j = 0 to Value_switch.n sw - 1 do
-    let q = Value_switch.queue sw j in
-    if Value_queue.length q >= min_len then begin
-      let len = Value_queue.length q and sum = Value_queue.total_value q in
+    if Value_switch.queue_length sw j >= min_len then begin
+      let len = Value_switch.queue_length sw j
+      and sum = Value_switch.queue_total_value sw j in
       match !best with
       | None -> best := Some (j, len, sum)
       | Some (bj, blen, bsum) ->
@@ -40,14 +41,14 @@ let index ~protect_last sw =
   Value_switch.find_index sw
     ~key:(if protect_last then "mrd:protect" else "mrd")
     ~better:(fun a b ->
-      let qa = Value_switch.queue sw a and qb = Value_switch.queue sw b in
-      let la = Value_queue.length qa and lb = Value_queue.length qb in
+      let la = Value_switch.queue_length sw a
+      and lb = Value_switch.queue_length sw b in
       let ea = la >= min_len and eb = lb >= min_len in
       if ea <> eb then ea
       else if not ea then a > b
       else begin
-        let sa = Value_queue.total_value qa
-        and sb = Value_queue.total_value qb in
+        let sa = Value_switch.queue_total_value sw a
+        and sb = Value_switch.queue_total_value sw b in
         if ratio_greater ~len_a:la ~sum_a:sa ~len_b:lb ~sum_b:sb then true
         else if ratio_greater ~len_a:lb ~sum_a:sb ~len_b:la ~sum_b:sa then
           false
@@ -67,10 +68,13 @@ let select_victim ?(protect_last = false) sw =
 
 let make ?(protect_last = false) ?(impl = `Indexed) _config =
   let name = if protect_last then "MRD1" else "MRD" in
+  let backend =
+    match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
+  in
   let select =
     match impl with
     | `Scan -> fun sw -> select_victim_scan ~protect_last sw
-    | `Indexed ->
+    | `Indexed | `Flat ->
       let cache = ref None in
       fun sw ->
         let idx =
@@ -83,7 +87,7 @@ let make ?(protect_last = false) ?(impl = `Indexed) _config =
         in
         select_victim_indexed ~protect_last idx sw
   in
-  Value_policy.make ~name ~push_out:true (fun sw ~dest:_ ~value ->
+  Value_policy.make ~backend ~name ~push_out:true (fun sw ~dest:_ ~value ->
       match Value_policy.greedy_accept sw with
       | Some d -> d
       | None -> (

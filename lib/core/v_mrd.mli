@@ -16,13 +16,13 @@
     constant ratio in general is the paper's open conjecture. *)
 
 val make :
-  ?protect_last:bool -> ?impl:[ `Indexed | `Scan ] -> Value_config.t ->
+  ?protect_last:bool -> ?impl:[ `Indexed | `Scan | `Flat ] -> Value_config.t ->
   Value_policy.t
 (** [~protect_last:true] is the MRD_1 ablation that never pushes out a
     queue's only packet (analogous to the paper's BPD_1 and MVD_1).
     [~impl] picks the victim selection: [`Indexed] (default) reads the
     ratio argmax off the switch's incremental index in O(log n); [`Scan]
-    keeps the original O(n) rescans.  Both make bit-identical decisions. *)
+    keeps the original O(n) rescans.  Both make bit-identical decisions; [`Flat] is [`Indexed] selection plus a request for the switch's flat struct-of-arrays backend (see {!Value_switch}). *)
 
 val select_victim : ?protect_last:bool -> Value_switch.t -> int option
 (** The ratio-maximal eligible queue; exposed for tests. *)

@@ -3,17 +3,17 @@
    port index.  The scan's replacement on [key <= best] keeps the largest
    index among full ties; the indexed path reads the same argmin in
    O(log n) from the switch's incremental index.  All comparisons are
-   explicit integer comparisons. *)
+   explicit integer comparisons, reading through the switch's
+   representation-independent accessors so either backend serves. *)
 
 let select_victim_scan ~protect_last sw =
   let min_len = if protect_last then 2 else 1 in
   let best = ref None in
   let best_min = ref max_int and best_len = ref min_int in
   for j = 0 to Value_switch.n sw - 1 do
-    let q = Value_switch.queue sw j in
-    let len = Value_queue.length q in
+    let len = Value_switch.queue_length sw j in
     if len >= min_len then begin
-      match Value_queue.min_value q with
+      match Value_switch.queue_min_value sw j with
       | None -> ()
       | Some v ->
         if v < !best_min || (v = !best_min && len >= !best_len) then begin
@@ -30,14 +30,14 @@ let index ~protect_last sw =
   Value_switch.find_index sw
     ~key:(if protect_last then "mvd:protect" else "mvd")
     ~better:(fun a b ->
-      let qa = Value_switch.queue sw a and qb = Value_switch.queue sw b in
-      let la = Value_queue.length qa and lb = Value_queue.length qb in
+      let la = Value_switch.queue_length sw a
+      and lb = Value_switch.queue_length sw b in
       let ea = la >= min_len and eb = lb >= min_len in
       if ea <> eb then ea
       else if not ea then a > b
       else begin
-        let ma = Value_queue.min_value_or qa ~default:max_int
-        and mb = Value_queue.min_value_or qb ~default:max_int in
+        let ma = Value_switch.queue_min_value_or sw a ~default:max_int
+        and mb = Value_switch.queue_min_value_or sw b ~default:max_int in
         ma < mb || (ma = mb && (la > lb || (la = lb && a > b)))
       end)
 
@@ -45,24 +45,24 @@ let select_victim_indexed ~protect_last idx sw =
   let min_len = if protect_last then 2 else 1 in
   let c = Agg_index.top idx in
   if c < 0 then None
-  else begin
-    let q = Value_switch.queue sw c in
-    if Value_queue.length q < min_len then None
-    else
-      match Value_queue.min_value q with
-      | Some v -> Some (c, v)
-      | None -> None
-  end
+  else if Value_switch.queue_length sw c < min_len then None
+  else
+    match Value_switch.queue_min_value sw c with
+    | Some v -> Some (c, v)
+    | None -> None
 
 let select_victim ~protect_last sw =
   select_victim_indexed ~protect_last (index ~protect_last sw) sw
 
 let make ?(protect_last = false) ?(impl = `Indexed) _config =
   let name = if protect_last then "MVD1" else "MVD" in
+  let backend =
+    match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
+  in
   let select =
     match impl with
     | `Scan -> select_victim_scan ~protect_last
-    | `Indexed ->
+    | `Indexed | `Flat ->
       let cache = ref None in
       fun sw ->
         let idx =
@@ -75,7 +75,7 @@ let make ?(protect_last = false) ?(impl = `Indexed) _config =
         in
         select_victim_indexed ~protect_last idx sw
   in
-  Value_policy.make ~name ~push_out:true (fun sw ~dest:_ ~value ->
+  Value_policy.make ~backend ~name ~push_out:true (fun sw ~dest:_ ~value ->
       match Value_policy.greedy_accept sw with
       | Some d -> d
       | None -> (

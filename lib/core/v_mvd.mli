@@ -12,11 +12,11 @@
     pushes out the last packet of a queue. *)
 
 val make :
-  ?protect_last:bool -> ?impl:[ `Indexed | `Scan ] -> Value_config.t ->
+  ?protect_last:bool -> ?impl:[ `Indexed | `Scan | `Flat ] -> Value_config.t ->
   Value_policy.t
 (** [~impl] picks the victim selection: [`Indexed] (default) reads the
     argmin off the switch's incremental index in O(log n); [`Scan] keeps
-    the original O(n) rescans.  Both make bit-identical decisions. *)
+    the original O(n) rescans.  Both make bit-identical decisions; [`Flat] is [`Indexed] selection plus a request for the switch's flat struct-of-arrays backend (see {!Value_switch}). *)
 
 val select_victim : protect_last:bool -> Value_switch.t -> (int * int) option
 (** [(port, min value there)] of the eviction candidate; exposed for

@@ -6,14 +6,24 @@
 type t = {
   name : string;
   push_out : bool;
+  backend : Value_switch.backend;
+      (** which switch representation engines should create for this policy
+          (policies built with [~impl:`Flat] request the flat backend;
+          default [`Linked]).  Purely a creation-time hint — policies read
+          the switch through representation-independent accessors and work
+          on either backend. *)
   admit : Value_switch.t -> dest:int -> value:int -> Decision.t;
 }
 
 val make :
+  ?backend:Value_switch.backend ->
   name:string ->
   push_out:bool ->
   (Value_switch.t -> dest:int -> value:int -> Decision.t) ->
   t
+
+val with_backend : Value_switch.backend -> t -> t
+(** Same policy, different creation-time backend hint. *)
 
 val admit : t -> Value_switch.t -> dest:int -> value:int -> Decision.t
 

@@ -4,7 +4,25 @@ open Smbm_prelude
    word), so [min_value]/[max_value] cost a couple of word tests plus a
    6-step bit search instead of walking up to k deque headers — these two
    reads sit on the admission hot path of every value policy (the MRD/MVD
-   drop gates and the switch-wide minimum tracker). *)
+   drop gates and the switch-wide minimum tracker).
+
+   Layout contract (shared with Value_switch's flat backend, which builds
+   the same bitsets over its SoA columns): value level v occupies bit
+   [v mod 63] of word [v / 63] — 63 levels per word, never 64, so the top
+   bit of every word stays clear and [lsl]/[land -b] never touch the sign
+   bit.  [bit_index]/[high_bit_index] assume the operand fits 63 bits and
+   take 32-bit-wide first steps, so the whole scheme requires OCaml's
+   native int to be at least 63 bits wide; the init-time check below turns
+   a silently corrupting 32-bit build into an immediate error. *)
+
+let () =
+  if Sys.int_size < 63 then
+    failwith
+      (Printf.sprintf
+         "Value_queue: native int is %d bits, but the occupancy bitset packs \
+          63 value levels per word and its bit searches step by 32 bits — \
+          32-bit platforms are unsupported"
+         Sys.int_size)
 
 type t = {
   k : int;

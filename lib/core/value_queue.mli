@@ -59,3 +59,17 @@ val to_list : t -> Packet.Value.t list
 
 val clear : t -> int
 (** Drop all packets, returning how many were dropped. *)
+
+(** {2 Bitset primitives}
+
+    Shared with {!Value_switch}'s flat backend, which rebuilds the same
+    63-levels-per-word occupancy bitsets over its struct-of-arrays columns.
+    Both callers require a native int of at least 63 bits; this module
+    refuses to initialise on narrower platforms. *)
+
+val bit_index : int -> int
+(** Bit index of the single set bit of the operand (callers isolate it with
+    [b land -b]). *)
+
+val high_bit_index : int -> int
+(** Bit index of the highest set bit of a positive operand. *)

@@ -1,6 +1,37 @@
+type backend = [ `Linked | `Flat ]
+
+(* Flat backend: one struct-of-arrays slab of [cap] packet slots (columns:
+   value, arrival, id, plus intrusive next/prev links) with a free-list
+   stack.  Each (port, value-level) bucket is a doubly-linked list threaded
+   through the link columns (head = oldest, tail = youngest), and each port
+   carries the same 63-levels-per-word occupancy bitset as {!Value_queue}
+   (whose exported bit searches are reused), so min/max reads stay O(k/63).
+   Together with the [_unit]/[_lost]/[_fields] entry points, a warmed flat
+   switch runs accept / push-out / transmit without allocating. *)
+type flat = {
+  k : int;
+  wpp : int; (* bitset words per port: k/63 + 1 *)
+  mutable cap : int; (* slab capacity; grows with set_buffer, never shrinks *)
+  mutable value : int array; (* columns, indexed by slot id *)
+  mutable arrival : int array;
+  mutable pid : int array;
+  mutable nxt : int array; (* intra-bucket links; -1 terminates *)
+  mutable prv : int array;
+  mutable free : int array; (* stack of free slot ids *)
+  mutable free_top : int;
+  bhead : int array; (* bucket head slot, index [i * k + (v - 1)]; -1 empty *)
+  btail : int array;
+  occ : int array; (* bitsets, index [i * wpp + v / 63], bit [v mod 63] *)
+  qlen : int array; (* per-port packet count *)
+  qsum : int array; (* per-port total value *)
+}
+
+type repr = Linked of Value_queue.t array | Flat of flat
+
 type t = {
   config : Value_config.t;
-  queues : Value_queue.t array;
+  n : int;
+  repr : repr;
   mutable buffer : int;
   mutable occupancy : int;
   mutable next_id : int;
@@ -9,12 +40,42 @@ type t = {
   min_index : Agg_index.t; (* buffer-wide minimum tracker *)
 }
 
+(* Per-port min/max reads off the flat bitsets — same word scan + bit
+   search as Value_queue.{min,max}_value_or, over this port's slice. *)
+let flat_min_value_or f i ~default =
+  if Array.unsafe_get f.qlen i = 0 then default
+  else begin
+    (* Non-empty queue => some word of this port's slice is non-zero, so
+       the scans below stay inside [base, base + wpp); bounds checks are
+       skipped on this per-admission path. *)
+    let base = i * f.wpp in
+    let w = ref 0 in
+    while Array.unsafe_get f.occ (base + !w) = 0 do
+      incr w
+    done;
+    let bits = Array.unsafe_get f.occ (base + !w) in
+    (!w * 63) + Value_queue.bit_index (bits land -bits)
+  end
+
+let flat_max_value_or f i ~default =
+  if Array.unsafe_get f.qlen i = 0 then default
+  else begin
+    let base = i * f.wpp in
+    let w = ref (f.wpp - 1) in
+    while Array.unsafe_get f.occ (base + !w) = 0 do
+      decr w
+    done;
+    (!w * 63) + Value_queue.high_bit_index (Array.unsafe_get f.occ (base + !w))
+  end
+
 (* The built-in tracker behind [min_value]/[min_value_port]: argmin over
    queues of (cached minimum value, then the longer queue, then the smaller
    port index) — the documented MVD tie-break, pinned here so the indexed
    reads cannot drift from the one-pass scan they replaced.  Empty queues
-   rank last (an occupied queue's minimum is at most k < max_int). *)
-let min_better queues a b =
+   rank last (an occupied queue's minimum is at most k < max_int).  One
+   comparator per representation, both computing the same order on the same
+   decision-relevant state. *)
+let min_better_linked queues a b =
   let qa = queues.(a) and qb = queues.(b) in
   let ma = Value_queue.min_value_or qa ~default:max_int
   and mb = Value_queue.min_value_or qb ~default:max_int in
@@ -24,17 +85,52 @@ let min_better queues a b =
      let la = Value_queue.length qa and lb = Value_queue.length qb in
      la > lb || (la = lb && a < b))
 
-let create (config : Value_config.t) =
-  let queues =
-    Array.init (Value_config.n config) (fun _ ->
-        Value_queue.create ~k:(Value_config.k config))
+let min_better_flat f a b =
+  let ma = flat_min_value_or f a ~default:max_int
+  and mb = flat_min_value_or f b ~default:max_int in
+  ma < mb
+  || (ma = mb
+     &&
+     let la = f.qlen.(a) and lb = f.qlen.(b) in
+     la > lb || (la = lb && a < b))
+
+let create ?(backend = `Linked) (config : Value_config.t) =
+  let n = Value_config.n config in
+  let k = Value_config.k config in
+  let repr =
+    match backend with
+    | `Linked -> Linked (Array.init n (fun _ -> Value_queue.create ~k))
+    | `Flat ->
+      let cap = config.Value_config.buffer in
+      let wpp = (k / 63) + 1 in
+      Flat
+        {
+          k;
+          wpp;
+          cap;
+          value = Array.make cap 0;
+          arrival = Array.make cap 0;
+          pid = Array.make cap 0;
+          nxt = Array.make cap (-1);
+          prv = Array.make cap (-1);
+          free = Array.init cap (fun s -> s);
+          free_top = cap;
+          bhead = Array.make (n * k) (-1);
+          btail = Array.make (n * k) (-1);
+          occ = Array.make (n * wpp) 0;
+          qlen = Array.make n 0;
+          qsum = Array.make n 0;
+        }
   in
   let min_index =
-    Agg_index.create ~n:(Array.length queues) ~better:(min_better queues)
+    match repr with
+    | Linked queues -> Agg_index.create ~n ~better:(min_better_linked queues)
+    | Flat f -> Agg_index.create ~n ~better:(min_better_flat f)
   in
   {
     config;
-    queues;
+    n;
+    repr;
     buffer = config.Value_config.buffer;
     occupancy = 0;
     next_id = 0;
@@ -44,16 +140,41 @@ let create (config : Value_config.t) =
   }
 
 let config t = t.config
-let n t = Array.length t.queues
+let n t = t.n
 let k t = Value_config.k t.config
+let backend t = match t.repr with Linked _ -> `Linked | Flat _ -> `Flat
 let buffer t = t.buffer
+
+let grow_flat f cap' =
+  let grow fill a =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 f.cap;
+    a'
+  in
+  f.value <- grow 0 f.value;
+  f.arrival <- grow 0 f.arrival;
+  f.pid <- grow 0 f.pid;
+  f.nxt <- grow (-1) f.nxt;
+  f.prv <- grow (-1) f.prv;
+  let free' = Array.make cap' 0 in
+  Array.blit f.free 0 free' 0 f.free_top;
+  f.free <- free';
+  for s = f.cap to cap' - 1 do
+    f.free.(f.free_top) <- s;
+    f.free_top <- f.free_top + 1
+  done;
+  f.cap <- cap'
 
 let set_buffer t b =
   if b < 1 then invalid_arg "Value_switch.set_buffer: buffer must be >= 1";
   if b < t.occupancy then
     invalid_arg
       "Value_switch.set_buffer: new buffer smaller than current occupancy";
+  (match t.repr with
+  | Linked _ -> ()
+  | Flat f -> if b > f.cap then grow_flat f b);
   t.buffer <- b
+
 let speedup t = t.config.Value_config.speedup
 let now t = t.now
 let advance_slot t = t.now <- t.now + 1
@@ -61,19 +182,57 @@ let occupancy t = t.occupancy
 let free_space t = buffer t - t.occupancy
 let is_full t = t.occupancy >= buffer t
 
-let queue t i =
-  if i < 0 || i >= n t then invalid_arg "Value_switch.queue: bad port";
-  t.queues.(i)
+let check_port t i name =
+  if i < 0 || i >= t.n then invalid_arg ("Value_switch." ^ name ^ ": bad port")
 
-let queue_length t i = Value_queue.length (queue t i)
+let queue t i =
+  check_port t i "queue";
+  match t.repr with
+  | Linked queues -> queues.(i)
+  | Flat _ ->
+    invalid_arg "Value_switch.queue: not available on the flat backend"
+
+let queue_length t i =
+  check_port t i "queue_length";
+  match t.repr with
+  | Linked queues -> Value_queue.length queues.(i)
+  | Flat f -> f.qlen.(i)
+
+let queue_total_value t i =
+  check_port t i "queue_total_value";
+  match t.repr with
+  | Linked queues -> Value_queue.total_value queues.(i)
+  | Flat f -> f.qsum.(i)
+
+let queue_min_value_or t i ~default =
+  check_port t i "queue_min_value_or";
+  match t.repr with
+  | Linked queues -> Value_queue.min_value_or queues.(i) ~default
+  | Flat f -> flat_min_value_or f i ~default
+
+let queue_min_value t i =
+  check_port t i "queue_min_value";
+  match t.repr with
+  | Linked queues -> Value_queue.min_value queues.(i)
+  | Flat f ->
+    if f.qlen.(i) = 0 then None else Some (flat_min_value_or f i ~default:0)
 
 (* ----- victim-selection indexes ----- *)
 
+(* Hand-rolled traversal: [List.iter] with a lambda capturing [i] would
+   allocate a closure on every mutation — [touch] runs for each accept,
+   push-out and transmission, so that was the hot path's whole minor-heap
+   footprint. *)
+let rec touch_list indexes i =
+  match indexes with
+  | [] -> ()
+  | (_, idx) :: rest ->
+    Agg_index.invalidate idx i;
+    touch_list rest i
+
 let touch t i =
   Agg_index.invalidate t.min_index i;
-  match t.indexes with
-  | [] -> ()
-  | indexes -> List.iter (fun (_, idx) -> Agg_index.invalidate idx i) indexes
+  touch_list t.indexes i
 
 let touch_all t =
   Agg_index.refresh t.min_index;
@@ -83,70 +242,302 @@ let find_index t ~key ~better =
   match List.assoc_opt key t.indexes with
   | Some idx -> idx
   | None ->
-    let idx = Agg_index.create ~n:(n t) ~better in
+    let idx = Agg_index.create ~n:t.n ~better in
     t.indexes <- (key, idx) :: t.indexes;
     idx
 
 let min_value t =
   if t.occupancy = 0 then None
-  else Value_queue.min_value t.queues.(Agg_index.top t.min_index)
+  else
+    let i = Agg_index.top t.min_index in
+    match t.repr with
+    | Linked queues -> Value_queue.min_value queues.(i)
+    | Flat f -> Some (flat_min_value_or f i ~default:0)
 
 let min_value_port t =
   if t.occupancy = 0 then None else Some (Agg_index.top t.min_index)
 
+(* ----- flat bucket mechanics ----- *)
+
+(* The bucket/bitset indices below are in bounds by construction (ports
+   and values validated at the public entry points, slot ids confined to
+   [0, cap) by the slab invariants), so these per-packet ops skip the
+   bounds check. *)
+
+let flat_mark f i v =
+  let w = (i * f.wpp) + (v / 63) in
+  Array.unsafe_set f.occ w (Array.unsafe_get f.occ w lor (1 lsl (v mod 63)))
+
+let flat_unmark f i v =
+  let w = (i * f.wpp) + (v / 63) in
+  Array.unsafe_set f.occ w
+    (Array.unsafe_get f.occ w land lnot (1 lsl (v mod 63)))
+
+(* Append slot [s] (already carrying its columns) at the tail (youngest end)
+   of bucket (i, v). *)
+let flat_bucket_push f i v s =
+  let b = (i * f.k) + (v - 1) in
+  let tl = Array.unsafe_get f.btail b in
+  Array.unsafe_set f.prv s tl;
+  Array.unsafe_set f.nxt s (-1);
+  if tl = -1 then begin
+    Array.unsafe_set f.bhead b s;
+    flat_mark f i v
+  end
+  else Array.unsafe_set f.nxt tl s;
+  Array.unsafe_set f.btail b s
+
+(* Remove and return the youngest slot of bucket (i, v) — the push-out end,
+   matching Value_queue.pop_min's intra-bucket order. *)
+let flat_bucket_pop_tail f i v =
+  let b = (i * f.k) + (v - 1) in
+  let s = Array.unsafe_get f.btail b in
+  let p = Array.unsafe_get f.prv s in
+  Array.unsafe_set f.btail b p;
+  if p = -1 then begin
+    Array.unsafe_set f.bhead b (-1);
+    flat_unmark f i v
+  end
+  else Array.unsafe_set f.nxt p (-1);
+  s
+
+(* Remove and return the oldest slot of bucket (i, v) — the transmission
+   end, matching Value_queue.pop_max's intra-bucket order. *)
+let flat_bucket_pop_head f i v =
+  let b = (i * f.k) + (v - 1) in
+  let s = Array.unsafe_get f.bhead b in
+  let nx = Array.unsafe_get f.nxt s in
+  Array.unsafe_set f.bhead b nx;
+  if nx = -1 then begin
+    Array.unsafe_set f.btail b (-1);
+    flat_unmark f i v
+  end
+  else Array.unsafe_set f.prv nx (-1);
+  s
+
 (* ----- mutations (every one keeps the aggregates in sync) ----- *)
 
-let accept t ~dest ~value =
-  if is_full t then invalid_arg "Value_switch.accept: buffer full";
+(* Insert into the flat state and return the slot id.  The caller has
+   already validated capacity, the destination port and the value range. *)
+let flat_insert t f ~dest ~value =
+  let s = Array.unsafe_get f.free (f.free_top - 1) in
+  f.free_top <- f.free_top - 1;
+  Array.unsafe_set f.value s value;
+  Array.unsafe_set f.arrival s t.now;
+  Array.unsafe_set f.pid s t.next_id;
+  t.next_id <- t.next_id + 1;
+  flat_bucket_push f dest value s;
+  Array.unsafe_set f.qlen dest (Array.unsafe_get f.qlen dest + 1);
+  Array.unsafe_set f.qsum dest (Array.unsafe_get f.qsum dest + value);
+  t.occupancy <- t.occupancy + 1;
+  touch t dest;
+  s
+
+let accept_linked t queues ~dest ~value =
   let p = Packet.Value.make ~id:t.next_id ~dest ~value ~arrival:t.now in
   t.next_id <- t.next_id + 1;
-  Value_queue.push (queue t dest) p;
+  Value_queue.push queues.(dest) p;
   t.occupancy <- t.occupancy + 1;
   touch t dest;
   p
 
-let push_out t ~victim =
-  let q = queue t victim in
-  if Value_queue.is_empty q then
+let accept t ~dest ~value =
+  if is_full t then invalid_arg "Value_switch.accept: buffer full";
+  check_port t dest "accept";
+  match t.repr with
+  | Linked queues -> accept_linked t queues ~dest ~value
+  | Flat f ->
+    if value < 1 || value > f.k then
+      invalid_arg "Value_switch.accept: value out of range";
+    let s = flat_insert t f ~dest ~value in
+    { Packet.Value.id = f.pid.(s); dest; value; arrival = f.arrival.(s) }
+
+let accept_unit t ~dest ~value =
+  if is_full t then invalid_arg "Value_switch.accept_unit: buffer full";
+  check_port t dest "accept_unit";
+  match t.repr with
+  | Linked queues ->
+    ignore (accept_linked t queues ~dest ~value : Packet.Value.t)
+  | Flat f ->
+    if value < 1 || value > f.k then
+      invalid_arg "Value_switch.accept_unit: value out of range";
+    ignore (flat_insert t f ~dest ~value : int)
+
+(* Evict the least valuable (youngest among ties) slot of [victim]'s queue
+   and return its id; columns stay readable until the slot is next handed
+   out by an accept. *)
+let flat_evict t f ~victim =
+  if Array.unsafe_get f.qlen victim = 0 then
     invalid_arg "Value_switch.push_out: victim queue empty";
-  let p = Value_queue.pop_min q in
+  let v = flat_min_value_or f victim ~default:0 in
+  let s = flat_bucket_pop_tail f victim v in
+  Array.unsafe_set f.qlen victim (Array.unsafe_get f.qlen victim - 1);
+  Array.unsafe_set f.qsum victim (Array.unsafe_get f.qsum victim - v);
   t.occupancy <- t.occupancy - 1;
+  Array.unsafe_set f.free f.free_top s;
+  f.free_top <- f.free_top + 1;
   touch t victim;
-  p
+  s
+
+let push_out t ~victim =
+  check_port t victim "push_out";
+  match t.repr with
+  | Linked queues ->
+    let q = queues.(victim) in
+    if Value_queue.is_empty q then
+      invalid_arg "Value_switch.push_out: victim queue empty";
+    let p = Value_queue.pop_min q in
+    t.occupancy <- t.occupancy - 1;
+    touch t victim;
+    p
+  | Flat f ->
+    let s = flat_evict t f ~victim in
+    {
+      Packet.Value.id = f.pid.(s);
+      dest = victim;
+      value = f.value.(s);
+      arrival = f.arrival.(s);
+    }
+
+let push_out_lost t ~victim =
+  check_port t victim "push_out_lost";
+  match t.repr with
+  | Linked _ -> (push_out t ~victim).Packet.Value.value
+  | Flat f ->
+    let s = flat_evict t f ~victim in
+    f.value.(s)
 
 let transmit_phase t ~on_transmit =
   let budget = speedup t in
   let transmitted = ref 0 in
-  for i = 0 to n t - 1 do
-    let q = t.queues.(i) in
-    let sent = ref 0 in
-    while !sent < budget && not (Value_queue.is_empty q) do
-      (* Account the transmission before the user hook runs, so a raising
-         hook propagates out of a consistent switch. *)
-      let p = Value_queue.pop_max q in
-      t.occupancy <- t.occupancy - 1;
-      touch t i;
-      incr sent;
-      incr transmitted;
-      on_transmit p
+  (match t.repr with
+  | Linked queues ->
+    for i = 0 to t.n - 1 do
+      let q = queues.(i) in
+      let sent = ref 0 in
+      while !sent < budget && not (Value_queue.is_empty q) do
+        (* Account the transmission before the user hook runs, so a raising
+           hook propagates out of a consistent switch. *)
+        let p = Value_queue.pop_max q in
+        t.occupancy <- t.occupancy - 1;
+        touch t i;
+        incr sent;
+        incr transmitted;
+        on_transmit p
+      done
     done
-  done;
+  | Flat f ->
+    for i = 0 to t.n - 1 do
+      let sent = ref 0 in
+      while !sent < budget && f.qlen.(i) > 0 do
+        let v = flat_max_value_or f i ~default:0 in
+        let s = flat_bucket_pop_head f i v in
+        f.qlen.(i) <- f.qlen.(i) - 1;
+        f.qsum.(i) <- f.qsum.(i) - v;
+        t.occupancy <- t.occupancy - 1;
+        f.free.(f.free_top) <- s;
+        f.free_top <- f.free_top + 1;
+        touch t i;
+        incr sent;
+        incr transmitted;
+        on_transmit
+          {
+            Packet.Value.id = f.pid.(s);
+            dest = i;
+            value = v;
+            arrival = f.arrival.(s);
+          }
+      done
+    done);
+  !transmitted
+
+let transmit_phase_fields t ~on_transmit =
+  let budget = speedup t in
+  let transmitted = ref 0 in
+  (match t.repr with
+  | Linked queues ->
+    (* Compatibility wrapper: the fields hook fed from the boxed packets.
+       Engines running a linked backend use [transmit_phase] directly. *)
+    for i = 0 to t.n - 1 do
+      let q = queues.(i) in
+      let sent = ref 0 in
+      while !sent < budget && not (Value_queue.is_empty q) do
+        let p = Value_queue.pop_max q in
+        t.occupancy <- t.occupancy - 1;
+        touch t i;
+        incr sent;
+        incr transmitted;
+        on_transmit ~dest:i ~value:p.Packet.Value.value
+          ~arrival:p.Packet.Value.arrival
+      done
+    done
+  | Flat f ->
+    for i = 0 to t.n - 1 do
+      let sent = ref 0 in
+      while !sent < budget && Array.unsafe_get f.qlen i > 0 do
+        let v = flat_max_value_or f i ~default:0 in
+        let s = flat_bucket_pop_head f i v in
+        Array.unsafe_set f.qlen i (Array.unsafe_get f.qlen i - 1);
+        Array.unsafe_set f.qsum i (Array.unsafe_get f.qsum i - v);
+        t.occupancy <- t.occupancy - 1;
+        Array.unsafe_set f.free f.free_top s;
+        f.free_top <- f.free_top + 1;
+        touch t i;
+        incr sent;
+        incr transmitted;
+        on_transmit ~dest:i ~value:v ~arrival:(Array.unsafe_get f.arrival s)
+      done
+    done);
   !transmitted
 
 let flush t =
-  let dropped = Array.fold_left (fun acc q -> acc + Value_queue.clear q) 0 t.queues in
+  let dropped =
+    match t.repr with
+    | Linked queues ->
+      Array.fold_left (fun acc q -> acc + Value_queue.clear q) 0 queues
+    | Flat f ->
+      let dropped = ref 0 in
+      for i = 0 to t.n - 1 do
+        for v = 1 to f.k do
+          let b = (i * f.k) + (v - 1) in
+          let s = ref f.bhead.(b) in
+          while !s <> -1 do
+            incr dropped;
+            f.free.(f.free_top) <- !s;
+            f.free_top <- f.free_top + 1;
+            s := f.nxt.(!s)
+          done;
+          f.bhead.(b) <- -1;
+          f.btail.(b) <- -1
+        done;
+        f.qlen.(i) <- 0;
+        f.qsum.(i) <- 0
+      done;
+      Array.fill f.occ 0 (Array.length f.occ) 0;
+      !dropped
+  in
   t.occupancy <- t.occupancy - dropped;
-  assert (t.occupancy = 0);
+  (* A real check, not [assert]: release builds compiled with [-noassert]
+     must refuse to continue from a corrupted occupancy count too. *)
+  if t.occupancy <> 0 then
+    invalid_arg "Value_switch.flush: occupancy out of sync with queue contents";
   touch_all t;
   dropped
 
-let iter_queues f t = Array.iteri f t.queues
+let iter_queues f t =
+  match t.repr with
+  | Linked queues -> Array.iteri f queues
+  | Flat _ ->
+    invalid_arg "Value_switch.iter_queues: not available on the flat backend"
 
-let check_invariants t =
-  let len_sum = Array.fold_left (fun acc q -> acc + Value_queue.length q) 0 t.queues in
+let check_invariants_linked t queues =
+  let len_sum =
+    Array.fold_left (fun acc q -> acc + Value_queue.length q) 0 queues
+  in
   if len_sum <> t.occupancy then
     invalid_arg "Value_switch: occupancy out of sync with queue lengths";
-  if t.occupancy > buffer t then invalid_arg "Value_switch: occupancy exceeds B";
+  if t.occupancy > buffer t then
+    invalid_arg "Value_switch: occupancy exceeds B";
   Array.iter
     (fun q ->
       let sum =
@@ -164,6 +555,64 @@ let check_invariants t =
       in
       if not (sorted (Value_queue.to_list q)) then
         invalid_arg "Value_switch: queue not value-sorted")
-    t.queues;
+    queues
+
+let check_invariants_flat t f =
+  let seen = Array.make f.cap false in
+  let len_sum = ref 0 in
+  for i = 0 to t.n - 1 do
+    let qlen = ref 0 and qsum = ref 0 in
+    for v = 1 to f.k do
+      let b = (i * f.k) + (v - 1) in
+      let occupied =
+        f.occ.(i * f.wpp + (v / 63)) land (1 lsl (v mod 63)) <> 0
+      in
+      if occupied <> (f.bhead.(b) <> -1) then
+        invalid_arg "Value_switch(flat): bitset out of sync with buckets";
+      if (f.bhead.(b) = -1) <> (f.btail.(b) = -1) then
+        invalid_arg "Value_switch(flat): bucket head/tail out of sync";
+      let s = ref f.bhead.(b) and prev = ref (-1) in
+      while !s <> -1 do
+        if !s < 0 || !s >= f.cap then
+          invalid_arg "Value_switch(flat): slot id out of range";
+        if seen.(!s) then
+          invalid_arg "Value_switch(flat): slot id used twice";
+        seen.(!s) <- true;
+        if f.value.(!s) <> v then
+          invalid_arg "Value_switch(flat): slot in wrong value bucket";
+        if f.prv.(!s) <> !prev then
+          invalid_arg "Value_switch(flat): broken prev link";
+        incr qlen;
+        qsum := !qsum + v;
+        prev := !s;
+        s := f.nxt.(!s)
+      done;
+      if f.bhead.(b) <> -1 && f.btail.(b) <> !prev then
+        invalid_arg "Value_switch(flat): bucket tail out of sync"
+    done;
+    if !qlen <> f.qlen.(i) then
+      invalid_arg "Value_switch(flat): cached queue length out of sync";
+    if !qsum <> f.qsum.(i) then
+      invalid_arg "Value_switch(flat): cached total value out of sync";
+    len_sum := !len_sum + !qlen
+  done;
+  if !len_sum <> t.occupancy then
+    invalid_arg "Value_switch(flat): occupancy out of sync with buckets";
+  if t.occupancy > buffer t then
+    invalid_arg "Value_switch(flat): occupancy exceeds B";
+  if f.free_top + t.occupancy <> f.cap then
+    invalid_arg "Value_switch(flat): free list out of sync with occupancy";
+  for j = 0 to f.free_top - 1 do
+    let s = f.free.(j) in
+    if s < 0 || s >= f.cap then
+      invalid_arg "Value_switch(flat): free slot id out of range";
+    if seen.(s) then invalid_arg "Value_switch(flat): free slot also queued";
+    seen.(s) <- true
+  done
+
+let check_invariants t =
+  (match t.repr with
+  | Linked queues -> check_invariants_linked t queues
+  | Flat f -> check_invariants_flat t f);
   Agg_index.check t.min_index;
   List.iter (fun (_, idx) -> Agg_index.check idx) t.indexes

@@ -3,11 +3,31 @@
     Holds [n] priority queues (largest value first) drawing on one buffer of
     [B] packet slots.  Transmission sends up to [speedup] packets per
     non-empty queue per slot.  Mechanics only; admission decisions come from
-    a {!Value_policy}. *)
+    a {!Value_policy}.
+
+    Two interchangeable state representations sit behind one [t]:
+    - [`Linked] (default): one {!Value_queue} of boxed {!Packet.Value}
+      records per port — the reference implementation, with [queue]/
+      [iter_queues] access for tests and analyses.
+    - [`Flat]: struct-of-arrays slab of unboxed int columns with intrusive
+      per-(port, value) bucket lists and per-port occupancy bitsets (the
+      same 63-levels-per-word layout as {!Value_queue}).  Together with the
+      [_unit]/[_lost]/[_fields] entry points below, a warmed flat switch
+      runs the whole accept/push-out/transmit cycle without allocating.
+      Decision-relevant state — queue lengths, value sums, per-port
+      minima/maxima, intra-bucket FIFO order, the buffer-wide minimum
+      tracker's tie convention — is maintained bit-identically to the
+      linked representation; test/test_victim_oracle.ml fuzzes the two in
+      lockstep. *)
 
 type t
 
-val create : Value_config.t -> t
+type backend = [ `Linked | `Flat ]
+
+val create : ?backend:backend -> Value_config.t -> t
+(** [backend] defaults to [`Linked]. *)
+
+val backend : t -> backend
 
 val config : t -> Value_config.t
 (** The creation-time configuration.  Its [buffer] field is the {e initial}
@@ -20,7 +40,8 @@ val speedup : t -> int
 
 val set_buffer : t -> int -> unit
 (** Live-resize the shared buffer bound B; see {!Proc_switch.set_buffer}
-    for the contract (no buffered packet is ever dropped).
+    for the contract (no buffered packet is ever dropped).  On the flat
+    backend a grow extends the slot slab; the slab never shrinks.
     @raise Invalid_argument if the new bound is [< 1] or smaller than the
     current occupancy. *)
 
@@ -32,7 +53,22 @@ val free_space : t -> int
 val is_full : t -> bool
 
 val queue : t -> int -> Value_queue.t
+(** Direct access to queue [i] for tests and analyses.
+    @raise Invalid_argument on the flat backend, which has no per-queue
+    structure to expose — use the [queue_*] accessors below, which dispatch
+    on the representation. *)
+
 val queue_length : t -> int -> int
+
+val queue_total_value : t -> int -> int
+(** Sum of queued packet values at port [i].  O(1) on both backends. *)
+
+val queue_min_value : t -> int -> int option
+(** Smallest value queued at port [i]. *)
+
+val queue_min_value_or : t -> int -> default:int -> int
+(** Allocation-free {!queue_min_value}: [default] when the queue is empty.
+    Sits on the admission hot path of the value policies. *)
 
 val min_value : t -> int option
 (** Smallest value currently admitted anywhere in the buffer.  O(1): read
@@ -52,12 +88,23 @@ val find_index : t -> key:string -> better:(int -> int -> bool) -> Agg_index.t
     contract. *)
 
 val accept : t -> dest:int -> value:int -> Packet.Value.t
-(** @raise Invalid_argument if the buffer is full or the value is outside
+(** On the flat backend the returned record is a snapshot of the admitted
+    slot (allocated per call — engines use {!accept_unit}).
+    @raise Invalid_argument if the buffer is full or the value is outside
     [1 .. k]. *)
+
+val accept_unit : t -> dest:int -> value:int -> unit
+(** {!accept} without materializing the packet — allocation-free on the
+    flat backend. *)
 
 val push_out : t -> victim:int -> Packet.Value.t
 (** Evict the least valuable packet of queue [victim].
     @raise Invalid_argument if that queue is empty. *)
+
+val push_out_lost : t -> victim:int -> int
+(** {!push_out} returning only the evicted packet's value (what the
+    engines' loss accounting needs) — allocation-free on the flat
+    backend. *)
 
 val transmit_phase : t -> on_transmit:(Packet.Value.t -> unit) -> int
 (** Every non-empty queue transmits up to [speedup] packets, most valuable
@@ -65,8 +112,19 @@ val transmit_phase : t -> on_transmit:(Packet.Value.t -> unit) -> int
     each packet is fully accounted before [on_transmit] sees it, so a
     raising hook propagates out of a consistent switch. *)
 
+val transmit_phase_fields :
+  t -> on_transmit:(dest:int -> value:int -> arrival:int -> unit) -> int
+(** {!transmit_phase} delivering each transmission as plain fields instead
+    of a packet record — allocation-free on the flat backend.  Same
+    ordering, accounting and exception contract as {!transmit_phase}. *)
+
 val flush : t -> int
+(** Discard all buffered packets; returns how many were discarded.
+    @raise Invalid_argument if the occupancy count disagrees with the queue
+    contents — state corruption that must not be ignored (a real check, not
+    an [assert] stripped under [-noassert]). *)
 
 val iter_queues : (int -> Value_queue.t -> unit) -> t -> unit
+(** @raise Invalid_argument on the flat backend (see {!queue}). *)
 
 val check_invariants : t -> unit

@@ -1,9 +1,13 @@
 open Smbm_core
 
-let create_controlled ?name ?(observe = fun (_ : Packet.Proc.t) -> ())
-    ?recorder config (policy_ref : Proc_policy.t ref) =
+let create_controlled ?name ?observe ?recorder config
+    (policy_ref : Proc_policy.t ref) =
   let name = Option.value name ~default:!policy_ref.name in
-  let sw = Proc_switch.create config in
+  (* The policy carries the backend choice (set by [make ~impl], defaulted
+     from SMBM_BACKEND by the Policies registry), so every caller of the
+     engines picks up the flat representation with zero call-site
+     changes. *)
+  let sw = Proc_switch.create ~backend:!policy_ref.backend config in
   let metrics = Metrics.create () in
   let ports = Port_stats.create ~n:(Proc_config.n config) in
   let record =
@@ -16,29 +20,22 @@ let create_controlled ?name ?(observe = fun (_ : Packet.Proc.t) -> ())
   (* Events are records: guard construction, not just delivery — an
      untraced run must not allocate an event per arrival. *)
   let recording = Option.is_some recorder in
-  let on_transmit (p : Packet.Proc.t) =
-    let latency = Proc_switch.now sw - p.arrival in
-    Metrics.record_transmit metrics ~value:1 ~latency:(float_of_int latency);
-    Port_stats.record ports ~port:p.dest ~value:1;
-    if recording then record (Smbm_obs.Event.Transmit { dest = p.dest; value = 1; latency });
-    observe p
-  in
   let arrive_dv ~dest ~value:_ =
     Metrics.record_arrival metrics;
     if recording then record (Smbm_obs.Event.Arrival { dest });
     match Proc_policy.admit !policy_ref sw ~dest with
     | Decision.Accept ->
-      ignore (Proc_switch.accept sw ~dest);
+      Proc_switch.accept_unit sw ~dest;
       Metrics.record_accept metrics;
       if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Push_out { victim } ->
       if not (Proc_switch.is_full sw) then
         invalid_arg
           (name ^ ": push-out decision while the buffer has free space");
-      ignore (Proc_switch.push_out sw ~victim);
+      Proc_switch.push_out_unit sw ~victim;
       Metrics.record_push_out metrics;
       if recording then record (Smbm_obs.Event.Push_out { victim; dest; lost = 1 });
-      ignore (Proc_switch.accept sw ~dest);
+      Proc_switch.accept_unit sw ~dest;
       Metrics.record_accept metrics;
       if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Drop ->
@@ -46,7 +43,34 @@ let create_controlled ?name ?(observe = fun (_ : Packet.Proc.t) -> ())
       if recording then record (Smbm_obs.Event.Drop { dest; value = 1 })
   in
   let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
-  let transmit () = ignore (Proc_switch.transmit_phase sw ~on_transmit) in
+  let transmit =
+    match observe with
+    | None ->
+      (* Fields-based transmission: no packet record per transmit, which is
+         what keeps the flat backend's hot path allocation-free. *)
+      let on_transmit ~dest ~arrival =
+        let latency = Proc_switch.now sw - arrival in
+        Metrics.record_transmit metrics ~value:1
+          ~latency:(float_of_int latency);
+        Port_stats.record ports ~port:dest ~value:1;
+        if recording then
+          record (Smbm_obs.Event.Transmit { dest; value = 1; latency })
+      in
+      fun () -> ignore (Proc_switch.transmit_phase_fields sw ~on_transmit)
+    | Some observe ->
+      (* An observer wants the packets; take the materializing path (on the
+         flat backend each is a per-transmit snapshot record). *)
+      let on_transmit (p : Packet.Proc.t) =
+        let latency = Proc_switch.now sw - p.arrival in
+        Metrics.record_transmit metrics ~value:1
+          ~latency:(float_of_int latency);
+        Port_stats.record ports ~port:p.dest ~value:1;
+        if recording then
+          record (Smbm_obs.Event.Transmit { dest = p.dest; value = 1; latency });
+        observe p
+      in
+      fun () -> ignore (Proc_switch.transmit_phase sw ~on_transmit)
+  in
   let end_slot () =
     let occupancy = Proc_switch.occupancy sw in
     Metrics.record_occupancy metrics occupancy;

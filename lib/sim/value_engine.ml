@@ -1,9 +1,13 @@
 open Smbm_core
 
-let create_controlled ?name ?(observe = fun (_ : Packet.Value.t) -> ())
-    ?recorder config (policy_ref : Value_policy.t ref) =
+let create_controlled ?name ?observe ?recorder config
+    (policy_ref : Value_policy.t ref) =
   let name = Option.value name ~default:!policy_ref.name in
-  let sw = Value_switch.create config in
+  (* The policy carries the backend choice (set by [make ~impl], defaulted
+     from SMBM_BACKEND by the Policies registry), so every caller of the
+     engines picks up the flat representation with zero call-site
+     changes. *)
+  let sw = Value_switch.create ~backend:!policy_ref.backend config in
   let metrics = Metrics.create () in
   let ports = Port_stats.create ~n:(Value_config.n config) in
   let record =
@@ -16,33 +20,23 @@ let create_controlled ?name ?(observe = fun (_ : Packet.Value.t) -> ())
   (* Events are records: guard construction, not just delivery — an
      untraced run must not allocate an event per arrival. *)
   let recording = Option.is_some recorder in
-  let on_transmit (p : Packet.Value.t) =
-    let latency = Value_switch.now sw - p.arrival in
-    Metrics.record_transmit metrics ~value:p.value
-      ~latency:(float_of_int latency);
-    Port_stats.record ports ~port:p.dest ~value:p.value;
-    if recording then record (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency });
-    observe p
-  in
   let arrive_dv ~dest ~value =
     Metrics.record_arrival metrics;
     if recording then record (Smbm_obs.Event.Arrival { dest });
     match Value_policy.admit !policy_ref sw ~dest ~value with
     | Decision.Accept ->
-      ignore (Value_switch.accept sw ~dest ~value);
+      Value_switch.accept_unit sw ~dest ~value;
       Metrics.record_accept metrics;
       if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Push_out { victim } ->
       if not (Value_switch.is_full sw) then
         invalid_arg
           (name ^ ": push-out decision while the buffer has free space");
-      let evicted = Value_switch.push_out sw ~victim in
+      let lost = Value_switch.push_out_lost sw ~victim in
       Metrics.record_push_out metrics;
       if recording then
-        record
-          (Smbm_obs.Event.Push_out
-           { victim; dest; lost = evicted.Packet.Value.value });
-      ignore (Value_switch.accept sw ~dest ~value);
+        record (Smbm_obs.Event.Push_out { victim; dest; lost });
+      Value_switch.accept_unit sw ~dest ~value;
       Metrics.record_accept metrics;
       if recording then record (Smbm_obs.Event.Accept { dest })
     | Decision.Drop ->
@@ -50,7 +44,35 @@ let create_controlled ?name ?(observe = fun (_ : Packet.Value.t) -> ())
       if recording then record (Smbm_obs.Event.Drop { dest; value })
   in
   let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
-  let transmit () = ignore (Value_switch.transmit_phase sw ~on_transmit) in
+  let transmit =
+    match observe with
+    | None ->
+      (* Fields-based transmission: no packet record per transmit, which is
+         what keeps the flat backend's hot path allocation-free. *)
+      let on_transmit ~dest ~value ~arrival =
+        let latency = Value_switch.now sw - arrival in
+        Metrics.record_transmit metrics ~value
+          ~latency:(float_of_int latency);
+        Port_stats.record ports ~port:dest ~value;
+        if recording then
+          record (Smbm_obs.Event.Transmit { dest; value; latency })
+      in
+      fun () -> ignore (Value_switch.transmit_phase_fields sw ~on_transmit)
+    | Some observe ->
+      (* An observer wants the packets; take the materializing path (on the
+         flat backend each is a per-transmit snapshot record). *)
+      let on_transmit (p : Packet.Value.t) =
+        let latency = Value_switch.now sw - p.arrival in
+        Metrics.record_transmit metrics ~value:p.value
+          ~latency:(float_of_int latency);
+        Port_stats.record ports ~port:p.dest ~value:p.value;
+        if recording then
+          record
+            (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency });
+        observe p
+      in
+      fun () -> ignore (Value_switch.transmit_phase sw ~on_transmit)
+  in
   let end_slot () =
     let occupancy = Value_switch.occupancy sw in
     Metrics.record_occupancy metrics occupancy;

@@ -1,103 +1,192 @@
-(* Differential oracle for the incremental victim-selection indexes: every
-   push-out policy built twice — [~impl:`Scan] (the original O(n) rescans)
-   and [~impl:`Indexed] (the O(log n) switch indexes) — driven in lockstep
-   on twin switches under fuzzed traffic, asserting bit-identical decisions
-   at every arrival.  Plus pinned tie-break regressions, raising-hook
-   invariant checks, and the intra-bucket order contract of Value_queue. *)
+(* Differential oracle for the incremental victim-selection indexes AND the
+   flat struct-of-arrays switch backend: every push-out policy built three
+   ways — [~impl:`Scan] (the original O(n) rescans on the linked switch),
+   [~impl:`Indexed] (the O(log n) switch indexes on the linked switch) and
+   [~impl:`Flat] (indexed selection on the flat SoA backend) — driven in
+   lockstep on triplet switches under fuzzed traffic (including mid-run
+   [set_buffer] resizes), asserting bit-identical decisions at every arrival
+   and bit-identical transmitted packets (ids included) at every
+   transmission phase.  Plus pinned tie-break regressions, raising-hook
+   invariant checks on both backends, and the intra-bucket order contract
+   of Value_queue. *)
 
 open Smbm_core
 
 (* --- lockstep drivers --- *)
 
+let impls = [ `Indexed; `Scan; `Flat ]
+
 let run_proc_lockstep ~works ~buffer ~speedup ~ops ~mk =
   let config = Proc_config.make ~works ~buffer ~speedup () in
-  let fast_sw = Proc_switch.create config
-  and slow_sw = Proc_switch.create config in
-  let fast = mk `Indexed config and slow = mk `Scan config in
+  let arm impl =
+    let policy = mk impl config in
+    (* The policy's backend field is the seam under test: `Flat builds the
+       SoA switch, the others the linked reference. *)
+    (policy, Proc_switch.create ~backend:policy.Proc_policy.backend config)
+  in
+  let arms = List.map arm impls in
   let ok = ref true in
+  let all_equal = function
+    | [] -> true
+    | x0 :: rest -> List.for_all (( = ) x0) rest
+  in
   let apply sw d ~dest =
     match d with
-    | Decision.Accept -> ignore (Proc_switch.accept sw ~dest)
+    | Decision.Accept -> Proc_switch.accept_unit sw ~dest
     | Decision.Push_out { victim } ->
-      ignore (Proc_switch.push_out sw ~victim);
-      ignore (Proc_switch.accept sw ~dest)
+      Proc_switch.push_out_unit sw ~victim;
+      Proc_switch.accept_unit sw ~dest
     | Decision.Drop -> ()
   in
   List.iter
     (fun op ->
       (match op with
       | `Arrival dest ->
-        let df = Proc_policy.admit fast fast_sw ~dest
-        and ds = Proc_policy.admit slow slow_sw ~dest in
-        if not (Decision.equal df ds) then ok := false;
-        apply fast_sw df ~dest;
-        apply slow_sw ds ~dest
+        let ds =
+          List.map (fun (p, sw) -> Proc_policy.admit p sw ~dest) arms
+        in
+        (match ds with
+        | d0 :: rest ->
+          if not (List.for_all (Decision.equal d0) rest) then ok := false
+        | [] -> ());
+        List.iter2 (fun (_, sw) d -> apply sw d ~dest) arms ds
       | `Transmit ->
-        ignore (Proc_switch.transmit_phase fast_sw ~on_transmit:ignore);
-        ignore (Proc_switch.transmit_phase slow_sw ~on_transmit:ignore)
+        (* Transmitted packets must agree field-for-field — ids included —
+           across all three arms. *)
+        let sent =
+          List.map
+            (fun (_, sw) ->
+              let acc = ref [] in
+              ignore
+                (Proc_switch.transmit_phase sw
+                   ~on_transmit:(fun (p : Packet.Proc.t) ->
+                     acc := (p.id, p.dest, p.work, p.arrival) :: !acc));
+              List.rev !acc)
+            arms
+        in
+        if not (all_equal sent) then ok := false
+      | `Set_buffer b ->
+        (* Same clamp on every arm: occupancies are lockstep-identical, so
+           the effective bound is too (shrinking below occupancy is
+           refused by contract). *)
+        let occ = Proc_switch.occupancy (snd (List.hd arms)) in
+        let b = max 1 (max occ b) in
+        List.iter (fun (_, sw) -> Proc_switch.set_buffer sw b) arms
       | `Flush ->
-        ignore (Proc_switch.flush fast_sw);
-        ignore (Proc_switch.flush slow_sw));
-      Proc_switch.check_invariants fast_sw;
-      Proc_switch.check_invariants slow_sw;
-      if
-        Proc_switch.total_occupied_work fast_sw
-        <> Proc_switch.total_occupied_work slow_sw
-      then ok := false;
-      for j = 0 to Proc_switch.n fast_sw - 1 do
-        if Proc_switch.queue_length fast_sw j <> Proc_switch.queue_length slow_sw j
-        then ok := false
-      done)
+        if
+          not
+            (all_equal (List.map (fun (_, sw) -> Proc_switch.flush sw) arms))
+        then ok := false);
+      List.iter (fun (_, sw) -> Proc_switch.check_invariants sw) arms;
+      match arms with
+      | [] -> ()
+      | (_, sw0) :: rest ->
+        List.iter
+          (fun (_, sw) ->
+            if Proc_switch.occupancy sw <> Proc_switch.occupancy sw0 then
+              ok := false;
+            if Proc_switch.buffer sw <> Proc_switch.buffer sw0 then
+              ok := false;
+            if
+              Proc_switch.total_occupied_work sw
+              <> Proc_switch.total_occupied_work sw0
+            then ok := false;
+            for j = 0 to Proc_switch.n sw0 - 1 do
+              if
+                Proc_switch.queue_length sw j
+                <> Proc_switch.queue_length sw0 j
+                || Proc_switch.queue_work sw j <> Proc_switch.queue_work sw0 j
+              then ok := false
+            done)
+          rest)
     ops;
   !ok
 
 let run_value_lockstep ~ports ~max_value ~buffer ~speedup ~ops ~mk =
   let config = Value_config.make ~ports ~max_value ~buffer ~speedup () in
-  let fast_sw = Value_switch.create config
-  and slow_sw = Value_switch.create config in
-  let fast = mk `Indexed config and slow = mk `Scan config in
+  let arm impl =
+    let policy = mk impl config in
+    (policy, Value_switch.create ~backend:policy.Value_policy.backend config)
+  in
+  let arms = List.map arm impls in
   let ok = ref true in
+  let all_equal = function
+    | [] -> true
+    | x0 :: rest -> List.for_all (( = ) x0) rest
+  in
   let apply sw d ~dest ~value =
     match d with
-    | Decision.Accept -> ignore (Value_switch.accept sw ~dest ~value)
+    | Decision.Accept -> Value_switch.accept_unit sw ~dest ~value
     | Decision.Push_out { victim } ->
-      ignore (Value_switch.push_out sw ~victim);
-      ignore (Value_switch.accept sw ~dest ~value)
+      ignore (Value_switch.push_out_lost sw ~victim : int);
+      Value_switch.accept_unit sw ~dest ~value
     | Decision.Drop -> ()
   in
   List.iter
     (fun op ->
       (match op with
       | `Arrival (dest, value) ->
-        let df = Value_policy.admit fast fast_sw ~dest ~value
-        and ds = Value_policy.admit slow slow_sw ~dest ~value in
-        if not (Decision.equal df ds) then ok := false;
-        apply fast_sw df ~dest ~value;
-        apply slow_sw ds ~dest ~value
+        let ds =
+          List.map (fun (p, sw) -> Value_policy.admit p sw ~dest ~value) arms
+        in
+        (match ds with
+        | d0 :: rest ->
+          if not (List.for_all (Decision.equal d0) rest) then ok := false
+        | [] -> ());
+        List.iter2 (fun (_, sw) d -> apply sw d ~dest ~value) arms ds
       | `Transmit ->
-        ignore (Value_switch.transmit_phase fast_sw ~on_transmit:ignore);
-        ignore (Value_switch.transmit_phase slow_sw ~on_transmit:ignore)
+        let sent =
+          List.map
+            (fun (_, sw) ->
+              let acc = ref [] in
+              ignore
+                (Value_switch.transmit_phase sw
+                   ~on_transmit:(fun (p : Packet.Value.t) ->
+                     acc := (p.id, p.dest, p.value, p.arrival) :: !acc));
+              List.rev !acc)
+            arms
+        in
+        if not (all_equal sent) then ok := false
+      | `Set_buffer b ->
+        let occ = Value_switch.occupancy (snd (List.hd arms)) in
+        let b = max 1 (max occ b) in
+        List.iter (fun (_, sw) -> Value_switch.set_buffer sw b) arms
       | `Flush ->
-        ignore (Value_switch.flush fast_sw);
-        ignore (Value_switch.flush slow_sw));
-      Value_switch.check_invariants fast_sw;
-      Value_switch.check_invariants slow_sw;
-      if Value_switch.min_value fast_sw <> Value_switch.min_value slow_sw then
-        ok := false;
-      if
-        Value_switch.min_value_port fast_sw
-        <> Value_switch.min_value_port slow_sw
-      then ok := false;
-      for j = 0 to Value_switch.n fast_sw - 1 do
         if
-          Value_switch.queue_length fast_sw j
-          <> Value_switch.queue_length slow_sw j
-        then ok := false
-      done)
+          not
+            (all_equal (List.map (fun (_, sw) -> Value_switch.flush sw) arms))
+        then ok := false);
+      List.iter (fun (_, sw) -> Value_switch.check_invariants sw) arms;
+      match arms with
+      | [] -> ()
+      | (_, sw0) :: rest ->
+        List.iter
+          (fun (_, sw) ->
+            if Value_switch.occupancy sw <> Value_switch.occupancy sw0 then
+              ok := false;
+            if Value_switch.buffer sw <> Value_switch.buffer sw0 then
+              ok := false;
+            if Value_switch.min_value sw <> Value_switch.min_value sw0 then
+              ok := false;
+            if
+              Value_switch.min_value_port sw
+              <> Value_switch.min_value_port sw0
+            then ok := false;
+            for j = 0 to Value_switch.n sw0 - 1 do
+              if
+                Value_switch.queue_length sw j
+                <> Value_switch.queue_length sw0 j
+                || Value_switch.queue_total_value sw j
+                   <> Value_switch.queue_total_value sw0 j
+                || Value_switch.queue_min_value sw j
+                   <> Value_switch.queue_min_value sw0 j
+              then ok := false
+            done)
+          rest)
     ops;
   !ok
 
-(* --- every push-out policy, both implementations, fuzzed traffic --- *)
+(* --- every push-out policy, all three implementations, fuzzed traffic --- *)
 
 let proc_policies ~buffer ~n =
   [
@@ -131,12 +220,13 @@ let proc_ops_gen n =
          [
            (6, map (fun d -> `Arrival d) (int_range 0 (n - 1)));
            (2, pure `Transmit);
+           (1, map (fun b -> `Set_buffer b) (int_range 1 12));
            (1, pure `Flush);
          ]))
 
-let prop_proc_policies_indexed_matches_scan =
+let prop_proc_policies_lockstep =
   QCheck2.Test.make
-    ~name:"proc push-out policies: indexed victim = scan victim" ~count:150
+    ~name:"proc push-out policies: scan = indexed = flat lockstep" ~count:150
     QCheck2.Gen.(
       let* n = int_range 1 6 in
       let* works = array_size (pure n) (int_range 1 4) in
@@ -150,9 +240,9 @@ let prop_proc_policies_indexed_matches_scan =
         (fun (_name, mk) -> run_proc_lockstep ~works ~buffer ~speedup ~ops ~mk)
         (proc_policies ~buffer ~n))
 
-let prop_value_policies_indexed_matches_scan =
+let prop_value_policies_lockstep =
   QCheck2.Test.make
-    ~name:"value push-out policies: indexed victim = scan victim" ~count:150
+    ~name:"value push-out policies: scan = indexed = flat lockstep" ~count:150
     QCheck2.Gen.(
       let* ports = int_range 1 6 in
       let* max_value = int_range 1 8 in
@@ -168,6 +258,7 @@ let prop_value_policies_indexed_matches_scan =
                    (int_range 0 (ports - 1))
                    (int_range 1 max_value) );
                (2, pure `Transmit);
+               (1, map (fun b -> `Set_buffer b) (int_range 1 12));
                (1, pure `Flush);
              ])
       in
@@ -179,13 +270,16 @@ let prop_value_policies_indexed_matches_scan =
         value_policies)
 
 (* Deterministic soak with k = 130: min/max values cross the 63-bit word
-   boundary of Value_queue's occupancy bitset, which the small fuzzed
-   configurations above never reach. *)
+   boundary of the occupancy bitsets (both Value_queue's and the flat
+   backend's port-major copies), which the small fuzzed configurations
+   above never reach.  Periodic resizes exercise flat slab growth at
+   width. *)
 let test_value_soak_wide_k () =
   let ports = 4 and max_value = 130 and buffer = 32 in
   let ops =
     List.init 2000 (fun i ->
-        if i mod 16 = 15 then `Transmit
+        if i mod 97 = 96 then `Set_buffer (16 + (i mod 48))
+        else if i mod 16 = 15 then `Transmit
         else `Arrival (i mod ports, (i * 37 mod max_value) + 1))
   in
   List.iter
@@ -198,13 +292,13 @@ let test_value_soak_wide_k () =
 
 (* --- pinned tie-break regressions --- *)
 
-let proc_switch ?speedup ~works ~buffer ~lengths () =
+let proc_switch ?(backend = `Linked) ?speedup ~works ~buffer ~lengths () =
   let config = Proc_config.make ~works ~buffer ?speedup () in
-  let sw = Proc_switch.create config in
+  let sw = Proc_switch.create ~backend config in
   Array.iteri
     (fun j l ->
       for _ = 1 to l do
-        ignore (Proc_switch.accept sw ~dest:j)
+        Proc_switch.accept_unit sw ~dest:j
       done)
     lengths;
   sw
@@ -231,12 +325,12 @@ let test_lwd_tie_largest_index () =
     "indexed" (Some 1)
     (P_lwd.select_victim sw ~dest:0)
 
-let value_switch ~ports ~max_value ~buffer ~queues =
+let value_switch ?(backend = `Linked) ~ports ~max_value ~buffer ~queues () =
   let config = Value_config.make ~ports ~max_value ~buffer () in
-  let sw = Value_switch.create config in
+  let sw = Value_switch.create ~backend config in
   Array.iteri
     (fun j values ->
-      List.iter (fun v -> ignore (Value_switch.accept sw ~dest:j ~value:v)) values)
+      List.iter (fun v -> Value_switch.accept_unit sw ~dest:j ~value:v) values)
     queues;
   sw
 
@@ -245,14 +339,14 @@ let test_mrd_tie_smaller_min_then_largest_index () =
      value wins. *)
   let sw =
     value_switch ~ports:2 ~max_value:4 ~buffer:4
-      ~queues:[| [ 3; 1 ]; [ 2; 2 ] |]
+      ~queues:[| [ 3; 1 ]; [ 2; 2 ] |] ()
   in
   Alcotest.(check (option int)) "scan" (Some 0) (V_mrd.select_victim_scan sw);
   Alcotest.(check (option int)) "indexed" (Some 0) (V_mrd.select_victim sw);
   (* Equal ratios and equal minima: the largest index wins. *)
   let sw =
     value_switch ~ports:2 ~max_value:4 ~buffer:4
-      ~queues:[| [ 2; 2 ]; [ 2; 2 ] |]
+      ~queues:[| [ 2; 2 ]; [ 2; 2 ] |] ()
   in
   Alcotest.(check (option int)) "scan tie" (Some 1) (V_mrd.select_victim_scan sw);
   Alcotest.(check (option int)) "indexed tie" (Some 1) (V_mrd.select_victim sw)
@@ -260,29 +354,36 @@ let test_mrd_tie_smaller_min_then_largest_index () =
 let test_min_value_port_pinned_tie () =
   (* Several queues hold the buffer minimum: the longest one wins, then the
      smallest port index — and the reported port always holds the reported
-     minimum. *)
-  let sw =
-    value_switch ~ports:3 ~max_value:9 ~buffer:6
-      ~queues:[| [ 1 ]; [ 9; 1 ]; [ 1 ] |]
-  in
-  Alcotest.(check (option int)) "min value" (Some 1) (Value_switch.min_value sw);
-  Alcotest.(check (option int))
-    "longest min-holder wins" (Some 1)
-    (Value_switch.min_value_port sw);
-  Alcotest.(check (option int))
-    "port holds the minimum" (Some 1)
-    (Value_queue.min_value (Value_switch.queue sw 1));
-  (* Equal lengths: the smallest index wins. *)
-  let sw =
-    value_switch ~ports:3 ~max_value:9 ~buffer:6
-      ~queues:[| [ 1 ]; [ 1 ]; [ 1 ] |]
-  in
-  Alcotest.(check (option int))
-    "smallest index among equals" (Some 0)
-    (Value_switch.min_value_port sw);
-  (* Empty switch: no port. *)
-  let sw = value_switch ~ports:2 ~max_value:4 ~buffer:4 ~queues:[| []; [] |] in
-  Alcotest.(check (option int)) "empty" None (Value_switch.min_value_port sw)
+     minimum.  The tie is pinned on both backends. *)
+  List.iter
+    (fun backend ->
+      let sw =
+        value_switch ~backend ~ports:3 ~max_value:9 ~buffer:6
+          ~queues:[| [ 1 ]; [ 9; 1 ]; [ 1 ] |] ()
+      in
+      Alcotest.(check (option int))
+        "min value" (Some 1) (Value_switch.min_value sw);
+      Alcotest.(check (option int))
+        "longest min-holder wins" (Some 1)
+        (Value_switch.min_value_port sw);
+      Alcotest.(check (option int))
+        "port holds the minimum" (Some 1)
+        (Value_switch.queue_min_value sw 1);
+      (* Equal lengths: the smallest index wins. *)
+      let sw =
+        value_switch ~backend ~ports:3 ~max_value:9 ~buffer:6
+          ~queues:[| [ 1 ]; [ 1 ]; [ 1 ] |] ()
+      in
+      Alcotest.(check (option int))
+        "smallest index among equals" (Some 0)
+        (Value_switch.min_value_port sw);
+      (* Empty switch: no port. *)
+      let sw =
+        value_switch ~backend ~ports:2 ~max_value:4 ~buffer:4
+          ~queues:[| []; [] |] ()
+      in
+      Alcotest.(check (option int)) "empty" None (Value_switch.min_value_port sw))
+    [ `Linked; `Flat ]
 
 (* --- raising hooks leave invariants intact --- *)
 
@@ -310,9 +411,10 @@ let test_work_queue_raising_hook () =
   Alcotest.(check int) "resumed" 1 sent;
   Alcotest.(check int) "drained" 0 (Work_queue.total_work q)
 
-let test_proc_switch_raising_hook () =
+let test_proc_switch_raising_hook backend () =
   let sw =
-    proc_switch ~speedup:2 ~works:[| 2; 3 |] ~buffer:4 ~lengths:[| 2; 2 |] ()
+    proc_switch ~backend ~speedup:2 ~works:[| 2; 3 |] ~buffer:4
+      ~lengths:[| 2; 2 |] ()
   in
   (try
      ignore
@@ -334,10 +436,10 @@ let test_proc_switch_raising_hook () =
   drain ();
   Alcotest.(check int) "all work drained" 0 (Proc_switch.total_occupied_work sw)
 
-let test_value_switch_raising_hook () =
+let test_value_switch_raising_hook backend () =
   let sw =
-    value_switch ~ports:2 ~max_value:4 ~buffer:6
-      ~queues:[| [ 4; 2 ]; [ 3; 1 ] |]
+    value_switch ~backend ~ports:2 ~max_value:4 ~buffer:6
+      ~queues:[| [ 4; 2 ]; [ 3; 1 ] |] ()
   in
   (try
      ignore
@@ -374,8 +476,8 @@ let test_value_queue_intra_bucket_order () =
 
 let suite =
   [
-    Qc.to_alcotest prop_proc_policies_indexed_matches_scan;
-    Qc.to_alcotest prop_value_policies_indexed_matches_scan;
+    Qc.to_alcotest prop_proc_policies_lockstep;
+    Qc.to_alcotest prop_value_policies_lockstep;
     Alcotest.test_case "value soak, k crosses bitset word" `Slow
       test_value_soak_wide_k;
     Alcotest.test_case "LQD tie keeps largest index" `Quick
@@ -388,10 +490,14 @@ let suite =
       test_min_value_port_pinned_tie;
     Alcotest.test_case "Work_queue raising hook" `Quick
       test_work_queue_raising_hook;
-    Alcotest.test_case "Proc_switch raising hook" `Quick
-      test_proc_switch_raising_hook;
-    Alcotest.test_case "Value_switch raising hook" `Quick
-      test_value_switch_raising_hook;
+    Alcotest.test_case "Proc_switch raising hook (linked)" `Quick
+      (test_proc_switch_raising_hook `Linked);
+    Alcotest.test_case "Proc_switch raising hook (flat)" `Quick
+      (test_proc_switch_raising_hook `Flat);
+    Alcotest.test_case "Value_switch raising hook (linked)" `Quick
+      (test_value_switch_raising_hook `Linked);
+    Alcotest.test_case "Value_switch raising hook (flat)" `Quick
+      (test_value_switch_raising_hook `Flat);
     Alcotest.test_case "Value_queue intra-bucket order" `Quick
       test_value_queue_intra_bucket_order;
   ]
