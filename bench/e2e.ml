@@ -45,11 +45,22 @@
      flat/linked ratio (floor 3x on proc at n256), every speedup against
      the committed baseline, and the near-zero flat minor words/slot.
 
+   - e2e/flight/proc/{off,on}/{slots_per_sec,minor_words_per_slot}
+     e2e/flight/proc/overhead
+     The flat proc hot cell again, with the engine's per-event flight
+     recording (Smbm_obs.Flight) inlined at the same sites — arrival,
+     transmit, slot end.  The loop underneath runs at ~10M slots/s, so
+     any per-event recording cost shows up undiluted: this is the worst
+     case for the always-on black box.  `overhead` is on/off (closer to
+     1.0 is cheaper); CI gates it with an absolute floor of 0.8 — the
+     always-on ring must keep at least 80% of tracing-off throughput.
+
    The committed repo-root BENCH_e2e.json is this file at the default
    scale; CI regenerates it at the same scale and gates with
    `smbm_cli bench-diff` on the speedup ratios, the alloc_improvement
-   floor, and minor_words_per_slot regressions (allocation counts are
-   deterministic and machine-transferable, unlike raw rates).
+   floor, the flight overhead floor, and minor_words_per_slot
+   regressions (allocation counts are deterministic and
+   machine-transferable, unlike raw rates).
 
    Both pipelines consume the workload's RNG streams identically and make
    bit-identical decisions (the equivalence suite proves that), so every
@@ -273,6 +284,55 @@ let flat_value_cell ~n ~buffer ~slots ~backend =
       done;
       slots)
 
+(* ----- flight cells: the always-on black box priced on the hot loop ----- *)
+
+(* The flat hot cell's loop with the engine's flight-recording seam:
+   per-packet transmit and arrival events plus a slot_end, guarded by the
+   same option match the engines compile.  [flight = None] is the
+   tracing-off arm; [Some ring] is always-on recording into a wrapped
+   ring. *)
+let flight_cell ~flight =
+  let n = 4 and buffer = 64 in
+  let slots = flat_row_slots 600_000 in
+  let config = Smbm_core.Proc_config.contiguous ~k:n ~buffer () in
+  let sw = Smbm_core.Proc_switch.create ~backend:`Flat config in
+  let fsrc =
+    match flight with Some f -> Smbm_obs.Flight.intern f "hot" | None -> 0
+  in
+  let next = lcg 0x5eed in
+  let d = ref 0 in
+  while not (Smbm_core.Proc_switch.is_full sw) do
+    Smbm_core.Proc_switch.accept_unit sw ~dest:(!d mod n);
+    incr d
+  done;
+  measure (fun () ->
+      for _ = 1 to slots do
+        let now = Smbm_core.Proc_switch.now sw in
+        let freed =
+          Smbm_core.Proc_switch.transmit_phase_fields sw
+            ~on_transmit:(fun ~dest ~arrival ->
+              match flight with
+              | None -> ()
+              | Some f ->
+                Smbm_obs.Flight.transmit f ~slot:now ~src:fsrc ~dest ~value:1
+                  ~latency:(now - arrival))
+        in
+        Smbm_core.Proc_switch.advance_slot sw;
+        for _ = 1 to freed do
+          let dest = next n in
+          (match flight with
+          | None -> ()
+          | Some f -> Smbm_obs.Flight.arrival f ~slot:now ~src:fsrc ~dest);
+          Smbm_core.Proc_switch.accept_unit sw ~dest
+        done;
+        match flight with
+        | None -> ()
+        | Some f ->
+          Smbm_obs.Flight.slot_end f ~slot:now ~src:fsrc
+            ~occupancy:(Smbm_core.Proc_switch.occupancy sw)
+      done;
+      slots)
+
 let () =
   let reg = Smbm_obs.Registry.create () in
   let gauge name v = Smbm_obs.Registry.set (Smbm_obs.Registry.gauge reg name) v in
@@ -323,6 +383,20 @@ let () =
         flat_sizes)
     [ ("proc", flat_proc_cell); ("value", flat_value_cell) ];
   gauge "e2e/flat/proc/target_slots_per_sec" 10_000_000.0;
+  (let off_rate, off_words = flight_cell ~flight:None in
+   let ring = Smbm_obs.Flight.create ~cap:65536 () in
+   let on_rate, on_words = flight_cell ~flight:(Some ring) in
+   gauge "e2e/flight/proc/off/slots_per_sec" off_rate;
+   gauge "e2e/flight/proc/on/slots_per_sec" on_rate;
+   gauge "e2e/flight/proc/off/minor_words_per_slot" off_words;
+   gauge "e2e/flight/proc/on/minor_words_per_slot" on_words;
+   gauge "e2e/flight/proc/overhead" (on_rate /. off_rate);
+   Printf.printf
+     "%-28s off %8.0f slots/s %8.2f w/slot   on %8.0f slots/s %8.2f w/slot   \
+      overhead %.2fx (%d events)\n\
+      %!"
+     "flight/proc" off_rate off_words on_rate on_words (on_rate /. off_rate)
+     (Smbm_obs.Flight.total ring));
   let oc = open_out !out in
   List.iter
     (fun line -> output_string oc (line ^ "\n"))

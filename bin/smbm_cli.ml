@@ -632,47 +632,39 @@ let run_trace_validate allow_truncation path =
   in
   let truncations = ref [] (* scope, evicted, oldest surviving slot *) in
   let kinds = Hashtbl.create 8 in
-  let lines = ref 0 in
   let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
-  let ic = open_in path in
-  (try
-     while true do
-       let line = input_line ic in
-       incr lines;
-       if String.trim line <> "" then begin
-         let ev =
-           match E.of_json line with
-           | Ok ev -> ev
-           | Error msg -> fail "%s:%d: %s" path !lines msg
-         in
-         let name = E.kind_name ev.E.kind in
-         Hashtbl.replace kinds name
-           (1 + Option.value (Hashtbl.find_opt kinds name) ~default:0);
-         match ev.E.kind with
-         | E.Truncated { evicted } ->
-           truncations := (ev.E.src, evicted, ev.E.slot) :: !truncations
-         | _ ->
-           let last, (arr, acc, drop) =
-             Option.value
-               (Hashtbl.find_opt per_src ev.E.src)
-               ~default:(0, (0, 0, 0))
-           in
-           if ev.E.slot < last then
-             fail "%s:%d: slot %d of %S goes backwards (last %d)" path !lines
-               ev.E.slot ev.E.src last;
-           let counts =
-             match ev.E.kind with
-             | E.Arrival _ -> (arr + 1, acc, drop)
-             | E.Accept _ -> (arr, acc + 1, drop)
-             | E.Drop _ -> (arr, acc, drop + 1)
-             | E.Push_out _ | E.Transmit _ | E.Transmit_bulk _ | E.Flush _
-             | E.Slot_end _ | E.Reconfig _ | E.Health _ | E.Truncated _ ->
-               (arr, acc, drop)
-           in
-           Hashtbl.replace per_src ev.E.src (ev.E.slot, counts)
-       end
-     done
-   with End_of_file -> close_in ic);
+  let on_event ~lineno (ev : E.t) =
+    let name = E.kind_name ev.E.kind in
+    Hashtbl.replace kinds name
+      (1 + Option.value (Hashtbl.find_opt kinds name) ~default:0);
+    match ev.E.kind with
+    | E.Truncated { evicted } ->
+      truncations := (ev.E.src, evicted, ev.E.slot) :: !truncations
+    | _ ->
+      let last, (arr, acc, drop) =
+        Option.value
+          (Hashtbl.find_opt per_src ev.E.src)
+          ~default:(0, (0, 0, 0))
+      in
+      if ev.E.slot < last then
+        fail "%s:%d: slot %d of %S goes backwards (last %d)" path lineno
+          ev.E.slot ev.E.src last;
+      let counts =
+        match ev.E.kind with
+        | E.Arrival _ -> (arr + 1, acc, drop)
+        | E.Accept _ -> (arr, acc + 1, drop)
+        | E.Drop _ -> (arr, acc, drop + 1)
+        | E.Push_out _ | E.Transmit _ | E.Transmit_bulk _ | E.Flush _
+        | E.Slot_end _ | E.Reconfig _ | E.Health _ | E.Truncated _ ->
+          (arr, acc, drop)
+      in
+      Hashtbl.replace per_src ev.E.src (ev.E.slot, counts)
+  in
+  (* iter_events dispatches on the binary magic, so both encodings get the
+     same audit. *)
+  (match Smbm_forensics.Trace_file.iter_events path ~f:on_event with
+  | Ok _ -> ()
+  | Error msg -> fail "%s" msg);
   let truncations = List.rev !truncations in
   let sources =
     Hashtbl.fold (fun src v acc -> (src, v) :: acc) per_src []
@@ -762,14 +754,82 @@ let trace_validate_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"Event trace (JSONL) written by --trace.")
+      & info [] ~docv:"FILE"
+          ~doc:"Event trace (JSONL or binary) written by --trace.")
   in
   Cmd.v
     (Cmd.info "trace-validate"
        ~doc:
-         "Check an event trace written by $(b,--trace): strict JSONL \
-          parsing, per-source slot monotonicity, and arrival conservation.")
+         "Check an event trace written by $(b,--trace) (JSONL or binary): \
+          strict parsing, per-source slot monotonicity, and arrival \
+          conservation.")
     Term.(const run_trace_validate $ allow_truncation $ path)
+
+(* ----- trace-convert ----- *)
+
+let run_trace_convert input output to_format =
+  let module TF = Smbm_forensics.Trace_file in
+  let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt in
+  let target =
+    match to_format with
+    | Some f -> f
+    | None ->
+      (* Default: flip whatever the input is. *)
+      if TF.is_binary input then `Jsonl else `Binary
+  in
+  match TF.read_events input with
+  | Error msg -> fail "%s" msg
+  | Ok indexed -> (
+    let events = List.map snd indexed in
+    match target with
+    | `Binary -> (
+      match TF.write_binary output events with
+      | Ok () ->
+        Printf.printf "%s: wrote %d events (binary) to %s\n" input
+          (List.length events) output
+      | Error msg -> fail "%s" msg)
+    | `Jsonl -> (
+      match open_out output with
+      | exception Sys_error msg -> fail "%s" msg
+      | oc ->
+        List.iter
+          (fun e ->
+            output_string oc (Smbm_obs.Event.to_json e);
+            output_char oc '\n')
+          events;
+        close_out oc;
+        Printf.printf "%s: wrote %d events (jsonl) to %s\n" input
+          (List.length events) output))
+
+let trace_convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"IN" ~doc:"Input trace, JSONL or binary.")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output path.")
+  in
+  let to_format =
+    let fmt = Arg.enum [ ("jsonl", `Jsonl); ("binary", `Binary) ] in
+    Arg.(
+      value
+      & opt (some fmt) None
+      & info [ "to" ] ~docv:"FORMAT"
+          ~doc:
+            "Target encoding, $(b,jsonl) or $(b,binary).  Default: the \
+             opposite of the input's.")
+  in
+  Cmd.v
+    (Cmd.info "trace-convert"
+       ~doc:
+         "Convert an event trace between the JSONL and binary encodings, \
+          losslessly in both directions.")
+    Term.(const run_trace_convert $ input $ output $ to_format)
 
 (* ----- trace-replay / trace-diff / trace-explain ----- *)
 
@@ -1592,7 +1652,7 @@ let load_arrival_trace path =
 
 let run_serve common model policy_name ingest_trace ring backpressure duration
     rate shards ats metrics_out metrics_every trace trace_cap max_p99
-    stats_sock stats_every stats_window =
+    stats_sock stats_every stats_window flight_cap postmortem =
   let mmpp =
     { Smbm_traffic.Scenario.default_mmpp with sources = common.sources }
   in
@@ -1628,7 +1688,8 @@ let run_serve common model policy_name ingest_trace ring backpressure duration
       ?duration:(if duration > 0. then Some duration else None)
       ?rate:(if rate > 0. then Some rate else None)
       ?stats_sock ~stats_every ~stats_window ~p99_budget_us:max_p99
-      ~model:(serve_model common model) ~policy:policy_name ~ingest ()
+      ~flight_cap ?postmortem ~model:(serve_model common model)
+      ~policy:policy_name ~ingest ()
   in
   Option.iter Smbm_par.Pool.shutdown pool;
   Format.printf "%a@." Smbm_serve.Daemon.pp_report report;
@@ -1765,6 +1826,25 @@ let serve_cmd =
             "Rolling window for telemetry rates and windowed quantiles, in \
              seconds.")
   in
+  let flight_cap =
+    Arg.(
+      value & opt int 65536
+      & info [ "flight-cap" ] ~docv:"N"
+          ~doc:
+            "Size of the always-on flight recorder ring (last $(docv) \
+             events, allocation-free; rounded up to a power of two; 0 \
+             disables the black box).")
+  in
+  let postmortem =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "postmortem" ] ~docv:"BASE"
+          ~doc:
+            "On the first health trip, sink error or engine exception, dump \
+             the flight ring and a state snapshot to $(docv).trace.bin + \
+             $(docv).meta.jsonl (inspect with $(b,smbm_cli postmortem)).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1779,7 +1859,7 @@ let serve_cmd =
       $ duration_term ~default:0.
       $ rate $ shards_term $ ats $ metrics_out_term $ metrics_every
       $ trace_term $ trace_cap_term $ max_p99 $ stats_sock $ stats_every
-      $ stats_window)
+      $ stats_window $ flight_cap $ postmortem)
 
 let run_loadgen common model policy_name ring duration shards =
   let mmpp =
@@ -1857,14 +1937,42 @@ let sock_pos =
     & info [] ~docv:"SOCK"
         ~doc:"Path of a running daemon's $(b,--stats-sock) Unix socket.")
 
-let run_stats sock json health spans =
+(* A daemon binds its stats socket only once its engine is up, so a client
+   launched alongside it (CI soak legs, scripts) races startup.  Retry with
+   exponential backoff until [timeout] seconds have passed; [timeout <= 0]
+   means a single attempt. *)
+let query_retry ~timeout ~path cmd =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go delay =
+    match Smbm_serve.Telemetry.query ~path cmd with
+    | Ok _ as ok -> ok
+    | Error msg ->
+      let now = Unix.gettimeofday () in
+      if now >= deadline then Error msg
+      else begin
+        Unix.sleepf (Float.min delay (deadline -. now));
+        go (Float.min 1.0 (delay *. 2.))
+      end
+  in
+  go 0.05
+
+let connect_timeout_arg =
+  Cmdliner.Arg.(
+    value & opt float 5.
+    & info [ "connect-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Keep retrying the first connection for up to $(docv) seconds \
+           (with backoff) before giving up — tolerates querying a daemon \
+           that is still starting.  0 means a single attempt.")
+
+let run_stats sock json health spans connect_timeout =
   let cmd =
     if json then "stats json"
     else if health then "health"
     else if spans then "spans"
     else "stats"
   in
-  match Smbm_serve.Telemetry.query ~path:sock cmd with
+  match query_retry ~timeout:connect_timeout ~path:sock cmd with
   | Ok lines -> List.iter print_endline lines
   | Error msg -> die "stats %s: %s" sock msg
 
@@ -1896,9 +2004,10 @@ let stats_cmd =
          "One-shot query against a running daemon's stats socket.  Exit \
           status is nonzero when the socket is unreachable or the daemon \
           answers with an error.")
-    Term.(const run_stats $ sock_pos $ json $ health $ spans)
+    Term.(const run_stats $ sock_pos $ json $ health $ spans
+          $ connect_timeout_arg)
 
-let run_watch sock interval =
+let run_watch sock interval connect_timeout =
   let module J = Smbm_obs.Json in
   let module T = Smbm_serve.Telemetry in
   let module Delta = Smbm_obs.Rolling.Delta in
@@ -1968,8 +2077,19 @@ let run_watch sock interval =
     buf
   in
   let had_success = ref false in
-  let rec loop first =
-    match T.query ~path:sock "stats json" with
+  (* Drift-free cadence: ticks are scheduled against absolute due times
+     ([t0 + k*interval]), so render and query time do not accumulate into
+     the period; a poll that overruns skips the missed ticks instead of
+     shifting every later one. *)
+  let t0 = Unix.gettimeofday () in
+  let rec loop first tick =
+    let query =
+      (* Only the very first poll tolerates a daemon still starting; once
+         connected, an unreachable socket means the daemon ended. *)
+      if !had_success then T.query ~path:sock
+      else query_retry ~timeout:connect_timeout ~path:sock
+    in
+    match query "stats json" with
     | Error msg ->
       if !had_success then begin
         (* The daemon unlinking its socket at shutdown lands here: a clean
@@ -1996,10 +2116,17 @@ let run_watch sock interval =
         print_string (Buffer.contents buf);
         print_string Smbm_obs.Progress.erase_below;
         flush stdout;
-        Unix.sleepf interval;
-        loop false)
+        let now = Unix.gettimeofday () in
+        let next =
+          let due = tick + 1 in
+          let behind =
+            int_of_float (Float.max 0. ((now -. t0) /. interval)) in
+          if behind >= due then behind + 1 else due
+        in
+        Unix.sleepf (Float.max 0. ((t0 +. (interval *. float_of_int next)) -. now));
+        loop false next)
   in
-  loop true
+  loop true 0
 
 let watch_cmd =
   let interval =
@@ -2015,7 +2142,85 @@ let watch_cmd =
           server-side window rates plus client-side rates diffed from \
           consecutive $(b,stats json) polls.  Ends cleanly when the daemon \
           shuts down.")
-    Term.(const run_watch $ sock_pos $ interval)
+    Term.(const run_watch $ sock_pos $ interval $ connect_timeout_arg)
+
+let run_postmortem action path out =
+  let module PM = Smbm_forensics.Postmortem in
+  match PM.load path with
+  | Error msg -> die "postmortem: %s" msg
+  | Ok (meta, trace) -> (
+    match action with
+    | `Show ->
+      Format.printf "@[<v>%a@]@." PM.pp_meta meta;
+      Format.printf "trace: %s (%d events, %d sources)@."
+        (PM.trace_path (PM.base_of path))
+        meta.PM.events
+        (List.length trace.Smbm_forensics.Trace_file.sources)
+    | `Certify -> (
+      match PM.certify meta trace with
+      | Ok verdict -> Format.printf "%a@." PM.pp_verdict verdict
+      | Error msg -> die "postmortem certify: %s" msg)
+    | `Export -> (
+      let out =
+        match out with
+        | Some o -> o
+        | None -> PM.base_of path ^ ".trace.jsonl"
+      in
+      match
+        Smbm_forensics.Trace_file.read_events
+          (PM.trace_path (PM.base_of path))
+      with
+      | Error msg -> die "postmortem export: %s" msg
+      | Ok events ->
+        let oc = open_out out in
+        List.iter
+          (fun (_, ev) ->
+            output_string oc (Smbm_obs.Event.to_json ev);
+            output_char oc '\n')
+          events;
+        close_out oc;
+        Printf.printf "postmortem export: %d events -> %s\n"
+          (List.length events) out))
+
+let postmortem_cmd =
+  let action =
+    let act =
+      Arg.enum [ ("show", `Show); ("certify", `Certify); ("export", `Export) ]
+    in
+    Arg.(
+      required
+      & pos 0 (some act) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,show) prints the snapshot and trace summary; $(b,certify) \
+             replays the dumped window and checks it against the snapshot; \
+             $(b,export) writes the trace half as JSONL.")
+  in
+  let path =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DUMP"
+          ~doc:
+            "Postmortem base path, or either of its files \
+             ($(i,BASE).trace.bin / $(i,BASE).meta.jsonl).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Output file for $(b,export) (default \
+             $(i,BASE).trace.jsonl).")
+  in
+  Cmd.v
+    (Cmd.info "postmortem"
+       ~doc:
+         "Inspect, certify or export a black-box dump written by $(b,smbm_cli \
+          serve --postmortem).  $(b,certify) exits nonzero on replay \
+          divergence or a snapshot mismatch.")
+    Term.(const run_postmortem $ action $ path $ out)
 
 let () =
   let doc = "shared-memory buffer management for heterogeneous packet processing" in
@@ -2043,6 +2248,12 @@ let () =
       `P
         "$(b,smbm_cli trace-explain) $(i,FILE_A) [$(i,FILE_B)] — charge a \
          throughput gap to loss events";
+      `P
+        "$(b,smbm_cli trace-convert) $(i,IN) $(i,OUT) — convert an event \
+         trace between JSONL and binary, losslessly";
+      `P
+        "$(b,smbm_cli postmortem) show|certify|export $(i,DUMP) — inspect or \
+         replay-certify a black-box dump";
       `P "$(b,smbm_cli certify) [$(i,OPTIONS)] — Theorem 7's mapping routine, live";
       `P
         "$(b,smbm_cli serve) [$(i,OPTIONS)] — online switch daemon with \
@@ -2068,6 +2279,7 @@ let () =
           [
             policies_cmd; compare_cmd; simulate_cmd; figure_cmd;
             lowerbound_cmd; trace_cmd; trace_validate_cmd; trace_replay_cmd;
-            trace_diff_cmd; trace_explain_cmd; certify_cmd; sweep_cmd;
-            bench_diff_cmd; serve_cmd; loadgen_cmd; stats_cmd; watch_cmd;
+            trace_diff_cmd; trace_explain_cmd; trace_convert_cmd; certify_cmd;
+            sweep_cmd; bench_diff_cmd; serve_cmd; loadgen_cmd; stats_cmd;
+            watch_cmd; postmortem_cmd;
           ]))

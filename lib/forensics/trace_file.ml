@@ -24,65 +24,335 @@ let scope_covers ~scope src =
   && String.sub src 0 ls = scope
   && src.[ls] = '/'
 
-let load path =
-  match open_in path with
+(* ----- binary codec (doc/trace-format.md) -----
+
+   magic (8 bytes, version in the last byte), then an interned string
+   table (every [src] plus the payload strings of reconfig/health events),
+   then the events in file order: one kind-tag byte, slot and string ids
+   as unsigned LEB128 varints, payload ints as zigzag varints in the JSONL
+   field order.  The format is self-contained and append-free: readers get
+   the whole table up front, so decoding is a single forward pass. *)
+
+let magic = "SMBMTRC\x01"
+
+let tag_of_kind = function
+  | Event.Arrival _ -> 0
+  | Event.Accept _ -> 1
+  | Event.Push_out _ -> 2
+  | Event.Drop _ -> 3
+  | Event.Transmit _ -> 4
+  | Event.Transmit_bulk _ -> 5
+  | Event.Flush _ -> 6
+  | Event.Slot_end _ -> 7
+  | Event.Reconfig _ -> 8
+  | Event.Health _ -> 9
+  | Event.Truncated _ -> 10
+
+let add_uvarint buf n =
+  if n < 0 then invalid_arg "Trace_file: negative unsigned varint";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+let add_varint buf n = add_uvarint buf (zigzag n)
+
+let to_binary events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  (* Intern every string the events carry, in first-appearance order. *)
+  let ids = Hashtbl.create 16 in
+  let names = ref [] in
+  let n_names = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt ids s with
+    | Some id -> id
+    | None ->
+      let id = !n_names in
+      Hashtbl.add ids s id;
+      names := s :: !names;
+      incr n_names;
+      id
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      ignore (intern e.src);
+      match e.kind with
+      | Event.Reconfig { what; target } ->
+        ignore (intern what);
+        ignore (intern target)
+      | Event.Health { rule; reason; _ } ->
+        ignore (intern rule);
+        ignore (intern reason)
+      | _ -> ())
+    events;
+  add_uvarint buf !n_names;
+  List.iter
+    (fun s ->
+      add_uvarint buf (String.length s);
+      Buffer.add_string buf s)
+    (List.rev !names);
+  add_uvarint buf (List.length events);
+  List.iter
+    (fun (e : Event.t) ->
+      Buffer.add_char buf (Char.chr (tag_of_kind e.kind));
+      add_uvarint buf e.slot;
+      add_uvarint buf (intern e.src);
+      match e.kind with
+      | Event.Arrival { dest } | Event.Accept { dest } -> add_varint buf dest
+      | Event.Push_out { victim; dest; lost } ->
+        add_varint buf victim;
+        add_varint buf dest;
+        add_varint buf lost
+      | Event.Drop { dest; value } ->
+        add_varint buf dest;
+        add_varint buf value
+      | Event.Transmit { dest; value; latency } ->
+        add_varint buf dest;
+        add_varint buf value;
+        add_varint buf latency
+      | Event.Transmit_bulk { dest; count; value } ->
+        add_varint buf dest;
+        add_varint buf count;
+        add_varint buf value
+      | Event.Flush { count } -> add_varint buf count
+      | Event.Slot_end { occupancy } -> add_varint buf occupancy
+      | Event.Reconfig { what; target } ->
+        add_uvarint buf (intern what);
+        add_uvarint buf (intern target)
+      | Event.Health { rule; tripped; reason } ->
+        add_uvarint buf (intern rule);
+        Buffer.add_char buf (if tripped then '\x01' else '\x00');
+        add_uvarint buf (intern reason)
+      | Event.Truncated { evicted } -> add_varint buf evicted)
+    events;
+  Buffer.contents buf
+
+let write_binary path events =
+  match open_out_bin path with
+  | exception Sys_error msg -> Error msg
+  | oc ->
+    let r =
+      match output_string oc (to_binary events) with
+      | () -> Ok ()
+      | exception Sys_error msg -> Error msg
+    in
+    (match close_out oc with
+    | () -> r
+    | exception Sys_error msg -> (
+      match r with Ok () -> Error msg | Error _ -> r))
+
+exception Corrupt of string
+
+let of_binary ~path data =
+  let n = String.length data in
+  let pos = ref (String.length magic) in
+  let corrupt fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise (Corrupt (Printf.sprintf "%s: byte %d: %s" path !pos msg)))
+      fmt
+  in
+  let byte () =
+    if !pos >= n then corrupt "truncated file";
+    let b = Char.code data.[!pos] in
+    incr pos;
+    b
+  in
+  let uvarint () =
+    let rec go shift acc =
+      if shift > Sys.int_size - 7 then corrupt "varint overflow";
+      let b = byte () in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  let varint () = unzigzag (uvarint ()) in
+  let n_names = uvarint () in
+  let names =
+    Array.init n_names (fun _ ->
+        let len = uvarint () in
+        if !pos + len > n then corrupt "truncated string table";
+        let s = String.sub data !pos len in
+        pos := !pos + len;
+        s)
+  in
+  let name id =
+    if id < 0 || id >= n_names then corrupt "string id %d out of range" id
+    else names.(id)
+  in
+  let n_events = uvarint () in
+  (* Every event is at least three bytes (tag, slot, src), so a count
+     beyond the remaining bytes is corruption, not a huge allocation. *)
+  if n_events > n - !pos then corrupt "event count %d beyond file" n_events;
+  let decode_event () =
+    let tag = byte () in
+        let slot = uvarint () in
+        let src = name (uvarint ()) in
+        let kind =
+          match tag with
+          | 0 -> Event.Arrival { dest = varint () }
+          | 1 -> Event.Accept { dest = varint () }
+          | 2 ->
+            let victim = varint () in
+            let dest = varint () in
+            let lost = varint () in
+            Event.Push_out { victim; dest; lost }
+          | 3 ->
+            let dest = varint () in
+            let value = varint () in
+            Event.Drop { dest; value }
+          | 4 ->
+            let dest = varint () in
+            let value = varint () in
+            let latency = varint () in
+            Event.Transmit { dest; value; latency }
+          | 5 ->
+            let dest = varint () in
+            let count = varint () in
+            let value = varint () in
+            Event.Transmit_bulk { dest; count; value }
+          | 6 -> Event.Flush { count = varint () }
+          | 7 -> Event.Slot_end { occupancy = varint () }
+          | 8 ->
+            let what = name (uvarint ()) in
+            let target = name (uvarint ()) in
+            Event.Reconfig { what; target }
+          | 9 ->
+            let rule = name (uvarint ()) in
+            let tripped =
+              match byte () with
+              | 0 -> false
+              | 1 -> true
+              | b -> corrupt "bad health state byte %d" b
+            in
+            let reason = name (uvarint ()) in
+            Event.Health { rule; tripped; reason }
+          | 10 -> Event.Truncated { evicted = varint () }
+      | t -> corrupt "unknown event tag %d" t
+    in
+    Event.make ~src ~slot kind
+  in
+  let events = ref [] in
+  for _ = 1 to n_events do
+    events := decode_event () :: !events
+  done;
+  if !pos <> n then corrupt "trailing garbage after %d events" n_events;
+  List.rev !events
+
+let read_file path =
+  match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic ->
-    let buckets : (string, line list ref) Hashtbl.t = Hashtbl.create 16 in
-    let order = ref [] in
-    let truncations = ref [] in
-    let lineno = ref 0 in
-    let error = ref None in
-    (try
-       while !error = None do
-         let raw = input_line ic in
-         incr lineno;
-         if String.trim raw <> "" then begin
-           match Event.of_json raw with
-           | Error msg ->
-             error := Some (Printf.sprintf "%s:%d: %s" path !lineno msg)
-           | Ok ev -> (
-             match ev.Event.kind with
-             | Event.Truncated { evicted } ->
-               truncations :=
-                 (ev.Event.src, evicted, ev.Event.slot) :: !truncations
-             | _ ->
-               let bucket =
-                 match Hashtbl.find_opt buckets ev.Event.src with
-                 | Some b -> b
-                 | None ->
-                   let b = ref [] in
-                   Hashtbl.add buckets ev.Event.src b;
-                   order := ev.Event.src :: !order;
-                   b
-               in
-               bucket := { lineno = !lineno; event = ev } :: !bucket)
-         end
-       done
-     with End_of_file -> ());
-    close_in ic;
-    match !error with
-    | Some msg -> Error msg
-    | None ->
-      let truncations = List.rev !truncations in
-      let sources =
-        List.rev_map
-          (fun src ->
-            let lines = List.rev !(Hashtbl.find buckets src) in
-            (* Several scopes can cover one source (e.g. "" and "x=8");
-               their budgets add up, and the tightest oldest-surviving slot
-               wins. *)
-            let evicted, oldest_slot =
-              List.fold_left
-                (fun (e, o) (scope, evicted, slot) ->
-                  if scope_covers ~scope src then (e + evicted, max o slot)
-                  else (e, o))
-                (0, 0) truncations
-            in
-            { src; lines; evicted; oldest_slot })
-          !order
+    let r =
+      match really_input_string ic (in_channel_length ic) with
+      | data -> Ok data
+      | exception Sys_error msg -> Error msg
+      | exception End_of_file -> Error (path ^ ": unreadable")
+    in
+    close_in_noerr ic;
+    r
+
+let data_is_binary data =
+  String.length data >= String.length magic
+  && String.sub data 0 (String.length magic) = magic
+
+let is_binary path =
+  match read_file path with
+  | Error _ -> false
+  | Ok data -> data_is_binary data
+
+(* Iterate events from either format, [lineno] being the JSONL line number
+   or the 1-based event index.  Stops at the first malformed event. *)
+let iter_events path ~f =
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok data ->
+    if data_is_binary data then (
+      match of_binary ~path data with
+      | exception Corrupt msg -> Error msg
+      | events ->
+        List.iteri (fun i e -> f ~lineno:(i + 1) e) events;
+        Ok (List.length events))
+    else begin
+      let lineno = ref 0 in
+      let error = ref None in
+      let lines = String.split_on_char '\n' data in
+      List.iter
+        (fun raw ->
+          if !error = None then begin
+            incr lineno;
+            if String.trim raw <> "" then
+              match Event.of_json raw with
+              | Error msg ->
+                error := Some (Printf.sprintf "%s:%d: %s" path !lineno msg)
+              | Ok ev -> f ~lineno:!lineno ev
+          end)
+        lines;
+      (* A trailing newline splits into a final empty chunk that is not a
+         line; don't count it. *)
+      let count =
+        match List.rev lines with "" :: _ -> !lineno - 1 | _ -> !lineno
       in
-      Ok { path; line_count = !lineno; sources; truncations }
+      match !error with Some msg -> Error msg | None -> Ok count
+    end
+
+let read_events path =
+  let acc = ref [] in
+  match iter_events path ~f:(fun ~lineno e -> acc := (lineno, e) :: !acc) with
+  | Error msg -> Error msg
+  | Ok _ -> Ok (List.rev !acc)
+
+let load path =
+  let buckets : (string, line list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let truncations = ref [] in
+  let on_event ~lineno (ev : Event.t) =
+    match ev.Event.kind with
+    | Event.Truncated { evicted } ->
+      truncations := (ev.Event.src, evicted, ev.Event.slot) :: !truncations
+    | _ ->
+      let bucket =
+        match Hashtbl.find_opt buckets ev.Event.src with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add buckets ev.Event.src b;
+          order := ev.Event.src :: !order;
+          b
+      in
+      bucket := { lineno; event = ev } :: !bucket
+  in
+  match iter_events path ~f:on_event with
+  | Error msg -> Error msg
+  | Ok line_count ->
+    let truncations = List.rev !truncations in
+    let sources =
+      List.rev_map
+        (fun src ->
+          let lines = List.rev !(Hashtbl.find buckets src) in
+          (* Several scopes can cover one source (e.g. "" and "x=8");
+             their budgets add up, and the tightest oldest-surviving slot
+             wins. *)
+          let evicted, oldest_slot =
+            List.fold_left
+              (fun (e, o) (scope, evicted, slot) ->
+                if scope_covers ~scope src then (e + evicted, max o slot)
+                else (e, o))
+              (0, 0) truncations
+          in
+          { src; lines; evicted; oldest_slot })
+        !order
+    in
+    Ok { path; line_count; sources; truncations }
 
 let source_names t = List.map (fun s -> s.src) t.sources
 

@@ -34,8 +34,39 @@ val scope_covers : scope:string -> string -> bool
     [src] is covered when it equals [scope] or starts with [scope ^ "/"]. *)
 
 val load : string -> (t, string) result
-(** Strictly parse every line ({!Smbm_obs.Event.of_json}); the error is
-    positioned as ["file:line: message"]. *)
+(** Load a trace in either encoding, dispatching on the binary {!magic}.
+    JSONL is strictly parsed line by line ({!Smbm_obs.Event.of_json}) with
+    errors positioned as ["file:line: message"]; binary decode errors are
+    positioned by byte offset. *)
+
+(** {2 Encodings}
+
+    A trace is one logical stream of events with two on-disk encodings:
+    the JSONL lines [--trace] writes, and a compact binary form (magic
+    header, interned string table, one tag byte plus varint fields per
+    event — see [doc/trace-format.md]).  Both carry exactly an
+    {!Smbm_obs.Event.t} list, so conversion either way is lossless. *)
+
+val magic : string
+(** First bytes of a binary trace; the last byte is the format version. *)
+
+val is_binary : string -> bool
+(** Whether the file at this path starts with {!magic} (false when it
+    cannot be read). *)
+
+val to_binary : Smbm_obs.Event.t list -> string
+(** The binary encoding of an event stream, magic included. *)
+
+val write_binary : string -> Smbm_obs.Event.t list -> (unit, string) result
+
+val iter_events :
+  string -> f:(lineno:int -> Smbm_obs.Event.t -> unit) -> (int, string) result
+(** Stream a trace in either encoding in file order, returning the line
+    count ([lineno] is the JSONL line number, or the 1-based event index
+    in a binary trace) and stopping at the first malformed event. *)
+
+val read_events : string -> ((int * Smbm_obs.Event.t) list, string) result
+(** {!iter_events}, collected. *)
 
 val find : t -> string -> (source, string) result
 (** Resolve a source by exact [src], or — when unambiguous — by suffix

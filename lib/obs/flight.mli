@@ -1,0 +1,87 @@
+(** The always-on flight recorder: a fixed-capacity struct-of-arrays event
+    ring with an allocation-free record fast path.
+
+    {!Recorder} keeps boxed {!Event.t}s and is meant for runs that asked
+    for tracing; [Flight] is its black-box counterpart, cheap enough to
+    leave on everywhere.  Events live in six unboxed int columns (kind
+    tag, slot, source id, three payload words); the strings an event can
+    carry — sources, reconfig knobs, health rules and reasons — go through
+    an interning table once, so the steady-state [record] path allocates
+    nothing.  When the ring is full, the oldest events are overwritten and
+    counted; {!dump} prepends the same [Truncated] metadata marker the
+    boxed recorder emits, so the forensics layer treats both identically.
+
+    A ring is single-domain, like {!Recorder}: the engine that records
+    into it must be the one that dumps it (the serve daemon dumps from the
+    consumer domain only). *)
+
+type t
+
+val create : ?scope:string -> cap:int -> unit -> t
+(** A ring holding the last [cap] events (rounded up to a power of two;
+    {!capacity} reports the real size).  [scope] qualifies interned
+    sources, as in {!Recorder.create}.
+    @raise Invalid_argument when [cap <= 0]. *)
+
+val scope : t -> string
+val capacity : t -> int
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val total : t -> int
+(** Events ever recorded. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around ([total - length]). *)
+
+(** {2 Interning}
+
+    Ids are dense, stable for the life of the ring ({!clear} keeps them),
+    and private to it.  Engines intern their source name once at creation;
+    the rare string-carrying events ([reconfig], [health]) intern their
+    payloads on the slow path. *)
+
+val intern : t -> string -> int
+(** The id for source [who], scope-qualified like {!Recorder.record}
+    (ring scope ["x=8"] + [who] ["LWD"] intern as ["x=8/LWD"]). *)
+
+val name_of : t -> int -> string
+(** @raise Invalid_argument on an id this ring never issued. *)
+
+(** {2 Recording}
+
+    One function per {!Event.kind}; every argument is an immediate int, so
+    a call allocates nothing.  [src] is an id from {!intern}. *)
+
+val arrival : t -> slot:int -> src:int -> dest:int -> unit
+val accept : t -> slot:int -> src:int -> dest:int -> unit
+val push_out : t -> slot:int -> src:int -> victim:int -> dest:int -> lost:int -> unit
+val drop : t -> slot:int -> src:int -> dest:int -> value:int -> unit
+val transmit : t -> slot:int -> src:int -> dest:int -> value:int -> latency:int -> unit
+val transmit_bulk : t -> slot:int -> src:int -> dest:int -> count:int -> value:int -> unit
+val flush : t -> slot:int -> src:int -> count:int -> unit
+val slot_end : t -> slot:int -> src:int -> occupancy:int -> unit
+
+val reconfig : t -> slot:int -> src:int -> what:string -> target:string -> unit
+(** Interns [what]/[target]; allocation-free once both are known. *)
+
+val health :
+  t -> slot:int -> src:int -> rule:string -> tripped:bool -> reason:string -> unit
+
+(** {2 Draining} *)
+
+val iter : (Event.t -> unit) -> t -> unit
+(** Oldest surviving event first, boxing each on the way out. *)
+
+val events : t -> Event.t list
+
+val dump : t -> Event.t list
+(** Like {!events}, but when the ring has evicted events the list starts
+    with a [Truncated {evicted}] marker whose [slot] is the oldest
+    surviving slot and whose [src] is the ring's scope — the same contract
+    as {!Recorder.dump}, so replay knows which slots are unverifiable. *)
+
+val clear : t -> unit
+(** Empty the ring and its eviction accounting, like {!Recorder.clear}
+    (interned ids are kept — they stay valid across clears). *)

@@ -16,9 +16,24 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Floats must parse back as floats: "%.17g" alone prints 2.0 as "2"
+   (re-read as Int) and infinities as "inf" (not JSON at all).  Integral
+   values keep a ".0" suffix, infinities ride on an overflowing exponent
+   (float_of_string "1e999" = infinity), and nan gets a literal the parser
+   knows — so [Float f |> value_to_string |> parse] is the identity on
+   every float, including [-0.]. *)
+let float_to_string f =
+  if f <> f then "nan"
+  else if f = infinity then "1e999"
+  else if f = neg_infinity then "-1e999"
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
 let value_to_string = function
   | Int i -> string_of_int i
-  | Float f -> Printf.sprintf "%.17g" f
+  | Float f -> float_to_string f
   | Str s -> "\"" ^ escape s ^ "\""
   | Bool b -> if b then "true" else "false"
 
@@ -140,6 +155,12 @@ let parse_flat line =
       if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
         pos := !pos + 5;
         Bool false
+      end
+      else error "invalid literal"
+    | Some 'n' ->
+      if !pos + 3 <= n && String.sub line !pos 3 = "nan" then begin
+        pos := !pos + 3;
+        Float nan
       end
       else error "invalid literal"
     | Some ('{' | '[') -> error "nested values are not part of the schema"

@@ -3,8 +3,11 @@
     schemas, with no external dependencies.
 
     Emission is deterministic: field order is the caller's, integers print
-    as integers, floats with ["%.17g"] (round-trippable), strings with the
-    standard escapes. *)
+    as integers, strings with the standard escapes, and floats so that
+    {!parse_flat} reads back exactly the same float (17 significant
+    digits, always marked as a float — [2.] prints as ["2.0"], [-0.] as
+    ["-0.0"] — with infinities as overflowing exponents [±1e999] and nan
+    as the literal ["nan"]). *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 

@@ -7,6 +7,8 @@ module Sink = Smbm_obs.Sink
 module Event = Smbm_obs.Event
 module Rolling = Smbm_obs.Rolling
 module Health = Smbm_obs.Health
+module Flight = Smbm_obs.Flight
+module Postmortem = Smbm_forensics.Postmortem
 
 type backpressure = Block | Shed
 type control = Set_policy of string | Resize_buffer of int | Stop
@@ -55,9 +57,15 @@ type report = {
   stopped : bool;
   degraded : bool;
   health : (string * bool) list;
+  postmortem : string option;
 }
 
 let pp_report ppf r =
+  let pp_postmortem ppf = function
+    | None -> ()
+    | Some base ->
+      Format.fprintf ppf "@,postmortem dumped: %s.{trace.bin,meta.jsonl}" base
+  in
   let pp_health ppf = function
     | [] -> ()
     | rules ->
@@ -75,7 +83,7 @@ let pp_report ppf r =
      arrivals %d = accepted %d + dropped %d; transmitted %d, flushed %d@,\
      ring max %d/%d; shed %d slots (%d packets)@,\
      reconfigs %d applied, %d rejected%s@,\
-     conservation %s%a@]"
+     conservation %s%a%a@]"
     r.slots r.wall r.slots_per_sec r.p50_us r.p95_us r.p99_us r.arrivals
     r.accepted r.dropped r.transmitted r.flushed r.ring_max r.ring_capacity
     r.shed_slots r.shed_packets r.reconfigs r.reconfigs_rejected
@@ -83,7 +91,7 @@ let pp_report ppf r =
     (match r.conservation_error with
     | None -> "ok"
     | Some m -> "VIOLATED: " ^ m)
-    pp_health r.health
+    pp_health r.health pp_postmortem r.postmortem
 
 (* One live engine behind a model-agnostic face: the consumer loop and the
    control plane never branch on the model. *)
@@ -93,9 +101,12 @@ type engine = {
   set_buffer : int -> int;  (* clamped to occupancy; returns applied B *)
   policy_name : unit -> string;  (* current (post-reconfiguration) name *)
   buffer_size : unit -> int;  (* current live B *)
+  model_name : string;  (* "proc" or "value", for postmortem meta *)
+  n_ports : int;
+  queue_length : int -> int;  (* live per-port occupancy *)
 }
 
-let make_engine ?recorder model policy_name =
+let make_engine ?recorder ?flight model policy_name =
   match model with
   | Model.Proc config ->
     let find cfg name = Policies.proc_find cfg name in
@@ -108,7 +119,8 @@ let make_engine ?recorder model policy_name =
     in
     let policy_ref = ref policy in
     let inst, sw =
-      Proc_engine.create_controlled ~name:"serve" ?recorder config policy_ref
+      Proc_engine.create_controlled ~name:"serve" ?recorder ?flight config
+        policy_ref
     in
     let current = ref policy_name in
     (* Threshold policies capture B at construction: always rebuild against
@@ -140,6 +152,9 @@ let make_engine ?recorder model policy_name =
       set_buffer;
       policy_name = (fun () -> !current);
       buffer_size = (fun () -> Proc_switch.buffer sw);
+      model_name = "proc";
+      n_ports = Proc_config.n config;
+      queue_length = Proc_switch.queue_length sw;
     }
   | Model.Value_uniform config | Model.Value_port config ->
     let port_value =
@@ -157,7 +172,8 @@ let make_engine ?recorder model policy_name =
     in
     let policy_ref = ref policy in
     let inst, sw =
-      Value_engine.create_controlled ~name:"serve" ?recorder config policy_ref
+      Value_engine.create_controlled ~name:"serve" ?recorder ?flight config
+        policy_ref
     in
     let current = ref policy_name in
     let live_config () =
@@ -188,6 +204,9 @@ let make_engine ?recorder model policy_name =
       set_buffer;
       policy_name = (fun () -> !current);
       buffer_size = (fun () -> Value_switch.buffer sw);
+      model_name = "value";
+      n_ports = Value_config.n config;
+      queue_length = Value_switch.queue_length sw;
     }
 
 (* Instruments that exist only when telemetry is on: their absence keeps a
@@ -209,8 +228,16 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
     ?(metrics_every = 0) ?metrics_sink ?recorder ?event_sink ?(controls = [])
     ?controller ?slots:max_slots ?duration ?rate ?stats_sock
     ?(stats_every = 500) ?(stats_window = 10.0) ?(telemetry = false)
-    ?(p99_budget_us = 0.0) ~model ~policy ~ingest () =
+    ?(p99_budget_us = 0.0) ?flight ?(flight_cap = 65536) ?postmortem ~model
+    ~policy ~ingest () =
   let ring = Spsc_ring.create ~capacity:ring_capacity () in
+  (* The black box is on unless explicitly disabled: a caller-supplied ring
+     wins, otherwise [flight_cap] sizes a fresh one (0 turns it off). *)
+  let flight =
+    match flight with
+    | Some _ -> flight
+    | None -> if flight_cap > 0 then Some (Flight.create ~cap:flight_cap ()) else None
+  in
   let bp = match backpressure with Block -> `Block | Shed -> `Shed in
   let telemetry_on = telemetry || stats_sock <> None in
   let stats_every = max 1 stats_every in
@@ -296,8 +323,13 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
   in
   let ingest_domain = Domain.spawn producer in
   (* ----- engine domain (the caller) ----- *)
-  let engine = make_engine ?recorder model policy in
+  let engine = make_engine ?recorder ?flight model policy in
   let inst = engine.inst in
+  let fsrc =
+    match flight with
+    | Some f -> Flight.intern f inst.Instance.name
+    | None -> 0
+  in
   let slot_hist = Registry.histogram server ~max_value:1e7 "slot_time_us" in
   let ring_gauge = Registry.gauge server "ring_occupancy" in
   let slots_ctr = Registry.counter server "slots" in
@@ -310,6 +342,9 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
   let record_reconfig what target =
     incr reconfigs;
     Registry.incr reconfig_ctr;
+    (match flight with
+    | Some f -> Flight.reconfig f ~slot:!slot ~src:fsrc ~what ~target
+    | None -> ());
     match recorder with
     | Some r ->
       Recorder.record r ~slot:!slot ~who:inst.Instance.name
@@ -319,6 +354,66 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
   let reject () =
     incr rejected;
     Registry.incr rejected_ctr
+  in
+  (* ----- black box -----
+     On the first health trip, latched sink error or engine exception,
+     dump the flight window plus a state snapshot.  Only the first trigger
+     writes (the earliest evidence is the least contaminated), and a
+     failing dump never kills the daemon. *)
+  let health_states_now = ref (fun () -> []) in
+  let postmortem_written = ref None in
+  let dump_postmortem ~reason ~detail =
+    match (postmortem, flight) with
+    | Some base, Some f when !postmortem_written = None ->
+      let m = inst.Instance.metrics in
+      let events = Flight.dump f in
+      let meta =
+        {
+          Postmortem.reason;
+          detail;
+          slot = !slot;
+          model = engine.model_name;
+          src = inst.Instance.name;
+          policy = engine.policy_name ();
+          buffer = engine.buffer_size ();
+          evicted = Flight.dropped f;
+          events = List.length events;
+          counters =
+            [
+              ("arrivals", Metrics.arrivals m);
+              ("accepted", Metrics.accepted m);
+              ("dropped", Metrics.dropped m);
+              ("pushed_out", Metrics.pushed_out m);
+              ("transmitted", Metrics.transmitted m);
+              ("transmitted_value", Metrics.transmitted_value m);
+              ("flushed", Metrics.flushed m);
+              ("in_buffer", Metrics.in_buffer m);
+              ("slots", !slot);
+              ("shed_slots", Spsc_ring.shed_slots ring);
+              ("shed_packets", Spsc_ring.shed_packets ring);
+              ("reconfigs", !reconfigs);
+              ("reconfigs_rejected", !rejected);
+            ];
+          ports = Array.init engine.n_ports engine.queue_length;
+          health = !health_states_now ();
+        }
+      in
+      (match Postmortem.write ~base meta events with
+      | Ok () -> postmortem_written := Some base
+      | Error _ -> ())
+    | _ -> ()
+  in
+  let sink_checked = ref false in
+  let check_sinks () =
+    if not !sink_checked then
+      let latched sink =
+        match sink with Some s -> Sink.failure s | None -> None
+      in
+      match (latched metrics_sink, latched event_sink) with
+      | None, None -> ()
+      | Some e, _ | None, Some e ->
+        sink_checked := true;
+        dump_postmortem ~reason:"sink" ~detail:(Sink.error_to_string e)
   in
   let apply = function
     | Set_policy name ->
@@ -381,7 +476,12 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
   let eval_now = ref 0.0 in
   let health =
     let on_transition (e : Health.event) =
-      match recorder with
+      (match flight with
+      | Some f ->
+        Flight.health f ~slot:!slot ~src:fsrc ~rule:e.Health.rule
+          ~tripped:e.Health.tripped ~reason:e.Health.reason
+      | None -> ());
+      (match recorder with
       | Some r ->
         Recorder.record r ~slot:!slot ~who:inst.Instance.name
           (Event.Health
@@ -390,7 +490,10 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
                tripped = e.Health.tripped;
                reason = e.Health.reason;
              })
-      | None -> ()
+      | None -> ());
+      if e.Health.tripped then
+        dump_postmortem ~reason:"health"
+          ~detail:(e.Health.rule ^ ": " ^ e.Health.reason)
     in
     let conservation =
       Health.rule ~name:"conservation" ~trip_after:1 ~clear_after:1 (fun () ->
@@ -427,6 +530,9 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
     Health.create ~on_transition
       ((conservation :: p99_rule) @ [ ring_high_water; shed_rate ])
   in
+  health_states_now :=
+    (fun () ->
+      List.map (fun (n, s) -> (n, s.Health.v_tripped)) (Health.states health));
   let feed_rolling st now slot_us =
     Rolling.incr r_slots ~now;
     let a = Metrics.arrivals m in
@@ -528,7 +634,10 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
       feed_rolling st t_end ((t_end -. t0) *. 1e6);
       if !slot mod stats_every = 0 then publish t_end
     | None -> ());
-    if metrics_every > 0 && !slot mod metrics_every = 0 then flush_metrics ()
+    if metrics_every > 0 && !slot mod metrics_every = 0 then begin
+      flush_metrics ();
+      check_sinks ()
+    end
   in
   let rec consume () =
     if not !stopped then
@@ -536,10 +645,18 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
       | Spsc_ring.Consumed -> consume ()
       | Spsc_ring.Drained | Spsc_ring.Stopped -> ()
   in
-  consume ();
+  (try consume ()
+   with exn ->
+     (* The engine died mid-run: that is exactly what the black box is
+        for.  Dump, unblock and reap the producer, then re-raise. *)
+     dump_postmortem ~reason:"exception" ~detail:(Printexc.to_string exn);
+     Spsc_ring.abort ring;
+     (try Domain.join ingest_domain with _ -> ());
+     raise exn);
   Domain.join ingest_domain;
   let wall = Unix.gettimeofday () -. t_start in
   flush_metrics ();
+  check_sinks ();
   (* Final publication (one last health evaluation included), then take the
      socket down before reporting. *)
   if telemetry_on then publish (Unix.gettimeofday ());
@@ -585,4 +702,5 @@ let run ?(ring_capacity = 64) ?(backpressure = Block) ?flush_every
     stopped = !stopped;
     degraded;
     health = health_states;
+    postmortem = !postmortem_written;
   }

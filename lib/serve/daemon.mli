@@ -78,6 +78,9 @@ type report = {
           with telemetry off); callers surface it in the exit status *)
   health : (string * bool) list;
       (** final per-rule tripped state; empty with telemetry off *)
+  postmortem : string option;
+      (** base path of the black-box dump written this run, if any
+          triggered (see {!run}'s [postmortem]) *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -100,6 +103,9 @@ val run :
   ?stats_window:float ->
   ?telemetry:bool ->
   ?p99_budget_us:float ->
+  ?flight:Smbm_obs.Flight.t ->
+  ?flight_cap:int ->
+  ?postmortem:string ->
   model:Model.t ->
   policy:string ->
   ingest:ingest ->
@@ -135,6 +141,24 @@ val run :
     byte-identical to earlier versions.  Telemetry never alters engine
     behaviour either way: deterministic engine metrics are bit-identical
     with and without a stats socket.
+
+    {2 Black box}
+
+    The daemon always records into an {!Smbm_obs.Flight} ring — the
+    allocation-free struct-of-arrays event recorder — holding the last
+    [flight_cap] events (default 65536; 0 disables, and a caller-supplied
+    [flight] ring overrides the cap).  Unlike [recorder], which is opt-in
+    tracing, the flight ring is cheap enough to leave on: recording writes
+    six int columns per event and allocates nothing.
+
+    When [postmortem] is set, the first of (a) a health watchdog tripping,
+    (b) a sink latching an I/O error, or (c) the engine raising, dumps the
+    ring and a state snapshot to [<postmortem>.trace.bin] (binary trace)
+    and [<postmortem>.meta.jsonl] — the {!Smbm_forensics.Postmortem}
+    format, replayable and certifiable offline.  Only the first trigger
+    dumps (the earliest evidence is the least contaminated); the report's
+    [postmortem] field carries the base path when a dump was written.  A
+    dump failure never kills the run.
 
     @raise Invalid_argument if the initial [policy] is unknown for
     [model], [ring_capacity < 1], or the stats socket cannot be bound. *)

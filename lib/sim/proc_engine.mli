@@ -16,6 +16,7 @@ val create :
   ?name:string ->
   ?observe:(Packet.Proc.t -> unit) ->
   ?recorder:Smbm_obs.Recorder.t ->
+  ?flight:Smbm_obs.Flight.t ->
   Proc_config.t ->
   Proc_policy.t ->
   Instance.t * Proc_switch.t
@@ -24,12 +25,15 @@ val create :
     called on every transmitted packet (per-port tallies, latency
     histograms, ...).  [recorder] receives every per-slot event (arrival,
     accept, push-out, drop, transmit, slot-end) with this instance's name
-    as [who]; recording changes no decision and no counter. *)
+    as [who]; [flight] receives the same events into its allocation-free
+    ring (the instance name is interned once at creation).  Neither form of
+    recording changes any decision or counter. *)
 
 val instance :
   ?name:string ->
   ?observe:(Packet.Proc.t -> unit) ->
   ?recorder:Smbm_obs.Recorder.t ->
+  ?flight:Smbm_obs.Flight.t ->
   Proc_config.t ->
   Proc_policy.t ->
   Instance.t
@@ -39,6 +43,7 @@ val create_controlled :
   ?name:string ->
   ?observe:(Packet.Proc.t -> unit) ->
   ?recorder:Smbm_obs.Recorder.t ->
+  ?flight:Smbm_obs.Flight.t ->
   Proc_config.t ->
   Proc_policy.t ref ->
   Instance.t * Proc_switch.t

@@ -1,6 +1,6 @@
 open Smbm_core
 
-let create_controlled ?name ?observe ?recorder config
+let create_controlled ?name ?observe ?recorder ?flight config
     (policy_ref : Value_policy.t ref) =
   let name = Option.value name ~default:!policy_ref.name in
   (* The policy carries the backend choice (set by [make ~impl], defaulted
@@ -20,14 +20,27 @@ let create_controlled ?name ?observe ?recorder config
   (* Events are records: guard construction, not just delivery — an
      untraced run must not allocate an event per arrival. *)
   let recording = Option.is_some recorder in
+  (* The flight ring takes only immediate ints (source interned once
+     here), so leaving it on costs column writes, not allocation. *)
+  let fsrc =
+    match flight with Some f -> Smbm_obs.Flight.intern f name | None -> 0
+  in
   let arrive_dv ~dest ~value =
     Metrics.record_arrival metrics;
     if recording then record (Smbm_obs.Event.Arrival { dest });
+    (match flight with
+    | None -> ()
+    | Some f ->
+      Smbm_obs.Flight.arrival f ~slot:(Value_switch.now sw) ~src:fsrc ~dest);
     match Value_policy.admit !policy_ref sw ~dest ~value with
     | Decision.Accept ->
       Value_switch.accept_unit sw ~dest ~value;
       Metrics.record_accept metrics;
-      if recording then record (Smbm_obs.Event.Accept { dest })
+      if recording then record (Smbm_obs.Event.Accept { dest });
+      (match flight with
+      | None -> ()
+      | Some f ->
+        Smbm_obs.Flight.accept f ~slot:(Value_switch.now sw) ~src:fsrc ~dest)
     | Decision.Push_out { victim } ->
       if not (Value_switch.is_full sw) then
         invalid_arg
@@ -36,12 +49,26 @@ let create_controlled ?name ?observe ?recorder config
       Metrics.record_push_out metrics;
       if recording then
         record (Smbm_obs.Event.Push_out { victim; dest; lost });
+      (match flight with
+      | None -> ()
+      | Some f ->
+        Smbm_obs.Flight.push_out f ~slot:(Value_switch.now sw) ~src:fsrc
+          ~victim ~dest ~lost);
       Value_switch.accept_unit sw ~dest ~value;
       Metrics.record_accept metrics;
-      if recording then record (Smbm_obs.Event.Accept { dest })
+      if recording then record (Smbm_obs.Event.Accept { dest });
+      (match flight with
+      | None -> ()
+      | Some f ->
+        Smbm_obs.Flight.accept f ~slot:(Value_switch.now sw) ~src:fsrc ~dest)
     | Decision.Drop ->
       Metrics.record_drop metrics;
-      if recording then record (Smbm_obs.Event.Drop { dest; value })
+      if recording then record (Smbm_obs.Event.Drop { dest; value });
+      (match flight with
+      | None -> ()
+      | Some f ->
+        Smbm_obs.Flight.drop f ~slot:(Value_switch.now sw) ~src:fsrc ~dest
+          ~value)
   in
   let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
   let transmit =
@@ -55,7 +82,12 @@ let create_controlled ?name ?observe ?recorder config
           ~latency:(float_of_int latency);
         Port_stats.record ports ~port:dest ~value;
         if recording then
-          record (Smbm_obs.Event.Transmit { dest; value; latency })
+          record (Smbm_obs.Event.Transmit { dest; value; latency });
+        match flight with
+        | None -> ()
+        | Some f ->
+          Smbm_obs.Flight.transmit f ~slot:(Value_switch.now sw) ~src:fsrc
+            ~dest ~value ~latency
       in
       fun () -> ignore (Value_switch.transmit_phase_fields sw ~on_transmit)
     | Some observe ->
@@ -69,6 +101,11 @@ let create_controlled ?name ?observe ?recorder config
         if recording then
           record
             (Smbm_obs.Event.Transmit { dest = p.dest; value = p.value; latency });
+        (match flight with
+        | None -> ()
+        | Some f ->
+          Smbm_obs.Flight.transmit f ~slot:(Value_switch.now sw) ~src:fsrc
+            ~dest:p.dest ~value:p.value ~latency);
         observe p
       in
       fun () -> ignore (Value_switch.transmit_phase sw ~on_transmit)
@@ -77,12 +114,21 @@ let create_controlled ?name ?observe ?recorder config
     let occupancy = Value_switch.occupancy sw in
     Metrics.record_occupancy metrics occupancy;
     if recording then record (Smbm_obs.Event.Slot_end { occupancy });
+    (match flight with
+    | None -> ()
+    | Some f ->
+      Smbm_obs.Flight.slot_end f ~slot:(Value_switch.now sw) ~src:fsrc
+        ~occupancy);
     Value_switch.advance_slot sw
   in
   let flush () =
     let count = Value_switch.flush sw in
     Metrics.record_flush metrics count;
     if recording then record (Smbm_obs.Event.Flush { count });
+    (match flight with
+    | None -> ()
+    | Some f ->
+      Smbm_obs.Flight.flush f ~slot:(Value_switch.now sw) ~src:fsrc ~count);
     Metrics.check_conservation metrics
   in
   let check () =
@@ -107,8 +153,8 @@ let create_controlled ?name ?observe ?recorder config
   in
   (inst, sw)
 
-let create ?name ?observe ?recorder config (policy : Value_policy.t) =
-  create_controlled ?name ?observe ?recorder config (ref policy)
+let create ?name ?observe ?recorder ?flight config (policy : Value_policy.t) =
+  create_controlled ?name ?observe ?recorder ?flight config (ref policy)
 
-let instance ?name ?observe ?recorder config policy =
-  fst (create ?name ?observe ?recorder config policy)
+let instance ?name ?observe ?recorder ?flight config policy =
+  fst (create ?name ?observe ?recorder ?flight config policy)

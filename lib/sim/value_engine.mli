@@ -8,16 +8,18 @@ val create :
   ?name:string ->
   ?observe:(Packet.Value.t -> unit) ->
   ?recorder:Smbm_obs.Recorder.t ->
+  ?flight:Smbm_obs.Flight.t ->
   Value_config.t ->
   Value_policy.t ->
   Instance.t * Value_switch.t
-(** [observe] is called on every transmitted packet; [recorder] receives
-    every per-slot event (see {!Proc_engine.create}). *)
+(** [observe] is called on every transmitted packet; [recorder] and
+    [flight] receive every per-slot event (see {!Proc_engine.create}). *)
 
 val instance :
   ?name:string ->
   ?observe:(Packet.Value.t -> unit) ->
   ?recorder:Smbm_obs.Recorder.t ->
+  ?flight:Smbm_obs.Flight.t ->
   Value_config.t ->
   Value_policy.t ->
   Instance.t
@@ -26,6 +28,7 @@ val create_controlled :
   ?name:string ->
   ?observe:(Packet.Value.t -> unit) ->
   ?recorder:Smbm_obs.Recorder.t ->
+  ?flight:Smbm_obs.Flight.t ->
   Value_config.t ->
   Value_policy.t ref ->
   Instance.t * Value_switch.t

@@ -1,0 +1,198 @@
+(* The always-on flight recorder: struct-of-arrays ring semantics (wrap,
+   truncation metadata, interning, clear), the engine seam's zero observer
+   effect — metrics bit-identical with the ring on, and the ring's boxed
+   dump identical to the boxed Recorder's — and the load-bearing cost
+   property: the record fast path allocates nothing. *)
+
+open Smbm_obs
+open Smbm_sim
+
+(* --- ring semantics --- *)
+
+let test_ring_wrap_and_dump () =
+  let f = Flight.create ~scope:"x=8" ~cap:3 () in
+  Alcotest.(check int) "cap rounds to pow2" 4 (Flight.capacity f);
+  let src = Flight.intern f "w" in
+  for slot = 0 to 9 do
+    Flight.arrival f ~slot ~src ~dest:slot
+  done;
+  Alcotest.(check int) "length" 4 (Flight.length f);
+  Alcotest.(check int) "total" 10 (Flight.total f);
+  Alcotest.(check int) "dropped" 6 (Flight.dropped f);
+  Alcotest.(check (list int)) "survivors oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Event.t) -> e.Event.slot) (Flight.events f));
+  (match Flight.dump f with
+  | meta :: rest ->
+    Alcotest.(check bool) "truncated meta" true
+      (meta.Event.kind = Event.Truncated { evicted = 6 });
+    Alcotest.(check int) "meta slot = oldest survivor" 6 meta.Event.slot;
+    Alcotest.(check string) "meta src = scope" "x=8" meta.Event.src;
+    Alcotest.(check bool) "dump tail = events" true (rest = Flight.events f)
+  | [] -> Alcotest.fail "empty dump");
+  Flight.clear f;
+  Alcotest.(check int) "cleared length" 0 (Flight.length f);
+  Alcotest.(check int) "cleared total" 0 (Flight.total f);
+  (* No marker before the post-clear ring wraps again. *)
+  Flight.arrival f ~slot:11 ~src ~dest:0;
+  (match Flight.dump f with
+  | [ e ] -> Alcotest.(check int) "post-clear dump" 11 e.Event.slot
+  | _ -> Alcotest.fail "expected one event after clear");
+  (* Interned ids survive the clear. *)
+  Alcotest.(check int) "id stable across clear" src (Flight.intern f "w")
+
+let test_all_kinds_box_round_trip () =
+  let f = Flight.create ~cap:16 () in
+  let src = Flight.intern f "eng" in
+  Flight.arrival f ~slot:1 ~src ~dest:3;
+  Flight.accept f ~slot:1 ~src ~dest:3;
+  Flight.push_out f ~slot:2 ~src ~victim:1 ~dest:2 ~lost:4;
+  Flight.drop f ~slot:2 ~src ~dest:0 ~value:6;
+  Flight.transmit f ~slot:3 ~src ~dest:4 ~value:9 ~latency:17;
+  Flight.transmit_bulk f ~slot:3 ~src ~dest:(-1) ~count:3 ~value:12;
+  Flight.flush f ~slot:4 ~src ~count:7;
+  Flight.slot_end f ~slot:4 ~src ~occupancy:42;
+  Flight.reconfig f ~slot:5 ~src ~what:"policy" ~target:"LQD";
+  Flight.health f ~slot:6 ~src ~rule:"ring" ~tripped:true ~reason:"over";
+  let expect =
+    List.map
+      (fun (slot, kind) -> Event.make ~src:"eng" ~slot kind)
+      [
+        (1, Event.Arrival { dest = 3 });
+        (1, Event.Accept { dest = 3 });
+        (2, Event.Push_out { victim = 1; dest = 2; lost = 4 });
+        (2, Event.Drop { dest = 0; value = 6 });
+        (3, Event.Transmit { dest = 4; value = 9; latency = 17 });
+        (3, Event.Transmit_bulk { dest = -1; count = 3; value = 12 });
+        (4, Event.Flush { count = 7 });
+        (4, Event.Slot_end { occupancy = 42 });
+        (5, Event.Reconfig { what = "policy"; target = "LQD" });
+        (6, Event.Health { rule = "ring"; tripped = true; reason = "over" });
+      ]
+  in
+  Alcotest.(check bool) "boxed events" true (Flight.events f = expect);
+  Alcotest.(check int) "no eviction" 0 (Flight.dropped f)
+
+let test_intern_scope_and_ids () =
+  let f = Flight.create ~scope:"x=8" ~cap:4 () in
+  let a = Flight.intern f "LWD" in
+  Alcotest.(check string) "scope-qualified" "x=8/LWD" (Flight.name_of f a);
+  Alcotest.(check int) "idempotent" a (Flight.intern f "LWD");
+  let b = Flight.intern f "LQD" in
+  Alcotest.(check bool) "dense distinct ids" true (b <> a);
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Flight.name_of: unknown id 99") (fun () ->
+      ignore (Flight.name_of f 99))
+
+(* --- the engine seam: zero observer effect --- *)
+
+let mmpp = { Smbm_traffic.Scenario.default_mmpp with sources = 10 }
+
+let run_proc ?recorder ?flight () =
+  let config = Smbm_core.Proc_config.contiguous ~k:4 ~buffer:8 () in
+  let inst =
+    Proc_engine.instance ?recorder ?flight config (Smbm_core.P_lwd.make config)
+  in
+  let workload =
+    Smbm_traffic.Scenario.proc_workload ~mmpp ~config ~load:2.0 ~seed:11 ()
+  in
+  Experiment.run
+    ~params:{ Experiment.slots = 400; flush_every = Some 100; check_every = None }
+    ~workload [ inst ];
+  inst
+
+let test_proc_engine_bit_identical_with_flight () =
+  let plain = run_proc () in
+  let flight = Flight.create ~cap:65536 () in
+  let flown = run_proc ~flight () in
+  Alcotest.(check (list string)) "metrics bit-identical"
+    (Metrics.to_jsonl plain.Instance.metrics)
+    (Metrics.to_jsonl flown.Instance.metrics);
+  Alcotest.(check bool) "flight saw the run" true (Flight.total flight > 400)
+
+(* The ring and the boxed Recorder sit behind the same engine seam: given
+   room for the whole run, they must drain to the very same event list. *)
+let test_proc_flight_matches_recorder () =
+  let recorder = Recorder.create ~cap:1_000_000 () in
+  let flight = Flight.create ~cap:65536 () in
+  let _ = run_proc ~recorder ~flight () in
+  Alcotest.(check int) "flight unevicted" 0 (Flight.dropped flight);
+  Alcotest.(check (list string)) "same events"
+    (List.map Event.to_json (Recorder.dump recorder))
+    (List.map Event.to_json (Flight.dump flight))
+
+let test_value_flight_matches_recorder () =
+  let config = Smbm_core.Value_config.make ~ports:4 ~max_value:8 ~buffer:8 () in
+  let run ?recorder ?flight () =
+    let inst =
+      Value_engine.instance ?recorder ?flight config
+        (Smbm_core.V_greedy.make config)
+    in
+    let workload =
+      Smbm_traffic.Scenario.value_uniform_workload ~mmpp ~config ~load:2.0
+        ~seed:7 ()
+    in
+    Experiment.run
+      ~params:
+        { Experiment.slots = 300; flush_every = Some 100; check_every = None }
+      ~workload [ inst ];
+    inst
+  in
+  let plain = run () in
+  let recorder = Recorder.create ~cap:1_000_000 () in
+  let flight = Flight.create ~cap:65536 () in
+  let flown = run ~recorder ~flight () in
+  Alcotest.(check (list string)) "metrics bit-identical"
+    (Metrics.to_jsonl plain.Instance.metrics)
+    (Metrics.to_jsonl flown.Instance.metrics);
+  Alcotest.(check int) "flight unevicted" 0 (Flight.dropped flight);
+  Alcotest.(check (list string)) "same events"
+    (List.map Event.to_json (Recorder.dump recorder))
+    (List.map Event.to_json (Flight.dump flight))
+
+(* --- the cost property: recording allocates nothing --- *)
+
+let test_record_is_allocation_free () =
+  let f = Flight.create ~cap:1024 () in
+  let src = Flight.intern f "eng" in
+  let burst () =
+    for slot = 1 to 10_000 do
+      Flight.arrival f ~slot ~src ~dest:3;
+      Flight.accept f ~slot ~src ~dest:3;
+      Flight.push_out f ~slot ~src ~victim:1 ~dest:2 ~lost:4;
+      Flight.drop f ~slot ~src ~dest:0 ~value:5;
+      Flight.transmit f ~slot ~src ~dest:1 ~value:2 ~latency:3;
+      Flight.transmit_bulk f ~slot ~src ~dest:(-1) ~count:2 ~value:4;
+      Flight.flush f ~slot ~src ~count:7;
+      Flight.slot_end f ~slot ~src ~occupancy:9;
+      (* The string-carrying kinds too: their payloads are interned after
+         the first call, so steady state is int-only as well. *)
+      Flight.reconfig f ~slot ~src ~what:"policy" ~target:"LQD";
+      Flight.health f ~slot ~src ~rule:"ring" ~tripped:true ~reason:"over"
+    done
+  in
+  burst () (* warm-up: interning done, ring arrays touched *);
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  burst ();
+  let dw = Gc.minor_words () -. w0 in
+  (* 100k records; the only tolerated words are the measurement's own
+     boxed-float results.  Anything per-record would show as >= 200k. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words for 100k records: %.0f" dw)
+    true (dw < 256.0)
+
+let suite =
+  [
+    Alcotest.test_case "ring wrap and dump" `Quick test_ring_wrap_and_dump;
+    Alcotest.test_case "all kinds box round-trip" `Quick
+      test_all_kinds_box_round_trip;
+    Alcotest.test_case "intern scope and ids" `Quick test_intern_scope_and_ids;
+    Alcotest.test_case "proc engine bit-identical with flight" `Quick
+      test_proc_engine_bit_identical_with_flight;
+    Alcotest.test_case "proc flight matches recorder" `Quick
+      test_proc_flight_matches_recorder;
+    Alcotest.test_case "value flight matches recorder" `Quick
+      test_value_flight_matches_recorder;
+    Alcotest.test_case "record is allocation-free" `Quick
+      test_record_is_allocation_free;
+  ]

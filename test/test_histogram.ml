@@ -169,6 +169,47 @@ let prop_median_within_bucket_error =
          tiny values. *)
       abs_float (est -. exact) <= (0.35 *. exact) +. 1.5)
 
+(* The two quantile paths — the histogram's own scan (clamped by
+   max_seen) and the external bucket-list interpolation — walk the same
+   shape to the same target bucket.  Their exact relation: the bucket
+   path never reads lower, and wherever the target bucket lies wholly
+   below max_seen (so the clamp is inert), they agree to the last bit of
+   the shared arithmetic; in the max bucket they differ by at most the
+   clamp, i.e. the bucket's width. *)
+let prop_bucket_quantile_equals_direct =
+  QCheck2.Test.make
+    ~name:"quantile_of_buckets matches quantile wherever the clamp is inert"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 2 300) (float_range 0.0 1e6))
+        (float_range 0.0 1.0))
+    (fun (xs, q) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let bpd = Histogram.buckets_per_decade h in
+      let buckets = Histogram.buckets h in
+      let direct = Histogram.quantile h q in
+      let rebuilt = Histogram.quantile_of_buckets ~buckets_per_decade:bpd buckets q in
+      (* Independent re-derivation of the target bucket. *)
+      let total = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+      let rank = q *. float_of_int total in
+      let target =
+        let rec scan seen = function
+          | [] -> fst (List.hd (List.rev buckets))
+          | (i, c) :: rest ->
+            if float_of_int (seen + c) >= rank then i else scan (seen + c) rest
+        in
+        scan 0 buckets
+      in
+      let lo, hi = Histogram.bucket_bounds ~buckets_per_decade:bpd target in
+      let max_seen = Histogram.max_seen h in
+      let eps = 1e-9 *. Float.max 1.0 rebuilt in
+      direct <= rebuilt +. eps
+      && direct <= max_seen +. eps
+      && rebuilt -. direct <= hi -. lo +. eps
+      && if hi <= max_seen then abs_float (rebuilt -. direct) <= eps else true)
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -185,4 +226,5 @@ let suite =
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "bucket export round-trip" `Quick test_bucket_export;
     Qc.to_alcotest prop_median_within_bucket_error;
+    Qc.to_alcotest prop_bucket_quantile_equals_direct;
   ]

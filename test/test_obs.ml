@@ -135,6 +135,73 @@ let test_recorder_scope_prefixes_src () =
   | [ e ] -> Alcotest.(check string) "src" "x=8/LWD" e.Event.src
   | _ -> Alcotest.fail "expected one event"
 
+(* Wrap-around attribution across a clear: the truncation marker must
+   describe only the post-clear life of the ring — eviction count reset,
+   slot pointing at the new oldest survivor, no stale marker while the
+   refilled ring still holds everything. *)
+let test_recorder_truncation_after_clear () =
+  let r = Recorder.create ~cap:4 () in
+  for slot = 0 to 9 do
+    Recorder.record r ~slot ~who:"w" (Event.Arrival { dest = 0 })
+  done;
+  Alcotest.(check int) "pre-clear dropped" 6 (Recorder.dropped r);
+  Recorder.clear r;
+  Alcotest.(check int) "cleared total" 0 (Recorder.total r);
+  for slot = 100 to 102 do
+    Recorder.record r ~slot ~who:"w" (Event.Arrival { dest = 0 })
+  done;
+  (* Under capacity again: a dump carries no marker at all. *)
+  Alcotest.(check (list int)) "no marker under capacity" [ 100; 101; 102 ]
+    (List.map (fun (e : Event.t) -> e.Event.slot) (Recorder.dump r));
+  for slot = 103 to 105 do
+    Recorder.record r ~slot ~who:"w" (Event.Arrival { dest = 0 })
+  done;
+  match Recorder.dump r with
+  | meta :: rest ->
+    Alcotest.(check bool) "post-clear eviction count" true
+      (meta.Event.kind = Event.Truncated { evicted = 2 });
+    Alcotest.(check int) "post-clear oldest survivor" 102 meta.Event.slot;
+    Alcotest.(check (list int)) "post-clear survivors" [ 102; 103; 104; 105 ]
+      (List.map (fun (e : Event.t) -> e.Event.slot) rest)
+  | [] -> Alcotest.fail "empty dump"
+
+(* --- Json floats: exact round-trip --- *)
+
+let float_eq a b =
+  (Float.is_nan a && Float.is_nan b) || Int64.bits_of_float a = Int64.bits_of_float b
+
+let test_json_float_specials_round_trip () =
+  List.iter
+    (fun v ->
+      let line = Json.obj [ ("x", Json.Float v) ] in
+      match Json.parse_flat line with
+      | Error msg -> Alcotest.failf "%s: %s" line msg
+      | Ok [ ("x", Json.Float v') ] ->
+        Alcotest.(check bool) (Printf.sprintf "%h via %s" v line) true
+          (float_eq v v')
+      | Ok _ -> Alcotest.failf "%s: unexpected shape" line)
+    [
+      0.0; -0.0; 1.5; -1.5; 0.1; infinity; neg_infinity; nan; 1e308; -1e308;
+      4e-324 (* smallest subnormal *); max_float; min_float; 3.14159265358979312;
+    ]
+
+let prop_json_float_exact_round_trip =
+  Qc.to_alcotest
+    (QCheck2.Test.make ~name:"json float round-trips bit-exactly" ~count:1000
+       QCheck2.Gen.(
+         oneof
+           [
+             float;
+             oneofl [ 0.0; -0.0; infinity; neg_infinity; nan; 1e22; 1e-7 ];
+             (* full-precision doubles: 17 significant digits needed *)
+             map Int64.float_of_bits int64;
+           ])
+       (fun v ->
+         let line = Json.obj [ ("x", Json.Float v) ] in
+         match Json.parse_flat line with
+         | Ok [ ("x", Json.Float v') ] -> float_eq v v'
+         | Ok _ | Error _ -> false))
+
 (* --- Registry --- *)
 
 let test_registry_counters_and_snapshot () =
@@ -545,6 +612,11 @@ let suite =
     Alcotest.test_case "ring buffer eviction" `Quick
       test_recorder_eviction_at_capacity;
     Alcotest.test_case "recorder scoping" `Quick test_recorder_scope_prefixes_src;
+    Alcotest.test_case "recorder truncation after clear" `Quick
+      test_recorder_truncation_after_clear;
+    Alcotest.test_case "json float specials round-trip" `Quick
+      test_json_float_specials_round_trip;
+    prop_json_float_exact_round_trip;
     Alcotest.test_case "registry" `Quick test_registry_counters_and_snapshot;
     Alcotest.test_case "registry summary edge cases" `Quick
       test_registry_summary_edge_cases;

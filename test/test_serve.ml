@@ -281,6 +281,98 @@ let test_daemon_trace_ingest_bit_exact () =
     (Option.value ~default:"conservation holds" report.Daemon.conservation_error)
     true report.Daemon.conservation_ok
 
+(* --- the black box --- *)
+
+(* The always-on flight ring changes nothing: a deterministic trace ingest
+   produces the same counters with the ring on (default) and off. *)
+let test_daemon_flight_zero_observer_effect () =
+  let run flight_cap =
+    let trace = Trace.record (proc_workload ~seed:23 ()) ~slots:200 in
+    Daemon.run ~ring_capacity:4 ~flight_cap ~model:(Model.Proc proc_config)
+      ~policy:"LWD"
+      ~ingest:(Daemon.Trace (Trace.Compact.of_trace trace))
+      ()
+  in
+  let off = run 0 and on = run 65536 in
+  Alcotest.(check bool) "counters identical" true
+    (off.Daemon.arrivals = on.Daemon.arrivals
+    && off.Daemon.accepted = on.Daemon.accepted
+    && off.Daemon.transmitted = on.Daemon.transmitted
+    && off.Daemon.dropped = on.Daemon.dropped
+    && off.Daemon.flushed = on.Daemon.flushed
+    && off.Daemon.slots = on.Daemon.slots)
+
+(* Trip a watchdog deliberately (an impossible p99 budget), and the daemon
+   must dump the flight ring plus a state snapshot that certifies: the
+   replayed window reconstructs exactly the counters the daemon snapshot
+   recorded at trip time. *)
+let test_daemon_trip_writes_certifiable_postmortem () =
+  let bank =
+    Mmpp_bank.create ~mmpp:(mmpp 10) (Model.Proc proc_config) ~load:2.0
+      ~seed:9 ()
+  in
+  let base = Filename.temp_file "smbm_serve_pm" "" in
+  let report =
+    Daemon.run ~ring_capacity:8 ~telemetry:true ~p99_budget_us:1e-6
+      ~stats_every:100 ~flight_cap:(1 lsl 17) ~postmortem:base ~slots:400
+      ~model:(Model.Proc proc_config) ~policy:"LWD" ~ingest:(Daemon.Bank bank)
+      ()
+  in
+  Alcotest.(check bool) "watchdog tripped" true report.Daemon.degraded;
+  (match report.Daemon.postmortem with
+  | None -> Alcotest.fail "no postmortem written"
+  | Some b -> (
+    Alcotest.(check string) "report carries the base" base b;
+    let module PM = Smbm_forensics.Postmortem in
+    match PM.load b with
+    | Error e -> Alcotest.fail e
+    | Ok (meta, trace) -> (
+      Alcotest.(check string) "trigger" "health" meta.PM.reason;
+      Alcotest.(check string) "model" "proc" meta.PM.model;
+      Alcotest.(check string) "live policy" "LWD" meta.PM.policy;
+      Alcotest.(check int) "nothing evicted" 0 meta.PM.evicted;
+      Alcotest.(check bool) "health state captured" true
+        (List.exists (fun (_, tripped) -> tripped) meta.PM.health);
+      match PM.certify meta trace with
+      | Ok (PM.Certified { slots; events; checked }) ->
+        Alcotest.(check bool) "certified a real window" true
+          (slots > 0 && events > 0 && checked >= 8)
+      | Ok (PM.Window _) -> Alcotest.fail "unevicted dump not certified"
+      | Error e -> Alcotest.failf "certify: %s" e)));
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ Smbm_forensics.Postmortem.trace_path base;
+      Smbm_forensics.Postmortem.meta_path base; base ]
+
+(* Only the first trigger dumps; a second trip must not overwrite the
+   earliest evidence. *)
+let test_daemon_postmortem_first_trigger_only () =
+  let bank =
+    Mmpp_bank.create ~mmpp:(mmpp 10) (Model.Proc proc_config) ~load:2.0
+      ~seed:13 ()
+  in
+  let base = Filename.temp_file "smbm_serve_pm" "" in
+  let report =
+    Daemon.run ~ring_capacity:8 ~telemetry:true ~p99_budget_us:1e-6
+      ~stats_every:50 ~flight_cap:(1 lsl 17) ~postmortem:base ~slots:300
+      ~model:(Model.Proc proc_config) ~policy:"LQD" ~ingest:(Daemon.Bank bank)
+      ()
+  in
+  (match report.Daemon.postmortem with
+  | None -> Alcotest.fail "no postmortem written"
+  | Some _ -> ());
+  (match Smbm_forensics.Postmortem.load base with
+  | Error e -> Alcotest.fail e
+  | Ok (meta, _) ->
+    (* The first evaluation boundary is the earliest the budget rule can
+       trip; the snapshot must be from then, not from the end of the run. *)
+    Alcotest.(check bool) "dumped at the first trip, kept" true
+      (meta.Smbm_forensics.Postmortem.slot < 300));
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ Smbm_forensics.Postmortem.trace_path base;
+      Smbm_forensics.Postmortem.meta_path base; base ]
+
 let test_daemon_unknown_policy_rejected () =
   let bank = Mmpp_bank.create ~mmpp:(mmpp 5) (Model.Proc proc_config) ~load:1.0 ~seed:1 () in
   Alcotest.check_raises "unknown initial policy"
@@ -307,4 +399,10 @@ let suite =
       test_daemon_trace_ingest_bit_exact;
     Alcotest.test_case "daemon rejects unknown initial policy" `Quick
       test_daemon_unknown_policy_rejected;
+    Alcotest.test_case "daemon flight: zero observer effect" `Quick
+      test_daemon_flight_zero_observer_effect;
+    Alcotest.test_case "daemon trip writes certifiable postmortem" `Quick
+      test_daemon_trip_writes_certifiable_postmortem;
+    Alcotest.test_case "daemon postmortem: first trigger only" `Quick
+      test_daemon_postmortem_first_trigger_only;
   ]
