@@ -108,8 +108,11 @@ let models =
 
 (* Best-of-[repeats] rate (filters GC pauses and scheduler noise) and the
    last minor-word count (allocation is deterministic, the last stands).
-   [run] returns how many slots it stepped. *)
+   [run] returns how many slots it stepped.  The untimed warmup run sits
+   after a full compaction so every cell starts from the same heap shape
+   regardless of which cells ran before it. *)
 let measure run =
+  Gc.compact ();
   ignore (run ());
   let best_rate = ref 0.0 and words_per_slot = ref 0.0 in
   for _ = 1 to !repeats do
@@ -152,6 +155,7 @@ let sink name =
     Instance.name;
     arrive = (fun (_ : Smbm_core.Arrival.t) -> incr count);
     arrive_dv = (fun ~dest:_ ~value:_ -> incr count);
+    arrive_batch = None;
     transmit = ignore;
     end_slot = ignore;
     flush = ignore;

@@ -6,9 +6,19 @@
 
      dune exec bench/hotpath.exe -- [--arrivals N] [--repeats R] [--out FILE]
 
-   Emits one gauge per (model, policy, n, impl) plus two ratios —
-   indexed/scan under .../speedup and flat/indexed under .../flat/speedup
-   (both auto-gated by bench-diff) — as JSONL (Smbm_obs.Registry) to FILE.
+   A fourth arm ([fused]) drives the flat backend through the policy's
+   [admit_batch] kernel over 1024-arrival batches — the whole-batch fused
+   admission path the engines take — under .../fused.  Two ratios describe
+   it: .../fused/speedup (fused over the per-packet flat loop: the marginal
+   value of batch fusion alone) and .../fused/total (fused over the linked
+   indexed path: the whole fused-flat stack — unboxed columns, monomorphic
+   comparators, batch kernel — against the default backend the sweeps ran
+   on before it existed).
+
+   Emits one gauge per (model, policy, n, impl) plus four ratios —
+   indexed/scan under .../speedup, flat/indexed under .../flat/speedup,
+   fused/flat under .../fused/speedup and fused/indexed under .../fused/total
+   (all auto-gated by bench-diff) — as JSONL (Smbm_obs.Registry) to FILE.
    The committed repo-root BENCH_hotpath.json is this file at the default
    scale; CI regenerates it at reduced scale and diffs the ratios with
    `smbm_cli bench-diff` (ratios, unlike raw arrivals/sec, transfer
@@ -51,11 +61,14 @@ let lcg seed =
 
 (* --- processing model --- *)
 
-(* Warm up untimed, then time [!repeats] batches of [!arrivals] admissions
-   and keep the best rate — best-of filters GC pauses and scheduler noise
-   out of the short, fast cells, which is what makes the emitted speedup
-   ratios stable enough to gate CI on. *)
+(* Compact the heap, warm up untimed, then time [!repeats] batches of
+   [!arrivals] admissions and keep the best rate — the compaction gives
+   every cell the same heap shape regardless of which cells ran before it,
+   and best-of filters GC pauses and scheduler noise out of the short, fast
+   cells.  Together they make the emitted speedup ratios stable enough to
+   gate CI on. *)
 let best_of ~batch =
+  Gc.compact ();
   batch ~count:(!arrivals / 10);
   let best = ref 0.0 in
   for _ = 1 to !repeats do
@@ -95,6 +108,47 @@ let run_proc ~n ~impl mk =
         end
       done)
 
+(* Fused arm: the same full-buffer admission load, but offered to the flat
+   backend as whole [Arrival_batch]es through the policy's [admit_batch]
+   kernel — the path the engines take for untraced runs.  Batch assembly
+   (LCG draw + column write per arrival) is inside the timed region, so the
+   fused/flat ratio is an honest end-to-end comparison against the
+   per-packet loop above. *)
+let batch_len = 1024
+
+let run_proc_fused ~n mk =
+  let config = Proc_config.contiguous ~k:n ~buffer:(4 * n) () in
+  let policy = mk `Flat config in
+  match Proc_policy.admit_batch policy with
+  | None -> nan
+  | Some kernel ->
+    let sw = Proc_switch.create ~backend:policy.Proc_policy.backend config in
+    let next = lcg 0x5eed in
+    let fill () =
+      while not (Proc_switch.is_full sw) do
+        Proc_switch.accept_unit sw ~dest:(next n)
+      done
+    in
+    fill ();
+    let batch = Arrival_batch.create ~capacity:batch_len () in
+    let counters = Admission.counters () in
+    best_of ~batch:(fun ~count ->
+        let remaining = ref count in
+        while !remaining > 0 do
+          let len = min batch_len !remaining in
+          Arrival_batch.clear batch;
+          for _ = 1 to len do
+            Arrival_batch.push batch ~dest:(next n) ~value:1
+          done;
+          Admission.reset counters;
+          kernel sw batch counters;
+          ignore
+            (Proc_switch.transmit_phase_fields sw
+               ~on_transmit:(fun ~dest:_ ~arrival:_ -> ()));
+          fill ();
+          remaining := !remaining - len
+        done)
+
 (* --- value model --- *)
 
 let run_value ~n ~impl mk =
@@ -125,6 +179,39 @@ let run_value ~n ~impl mk =
         end
       done)
 
+let run_value_fused ~n mk =
+  let config = Value_config.make ~ports:n ~max_value:16 ~buffer:(4 * n) () in
+  let policy = mk `Flat config in
+  match Value_policy.admit_batch policy with
+  | None -> nan
+  | Some kernel ->
+    let sw = Value_switch.create ~backend:policy.Value_policy.backend config in
+    let next = lcg 0x5eed in
+    let fill () =
+      while not (Value_switch.is_full sw) do
+        Value_switch.accept_unit sw ~dest:(next n) ~value:(next 16 + 1)
+      done
+    in
+    fill ();
+    let batch = Arrival_batch.create ~capacity:batch_len () in
+    let counters = Admission.counters () in
+    best_of ~batch:(fun ~count ->
+        let remaining = ref count in
+        while !remaining > 0 do
+          let len = min batch_len !remaining in
+          Arrival_batch.clear batch;
+          for _ = 1 to len do
+            Arrival_batch.push batch ~dest:(next n) ~value:(next 16 + 1)
+          done;
+          Admission.reset counters;
+          kernel sw batch counters;
+          ignore
+            (Value_switch.transmit_phase_fields sw
+               ~on_transmit:(fun ~dest:_ ~value:_ ~arrival:_ -> ()));
+          fill ();
+          remaining := !remaining - len
+        done)
+
 let proc_policies =
   [
     ("LQD", fun impl c -> P_lqd.make ~impl c);
@@ -142,27 +229,37 @@ let value_policies =
 
 let () =
   let reg = Smbm_obs.Registry.create () in
-  let record ~model ~name ~n ~rate_scan ~rate_indexed ~rate_flat =
+  let record ~model ~name ~n ~rate_scan ~rate_indexed ~rate_flat ~rate_fused =
     let base = Printf.sprintf "hotpath/%s/%s/n%d" model name n in
     Smbm_obs.Registry.set (Smbm_obs.Registry.gauge reg (base ^ "/scan")) rate_scan;
     Smbm_obs.Registry.set
       (Smbm_obs.Registry.gauge reg (base ^ "/indexed"))
       rate_indexed;
     Smbm_obs.Registry.set (Smbm_obs.Registry.gauge reg (base ^ "/flat")) rate_flat;
+    Smbm_obs.Registry.set (Smbm_obs.Registry.gauge reg (base ^ "/fused")) rate_fused;
     Smbm_obs.Registry.set
       (Smbm_obs.Registry.gauge reg (base ^ "/speedup"))
       (rate_indexed /. rate_scan);
     Smbm_obs.Registry.set
       (Smbm_obs.Registry.gauge reg (base ^ "/flat/speedup"))
       (rate_flat /. rate_indexed);
+    Smbm_obs.Registry.set
+      (Smbm_obs.Registry.gauge reg (base ^ "/fused/speedup"))
+      (rate_fused /. rate_flat);
+    Smbm_obs.Registry.set
+      (Smbm_obs.Registry.gauge reg (base ^ "/fused/total"))
+      (rate_fused /. rate_indexed);
     Printf.printf
       "%-28s scan %10.0f/s   indexed %10.0f/s (%.2fx)   flat %10.0f/s \
-       (%.2fx)\n\
+       (%.2fx)   fused %10.0f/s (%.2fx, total %.2fx)\n\
        %!"
       base rate_scan rate_indexed
       (rate_indexed /. rate_scan)
       rate_flat
       (rate_flat /. rate_indexed)
+      rate_fused
+      (rate_fused /. rate_flat)
+      (rate_fused /. rate_indexed)
   in
   List.iter
     (fun n ->
@@ -171,14 +268,18 @@ let () =
           let rate_scan = run_proc ~n ~impl:`Scan mk in
           let rate_indexed = run_proc ~n ~impl:`Indexed mk in
           let rate_flat = run_proc ~n ~impl:`Flat mk in
-          record ~model:"proc" ~name ~n ~rate_scan ~rate_indexed ~rate_flat)
+          let rate_fused = run_proc_fused ~n mk in
+          record ~model:"proc" ~name ~n ~rate_scan ~rate_indexed ~rate_flat
+            ~rate_fused)
         proc_policies;
       List.iter
         (fun (name, mk) ->
           let rate_scan = run_value ~n ~impl:`Scan mk in
           let rate_indexed = run_value ~n ~impl:`Indexed mk in
           let rate_flat = run_value ~n ~impl:`Flat mk in
-          record ~model:"value" ~name ~n ~rate_scan ~rate_indexed ~rate_flat)
+          let rate_fused = run_value_fused ~n mk in
+          record ~model:"value" ~name ~n ~rate_scan ~rate_indexed ~rate_flat
+            ~rate_fused)
         value_policies)
     sizes;
   let oc = open_out !out in

@@ -1450,7 +1450,10 @@ let run_bench_diff baseline current tolerance cap slack mrd_floor alloc_toleranc
      the indexed run's wall time is so short that the exact magnitude is
      timing noise, while any real regression (an accidental O(n) rescan)
      collapses the ratio toward 1x and is caught regardless. *)
-  let speedups = List.filter (fun (n, _) -> has_suffix ~suffix:"/speedup" n) base in
+  let is_ratio n =
+    has_suffix ~suffix:"/speedup" n || has_suffix ~suffix:"/total" n
+  in
+  let speedups = List.filter (fun (n, _) -> is_ratio n) base in
   if speedups = [] then fail "%s: no */speedup metrics" baseline;
   Printf.printf "%-32s %9s %9s %8s\n" "metric" "baseline" "current" "delta";
   List.iter
@@ -1487,6 +1490,16 @@ let run_bench_diff baseline current tolerance cap slack mrd_floor alloc_toleranc
           fail "%s allocation regressed: %.1f -> %.1f words/slot (>%.0f%%)"
             name b c (alloc_tolerance *. 100.0))
     allocs;
+  (* Metrics the fresh run emits that the committed baseline lacks are not
+     errors — they are cells a new benchmark arm added — but silently
+     skipping them would leave them ungated forever.  Print each one so the
+     baseline regeneration is visible in the gate's output. *)
+  let gated n = is_ratio n || has_suffix ~suffix:"/minor_words_per_slot" n in
+  List.iter
+    (fun (name, c) ->
+      if gated name && not (List.mem_assoc name base) then
+        Printf.printf "%-32s %9s %8.2f  [new]\n" name "-" c)
+    cur;
   (* Absolute acceptance floors.  The historical MRD floor (the full-buffer
      MRD hot path at n = 256 must stay at least [mrd_floor] times faster
      than the rescans) applies whenever the baseline carries that metric —

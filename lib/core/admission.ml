@@ -1,0 +1,19 @@
+(* Per-batch admission counters for the fused kernels.
+
+   A policy's [admit_batch] adds into one of these instead of returning a
+   per-packet [Decision.t]; the engine folds the counts into its metrics
+   once per batch.  Mutable record, allocated once per instance and reset
+   per batch — no per-packet allocation. *)
+
+type counters = {
+  mutable accepted : int;
+  mutable pushed_out : int;
+  mutable dropped : int;
+}
+
+let counters () = { accepted = 0; pushed_out = 0; dropped = 0 }
+
+let reset c =
+  c.accepted <- 0;
+  c.pushed_out <- 0;
+  c.dropped <- 0

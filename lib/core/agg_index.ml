@@ -6,29 +6,108 @@
    after that element's state changes ([invalidate]).  Matches elsewhere in
    the tree compare unchanged elements and therefore keep their outcome.
 
-   [better] must be a strict total order over 0 .. n-1 (callers end every
-   comparison chain with an index comparison), which makes the winner of a
-   match independent of argument order and the tree's root equal to the
-   unique maximum — the same element a left-to-right scan with the matching
-   tie convention selects. *)
+   The order must be a strict total order (callers end every comparison
+   chain with an index comparison), which makes the winner of a match
+   independent of argument order and the tree's root equal to the unique
+   maximum — the same element a left-to-right scan with the matching tie
+   convention selects.
+
+   Three comparator shapes:
+
+   - [Closure]: the original caller-supplied [better] function.  Each match
+     pays an indirect call whose body typically re-reads switch accessors —
+     fine for the linked backend, where the accessor is the cost anyway.
+
+   - [Lex]: a monomorphic two-key variant for the flat backend.  The keys
+     live in caller-owned [int array] columns (often aliases of the flat
+     switch's own per-port aggregates), and a match is three unboxed array
+     loads and integer compares: k1 desc, then k2 desc, then the index tie.
+     Derived keys are recomputed by [refresh_key] once per invalidation —
+     O(1) amortized per mutation — instead of once per comparison.
+
+   - [Ratio]: MRD's order, which is not lexicographic: eligible elements
+     compare by len^2 * sum cross-multiplication (exact integer arithmetic),
+     ties toward the larger [negmin] (the negated queue minimum), then the
+     larger index; ineligible elements (len < 0) rank below all eligible
+     ones and among themselves by index. *)
+
+type kind =
+  | Closure of (int -> int -> bool)
+  | Lex of {
+      k1 : int array;
+      k2 : int array;
+      largest_tie : bool;  (* full-key ties keep the largest index? *)
+      refresh_key : int -> unit;
+    }
+  | Ratio of {
+      len : int array;  (* -1 = ineligible *)
+      sum : int array;
+      negmin : int array;
+      refresh_key : int -> unit;
+    }
 
 type t = {
   n : int;
   leaves : int;  (* power of two >= n (>= 1); leaf j lives at [leaves + j] *)
   tree : int array;  (* 2 * leaves slots; root at 1; -1 = no element *)
-  better : int -> int -> bool;
+  kind : kind;
 }
 
-let combine t a b =
-  if a < 0 then b else if b < 0 then a else if t.better a b then a else b
+(* The match comparison.  [a]/[b] are in [0, n) whenever this runs (the
+   tree stores only valid indices or -1, and [combine] filters the -1s), so
+   the key-column accesses skip the bounds check — this is the per-mutation
+   hot path of every victim index on the flat backend. *)
+let better t a b =
+  match t.kind with
+  | Closure f -> f a b
+  | Lex { k1; k2; largest_tie; _ } ->
+    let ka = Array.unsafe_get k1 a and kb = Array.unsafe_get k1 b in
+    ka > kb
+    || ka = kb
+       &&
+       let sa = Array.unsafe_get k2 a and sb = Array.unsafe_get k2 b in
+       sa > sb || (sa = sb && if largest_tie then a > b else a < b)
+  | Ratio { len; sum; negmin; _ } ->
+    let la = Array.unsafe_get len a and lb = Array.unsafe_get len b in
+    if la >= 0 && lb >= 0 then begin
+      let x = la * la * Array.unsafe_get sum b
+      and y = lb * lb * Array.unsafe_get sum a in
+      x > y
+      || x = y
+         &&
+         let ma = Array.unsafe_get negmin a
+         and mb = Array.unsafe_get negmin b in
+         ma > mb || (ma = mb && a > b)
+    end
+    else if la >= 0 then true
+    else if lb >= 0 then false
+    else a > b
 
-let refresh t =
+let combine t a b =
+  if a < 0 then b else if b < 0 then a else if better t a b then a else b
+
+let refresh_key t j =
+  match t.kind with
+  | Closure _ -> ()
+  | Lex { refresh_key; _ } -> refresh_key j
+  | Ratio { refresh_key; _ } -> refresh_key j
+
+let rebuild t =
   for i = t.leaves - 1 downto 1 do
     t.tree.(i) <- combine t t.tree.(2 * i) t.tree.((2 * i) + 1)
   done
 
-let create ~n ~better =
-  if n < 1 then invalid_arg "Agg_index.create: n must be >= 1";
+let refresh t =
+  (match t.kind with
+  | Closure _ -> ()
+  | Lex _ | Ratio _ ->
+    for j = 0 to t.n - 1 do
+      refresh_key t j
+    done);
+  rebuild t
+
+let make ~n kind =
+  if n < 1 then invalid_arg "Agg_index: n must be >= 1";
   let leaves = ref 1 in
   while !leaves < n do
     leaves := !leaves * 2
@@ -38,14 +117,32 @@ let create ~n ~better =
     Array.init (2 * leaves) (fun i ->
         if i >= leaves && i - leaves < n then i - leaves else -1)
   in
-  let t = { n; leaves; tree; better } in
+  let t = { n; leaves; tree; kind } in
   refresh t;
   t
+
+let create ~n ~better = make ~n (Closure better)
+
+let check_columns ~n name cols =
+  List.iter
+    (fun c ->
+      if Array.length c < n then
+        invalid_arg ("Agg_index." ^ name ^ ": key column shorter than n"))
+    cols
+
+let create_lex ~n ?(tie = `Largest_index) ~k1 ~k2 ~refresh () =
+  check_columns ~n "create_lex" [ k1; k2 ];
+  make ~n (Lex { k1; k2; largest_tie = tie = `Largest_index; refresh_key = refresh })
+
+let create_ratio ~n ~len ~sum ~negmin ~refresh () =
+  check_columns ~n "create_ratio" [ len; sum; negmin ];
+  make ~n (Ratio { len; sum; negmin; refresh_key = refresh })
 
 let n t = t.n
 
 let invalidate t j =
   if j < 0 || j >= t.n then invalid_arg "Agg_index.invalidate: bad index";
+  refresh_key t j;
   let i = ref ((t.leaves + j) / 2) in
   let continue_ = ref true in
   while !continue_ && !i >= 1 do
@@ -79,6 +176,26 @@ let top_excluding t j =
   !best
 
 let check t =
+  (* Keyed variants first prove no key is stale: recomputing any element's
+     keys must be a no-op, or some mutation skipped its [invalidate]. *)
+  (match t.kind with
+  | Closure _ -> ()
+  | Lex { k1; k2; refresh_key; _ } ->
+    for j = 0 to t.n - 1 do
+      let a = k1.(j) and b = k2.(j) in
+      refresh_key j;
+      if k1.(j) <> a || k2.(j) <> b then
+        invalid_arg
+          (Printf.sprintf "Agg_index.check: stale lex key for element %d" j)
+    done
+  | Ratio { len; sum; negmin; refresh_key } ->
+    for j = 0 to t.n - 1 do
+      let a = len.(j) and b = sum.(j) and c = negmin.(j) in
+      refresh_key j;
+      if len.(j) <> a || sum.(j) <> b || negmin.(j) <> c then
+        invalid_arg
+          (Printf.sprintf "Agg_index.check: stale ratio key for element %d" j)
+    done);
   for i = 1 to t.leaves - 1 do
     let w = combine t t.tree.(2 * i) t.tree.((2 * i) + 1) in
     if w <> t.tree.(i) then

@@ -1,5 +1,5 @@
 (** Incremental argmax over queue indices: a tournament tree whose matches
-    are decided by a caller-supplied comparator reading live switch state.
+    are decided by a comparator reading live switch state.
 
     The switches maintain one of these per registered victim-selection key
     (see {!Proc_switch.find_index} / {!Value_switch.find_index}): a queue
@@ -10,7 +10,17 @@
     Internal nodes store winner {e indices}, not keys, so the comparator may
     read mutable per-queue aggregates (lengths, total work, cached minimum
     values); the contract is only that after any queue's state changes,
-    {!invalidate} is called for it before the next query. *)
+    {!invalidate} is called for it before the next query.
+
+    Two comparator families:
+    - {!create} takes an arbitrary [better] closure — one indirect call per
+      match.
+    - {!create_lex} / {!create_ratio} are the flat backend's monomorphic
+      variants: matches read unboxed int key columns directly (three array
+      loads, no closure), and any {e derived} keys are recomputed once per
+      invalidation by a caller-supplied [refresh] instead of once per
+      comparison.  Key columns are caller-owned and may alias the switch's
+      live per-port aggregate arrays (then [refresh] is [ignore]). *)
 
 type t
 
@@ -20,23 +30,56 @@ val create : n:int -> better:(int -> int -> bool) -> t
     unique maximum.  The tree is built immediately from the current state.
     @raise Invalid_argument if [n < 1]. *)
 
+val create_lex :
+  n:int ->
+  ?tie:[ `Largest_index | `Smallest_index ] ->
+  k1:int array ->
+  k2:int array ->
+  refresh:(int -> unit) ->
+  unit ->
+  t
+(** Monomorphic lexicographic order: larger [k1.(j)] wins, then larger
+    [k2.(j)], then the index tie ([`Largest_index] by default).  [refresh j]
+    must (re)write element [j]'s keys from live state; it runs for every
+    element at creation and once per {!invalidate} — pass [ignore] when both
+    columns alias live aggregates.  The columns must have length >= [n].
+    @raise Invalid_argument if [n < 1] or a column is shorter than [n]. *)
+
+val create_ratio :
+  n:int ->
+  len:int array ->
+  sum:int array ->
+  negmin:int array ->
+  refresh:(int -> unit) ->
+  unit ->
+  t
+(** The MRD order, which is not lexicographic: elements with [len.(j) < 0]
+    are ineligible and rank below all eligible ones (among themselves by
+    larger index); eligible elements compare by the exact cross-multiplied
+    ratio [len^2 / sum] (larger wins), ties toward the larger [negmin]
+    (negated queue minimum), then the larger index.  Same column-ownership
+    and [refresh] contract as {!create_lex}. *)
+
 val n : t -> int
 
 val invalidate : t -> int -> unit
-(** Re-run the matches on element [j]'s root path after its state changed.
-    O(log n). *)
+(** Re-run the matches on element [j]'s root path after its state changed
+    (for keyed trees, element [j]'s keys are refreshed first).  O(log n),
+    O(1) amortized. *)
 
 val refresh : t -> unit
-(** Re-run every match (after a bulk change such as a flushout).  O(n). *)
+(** Re-run every match (after a bulk change such as a flushout), refreshing
+    every key on keyed trees.  O(n). *)
 
 val top : t -> int
-(** The current overall winner (the unique [better]-maximum). *)
+(** The current overall winner (the unique maximum). *)
 
 val top_excluding : t -> int -> int
 (** The winner among all elements except the given one; [-1] when [n = 1].
     O(log n), read-only. *)
 
 val check : t -> unit
-(** Verify every stored match outcome against a fresh comparison — detects
-    missed invalidations.  Test hook.
+(** Verify every stored match outcome against a fresh comparison — and, on
+    keyed trees, that no key column entry is stale — detecting missed
+    invalidations.  Test hook.
     @raise Invalid_argument on an inconsistency. *)

@@ -23,16 +23,26 @@ let select_victim_scan sw ~dest =
   done;
   !best
 
+(* On the flat backend the comparator collapses to a keyed lexicographic
+   tree over the switch's own (queue length, port work) aggregate columns —
+   no closure, no refresh (both keys alias live state).  The linked backend
+   keeps the closure comparator; both express the same order. *)
 let index sw =
-  Proc_switch.find_index sw ~key:"lqd" ~better:(fun a b ->
-      let la = Proc_switch.queue_length sw a
-      and lb = Proc_switch.queue_length sw b in
-      la > lb
-      || la = lb
-         &&
-         let wa = Proc_switch.port_work sw a
-         and wb = Proc_switch.port_work sw b in
-         wa > wb || (wa = wb && a > b))
+  match Proc_switch.flat_view sw with
+  | Some v ->
+    Proc_switch.find_index_with sw ~key:"lqd" (fun ~n ->
+        Agg_index.create_lex ~n ~k1:v.Proc_switch.view_qlen
+          ~k2:v.Proc_switch.view_works ~refresh:ignore ())
+  | None ->
+    Proc_switch.find_index sw ~key:"lqd" ~better:(fun a b ->
+        let la = Proc_switch.queue_length sw a
+        and lb = Proc_switch.queue_length sw b in
+        la > lb
+        || la = lb
+           &&
+           let wa = Proc_switch.port_work sw a
+           and wb = Proc_switch.port_work sw b in
+           wa > wb || (wa = wb && a > b))
 
 let select_victim_indexed idx sw ~dest =
   let c = Agg_index.top_excluding idx dest in
@@ -55,23 +65,53 @@ let make ?(impl = `Indexed) _config =
   let backend =
     match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
   in
+  let cached_index =
+    let cache = ref None in
+    fun sw ->
+      match !cache with
+      | Some (sw', idx) when sw' == sw -> idx
+      | Some _ | None ->
+        let idx = index sw in
+        cache := Some (sw, idx);
+        idx
+  in
   let select =
     match impl with
     | `Scan -> fun sw ~dest -> select_victim_scan sw ~dest
     | `Indexed | `Flat ->
-      let cache = ref None in
-      fun sw ~dest ->
-        let idx =
-          match !cache with
-          | Some (sw', idx) when sw' == sw -> idx
-          | Some _ | None ->
-            let idx = index sw in
-            cache := Some (sw, idx);
-            idx
-        in
-        select_victim_indexed idx sw ~dest
+      fun sw ~dest -> select_victim_indexed (cached_index sw) sw ~dest
   in
-  Proc_policy.make ~backend ~name:"LQD" ~push_out:true (fun sw ~dest ->
+  (* Fused batch kernel (`Flat impl): admit a whole slot's arrivals in one
+     pass, resolving the victim index once per batch instead of once per
+     packet.  Decision-identical to the per-packet [admit] + engine
+     application below — the lockstep fuzz proves it. *)
+  let admit_batch =
+    match impl with
+    | `Scan | `Indexed -> None
+    | `Flat ->
+      Some
+        (fun sw batch (c : Admission.counters) ->
+          let idx = cached_index sw in
+          for i = 0 to Arrival_batch.length batch - 1 do
+            let dest = Arrival_batch.unsafe_dest batch i in
+            if not (Proc_switch.is_full sw) then begin
+              Proc_switch.accept_unit sw ~dest;
+              c.Admission.accepted <- c.Admission.accepted + 1
+            end
+            else begin
+              let victim = select_victim_indexed idx sw ~dest in
+              if victim <> dest then begin
+                Proc_switch.push_out_unit sw ~victim;
+                Proc_switch.accept_unit sw ~dest;
+                c.Admission.pushed_out <- c.Admission.pushed_out + 1;
+                c.Admission.accepted <- c.Admission.accepted + 1
+              end
+              else c.Admission.dropped <- c.Admission.dropped + 1
+            end
+          done)
+  in
+  Proc_policy.make ~backend ?admit_batch ~name:"LQD" ~push_out:true
+    (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d
       | None ->

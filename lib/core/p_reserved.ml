@@ -47,32 +47,52 @@ let select_reclaim_victim_scan ~reserve sw ~dest =
   done;
   !best
 
+(* Flat backend: both indexes are keyed lexicographic trees over (derived
+   pool overflow, port work), differing only in the index tie — largest for
+   the pool branch, smallest for the reclaim branch (matching the strict-[>]
+   scan).  The work column aliases the live aggregate; the overflow key is
+   refreshed per invalidation. *)
+let keyed_overflow_index sw ~key ~reserve ~tie =
+  Proc_switch.find_index_with sw ~key (fun ~n ->
+      match Proc_switch.flat_view sw with
+      | None -> assert false
+      | Some v ->
+        let k1 = Array.make n 0 in
+        Agg_index.create_lex ~n ~tie ~k1 ~k2:v.Proc_switch.view_works
+          ~refresh:(fun j ->
+            k1.(j) <- max 0 (v.Proc_switch.view_qlen.(j) - reserve))
+          ())
+
 let pool_index ~reserve sw =
-  Proc_switch.find_index sw
-    ~key:(Printf.sprintf "rsv:%d" reserve)
-    ~better:(fun a b ->
-      let ova = max 0 (Proc_switch.queue_length sw a - reserve)
-      and ovb = max 0 (Proc_switch.queue_length sw b - reserve) in
-      ova > ovb
-      || ova = ovb
-         &&
-         let wa = Proc_switch.port_work sw a
-         and wb = Proc_switch.port_work sw b in
-         wa > wb || (wa = wb && a > b))
+  let key = Printf.sprintf "rsv:%d" reserve in
+  match Proc_switch.flat_view sw with
+  | Some _ -> keyed_overflow_index sw ~key ~reserve ~tie:`Largest_index
+  | None ->
+    Proc_switch.find_index sw ~key ~better:(fun a b ->
+        let ova = max 0 (Proc_switch.queue_length sw a - reserve)
+        and ovb = max 0 (Proc_switch.queue_length sw b - reserve) in
+        ova > ovb
+        || ova = ovb
+           &&
+           let wa = Proc_switch.port_work sw a
+           and wb = Proc_switch.port_work sw b in
+           wa > wb || (wa = wb && a > b))
 
 let reclaim_index ~reserve sw =
-  Proc_switch.find_index sw
-    ~key:(Printf.sprintf "rsv-reclaim:%d" reserve)
-    ~better:(fun a b ->
-      let ova = max 0 (Proc_switch.queue_length sw a - reserve)
-      and ovb = max 0 (Proc_switch.queue_length sw b - reserve) in
-      ova > ovb
-      || ova = ovb
-         &&
-         let wa = Proc_switch.port_work sw a
-         and wb = Proc_switch.port_work sw b in
-         (* Strict-[>] scan: full ties keep the smallest index. *)
-         wa > wb || (wa = wb && a < b))
+  let key = Printf.sprintf "rsv-reclaim:%d" reserve in
+  match Proc_switch.flat_view sw with
+  | Some _ -> keyed_overflow_index sw ~key ~reserve ~tie:`Smallest_index
+  | None ->
+    Proc_switch.find_index sw ~key ~better:(fun a b ->
+        let ova = max 0 (Proc_switch.queue_length sw a - reserve)
+        and ovb = max 0 (Proc_switch.queue_length sw b - reserve) in
+        ova > ovb
+        || ova = ovb
+           &&
+           let wa = Proc_switch.port_work sw a
+           and wb = Proc_switch.port_work sw b in
+           (* Strict-[>] scan: full ties keep the smallest index. *)
+           wa > wb || (wa = wb && a < b))
 
 let select_pool_victim_indexed ~reserve idx sw ~dest =
   let c = Agg_index.top_excluding idx dest in
@@ -102,21 +122,21 @@ let make ~reserve ?(impl = `Indexed) config =
   let backend =
     match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
   in
+  let cache = ref None in
+  let indexes sw =
+    match !cache with
+    | Some (sw', pool, reclaim) when sw' == sw -> (pool, reclaim)
+    | Some _ | None ->
+      let pool = pool_index ~reserve sw
+      and reclaim = reclaim_index ~reserve sw in
+      cache := Some (sw, pool, reclaim);
+      (pool, reclaim)
+  in
   let select_pool, select_reclaim =
     match impl with
     | `Scan ->
       (select_pool_victim_scan ~reserve, select_reclaim_victim_scan ~reserve)
     | `Indexed | `Flat ->
-      let cache = ref None in
-      let indexes sw =
-        match !cache with
-        | Some (sw', pool, reclaim) when sw' == sw -> (pool, reclaim)
-        | Some _ | None ->
-          let pool = pool_index ~reserve sw
-          and reclaim = reclaim_index ~reserve sw in
-          cache := Some (sw, pool, reclaim);
-          (pool, reclaim)
-      in
       ( (fun sw ~dest ->
           let pool, _ = indexes sw in
           select_pool_victim_indexed ~reserve pool sw ~dest),
@@ -124,7 +144,45 @@ let make ~reserve ?(impl = `Indexed) config =
           let _, reclaim = indexes sw in
           select_reclaim_victim_indexed ~reserve reclaim sw ~dest )
   in
-  Proc_policy.make ~backend ~name ~push_out:true (fun sw ~dest ->
+  let admit_batch =
+    match impl with
+    | `Scan | `Indexed -> None
+    | `Flat ->
+      Some
+        (fun sw batch (c : Admission.counters) ->
+          let pool, reclaim = indexes sw in
+          for i = 0 to Arrival_batch.length batch - 1 do
+            let dest = Arrival_batch.unsafe_dest batch i in
+            if not (Proc_switch.is_full sw) then begin
+              Proc_switch.accept_unit sw ~dest;
+              c.Admission.accepted <- c.Admission.accepted + 1
+            end
+            else if Proc_switch.queue_length sw dest >= reserve then begin
+              let victim = select_pool_victim_indexed ~reserve pool sw ~dest in
+              if victim <> dest && overflow ~reserve sw victim ~dest > 0
+              then begin
+                Proc_switch.push_out_unit sw ~victim;
+                Proc_switch.accept_unit sw ~dest;
+                c.Admission.pushed_out <- c.Admission.pushed_out + 1;
+                c.Admission.accepted <- c.Admission.accepted + 1
+              end
+              else c.Admission.dropped <- c.Admission.dropped + 1
+            end
+            else begin
+              let victim =
+                select_reclaim_victim_indexed ~reserve reclaim sw ~dest
+              in
+              if victim >= 0 then begin
+                Proc_switch.push_out_unit sw ~victim;
+                Proc_switch.accept_unit sw ~dest;
+                c.Admission.pushed_out <- c.Admission.pushed_out + 1;
+                c.Admission.accepted <- c.Admission.accepted + 1
+              end
+              else c.Admission.dropped <- c.Admission.dropped + 1
+            end
+          done)
+  in
+  Proc_policy.make ~backend ?admit_batch ~name ~push_out:true (fun sw ~dest ->
       match Proc_policy.greedy_accept sw with
       | Some d -> d
       | None ->

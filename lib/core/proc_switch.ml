@@ -10,17 +10,30 @@ type backend = [ `Linked | `Flat ]
    [accept_unit]/[push_out_unit]/[transmit_phase_fields] entry points never
    materialize packet records.  The packet-returning API remains available
    on this backend for tests and analyses; it returns fresh snapshot
-   records read off the columns. *)
+   records read off the columns.
+
+   The slab columns (indexed by slot id) are off-heap {!Int_col}s: the GC
+   never scans them, and they can be shared read-only across domains.  The
+   per-port aggregates ([qlen]/[qwork]/[works]) stay ordinary [int array]s —
+   they are the key columns the keyed victim indexes (Agg_index.create_lex)
+   read directly, and they are n-sized, so scanning cost is nil. *)
 type flat = {
   works : int array; (* per-port required work (configuration copy) *)
   mutable cap : int; (* slab capacity; grows with set_buffer, never shrinks *)
-  mutable residual : int array; (* columns, indexed by slot id *)
-  mutable arrival : int array;
-  mutable pid : int array;
-  mutable free : int array; (* stack of free slot ids *)
+  mutable residual : Int_col.t; (* columns, indexed by slot id *)
+  mutable arrival : Int_col.t;
+  mutable pid : Int_col.t;
+  mutable free : Int_col.t; (* stack of free slot ids *)
   mutable free_top : int;
   rings : Int_ring.t array; (* per-port FIFO of occupied slot ids *)
+  qlen : int array; (* per-port packet count (= ring length, maintained) *)
   qwork : int array; (* per-port total residual work (W_i) *)
+}
+
+type flat_view = {
+  view_works : int array;
+  view_qlen : int array;
+  view_qwork : int array;
 }
 
 type repr = Linked of Work_queue.t array | Flat of flat
@@ -51,12 +64,13 @@ let create ?(backend = `Linked) (config : Proc_config.t) =
         {
           works = Array.init n (Proc_config.work config);
           cap;
-          residual = Array.make cap 0;
-          arrival = Array.make cap 0;
-          pid = Array.make cap 0;
-          free = Array.init cap (fun s -> s);
+          residual = Int_col.create cap;
+          arrival = Int_col.create cap;
+          pid = Int_col.create cap;
+          free = Int_col.init cap (fun s -> s);
           free_top = cap;
           rings = Array.init n (fun _ -> Int_ring.create ());
+          qlen = Array.make n 0;
           qwork = Array.make n 0;
         }
   in
@@ -78,19 +92,15 @@ let backend t = match t.repr with Linked _ -> `Linked | Flat _ -> `Flat
 let buffer t = t.buffer
 
 let grow_flat f cap' =
-  let grow a =
-    let a' = Array.make cap' 0 in
-    Array.blit a 0 a' 0 f.cap;
-    a'
-  in
+  let grow c = Int_col.grow c ~len:cap' ~fill:0 in
   f.residual <- grow f.residual;
   f.arrival <- grow f.arrival;
   f.pid <- grow f.pid;
-  let free' = Array.make cap' 0 in
-  Array.blit f.free 0 free' 0 f.free_top;
+  let free' = Int_col.create cap' in
+  Int_col.blit ~src:f.free ~src_pos:0 ~dst:free' ~dst_pos:0 ~len:f.free_top;
   f.free <- free';
   for s = f.cap to cap' - 1 do
-    f.free.(f.free_top) <- s;
+    Int_col.set f.free f.free_top s;
     f.free_top <- f.free_top + 1
   done;
   f.cap <- cap'
@@ -125,7 +135,7 @@ let queue_length t i =
   check_port t i "queue_length";
   match t.repr with
   | Linked qs -> Work_queue.length qs.(i)
-  | Flat f -> Int_ring.length f.rings.(i)
+  | Flat f -> f.qlen.(i)
 
 let queue_work t i =
   check_port t i "queue_work";
@@ -154,13 +164,22 @@ let touch t i = touch_list t.indexes i
 let touch_all t =
   List.iter (fun (_, idx) -> Agg_index.refresh idx) t.indexes
 
-let find_index t ~key ~better =
+let find_index_with t ~key make =
   match List.assoc_opt key t.indexes with
   | Some idx -> idx
   | None ->
-    let idx = Agg_index.create ~n:t.n ~better in
+    let idx = make ~n:t.n in
     t.indexes <- (key, idx) :: t.indexes;
     idx
+
+let find_index t ~key ~better =
+  find_index_with t ~key (fun ~n -> Agg_index.create ~n ~better)
+
+let flat_view t =
+  match t.repr with
+  | Linked _ -> None
+  | Flat f ->
+    Some { view_works = f.works; view_qlen = f.qlen; view_qwork = f.qwork }
 
 (* ----- mutations (every one keeps the aggregates in sync) ----- *)
 
@@ -171,14 +190,15 @@ let find_index t ~key ~better =
    are validated by the public entry points — so the column accesses here
    skip the bounds check.  This is the per-packet hot path. *)
 let flat_insert t f ~dest =
-  let s = Array.unsafe_get f.free (f.free_top - 1) in
+  let s = Int_col.unsafe_get f.free (f.free_top - 1) in
   f.free_top <- f.free_top - 1;
   let work = Array.unsafe_get f.works dest in
-  Array.unsafe_set f.residual s work;
-  Array.unsafe_set f.arrival s t.now;
-  Array.unsafe_set f.pid s t.next_id;
+  Int_col.unsafe_set f.residual s work;
+  Int_col.unsafe_set f.arrival s t.now;
+  Int_col.unsafe_set f.pid s t.next_id;
   t.next_id <- t.next_id + 1;
   Int_ring.push_back (Array.unsafe_get f.rings dest) s;
+  Array.unsafe_set f.qlen dest (Array.unsafe_get f.qlen dest + 1);
   Array.unsafe_set f.qwork dest (Array.unsafe_get f.qwork dest + work);
   t.occupancy <- t.occupancy + 1;
   t.occupied_work <- t.occupied_work + work;
@@ -206,11 +226,11 @@ let accept t ~dest =
   | Flat f ->
     let s = flat_insert t f ~dest in
     {
-      Packet.Proc.id = f.pid.(s);
+      Packet.Proc.id = Int_col.get f.pid s;
       dest;
       work = f.works.(dest);
-      residual = f.residual.(s);
-      arrival = f.arrival.(s);
+      residual = Int_col.get f.residual s;
+      arrival = Int_col.get f.arrival s;
     }
 
 let accept_unit t ~dest =
@@ -227,11 +247,12 @@ let flat_evict t f ~victim =
   if Int_ring.is_empty ring then
     invalid_arg "Proc_switch.push_out: victim queue empty";
   let s = Int_ring.pop_back ring in
-  let r = Array.unsafe_get f.residual s in
+  let r = Int_col.unsafe_get f.residual s in
+  Array.unsafe_set f.qlen victim (Array.unsafe_get f.qlen victim - 1);
   Array.unsafe_set f.qwork victim (Array.unsafe_get f.qwork victim - r);
   t.occupancy <- t.occupancy - 1;
   t.occupied_work <- t.occupied_work - r;
-  Array.unsafe_set f.free f.free_top s;
+  Int_col.unsafe_set f.free f.free_top s;
   f.free_top <- f.free_top + 1;
   touch t victim;
   s
@@ -251,11 +272,11 @@ let push_out t ~victim =
   | Flat f ->
     let s = flat_evict t f ~victim in
     {
-      Packet.Proc.id = f.pid.(s);
+      Packet.Proc.id = Int_col.get f.pid s;
       dest = victim;
       work = f.works.(victim);
-      residual = f.residual.(s);
-      arrival = f.arrival.(s);
+      residual = Int_col.get f.residual s;
+      arrival = Int_col.get f.arrival s;
     }
 
 let push_out_unit t ~victim =
@@ -313,20 +334,21 @@ let serve_port_flat_fields t f i ~on_transmit =
     let budget = ref (speedup t) and sent = ref 0 in
     while !budget > 0 && not (Int_ring.is_empty ring) do
       let s = Int_ring.peek_front ring in
-      let r = Array.unsafe_get f.residual s in
+      let r = Int_col.unsafe_get f.residual s in
       let served = if !budget < r then !budget else r in
-      Array.unsafe_set f.residual s (r - served);
+      Int_col.unsafe_set f.residual s (r - served);
       Array.unsafe_set f.qwork i (Array.unsafe_get f.qwork i - served);
       t.occupied_work <- t.occupied_work - served;
       budget := !budget - served;
       if served = r then begin
         ignore (Int_ring.pop_front ring : int);
-        Array.unsafe_set f.free f.free_top s;
+        Array.unsafe_set f.qlen i (Array.unsafe_get f.qlen i - 1);
+        Int_col.unsafe_set f.free f.free_top s;
         f.free_top <- f.free_top + 1;
         t.occupancy <- t.occupancy - 1;
         incr sent;
         touch t i;
-        on_transmit ~dest:i ~arrival:(Array.unsafe_get f.arrival s)
+        on_transmit ~dest:i ~arrival:(Int_col.unsafe_get f.arrival s)
       end
     done;
     touch t i;
@@ -340,26 +362,27 @@ let serve_port_flat t f i ~on_transmit =
     let budget = ref (speedup t) and sent = ref 0 in
     while !budget > 0 && not (Int_ring.is_empty ring) do
       let s = Int_ring.peek_front ring in
-      let r = f.residual.(s) in
+      let r = Int_col.get f.residual s in
       let served = if !budget < r then !budget else r in
-      f.residual.(s) <- r - served;
+      Int_col.set f.residual s (r - served);
       f.qwork.(i) <- f.qwork.(i) - served;
       t.occupied_work <- t.occupied_work - served;
       budget := !budget - served;
       if served = r then begin
         ignore (Int_ring.pop_front ring : int);
-        f.free.(f.free_top) <- s;
+        f.qlen.(i) <- f.qlen.(i) - 1;
+        Int_col.set f.free f.free_top s;
         f.free_top <- f.free_top + 1;
         t.occupancy <- t.occupancy - 1;
         incr sent;
         touch t i;
         on_transmit
           {
-            Packet.Proc.id = f.pid.(s);
+            Packet.Proc.id = Int_col.get f.pid s;
             dest = i;
             work = f.works.(i);
             residual = 0;
-            arrival = f.arrival.(s);
+            arrival = Int_col.get f.arrival s;
           }
       end
     done;
@@ -415,10 +438,11 @@ let flush t =
         dropped := !dropped + Int_ring.length ring;
         Int_ring.iter
           (fun s ->
-            f.free.(f.free_top) <- s;
+            Int_col.set f.free f.free_top s;
             f.free_top <- f.free_top + 1)
           ring;
         Int_ring.clear ring;
+        f.qlen.(i) <- 0;
         f.qwork.(i) <- 0
       done;
       !dropped
@@ -470,6 +494,8 @@ let check_invariants_flat t f =
   let len_sum = ref 0 and work_sum = ref 0 in
   for i = 0 to t.n - 1 do
     let ring = f.rings.(i) in
+    if f.qlen.(i) <> Int_ring.length ring then
+      invalid_arg "Proc_switch(flat): cached queue length out of sync";
     len_sum := !len_sum + Int_ring.length ring;
     let qwork = ref 0 in
     for j = 0 to Int_ring.length ring - 1 do
@@ -478,7 +504,7 @@ let check_invariants_flat t f =
         invalid_arg "Proc_switch(flat): slot id out of range";
       if seen.(s) then invalid_arg "Proc_switch(flat): slot id used twice";
       seen.(s) <- true;
-      let r = f.residual.(s) in
+      let r = Int_col.get f.residual s in
       if r < 1 || r > f.works.(i) then
         invalid_arg "Proc_switch(flat): residual out of range";
       (* Only the head-of-line packet may be partially processed. *)
@@ -499,7 +525,7 @@ let check_invariants_flat t f =
   if f.free_top + t.occupancy <> f.cap then
     invalid_arg "Proc_switch(flat): free list out of sync with occupancy";
   for j = 0 to f.free_top - 1 do
-    let s = f.free.(j) in
+    let s = Int_col.get f.free j in
     if s < 0 || s >= f.cap then
       invalid_arg "Proc_switch(flat): free slot id out of range";
     if seen.(s) then

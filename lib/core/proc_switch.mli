@@ -23,6 +23,17 @@ type t
 
 type backend = [ `Linked | `Flat ]
 
+type flat_view = {
+  view_works : int array;  (** per-port required work (configuration copy) *)
+  view_qlen : int array;  (** live per-port packet counts *)
+  view_qwork : int array;  (** live per-port total residual work *)
+}
+(** Read-only aliases of the flat backend's per-port aggregate columns.
+    Policies hand these to {!Agg_index.create_lex} as key columns, so their
+    victim indexes compare unboxed ints instead of calling a closure that
+    re-reads switch accessors.  The arrays are the switch's own live state:
+    never write through them. *)
+
 val create : ?backend:backend -> Proc_config.t -> t
 (** [backend] defaults to [`Linked]. *)
 
@@ -81,6 +92,17 @@ val find_index : t -> key:string -> better:(int -> int -> bool) -> Agg_index.t
     switch re-validates every registered index on each mutation, so
     registrations should be few (one per policy variant driving this
     switch). *)
+
+val find_index_with :
+  t -> key:string -> (n:int -> Agg_index.t) -> Agg_index.t
+(** {!find_index} generalized over the index constructor: [make ~n] runs
+    only when [key] is not yet registered.  Policies use it to register
+    monomorphic keyed indexes ({!Agg_index.create_lex}) over a
+    {!flat_view}'s columns. *)
+
+val flat_view : t -> flat_view option
+(** [Some] of the live aggregate columns on the flat backend, [None] on
+    the linked one. *)
 
 val accept : t -> dest:int -> Packet.Proc.t
 (** Admit a fresh packet to [dest]'s queue; assigns the next packet id.

@@ -23,15 +23,29 @@ let select_victim_scan sw ~dest =
   done;
   !best
 
+(* Flat backend: keyed lexicographic tree over (queue length, negated
+   per-port minimum) — the length column aliases the live aggregate, the
+   negated minimum is a derived key refreshed per invalidation off the
+   occupancy bitsets ("smaller minimum wins the tie" becomes "larger
+   negated minimum wins"). *)
 let index sw =
-  Value_switch.find_index sw ~key:"lqd" ~better:(fun a b ->
-      let la = Value_switch.queue_length sw a
-      and lb = Value_switch.queue_length sw b in
-      la > lb
-      || la = lb
-         &&
-         let ma = min_of sw a and mb = min_of sw b in
-         ma < mb || (ma = mb && a > b))
+  match Value_switch.flat_view sw with
+  | Some v ->
+    Value_switch.find_index_with sw ~key:"lqd" (fun ~n ->
+        let negmin = Array.make n (-max_int) in
+        Agg_index.create_lex ~n ~k1:v.Value_switch.view_qlen ~k2:negmin
+          ~refresh:(fun j ->
+            negmin.(j) <- -(Value_switch.view_min_value_or v j ~default:max_int))
+          ())
+  | None ->
+    Value_switch.find_index sw ~key:"lqd" ~better:(fun a b ->
+        let la = Value_switch.queue_length sw a
+        and lb = Value_switch.queue_length sw b in
+        la > lb
+        || la = lb
+           &&
+           let ma = min_of sw a and mb = min_of sw b in
+           ma < mb || (ma = mb && a > b))
 
 let select_victim_indexed idx sw ~dest =
   let c = Agg_index.top_excluding idx dest in
@@ -53,23 +67,58 @@ let make ?(impl = `Indexed) _config =
   let backend =
     match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
   in
+  let cached_index =
+    let cache = ref None in
+    fun sw ->
+      match !cache with
+      | Some (sw', idx) when sw' == sw -> idx
+      | Some _ | None ->
+        let idx = index sw in
+        cache := Some (sw, idx);
+        idx
+  in
   let select =
     match impl with
     | `Scan -> fun sw ~dest -> select_victim_scan sw ~dest
     | `Indexed | `Flat ->
-      let cache = ref None in
-      fun sw ~dest ->
-        let idx =
-          match !cache with
-          | Some (sw', idx) when sw' == sw -> idx
-          | Some _ | None ->
-            let idx = index sw in
-            cache := Some (sw, idx);
-            idx
-        in
-        select_victim_indexed idx sw ~dest
+      fun sw ~dest -> select_victim_indexed (cached_index sw) sw ~dest
   in
-  Value_policy.make ~backend ~name:"LQD" ~push_out:true (fun sw ~dest ~value ->
+  let admit_batch =
+    match impl with
+    | `Scan | `Indexed -> None
+    | `Flat ->
+      Some
+        (fun sw batch (c : Admission.counters) ->
+          let idx = cached_index sw in
+          for i = 0 to Arrival_batch.length batch - 1 do
+            let dest = Arrival_batch.unsafe_dest batch i
+            and value = Arrival_batch.unsafe_value batch i in
+            if not (Value_switch.is_full sw) then begin
+              Value_switch.accept_unit sw ~dest ~value;
+              c.Admission.accepted <- c.Admission.accepted + 1
+            end
+            else begin
+              let victim = select_victim_indexed idx sw ~dest in
+              let victim =
+                if victim <> dest then victim
+                else if
+                  Value_switch.queue_min_value_or sw dest ~default:max_int
+                  < value
+                then dest
+                else -1
+              in
+              if victim >= 0 then begin
+                ignore (Value_switch.push_out_lost sw ~victim : int);
+                Value_switch.accept_unit sw ~dest ~value;
+                c.Admission.pushed_out <- c.Admission.pushed_out + 1;
+                c.Admission.accepted <- c.Admission.accepted + 1
+              end
+              else c.Admission.dropped <- c.Admission.dropped + 1
+            end
+          done)
+  in
+  Value_policy.make ~backend ?admit_batch ~name:"LQD" ~push_out:true
+    (fun sw ~dest ~value ->
       match Value_policy.greedy_accept sw with
       | Some d -> d
       | None ->

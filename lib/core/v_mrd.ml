@@ -36,27 +36,51 @@ let select_victim_scan ?(protect_last = false) sw =
   done;
   match !best with Some (j, _, _) -> Some j | None -> None
 
+(* Flat backend: the ratio order is not lexicographic, so it gets
+   {!Agg_index.create_ratio} — a monomorphic tree comparing the exact
+   cross-multiplication over int key columns.  The length key doubles as
+   the eligibility flag (-1 = ineligible, ranking below all eligible
+   queues); the sum column aliases the live per-port value totals (never
+   read for ineligible queues, live for eligible ones); the negated minimum
+   is a derived tie key. *)
 let index ~protect_last sw =
   let min_len = if protect_last then 2 else 1 in
-  Value_switch.find_index sw
-    ~key:(if protect_last then "mrd:protect" else "mrd")
-    ~better:(fun a b ->
-      let la = Value_switch.queue_length sw a
-      and lb = Value_switch.queue_length sw b in
-      let ea = la >= min_len and eb = lb >= min_len in
-      if ea <> eb then ea
-      else if not ea then a > b
-      else begin
-        let sa = Value_switch.queue_total_value sw a
-        and sb = Value_switch.queue_total_value sw b in
-        if ratio_greater ~len_a:la ~sum_a:sa ~len_b:lb ~sum_b:sb then true
-        else if ratio_greater ~len_a:lb ~sum_a:sb ~len_b:la ~sum_b:sa then
-          false
+  let key = if protect_last then "mrd:protect" else "mrd" in
+  match Value_switch.flat_view sw with
+  | Some v ->
+    Value_switch.find_index_with sw ~key (fun ~n ->
+        let len = Array.make n (-1) and negmin = Array.make n 0 in
+        Agg_index.create_ratio ~n ~len ~sum:v.Value_switch.view_qsum ~negmin
+          ~refresh:(fun j ->
+            let l = v.Value_switch.view_qlen.(j) in
+            if l >= min_len then begin
+              len.(j) <- l;
+              negmin.(j) <-
+                -(Value_switch.view_min_value_or v j ~default:max_int)
+            end
+            else begin
+              len.(j) <- -1;
+              negmin.(j) <- 0
+            end)
+          ())
+  | None ->
+    Value_switch.find_index sw ~key ~better:(fun a b ->
+        let la = Value_switch.queue_length sw a
+        and lb = Value_switch.queue_length sw b in
+        let ea = la >= min_len and eb = lb >= min_len in
+        if ea <> eb then ea
+        else if not ea then a > b
         else begin
-          let ma = min_of sw a and mb = min_of sw b in
-          ma < mb || (ma = mb && a > b)
-        end
-      end)
+          let sa = Value_switch.queue_total_value sw a
+          and sb = Value_switch.queue_total_value sw b in
+          if ratio_greater ~len_a:la ~sum_a:sa ~len_b:lb ~sum_b:sb then true
+          else if ratio_greater ~len_a:lb ~sum_a:sb ~len_b:la ~sum_b:sa then
+            false
+          else begin
+            let ma = min_of sw a and mb = min_of sw b in
+            ma < mb || (ma = mb && a > b)
+          end
+        end)
 
 let select_victim_indexed ~protect_last idx sw =
   let min_len = if protect_last then 2 else 1 in
@@ -71,23 +95,55 @@ let make ?(protect_last = false) ?(impl = `Indexed) _config =
   let backend =
     match impl with `Flat -> `Flat | `Indexed | `Scan -> `Linked
   in
+  let cached_index =
+    let cache = ref None in
+    fun sw ->
+      match !cache with
+      | Some (sw', idx) when sw' == sw -> idx
+      | Some _ | None ->
+        let idx = index ~protect_last sw in
+        cache := Some (sw, idx);
+        idx
+  in
   let select =
     match impl with
     | `Scan -> fun sw -> select_victim_scan ~protect_last sw
     | `Indexed | `Flat ->
-      let cache = ref None in
-      fun sw ->
-        let idx =
-          match !cache with
-          | Some (sw', idx) when sw' == sw -> idx
-          | Some _ | None ->
-            let idx = index ~protect_last sw in
-            cache := Some (sw, idx);
-            idx
-        in
-        select_victim_indexed ~protect_last idx sw
+      fun sw -> select_victim_indexed ~protect_last (cached_index sw) sw
   in
-  Value_policy.make ~backend ~name ~push_out:true (fun sw ~dest:_ ~value ->
+  let admit_batch =
+    match impl with
+    | `Scan | `Indexed -> None
+    | `Flat ->
+      Some
+        (fun sw batch (c : Admission.counters) ->
+          let idx = cached_index sw in
+          for i = 0 to Arrival_batch.length batch - 1 do
+            let dest = Arrival_batch.unsafe_dest batch i
+            and value = Arrival_batch.unsafe_value batch i in
+            if not (Value_switch.is_full sw) then begin
+              Value_switch.accept_unit sw ~dest ~value;
+              c.Admission.accepted <- c.Admission.accepted + 1
+            end
+            else if
+              (* Same drop gate as the per-packet path below, through the
+                 allocation-free tracker read (a full buffer is non-empty,
+                 so the [max_int] default is never taken). *)
+              Value_switch.min_value_or sw ~default:max_int <= value
+            then begin
+              match select_victim_indexed ~protect_last idx sw with
+              | Some victim ->
+                ignore (Value_switch.push_out_lost sw ~victim : int);
+                Value_switch.accept_unit sw ~dest ~value;
+                c.Admission.pushed_out <- c.Admission.pushed_out + 1;
+                c.Admission.accepted <- c.Admission.accepted + 1
+              | None -> c.Admission.dropped <- c.Admission.dropped + 1
+            end
+            else c.Admission.dropped <- c.Admission.dropped + 1
+          done)
+  in
+  Value_policy.make ~backend ?admit_batch ~name ~push_out:true
+    (fun sw ~dest:_ ~value ->
       match Value_policy.greedy_accept sw with
       | Some d -> d
       | None -> (

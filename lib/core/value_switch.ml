@@ -1,3 +1,5 @@
+open Smbm_prelude
+
 type backend = [ `Linked | `Flat ]
 
 (* Flat backend: one struct-of-arrays slab of [cap] packet slots (columns:
@@ -7,23 +9,37 @@ type backend = [ `Linked | `Flat ]
    carries the same 63-levels-per-word occupancy bitset as {!Value_queue}
    (whose exported bit searches are reused), so min/max reads stay O(k/63).
    Together with the [_unit]/[_lost]/[_fields] entry points, a warmed flat
-   switch runs accept / push-out / transmit without allocating. *)
+   switch runs accept / push-out / transmit without allocating.
+
+   The slab columns (indexed by slot id) are off-heap {!Int_col}s — never
+   scanned by the GC, shareable read-only across domains.  The n-sized
+   per-port aggregates ([qlen]/[qsum]) and the bucket/bitset tables stay
+   ordinary [int array]s: the aggregates are key columns the keyed victim
+   indexes read directly, and the tables are port-indexed bookkeeping. *)
 type flat = {
   k : int;
   wpp : int; (* bitset words per port: k/63 + 1 *)
   mutable cap : int; (* slab capacity; grows with set_buffer, never shrinks *)
-  mutable value : int array; (* columns, indexed by slot id *)
-  mutable arrival : int array;
-  mutable pid : int array;
-  mutable nxt : int array; (* intra-bucket links; -1 terminates *)
-  mutable prv : int array;
-  mutable free : int array; (* stack of free slot ids *)
+  mutable value : Int_col.t; (* columns, indexed by slot id *)
+  mutable arrival : Int_col.t;
+  mutable pid : Int_col.t;
+  mutable nxt : Int_col.t; (* intra-bucket links; -1 terminates *)
+  mutable prv : Int_col.t;
+  mutable free : Int_col.t; (* stack of free slot ids *)
   mutable free_top : int;
   bhead : int array; (* bucket head slot, index [i * k + (v - 1)]; -1 empty *)
   btail : int array;
   occ : int array; (* bitsets, index [i * wpp + v / 63], bit [v mod 63] *)
   qlen : int array; (* per-port packet count *)
   qsum : int array; (* per-port total value *)
+}
+
+type flat_view = {
+  view_k : int;
+  view_wpp : int;
+  view_qlen : int array;
+  view_qsum : int array;
+  view_occ : int array;
 }
 
 type repr = Linked of Value_queue.t array | Flat of flat
@@ -41,21 +57,29 @@ type t = {
 }
 
 (* Per-port min/max reads off the flat bitsets — same word scan + bit
-   search as Value_queue.{min,max}_value_or, over this port's slice. *)
-let flat_min_value_or f i ~default =
-  if Array.unsafe_get f.qlen i = 0 then default
+   search as Value_queue.{min,max}_value_or, over this port's slice.
+   Parameterized over the raw columns so the same scan serves both the
+   switch internals and a policy-held {!flat_view}. *)
+let min_scan ~occ ~wpp ~qlen i ~default =
+  if Array.unsafe_get qlen i = 0 then default
   else begin
     (* Non-empty queue => some word of this port's slice is non-zero, so
        the scans below stay inside [base, base + wpp); bounds checks are
        skipped on this per-admission path. *)
-    let base = i * f.wpp in
+    let base = i * wpp in
     let w = ref 0 in
-    while Array.unsafe_get f.occ (base + !w) = 0 do
+    while Array.unsafe_get occ (base + !w) = 0 do
       incr w
     done;
-    let bits = Array.unsafe_get f.occ (base + !w) in
+    let bits = Array.unsafe_get occ (base + !w) in
     (!w * 63) + Value_queue.bit_index (bits land -bits)
   end
+
+let flat_min_value_or f i ~default =
+  min_scan ~occ:f.occ ~wpp:f.wpp ~qlen:f.qlen i ~default
+
+let view_min_value_or v i ~default =
+  min_scan ~occ:v.view_occ ~wpp:v.view_wpp ~qlen:v.view_qlen i ~default
 
 let flat_max_value_or f i ~default =
   if Array.unsafe_get f.qlen i = 0 then default
@@ -72,9 +96,12 @@ let flat_max_value_or f i ~default =
    queues of (cached minimum value, then the longer queue, then the smaller
    port index) — the documented MVD tie-break, pinned here so the indexed
    reads cannot drift from the one-pass scan they replaced.  Empty queues
-   rank last (an occupied queue's minimum is at most k < max_int).  One
-   comparator per representation, both computing the same order on the same
-   decision-relevant state. *)
+   rank last (an occupied queue's minimum is at most k < max_int).  The
+   linked backend pays a closure per match; the flat backend runs the same
+   order as a keyed lexicographic tree over (negated minimum, queue length)
+   with the smaller-index tie — the negated minimum is a derived key
+   recomputed once per invalidation, the length column aliases the live
+   aggregate. *)
 let min_better_linked queues a b =
   let qa = queues.(a) and qb = queues.(b) in
   let ma = Value_queue.min_value_or qa ~default:max_int
@@ -83,15 +110,6 @@ let min_better_linked queues a b =
   || (ma = mb
      &&
      let la = Value_queue.length qa and lb = Value_queue.length qb in
-     la > lb || (la = lb && a < b))
-
-let min_better_flat f a b =
-  let ma = flat_min_value_or f a ~default:max_int
-  and mb = flat_min_value_or f b ~default:max_int in
-  ma < mb
-  || (ma = mb
-     &&
-     let la = f.qlen.(a) and lb = f.qlen.(b) in
      la > lb || (la = lb && a < b))
 
 let create ?(backend = `Linked) (config : Value_config.t) =
@@ -108,12 +126,12 @@ let create ?(backend = `Linked) (config : Value_config.t) =
           k;
           wpp;
           cap;
-          value = Array.make cap 0;
-          arrival = Array.make cap 0;
-          pid = Array.make cap 0;
-          nxt = Array.make cap (-1);
-          prv = Array.make cap (-1);
-          free = Array.init cap (fun s -> s);
+          value = Int_col.create cap;
+          arrival = Int_col.create cap;
+          pid = Int_col.create cap;
+          nxt = Int_col.create ~fill:(-1) cap;
+          prv = Int_col.create ~fill:(-1) cap;
+          free = Int_col.init cap (fun s -> s);
           free_top = cap;
           bhead = Array.make (n * k) (-1);
           btail = Array.make (n * k) (-1);
@@ -125,7 +143,12 @@ let create ?(backend = `Linked) (config : Value_config.t) =
   let min_index =
     match repr with
     | Linked queues -> Agg_index.create ~n ~better:(min_better_linked queues)
-    | Flat f -> Agg_index.create ~n ~better:(min_better_flat f)
+    | Flat f ->
+      let negmin = Array.make n (-max_int) in
+      Agg_index.create_lex ~n ~tie:`Smallest_index ~k1:negmin ~k2:f.qlen
+        ~refresh:(fun j ->
+          negmin.(j) <- -(flat_min_value_or f j ~default:max_int))
+        ()
   in
   {
     config;
@@ -146,21 +169,16 @@ let backend t = match t.repr with Linked _ -> `Linked | Flat _ -> `Flat
 let buffer t = t.buffer
 
 let grow_flat f cap' =
-  let grow fill a =
-    let a' = Array.make cap' fill in
-    Array.blit a 0 a' 0 f.cap;
-    a'
-  in
-  f.value <- grow 0 f.value;
-  f.arrival <- grow 0 f.arrival;
-  f.pid <- grow 0 f.pid;
-  f.nxt <- grow (-1) f.nxt;
-  f.prv <- grow (-1) f.prv;
-  let free' = Array.make cap' 0 in
-  Array.blit f.free 0 free' 0 f.free_top;
+  f.value <- Int_col.grow f.value ~len:cap' ~fill:0;
+  f.arrival <- Int_col.grow f.arrival ~len:cap' ~fill:0;
+  f.pid <- Int_col.grow f.pid ~len:cap' ~fill:0;
+  f.nxt <- Int_col.grow f.nxt ~len:cap' ~fill:(-1);
+  f.prv <- Int_col.grow f.prv ~len:cap' ~fill:(-1);
+  let free' = Int_col.create cap' in
+  Int_col.blit ~src:f.free ~src_pos:0 ~dst:free' ~dst_pos:0 ~len:f.free_top;
   f.free <- free';
   for s = f.cap to cap' - 1 do
-    f.free.(f.free_top) <- s;
+    Int_col.set f.free f.free_top s;
     f.free_top <- f.free_top + 1
   done;
   f.cap <- cap'
@@ -238,13 +256,37 @@ let touch_all t =
   Agg_index.refresh t.min_index;
   List.iter (fun (_, idx) -> Agg_index.refresh idx) t.indexes
 
-let find_index t ~key ~better =
+let find_index_with t ~key make =
   match List.assoc_opt key t.indexes with
   | Some idx -> idx
   | None ->
-    let idx = Agg_index.create ~n:t.n ~better in
+    let idx = make ~n:t.n in
     t.indexes <- (key, idx) :: t.indexes;
     idx
+
+let find_index t ~key ~better =
+  find_index_with t ~key (fun ~n -> Agg_index.create ~n ~better)
+
+let flat_view t =
+  match t.repr with
+  | Linked _ -> None
+  | Flat f ->
+    Some
+      {
+        view_k = f.k;
+        view_wpp = f.wpp;
+        view_qlen = f.qlen;
+        view_qsum = f.qsum;
+        view_occ = f.occ;
+      }
+
+let min_value_or t ~default =
+  if t.occupancy = 0 then default
+  else
+    let i = Agg_index.top t.min_index in
+    match t.repr with
+    | Linked queues -> Value_queue.min_value_or queues.(i) ~default
+    | Flat f -> flat_min_value_or f i ~default
 
 let min_value t =
   if t.occupancy = 0 then None
@@ -278,13 +320,13 @@ let flat_unmark f i v =
 let flat_bucket_push f i v s =
   let b = (i * f.k) + (v - 1) in
   let tl = Array.unsafe_get f.btail b in
-  Array.unsafe_set f.prv s tl;
-  Array.unsafe_set f.nxt s (-1);
+  Int_col.unsafe_set f.prv s tl;
+  Int_col.unsafe_set f.nxt s (-1);
   if tl = -1 then begin
     Array.unsafe_set f.bhead b s;
     flat_mark f i v
   end
-  else Array.unsafe_set f.nxt tl s;
+  else Int_col.unsafe_set f.nxt tl s;
   Array.unsafe_set f.btail b s
 
 (* Remove and return the youngest slot of bucket (i, v) — the push-out end,
@@ -292,13 +334,13 @@ let flat_bucket_push f i v s =
 let flat_bucket_pop_tail f i v =
   let b = (i * f.k) + (v - 1) in
   let s = Array.unsafe_get f.btail b in
-  let p = Array.unsafe_get f.prv s in
+  let p = Int_col.unsafe_get f.prv s in
   Array.unsafe_set f.btail b p;
   if p = -1 then begin
     Array.unsafe_set f.bhead b (-1);
     flat_unmark f i v
   end
-  else Array.unsafe_set f.nxt p (-1);
+  else Int_col.unsafe_set f.nxt p (-1);
   s
 
 (* Remove and return the oldest slot of bucket (i, v) — the transmission
@@ -306,13 +348,13 @@ let flat_bucket_pop_tail f i v =
 let flat_bucket_pop_head f i v =
   let b = (i * f.k) + (v - 1) in
   let s = Array.unsafe_get f.bhead b in
-  let nx = Array.unsafe_get f.nxt s in
+  let nx = Int_col.unsafe_get f.nxt s in
   Array.unsafe_set f.bhead b nx;
   if nx = -1 then begin
     Array.unsafe_set f.btail b (-1);
     flat_unmark f i v
   end
-  else Array.unsafe_set f.prv nx (-1);
+  else Int_col.unsafe_set f.prv nx (-1);
   s
 
 (* ----- mutations (every one keeps the aggregates in sync) ----- *)
@@ -320,11 +362,11 @@ let flat_bucket_pop_head f i v =
 (* Insert into the flat state and return the slot id.  The caller has
    already validated capacity, the destination port and the value range. *)
 let flat_insert t f ~dest ~value =
-  let s = Array.unsafe_get f.free (f.free_top - 1) in
+  let s = Int_col.unsafe_get f.free (f.free_top - 1) in
   f.free_top <- f.free_top - 1;
-  Array.unsafe_set f.value s value;
-  Array.unsafe_set f.arrival s t.now;
-  Array.unsafe_set f.pid s t.next_id;
+  Int_col.unsafe_set f.value s value;
+  Int_col.unsafe_set f.arrival s t.now;
+  Int_col.unsafe_set f.pid s t.next_id;
   t.next_id <- t.next_id + 1;
   flat_bucket_push f dest value s;
   Array.unsafe_set f.qlen dest (Array.unsafe_get f.qlen dest + 1);
@@ -350,7 +392,12 @@ let accept t ~dest ~value =
     if value < 1 || value > f.k then
       invalid_arg "Value_switch.accept: value out of range";
     let s = flat_insert t f ~dest ~value in
-    { Packet.Value.id = f.pid.(s); dest; value; arrival = f.arrival.(s) }
+    {
+      Packet.Value.id = Int_col.get f.pid s;
+      dest;
+      value;
+      arrival = Int_col.get f.arrival s;
+    }
 
 let accept_unit t ~dest ~value =
   if is_full t then invalid_arg "Value_switch.accept_unit: buffer full";
@@ -374,7 +421,7 @@ let flat_evict t f ~victim =
   Array.unsafe_set f.qlen victim (Array.unsafe_get f.qlen victim - 1);
   Array.unsafe_set f.qsum victim (Array.unsafe_get f.qsum victim - v);
   t.occupancy <- t.occupancy - 1;
-  Array.unsafe_set f.free f.free_top s;
+  Int_col.unsafe_set f.free f.free_top s;
   f.free_top <- f.free_top + 1;
   touch t victim;
   s
@@ -393,10 +440,10 @@ let push_out t ~victim =
   | Flat f ->
     let s = flat_evict t f ~victim in
     {
-      Packet.Value.id = f.pid.(s);
+      Packet.Value.id = Int_col.get f.pid s;
       dest = victim;
-      value = f.value.(s);
-      arrival = f.arrival.(s);
+      value = Int_col.get f.value s;
+      arrival = Int_col.get f.arrival s;
     }
 
 let push_out_lost t ~victim =
@@ -405,7 +452,7 @@ let push_out_lost t ~victim =
   | Linked _ -> (push_out t ~victim).Packet.Value.value
   | Flat f ->
     let s = flat_evict t f ~victim in
-    f.value.(s)
+    Int_col.get f.value s
 
 let transmit_phase t ~on_transmit =
   let budget = speedup t in
@@ -435,17 +482,17 @@ let transmit_phase t ~on_transmit =
         f.qlen.(i) <- f.qlen.(i) - 1;
         f.qsum.(i) <- f.qsum.(i) - v;
         t.occupancy <- t.occupancy - 1;
-        f.free.(f.free_top) <- s;
+        Int_col.set f.free f.free_top s;
         f.free_top <- f.free_top + 1;
         touch t i;
         incr sent;
         incr transmitted;
         on_transmit
           {
-            Packet.Value.id = f.pid.(s);
+            Packet.Value.id = Int_col.get f.pid s;
             dest = i;
             value = v;
-            arrival = f.arrival.(s);
+            arrival = Int_col.get f.arrival s;
           }
       done
     done);
@@ -480,12 +527,12 @@ let transmit_phase_fields t ~on_transmit =
         Array.unsafe_set f.qlen i (Array.unsafe_get f.qlen i - 1);
         Array.unsafe_set f.qsum i (Array.unsafe_get f.qsum i - v);
         t.occupancy <- t.occupancy - 1;
-        Array.unsafe_set f.free f.free_top s;
+        Int_col.unsafe_set f.free f.free_top s;
         f.free_top <- f.free_top + 1;
         touch t i;
         incr sent;
         incr transmitted;
-        on_transmit ~dest:i ~value:v ~arrival:(Array.unsafe_get f.arrival s)
+        on_transmit ~dest:i ~value:v ~arrival:(Int_col.unsafe_get f.arrival s)
       done
     done);
   !transmitted
@@ -503,9 +550,9 @@ let flush t =
           let s = ref f.bhead.(b) in
           while !s <> -1 do
             incr dropped;
-            f.free.(f.free_top) <- !s;
+            Int_col.set f.free f.free_top !s;
             f.free_top <- f.free_top + 1;
-            s := f.nxt.(!s)
+            s := Int_col.get f.nxt !s
           done;
           f.bhead.(b) <- -1;
           f.btail.(b) <- -1
@@ -578,14 +625,14 @@ let check_invariants_flat t f =
         if seen.(!s) then
           invalid_arg "Value_switch(flat): slot id used twice";
         seen.(!s) <- true;
-        if f.value.(!s) <> v then
+        if Int_col.get f.value !s <> v then
           invalid_arg "Value_switch(flat): slot in wrong value bucket";
-        if f.prv.(!s) <> !prev then
+        if Int_col.get f.prv !s <> !prev then
           invalid_arg "Value_switch(flat): broken prev link";
         incr qlen;
         qsum := !qsum + v;
         prev := !s;
-        s := f.nxt.(!s)
+        s := Int_col.get f.nxt !s
       done;
       if f.bhead.(b) <> -1 && f.btail.(b) <> !prev then
         invalid_arg "Value_switch(flat): bucket tail out of sync"
@@ -603,7 +650,7 @@ let check_invariants_flat t f =
   if f.free_top + t.occupancy <> f.cap then
     invalid_arg "Value_switch(flat): free list out of sync with occupancy";
   for j = 0 to f.free_top - 1 do
-    let s = f.free.(j) in
+    let s = Int_col.get f.free j in
     if s < 0 || s >= f.cap then
       invalid_arg "Value_switch(flat): free slot id out of range";
     if seen.(s) then invalid_arg "Value_switch(flat): free slot also queued";

@@ -24,6 +24,25 @@ type t
 
 type backend = [ `Linked | `Flat ]
 
+type flat_view = {
+  view_k : int;  (** number of value levels *)
+  view_wpp : int;  (** bitset words per port *)
+  view_qlen : int array;  (** live per-port packet counts *)
+  view_qsum : int array;  (** live per-port value sums *)
+  view_occ : int array;  (** live per-port occupancy bitsets *)
+}
+(** Read-only aliases of the flat backend's per-port aggregate state.
+    Policies hand the arrays to {!Agg_index.create_lex} as key columns and
+    read per-port minima through {!view_min_value_or}, so their victim
+    indexes compare unboxed ints instead of calling a closure that re-reads
+    switch accessors.  The arrays are the switch's own live state: never
+    write through them. *)
+
+val view_min_value_or : flat_view -> int -> default:int -> int
+(** Smallest value queued at the port, [default] when empty — the same
+    bitset scan the switch itself runs, exposed for derived-key refresh
+    functions. *)
+
 val create : ?backend:backend -> Value_config.t -> t
 (** [backend] defaults to [`Linked]. *)
 
@@ -74,6 +93,10 @@ val min_value : t -> int option
 (** Smallest value currently admitted anywhere in the buffer.  O(1): read
     off the switch's incremental minimum tracker rather than rescanned. *)
 
+val min_value_or : t -> default:int -> int
+(** Allocation-free {!min_value}: [default] when the buffer is empty.  The
+    fused admission kernels' drop gate. *)
+
 val min_value_port : t -> int option
 (** The port whose queue holds the buffer-wide minimum value; among several,
     the longest such queue (the paper's MVD tie-break), then the smallest
@@ -86,6 +109,17 @@ val find_index : t -> key:string -> better:(int -> int -> bool) -> Agg_index.t
 (** The victim-selection index registered under [key], creating (and
     building) it on first use; see {!Proc_switch.find_index} for the
     contract. *)
+
+val find_index_with :
+  t -> key:string -> (n:int -> Agg_index.t) -> Agg_index.t
+(** {!find_index} generalized over the index constructor: [make ~n] runs
+    only when [key] is not yet registered.  Policies use it to register
+    monomorphic keyed indexes ({!Agg_index.create_lex} /
+    {!Agg_index.create_ratio}) over a {!flat_view}'s columns. *)
+
+val flat_view : t -> flat_view option
+(** [Some] of the live aggregate state on the flat backend, [None] on the
+    linked one. *)
 
 val accept : t -> dest:int -> value:int -> Packet.Value.t
 (** On the flat backend the returned record is a snapshot of the admitted

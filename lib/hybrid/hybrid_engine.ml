@@ -53,6 +53,7 @@ let create ?name ?recorder config (policy : Hybrid_policy.t) =
       name;
       arrive;
       arrive_dv;
+      arrive_batch = None;
       transmit =
         (fun () -> ignore (Hybrid_switch.transmit_phase sw ~on_transmit));
       end_slot =

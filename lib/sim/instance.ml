@@ -4,6 +4,7 @@ type t = {
   name : string;
   arrive : Arrival.t -> unit;
   arrive_dv : dest:int -> value:int -> unit;
+  arrive_batch : (Arrival_batch.t -> unit) option;
   transmit : unit -> unit;
   end_slot : unit -> unit;
   flush : unit -> unit;
@@ -19,6 +20,8 @@ let step_slot t ~arrivals =
   t.end_slot ()
 
 let step_batch t ~batch =
-  Arrival_batch.iter batch ~f:t.arrive_dv;
+  (match t.arrive_batch with
+  | Some f -> f batch
+  | None -> Arrival_batch.iter batch ~f:t.arrive_dv);
   t.transmit ();
   t.end_slot ()

@@ -12,6 +12,13 @@ type t = {
           (no [Arrival.t] record needs to exist).  Engines implement this as
           the primitive and derive [arrive] from it; the two are
           behaviourally identical. *)
+  arrive_batch : (Arrival_batch.t -> unit) option;
+      (** whole-slot arrival phase: behaviourally identical to folding
+          [arrive_dv] over the batch in order, but free to take a fused
+          per-batch path (the policy's [admit_batch] kernel) when one
+          exists.  Engines set it only when no per-decision observer
+          (recorder, flight recorder) is attached; [None] means "no faster
+          path than the per-packet fold". *)
   transmit : unit -> unit;  (** run one transmission phase *)
   end_slot : unit -> unit;  (** per-slot bookkeeping (occupancy sample, clock) *)
   flush : unit -> unit;  (** discard all buffered packets *)

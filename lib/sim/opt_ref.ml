@@ -88,6 +88,7 @@ let proc_instance ?(name = "OPT") ?cores ?recorder config =
     Instance.name;
     arrive;
     arrive_dv;
+    arrive_batch = None;
     transmit;
     end_slot;
     flush;
@@ -165,6 +166,7 @@ let value_instance ?(name = "OPT") ?cores ?recorder config =
     Instance.name;
     arrive;
     arrive_dv;
+    arrive_batch = None;
     transmit;
     end_slot;
     flush;

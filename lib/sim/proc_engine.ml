@@ -70,6 +70,29 @@ let create_controlled ?name ?observe ?recorder ?flight config
           ~value:1)
   in
   let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
+  (* Fused arrival phase: when no per-decision observer is attached, a
+     whole batch goes through the policy's [admit_batch] kernel (if any)
+     and the four admission counters are folded in once per batch.  The
+     policy ref is re-read per batch so live policy swaps keep working;
+     policies without a kernel fall back to the per-packet fold. *)
+  let arrive_batch =
+    if recording || Option.is_some flight then None
+    else begin
+      let counters = Admission.counters () in
+      Some
+        (fun batch ->
+          match Proc_policy.admit_batch !policy_ref with
+          | None -> Arrival_batch.iter batch ~f:arrive_dv
+          | Some kernel ->
+            Admission.reset counters;
+            kernel sw batch counters;
+            Metrics.record_admissions metrics
+              ~arrivals:(Arrival_batch.length batch)
+              ~accepted:counters.Admission.accepted
+              ~pushed_out:counters.Admission.pushed_out
+              ~dropped:counters.Admission.dropped)
+    end
+  in
   let transmit =
     match observe with
     | None ->
@@ -140,6 +163,7 @@ let create_controlled ?name ?observe ?recorder ?flight config
       name;
       arrive;
       arrive_dv;
+      arrive_batch;
       transmit;
       end_slot;
       flush;

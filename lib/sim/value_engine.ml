@@ -71,6 +71,25 @@ let create_controlled ?name ?observe ?recorder ?flight config
           ~value)
   in
   let arrive (a : Arrival.t) = arrive_dv ~dest:a.dest ~value:a.value in
+  (* Fused arrival phase; see Proc_engine for the gating rationale. *)
+  let arrive_batch =
+    if recording || Option.is_some flight then None
+    else begin
+      let counters = Admission.counters () in
+      Some
+        (fun batch ->
+          match Value_policy.admit_batch !policy_ref with
+          | None -> Arrival_batch.iter batch ~f:arrive_dv
+          | Some kernel ->
+            Admission.reset counters;
+            kernel sw batch counters;
+            Metrics.record_admissions metrics
+              ~arrivals:(Arrival_batch.length batch)
+              ~accepted:counters.Admission.accepted
+              ~pushed_out:counters.Admission.pushed_out
+              ~dropped:counters.Admission.dropped)
+    end
+  in
   let transmit =
     match observe with
     | None ->
@@ -142,6 +161,7 @@ let create_controlled ?name ?observe ?recorder ?flight config
       name;
       arrive;
       arrive_dv;
+      arrive_batch;
       transmit;
       end_slot;
       flush;

@@ -1,3 +1,4 @@
+open Smbm_prelude
 open Smbm_core
 
 type t = Arrival.t list array
@@ -60,17 +61,24 @@ let equal a b =
 module Compact = struct
   type trace = t
 
+  (* The columns are off-heap {!Int_col}s: a compact trace's payload lives
+     outside the OCaml heap, so the GC never scans it and several domains
+     can replay the same trace (or [pack]ed windows of one shared slab)
+     concurrently without copies — compact traces are immutable after
+     construction. *)
   type t = {
-    offsets : int array;  (* length slots + 1; slot i spans [offsets.(i), offsets.(i+1)) *)
-    dest : int array;
-    value : int array;
+    offsets : Int_col.t;  (* length slots + 1; slot i spans [offsets.(i), offsets.(i+1)) *)
+    dest : Int_col.t;
+    value : Int_col.t;
   }
 
-  let slots t = Array.length t.offsets - 1
-  let arrivals t = t.offsets.(Array.length t.offsets - 1)
+  let slots t = Int_col.length t.offsets - 1
+  let arrivals t = Int_col.get t.offsets (Int_col.length t.offsets - 1)
 
   let of_workload workload ~slots =
     if slots < 0 then invalid_arg "Trace.Compact.of_workload: negative slots";
+    (* Build into growable heap arrays, then copy once into the off-heap
+       columns at their exact final size. *)
     let offsets = Array.make (slots + 1) 0 in
     let dest = ref (Array.make (max 64 slots) 0) in
     let value = ref (Array.make (max 64 slots) 0) in
@@ -92,27 +100,31 @@ module Compact = struct
       offsets.(i + 1) <- !len
     done;
     {
-      offsets;
-      dest = Array.sub !dest 0 !len;
-      value = Array.sub !value 0 !len;
+      offsets = Int_col.of_array offsets;
+      dest = Int_col.init !len (fun j -> !dest.(j));
+      value = Int_col.init !len (fun j -> !value.(j));
     }
 
   let iter_slot t i ~f =
     if i < 0 || i >= slots t then
       invalid_arg "Trace.Compact.iter_slot: out of bounds";
-    for j = t.offsets.(i) to t.offsets.(i + 1) - 1 do
-      f ~dest:t.dest.(j) ~value:t.value.(j)
+    (* Offsets are monotone within [0, arrivals] by construction, so the
+       column reads inside the segment skip the bounds check. *)
+    for j = Int_col.get t.offsets i to Int_col.get t.offsets (i + 1) - 1 do
+      f ~dest:(Int_col.unsafe_get t.dest j) ~value:(Int_col.unsafe_get t.value j)
     done
 
-  (* Replay straight out of the flat arrays: the filled batch segment is one
-     array-to-array copy, no per-packet allocation.  Slots beyond the end
-     are empty, matching [to_workload]. *)
+  (* Replay straight out of the flat columns: the filled batch segment is
+     one column-to-array copy, no per-packet allocation.  Slots beyond the
+     end are empty, matching [to_workload]. *)
   let replay t =
     let n = slots t in
     Workload.of_fun_into (fun b i ->
         if i < n then
-          for j = t.offsets.(i) to t.offsets.(i + 1) - 1 do
-            Arrival_batch.push b ~dest:t.dest.(j) ~value:t.value.(j)
+          for j = Int_col.get t.offsets i to Int_col.get t.offsets (i + 1) - 1
+          do
+            Arrival_batch.push b ~dest:(Int_col.unsafe_get t.dest j)
+              ~value:(Int_col.unsafe_get t.value j)
           done)
 
   let of_trace (trace : trace) =
@@ -131,28 +143,78 @@ module Compact = struct
             value.(offsets.(i) + j) <- a.value)
           l)
       trace;
-    { offsets; dest = Array.sub dest 0 n; value = Array.sub value 0 n }
+    {
+      offsets = Int_col.of_array offsets;
+      dest = Int_col.init n (fun j -> dest.(j));
+      value = Int_col.init n (fun j -> value.(j));
+    }
 
   let to_trace t =
     Array.init (slots t) (fun i ->
-        List.init (t.offsets.(i + 1) - t.offsets.(i)) (fun j ->
-            let j = t.offsets.(i) + j in
-            { Arrival.dest = t.dest.(j); value = t.value.(j) }))
+        let base = Int_col.get t.offsets i in
+        List.init
+          (Int_col.get t.offsets (i + 1) - base)
+          (fun j ->
+            let j = base + j in
+            { Arrival.dest = Int_col.get t.dest j; value = Int_col.get t.value j }))
 
-  let equal a b = a.offsets = b.offsets && a.dest = b.dest && a.value = b.value
+  let equal a b =
+    Int_col.equal a.offsets b.offsets
+    && Int_col.equal a.dest b.dest
+    && Int_col.equal a.value b.value
 
   (* Deterministic content digest: a fixed-width little-endian serialization
      of (slots, offsets, dest, value) hashed with MD5.  Two compact traces
      have equal signatures iff they are [equal] (modulo MD5 collisions), on
-     any platform or OCaml version. *)
+     any platform or OCaml version — and regardless of whether the columns
+     own their storage or window a [pack]ed slab. *)
   let signature t =
-    let buf = Buffer.create (8 * (Array.length t.offsets + 2 * Array.length t.dest)) in
-    let add a =
-      Buffer.add_int64_le buf (Int64.of_int (Array.length a));
-      Array.iter (fun x -> Buffer.add_int64_le buf (Int64.of_int x)) a
+    let buf =
+      Buffer.create
+        (8 * (Int_col.length t.offsets + (2 * Int_col.length t.dest)))
+    in
+    let add c =
+      Buffer.add_int64_le buf (Int64.of_int (Int_col.length c));
+      for j = 0 to Int_col.length c - 1 do
+        Buffer.add_int64_le buf (Int64.of_int (Int_col.get c j))
+      done
     in
     add t.offsets;
     add t.dest;
     add t.value;
     Digest.to_hex (Digest.string (Buffer.contents buf))
+
+  (* Consolidate many compact traces into three shared slabs (one per
+     column role) and hand back zero-copy windows.  Content-equal to the
+     inputs ([equal]/[signature] agree); the point is memory topology: a
+     parallel sweep's whole trace working set becomes three off-heap
+     allocations that every domain reads through windows, instead of one
+     heap triple per trace. *)
+  let pack ts =
+    match ts with
+    | [] | [ _ ] -> ts
+    | _ ->
+      let total f = List.fold_left (fun acc t -> acc + Int_col.length (f t)) 0 ts in
+      let slab_of f =
+        let slab = Int_col.create (total f) in
+        let pos = ref 0 in
+        let windows =
+          List.map
+            (fun t ->
+              let c = f t in
+              let len = Int_col.length c in
+              Int_col.blit ~src:c ~src_pos:0 ~dst:slab ~dst_pos:!pos ~len;
+              let w = Int_col.sub slab ~pos:!pos ~len in
+              pos := !pos + len;
+              w)
+            ts
+        in
+        windows
+      in
+      let offsets = slab_of (fun t -> t.offsets)
+      and dest = slab_of (fun t -> t.dest)
+      and value = slab_of (fun t -> t.value) in
+      List.map2
+        (fun offsets (dest, value) -> { offsets; dest; value })
+        offsets (List.combine dest value)
 end

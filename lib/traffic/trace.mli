@@ -30,8 +30,12 @@ val equal : t -> t -> bool
     [dest]/[value] columns plus a per-slot offset index.  Built once,
     replayed many times — the sweep trace cache shares one compact trace
     across every instance of a point and across axis values whose traffic
-    parameters coincide.  Replay is allocation-free (array reads straight
-    into the caller's {!Smbm_core.Arrival_batch.t}). *)
+    parameters coincide.  Replay is allocation-free (column reads straight
+    into the caller's {!Smbm_core.Arrival_batch.t}).
+
+    The columns live off the OCaml heap ({!Smbm_prelude.Int_col}): compact
+    traces are immutable after construction and safe to read concurrently
+    from several domains without copying. *)
 module Compact : sig
   type trace := t
   type t
@@ -61,5 +65,13 @@ module Compact : sig
   (** Deterministic hex digest of the full arrival content; equal
       signatures <=> equal traces (modulo hash collisions).  Stable across
       platforms and runs, so it can key caches and cross-process
-      comparisons. *)
+      comparisons.  Invariant under {!pack}. *)
+
+  val pack : t list -> t list
+  (** Consolidate the traces into one shared off-heap slab per column and
+      return zero-copy windows, in order.  Each result is {!equal} to its
+      input (same {!signature}); only the memory topology changes — a
+      parallel sweep's whole trace working set becomes three allocations
+      that every domain reads through windows, instead of one triple of
+      columns per trace. *)
 end

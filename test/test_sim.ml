@@ -258,6 +258,7 @@ let test_experiment_ratio () =
       Instance.name;
       arrive = (fun _ -> ());
       arrive_dv = (fun ~dest:_ ~value:_ -> ());
+      arrive_batch = None;
       transmit = (fun () -> ());
       end_slot = (fun () -> ());
       flush = (fun () -> ());

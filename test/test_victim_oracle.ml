@@ -290,6 +290,255 @@ let test_value_soak_wide_k () =
         (run_value_lockstep ~ports ~max_value ~buffer ~speedup:1 ~ops ~mk))
     value_policies
 
+(* --- fused batch kernels = per-packet fold --- *)
+
+(* The fused [admit_batch] kernels must be decision-identical to folding
+   [admit] packet-by-packet: same victims, same admission counters, same
+   switch state and transmitted packets — including across mid-run
+   [set_buffer] resizes.  Two same-backend switches run in lockstep, one
+   through the kernel, one through the per-packet reference fold. *)
+
+let run_proc_batch_lockstep ~works ~buffer ~speedup ~ops ~mk =
+  let config = Proc_config.make ~works ~buffer ~speedup () in
+  let policy : Proc_policy.t = mk `Flat config in
+  match Proc_policy.admit_batch policy with
+  | None -> false (* every flat-impl push-out policy must provide a kernel *)
+  | Some kernel ->
+    let sw_k = Proc_switch.create ~backend:policy.Proc_policy.backend config in
+    let sw_r = Proc_switch.create ~backend:policy.Proc_policy.backend config in
+    let counters = Admission.counters () in
+    let batch = Arrival_batch.create () in
+    let ok = ref true in
+    List.iter
+      (fun op ->
+        (match op with
+        | `Batch dests ->
+          Arrival_batch.clear batch;
+          List.iter
+            (fun d -> Arrival_batch.push batch ~dest:d ~value:1)
+            dests;
+          Admission.reset counters;
+          kernel sw_k batch counters;
+          let accepted = ref 0 and pushed = ref 0 and dropped = ref 0 in
+          List.iter
+            (fun dest ->
+              match Proc_policy.admit policy sw_r ~dest with
+              | Decision.Accept ->
+                Proc_switch.accept_unit sw_r ~dest;
+                incr accepted
+              | Decision.Push_out { victim } ->
+                Proc_switch.push_out_unit sw_r ~victim;
+                Proc_switch.accept_unit sw_r ~dest;
+                incr pushed;
+                incr accepted
+              | Decision.Drop -> incr dropped)
+            dests;
+          if
+            counters.Admission.accepted <> !accepted
+            || counters.Admission.pushed_out <> !pushed
+            || counters.Admission.dropped <> !dropped
+          then ok := false
+        | `Transmit ->
+          let sent sw =
+            let acc = ref [] in
+            ignore
+              (Proc_switch.transmit_phase sw
+                 ~on_transmit:(fun (p : Packet.Proc.t) ->
+                   acc := (p.id, p.dest, p.work, p.arrival) :: !acc));
+            List.rev !acc
+          in
+          if sent sw_k <> sent sw_r then ok := false
+        | `Set_buffer b ->
+          let b = max 1 (max (Proc_switch.occupancy sw_r) b) in
+          Proc_switch.set_buffer sw_k b;
+          Proc_switch.set_buffer sw_r b
+        | `Flush ->
+          if Proc_switch.flush sw_k <> Proc_switch.flush sw_r then ok := false);
+        Proc_switch.check_invariants sw_k;
+        Proc_switch.check_invariants sw_r;
+        if
+          Proc_switch.occupancy sw_k <> Proc_switch.occupancy sw_r
+          || Proc_switch.buffer sw_k <> Proc_switch.buffer sw_r
+        then ok := false;
+        for j = 0 to Proc_switch.n sw_r - 1 do
+          if
+            Proc_switch.queue_length sw_k j <> Proc_switch.queue_length sw_r j
+            || Proc_switch.queue_work sw_k j <> Proc_switch.queue_work sw_r j
+          then ok := false
+        done)
+      ops;
+    !ok
+
+let run_value_batch_lockstep ~ports ~max_value ~buffer ~speedup ~ops ~mk =
+  let config = Value_config.make ~ports ~max_value ~buffer ~speedup () in
+  let policy : Value_policy.t = mk `Flat config in
+  match Value_policy.admit_batch policy with
+  | None -> false
+  | Some kernel ->
+    let sw_k = Value_switch.create ~backend:policy.Value_policy.backend config in
+    let sw_r = Value_switch.create ~backend:policy.Value_policy.backend config in
+    let counters = Admission.counters () in
+    let batch = Arrival_batch.create () in
+    let ok = ref true in
+    List.iter
+      (fun op ->
+        (match op with
+        | `Batch arrivals ->
+          Arrival_batch.clear batch;
+          List.iter
+            (fun (d, v) -> Arrival_batch.push batch ~dest:d ~value:v)
+            arrivals;
+          Admission.reset counters;
+          kernel sw_k batch counters;
+          let accepted = ref 0 and pushed = ref 0 and dropped = ref 0 in
+          List.iter
+            (fun (dest, value) ->
+              match Value_policy.admit policy sw_r ~dest ~value with
+              | Decision.Accept ->
+                Value_switch.accept_unit sw_r ~dest ~value;
+                incr accepted
+              | Decision.Push_out { victim } ->
+                ignore (Value_switch.push_out_lost sw_r ~victim : int);
+                Value_switch.accept_unit sw_r ~dest ~value;
+                incr pushed;
+                incr accepted
+              | Decision.Drop -> incr dropped)
+            arrivals;
+          if
+            counters.Admission.accepted <> !accepted
+            || counters.Admission.pushed_out <> !pushed
+            || counters.Admission.dropped <> !dropped
+          then ok := false
+        | `Transmit ->
+          let sent sw =
+            let acc = ref [] in
+            ignore
+              (Value_switch.transmit_phase sw
+                 ~on_transmit:(fun (p : Packet.Value.t) ->
+                   acc := (p.id, p.dest, p.value, p.arrival) :: !acc));
+            List.rev !acc
+          in
+          if sent sw_k <> sent sw_r then ok := false
+        | `Set_buffer b ->
+          let b = max 1 (max (Value_switch.occupancy sw_r) b) in
+          Value_switch.set_buffer sw_k b;
+          Value_switch.set_buffer sw_r b
+        | `Flush ->
+          if Value_switch.flush sw_k <> Value_switch.flush sw_r then
+            ok := false);
+        Value_switch.check_invariants sw_k;
+        Value_switch.check_invariants sw_r;
+        if
+          Value_switch.occupancy sw_k <> Value_switch.occupancy sw_r
+          || Value_switch.buffer sw_k <> Value_switch.buffer sw_r
+          || Value_switch.min_value sw_k <> Value_switch.min_value sw_r
+        then ok := false;
+        for j = 0 to Value_switch.n sw_r - 1 do
+          if
+            Value_switch.queue_length sw_k j <> Value_switch.queue_length sw_r j
+            || Value_switch.queue_total_value sw_k j
+               <> Value_switch.queue_total_value sw_r j
+            || Value_switch.queue_min_value sw_k j
+               <> Value_switch.queue_min_value sw_r j
+          then ok := false
+        done)
+      ops;
+    !ok
+
+let prop_proc_batch_lockstep =
+  QCheck2.Test.make
+    ~name:"proc admit_batch kernels = per-packet fold lockstep" ~count:120
+    QCheck2.Gen.(
+      let* n = int_range 1 6 in
+      let* works = array_size (pure n) (int_range 1 4) in
+      let* buffer = int_range 1 8 in
+      let* speedup = int_range 1 2 in
+      let* ops =
+        list_size (int_range 10 40)
+          (frequency
+             [
+               ( 6,
+                 map
+                   (fun ds -> `Batch ds)
+                   (list_size (int_range 0 12) (int_range 0 (n - 1))) );
+               (2, pure `Transmit);
+               (1, map (fun b -> `Set_buffer b) (int_range 1 12));
+               (1, pure `Flush);
+             ])
+      in
+      pure (works, buffer, speedup, ops))
+    (fun (works, buffer, speedup, ops) ->
+      let n = Array.length works in
+      List.for_all
+        (fun (_name, mk) ->
+          run_proc_batch_lockstep ~works ~buffer ~speedup ~ops ~mk)
+        (proc_policies ~buffer ~n))
+
+let prop_value_batch_lockstep =
+  QCheck2.Test.make
+    ~name:"value admit_batch kernels = per-packet fold lockstep" ~count:120
+    QCheck2.Gen.(
+      let* ports = int_range 1 6 in
+      let* max_value = int_range 1 8 in
+      let* buffer = int_range 1 8 in
+      let* speedup = int_range 1 2 in
+      let* ops =
+        list_size (int_range 10 40)
+          (frequency
+             [
+               ( 6,
+                 map
+                   (fun a -> `Batch a)
+                   (list_size (int_range 0 12)
+                      (pair (int_range 0 (ports - 1)) (int_range 1 max_value)))
+               );
+               (2, pure `Transmit);
+               (1, map (fun b -> `Set_buffer b) (int_range 1 12));
+               (1, pure `Flush);
+             ])
+      in
+      pure (ports, max_value, buffer, speedup, ops))
+    (fun (ports, max_value, buffer, speedup, ops) ->
+      List.for_all
+        (fun (_name, mk) ->
+          run_value_batch_lockstep ~ports ~max_value ~buffer ~speedup ~ops ~mk)
+        value_policies)
+
+(* --- packed trace slabs = owning columns --- *)
+
+(* [Trace.Compact.pack] only changes memory topology (zero-copy windows of
+   one shared off-heap slab per column); content, [equal] and [signature]
+   must be invariant, and a heap round-trip through [to_trace]/[of_trace]
+   (int arrays and lists) must reproduce the same signature. *)
+let prop_compact_pack_signature =
+  QCheck2.Test.make
+    ~name:"Trace.Compact: packed slab windows = owning columns" ~count:100
+    QCheck2.Gen.(
+      let arrival =
+        map2
+          (fun d v -> Arrival.make ~dest:d ~value:v ())
+          (int_range 0 5) (int_range 1 9)
+      in
+      let slot = list_size (int_range 0 5) arrival in
+      let trace = map Array.of_list (list_size (int_range 0 12) slot) in
+      list_size (int_range 0 5) trace)
+    (fun traces ->
+      let module C = Smbm_traffic.Trace.Compact in
+      let compacts =
+        List.map
+          (fun t -> C.of_trace (Smbm_traffic.Trace.of_slots t))
+          traces
+      in
+      let packed = C.pack compacts in
+      List.length packed = List.length compacts
+      && List.for_all2
+           (fun own win ->
+             C.equal own win
+             && String.equal (C.signature own) (C.signature win)
+             && String.equal (C.signature own)
+                  (C.signature (C.of_trace (C.to_trace win))))
+           compacts packed)
+
 (* --- pinned tie-break regressions --- *)
 
 let proc_switch ?(backend = `Linked) ?speedup ~works ~buffer ~lengths () =
@@ -478,6 +727,9 @@ let suite =
   [
     Qc.to_alcotest prop_proc_policies_lockstep;
     Qc.to_alcotest prop_value_policies_lockstep;
+    Qc.to_alcotest prop_proc_batch_lockstep;
+    Qc.to_alcotest prop_value_batch_lockstep;
+    Qc.to_alcotest prop_compact_pack_signature;
     Alcotest.test_case "value soak, k crosses bitset word" `Slow
       test_value_soak_wide_k;
     Alcotest.test_case "LQD tie keeps largest index" `Quick
